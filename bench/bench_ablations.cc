@@ -1,0 +1,141 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   (i)   context synchronization (§3.1) — without it, checkers report
+//         failures that do not exist in the main program;
+//   (ii)  probe-validation escalation (§5.1) — confirms client impact before
+//         alarming, trading background-fault alarms for accuracy;
+//   (iii) similar-op dedup in reduction (§4.1) — "invoke write() once".
+#include <cstdio>
+
+#include "src/autowd/autowatchdog.h"
+#include "src/common/strings.h"
+#include "src/eval/campaign.h"
+#include "src/eval/scenario.h"
+#include "src/eval/table.h"
+#include "src/kvs/ir_model.h"
+#include "src/kvs/server.h"
+
+namespace {
+
+// (i) A leader configured with a follower that has not joined yet, and no
+// client traffic. The replication path has never executed — so there is
+// nothing to check yet. With one-way context sync the checkers stay dormant;
+// with contexts force-readied (no sync), the watchdog "barks" at a path the
+// program never took (the paper's spurious-report example).
+int CountFalseAlarms(bool with_context_sync) {
+  wdg::RealClock& clock = wdg::RealClock::Instance();
+  wdg::FaultInjector injector(clock);
+  wdg::DiskOptions disk_options;
+  disk_options.base_latency = wdg::Us(5);
+  wdg::SimDisk disk(clock, injector, disk_options);
+  wdg::SimNet net(clock, injector, wdg::NetOptions{});
+
+  kvs::KvsOptions options;
+  options.node_id = "kvs1";
+  options.followers = {"ghost-follower"};  // configured but never started
+  kvs::KvsNode leader(clock, disk, net, options);
+  (void)leader.Start();
+
+  awd::OpExecutorRegistry registry;
+  kvs::RegisterOpExecutors(registry, leader);
+  wdg::WatchdogDriver::Options driver_options;
+  driver_options.release_on_stop = [&injector] { injector.ClearAll(); };
+  driver_options.dedup_window = wdg::Ms(100);  // count repeated barking
+  wdg::WatchdogDriver driver(clock, driver_options);
+  awd::GenerationOptions gen;
+  gen.checker.interval = wdg::Ms(25);
+  gen.checker.timeout = wdg::Ms(250);
+  const awd::GenerationReport report =
+      awd::Generate(kvs::DescribeIr(leader.options()), leader.hooks(), registry, driver, gen);
+  if (!with_context_sync) {
+    // Ablate: pretend every context is ready without any hook having fired.
+    for (const awd::ContextSpec& spec : report.plan.contexts) {
+      leader.hooks().Context(spec.context_name)->MarkReady(clock.NowNs());
+    }
+  }
+  driver.Start();
+  clock.SleepFor(wdg::Ms(800));
+  driver.Stop();
+  const int alarms = static_cast<int>(driver.Failures().size());
+  leader.Stop();
+  return alarms;
+}
+
+const wdg::Scenario& FindScenario(const std::vector<wdg::Scenario>& catalog,
+                                  const std::string& name) {
+  for (const wdg::Scenario& s : catalog) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  std::abort();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation (i): one-way context synchronization (paper 3.1) ===\n\n");
+  const int with_sync = CountFalseAlarms(/*with_context_sync=*/true);
+  const int without_sync = CountFalseAlarms(/*with_context_sync=*/false);
+  wdg::TablePrinter sync_table({{"configuration", 36}, {"spurious alarms (0.8s idle run)", 32}});
+  sync_table.PrintHeader();
+  sync_table.PrintRow({"contexts synced via hooks (paper)", wdg::StrFormat("%d", with_sync)});
+  sync_table.PrintRow({"contexts force-ready (no sync)", wdg::StrFormat("%d", without_sync)});
+  sync_table.PrintRule();
+  std::printf("shape: without state synchronization the watchdog barks at paths the\n"
+              "program never executed; with it, those checkers stay dormant.\n\n");
+
+  std::printf("=== Ablation (ii): probe-validation escalation (paper 5.1) ===\n\n");
+  const auto catalog = wdg::KvsScenarioCatalog();
+  wdg::TrialOptions base;
+  base.warmup = wdg::Ms(250);
+  base.observe = wdg::Ms(900);
+  wdg::TrialOptions validated = base;
+  validated.enable_validation = true;
+  validated.suppress_unconfirmed = true;
+
+  wdg::TablePrinter val_table({{"scenario", 24}, {"validation", 11}, {"mimic alarmed", 14},
+                               {"suppressed", 11}, {"note", 38}});
+  val_table.PrintHeader();
+  for (const char* name : {"flush-write-error", "wal-append-hang"}) {
+    const wdg::Scenario& scenario = FindScenario(catalog, name);
+    const wdg::TrialResult off = wdg::RunTrial(scenario, base);
+    const wdg::TrialResult on = wdg::RunTrial(scenario, validated);
+    val_table.PrintRow({name, "off", off.outcomes.at(wdg::kDetMimic).detected ? "yes" : "no",
+                        "0", scenario.client_visible ? "client-visible fault" : "background fault"});
+    val_table.PrintRow({name, "on", on.outcomes.at(wdg::kDetMimic).detected ? "yes" : "no",
+                        wdg::StrFormat("%lld", static_cast<long long>(on.suppressed_alarms)),
+                        scenario.client_visible ? "impact confirmed -> alarm kept"
+                                                : "no client impact -> alarm withheld"});
+  }
+  val_table.PrintRule();
+  std::printf("shape: escalation keeps alarms with confirmed client impact and withholds\n"
+              "superfluous ones the main program absorbed (the paper 5.1 trade-off: it\n"
+              "also silences real-but-not-yet-visible background faults).\n\n");
+
+  std::printf("=== Ablation (iii): similar-op dedup in reduction (paper 4.1) ===\n\n");
+  kvs::KvsOptions kvs_options;
+  kvs_options.node_id = "kvs1";
+  kvs_options.followers = {"kvs2"};
+  const awd::Module module = kvs::DescribeIr(kvs_options);
+  awd::ReducerOptions dedup_on;
+  awd::ReducerOptions dedup_off;
+  dedup_off.dedup_similar = false;
+  dedup_off.global_dedup = false;
+  const awd::GenerationReport on_report = awd::Analyze(module, dedup_on);
+  const awd::GenerationReport off_report = awd::Analyze(module, dedup_off);
+  wdg::TablePrinter dd_table({{"reduction config", 26}, {"vulnerable found", 17},
+                              {"ops retained", 13}, {"ops per check cycle", 20}});
+  dd_table.PrintHeader();
+  dd_table.PrintRow({"with dedup (paper)",
+                     wdg::StrFormat("%d", on_report.program.stats.vulnerable_found),
+                     wdg::StrFormat("%d", on_report.program.stats.ops_retained),
+                     wdg::StrFormat("%d", on_report.program.stats.ops_retained)});
+  dd_table.PrintRow({"without dedup",
+                     wdg::StrFormat("%d", off_report.program.stats.vulnerable_found),
+                     wdg::StrFormat("%d", off_report.program.stats.ops_retained),
+                     wdg::StrFormat("%d", off_report.program.stats.ops_retained)});
+  dd_table.PrintRule();
+  std::printf("shape: dedup cuts the per-cycle checking work while keeping one exemplar of\n"
+              "each (kind, site) class — 'W may only need to invoke write() once'.\n");
+  return 0;
+}

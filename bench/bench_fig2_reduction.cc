@@ -1,0 +1,88 @@
+// Figure 2 reproduction: program logic reduction of the ZooKeeper-shaped
+// serializeSnapshot chain, plus whole-module reduction statistics for both
+// monitored systems (minizk and kvs).
+#include <cstdio>
+
+#include "src/autowd/autowatchdog.h"
+#include "src/autowd/codegen.h"
+#include "src/common/strings.h"
+#include "src/eval/table.h"
+#include "src/kvs/ir_model.h"
+#include "src/minihdfs/ir_model.h"
+#include "src/minizk/ir_model.h"
+
+int main() {
+  std::printf("=== Figure 2: program logic reduction ===\n\n");
+
+  minizk::ZkOptions zk_options;
+  zk_options.node_id = "zk-leader";
+  zk_options.followers = {"zk-f1"};
+  const awd::Module zk_module = minizk::DescribeIr(zk_options);
+
+  // The paper's exact example: reducing serializeSnapshot. Walk it as a root
+  // so the figure's keep/drop margins and hook insertion are visible.
+  awd::ReducerOptions root_options;
+  awd::Reducer root_reducer(zk_module, root_options);
+  const awd::ReducedFunction snapshot = root_reducer.ReduceRoot("serializeSnapshot");
+  awd::ReducedProgram snapshot_program;
+  snapshot_program.module_name = "minizk";
+  snapshot_program.functions.push_back(snapshot);
+  const awd::HookPlan snapshot_plan = awd::InferContexts(snapshot_program);
+  std::printf("%s\n", awd::EmitReductionTrace(zk_module, snapshot_program, snapshot_plan).c_str());
+
+  std::printf("\nserializeSnapshot reduction: %d instructions walked -> %zu vulnerable ops "
+              "retained\n",
+              snapshot.instrs_walked, snapshot.ops.size());
+  for (const awd::ReducedOp& op : snapshot.ops) {
+    std::printf("  KEEP %-22s from %s:%d  (%s)\n", op.site.c_str(),
+                op.origin_function.c_str(), op.origin_instr_id, op.label.c_str());
+  }
+
+  // Whole-module statistics for both systems.
+  std::printf("\n=== module-level reduction statistics ===\n\n");
+  wdg::TablePrinter table({{"module", 8},
+                           {"roots", 6},
+                           {"fns visited", 12},
+                           {"instrs walked", 14},
+                           {"vulnerable", 11},
+                           {"deduped", 8},
+                           {"ops kept", 9},
+                           {"checkers", 9}});
+  table.PrintHeader();
+
+  const auto print_module = [&](const char* label, const awd::Module& module) {
+    const awd::GenerationReport report = awd::Analyze(module);
+    const awd::ReductionStats& s = report.program.stats;
+    table.PrintRow({label, wdg::StrFormat("%d", s.roots),
+                    wdg::StrFormat("%d", s.functions_visited),
+                    wdg::StrFormat("%d / %d", s.instrs_walked, module.TotalInstrCount()),
+                    wdg::StrFormat("%d", s.vulnerable_found),
+                    wdg::StrFormat("%d", s.deduped_similar + s.deduped_global),
+                    wdg::StrFormat("%d", s.ops_retained),
+                    wdg::StrFormat("%zu", report.program.functions.size())});
+  };
+  print_module("minizk", zk_module);
+
+  kvs::KvsOptions kvs_options;
+  kvs_options.node_id = "kvs1";
+  kvs_options.followers = {"kvs2"};
+  print_module("kvs", kvs::DescribeIr(kvs_options));
+
+  minihdfs::DataNodeOptions hdfs_options;
+  print_module("minihdfs", minihdfs::DescribeIr(hdfs_options));
+  table.PrintRule();
+  std::printf("(the paper applied AutoWatchdog to ZooKeeper, Cassandra and HDFS; the three\n"
+              " modules above are their in-repo analogs)\n");
+
+  std::printf("\nHook plan for the snapshot chain (the '+ ContextFactory...' insertion of "
+              "Figure 2):\n");
+  for (const awd::HookPoint& point : snapshot_plan.points) {
+    std::printf("  insert hook %-20s -> context %-24s capturing {", point.hook_site.c_str(),
+                point.context_name.c_str());
+    for (size_t i = 0; i < point.capture.size(); ++i) {
+      std::printf("%s%s", i != 0 ? ", " : "", point.capture[i].c_str());
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-costs backing Figure 1's "no significant cost" claim, measured with
+// google-benchmark: hook firing (armed/unarmed), context synchronization,
+// fault-site gating, and the AutoWatchdog generation pipeline itself.
+#include <benchmark/benchmark.h>
+
+#include "src/autowd/autowatchdog.h"
+#include "src/common/checksum.h"
+#include "src/common/strings.h"
+#include "src/fault/fault_injector.h"
+#include "src/kvs/ir_model.h"
+#include "src/kvs/memtable.h"
+#include "src/kvs/wal.h"
+#include "src/watchdog/context.h"
+
+namespace {
+
+// The inert hook: the cost every instrumented site pays when no checker is
+// armed — the number that must be ~zero for pervasive instrumentation.
+void BM_HookFire_Unarmed(benchmark::State& state) {
+  wdg::HookSite site("kvs.flusher.write");
+  int64_t sink = 0;
+  for (auto _ : state) {
+    site.Fire([&](wdg::CheckContext&) { ++sink; });
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_HookFire_Unarmed);
+
+// The armed hook: one-way context replication of two values.
+void BM_HookFire_Armed(benchmark::State& state) {
+  wdg::HookSite site("kvs.flusher.write");
+  wdg::CheckContext ctx("flush_ctx");
+  site.Arm(&ctx);
+  int64_t i = 0;
+  for (auto _ : state) {
+    site.Fire([&](wdg::CheckContext& c) {
+      c.Set("file", std::string("/sst/000042.sst"));
+      c.Set("entries", ++i);
+      c.MarkReady(i);
+    });
+  }
+}
+BENCHMARK(BM_HookFire_Armed);
+
+void BM_ContextSnapshot(benchmark::State& state) {
+  wdg::CheckContext ctx("c");
+  for (int i = 0; i < 8; ++i) {
+    ctx.Set(wdg::StrFormat("key%d", i), std::string("some value"));
+  }
+  for (auto _ : state) {
+    auto snapshot = ctx.Snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_ContextSnapshot);
+
+// Fault-site gate on the hot path with no faults active.
+void BM_FaultSite_NoFault(benchmark::State& state) {
+  wdg::FaultInjector injector(wdg::RealClock::Instance());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.OnSite("disk.write"));
+  }
+}
+BENCHMARK(BM_FaultSite_NoFault);
+
+void BM_Crc32_4K(benchmark::State& state) {
+  const std::string block(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wdg::Crc32(block));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Crc32_4K);
+
+void BM_MemtableSet(benchmark::State& state) {
+  kvs::Memtable table;
+  int64_t i = 0;
+  for (auto _ : state) {
+    table.Set(wdg::StrFormat("key%04lld", static_cast<long long>(i++ % 1024)),
+              "value-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  }
+}
+BENCHMARK(BM_MemtableSet);
+
+void BM_WalFrameRecord(benchmark::State& state) {
+  const std::string record(128, 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvs::Wal::FrameRecord(record));
+  }
+}
+BENCHMARK(BM_WalFrameRecord);
+
+// The whole AutoWatchdog analysis pipeline (reduce + infer + plan) on the
+// full kvs module — the offline generation cost.
+void BM_AutoWatchdog_AnalyzeKvs(benchmark::State& state) {
+  kvs::KvsOptions options;
+  options.node_id = "kvs1";
+  options.followers = {"kvs2", "kvs3"};
+  const awd::Module module = kvs::DescribeIr(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(awd::Analyze(module));
+  }
+}
+BENCHMARK(BM_AutoWatchdog_AnalyzeKvs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// AutoWatchdog facade (§4.2): the full generation pipeline.
+//
+//   IR module ──reduce──▶ ReducedProgram ──infer──▶ HookPlan
+//        │                      │                      │
+//        │                      ▼                      ▼
+//        │               GeneratedCheckers      hooks armed in P
+//        └──────────── registered with the WatchdogDriver ─────────▶ runs
+//
+// "AutoWatchdog provides a generic watchdog driver and checker recipes for
+//  scaffolding. ... All the generated checkers will be added to the watchdog
+//  driver, which manages the checker executions at runtime. In the end,
+//  AutoWatchdog instruments the main program with the watchdog hooks and
+//  packages the watchdog driver including the checkers into the original
+//  software."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/autowd/codegen.h"
+#include "src/autowd/context_infer.h"
+#include "src/autowd/reduce.h"
+#include "src/autowd/synth.h"
+#include "src/watchdog/driver.h"
+
+namespace awd {
+
+struct GenerationReport {
+  ReducedProgram program;
+  HookPlan plan;
+  std::vector<std::string> checker_names;
+  int hooks_armed = 0;
+  int ops_without_executor = 0;  // reduced ops the runtime can't mimic (yet)
+};
+
+struct GenerationOptions {
+  ReducerOptions reducer;
+  wdg::CheckerOptions checker;
+};
+
+// Runs the whole pipeline against a live system: reduces `module`, arms the
+// planned hooks on `hooks` (the system's HookSet), and registers one
+// GeneratedChecker per reduced function with `driver`. `registry` must
+// outlive the driver.
+GenerationReport Generate(const Module& module, wdg::HookSet& hooks,
+                          const OpExecutorRegistry& registry, wdg::WatchdogDriver& driver,
+                          GenerationOptions options = {});
+
+// Analysis-only variant (no live system): reduce + plan, for inspection.
+GenerationReport Analyze(const Module& module, ReducerOptions options = {});
+
+// Instrumentation drift guard: hook sites the plan armed that the running
+// program has never fired. After a representative workload, a non-empty
+// result means the IR model and the code have diverged (the §4 maintenance
+// concern: "the watchdog needs to be kept consistent with the main program
+// as the software evolves"). Sites whose context never became ready are
+// still reported — that's the point.
+std::vector<std::string> UnfiredHooks(const HookPlan& plan, wdg::HookSet& hooks);
+
+}  // namespace awd

@@ -1,0 +1,24 @@
+// Codegen: renders generated checkers as human-readable C++-like source
+// (the Figure 3 view) and reduction walks as annotated listings (the
+// Figure 2 view). Used by docs, the Figure 2/3 benches, and golden tests.
+#pragma once
+
+#include <string>
+
+#include "src/autowd/context_infer.h"
+#include "src/autowd/reduce.h"
+#include "src/ir/ir.h"
+
+namespace awd {
+
+// Figure 3: the reduced function + invoke wrapper + context-factory plumbing.
+std::string EmitCheckerSource(const ReducedFunction& fn, const HookPlan& plan);
+
+// Figure 2: the origin listing with keep/drop margins and hook insertions.
+std::string EmitReductionTrace(const Module& module, const ReducedProgram& program,
+                               const HookPlan& plan);
+
+// One-paragraph summary of a reduction (counts) for logs and benches.
+std::string SummarizeReduction(const ReducedProgram& program);
+
+}  // namespace awd

@@ -1,0 +1,70 @@
+#include "src/autowd/context_infer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace awd {
+
+const ContextSpec* HookPlan::FindContext(const std::string& reduced_function) const {
+  for (const ContextSpec& spec : contexts) {
+    if (spec.reduced_function == reduced_function) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::string HookSiteName(const std::string& function, int instr_id) {
+  return wdg::StrFormat("%s:%d", function.c_str(), instr_id);
+}
+
+HookPlan InferContexts(const ReducedProgram& program) {
+  HookPlan plan;
+  for (const ReducedFunction& fn : program.functions) {
+    ContextSpec spec;
+    spec.context_name = fn.origin + "_ctx";
+    spec.reduced_function = fn.name;
+
+    // Variables = union of every retained op's args, in first-use order.
+    std::set<std::string> seen;
+    for (const ReducedOp& op : fn.ops) {
+      for (const std::string& arg : op.args) {
+        if (seen.insert(arg).second) {
+          spec.variables.push_back(arg);
+        }
+      }
+    }
+
+    // One hook per origin function, before its first contributed op, capturing
+    // the args of all ops that origin contributes.
+    std::map<std::string, HookPoint> per_origin;
+    for (const ReducedOp& op : fn.ops) {
+      auto [it, inserted] = per_origin.try_emplace(op.origin_function);
+      HookPoint& point = it->second;
+      if (inserted) {
+        point.function = op.origin_function;
+        point.before_instr_id = op.origin_instr_id;
+        point.hook_site = HookSiteName(op.origin_function, op.origin_instr_id);
+        point.context_name = spec.context_name;
+      }
+      point.before_instr_id = std::min(point.before_instr_id, op.origin_instr_id);
+      point.hook_site = HookSiteName(point.function, point.before_instr_id);
+      for (const std::string& arg : op.args) {
+        if (std::find(point.capture.begin(), point.capture.end(), arg) ==
+            point.capture.end()) {
+          point.capture.push_back(arg);
+        }
+      }
+    }
+    for (auto& [_, point] : per_origin) {
+      plan.points.push_back(std::move(point));
+    }
+    plan.contexts.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+}  // namespace awd

@@ -1,0 +1,52 @@
+// Context inference + hook planning (§4.1):
+//
+// "C at this point cannot be directly executed due to uninitialized variables
+//  or parameters. So we further analyze the context required for the
+//  execution of C. A context factory with APIs for W to manage the dependent
+//  context of C will be generated. ... Finally, we insert context API hooks
+//  in P to synchronize state."
+//
+// For each reduced function this pass computes the variables its ops consume
+// (the context spec) and where in P a hook must fire to capture them: right
+// before the first retained op contributed by each origin function — exactly
+// where Figure 2 inserts `ContextFactory.serializeSnapshot_reduced_args_setter`
+// between lines 19 and 20.
+//
+// Hook sites are named "<function>:<instr_id>"; the monitored systems fire a
+// HookSite with that name at the matching code point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/autowd/reduce.h"
+
+namespace awd {
+
+struct ContextSpec {
+  std::string context_name;  // "<origin>_ctx"
+  std::string reduced_function;
+  std::vector<std::string> variables;  // everything the reduced ops consume
+};
+
+struct HookPoint {
+  std::string function;        // origin function in P
+  int before_instr_id = 0;     // hook fires immediately before this instr
+  std::string hook_site;       // "<function>:<instr_id>"
+  std::string context_name;    // context this hook populates
+  std::vector<std::string> capture;  // variables captured at this point
+};
+
+struct HookPlan {
+  std::vector<ContextSpec> contexts;
+  std::vector<HookPoint> points;
+
+  const ContextSpec* FindContext(const std::string& reduced_function) const;
+};
+
+// Canonical hook-site naming shared by the analysis and the runtimes.
+std::string HookSiteName(const std::string& function, int instr_id);
+
+HookPlan InferContexts(const ReducedProgram& program);
+
+}  // namespace awd

@@ -1,0 +1,103 @@
+#include "src/autowd/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace awd {
+
+bool RangeInvariant::Holds(double value, double tolerance) const {
+  const double scale = std::max({std::fabs(min), std::fabs(max), 1.0});
+  const double slack = tolerance * scale;
+  return value >= min - slack && value <= max + slack;
+}
+
+std::string RangeInvariant::ToString() const {
+  return wdg::StrFormat("%s in [%g, %g] (%lld samples)", variable.c_str(), min, max,
+                        static_cast<long long>(samples));
+}
+
+void InvariantMiner::Observe() {
+  if (!context_.ready()) {
+    return;
+  }
+  const auto snapshot = context_.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observations_;
+  for (const auto& [key, value] : snapshot) {
+    double numeric;
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      numeric = static_cast<double>(*i);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      numeric = *d;
+    } else {
+      continue;  // only numeric invariants are mined
+    }
+    auto [it, inserted] = ranges_.try_emplace(key);
+    RangeInvariant& inv = it->second;
+    if (inserted) {
+      inv.variable = key;
+      inv.min = numeric;
+      inv.max = numeric;
+    } else {
+      inv.min = std::min(inv.min, numeric);
+      inv.max = std::max(inv.max, numeric);
+    }
+    ++inv.samples;
+  }
+}
+
+std::vector<RangeInvariant> InvariantMiner::Invariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RangeInvariant> out;
+  out.reserve(ranges_.size());
+  for (const auto& [_, inv] : ranges_) {
+    out.push_back(inv);
+  }
+  return out;
+}
+
+int64_t InvariantMiner::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+std::unique_ptr<wdg::Checker> MakeInvariantChecker(
+    std::string name, std::string component, const wdg::CheckContext* context,
+    std::shared_ptr<InvariantMiner> miner, double tolerance, int64_t min_training_samples,
+    wdg::CheckerOptions options) {
+  const std::string component_copy = component;
+  return std::make_unique<wdg::MimicChecker>(
+      std::move(name), std::move(component),
+      const_cast<wdg::CheckContext*>(context),  // read-only use; gating only
+      [miner, tolerance, min_training_samples, component_copy](
+          const wdg::CheckContext& ctx, wdg::MimicChecker& self) -> wdg::CheckResult {
+        if (miner->observations() < min_training_samples) {
+          // Still training: keep learning, never judge.
+          miner->Observe();
+          return wdg::CheckResult::Skipped();
+        }
+        for (const RangeInvariant& inv : miner->Invariants()) {
+          const auto value = ctx.GetDouble(inv.variable);
+          if (!value.has_value()) {
+            continue;
+          }
+          if (!inv.Holds(*value, tolerance)) {
+            wdg::SourceLocation loc;
+            loc.component = component_copy;
+            loc.function = "invariant:" + inv.variable;
+            return wdg::CheckResult::Fail(self.MakeSignature(
+                wdg::FailureType::kSafetyViolation, loc, wdg::StatusCode::kInternal,
+                wdg::StrFormat("invariant violated: %s but observed %g",
+                               inv.ToString().c_str(), *value),
+                ctx.Dump()));
+          }
+        }
+        miner->Observe();  // healthy samples keep refining the model
+        return wdg::CheckResult::Pass();
+      },
+      options);
+}
+
+}  // namespace awd

@@ -1,0 +1,65 @@
+// Semantic checks via dynamic invariant inference (§5.1 future work):
+//
+//   "Currently, we catch failure signatures from a reduced code snippet
+//    through generic checks based on the types of operations. This works
+//    well for liveness issues and common safety violations, but the watchdog
+//    could benefit from incorporating more semantic checks."
+//
+// In the spirit of Daikon/InvGen (§6), the InvariantMiner observes a
+// context's numeric values while the system is healthy (the training window)
+// and infers range invariants; MakeInvariantChecker then turns them into a
+// mimic-type semantic checker that flags values violating the learned bounds
+// (with a configurable tolerance band so normal growth doesn't alarm).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/context.h"
+
+namespace awd {
+
+struct RangeInvariant {
+  std::string variable;
+  double min = 0;
+  double max = 0;
+  int64_t samples = 0;
+
+  // The checked bounds: [min - slack, max + slack] where
+  // slack = tolerance * max(|min|, |max|, 1).
+  bool Holds(double value, double tolerance) const;
+  std::string ToString() const;
+};
+
+class InvariantMiner {
+ public:
+  explicit InvariantMiner(const wdg::CheckContext& context) : context_(context) {}
+
+  // Samples the context's current numeric values (ints and doubles); call
+  // periodically during the healthy training window. No-op until the context
+  // is ready.
+  void Observe();
+
+  std::vector<RangeInvariant> Invariants() const;
+  int64_t observations() const;
+
+ private:
+  const wdg::CheckContext& context_;
+  mutable std::mutex mu_;
+  std::map<std::string, RangeInvariant> ranges_;
+  int64_t observations_ = 0;
+};
+
+// A mimic-type semantic checker over the mined invariants. Requires at least
+// `min_training_samples` observations before it starts judging (otherwise it
+// reports context-not-ready — under-trained invariants would be noise).
+std::unique_ptr<wdg::Checker> MakeInvariantChecker(
+    std::string name, std::string component, const wdg::CheckContext* context,
+    std::shared_ptr<InvariantMiner> miner, double tolerance = 0.5,
+    int64_t min_training_samples = 10, wdg::CheckerOptions options = {});
+
+}  // namespace awd

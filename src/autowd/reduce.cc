@@ -1,0 +1,137 @@
+#include "src/autowd/reduce.h"
+
+#include <algorithm>
+#include <set>
+
+namespace awd {
+
+Reducer::Reducer(const Module& module, ReducerOptions options)
+    : module_(module), options_(std::move(options)) {}
+
+void Reducer::Visit(const Function& fn, bool whole_body, int depth,
+                    std::vector<std::string>& stack, std::vector<ReducedOp>& out,
+                    ReductionStats& stats) const {
+  if (depth > options_.max_call_depth) {
+    return;
+  }
+  // Recursion guard: a function already on the call stack is not re-entered
+  // (Figure 2's serializeNode recurses into itself; one pass suffices for W).
+  if (std::find(stack.begin(), stack.end(), fn.name) != stack.end()) {
+    return;
+  }
+  stack.push_back(fn.name);
+  ++stats.functions_visited;
+
+  for (const int id : ContinuousInstrs(fn, whole_body)) {
+    const Instr* instr = fn.FindInstr(id);
+    if (instr == nullptr) {
+      continue;
+    }
+    ++stats.instrs_walked;
+    if (instr->kind == OpKind::kCall) {
+      const Function* callee = module_.GetFunction(instr->callee);
+      if (callee != nullptr) {
+        // "keep following the callees" — a callee entered from a continuous
+        // region is itself continuously executed, so take its whole body.
+        Visit(*callee, /*whole_body=*/true, depth + 1, stack, out, stats);
+      }
+      continue;
+    }
+    if (!options_.policy.IsVulnerable(*instr)) {
+      continue;  // logically deterministic / benign: excluded from W
+    }
+    ++stats.vulnerable_found;
+    ReducedOp op;
+    op.kind = instr->kind;
+    op.site = instr->site;
+    op.origin_function = fn.name;
+    op.origin_instr_id = instr->id;
+    op.component = fn.component;
+    op.args = instr->args;
+    op.label = instr->label;
+    out.push_back(std::move(op));
+  }
+  stack.pop_back();
+}
+
+ReducedFunction Reducer::ReduceRoot(const std::string& root) const {
+  ReductionStats throwaway;
+  ReducedFunction reduced;
+  const Function* fn = module_.GetFunction(root);
+  if (fn == nullptr) {
+    return reduced;
+  }
+  reduced.name = root + "_reduced";
+  reduced.origin = root;
+  reduced.component = fn->component;
+  std::vector<std::string> stack;
+  Visit(*fn, /*whole_body=*/false, 0, stack, reduced.ops, throwaway);
+  reduced.instrs_walked = throwaway.instrs_walked;
+
+  if (options_.dedup_similar) {
+    // "removing similar vulnerable operations": one op per (kind, site).
+    std::set<std::pair<OpKind, std::string>> seen;
+    std::vector<ReducedOp> unique;
+    for (ReducedOp& op : reduced.ops) {
+      if (seen.insert({op.kind, op.site}).second) {
+        unique.push_back(std::move(op));
+      }
+    }
+    reduced.ops = std::move(unique);
+  }
+  return reduced;
+}
+
+ReducedProgram Reducer::Reduce() const {
+  ReducedProgram program;
+  program.module_name = module_.name();
+
+  // Tracks (origin_function, instr) claims across roots for global reduction.
+  std::set<std::pair<std::string, int>> claimed;
+
+  for (const std::string& root : LongRunningRoots(module_)) {
+    const Function* fn = module_.GetFunction(root);
+    if (fn == nullptr) {
+      continue;
+    }
+    ++program.stats.roots;
+
+    ReducedFunction reduced;
+    reduced.name = root + "_reduced";
+    reduced.origin = root;
+    reduced.component = fn->component;
+    std::vector<std::string> stack;
+    std::vector<ReducedOp> raw;
+    ReductionStats local;
+    Visit(*fn, /*whole_body=*/false, 0, stack, raw, local);
+    reduced.instrs_walked = local.instrs_walked;
+    program.stats.functions_visited += local.functions_visited;
+    program.stats.instrs_walked += local.instrs_walked;
+    program.stats.vulnerable_found += local.vulnerable_found;
+
+    std::set<std::pair<OpKind, std::string>> similar_seen;
+    for (ReducedOp& op : raw) {
+      if (options_.dedup_similar &&
+          !similar_seen.insert({op.kind, op.site}).second) {
+        ++program.stats.deduped_similar;
+        continue;
+      }
+      if (options_.global_dedup &&
+          !claimed.insert({op.origin_function, op.origin_instr_id}).second) {
+        // Another root's checker already exercises this exact op.
+        ++program.stats.deduped_global;
+        continue;
+      }
+      reduced.ops.push_back(std::move(op));
+    }
+    if (!reduced.ops.empty()) {
+      program.functions.push_back(std::move(reduced));
+    }
+  }
+  for (const ReducedFunction& fn : program.functions) {
+    program.stats.ops_retained += static_cast<int>(fn.ops.size());
+  }
+  return program;
+}
+
+}  // namespace awd

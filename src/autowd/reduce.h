@@ -1,0 +1,85 @@
+// Program logic reduction (§4.1) — the core technique of AutoWatchdog.
+//
+// Given a module P, derive a reduced but representative W:
+//   1. start from the long-running regions (continuous execution only;
+//      initialization is excluded);
+//   2. retain only operations vulnerable to production faults (I/O, sync,
+//      resource, communication — plus developer annotations);
+//   3. follow call chains (Figure 2: serializeSnapshot → serialize →
+//      serializeNode → writeRecord), inlining callees' vulnerable ops;
+//   4. remove similar vulnerable operations (one write() stands for a loop
+//      of writes) and perform a global reduction across call chains.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/analysis.h"
+#include "src/ir/ir.h"
+
+namespace awd {
+
+// One retained vulnerable operation, with its provenance for pinpointing.
+struct ReducedOp {
+  OpKind kind = OpKind::kCompute;
+  std::string site;             // runtime op-executor / fault site
+  std::string origin_function;  // where in P this op lives
+  int origin_instr_id = 0;
+  std::string component;
+  std::vector<std::string> args;  // context variables the op consumes
+  std::string label;
+};
+
+// The reduced version of one long-running region (cf. Figure 3's
+// serializeSnapshot_reduced).
+struct ReducedFunction {
+  std::string name;       // "<root>_reduced"
+  std::string origin;     // root function in P
+  std::string component;
+  std::vector<ReducedOp> ops;
+  int instrs_walked = 0;  // how much of P this region covered (for Figure 2 stats)
+};
+
+struct ReductionStats {
+  int roots = 0;
+  int functions_visited = 0;
+  int instrs_walked = 0;
+  int vulnerable_found = 0;
+  int deduped_similar = 0;  // removed as "similar vulnerable operation"
+  int deduped_global = 0;   // removed by global reduction along call chains
+  int ops_retained = 0;
+};
+
+struct ReducedProgram {
+  std::string module_name;
+  std::vector<ReducedFunction> functions;
+  ReductionStats stats;
+};
+
+struct ReducerOptions {
+  VulnerabilityPolicy policy;
+  bool dedup_similar = true;  // ablation knob (bench_ablations)
+  bool global_dedup = true;
+  int max_call_depth = 16;
+};
+
+class Reducer {
+ public:
+  explicit Reducer(const Module& module, ReducerOptions options = {});
+
+  // Reduces every long-running root of the module.
+  ReducedProgram Reduce() const;
+
+  // Reduces a single function as if it were a root (tests / Figure 2 demo).
+  ReducedFunction ReduceRoot(const std::string& root) const;
+
+ private:
+  void Visit(const Function& fn, bool whole_body, int depth,
+             std::vector<std::string>& stack, std::vector<ReducedOp>& out,
+             ReductionStats& stats) const;
+
+  const Module& module_;
+  ReducerOptions options_;
+};
+
+}  // namespace awd

@@ -1,0 +1,33 @@
+// Failure reproduction (§5.2 "Opportunities"):
+//
+// "Since mimic-type watchdogs not only isolate the faulty code regions but
+//  also capture the failure-inducing context (e.g., a corrupt message),
+//  developers can leverage the recorded information for failure reproduction
+//  and postmortem analysis."
+//
+// ReplayFailure takes a recorded FailureSignature, restores the captured
+// context, finds the reduced op the signature pinpoints, and re-executes it
+// through the same op-executor registry — answering "does this failure still
+// reproduce?" without re-running the whole system workload.
+#pragma once
+
+#include <string>
+
+#include "src/autowd/reduce.h"
+#include "src/autowd/synth.h"
+#include "src/watchdog/failure.h"
+
+namespace awd {
+
+struct ReplayResult {
+  bool op_found = false;       // the pinpointed op exists in the program
+  wdg::Status op_status;       // what the op did on replay
+  bool reproduced = false;     // replay failed with the same status code
+};
+
+// `program` must be the ReducedProgram the original checker was generated
+// from (regenerate it with Analyze() — reduction is deterministic).
+ReplayResult ReplayFailure(const wdg::FailureSignature& signature,
+                           const ReducedProgram& program, const OpExecutorRegistry& registry);
+
+}  // namespace awd

@@ -1,0 +1,82 @@
+#include "src/autowd/synth.h"
+
+#include "src/common/strings.h"
+
+namespace awd {
+
+void OpExecutorRegistry::Register(std::string site_pattern, ExecutorFn executor) {
+  entries_.emplace_back(std::move(site_pattern), std::move(executor));
+}
+
+bool OpExecutorRegistry::HasExecutorFor(const std::string& site) const {
+  for (const auto& [pattern, _] : entries_) {
+    if (wdg::SitePatternMatches(pattern, site)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+wdg::Status OpExecutorRegistry::Execute(const ReducedOp& op, const wdg::CheckContext& ctx,
+                                        const std::string& checker_name) const {
+  for (const auto& [pattern, executor] : entries_) {
+    if (wdg::SitePatternMatches(pattern, op.site)) {
+      return executor(op, ctx, checker_name);
+    }
+  }
+  return wdg::UnimplementedError(
+      wdg::StrFormat("no op executor for site '%s'", op.site.c_str()));
+}
+
+wdg::FailureType ClassifyOpFailure(wdg::StatusCode code) {
+  switch (code) {
+    case wdg::StatusCode::kTimeout:
+      return wdg::FailureType::kLivenessTimeout;
+    case wdg::StatusCode::kCorruption:
+      return wdg::FailureType::kSafetyViolation;
+    default:
+      return wdg::FailureType::kOperationError;
+  }
+}
+
+GeneratedChecker::GeneratedChecker(ReducedFunction reduced, wdg::CheckContext* context,
+                                   const OpExecutorRegistry* registry,
+                                   wdg::CheckerOptions options)
+    : Checker(reduced.name, reduced.component, wdg::CheckerType::kMimic, options),
+      reduced_(std::move(reduced)), context_(context), registry_(registry) {}
+
+wdg::CheckResult GeneratedChecker::Check() {
+  if (context_ != nullptr && !context_->ready()) {
+    return wdg::CheckResult::NotReady();  // "LOG.debug(checker context not ready)"
+  }
+  static const wdg::CheckContext kEmpty{"<none>"};
+  const wdg::CheckContext& ctx = context_ != nullptr ? *context_ : kEmpty;
+
+  for (const ReducedOp& op : reduced_.ops) {
+    // Publish provenance before executing: if the op hangs and the driver
+    // declares us dead, this is the pinpoint it reports.
+    wdg::SourceLocation loc;
+    loc.component = op.component;
+    loc.function = op.origin_function;
+    loc.op_site = op.site;
+    loc.instr_id = op.origin_instr_id;
+    SetCurrentOp(loc);
+
+    const wdg::Status status = registry_->Execute(op, ctx, name());
+    if (status.code() == wdg::StatusCode::kUnimplemented) {
+      ++ops_skipped_;
+      continue;
+    }
+    ++ops_executed_;
+    if (!status.ok()) {
+      return wdg::CheckResult::Fail(MakeSignature(
+          ClassifyOpFailure(status.code()), loc, status.code(),
+          wdg::StrFormat("mimicked op %s failed: %s", op.site.c_str(),
+                         status.ToString().c_str()),
+          ctx.Dump()));
+    }
+  }
+  return wdg::CheckResult::Pass();
+}
+
+}  // namespace awd

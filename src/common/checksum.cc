@@ -1,0 +1,39 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace wdg {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, std::string_view data) {
+  const auto& table = Table();
+  uint32_t c = crc ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Extend(0, data); }
+
+}  // namespace wdg

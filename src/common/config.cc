@@ -1,0 +1,67 @@
+#include "src/common/config.h"
+
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace wdg {
+
+void ConfigStore::Set(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = value;
+}
+
+void ConfigStore::ParseInline(std::string_view text) {
+  for (const std::string& entry : StrSplit(text, ',')) {
+    const std::string_view trimmed = StrTrim(entry);
+    if (trimmed.empty()) {
+      continue;
+    }
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      Set(std::string(trimmed), "true");
+    } else {
+      Set(std::string(StrTrim(trimmed.substr(0, eq))), std::string(StrTrim(trimmed.substr(eq + 1))));
+    }
+  }
+}
+
+std::string ConfigStore::GetString(const std::string& key, const std::string& fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+int64_t ConfigStore::GetInt(const std::string& key, int64_t fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return fallback;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ConfigStore::GetDouble(const std::string& key, double fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return fallback;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ConfigStore::GetBool(const std::string& key, bool fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return fallback;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool ConfigStore::Has(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+}  // namespace wdg

@@ -1,0 +1,33 @@
+// String-keyed configuration store with typed accessors.
+// AutoWatchdog's vulnerable-operation policy and the eval campaign parameters
+// are carried through this.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wdg {
+
+class ConfigStore {
+ public:
+  ConfigStore() = default;
+
+  void Set(const std::string& key, const std::string& value);
+
+  // Parses "a=1,b=two,c=3.5" (commas separate entries, '=' separates k/v).
+  void ParseInline(std::string_view text);
+
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+  bool Has(const std::string& key) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace wdg

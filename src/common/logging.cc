@@ -1,0 +1,86 @@
+#include "src/common/logging.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace wdg {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+const char* Basename(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path.c_str() : path.c_str() + pos + 1;
+}
+}  // namespace
+
+void StderrSink::Write(const LogRecord& record) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(record.level), Basename(record.file),
+               record.line, record.message.c_str());
+}
+
+void CaptureSink::Write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<LogRecord> CaptureSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+bool CaptureSink::Contains(const std::string& substring) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(records_.begin(), records_.end(), [&](const LogRecord& r) {
+    return r.message.find(substring) != std::string::npos;
+  });
+}
+
+void CaptureSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+Logger::Logger() : min_level_(LogLevel::kWarn) { sinks_.push_back(&stderr_sink_); }
+
+Logger& Logger::Instance() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::AddSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(sink);
+}
+
+void Logger::RemoveSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void Logger::Dispatch(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LogSink* sink : sinks_) {
+    sink->Write(record);
+  }
+}
+
+LogMessage::~LogMessage() {
+  LogRecord record{level_, file_, line_, stream_.str()};
+  Logger::Instance().Dispatch(record);
+}
+
+}  // namespace wdg

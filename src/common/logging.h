@@ -1,0 +1,105 @@
+// Minimal leveled logger with pluggable sinks.
+//
+//   WDG_LOG(kInfo) << "flushed " << n << " entries";
+//
+// Tests install a CaptureSink to assert on emitted records; the default sink
+// writes to stderr. Global min-level gating keeps disabled levels cheap.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wdg {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+const char* LogLevelName(LogLevel level);
+
+struct LogRecord {
+  LogLevel level;
+  std::string file;
+  int line;
+  std::string message;
+};
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+// Writes "[LEVEL file:line] message" to stderr.
+class StderrSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+};
+
+// Buffers records for test assertions.
+class CaptureSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+
+  std::vector<LogRecord> records() const;
+  bool Contains(const std::string& substring) const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+class Logger {
+ public:
+  // Process-wide logger. Starts with a StderrSink at kWarn so tests stay quiet
+  // unless something is actually wrong.
+  static Logger& Instance();
+
+  void set_min_level(LogLevel level) { min_level_.store(level, std::memory_order_relaxed); }
+  LogLevel min_level() const { return min_level_.load(std::memory_order_relaxed); }
+  bool Enabled(LogLevel level) const { return level >= min_level(); }
+
+  // Sinks are owned by the caller and must outlive their registration.
+  void AddSink(LogSink* sink);
+  void RemoveSink(LogSink* sink);
+
+  void Dispatch(const LogRecord& record);
+
+ private:
+  Logger();
+
+  std::atomic<LogLevel> min_level_;
+  std::mutex mu_;
+  std::vector<LogSink*> sinks_;
+  StderrSink stderr_sink_;
+};
+
+// RAII stream that dispatches on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace wdg
+
+#define WDG_LOG(level)                                            \
+  if (!::wdg::Logger::Instance().Enabled(::wdg::LogLevel::level)) \
+    ;                                                             \
+  else                                                            \
+    ::wdg::LogMessage(::wdg::LogLevel::level, __FILE__, __LINE__)

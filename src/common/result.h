@@ -1,0 +1,59 @@
+// Result<T>: value-or-Status, the companion of status.h (cf. absl::StatusOr).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace wdg {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or `return SomeError(...)`.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wdg
+
+// `WDG_ASSIGN_OR_RETURN(auto x, Foo())` — unpack or propagate the error.
+#define WDG_ASSIGN_OR_RETURN(decl, expr)              \
+  decl = ({                                           \
+    auto _wdg_result = (expr);                        \
+    if (!_wdg_result.ok()) return _wdg_result.status(); \
+    std::move(_wdg_result).value();                   \
+  })

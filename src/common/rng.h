@@ -1,0 +1,55 @@
+// Deterministic, seedable PRNG (SplitMix64 + xoshiro256**). Header-only.
+// Used everywhere randomness is needed so experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace wdg {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to decorrelate the xoshiro state words.
+    uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t s = z;
+      s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+      word = s ^ (s >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) {
+      return lo;
+    }
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % range);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace wdg

@@ -1,0 +1,86 @@
+#include "src/common/status.h"
+
+namespace wdg {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+Status TimeoutError(std::string_view msg) {
+  return Status(StatusCode::kTimeout, std::string(msg));
+}
+Status UnavailableError(std::string_view msg) {
+  return Status(StatusCode::kUnavailable, std::string(msg));
+}
+Status NotFoundError(std::string_view msg) {
+  return Status(StatusCode::kNotFound, std::string(msg));
+}
+Status CorruptionError(std::string_view msg) {
+  return Status(StatusCode::kCorruption, std::string(msg));
+}
+Status IoError(std::string_view msg) { return Status(StatusCode::kIoError, std::string(msg)); }
+Status InvalidArgumentError(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, std::string(msg));
+}
+Status ResourceExhaustedError(std::string_view msg) {
+  return Status(StatusCode::kResourceExhausted, std::string(msg));
+}
+Status AbortedError(std::string_view msg) {
+  return Status(StatusCode::kAborted, std::string(msg));
+}
+Status FailedPreconditionError(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, std::string(msg));
+}
+Status AlreadyExistsError(std::string_view msg) {
+  return Status(StatusCode::kAlreadyExists, std::string(msg));
+}
+Status InternalError(std::string_view msg) {
+  return Status(StatusCode::kInternal, std::string(msg));
+}
+Status UnimplementedError(std::string_view msg) {
+  return Status(StatusCode::kUnimplemented, std::string(msg));
+}
+
+}  // namespace wdg

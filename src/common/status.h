@@ -1,0 +1,81 @@
+// Status: the error model used across every library in this repository.
+//
+// Modelled after absl::Status / zx_status_t: cheap value type, no exceptions
+// across module boundaries. Functions that can fail return a Status (or a
+// Result<T>, see result.h) and callers branch on ok().
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wdg {
+
+// Canonical error space. Kept deliberately small; the failure *signature*
+// carried by the watchdog layer adds the richer classification.
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,             // an operation exceeded its deadline (liveness)
+  kUnavailable,         // transient: resource/peer not reachable
+  kNotFound,            // key/file/node does not exist
+  kCorruption,          // data failed an integrity check (safety)
+  kIoError,             // device-level read/write failure
+  kInvalidArgument,     // caller error
+  kResourceExhausted,   // out of memory/queue slots/file handles
+  kAborted,             // operation cancelled, e.g. during shutdown
+  kFailedPrecondition,  // system not in a state where the op is legal
+  kAlreadyExists,       // create of an existing key/file/node
+  kInternal,            // invariant violation inside a module
+  kUnimplemented,       // feature intentionally not provided
+};
+
+// Short stable name, e.g. "TIMEOUT". Never returns nullptr.
+const char* StatusCodeName(StatusCode code);
+
+// A status code plus an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "TIMEOUT: flush stalled".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Factory helpers mirroring absl's, so call sites read naturally.
+Status TimeoutError(std::string_view msg);
+Status UnavailableError(std::string_view msg);
+Status NotFoundError(std::string_view msg);
+Status CorruptionError(std::string_view msg);
+Status IoError(std::string_view msg);
+Status InvalidArgumentError(std::string_view msg);
+Status ResourceExhaustedError(std::string_view msg);
+Status AbortedError(std::string_view msg);
+Status FailedPreconditionError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status InternalError(std::string_view msg);
+Status UnimplementedError(std::string_view msg);
+
+}  // namespace wdg
+
+// Early-return plumbing for Status-returning functions.
+#define WDG_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::wdg::Status _wdg_status = (expr);          \
+    if (!_wdg_status.ok()) return _wdg_status;   \
+  } while (0)

@@ -1,0 +1,27 @@
+// Small string helpers (libstdc++ 12 lacks std::format).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdg {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Split on a delimiter; empty tokens preserved.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+// Trim ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view text);
+
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+// Glob-free prefix match used by fault-site patterns: pattern "disk.*" matches
+// any site starting with "disk.", pattern "*" matches everything, otherwise
+// exact match.
+bool SitePatternMatches(std::string_view pattern, std::string_view site);
+
+}  // namespace wdg

@@ -1,0 +1,151 @@
+// Threading primitives shared by the simulator and the monitored systems.
+// All blocking here is deadline- and shutdown-aware: nothing in this codebase
+// blocks forever unless a fault was *injected* to make it do so.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/common/clock.h"
+
+namespace wdg {
+
+// Cooperative stop signal with blocking wait.
+class StopFlag {
+ public:
+  void Request() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool Requested() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopped_;
+  }
+
+  // Returns true if stop was requested within the wait window.
+  bool WaitFor(DurationNs ns) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::nanoseconds(ns), [&] { return stopped_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+// MPMC bounded queue; Push/Pop block with timeouts and honor Shutdown.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Returns false on timeout or shutdown.
+  bool Push(T item, DurationNs timeout = Sec(3600)) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                            [&] { return shutdown_ || items_.size() < capacity_; })) {
+      return false;
+    }
+    if (shutdown_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Returns nullopt on timeout or shutdown-with-empty-queue.
+  std::optional<T> Pop(DurationNs timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                             [&] { return shutdown_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) {
+      return std::nullopt;  // shutdown
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool shutdown() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool shutdown_ = false;
+};
+
+// std::thread wrapper that joins on destruction (and never detaches).
+class JoiningThread {
+ public:
+  JoiningThread() = default;
+  template <typename F>
+  explicit JoiningThread(F&& fn) : thread_(std::forward<F>(fn)) {}
+  JoiningThread(JoiningThread&&) = default;
+  JoiningThread& operator=(JoiningThread&& other) {
+    Join();
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+  ~JoiningThread() { Join(); }
+
+  void Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+  bool joinable() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace wdg

@@ -1,0 +1,61 @@
+#include "src/detectors/api_probe.h"
+
+namespace wdg {
+
+ApiProbeDetector::ApiProbeDetector(Clock& clock, std::function<Status()> probe,
+                                   ApiProbeOptions options)
+    : clock_(clock), probe_(std::move(probe)), options_(options) {}
+
+void ApiProbeDetector::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void ApiProbeDetector::Stop() {
+  stop_.Request();
+  thread_.Join();
+  started_ = false;
+}
+
+void ApiProbeDetector::Loop() {
+  while (!stop_.WaitFor(options_.interval)) {
+    const Status status = probe_();
+    const TimeNs now = clock_.NowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sent_;
+    if (status.ok()) {
+      consecutive_failures_ = 0;
+      continue;
+    }
+    ++failed_;
+    if (++consecutive_failures_ >= options_.consecutive_failures_needed &&
+        !first_alarm_.has_value()) {
+      first_alarm_ = now;
+    }
+  }
+}
+
+bool ApiProbeDetector::Alarmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_alarm_.has_value();
+}
+
+std::optional<TimeNs> ApiProbeDetector::FirstAlarmTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_alarm_;
+}
+
+int64_t ApiProbeDetector::probes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sent_;
+}
+
+int64_t ApiProbeDetector::probes_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+}  // namespace wdg

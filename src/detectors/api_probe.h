@@ -1,0 +1,52 @@
+// ApiProbeDetector: a standalone extrinsic API prober (application spy /
+// mod_watchdog analog — Table 2, probe row, run outside the watchdog).
+// Periodically invokes a client-level probe; perfect accuracy, weak
+// completeness, process-level localization only.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/threading.h"
+
+namespace wdg {
+
+struct ApiProbeOptions {
+  DurationNs interval = Ms(50);
+  int consecutive_failures_needed = 2;  // debounce a single lost packet
+};
+
+class ApiProbeDetector {
+ public:
+  ApiProbeDetector(Clock& clock, std::function<Status()> probe, ApiProbeOptions options = {});
+  ~ApiProbeDetector() { Stop(); }
+
+  void Start();
+  void Stop();
+
+  bool Alarmed() const;
+  std::optional<TimeNs> FirstAlarmTime() const;
+  int64_t probes_sent() const;
+  int64_t probes_failed() const;
+
+ private:
+  void Loop();
+
+  Clock& clock_;
+  std::function<Status()> probe_;
+  ApiProbeOptions options_;
+  mutable std::mutex mu_;
+  int consecutive_failures_ = 0;
+  std::optional<TimeNs> first_alarm_;
+  int64_t sent_ = 0;
+  int64_t failed_ = 0;
+  StopFlag stop_;
+  JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace wdg

@@ -1,0 +1,91 @@
+#include "src/detectors/client_observer.h"
+
+namespace wdg {
+
+const char* ObserverVerdictName(ObserverVerdict verdict) {
+  switch (verdict) {
+    case ObserverVerdict::kHealthy:
+      return "healthy";
+    case ObserverVerdict::kDegraded:
+      return "degraded";
+    case ObserverVerdict::kUnhealthy:
+      return "unhealthy";
+  }
+  return "?";
+}
+
+void ClientObserver::Prune(TimeNs now) const {
+  while (!evidence_.empty() && now - evidence_.front().first > options_.window) {
+    evidence_.pop_front();
+  }
+}
+
+void ClientObserver::Record(bool ok) {
+  const TimeNs now = clock_.NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  evidence_.emplace_back(now, ok);
+  ++samples_;
+  consecutive_fails_ = ok ? 0 : consecutive_fails_ + 1;
+  Prune(now);
+  // Evaluate inline so FirstUnhealthyTime is exact.
+  int fails = 0;
+  for (const auto& [_, sample_ok] : evidence_) {
+    fails += sample_ok ? 0 : 1;
+  }
+  const bool ratio_unhealthy =
+      static_cast<int>(evidence_.size()) >= options_.min_samples &&
+      static_cast<double>(fails) / static_cast<double>(evidence_.size()) >=
+          options_.unhealthy_error_ratio;
+  const bool streak_unhealthy = consecutive_fails_ >= options_.consecutive_failures;
+  if ((ratio_unhealthy || streak_unhealthy) && !first_unhealthy_.has_value()) {
+    first_unhealthy_ = now;
+  }
+}
+
+void ClientObserver::ReportSuccess() { Record(true); }
+
+void ClientObserver::ReportFailure(StatusCode) { Record(false); }
+
+Status ClientObserver::Observe(const std::function<Status()>& op) {
+  const Status status = op();
+  Record(status.ok());
+  return status;
+}
+
+ObserverVerdict ClientObserver::Verdict() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Prune(clock_.NowNs());
+  if (evidence_.empty()) {
+    return ObserverVerdict::kHealthy;  // everything aged out
+  }
+  if (consecutive_fails_ >= options_.consecutive_failures) {
+    return ObserverVerdict::kUnhealthy;
+  }
+  if (static_cast<int>(evidence_.size()) < options_.min_samples) {
+    return ObserverVerdict::kHealthy;
+  }
+  int fails = 0;
+  for (const auto& [_, ok] : evidence_) {
+    fails += ok ? 0 : 1;
+  }
+  const double ratio = static_cast<double>(fails) / static_cast<double>(evidence_.size());
+  if (ratio >= options_.unhealthy_error_ratio) {
+    return ObserverVerdict::kUnhealthy;
+  }
+  if (ratio >= options_.degraded_error_ratio) {
+    return ObserverVerdict::kDegraded;
+  }
+  return ObserverVerdict::kHealthy;
+}
+
+std::optional<TimeNs> ClientObserver::FirstUnhealthyTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_unhealthy_;
+}
+
+int64_t ClientObserver::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+}  // namespace wdg

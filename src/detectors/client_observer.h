@@ -1,0 +1,64 @@
+// ClientObserver: a Panorama-style in-situ observer (§1). Every requester of
+// the monitored process reports evidence from its request path; the observer
+// aggregates a sliding-window verdict. It can catch failures that surface on
+// request paths, but "cannot identify why the failure occurs or isolate which
+// part of the failing process is problematic" — its localization stops at the
+// process level.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace wdg {
+
+enum class ObserverVerdict { kHealthy, kDegraded, kUnhealthy };
+
+const char* ObserverVerdictName(ObserverVerdict verdict);
+
+struct ClientObserverOptions {
+  DurationNs window = Sec(1);
+  int min_samples = 3;
+  double unhealthy_error_ratio = 0.5;
+  double degraded_error_ratio = 0.2;
+  // Negative evidence dominates (a la Panorama): this many failures in a row
+  // flips the verdict regardless of older successes in the window.
+  int consecutive_failures = 3;
+};
+
+class ClientObserver {
+ public:
+  ClientObserver(Clock& clock, ClientObserverOptions options = {})
+      : clock_(clock), options_(options) {}
+
+  // Evidence from a requester's path.
+  void ReportSuccess();
+  void ReportFailure(StatusCode code);
+
+  // Wraps a client operation, recording its outcome as evidence.
+  Status Observe(const std::function<Status()>& op);
+
+  ObserverVerdict Verdict() const;
+  // First time the verdict crossed to kUnhealthy (never reset; latency metric).
+  std::optional<TimeNs> FirstUnhealthyTime() const;
+  int64_t samples() const;
+
+ private:
+  void Prune(TimeNs now) const;
+  void Record(bool ok);
+
+  Clock& clock_;
+  ClientObserverOptions options_;
+  mutable std::mutex mu_;
+  mutable std::deque<std::pair<TimeNs, bool>> evidence_;
+  std::optional<TimeNs> first_unhealthy_;
+  int64_t samples_ = 0;
+  int consecutive_fails_ = 0;
+};
+
+}  // namespace wdg

@@ -1,0 +1,74 @@
+#include "src/detectors/heartbeat.h"
+
+namespace wdg {
+
+HeartbeatDetector::HeartbeatDetector(Clock& clock, SimNet& net,
+                                     HeartbeatDetectorOptions options)
+    : clock_(clock), net_(net), options_(std::move(options)) {
+  endpoint_ = net_.CreateEndpoint(options_.monitor_id);
+}
+
+void HeartbeatDetector::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void HeartbeatDetector::Stop() {
+  stop_.Request();
+  thread_.Join();
+  started_ = false;
+}
+
+void HeartbeatDetector::Track(const NodeId& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracked_[node].last_beat = clock_.NowNs();
+}
+
+void HeartbeatDetector::Loop() {
+  while (!stop_.Requested()) {
+    // Drain arriving heartbeats.
+    while (auto msg = endpoint_->Recv(0)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = tracked_.find(msg->payload.empty() ? msg->src : msg->payload);
+      if (it != tracked_.end()) {
+        it->second.last_beat = clock_.NowNs();
+        it->second.suspected_at.reset();  // a beat rescinds suspicion
+        ++beats_;
+      }
+    }
+    // Evaluate suspicion.
+    {
+      const TimeNs now = clock_.NowNs();
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [node, state] : tracked_) {
+        if (!state.suspected_at.has_value() &&
+            now - state.last_beat > options_.suspicion_timeout) {
+          state.suspected_at = now;
+        }
+      }
+    }
+    stop_.WaitFor(options_.poll);
+  }
+}
+
+bool HeartbeatDetector::Suspects(const NodeId& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracked_.find(node);
+  return it != tracked_.end() && it->second.suspected_at.has_value();
+}
+
+std::optional<TimeNs> HeartbeatDetector::SuspectTime(const NodeId& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tracked_.find(node);
+  return it == tracked_.end() ? std::nullopt : it->second.suspected_at;
+}
+
+int64_t HeartbeatDetector::heartbeats_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return beats_;
+}
+
+}  // namespace wdg

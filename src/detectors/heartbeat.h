@@ -1,0 +1,61 @@
+// HeartbeatDetector: the classic extrinsic crash failure detector (Table 1,
+// row 1). A monitored process is "working" as long as heartbeats keep
+// arriving — which is exactly why this detector reports gray-failing
+// processes as healthy (§1).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/threading.h"
+#include "src/sim/sim_net.h"
+
+namespace wdg {
+
+struct HeartbeatDetectorOptions {
+  NodeId monitor_id = "monitor";
+  DurationNs suspicion_timeout = Ms(150);  // ~3-6 missed beats
+  DurationNs poll = Ms(5);
+};
+
+class HeartbeatDetector {
+ public:
+  HeartbeatDetector(Clock& clock, SimNet& net, HeartbeatDetectorOptions options = {});
+  ~HeartbeatDetector() { Stop(); }
+
+  void Start();
+  void Stop();
+
+  // Expect heartbeats from `node` starting now; suspicion clock begins.
+  void Track(const NodeId& node);
+
+  bool Suspects(const NodeId& node) const;
+  // When the node was first suspected (for detection-latency measurement).
+  std::optional<TimeNs> SuspectTime(const NodeId& node) const;
+  int64_t heartbeats_seen() const;
+
+ private:
+  struct Tracked {
+    TimeNs last_beat = 0;
+    std::optional<TimeNs> suspected_at;
+  };
+
+  void Loop();
+
+  Clock& clock_;
+  SimNet& net_;
+  HeartbeatDetectorOptions options_;
+  Endpoint* endpoint_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Tracked> tracked_;
+  int64_t beats_ = 0;
+  StopFlag stop_;
+  JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace wdg

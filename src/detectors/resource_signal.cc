@@ -1,0 +1,61 @@
+#include "src/detectors/resource_signal.h"
+
+namespace wdg {
+
+ResourceSignalDetector::ResourceSignalDetector(Clock& clock, MetricsRegistry& metrics,
+                                               ResourceSignalOptions options)
+    : clock_(clock), metrics_(metrics), options_(options) {}
+
+void ResourceSignalDetector::AddRule(SignalRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{std::move(rule), 0, false});
+}
+
+void ResourceSignalDetector::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void ResourceSignalDetector::Stop() {
+  stop_.Request();
+  thread_.Join();
+  started_ = false;
+}
+
+void ResourceSignalDetector::Loop() {
+  while (!stop_.WaitFor(options_.poll)) {
+    const TimeNs now = clock_.NowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (RuleState& state : rules_) {
+      const double value = metrics_.GetGauge(state.rule.metric)->Value();
+      if (state.rule.healthy(value)) {
+        state.violations = 0;
+        state.alarmed = false;  // re-arm after recovery
+        continue;
+      }
+      if (++state.violations >= state.rule.consecutive_needed && !state.alarmed) {
+        state.alarmed = true;
+        state.violations = 0;
+        alarms_.push_back(SignalAlarm{state.rule.name, value, now});
+      }
+    }
+  }
+}
+
+std::vector<SignalAlarm> ResourceSignalDetector::Alarms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alarms_;
+}
+
+std::optional<TimeNs> ResourceSignalDetector::FirstAlarmTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (alarms_.empty()) {
+    return std::nullopt;
+  }
+  return alarms_.front().at;
+}
+
+}  // namespace wdg

@@ -1,0 +1,68 @@
+// ResourceSignalDetector: a Linux-watchdogd-style health-indicator monitor
+// (Table 2, signal row). Watches exported metrics against threshold rules;
+// modest completeness, weak accuracy (a full queue often just means load).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/threading.h"
+
+namespace wdg {
+
+struct SignalRule {
+  std::string name;         // rule label for alarms
+  std::string metric;       // gauge/counter name in the registry
+  std::function<bool(double)> healthy;
+  int consecutive_needed = 3;
+};
+
+struct SignalAlarm {
+  std::string rule;
+  double value = 0;
+  TimeNs at = 0;
+};
+
+struct ResourceSignalOptions {
+  DurationNs poll = Ms(20);
+};
+
+class ResourceSignalDetector {
+ public:
+  ResourceSignalDetector(Clock& clock, MetricsRegistry& metrics,
+                         ResourceSignalOptions options = {});
+  ~ResourceSignalDetector() { Stop(); }
+
+  void AddRule(SignalRule rule);
+  void Start();
+  void Stop();
+
+  std::vector<SignalAlarm> Alarms() const;
+  std::optional<TimeNs> FirstAlarmTime() const;
+
+ private:
+  struct RuleState {
+    SignalRule rule;
+    int violations = 0;
+    bool alarmed = false;
+  };
+
+  void Loop();
+
+  Clock& clock_;
+  MetricsRegistry& metrics_;
+  ResourceSignalOptions options_;
+  mutable std::mutex mu_;
+  std::vector<RuleState> rules_;
+  std::vector<SignalAlarm> alarms_;
+  StopFlag stop_;
+  JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace wdg

@@ -1,0 +1,212 @@
+#include "src/eval/scenario.h"
+
+namespace wdg {
+
+namespace {
+
+Scenario Control(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  s.description = "fault-free control run";
+  s.fault_free = true;
+  return s;
+}
+
+FaultSpec Fault(const std::string& id, const std::string& pattern, FaultKind kind) {
+  FaultSpec f;
+  f.id = id;
+  f.site_pattern = pattern;
+  f.kind = kind;
+  return f;
+}
+
+}  // namespace
+
+std::vector<Scenario> KvsScenarioCatalog() {
+  std::vector<Scenario> catalog;
+
+  catalog.push_back(Control("control-1"));
+  catalog.push_back(Control("control-2"));
+
+  {
+    Scenario s;
+    s.name = "wal-append-hang";
+    s.description = "WAL append blocks forever (partial disk failure)";
+    s.fault = Fault("f", "disk.append", FaultKind::kHang);
+    s.true_component = "kvs.wal";
+    s.true_function = "WalAppend";
+    s.true_op_site = "disk.append";
+    s.client_visible = true;  // SETs stop acking
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "wal-fsync-error";
+    s.description = "fsync returns I/O errors (dying device)";
+    s.fault = Fault("f", "disk.fsync", FaultKind::kError);
+    s.true_component = "kvs.wal";
+    s.true_function = "WalAppend";
+    s.true_op_site = "disk.fsync";
+    s.client_visible = true;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "flush-write-error";
+    s.description = "sstable writes fail (background flusher broken)";
+    s.fault = Fault("f", "disk.write", FaultKind::kError);
+    s.true_component = "kvs.flusher";
+    s.true_function = "FlushMemtable";
+    s.true_op_site = "disk.write";
+    s.client_visible = false;  // memtable keeps absorbing writes
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "flush-write-lost";
+    s.description = "sstable writes silently dropped (lost write)";
+    s.fault = Fault("f", "disk.write", FaultKind::kSilentDrop);
+    s.true_component = "kvs.flusher";
+    s.true_function = "FlushMemtable";
+    s.true_op_site = "disk.write";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "flush-write-corrupt";
+    s.description = "sstable writes silently corrupted (bit rot on write path)";
+    s.fault = Fault("f", "disk.write", FaultKind::kCorruption);
+    s.true_component = "kvs.flusher";
+    s.true_function = "FlushMemtable";
+    s.true_op_site = "disk.write";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "disk-limplock";
+    s.description = "every disk op limps at 400ms (fail-slow device)";
+    s.fault = Fault("f", "disk.*", FaultKind::kDelay);
+    s.fault.delay = Ms(400);
+    s.true_component = "kvs.wal";  // first place it bites the request path
+    s.true_function = "WalAppend";
+    s.true_op_site = "disk.append";
+    s.client_visible = true;  // writes block on the WAL
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "flush-create-error";
+    s.description = "sstable creation fails; memtable grows unbounded";
+    s.fault = Fault("f", "disk.create", FaultKind::kError);
+    s.true_component = "kvs.flusher";
+    s.true_function = "FlushMemtable";
+    s.true_op_site = "disk.create";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "replication-link-hang";
+    s.description = "leader->follower link hangs (the ZK-2201 shape)";
+    s.fault = Fault("f", "net.send.kvs2", FaultKind::kHang);
+    s.true_component = "kvs.replication";
+    s.true_function = "ReplicateBatch";
+    s.true_op_site = "net.send.kvs2";
+    s.client_visible = false;  // async replication; clients keep committing
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "replication-link-error";
+    s.description = "leader->follower sends fail fast (broken route)";
+    s.fault = Fault("f", "net.send.kvs2", FaultKind::kError);
+    s.fault.error_code = StatusCode::kUnavailable;
+    s.true_component = "kvs.replication";
+    s.true_function = "ReplicateBatch";
+    s.true_op_site = "net.send.kvs2";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "indexer-busy-loop";
+    s.description = "index lookups spin forever (infinite-loop bug)";
+    s.fault = Fault("f", "index.lookup", FaultKind::kBusyLoop);
+    s.true_component = "kvs.executor";
+    s.true_function = "ApplyRequest";
+    s.true_op_site = "index.lookup";
+    s.client_visible = true;  // GETs hang
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "compaction-hang";
+    s.description = "compaction merge wedges (stuck background task)";
+    s.fault = Fault("f", "compact.merge", FaultKind::kHang);
+    s.true_component = "kvs.compaction";
+    s.true_function = "CompactTables";
+    s.true_op_site = "compact.merge";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "listener-recv-hang";
+    s.description = "request listener wedges; heartbeat thread keeps beating";
+    s.fault = Fault("f", "net.recv.kvs1", FaultKind::kHang);
+    s.true_component = "kvs.listener";
+    s.true_function = "RequestLoop";
+    s.true_op_site = "net.recv.kvs1";
+    s.client_visible = true;  // everything times out
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "partition-validate-hang";
+    s.description = "partition maintenance wedges silently";
+    s.fault = Fault("f", "kvs.partition.validate", FaultKind::kHang);
+    s.true_component = "kvs.partition";
+    s.true_function = "PartitionMaintenance";
+    s.true_op_site = "kvs.partition.validate";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "monitor-link-drop";
+    s.description = "heartbeat path drops silently; the process itself is fine";
+    s.benign = true;
+    s.fault = Fault("f", "net.send.monitor", FaultKind::kSilentDrop);
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "process-crash";
+    s.description = "fail-stop: the whole process dies (watchdog dies too)";
+    s.crash = true;
+    s.true_component = "";  // process-level ground truth
+    s.client_visible = true;
+    catalog.push_back(s);
+  }
+
+  return catalog;
+}
+
+LocalizationLevel ScoreLocalization(const Scenario& scenario, const SourceLocation& loc) {
+  if (!scenario.true_op_site.empty() && loc.op_site == scenario.true_op_site) {
+    return LocalizationLevel::kOperation;
+  }
+  if (!scenario.true_function.empty() && loc.function == scenario.true_function) {
+    return LocalizationLevel::kFunction;
+  }
+  if (!scenario.true_component.empty() && loc.component == scenario.true_component) {
+    return LocalizationLevel::kComponent;
+  }
+  // Detected but not attributed to the right place: process-level knowledge.
+  return LocalizationLevel::kProcess;
+}
+
+}  // namespace wdg

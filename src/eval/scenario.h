@@ -1,0 +1,46 @@
+// Fault-scenario catalog for the evaluation campaigns (Table 2, §4.2).
+// Each scenario injects one production fault into a running kvs cluster and
+// carries the ground truth the localization scoring compares against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/watchdog/failure.h"
+
+namespace wdg {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  bool fault_free = false;  // control run: any alarm is a false alarm
+  // A real environmental fault with NO impact on the monitored process
+  // (e.g. the heartbeat link drops) — any alarm is still a false alarm.
+  // Separates detectors that watch the process from ones that watch a proxy.
+  bool benign = false;
+  bool crash = false;       // whole-process crash (node stopped, watchdog dies too)
+  FaultSpec fault;          // injected fault (ignored for fault_free/crash)
+
+  // Ground truth for localization scoring.
+  std::string true_component;
+  std::string true_function;
+  std::string true_op_site;
+
+  // Does the fault surface on the client request path? (Determines whether
+  // probe-type detectors *can* see it.)
+  bool client_visible = false;
+};
+
+// ~15 scenarios spanning the gray-failure literature the paper cites:
+// limplock, fail-slow hardware, partial disk faults, state corruption, silent
+// lost writes, stuck background tasks, blocked critical sections, infinite
+// loops, plus fault-free controls and a fail-stop crash.
+std::vector<Scenario> KvsScenarioCatalog();
+
+// Scores a watchdog signature's localization against ground truth:
+// operation > function > component > process > none.
+LocalizationLevel ScoreLocalization(const Scenario& scenario, const SourceLocation& loc);
+
+}  // namespace wdg

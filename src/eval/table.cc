@@ -1,0 +1,53 @@
+#include "src/eval/table.h"
+
+#include <cstdio>
+
+namespace wdg {
+
+namespace {
+std::string Pad(const std::string& text, int width) {
+  std::string out = text;
+  if (static_cast<int>(out.size()) > width) {
+    out = out.substr(0, static_cast<size_t>(width));
+  }
+  out.append(static_cast<size_t>(width) - out.size(), ' ');
+  return out;
+}
+}  // namespace
+
+std::string TablePrinter::HeaderRow() const {
+  std::string out;
+  for (const Column& col : columns_) {
+    out += Pad(col.name, col.width) + "  ";
+  }
+  return out;
+}
+
+std::string TablePrinter::Rule() const {
+  std::string out;
+  for (const Column& col : columns_) {
+    out.append(static_cast<size_t>(col.width), '-');
+    out += "  ";
+  }
+  return out;
+}
+
+std::string TablePrinter::Row(const std::vector<std::string>& cells) const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out += Pad(i < cells.size() ? cells[i] : "", columns_[i].width) + "  ";
+  }
+  return out;
+}
+
+void TablePrinter::PrintHeader() const {
+  std::printf("%s\n%s\n", HeaderRow().c_str(), Rule().c_str());
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::printf("%s\n", Row(cells).c_str());
+}
+
+void TablePrinter::PrintRule() const { std::printf("%s\n", Rule().c_str()); }
+
+}  // namespace wdg

@@ -1,0 +1,31 @@
+// Fixed-width table printing for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wdg {
+
+class TablePrinter {
+ public:
+  struct Column {
+    std::string name;
+    int width;
+  };
+
+  explicit TablePrinter(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  std::string HeaderRow() const;
+  std::string Rule() const;
+  std::string Row(const std::vector<std::string>& cells) const;
+
+  // Convenience: prints header + rule to stdout.
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+  void PrintRule() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace wdg

@@ -1,0 +1,81 @@
+#include "src/eval/workload.h"
+
+#include <cmath>
+
+#include "src/common/metrics.h"
+#include "src/common/strings.h"
+
+namespace wdg {
+
+WorkloadGenerator::WorkloadGenerator(Clock& clock, SimNet& net, NodeId target,
+                                     WorkloadOptions options)
+    : clock_(clock), net_(net), target_(std::move(target)), options_(options) {}
+
+void WorkloadGenerator::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void WorkloadGenerator::Stop() {
+  stop_.Request();
+  thread_.Join();
+  started_ = false;
+}
+
+int WorkloadGenerator::PickKey(Rng& rng, int key_space, double zipf_s) {
+  if (zipf_s <= 0) {
+    return static_cast<int>(rng.Uniform(0, key_space - 1));
+  }
+  // Inverse-CDF approximation of a zipf(s) rank distribution: rank ∝ u^(-1/s)
+  // clamped to the key space. Cheap and skewed enough for cache-like tests.
+  const double u = std::max(rng.NextDouble(), 1e-9);
+  const double rank = std::pow(u, -1.0 / zipf_s) - 1.0;
+  return static_cast<int>(std::min<double>(rank, key_space - 1));
+}
+
+void WorkloadGenerator::Loop() {
+  kvs::KvsClient client(net_, "workload-" + target_, target_, options_.client_timeout);
+  Rng rng(options_.seed);
+  while (!stop_.Requested()) {
+    const int key_index = PickKey(rng, options_.key_space, options_.zipf_s);
+    const std::string key = StrFormat("user%03d", key_index);
+    const double roll = rng.NextDouble();
+
+    Status status;
+    const TimeNs start = clock_.NowNs();
+    if (roll < options_.get_fraction) {
+      const auto value = client.Get(key);
+      status = value.ok() || value.status().code() == StatusCode::kNotFound
+                   ? Status::Ok()
+                   : value.status();
+    } else if (roll < options_.get_fraction + options_.append_fraction) {
+      status = client.Append(key, "+x");
+    } else {
+      const size_t size = static_cast<size_t>(
+          rng.Uniform(options_.value_min, options_.value_max));
+      status = client.Set(key, std::string(size, 'w'));
+    }
+    latency_.Record(static_cast<double>(clock_.NowNs() - start));
+    requests_.fetch_add(1);
+    if (!status.ok()) {
+      errors_.fetch_add(1);
+    }
+    if (on_outcome_) {
+      on_outcome_(status);
+    }
+    if (options_.op_interval > 0) {
+      if (stop_.WaitFor(options_.op_interval)) {
+        return;
+      }
+    }
+  }
+}
+
+double WorkloadGenerator::MeanLatencyNs() const { return latency_.Mean(); }
+
+double WorkloadGenerator::P99LatencyNs() const { return latency_.Percentile(99); }
+
+}  // namespace wdg

@@ -1,0 +1,72 @@
+// Workload generator for campaigns and benches: configurable op mix, value
+// sizes, and key distribution (uniform or zipfian — hot keys like real
+// caches see).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <functional>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/common/threading.h"
+#include "src/kvs/client.h"
+
+namespace wdg {
+
+struct WorkloadOptions {
+  int key_space = 64;
+  double get_fraction = 0.33;       // remaining ops are SETs (plus some APPENDs)
+  double append_fraction = 0.05;
+  int value_min = 48;
+  int value_max = 64;
+  double zipf_s = 0.0;              // 0 = uniform; ~1.0 = heavily skewed
+  DurationNs op_interval = Ms(8);   // 0 = closed loop
+  DurationNs client_timeout = Ms(150);
+  uint64_t seed = 42;
+};
+
+// Drives one kvs node from a dedicated client thread. Records outcomes and
+// optionally forwards them to a callback (e.g. a ClientObserver).
+class WorkloadGenerator {
+ public:
+  using OutcomeFn = std::function<void(const Status&)>;
+
+  WorkloadGenerator(Clock& clock, SimNet& net, NodeId target, WorkloadOptions options = {});
+  ~WorkloadGenerator() { Stop(); }
+
+  void set_on_outcome(OutcomeFn fn) { on_outcome_ = std::move(fn); }
+
+  void Start();
+  void Stop();
+
+  int64_t requests() const { return requests_.load(); }
+  int64_t errors() const { return errors_.load(); }
+  // Latency stats over completed ops (ns).
+  double MeanLatencyNs() const;
+  double P99LatencyNs() const;
+
+  // Key selection helper (exposed for tests): zipf-ish rank sampling.
+  static int PickKey(Rng& rng, int key_space, double zipf_s);
+
+ private:
+  void Loop();
+
+  Clock& clock_;
+  SimNet& net_;
+  NodeId target_;
+  WorkloadOptions options_;
+  OutcomeFn on_outcome_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> errors_{0};
+  Histogram latency_;
+  StopFlag stop_;
+  JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace wdg

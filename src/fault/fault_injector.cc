@@ -1,0 +1,224 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace wdg {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDelay:
+      return "DELAY";
+    case FaultKind::kHang:
+      return "HANG";
+    case FaultKind::kError:
+      return "ERROR";
+    case FaultKind::kCorruption:
+      return "CORRUPTION";
+    case FaultKind::kSilentDrop:
+      return "SILENT_DROP";
+    case FaultKind::kBusyLoop:
+      return "BUSY_LOOP";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(Clock& clock, uint64_t seed) : clock_(clock), rng_(seed) {}
+
+FaultInjector::~FaultInjector() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    faults_.clear();
+  }
+  cv_.notify_all();
+}
+
+void FaultInjector::Inject(FaultSpec spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ActiveFault fault;
+    fault.spec = std::move(spec);
+    fault.epoch = ++epoch_counter_;
+    faults_[fault.spec.id] = std::move(fault);
+  }
+  cv_.notify_all();
+}
+
+void FaultInjector::Remove(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.erase(id);
+  }
+  cv_.notify_all();
+}
+
+void FaultInjector::ClearAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.clear();
+  }
+  cv_.notify_all();
+}
+
+void FaultInjector::Park(const std::string& id, uint64_t epoch, bool busy) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++parked_;
+  const auto still_active = [&] {
+    const auto it = faults_.find(id);
+    return !shutdown_ && it != faults_.end() && it->second.epoch == epoch;
+  };
+  if (busy) {
+    // Simulated infinite loop: hold the CPU in slices, re-checking liveness.
+    while (still_active()) {
+      lock.unlock();
+      clock_.SleepFor(Ms(1));  // a "spin slice" — keeps tests cool while staying busy-ish
+      lock.lock();
+    }
+  } else {
+    cv_.wait(lock, [&] { return !still_active(); });
+  }
+  --parked_;
+}
+
+FaultOutcome FaultInjector::OnSite(std::string_view site) {
+  FaultOutcome outcome;
+  std::string park_id;
+  uint64_t park_epoch = 0;
+  bool park_busy = false;
+  DurationNs delay = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string site_str(site);
+    const int64_t hits = ++site_hits_[site_str];
+    if (shutdown_) {
+      return outcome;
+    }
+    for (auto& [id, fault] : faults_) {
+      const FaultSpec& spec = fault.spec;
+      if (!SitePatternMatches(spec.site_pattern, site)) {
+        continue;
+      }
+      if (hits <= spec.after_n_hits) {
+        continue;
+      }
+      if (spec.max_fires >= 0 && fault.fires >= spec.max_fires) {
+        continue;
+      }
+      if (spec.probability < 1.0 && !rng_.Bernoulli(spec.probability)) {
+        continue;
+      }
+      ++fault.fires;
+      ++fire_counts_[id];
+      outcome.fired = true;
+      outcome.kind = spec.kind;
+      outcome.fault_id = id;
+      switch (spec.kind) {
+        case FaultKind::kDelay:
+          delay = spec.delay;
+          break;
+        case FaultKind::kHang:
+          park_id = id;
+          park_epoch = fault.epoch;
+          park_busy = false;
+          break;
+        case FaultKind::kBusyLoop:
+          park_id = id;
+          park_epoch = fault.epoch;
+          park_busy = true;
+          break;
+        case FaultKind::kError:
+          outcome.status = Status(spec.error_code,
+                                  StrFormat("injected fault '%s' at %s", id.c_str(),
+                                            site_str.c_str()));
+          break;
+        case FaultKind::kCorruption:
+          outcome.corrupt_payload = true;
+          break;
+        case FaultKind::kSilentDrop:
+          outcome.drop_op = true;
+          break;
+      }
+      break;  // first matching fault wins
+    }
+  }
+
+  if (delay > 0) {
+    clock_.SleepFor(delay);
+  }
+  if (!park_id.empty()) {
+    WDG_LOG(kDebug) << "site " << site << " parked by fault " << park_id;
+    Park(park_id, park_epoch, park_busy);
+  }
+  return outcome;
+}
+
+Status FaultInjector::Act(std::string_view site, std::string* payload, bool* dropped) {
+  if (dropped != nullptr) {
+    *dropped = false;
+  }
+  const FaultOutcome outcome = OnSite(site);
+  if (!outcome.fired) {
+    return Status::Ok();
+  }
+  if (!outcome.status.ok()) {
+    return outcome.status;
+  }
+  if (outcome.corrupt_payload && payload != nullptr) {
+    CorruptBytes(*payload, SiteHits(std::string(site)) * 0x9e3779b9ULL);
+  }
+  if (outcome.drop_op && dropped != nullptr) {
+    *dropped = true;
+  }
+  return Status::Ok();
+}
+
+int64_t FaultInjector::SiteHits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = site_hits_.find(site);
+  return it == site_hits_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjector::FireCount(const std::string& fault_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fire_counts_.find(fault_id);
+  return it == fire_counts_.end() ? 0 : it->second;
+}
+
+int FaultInjector::parked_thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_;
+}
+
+std::vector<std::string> FaultInjector::ActiveFaultIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(faults_.size());
+  for (const auto& [id, _] : faults_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+bool FaultInjector::IsActive(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_.count(id) > 0;
+}
+
+void FaultInjector::CorruptBytes(std::string& payload, uint64_t salt) {
+  if (payload.empty()) {
+    return;
+  }
+  Rng rng(salt | 1);
+  // Flip a byte in up to three positions — enough to break any checksum.
+  const int flips = static_cast<int>(std::min<size_t>(3, payload.size()));
+  for (int i = 0; i < flips; ++i) {
+    const size_t pos = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(payload.size()) - 1));
+    payload[pos] = static_cast<char>(payload[pos] ^ (0x40u | (i + 1)));
+  }
+}
+
+}  // namespace wdg

@@ -1,0 +1,125 @@
+// Fault injection: the production-environment stand-in (see DESIGN.md §2).
+//
+// Every I/O, lock, and communication operation in the simulator and in the
+// monitored systems is an instrumented *site* with a hierarchical name
+// ("disk.write", "net.send", "kvs.compaction.merge"). A FaultInjector holds
+// active FaultSpecs; when execution reaches a site the injector decides
+// whether a fault fires and what shape it takes:
+//
+//   kDelay      — limplock / fail-slow: the op takes `delay` longer.
+//   kHang       — the op blocks until the fault is removed (gray failure).
+//   kError      — the op returns an explicit error status.
+//   kCorruption — the op's payload is silently corrupted (safety violation).
+//   kSilentDrop — the op silently does nothing and reports success.
+//   kBusyLoop   — the calling thread spins (infinite-loop bug) until removal.
+//
+// Hangs and busy loops are always interruptible: removing the fault (or
+// ClearAll / Shutdown) releases parked threads, so tests and benches always
+// terminate. That mirrors "the network came back" / "the operator killed it".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace wdg {
+
+enum class FaultKind {
+  kDelay,
+  kHang,
+  kError,
+  kCorruption,
+  kSilentDrop,
+  kBusyLoop,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  std::string id;            // unique handle for Remove()
+  std::string site_pattern;  // exact site, "prefix.*", or "*"
+  FaultKind kind = FaultKind::kError;
+  DurationNs delay = 0;                           // kDelay
+  StatusCode error_code = StatusCode::kIoError;   // kError
+  double probability = 1.0;                       // chance of firing per hit
+  int64_t after_n_hits = 0;                       // skip the first N site hits
+  int64_t max_fires = -1;                         // -1 == unlimited
+};
+
+// What the site should do. `status` is non-OK only for kError.
+struct FaultOutcome {
+  bool fired = false;
+  FaultKind kind = FaultKind::kError;
+  Status status = Status::Ok();
+  bool corrupt_payload = false;
+  bool drop_op = false;
+  std::string fault_id;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Clock& clock, uint64_t seed = 42);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Activates a fault. Replaces any existing fault with the same id.
+  void Inject(FaultSpec spec);
+  // Deactivates and releases any threads hung/spinning on it.
+  void Remove(const std::string& id);
+  // Deactivates everything and releases all parked threads.
+  void ClearAll();
+
+  // Called by instrumented code at a site. May block (kDelay/kHang/kBusyLoop).
+  // The returned outcome tells the site whether to return an error, corrupt
+  // its payload, or silently skip the operation.
+  FaultOutcome OnSite(std::string_view site);
+
+  // Convenience: runs OnSite and applies corruption in place; returns the
+  // status the site should propagate (OK for delay/corruption/drop outcomes).
+  // Sets *dropped if the op must be silently skipped.
+  Status Act(std::string_view site, std::string* payload = nullptr, bool* dropped = nullptr);
+
+  // Observability for tests and the eval harness.
+  int64_t SiteHits(const std::string& site) const;
+  int64_t FireCount(const std::string& fault_id) const;
+  int parked_thread_count() const;
+  std::vector<std::string> ActiveFaultIds() const;
+  bool IsActive(const std::string& id) const;
+
+  // Deterministically flips bits in `payload` (no-op on empty payloads).
+  static void CorruptBytes(std::string& payload, uint64_t salt);
+
+ private:
+  struct ActiveFault {
+    FaultSpec spec;
+    int64_t fires = 0;
+    uint64_t epoch = 0;  // bumped on (re-)injection so waiters can detect removal
+  };
+
+  // Blocks until the fault `id`@`epoch` is gone. kBusyLoop burns CPU in short
+  // slices; kHang waits on the condition variable.
+  void Park(const std::string& id, uint64_t epoch, bool busy);
+
+  Clock& clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, ActiveFault> faults_;
+  std::map<std::string, int64_t> site_hits_;
+  std::map<std::string, int64_t> fire_counts_;
+  Rng rng_;
+  uint64_t epoch_counter_ = 0;
+  int parked_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace wdg

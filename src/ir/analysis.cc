@@ -1,0 +1,105 @@
+#include "src/ir/analysis.h"
+
+#include <deque>
+
+namespace awd {
+
+CallGraph::CallGraph(const Module& module) {
+  for (const Function& fn : module.functions()) {
+    auto& callees = edges_[fn.name];
+    for (const Instr& instr : fn.instrs) {
+      if (instr.kind == OpKind::kCall && module.GetFunction(instr.callee) != nullptr) {
+        callees.insert(instr.callee);
+      }
+    }
+  }
+}
+
+const std::set<std::string>& CallGraph::CalleesOf(const std::string& fn) const {
+  const auto it = edges_.find(fn);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+std::set<std::string> CallGraph::ReachableFrom(const std::string& root) const {
+  std::set<std::string> seen;
+  std::deque<std::string> queue{root};
+  while (!queue.empty()) {
+    const std::string fn = queue.front();
+    queue.pop_front();
+    if (!seen.insert(fn).second) {
+      continue;
+    }
+    for (const std::string& callee : CalleesOf(fn)) {
+      queue.push_back(callee);
+    }
+  }
+  return seen;
+}
+
+bool CallGraph::HasCycleThrough(const std::string& fn) const {
+  // fn participates in a cycle iff fn is reachable from one of its callees.
+  for (const std::string& callee : CalleesOf(fn)) {
+    const std::set<std::string> reach = ReachableFrom(callee);
+    if (reach.count(fn) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> LongRunningRoots(const Module& module) {
+  std::vector<std::string> roots;
+  for (const Function& fn : module.functions()) {
+    if (fn.long_running) {
+      roots.push_back(fn.name);
+    }
+  }
+  return roots;
+}
+
+std::vector<int> ContinuousInstrs(const Function& fn, bool include_whole_body) {
+  std::vector<int> ids;
+  int loop_depth = 0;
+  bool has_loop = false;
+  for (const Instr& instr : fn.instrs) {
+    if (instr.kind == OpKind::kLoopBegin) {
+      has_loop = true;
+      break;
+    }
+  }
+  const bool take_all = include_whole_body || !has_loop;
+  for (const Instr& instr : fn.instrs) {
+    switch (instr.kind) {
+      case OpKind::kLoopBegin:
+        ++loop_depth;
+        continue;
+      case OpKind::kLoopEnd:
+        --loop_depth;
+        continue;
+      default:
+        break;
+    }
+    if (take_all || loop_depth > 0) {
+      ids.push_back(instr.id);
+    }
+  }
+  return ids;
+}
+
+bool VulnerabilityPolicy::IsVulnerable(const Instr& instr) const {
+  if (!instr.site.empty() && excluded_sites.count(instr.site) > 0) {
+    return false;
+  }
+  if (honor_annotations && instr.annotated_vulnerable) {
+    return true;
+  }
+  if (!instr.site.empty() && extra_sites.count(instr.site) > 0) {
+    return true;
+  }
+  if (!vulnerable_kinds.empty()) {
+    return vulnerable_kinds.count(instr.kind) > 0;
+  }
+  return IsVulnerableByDefault(instr.kind);
+}
+
+}  // namespace awd

@@ -1,0 +1,55 @@
+// Static analyses over the mini-IR: call graph, long-running-region
+// discovery, and the vulnerable-operation policy (§4.1).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace awd {
+
+// Caller → callees (direct). Unknown callees are ignored.
+class CallGraph {
+ public:
+  explicit CallGraph(const Module& module);
+
+  const std::set<std::string>& CalleesOf(const std::string& fn) const;
+  // All functions reachable from `root`, including root, following calls.
+  std::set<std::string> ReachableFrom(const std::string& root) const;
+  bool HasCycleThrough(const std::string& fn) const;
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+  std::set<std::string> empty_;
+};
+
+// §4.1 step 1: "extract code regions that may be executed continuously".
+// Roots are functions flagged long_running; a function with no such flag but
+// containing a loop that calls it from a long-running root is covered via
+// reachability during reduction. Initialization-only code never appears.
+std::vector<std::string> LongRunningRoots(const Module& module);
+
+// Returns the instruction ids of `fn` that execute continuously: everything
+// inside a loop, or the whole body when the function itself is long_running
+// or is only ever entered from a continuous region (callee case).
+// `include_whole_body` is set for callees of continuous regions.
+std::vector<int> ContinuousInstrs(const Function& fn, bool include_whole_body);
+
+// Which operations are worth monitoring (§4.1 step 2). Defaults to the
+// paper's categories; developers can tune kinds, add sites, and annotations
+// are always honored when `honor_annotations`.
+struct VulnerabilityPolicy {
+  std::set<OpKind> vulnerable_kinds;       // empty == use IsVulnerableByDefault
+  std::set<std::string> extra_sites;       // always vulnerable, e.g. "index.insert"
+  std::set<std::string> excluded_sites;    // never vulnerable
+  bool honor_annotations = true;
+
+  bool IsVulnerable(const Instr& instr) const;
+
+  static VulnerabilityPolicy Default() { return VulnerabilityPolicy{}; }
+};
+
+}  // namespace awd

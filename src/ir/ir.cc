@@ -1,0 +1,165 @@
+#include "src/ir/ir.h"
+
+#include "src/common/strings.h"
+
+namespace awd {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kIoRead:
+      return "io_read";
+    case OpKind::kIoWrite:
+      return "io_write";
+    case OpKind::kIoFsync:
+      return "io_fsync";
+    case OpKind::kIoCreate:
+      return "io_create";
+    case OpKind::kIoDelete:
+      return "io_delete";
+    case OpKind::kNetSend:
+      return "net_send";
+    case OpKind::kNetRecv:
+      return "net_recv";
+    case OpKind::kLockAcquire:
+      return "lock_acquire";
+    case OpKind::kLockRelease:
+      return "lock_release";
+    case OpKind::kAlloc:
+      return "alloc";
+    case OpKind::kCompute:
+      return "compute";
+    case OpKind::kSleep:
+      return "sleep";
+    case OpKind::kCall:
+      return "call";
+    case OpKind::kLoopBegin:
+      return "loop_begin";
+    case OpKind::kLoopEnd:
+      return "loop_end";
+    case OpKind::kReturn:
+      return "return";
+  }
+  return "?";
+}
+
+bool IsVulnerableByDefault(OpKind kind) {
+  switch (kind) {
+    case OpKind::kIoRead:
+    case OpKind::kIoWrite:
+    case OpKind::kIoFsync:
+    case OpKind::kIoCreate:
+    case OpKind::kIoDelete:
+    case OpKind::kNetSend:
+    case OpKind::kNetRecv:
+    case OpKind::kLockAcquire:
+    case OpKind::kAlloc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Instr::ToString() const {
+  std::string out = wdg::StrFormat("%3d: %-12s", id, OpKindName(kind));
+  if (kind == OpKind::kCall) {
+    out += " " + callee + "(";
+    for (size_t i = 0; i < args.size(); ++i) {
+      out += (i != 0 ? ", " : "") + args[i];
+    }
+    out += ")";
+  } else if (!site.empty()) {
+    out += " " + site;
+  }
+  if (!label.empty()) {
+    out += "  // " + label;
+  }
+  return out;
+}
+
+const Instr* Function::FindInstr(int id) const {
+  for (const Instr& instr : instrs) {
+    if (instr.id == id) {
+      return &instr;
+    }
+  }
+  return nullptr;
+}
+
+Function* Module::AddFunction(Function fn) {
+  index_[fn.name] = functions_.size();
+  functions_.push_back(std::move(fn));
+  return &functions_.back();
+}
+
+const Function* Module::GetFunction(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &functions_[it->second];
+}
+
+int Module::TotalInstrCount() const {
+  int count = 0;
+  for (const Function& fn : functions_) {
+    count += static_cast<int>(fn.instrs.size());
+  }
+  return count;
+}
+
+FunctionBuilder::FunctionBuilder(std::string name, std::string component) {
+  fn_.name = std::move(name);
+  fn_.component = std::move(component);
+}
+
+FunctionBuilder& FunctionBuilder::Param(const std::string& name) {
+  fn_.params.push_back(name);
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::LongRunning() {
+  fn_.long_running = true;
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Op(OpKind kind, std::string site,
+                                     std::vector<std::string> args,
+                                     std::vector<std::string> defs, std::string label) {
+  Instr instr;
+  instr.id = next_id_++;
+  instr.kind = kind;
+  instr.site = std::move(site);
+  instr.args = std::move(args);
+  instr.defs = std::move(defs);
+  instr.label = std::move(label);
+  fn_.instrs.push_back(std::move(instr));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Call(const std::string& callee,
+                                       std::vector<std::string> args) {
+  Instr instr;
+  instr.id = next_id_++;
+  instr.kind = OpKind::kCall;
+  instr.callee = callee;
+  instr.args = std::move(args);
+  fn_.instrs.push_back(std::move(instr));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Compute(std::string label, std::vector<std::string> args,
+                                          std::vector<std::string> defs) {
+  return Op(OpKind::kCompute, "", std::move(args), std::move(defs), std::move(label));
+}
+
+FunctionBuilder& FunctionBuilder::LoopBegin() { return Op(OpKind::kLoopBegin, ""); }
+FunctionBuilder& FunctionBuilder::LoopEnd() { return Op(OpKind::kLoopEnd, ""); }
+FunctionBuilder& FunctionBuilder::Return() { return Op(OpKind::kReturn, ""); }
+
+FunctionBuilder& FunctionBuilder::Vulnerable() {
+  if (!fn_.instrs.empty()) {
+    fn_.instrs.back().annotated_vulnerable = true;
+  }
+  return *this;
+}
+
+Function FunctionBuilder::Build() { return std::move(fn_); }
+
+}  // namespace awd

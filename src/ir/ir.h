@@ -1,0 +1,120 @@
+// Mini-IR: the program representation AutoWatchdog analyzes.
+//
+// The paper's prototype analyzes Java bytecode with Soot; the technique
+// itself ("not Java-specific", §4.2) only discriminates on the shapes this
+// IR encodes: which operations are I/O / synchronization / communication /
+// resource ops, how functions call each other, which regions run
+// continuously, and which values each operation consumes. Monitored systems
+// in this repo describe themselves in this IR (kvs::DescribeIr(),
+// minizk::DescribeIr()) and fire hook sites named "<function>:<instr_id>"
+// at the matching code points — the C++ analog of bytecode instrumentation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace awd {
+
+enum class OpKind {
+  // Vulnerable-by-default categories (§4.1: "I/O, synchronization, resource,
+  // and communication related method invocations").
+  kIoRead,
+  kIoWrite,
+  kIoFsync,
+  kIoCreate,
+  kIoDelete,
+  kNetSend,
+  kNetRecv,
+  kLockAcquire,
+  kLockRelease,
+  kAlloc,
+  // Not vulnerable by default.
+  kCompute,    // pure logic: logically deterministic → unit tests, not W
+  kSleep,
+  kCall,       // invocation of another function in the module
+  kLoopBegin,  // marks a continuously-executed region
+  kLoopEnd,
+  kReturn,
+};
+
+const char* OpKindName(OpKind kind);
+
+// §4.1's default vulnerability criterion.
+bool IsVulnerableByDefault(OpKind kind);
+
+// One instruction. `id` is the stable "line number" used for hook placement
+// and failure pinpointing. `site` names the runtime operation the instruction
+// performs ("disk.write", "net.send.follower1", "lock.datatree.node").
+struct Instr {
+  int id = 0;
+  OpKind kind = OpKind::kCompute;
+  std::string site;
+  std::string callee;              // kCall only
+  std::vector<std::string> args;   // value names this op consumes
+  std::vector<std::string> defs;   // value names this op produces
+  bool annotated_vulnerable = false;  // developer tag (§4.2 configuration)
+  std::string label;               // human-readable text for codegen
+
+  std::string ToString() const;
+};
+
+struct Function {
+  std::string name;
+  std::string component;  // runtime component that owns this code
+  std::vector<std::string> params;
+  std::vector<Instr> instrs;
+  // Entry point of a continuously-executing region (request loop, replication
+  // workflow, snapshot service, ...). Reduction roots start here.
+  bool long_running = false;
+
+  const Instr* FindInstr(int id) const;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Function* AddFunction(Function fn);
+  const Function* GetFunction(const std::string& name) const;
+  const std::vector<Function>& functions() const { return functions_; }
+
+  int TotalInstrCount() const;
+
+ private:
+  std::string name_;
+  std::vector<Function> functions_;
+  std::map<std::string, size_t> index_;
+};
+
+// Fluent builder so system IR descriptions read like code.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(std::string name, std::string component);
+
+  FunctionBuilder& Param(const std::string& name);
+  FunctionBuilder& LongRunning();
+
+  // Generic op append; returns *this. Instruction ids auto-increment.
+  FunctionBuilder& Op(OpKind kind, std::string site, std::vector<std::string> args = {},
+                      std::vector<std::string> defs = {}, std::string label = "");
+  FunctionBuilder& Call(const std::string& callee, std::vector<std::string> args = {});
+  FunctionBuilder& Compute(std::string label, std::vector<std::string> args = {},
+                           std::vector<std::string> defs = {});
+  FunctionBuilder& LoopBegin();
+  FunctionBuilder& LoopEnd();
+  FunctionBuilder& Return();
+  // Tags the most recently appended instruction as developer-annotated
+  // vulnerable.
+  FunctionBuilder& Vulnerable();
+
+  Function Build();
+
+ private:
+  Function fn_;
+  int next_id_ = 1;
+};
+
+}  // namespace awd

@@ -1,0 +1,56 @@
+#include "src/kvs/client.h"
+
+namespace kvs {
+
+KvsClient::KvsClient(wdg::SimNet& net, wdg::NodeId client_id, wdg::NodeId server_id,
+                     wdg::DurationNs timeout)
+    : endpoint_(net.CreateEndpoint(std::move(client_id))), server_id_(std::move(server_id)),
+      timeout_(timeout) {}
+
+wdg::Result<Response> KvsClient::Roundtrip(const Request& request) {
+  WDG_ASSIGN_OR_RETURN(const std::string reply,
+                       endpoint_->Call(server_id_, kMsgRequest, request.Encode(), timeout_));
+  return Response::Decode(reply);
+}
+
+wdg::Status KvsClient::Set(const std::string& key, const std::string& value) {
+  Request req;
+  req.op = OpType::kSet;
+  req.key = key;
+  req.value = value;
+  WDG_ASSIGN_OR_RETURN(const Response resp, Roundtrip(req));
+  return resp.ok ? wdg::Status::Ok() : wdg::InternalError(resp.error);
+}
+
+wdg::Status KvsClient::Append(const std::string& key, const std::string& suffix) {
+  Request req;
+  req.op = OpType::kAppend;
+  req.key = key;
+  req.value = suffix;
+  WDG_ASSIGN_OR_RETURN(const Response resp, Roundtrip(req));
+  return resp.ok ? wdg::Status::Ok() : wdg::InternalError(resp.error);
+}
+
+wdg::Status KvsClient::Del(const std::string& key) {
+  Request req;
+  req.op = OpType::kDel;
+  req.key = key;
+  WDG_ASSIGN_OR_RETURN(const Response resp, Roundtrip(req));
+  return resp.ok ? wdg::Status::Ok() : wdg::InternalError(resp.error);
+}
+
+wdg::Result<std::string> KvsClient::Get(const std::string& key) {
+  Request req;
+  req.op = OpType::kGet;
+  req.key = key;
+  WDG_ASSIGN_OR_RETURN(const Response resp, Roundtrip(req));
+  if (!resp.ok) {
+    if (resp.error.find("NOT_FOUND") != std::string::npos) {
+      return wdg::NotFoundError(key);
+    }
+    return wdg::InternalError(resp.error);
+  }
+  return resp.value;
+}
+
+}  // namespace kvs

@@ -1,0 +1,34 @@
+// KvsClient: the external view of a kvs node. Also the building block for
+// probe checkers and Panorama-style client observers.
+#pragma once
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/kvs/types.h"
+#include "src/sim/sim_net.h"
+
+namespace kvs {
+
+class KvsClient {
+ public:
+  KvsClient(wdg::SimNet& net, wdg::NodeId client_id, wdg::NodeId server_id,
+            wdg::DurationNs timeout = wdg::Ms(200));
+
+  wdg::Status Set(const std::string& key, const std::string& value);
+  wdg::Status Append(const std::string& key, const std::string& suffix);
+  wdg::Status Del(const std::string& key);
+  wdg::Result<std::string> Get(const std::string& key);
+
+  void set_timeout(wdg::DurationNs timeout) { timeout_ = timeout; }
+  const wdg::NodeId& server_id() const { return server_id_; }
+
+ private:
+  wdg::Result<Response> Roundtrip(const Request& request);
+
+  wdg::Endpoint* endpoint_;
+  wdg::NodeId server_id_;
+  wdg::DurationNs timeout_;
+};
+
+}  // namespace kvs

@@ -1,0 +1,56 @@
+#include "src/kvs/index.h"
+
+#include <algorithm>
+
+namespace kvs {
+
+void Index::AddTable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.push_back(path);
+}
+
+void Index::ReplaceTables(const std::vector<std::string>& old_paths,
+                          const std::string& merged_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(tables_, [&](const std::string& t) {
+    return std::find(old_paths.begin(), old_paths.end(), t) != old_paths.end();
+  });
+  tables_.insert(tables_.begin(), merged_path);  // merged data is oldest
+}
+
+void Index::RemoveTable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(tables_, path);
+}
+
+std::vector<std::string> Index::Tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_;
+}
+
+wdg::Result<std::optional<std::string>> Index::Get(const std::string& key) const {
+  // Instrumented site: an injected busy-loop here is the paper's "infinite
+  // loop in the indexer" gray failure.
+  WDG_RETURN_IF_ERROR(disk_.injector().Act("index.lookup"));
+
+  const auto mem = memtable_.Get(key);
+  if (mem.has_value()) {
+    if (mem->tombstone) {
+      return std::optional<std::string>{};
+    }
+    return std::optional<std::string>{mem->value};
+  }
+  const std::vector<std::string> tables = Tables();
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {  // newest first
+    WDG_ASSIGN_OR_RETURN(const auto entry, SsTable::Lookup(disk_, *it, key));
+    if (entry.has_value()) {
+      if (entry->tombstone) {
+        return std::optional<std::string>{};
+      }
+      return std::optional<std::string>{entry->value};
+    }
+  }
+  return std::optional<std::string>{};
+}
+
+}  // namespace kvs

@@ -1,0 +1,74 @@
+#include "src/kvs/memtable.h"
+
+namespace kvs {
+
+void Memtable::Set(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool existed = entries_.count(key) > 0;
+  auto& entry = entries_[key];
+  bytes_ += static_cast<int64_t>(value.size()) - static_cast<int64_t>(entry.value.size());
+  if (!existed) {
+    bytes_ += static_cast<int64_t>(key.size());
+  }
+  entry.value = std::move(value);
+  entry.tombstone = false;
+}
+
+void Memtable::Append(const std::string& key, const std::string& suffix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = entries_[key];
+  if (entry.tombstone) {
+    entry.value.clear();
+    entry.tombstone = false;
+  }
+  entry.value += suffix;
+  bytes_ += static_cast<int64_t>(suffix.size());
+}
+
+void Memtable::Del(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = entries_[key];
+  bytes_ -= static_cast<int64_t>(entry.value.size());
+  entry.value.clear();
+  entry.tombstone = true;
+}
+
+std::optional<MemEntry> Memtable::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+int64_t Memtable::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t Memtable::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, MemEntry>> Memtable::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, MemEntry>> out(entries_.begin(), entries_.end());
+  entries_.clear();
+  bytes_ = 0;
+  return out;
+}
+
+std::vector<std::pair<std::string, MemEntry>> Memtable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+void Memtable::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace kvs

@@ -1,0 +1,49 @@
+// In-memory sorted write buffer. Flushed to SSTables by the disk flusher.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kvs {
+
+// A deletion is stored as a tombstone so flushes propagate it.
+struct MemEntry {
+  std::string value;
+  bool tombstone = false;
+};
+
+class Memtable {
+ public:
+  void Set(const std::string& key, std::string value);
+  void Append(const std::string& key, const std::string& suffix);
+  void Del(const std::string& key);
+
+  // nullopt: unknown here (fall through to SSTables); tombstone: known-deleted.
+  std::optional<MemEntry> Get(const std::string& key) const;
+
+  int64_t ApproximateBytes() const;
+  size_t EntryCount() const;
+
+  // Snapshot-and-clear for flushing: returns the sorted contents atomically.
+  std::vector<std::pair<std::string, MemEntry>> Drain();
+  std::vector<std::pair<std::string, MemEntry>> Snapshot() const;
+  void Clear();
+
+  // The flusher's mimic checker try-locks this to share the write path's
+  // fate; exposed as a timed mutex for bounded acquisition.
+  std::timed_mutex& flush_lock() { return flush_lock_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, MemEntry> entries_;
+  int64_t bytes_ = 0;
+  std::timed_mutex flush_lock_;
+};
+
+}  // namespace kvs

@@ -1,0 +1,31 @@
+#include "src/kvs/recovery.h"
+
+#include "src/common/logging.h"
+#include "src/watchdog/context.h"
+
+namespace kvs {
+
+void PartitionQuarantineRecovery::Recover(const wdg::FailureSignature& signature) {
+  if (signature.type != wdg::FailureType::kSafetyViolation) {
+    return;  // only data-integrity violations are repaired this way
+  }
+  // The failing table travels in the failure-inducing context.
+  const auto values = wdg::CheckContext::ParseDump(signature.context_dump);
+  const auto it = values.find("table");
+  if (it == values.end() || !std::holds_alternative<std::string>(it->second)) {
+    return;
+  }
+  const std::string path = std::get<std::string>(it->second);
+  // Drop it from the read path first so lookups stop touching bad data.
+  node_.index().RemoveTable(path);
+  const auto quarantined = node_.partitions().Quarantine(path);
+  if (!quarantined.ok()) {
+    WDG_LOG(kWarn) << "partition quarantine failed: " << quarantined.status();
+    return;
+  }
+  recoveries_.fetch_add(1);
+  node_.metrics().GetCounter("kvs.recovery.partitions_quarantined")->Increment();
+  WDG_LOG(kInfo) << "quarantined corrupted partition " << path << " -> " << *quarantined;
+}
+
+}  // namespace kvs

@@ -1,0 +1,31 @@
+// Cheap recovery for kvs (§5.2): instead of rebooting the process, use the
+// watchdog's precise localization to replace just the corrupted object.
+//
+// PartitionQuarantineRecovery reacts to safety violations pinpointed at the
+// partition-validation op: it reads the failing table out of the signature's
+// captured context, quarantines it (rename + unregister; the index drops it
+// too), and the system returns to a state where all remaining checks pass —
+// a microreboot of one object.
+#pragma once
+
+#include <atomic>
+
+#include "src/kvs/server.h"
+#include "src/watchdog/driver.h"
+
+namespace kvs {
+
+class PartitionQuarantineRecovery : public wdg::RecoveryAction {
+ public:
+  explicit PartitionQuarantineRecovery(KvsNode& node) : node_(node) {}
+
+  void Recover(const wdg::FailureSignature& signature) override;
+
+  int64_t recoveries() const { return recoveries_.load(); }
+
+ private:
+  KvsNode& node_;
+  std::atomic<int64_t> recoveries_{0};
+};
+
+}  // namespace kvs

@@ -1,0 +1,100 @@
+#include "src/kvs/replication.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace kvs {
+
+namespace {
+constexpr char kBatchSep = '\x1d';
+}
+
+ReplicationEngine::ReplicationEngine(wdg::Clock& clock, wdg::SimNet& net,
+                                     wdg::NodeId leader_id, wdg::HookSet& hooks,
+                                     wdg::MetricsRegistry& metrics, ReplicationOptions options)
+    : clock_(clock), net_(net), leader_id_(std::move(leader_id)), hooks_(hooks),
+      metrics_(metrics), options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  endpoint_ = net_.CreateEndpoint(leader_id_ + ".repl");
+}
+
+void ReplicationEngine::Start() {
+  if (started_ || options_.followers.empty()) {
+    return;
+  }
+  started_ = true;
+  thread_ = wdg::JoiningThread([this] { Loop(); });
+}
+
+void ReplicationEngine::Stop() {
+  stop_.Request();
+  queue_.Shutdown();
+  thread_.Join();
+  started_ = false;
+}
+
+void ReplicationEngine::Enqueue(const Request& request) {
+  if (options_.followers.empty()) {
+    return;
+  }
+  if (!queue_.Push(request.Encode(), wdg::Ms(50))) {
+    metrics_.GetCounter("kvs.replication.queue_overflow")->Increment();
+  }
+  metrics_.GetGauge("kvs.replication.queue_depth")->Set(static_cast<double>(queue_.Size()));
+}
+
+void ReplicationEngine::Loop() {
+  while (!stop_.Requested()) {
+    metrics_.GetGauge("kvs.replication.last_tick_ns")
+        ->Set(static_cast<double>(clock_.NowNs()));
+    std::vector<std::string> batch;
+    const auto first = queue_.Pop(options_.poll_interval);
+    if (!first.has_value()) {
+      continue;
+    }
+    batch.push_back(*first);
+    while (batch.size() < options_.batch_max) {
+      auto more = queue_.TryPop();
+      if (!more.has_value()) {
+        break;
+      }
+      batch.push_back(std::move(*more));
+    }
+    const wdg::Status status = SendBatch(batch);
+    if (!status.ok()) {
+      WDG_LOG(kWarn) << "replication batch failed: " << status;
+    }
+    metrics_.GetGauge("kvs.replication.queue_depth")
+        ->Set(static_cast<double>(queue_.Size()));
+  }
+}
+
+wdg::Status ReplicationEngine::SendBatch(const std::vector<std::string>& batch) {
+  std::string payload;
+  for (const std::string& record : batch) {
+    payload += record;
+    payload += kBatchSep;
+  }
+  wdg::Status result = wdg::Status::Ok();
+  for (const wdg::NodeId& follower : options_.followers) {
+    hooks_.Site("ReplicateBatch:1")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("follower", follower);
+      ctx.Set("batch_size", static_cast<int64_t>(batch.size()));
+      ctx.MarkReady(clock_.NowNs());
+    });
+    // The Call blocks inside net.send.<follower> under an injected hang —
+    // this thread wedges exactly like ZooKeeper's remote sync.
+    const auto ack = endpoint_->Call(follower, kMsgReplicate, payload, options_.ack_timeout);
+    if (!ack.ok()) {
+      ack_failures_.fetch_add(1);
+      metrics_.GetCounter("kvs.replication.ack_failures")->Increment();
+      result = ack.status();
+      continue;
+    }
+    metrics_.GetCounter("kvs.replication.acks")->Increment();
+  }
+  batches_sent_.fetch_add(1);
+  return result;
+}
+
+}  // namespace kvs

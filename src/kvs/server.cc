@@ -1,0 +1,261 @@
+#include "src/kvs/server.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace kvs {
+
+namespace {
+constexpr char kBatchSep = '\x1d';
+}
+
+KvsNode::KvsNode(wdg::Clock& clock, wdg::SimDisk& disk, wdg::SimNet& net, KvsOptions options)
+    : clock_(clock), disk_(disk), net_(net), options_(std::move(options)),
+      index_(disk_, memtable_), partitions_(disk_) {
+  wal_ = std::make_unique<Wal>(disk_, wal_path());
+
+  FlusherOptions flusher_options;
+  flusher_options.flush_threshold_bytes = options_.flush_threshold_bytes;
+  flusher_options.poll_interval = options_.flush_poll;
+  flusher_options.table_dir = table_dir();
+  flusher_ = std::make_unique<Flusher>(clock_, disk_, memtable_, index_, partitions_, hooks_,
+                                       metrics_, flusher_options);
+  flusher_->set_on_flushed([this] {
+    const wdg::Status status = wal_->Truncate();
+    if (!status.ok()) {
+      WDG_LOG(kWarn) << "wal truncate failed: " << status;
+    }
+  });
+
+  CompactionOptions compaction_options;
+  compaction_options.max_tables = options_.compaction_max_tables;
+  compaction_options.poll_interval = options_.compaction_poll;
+  compaction_options.table_dir = table_dir();
+  compaction_ = std::make_unique<CompactionManager>(clock_, disk_, index_, partitions_, hooks_,
+                                                    metrics_, compaction_options);
+
+  ReplicationOptions replication_options;
+  replication_options.followers = options_.followers;
+  replication_options.ack_timeout = options_.replication_ack_timeout;
+  replication_ = std::make_unique<ReplicationEngine>(clock_, net_, options_.node_id, hooks_,
+                                                     metrics_, replication_options);
+}
+
+KvsNode::~KvsNode() { Stop(); }
+
+std::string KvsNode::wal_path() const {
+  return options_.data_dir + "/" + options_.node_id + "/wal.log";
+}
+
+std::string KvsNode::table_dir() const {
+  return options_.data_dir + "/" + options_.node_id + "/sst";
+}
+
+wdg::Status KvsNode::Start() {
+  if (running_.exchange(true)) {
+    return wdg::Status::Ok();
+  }
+  endpoint_ = net_.CreateEndpoint(options_.node_id);
+
+  if (!options_.in_memory) {
+    WDG_RETURN_IF_ERROR(wal_->Open());
+    // Crash recovery: replay intact WAL records into the memtable.
+    WDG_ASSIGN_OR_RETURN(const auto recovery, wal_->Recover());
+    for (const std::string& record : recovery.records) {
+      const auto request = Request::Decode(record);
+      if (request.ok()) {
+        Apply(*request, /*from_replication=*/true);
+      }
+    }
+    if (recovery.corrupt_tail_bytes > 0) {
+      WDG_LOG(kWarn) << "wal recovery dropped " << recovery.corrupt_tail_bytes
+                     << " corrupt tail bytes";
+    }
+    flusher_->Start();
+    compaction_->Start();
+  }
+  replication_->Start();
+
+  listener_thread_ = wdg::JoiningThread([this] { ListenerLoop(); });
+  maintenance_thread_ = wdg::JoiningThread([this] { MaintenanceLoop(); });
+  if (!options_.heartbeat_target.empty()) {
+    heartbeat_thread_ = wdg::JoiningThread([this] { HeartbeatLoop(); });
+  }
+  return wdg::Status::Ok();
+}
+
+void KvsNode::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stop_.Request();
+  listener_thread_.Join();
+  heartbeat_thread_.Join();
+  maintenance_thread_.Join();
+  if (flusher_) {
+    flusher_->Stop();
+  }
+  if (compaction_) {
+    compaction_->Stop();
+  }
+  if (replication_) {
+    replication_->Stop();
+  }
+}
+
+void KvsNode::ListenerLoop() {
+  while (!stop_.Requested()) {
+    hooks_.Site("RequestLoop:2")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("node", options_.node_id);
+      ctx.MarkReady(clock_.NowNs());
+    });
+    metrics_.GetGauge("kvs.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
+    auto msg = endpoint_->Recv(wdg::Ms(5));
+    if (!msg.has_value()) {
+      continue;
+    }
+    metrics_.GetGauge("kvs.listener.queue_depth")
+        ->Set(static_cast<double>(endpoint_->PendingCount()));
+    if (msg->type == kMsgRequest) {
+      metrics_.GetCounter("kvs.requests.received")->Increment();
+      const auto request = Request::Decode(msg->payload);
+      Response response = request.ok() ? Apply(*request)
+                                       : Response::Err(request.status());
+      (void)endpoint_->Reply(*msg, response.Encode());
+    } else if (msg->type == kMsgReplicate) {
+      ApplyReplicatedBatch(msg->payload);
+      (void)endpoint_->Reply(*msg, "ack");
+    } else if (msg->type == kMsgWdgProbe) {
+      // The watchdog's cross-node liveness channel.
+      (void)endpoint_->Reply(*msg, "ok");
+    } else if (msg->type == kMsgHeartbeat) {
+      metrics_.GetCounter("kvs.heartbeats.received")->Increment();
+    }
+  }
+}
+
+Response KvsNode::Apply(const Request& request, bool from_replication) {
+  if (request.op == OpType::kGet) {
+    hooks_.Site("ApplyRequest:2")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("key", request.key);
+      ctx.MarkReady(clock_.NowNs());
+    });
+    const auto value = index_.Get(request.key);
+    if (!value.ok()) {
+      metrics_.GetCounter("kvs.requests.errors")->Increment();
+      return Response::Err(value.status());
+    }
+    if (!value->has_value()) {
+      return Response::Err(wdg::NotFoundError(request.key));
+    }
+    metrics_.GetCounter("kvs.requests.gets")->Increment();
+    return Response::Ok(**value);
+  }
+
+  // Write path: WAL first (durability), then memtable, then replication.
+  // Serialized against flushes: the flusher truncates the WAL after moving
+  // the memtable to disk, so appends must not interleave with that window.
+  std::unique_lock<std::timed_mutex> write_guard(memtable_.flush_lock());
+  if (!options_.in_memory && !from_replication) {
+    const std::string record = request.Encode();
+    hooks_.Site("WalAppend:1")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("wal_path", wal_path());
+      ctx.Set("record_bytes", static_cast<int64_t>(record.size()));
+      ctx.MarkReady(clock_.NowNs());
+    });
+    wdg::Status status = wal_->Append(record);
+    if (!status.ok() && (status.code() == wdg::StatusCode::kIoError ||
+                         status.code() == wdg::StatusCode::kUnavailable)) {
+      // In-place error handler (Table 1, row 2): a known transient error at a
+      // specific program point gets one retry so execution can continue.
+      metrics_.GetCounter("kvs.error_handler.retries")->Increment();
+      status = wal_->Append(record);
+      if (status.ok()) {
+        metrics_.GetCounter("kvs.error_handler.recovered")->Increment();
+      }
+    }
+    if (!status.ok()) {
+      metrics_.GetCounter("kvs.requests.errors")->Increment();
+      return Response::Err(status);
+    }
+  }
+  switch (request.op) {
+    case OpType::kSet:
+      memtable_.Set(request.key, request.value);
+      break;
+    case OpType::kAppend:
+      memtable_.Append(request.key, request.value);
+      break;
+    case OpType::kDel:
+      memtable_.Del(request.key);
+      break;
+    case OpType::kGet:
+      break;  // handled above
+  }
+  metrics_.GetCounter("kvs.requests.writes")->Increment();
+  metrics_.GetGauge("kvs.memtable.bytes")
+      ->Set(static_cast<double>(memtable_.ApproximateBytes()));
+  if (!from_replication) {
+    replication_->Enqueue(request);
+  }
+  return Response::Ok();
+}
+
+void KvsNode::ApplyReplicatedBatch(const std::string& payload) {
+  for (const std::string& record : wdg::StrSplit(payload, kBatchSep)) {
+    if (record.empty()) {
+      continue;
+    }
+    const auto request = Request::Decode(record);
+    if (request.ok()) {
+      Apply(*request, /*from_replication=*/true);
+      metrics_.GetCounter("kvs.replication.applied")->Increment();
+    }
+  }
+}
+
+void KvsNode::HeartbeatLoop() {
+  // Separate endpoint: heartbeats must not contend with request handling —
+  // which is exactly why they keep flowing through partial failures.
+  wdg::Endpoint* hb = net_.CreateEndpoint(options_.node_id + ".hb");
+  while (!stop_.WaitFor(options_.heartbeat_interval)) {
+    const wdg::Status status =
+        hb->Send(options_.heartbeat_target, kMsgHeartbeat, options_.node_id);
+    if (status.ok()) {
+      metrics_.GetCounter("kvs.heartbeats.sent")->Increment();
+    }
+  }
+}
+
+void KvsNode::MaintenanceLoop() {
+  while (!stop_.WaitFor(options_.maintenance_poll)) {
+    metrics_.GetGauge("kvs.maintenance.last_tick_ns")
+        ->Set(static_cast<double>(clock_.NowNs()));
+    metrics_.GetGauge("kvs.index.tables")
+        ->Set(static_cast<double>(index_.Tables().size()));
+    metrics_.GetGauge("kvs.memtable.bytes")
+        ->Set(static_cast<double>(memtable_.ApproximateBytes()));
+
+    const wdg::Status sorted = partitions_.CheckRangesSorted();
+    if (!sorted.ok()) {
+      metrics_.GetCounter("kvs.partition.order_violations")->Increment();
+    }
+    // Rotate one partition validation per tick (the real program's own
+    // periodic fsck, which the mimic checker shares fate with).
+    const auto partitions = partitions_.Partitions();
+    if (!partitions.empty()) {
+      const size_t i = maintenance_cursor_.fetch_add(1) % partitions.size();
+      hooks_.Site("PartitionMaintenance:2")->Fire([&](wdg::CheckContext& ctx) {
+        ctx.Set("table", partitions[i].path);
+        ctx.MarkReady(clock_.NowNs());
+      });
+      const wdg::Status valid = partitions_.Validate(partitions[i].path);
+      if (!valid.ok()) {
+        metrics_.GetCounter("kvs.partition.validate_failures")->Increment();
+        WDG_LOG(kWarn) << "partition validation failed: " << valid;
+      }
+    }
+  }
+}
+
+}  // namespace kvs

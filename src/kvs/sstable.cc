@@ -1,0 +1,95 @@
+#include "src/kvs/sstable.h"
+
+#include "src/common/checksum.h"
+#include "src/common/strings.h"
+
+namespace kvs {
+
+namespace {
+constexpr char kRecordSep = '\x1e';
+constexpr char kFieldSep = '\x1f';
+
+std::string Serialize(const std::vector<std::pair<std::string, MemEntry>>& entries) {
+  std::string body;
+  for (const auto& [key, entry] : entries) {
+    body += key;
+    body += kFieldSep;
+    body += entry.tombstone ? "T" : "V";
+    body += kFieldSep;
+    body += entry.value;
+    body += kRecordSep;
+  }
+  return body;
+}
+
+wdg::Result<std::map<std::string, MemEntry>> Parse(const std::string& body) {
+  std::map<std::string, MemEntry> entries;
+  size_t at = 0;
+  while (at < body.size()) {
+    const size_t end = body.find(kRecordSep, at);
+    if (end == std::string::npos) {
+      return wdg::CorruptionError("sstable record missing terminator");
+    }
+    const std::string record = body.substr(at, end - at);
+    const auto fields = wdg::StrSplit(record, kFieldSep);
+    if (fields.size() != 3 || (fields[1] != "T" && fields[1] != "V")) {
+      return wdg::CorruptionError("sstable record malformed");
+    }
+    MemEntry entry;
+    entry.tombstone = fields[1] == "T";
+    entry.value = fields[2];
+    entries[fields[0]] = std::move(entry);
+    at = end + 1;
+  }
+  return entries;
+}
+}  // namespace
+
+wdg::Status SsTable::Write(wdg::SimDisk& disk, const std::string& path,
+                           const std::vector<std::pair<std::string, MemEntry>>& entries) {
+  const std::string body = Serialize(entries);
+  // Footer: 8 hex chars of CRC over the body.
+  const std::string footer = wdg::StrFormat("%08x", wdg::Crc32(body));
+  WDG_RETURN_IF_ERROR(disk.Create(path));
+  WDG_RETURN_IF_ERROR(disk.Write(path, 0, body + footer));
+  return disk.Fsync(path);
+}
+
+namespace {
+wdg::Result<std::string> LoadValidatedBody(const wdg::SimDisk& disk, const std::string& path) {
+  WDG_ASSIGN_OR_RETURN(const std::string data, disk.ReadAll(path));
+  if (data.size() < 8) {
+    return wdg::CorruptionError("sstable too short for footer: " + path);
+  }
+  const std::string body = data.substr(0, data.size() - 8);
+  const std::string footer = data.substr(data.size() - 8);
+  if (wdg::StrFormat("%08x", wdg::Crc32(body)) != footer) {
+    return wdg::CorruptionError("sstable checksum mismatch: " + path);
+  }
+  return body;
+}
+}  // namespace
+
+wdg::Result<std::map<std::string, MemEntry>> SsTable::Load(const wdg::SimDisk& disk,
+                                                           const std::string& path) {
+  WDG_ASSIGN_OR_RETURN(const std::string body, LoadValidatedBody(disk, path));
+  return Parse(body);
+}
+
+wdg::Status SsTable::Validate(const wdg::SimDisk& disk, const std::string& path) {
+  WDG_ASSIGN_OR_RETURN(const std::string body, LoadValidatedBody(disk, path));
+  return Parse(body).status();
+}
+
+wdg::Result<std::optional<MemEntry>> SsTable::Lookup(const wdg::SimDisk& disk,
+                                                     const std::string& path,
+                                                     const std::string& key) {
+  WDG_ASSIGN_OR_RETURN(const auto entries, Load(disk, path));
+  const auto it = entries.find(key);
+  if (it == entries.end()) {
+    return std::optional<MemEntry>{};
+  }
+  return std::optional<MemEntry>{it->second};
+}
+
+}  // namespace kvs

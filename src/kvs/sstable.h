@@ -1,0 +1,36 @@
+// Immutable sorted string tables on SimDisk, with a CRC footer the partition
+// manager validates — the "complex fsck-like checks" watchdogs run (§2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/kvs/memtable.h"
+#include "src/sim/sim_disk.h"
+
+namespace kvs {
+
+class SsTable {
+ public:
+  // Writes `entries` (sorted, may contain tombstones) to `path`.
+  static wdg::Status Write(wdg::SimDisk& disk, const std::string& path,
+                           const std::vector<std::pair<std::string, MemEntry>>& entries);
+
+  // Loads and validates the whole table. CORRUPTION if the footer CRC
+  // mismatches the data (bad media, bit rot, lost write).
+  static wdg::Result<std::map<std::string, MemEntry>> Load(const wdg::SimDisk& disk,
+                                                           const std::string& path);
+
+  // Validates integrity without materializing entries.
+  static wdg::Status Validate(const wdg::SimDisk& disk, const std::string& path);
+
+  // Point lookup (loads the table; fine at simulation scale).
+  static wdg::Result<std::optional<MemEntry>> Lookup(const wdg::SimDisk& disk,
+                                                     const std::string& path,
+                                                     const std::string& key);
+};
+
+}  // namespace kvs

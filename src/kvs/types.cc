@@ -1,0 +1,92 @@
+#include "src/kvs/types.h"
+
+#include "src/common/strings.h"
+
+namespace kvs {
+
+namespace {
+constexpr char kSep = '\x1f';
+}
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kGet:
+      return "GET";
+    case OpType::kSet:
+      return "SET";
+    case OpType::kAppend:
+      return "APPEND";
+    case OpType::kDel:
+      return "DEL";
+  }
+  return "?";
+}
+
+std::string Request::Encode() const {
+  std::string out;
+  out += OpTypeName(op);
+  out += kSep;
+  out += key;
+  out += kSep;
+  out += value;
+  return out;
+}
+
+wdg::Result<Request> Request::Decode(const std::string& payload) {
+  const auto parts = wdg::StrSplit(payload, kSep);
+  if (parts.size() != 3) {
+    return wdg::InvalidArgumentError("malformed kvs request");
+  }
+  Request req;
+  if (parts[0] == "GET") {
+    req.op = OpType::kGet;
+  } else if (parts[0] == "SET") {
+    req.op = OpType::kSet;
+  } else if (parts[0] == "APPEND") {
+    req.op = OpType::kAppend;
+  } else if (parts[0] == "DEL") {
+    req.op = OpType::kDel;
+  } else {
+    return wdg::InvalidArgumentError("unknown kvs op: " + parts[0]);
+  }
+  req.key = parts[1];
+  req.value = parts[2];
+  return req;
+}
+
+std::string Response::Encode() const {
+  std::string out = ok ? "OK" : "ERR";
+  out += kSep;
+  out += error;
+  out += kSep;
+  out += value;
+  return out;
+}
+
+wdg::Result<Response> Response::Decode(const std::string& payload) {
+  const auto parts = wdg::StrSplit(payload, kSep);
+  if (parts.size() != 3) {
+    return wdg::InvalidArgumentError("malformed kvs response");
+  }
+  Response resp;
+  resp.ok = parts[0] == "OK";
+  resp.error = parts[1];
+  resp.value = parts[2];
+  return resp;
+}
+
+Response Response::Ok(std::string value) {
+  Response resp;
+  resp.ok = true;
+  resp.value = std::move(value);
+  return resp;
+}
+
+Response Response::Err(const wdg::Status& status) {
+  Response resp;
+  resp.ok = false;
+  resp.error = status.ToString();
+  return resp;
+}
+
+}  // namespace kvs

@@ -1,0 +1,47 @@
+// Wire types for kvs: the paper's running example (§3). "Despite its simple
+// interface (GET, SET, APPEND, DEL), kvs has complex internals."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace kvs {
+
+enum class OpType { kGet, kSet, kAppend, kDel };
+
+const char* OpTypeName(OpType op);
+
+struct Request {
+  OpType op = OpType::kGet;
+  std::string key;
+  std::string value;
+
+  std::string Encode() const;
+  static wdg::Result<Request> Decode(const std::string& payload);
+};
+
+struct Response {
+  bool ok = false;
+  std::string error;  // StatusCode name when !ok
+  std::string value;  // GET result
+
+  std::string Encode() const;
+  static wdg::Result<Response> Decode(const std::string& payload);
+
+  static Response Ok(std::string value = "");
+  static Response Err(const wdg::Status& status);
+};
+
+// Message types on the wire.
+inline constexpr char kMsgRequest[] = "kvs.request";
+inline constexpr char kMsgReplicate[] = "kvs.replicate";
+inline constexpr char kMsgHeartbeat[] = "kvs.heartbeat";
+inline constexpr char kMsgWdgProbe[] = "kvs.wdg_probe";
+
+// Keys under this prefix belong to the watchdog and never collide with
+// client data (isolation for probe/mimic keyspace operations).
+inline constexpr char kWatchdogKeyPrefix[] = "__wdg/";
+
+}  // namespace kvs

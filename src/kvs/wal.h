@@ -1,0 +1,40 @@
+// Write-ahead log on SimDisk. Records are length+CRC framed so recovery can
+// detect torn/corrupted tails.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/sim_disk.h"
+
+namespace kvs {
+
+class Wal {
+ public:
+  Wal(wdg::SimDisk& disk, std::string path);
+
+  wdg::Status Open();  // creates the log file if missing
+  // Appends one framed record and fsyncs.
+  wdg::Status Append(const std::string& record);
+  // Replays all intact records; stops cleanly at a torn/corrupt tail and
+  // reports how many bytes were dropped.
+  struct RecoveryResult {
+    std::vector<std::string> records;
+    int64_t corrupt_tail_bytes = 0;
+  };
+  wdg::Result<RecoveryResult> Recover() const;
+
+  wdg::Status Truncate();  // after a successful flush the log restarts
+  const std::string& path() const { return path_; }
+  int64_t appended_records() const { return appended_; }
+
+  static std::string FrameRecord(const std::string& record);
+
+ private:
+  wdg::SimDisk& disk_;
+  std::string path_;
+  int64_t appended_ = 0;
+};
+
+}  // namespace kvs

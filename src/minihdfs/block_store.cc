@@ -1,0 +1,68 @@
+#include "src/minihdfs/block_store.h"
+
+#include <cstdlib>
+
+#include "src/common/checksum.h"
+#include "src/common/strings.h"
+
+namespace minihdfs {
+
+std::string BlockStore::BlockPath(int64_t block_id) const {
+  return wdg::StrFormat("%s/blk_%lld", root_.c_str(), static_cast<long long>(block_id));
+}
+
+std::string BlockStore::MetaPath(int64_t block_id) const {
+  return BlockPath(block_id) + ".meta";
+}
+
+wdg::Status BlockStore::WriteBlock(int64_t block_id, const std::string& data) {
+  const std::string path = BlockPath(block_id);
+  if (!disk_.Exists(path)) {
+    WDG_RETURN_IF_ERROR(disk_.Create(path));
+  }
+  WDG_RETURN_IF_ERROR(disk_.Write(path, 0, data));
+  WDG_RETURN_IF_ERROR(disk_.Fsync(path));
+  // Sidecar checksum (HDFS's blk_*.meta).
+  const std::string meta = MetaPath(block_id);
+  if (!disk_.Exists(meta)) {
+    WDG_RETURN_IF_ERROR(disk_.Create(meta));
+  }
+  WDG_RETURN_IF_ERROR(disk_.Write(meta, 0, wdg::StrFormat("%08x", wdg::Crc32(data))));
+  return disk_.Fsync(meta);
+}
+
+wdg::Result<std::string> BlockStore::ReadBlock(int64_t block_id) const {
+  WDG_ASSIGN_OR_RETURN(const std::string data, disk_.ReadAll(BlockPath(block_id)));
+  WDG_ASSIGN_OR_RETURN(const std::string meta, disk_.ReadAll(MetaPath(block_id)));
+  const uint32_t expected = static_cast<uint32_t>(std::strtoul(meta.c_str(), nullptr, 16));
+  if (wdg::Crc32(data) != expected) {
+    return wdg::CorruptionError(
+        wdg::StrFormat("block %lld checksum mismatch", static_cast<long long>(block_id)));
+  }
+  return data;
+}
+
+wdg::Status BlockStore::VerifyBlock(int64_t block_id) const {
+  return ReadBlock(block_id).status();
+}
+
+wdg::Status BlockStore::DeleteBlock(int64_t block_id) {
+  WDG_RETURN_IF_ERROR(disk_.Delete(BlockPath(block_id)));
+  return disk_.Delete(MetaPath(block_id));
+}
+
+std::vector<int64_t> BlockStore::ListBlocks() const {
+  std::vector<int64_t> blocks;
+  for (const std::string& path : disk_.List(root_ + "/blk_")) {
+    if (path.size() > 5 && path.substr(path.size() - 5) == ".meta") {
+      continue;
+    }
+    const size_t at = path.find("blk_");
+    blocks.push_back(std::strtoll(path.c_str() + at + 4, nullptr, 10));
+  }
+  return blocks;
+}
+
+bool BlockStore::HasBlock(int64_t block_id) const { return disk_.Exists(BlockPath(block_id)); }
+
+}  // namespace minihdfs

@@ -1,0 +1,36 @@
+// DataNode block storage: blocks + sidecar checksum metadata on SimDisk,
+// mirroring HDFS's block/.meta file pair. The block scanner and the famous
+// DataNode disk checker (§3.3 / HADOOP-13738) both work against this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/sim_disk.h"
+
+namespace minihdfs {
+
+class BlockStore {
+ public:
+  BlockStore(wdg::SimDisk& disk, std::string root) : disk_(disk), root_(std::move(root)) {}
+
+  wdg::Status WriteBlock(int64_t block_id, const std::string& data);
+  // Verifies the sidecar checksum; CORRUPTION on mismatch.
+  wdg::Result<std::string> ReadBlock(int64_t block_id) const;
+  // Integrity check without returning data (what the block scanner runs).
+  wdg::Status VerifyBlock(int64_t block_id) const;
+  wdg::Status DeleteBlock(int64_t block_id);
+  std::vector<int64_t> ListBlocks() const;
+  bool HasBlock(int64_t block_id) const;
+
+  std::string BlockPath(int64_t block_id) const;
+  std::string MetaPath(int64_t block_id) const;
+
+ private:
+  wdg::SimDisk& disk_;
+  std::string root_;
+};
+
+}  // namespace minihdfs

@@ -1,0 +1,202 @@
+#include "src/minihdfs/datanode.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace minihdfs {
+
+DataNode::DataNode(wdg::Clock& clock, wdg::SimDisk& disk, wdg::SimNet& net,
+                   DataNodeOptions options)
+    : clock_(clock), disk_(disk), net_(net), options_(std::move(options)),
+      blocks_(disk_, options_.data_dir + "/" + options_.node_id) {}
+
+DataNode::~DataNode() { Stop(); }
+
+wdg::Status DataNode::Start() {
+  if (running_.exchange(true)) {
+    return wdg::Status::Ok();
+  }
+  endpoint_ = net_.CreateEndpoint(options_.node_id);
+  if (!options_.downstream.empty()) {
+    pipeline_endpoint_ = net_.CreateEndpoint(options_.node_id + ".pipe");
+  }
+  listener_thread_ = wdg::JoiningThread([this] { ListenerLoop(); });
+  scanner_thread_ = wdg::JoiningThread([this] { ScannerLoop(); });
+  heartbeat_thread_ = wdg::JoiningThread([this] { HeartbeatLoop(); });
+  return wdg::Status::Ok();
+}
+
+void DataNode::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stop_.Request();
+  listener_thread_.Join();
+  scanner_thread_.Join();
+  heartbeat_thread_.Join();
+}
+
+wdg::Status DataNode::CheckDirsPermissionsOnly() const {
+  // The weak "before" of HADOOP-13738: a directory listing succeeds even on
+  // a device that can no longer write a single byte.
+  (void)disk_.List(options_.data_dir + "/" + options_.node_id);
+  return wdg::Status::Ok();
+}
+
+void DataNode::ListenerLoop() {
+  while (!stop_.Requested()) {
+    hooks_.Site("DataNodeLoop:2")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("node", options_.node_id);
+      ctx.MarkReady(clock_.NowNs());
+    });
+    metrics_.GetGauge("hdfs.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
+    auto msg = endpoint_->Recv(wdg::Ms(5));
+    if (!msg.has_value()) {
+      continue;
+    }
+    if (msg->type == kMsgWriteBlock) {
+      const size_t sep = msg->payload.find('\x1f');
+      if (sep == std::string::npos) {
+        (void)endpoint_->Reply(*msg, "ERR: malformed");
+        continue;
+      }
+      const int64_t block_id = std::strtoll(msg->payload.c_str(), nullptr, 10);
+      const std::string data = msg->payload.substr(sep + 1);
+      hooks_.Site("HandleWriteBlock:1")->Fire([&](wdg::CheckContext& ctx) {
+        ctx.Set("block_id", block_id);
+        ctx.Set("block_bytes", static_cast<int64_t>(data.size()));
+        ctx.MarkReady(clock_.NowNs());
+      });
+      wdg::Status status = blocks_.WriteBlock(block_id, data);
+      if (status.ok()) {
+        blocks_written_.fetch_add(1);
+        metrics_.GetCounter("hdfs.blocks_written")->Increment();
+        // HDFS write pipeline: forward to the downstream replica and wait for
+        // its ack before acking the client. A hang on this link wedges the
+        // listener mid-pipeline — a classic limplock amplifier.
+        if (pipeline_endpoint_ != nullptr) {
+          const auto ack = pipeline_endpoint_->Call(options_.downstream, kMsgWriteBlock,
+                                                    msg->payload,
+                                                    options_.pipeline_ack_timeout);
+          if (ack.ok() && *ack == "ok") {
+            pipeline_acks_.fetch_add(1);
+            metrics_.GetCounter("hdfs.pipeline_acks")->Increment();
+          } else {
+            pipeline_failures_.fetch_add(1);
+            metrics_.GetCounter("hdfs.pipeline_failures")->Increment();
+            status = ack.ok() ? wdg::InternalError(*ack) : ack.status();
+          }
+        }
+      }
+      (void)endpoint_->Reply(*msg, status.ok() ? "ok" : status.ToString());
+    } else if (msg->type == kMsgReadBlock) {
+      const int64_t block_id = std::strtoll(msg->payload.c_str(), nullptr, 10);
+      const auto data = blocks_.ReadBlock(block_id);
+      (void)endpoint_->Reply(*msg, data.ok() ? "ok\x1f" + *data : data.status().ToString());
+    } else if (msg->type == kMsgWdgProbe) {
+      (void)endpoint_->Reply(*msg, "ok");
+    }
+  }
+}
+
+void DataNode::ScannerLoop() {
+  // HDFS's block scanner: continuously re-verifies block checksums.
+  while (!stop_.WaitFor(options_.scan_interval)) {
+    metrics_.GetGauge("hdfs.scanner.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
+    const auto block_ids = blocks_.ListBlocks();
+    if (block_ids.empty()) {
+      continue;
+    }
+    const int64_t block_id = block_ids[scan_cursor_.fetch_add(1) % block_ids.size()];
+    hooks_.Site("BlockScanLoop:2")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("block_id", block_id);
+      ctx.MarkReady(clock_.NowNs());
+    });
+    // Instrumented site: campaigns can wedge or break the scanner itself.
+    const wdg::Status gate = disk_.injector().Act("hdfs.scan.verify");
+    const wdg::Status status = gate.ok() ? blocks_.VerifyBlock(block_id) : gate;
+    if (status.ok()) {
+      scans_.fetch_add(1);
+      metrics_.GetCounter("hdfs.scans_ok")->Increment();
+    } else {
+      scan_failures_.fetch_add(1);
+      metrics_.GetCounter("hdfs.scan_failures")->Increment();
+      WDG_LOG(kWarn) << "block scan failed: " << status;
+    }
+  }
+}
+
+void DataNode::HeartbeatLoop() {
+  wdg::Endpoint* hb = net_.CreateEndpoint(options_.node_id + ".hb");
+  while (!stop_.WaitFor(options_.heartbeat_interval)) {
+    hooks_.Site("HeartbeatLoop:2")->Fire([&](wdg::CheckContext& ctx) {
+      ctx.Set("namenode", options_.namenode_id);
+      ctx.MarkReady(clock_.NowNs());
+    });
+    const std::string payload = options_.node_id + '\x1f' +
+                                wdg::StrFormat("%zu", blocks_.ListBlocks().size());
+    const wdg::Status status = hb->Send(options_.namenode_id, kMsgHeartbeat, payload);
+    if (status.ok()) {
+      metrics_.GetCounter("hdfs.heartbeats_sent")->Increment();
+    }
+  }
+}
+
+NameNode::NameNode(wdg::Clock& clock, wdg::SimNet& net, wdg::NodeId id)
+    : clock_(clock), net_(net), id_(std::move(id)) {
+  net_.CreateEndpoint(id_);
+}
+
+NameNode::~NameNode() { Stop(); }
+
+void NameNode::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = wdg::JoiningThread([this] { Loop(); });
+}
+
+void NameNode::Stop() {
+  stop_.Request();
+  thread_.Join();
+  started_ = false;
+}
+
+void NameNode::Loop() {
+  wdg::Endpoint* ep = net_.GetEndpoint(id_);
+  while (!stop_.Requested()) {
+    auto msg = ep->Recv(wdg::Ms(5));
+    if (!msg.has_value()) {
+      continue;
+    }
+    if (msg->type == kMsgHeartbeat) {
+      const size_t sep = msg->payload.find('\x1f');
+      const std::string dn = msg->payload.substr(0, sep);
+      std::lock_guard<std::mutex> lock(mu_);
+      last_beat_[dn] = clock_.NowNs();
+      if (sep != std::string::npos) {
+        block_counts_[dn] = std::strtoll(msg->payload.c_str() + sep + 1, nullptr, 10);
+      }
+      heartbeats_.fetch_add(1);
+    } else if (msg->type == kMsgWdgProbe) {
+      (void)ep->Reply(*msg, "ok");
+    }
+  }
+}
+
+bool NameNode::IsLive(const wdg::NodeId& dn, wdg::DurationNs within) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = last_beat_.find(dn);
+  return it != last_beat_.end() && clock_.NowNs() - it->second <= within;
+}
+
+int64_t NameNode::LastReportedBlockCount(const wdg::NodeId& dn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = block_counts_.find(dn);
+  return it == block_counts_.end() ? -1 : it->second;
+}
+
+}  // namespace minihdfs

@@ -1,0 +1,130 @@
+// Mini-HDFS: a DataNode (block xceiver, background block scanner, heartbeats
+// to the NameNode) and a minimal NameNode (heartbeat ledger). Third target
+// system for AutoWatchdog; home of the paper's canonical mimic checker story:
+//
+//   "the disk checker module in HDFS initially only checked directory
+//    permissions, but later it was enhanced to create some files and invoke
+//    functions from the DataNode main program to do real I/O in a similar
+//    way" (§3.3, HADOOP-13738)
+//
+// DataNode::CheckDirsPermissionsOnly() is the weak "before"; the generated
+// mimic disk checker (see ir_model.cc executors) is the strong "after".
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/threading.h"
+#include "src/minihdfs/block_store.h"
+#include "src/sim/sim_net.h"
+#include "src/watchdog/context.h"
+
+namespace minihdfs {
+
+// Message types.
+inline constexpr char kMsgWriteBlock[] = "hdfs.write_block";  // "<id>\x1f<data>"
+inline constexpr char kMsgReadBlock[] = "hdfs.read_block";    // "<id>"
+inline constexpr char kMsgHeartbeat[] = "hdfs.heartbeat";     // "<dn>\x1f<block_count>"
+inline constexpr char kMsgWdgProbe[] = "hdfs.wdg_probe";
+
+struct DataNodeOptions {
+  wdg::NodeId node_id = "dn1";
+  wdg::NodeId namenode_id = "nn";
+  // Non-empty: blocks are pipelined to this downstream DataNode after the
+  // local write (HDFS's write pipeline) and the client ack waits for it.
+  wdg::NodeId downstream;
+  std::string data_dir = "/hdfs";
+  wdg::DurationNs heartbeat_interval = wdg::Ms(25);
+  wdg::DurationNs scan_interval = wdg::Ms(30);  // block scanner cadence
+  wdg::DurationNs pipeline_ack_timeout = wdg::Ms(200);
+};
+
+class DataNode {
+ public:
+  DataNode(wdg::Clock& clock, wdg::SimDisk& disk, wdg::SimNet& net,
+           DataNodeOptions options = {});
+  ~DataNode();
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  wdg::Status Start();
+  void Stop();
+
+  // The original, weak disk check: directory exists & is listable. Misses
+  // everything interesting (bad sectors, failed writes, full device).
+  wdg::Status CheckDirsPermissionsOnly() const;
+
+  BlockStore& blocks() { return blocks_; }
+  wdg::HookSet& hooks() { return hooks_; }
+  wdg::MetricsRegistry& metrics() { return metrics_; }
+  wdg::SimDisk& disk() { return disk_; }
+  wdg::SimNet& net() { return net_; }
+  wdg::Clock& clock() { return clock_; }
+  const DataNodeOptions& options() const { return options_; }
+
+  int64_t blocks_written() const { return blocks_written_.load(); }
+  int64_t scans_completed() const { return scans_.load(); }
+  int64_t scan_failures() const { return scan_failures_.load(); }
+  int64_t pipeline_acks() const { return pipeline_acks_.load(); }
+  int64_t pipeline_failures() const { return pipeline_failures_.load(); }
+
+ private:
+  void ListenerLoop();
+  void ScannerLoop();
+  void HeartbeatLoop();
+
+  wdg::Clock& clock_;
+  wdg::SimDisk& disk_;
+  wdg::SimNet& net_;
+  DataNodeOptions options_;
+  BlockStore blocks_;
+  wdg::HookSet hooks_;
+  wdg::MetricsRegistry metrics_;
+
+  wdg::Endpoint* endpoint_ = nullptr;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> blocks_written_{0};
+  std::atomic<int64_t> pipeline_acks_{0};
+  std::atomic<int64_t> pipeline_failures_{0};
+  wdg::Endpoint* pipeline_endpoint_ = nullptr;
+  std::atomic<int64_t> scans_{0};
+  std::atomic<int64_t> scan_failures_{0};
+  std::atomic<size_t> scan_cursor_{0};
+  wdg::StopFlag stop_;
+  wdg::JoiningThread listener_thread_;
+  wdg::JoiningThread scanner_thread_;
+  wdg::JoiningThread heartbeat_thread_;
+};
+
+// Minimal NameNode: records DataNode heartbeats (the extrinsic liveness view).
+class NameNode {
+ public:
+  NameNode(wdg::Clock& clock, wdg::SimNet& net, wdg::NodeId id = "nn");
+  ~NameNode();
+
+  void Start();
+  void Stop();
+
+  bool IsLive(const wdg::NodeId& dn, wdg::DurationNs within) const;
+  int64_t heartbeats_received() const { return heartbeats_.load(); }
+  int64_t LastReportedBlockCount(const wdg::NodeId& dn) const;
+
+ private:
+  void Loop();
+
+  wdg::Clock& clock_;
+  wdg::SimNet& net_;
+  wdg::NodeId id_;
+  mutable std::mutex mu_;
+  std::map<wdg::NodeId, wdg::TimeNs> last_beat_;
+  std::map<wdg::NodeId, int64_t> block_counts_;
+  std::atomic<int64_t> heartbeats_{0};
+  wdg::StopFlag stop_;
+  wdg::JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace minihdfs

@@ -1,0 +1,139 @@
+#include "src/minihdfs/ir_model.h"
+
+#include "src/common/strings.h"
+
+namespace minihdfs {
+
+using awd::FunctionBuilder;
+using awd::OpKind;
+
+awd::Module DescribeIr(const DataNodeOptions& options) {
+  awd::Module module("minihdfs");
+
+  // --- block xceiver (write path) -------------------------------------------
+  module.AddFunction(FunctionBuilder("DataNodeLoop", "hdfs.listener")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kNetRecv, "net.recv." + options.node_id, {"node"},
+                             {"msg"}, "endpoint.Recv()")
+                         .Call("HandleWriteBlock", {"msg"})
+                         .LoopEnd()
+                         .Build());
+  {
+    FunctionBuilder handle("HandleWriteBlock", "hdfs.xceiver");
+    handle.Param("msg");
+    handle.Op(OpKind::kIoCreate, "disk.create", {"block_id"}, {}, "create block file");
+    handle.Op(OpKind::kIoWrite, "disk.write", {"block_id", "block_bytes"}, {},
+              "write block data");
+    handle.Op(OpKind::kIoFsync, "disk.fsync", {"block_id"}, {}, "fsync block + meta");
+    if (!options.downstream.empty()) {
+      handle.Op(OpKind::kNetSend, "net.send." + options.downstream, {"block_id"}, {},
+                "pipeline to downstream replica");
+    }
+    handle.Compute("update metrics", {"block_id"});
+    handle.Return();
+    module.AddFunction(handle.Build());
+  }
+
+  // --- block scanner ----------------------------------------------------------
+  module.AddFunction(FunctionBuilder("BlockScanLoop", "hdfs.scanner")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kCompute, "hdfs.scan.verify", {"block_id"}, {},
+                             "verify block checksum")
+                         .Vulnerable()
+                         .LoopEnd()
+                         .Build());
+
+  // --- heartbeats --------------------------------------------------------------
+  module.AddFunction(FunctionBuilder("HeartbeatLoop", "hdfs.heartbeat")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kNetSend, "net.send." + options.namenode_id,
+                             {"namenode"}, {}, "send heartbeat + block report")
+                         .LoopEnd()
+                         .Build());
+
+  return module;
+}
+
+void RegisterOpExecutors(awd::OpExecutorRegistry& registry, DataNode& node) {
+  const std::string node_id = node.options().node_id;
+  const std::string namenode_id = node.options().namenode_id;
+
+  registry.Register(
+      "net.recv." + node_id,
+      [&node](const awd::ReducedOp&, const wdg::CheckContext&, const std::string&) {
+        const double last = node.metrics().GetGauge("hdfs.listener.last_tick_ns")->Value();
+        const double age = static_cast<double>(node.clock().NowNs()) - last;
+        if (last > 0 && age > static_cast<double>(wdg::Ms(500))) {
+          return wdg::TimeoutError("datanode listener has not ticked recently");
+        }
+        return wdg::Status::Ok();
+      });
+
+  // THE disk checker (§3.3): create a file, do real I/O the way the write
+  // path does, read it back, clean up — in the checker's scratch namespace.
+  registry.Register(
+      "disk.create",
+      [&node](const awd::ReducedOp&, const wdg::CheckContext&, const std::string& checker) {
+        wdg::SimDisk& disk = node.disk();
+        const std::string path = wdg::SimDisk::ScratchPath(checker, "disk-probe.blk");
+        if (disk.Exists(path)) {
+          WDG_RETURN_IF_ERROR(disk.Delete(path));
+        }
+        return disk.Create(path);
+      });
+  registry.Register(
+      "disk.write",
+      [&node](const awd::ReducedOp&, const wdg::CheckContext& ctx, const std::string& checker) {
+        wdg::SimDisk& disk = node.disk();
+        const std::string path = wdg::SimDisk::ScratchPath(checker, "disk-probe.blk");
+        if (!disk.Exists(path)) {
+          WDG_RETURN_IF_ERROR(disk.Create(path));
+        }
+        const int64_t size = std::min<int64_t>(ctx.GetInt("block_bytes").value_or(512), 4096);
+        const std::string data(static_cast<size_t>(size), '\x6b');
+        WDG_RETURN_IF_ERROR(disk.Write(path, 0, data));
+        WDG_ASSIGN_OR_RETURN(const std::string readback, disk.Read(path, 0, size));
+        if (readback != data) {
+          return wdg::CorruptionError("disk checker: block read back differently");
+        }
+        return wdg::Status::Ok();
+      });
+  registry.Register(
+      "disk.fsync",
+      [&node](const awd::ReducedOp&, const wdg::CheckContext&, const std::string& checker) {
+        wdg::SimDisk& disk = node.disk();
+        const std::string path = wdg::SimDisk::ScratchPath(checker, "disk-probe.blk");
+        if (!disk.Exists(path)) {
+          WDG_RETURN_IF_ERROR(disk.Create(path));
+        }
+        return disk.Fsync(path);
+      });
+
+  // Scanner mimic: verify one real block (read-only), through the same
+  // instrumented site the scanner uses — fate shared with a wedged scanner.
+  registry.Register(
+      "hdfs.scan.verify",
+      [&node](const awd::ReducedOp&, const wdg::CheckContext& ctx, const std::string&) {
+        WDG_RETURN_IF_ERROR(node.disk().injector().Act("hdfs.scan.verify"));
+        const auto block_id = ctx.GetInt("block_id");
+        if (!block_id.has_value() || !node.blocks().HasBlock(*block_id)) {
+          return wdg::Status::Ok();  // block may have been deleted since the hook
+        }
+        return node.blocks().VerifyBlock(*block_id);
+      });
+
+  // Heartbeat-path probe to the NameNode on the real link.
+  registry.Register(
+      "net.send.*",
+      [&node, node_id](const awd::ReducedOp& op, const wdg::CheckContext&,
+                       const std::string&) {
+        const std::string dst = op.site.substr(std::string("net.send.").size());
+        wdg::Endpoint* wdg_ep = node.net().CreateEndpoint(node_id + ".wdg");
+        return wdg_ep->Call(dst, kMsgWdgProbe, node_id, wdg::Ms(150)).status();
+      });
+}
+
+}  // namespace minihdfs

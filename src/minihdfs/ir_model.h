@@ -1,0 +1,17 @@
+// minihdfs ↔ AutoWatchdog bridge. The generated disk checker here is the
+// paper's §3.3 exemplar: it creates files and does real I/O the way the
+// DataNode's write path does — the enhanced HADOOP-13738 checker — rather
+// than the original permissions-only check.
+#pragma once
+
+#include "src/autowd/synth.h"
+#include "src/ir/ir.h"
+#include "src/minihdfs/datanode.h"
+
+namespace minihdfs {
+
+awd::Module DescribeIr(const DataNodeOptions& options);
+
+void RegisterOpExecutors(awd::OpExecutorRegistry& registry, DataNode& node);
+
+}  // namespace minihdfs

@@ -1,0 +1,70 @@
+#include "src/minizk/client.h"
+
+#include "src/common/strings.h"
+#include "src/minizk/zk_types.h"
+
+namespace minizk {
+
+ZkClient::ZkClient(wdg::SimNet& net, wdg::NodeId client_id, wdg::NodeId server_id,
+                   wdg::DurationNs timeout)
+    : endpoint_(net.CreateEndpoint(std::move(client_id))), server_id_(std::move(server_id)),
+      timeout_(timeout) {}
+
+wdg::Result<std::string> ZkClient::Call(const char* type, std::string payload) {
+  return endpoint_->Call(server_id_, type, std::move(payload), timeout_);
+}
+
+namespace {
+wdg::Status ToStatus(const wdg::Result<std::string>& reply) {
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (*reply == "ok") {
+    return wdg::Status::Ok();
+  }
+  return wdg::InternalError(*reply);
+}
+}  // namespace
+
+wdg::Status ZkClient::Create(const std::string& path, const std::string& data) {
+  return ToStatus(Call(kMsgCreate, EncodePathData(path, data)));
+}
+
+wdg::Status ZkClient::Set(const std::string& path, const std::string& data) {
+  return ToStatus(Call(kMsgSet, EncodePathData(path, data)));
+}
+
+wdg::Result<std::string> ZkClient::Get(const std::string& path) {
+  WDG_ASSIGN_OR_RETURN(const std::string reply, Call(kMsgGet, EncodePathData(path, "")));
+  if (wdg::StrStartsWith(reply, "ok\x1f")) {
+    return reply.substr(3);
+  }
+  if (reply.find("NOT_FOUND") != std::string::npos) {
+    return wdg::NotFoundError(path);
+  }
+  return wdg::InternalError(reply);
+}
+
+wdg::Status ZkClient::Delete(const std::string& path) {
+  return ToStatus(Call(kMsgDelete, EncodePathData(path, "")));
+}
+
+wdg::Result<std::vector<std::string>> ZkClient::Children(const std::string& path) {
+  WDG_ASSIGN_OR_RETURN(const std::string reply, Call(kMsgChildren, EncodePathData(path, "")));
+  if (!wdg::StrStartsWith(reply, "ok")) {
+    return wdg::InternalError(reply);
+  }
+  std::vector<std::string> children;
+  for (const std::string& part : wdg::StrSplit(reply, '\x1f')) {
+    if (part != "ok" && !part.empty()) {
+      children.push_back(part);
+    }
+  }
+  return children;
+}
+
+wdg::Result<std::string> ZkClient::Ruok() { return Call(kMsgRuok, ""); }
+
+wdg::Result<std::string> ZkClient::Stat() { return Call(kMsgStat, ""); }
+
+}  // namespace minizk

@@ -1,0 +1,38 @@
+// ZkClient: client view of minizk, including the admin commands (ruok/stat)
+// that baseline detectors rely on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/sim_net.h"
+
+namespace minizk {
+
+class ZkClient {
+ public:
+  ZkClient(wdg::SimNet& net, wdg::NodeId client_id, wdg::NodeId server_id,
+           wdg::DurationNs timeout = wdg::Ms(200));
+
+  wdg::Status Create(const std::string& path, const std::string& data);
+  wdg::Status Set(const std::string& path, const std::string& data);
+  wdg::Result<std::string> Get(const std::string& path);
+  wdg::Status Delete(const std::string& path);
+  wdg::Result<std::vector<std::string>> Children(const std::string& path);
+
+  // Admin probes: "are you ok?" and server stats.
+  wdg::Result<std::string> Ruok();
+  wdg::Result<std::string> Stat();
+
+  void set_timeout(wdg::DurationNs timeout) { timeout_ = timeout; }
+
+ private:
+  wdg::Result<std::string> Call(const char* type, std::string payload);
+
+  wdg::Endpoint* endpoint_;
+  wdg::NodeId server_id_;
+  wdg::DurationNs timeout_;
+};
+
+}  // namespace minizk

@@ -1,0 +1,104 @@
+#include "src/minizk/data_tree.h"
+
+#include "src/common/strings.h"
+
+namespace minizk {
+
+wdg::Status DataTree::Create(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(path) > 0) {
+    return wdg::AlreadyExistsError(path);
+  }
+  nodes_[path] = Znode{std::move(data), 0};
+  return wdg::Status::Ok();
+}
+
+wdg::Status DataTree::SetData(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return wdg::NotFoundError(path);
+  }
+  it->second.data = std::move(data);
+  ++it->second.version;
+  return wdg::Status::Ok();
+}
+
+wdg::Result<Znode> DataTree::GetData(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return wdg::NotFoundError(path);
+  }
+  return it->second;
+}
+
+wdg::Status DataTree::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.erase(path) > 0 ? wdg::Status::Ok() : wdg::NotFoundError(path);
+}
+
+std::vector<std::string> DataTree::Children(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> children;
+  for (const auto& [node_path, _] : nodes_) {
+    if (node_path.size() > prefix.size() && wdg::StrStartsWith(node_path, prefix) &&
+        node_path.find('/', prefix.size()) == std::string::npos) {
+      children.push_back(node_path);
+    }
+  }
+  return children;
+}
+
+size_t DataTree::NodeCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+wdg::Status DataTree::SerializeSnapshot(wdg::SimDisk& disk, const std::string& snap_path,
+                                        wdg::HookSet& hooks) {
+  // serializeSnapshot(dt, ...) { scount = 0; dt.serialize(oa, "tree"); }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scount_ = 0;
+  }
+  if (disk.Exists(snap_path)) {
+    WDG_RETURN_IF_ERROR(disk.Delete(snap_path));
+  }
+  WDG_RETURN_IF_ERROR(disk.Create(snap_path));
+
+  // serialize → serializeNode over every znode.
+  const auto snapshot = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_;
+  }();
+  for (const auto& [path, node] : snapshot) {
+    WDG_RETURN_IF_ERROR(SerializeNode(disk, snap_path, path, node, hooks));
+  }
+  return disk.Fsync(snap_path);
+}
+
+wdg::Status DataTree::SerializeNode(wdg::SimDisk& disk, const std::string& snap_path,
+                                    const std::string& path, const Znode& node,
+                                    wdg::HookSet& hooks) {
+  // synchronized (node) { scount++; oa.writeRecord(node, "node"); ... }
+  std::lock_guard<std::timed_mutex> sync(serialize_lock_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++scount_;
+  }
+  // The paper's AutoWatchdog inserts the context hook between the scount
+  // bump (line 19) and writeRecord (line 20) — same spot here.
+  hooks.Site("serializeNode:2")->Fire([&](wdg::CheckContext& ctx) {
+    ctx.Set("node", path);
+    ctx.Set("oa", snap_path);
+    ctx.MarkReady(clock_.NowNs());
+  });
+  const std::string record =
+      wdg::StrFormat("%s=%s;v%lld\n", path.c_str(), node.data.c_str(),
+                     static_cast<long long>(node.version));
+  return disk.Append(snap_path, record);
+}
+
+}  // namespace minizk

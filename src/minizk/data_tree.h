@@ -1,0 +1,57 @@
+// DataTree: minizk's hierarchical znode store, mirroring ZooKeeper's
+// DataTree from Figure 2 — including the per-tree serialization lock taken
+// inside serializeNode's synchronized block.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/sim_disk.h"
+#include "src/watchdog/context.h"
+
+namespace minizk {
+
+struct Znode {
+  std::string data;
+  int64_t version = 0;
+};
+
+class DataTree {
+ public:
+  explicit DataTree(wdg::Clock& clock) : clock_(clock) {}
+
+  wdg::Status Create(const std::string& path, std::string data);
+  wdg::Status SetData(const std::string& path, std::string data);
+  wdg::Result<Znode> GetData(const std::string& path) const;
+  wdg::Status Delete(const std::string& path);
+  std::vector<std::string> Children(const std::string& path) const;
+  size_t NodeCount() const;
+
+  // serializeSnapshot → serialize → serializeNode (Figure 2). Writes every
+  // znode record to `snap_path` on `disk`, holding the serialize lock per
+  // node and firing hook "serializeNode:2" with the node being written.
+  wdg::Status SerializeSnapshot(wdg::SimDisk& disk, const std::string& snap_path,
+                                wdg::HookSet& hooks);
+
+  // The synchronized(node) analog: the snapshot mimic checker try-locks this.
+  std::timed_mutex& serialize_lock() { return serialize_lock_; }
+
+  int64_t serialized_count() const { return scount_; }
+
+ private:
+  wdg::Status SerializeNode(wdg::SimDisk& disk, const std::string& snap_path,
+                            const std::string& path, const Znode& node, wdg::HookSet& hooks);
+
+  wdg::Clock& clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Znode> nodes_;
+  std::timed_mutex serialize_lock_;
+  int64_t scount_ = 0;  // the paper's `scount` bookkeeping
+};
+
+}  // namespace minizk

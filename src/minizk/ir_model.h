@@ -1,0 +1,15 @@
+// minizk ↔ AutoWatchdog bridge: the IR model (including the exact Figure 2
+// serializeSnapshot chain) and the mimic op executors.
+#pragma once
+
+#include "src/autowd/synth.h"
+#include "src/ir/ir.h"
+#include "src/minizk/server.h"
+
+namespace minizk {
+
+awd::Module DescribeIr(const ZkOptions& options);
+
+void RegisterOpExecutors(awd::OpExecutorRegistry& registry, ZkNode& node);
+
+}  // namespace minizk

@@ -1,0 +1,109 @@
+// ZkNode: the minizk leader process. Request listener (reads + admin
+// commands inline, writes through the SyncRequestProcessor), session pings
+// to followers, periodic snapshot service via the processor.
+//
+// ZkFollower: the minimal follower — acks remote syncs and session pings,
+// answers watchdog probes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/threading.h"
+#include "src/minizk/data_tree.h"
+#include "src/minizk/sync_processor.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_net.h"
+#include "src/watchdog/context.h"
+
+namespace minizk {
+
+struct ZkOptions {
+  wdg::NodeId node_id = "zk-leader";
+  std::vector<wdg::NodeId> followers;
+  int snapshot_every_n = 8;
+  wdg::DurationNs ping_interval = wdg::Ms(25);
+  wdg::DurationNs sync_timeout = wdg::Ms(300);
+  std::string data_dir = "/zk";
+};
+
+class ZkNode {
+ public:
+  ZkNode(wdg::Clock& clock, wdg::SimDisk& disk, wdg::SimNet& net, ZkOptions options = {});
+  ~ZkNode();
+
+  ZkNode(const ZkNode&) = delete;
+  ZkNode& operator=(const ZkNode&) = delete;
+
+  wdg::Status Start();
+  void Stop();
+
+  DataTree& tree() { return tree_; }
+  SyncRequestProcessor& processor() { return *processor_; }
+  wdg::HookSet& hooks() { return hooks_; }
+  wdg::MetricsRegistry& metrics() { return metrics_; }
+  wdg::SimDisk& disk() { return disk_; }
+  wdg::SimNet& net() { return net_; }
+  wdg::Clock& clock() { return clock_; }
+  const ZkOptions& options() const { return options_; }
+
+  int64_t pings_acked() const { return pings_acked_.load(); }
+
+ private:
+  void ListenerLoop();
+  void SessionLoop();
+
+  wdg::Clock& clock_;
+  wdg::SimDisk& disk_;
+  wdg::SimNet& net_;
+  ZkOptions options_;
+
+  DataTree tree_;
+  std::unique_ptr<SyncRequestProcessor> processor_;
+  wdg::HookSet hooks_;
+  wdg::MetricsRegistry metrics_;
+
+  wdg::Endpoint* endpoint_ = nullptr;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> pings_acked_{0};
+  wdg::StopFlag stop_;
+  wdg::JoiningThread listener_thread_;
+  wdg::JoiningThread session_thread_;
+};
+
+class ZkFollower {
+ public:
+  ZkFollower(wdg::Clock& clock, wdg::SimNet& net, wdg::NodeId id);
+  ~ZkFollower();
+
+  void Start();
+  void Stop();
+
+  int64_t syncs_acked() const { return syncs_acked_.load(); }
+  int64_t pings_acked() const { return pings_acked_.load(); }
+  const wdg::NodeId& id() const { return id_; }
+  // The follower's replica of the tree, built by applying remote syncs.
+  DataTree& tree() { return tree_; }
+
+ private:
+  void MainLoop();  // remote syncs, ruok, watchdog probes
+  void HbLoop();    // session pings on the "<id>.hb" endpoint
+  void ApplySync(const std::string& txn);
+
+  wdg::Clock& clock_;
+  wdg::SimNet& net_;
+  wdg::NodeId id_;
+  DataTree tree_;
+  std::atomic<int64_t> syncs_acked_{0};
+  std::atomic<int64_t> pings_acked_{0};
+  wdg::StopFlag stop_;
+  wdg::JoiningThread main_thread_;
+  wdg::JoiningThread hb_thread_;
+  bool started_ = false;
+};
+
+}  // namespace minizk

@@ -1,0 +1,150 @@
+#include "src/minizk/sync_processor.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/minizk/zk_types.h"
+
+namespace minizk {
+
+SyncRequestProcessor::SyncRequestProcessor(wdg::Clock& clock, wdg::SimDisk& disk,
+                                           wdg::SimNet& net, wdg::NodeId node_id,
+                                           DataTree& tree, wdg::HookSet& hooks,
+                                           wdg::MetricsRegistry& metrics,
+                                           ProcessorOptions options)
+    : clock_(clock), disk_(disk), net_(net), node_id_(std::move(node_id)), tree_(tree),
+      hooks_(hooks), metrics_(metrics), options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  sync_endpoint_ = net_.CreateEndpoint(node_id_ + ".sync");
+  reply_endpoint_ = net_.CreateEndpoint(node_id_ + ".commit");
+}
+
+wdg::Status SyncRequestProcessor::Start() {
+  if (started_) {
+    return wdg::Status::Ok();
+  }
+  if (!disk_.Exists(options_.txn_log_path)) {
+    WDG_RETURN_IF_ERROR(disk_.Create(options_.txn_log_path));
+  } else {
+    // Crash recovery: replay the transaction log into the tree. Lines are
+    // "<op> <path>\x1f<data>"; malformed tails are skipped.
+    WDG_ASSIGN_OR_RETURN(const std::string log, disk_.ReadAll(options_.txn_log_path));
+    for (const std::string& line : wdg::StrSplit(log, '\n')) {
+      const size_t space = line.find(' ');
+      if (space == std::string::npos) {
+        continue;
+      }
+      const std::string op = line.substr(0, space);
+      const auto decoded = DecodePathData(line.substr(space + 1));
+      if (!decoded.ok()) {
+        continue;
+      }
+      wdg::Status applied;
+      if (op == kMsgCreate) {
+        applied = tree_.Create(decoded->first, decoded->second);
+      } else if (op == kMsgSet) {
+        applied = tree_.SetData(decoded->first, decoded->second);
+      } else if (op == kMsgDelete) {
+        applied = tree_.Delete(decoded->first);
+      } else {
+        continue;
+      }
+      if (applied.ok()) {
+        recovered_.fetch_add(1);
+      }
+    }
+  }
+  started_ = true;
+  thread_ = wdg::JoiningThread([this] { Loop(); });
+  return wdg::Status::Ok();
+}
+
+void SyncRequestProcessor::Stop() {
+  stop_.Request();
+  queue_.Shutdown();
+  thread_.Join();
+  started_ = false;
+}
+
+bool SyncRequestProcessor::Enqueue(PendingWrite write) {
+  const bool accepted = queue_.Push(std::move(write), wdg::Ms(20));
+  metrics_.GetGauge("zk.processor.queue_depth")->Set(static_cast<double>(queue_.Size()));
+  return accepted;
+}
+
+void SyncRequestProcessor::Loop() {
+  while (!stop_.Requested()) {
+    metrics_.GetGauge("zk.processor.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
+    auto write = queue_.Pop(wdg::Ms(10));
+    if (!write.has_value()) {
+      continue;
+    }
+    const wdg::Status status = ProcessWrite(*write);
+    if (!status.ok()) {
+      metrics_.GetCounter("zk.processor.errors")->Increment();
+      WDG_LOG(kWarn) << "write processing failed: " << status;
+    }
+    metrics_.GetGauge("zk.processor.queue_depth")->Set(static_cast<double>(queue_.Size()));
+  }
+}
+
+wdg::Status SyncRequestProcessor::ProcessWrite(PendingWrite& write) {
+  const std::string txn = write.op + " " + EncodePathData(write.path, write.data);
+
+  hooks_.Site("ProcessWrite:1")->Fire([&](wdg::CheckContext& ctx) {
+    ctx.Set("txn_bytes", static_cast<int64_t>(txn.size()));
+    if (!options_.followers.empty()) {
+      ctx.Set("follower", options_.followers.front());
+    }
+    ctx.MarkReady(clock_.NowNs());
+  });
+
+  // --- critical section (the ZK-2201 lock) -------------------------------
+  std::lock_guard<std::timed_mutex> commit(commit_mu_);
+
+  WDG_RETURN_IF_ERROR(disk_.Append(options_.txn_log_path, txn + "\n"));
+
+  // Apply to the tree.
+  wdg::Status applied;
+  if (write.op == kMsgCreate) {
+    applied = tree_.Create(write.path, write.data);
+  } else if (write.op == kMsgSet) {
+    applied = tree_.SetData(write.path, write.data);
+  } else if (write.op == kMsgDelete) {
+    applied = tree_.Delete(write.path);
+  } else {
+    applied = wdg::InvalidArgumentError("unknown write op " + write.op);
+  }
+
+  // Blocking remote sync INSIDE the critical section — an injected hang on
+  // "net.send.<follower>" parks this thread while it holds commit_mu_.
+  for (const wdg::NodeId& follower : options_.followers) {
+    const auto ack = sync_endpoint_->Call(follower, kMsgSync, txn, options_.sync_timeout);
+    if (ack.ok()) {
+      remote_syncs_.fetch_add(1);
+      metrics_.GetCounter("zk.sync.acks")->Increment();
+    } else {
+      metrics_.GetCounter("zk.sync.failures")->Increment();
+    }
+  }
+
+  // Periodic snapshot — Figure 2's serializeSnapshot chain.
+  const int64_t committed_now = committed_.fetch_add(1) + 1;
+  if (options_.snapshot_every_n > 0 && committed_now % options_.snapshot_every_n == 0) {
+    const wdg::Status snap = tree_.SerializeSnapshot(disk_, options_.snap_path, hooks_);
+    if (snap.ok()) {
+      snapshots_.fetch_add(1);
+      metrics_.GetCounter("zk.snapshots")->Increment();
+    } else {
+      metrics_.GetCounter("zk.snapshot.errors")->Increment();
+    }
+  }
+  metrics_.GetCounter("zk.writes.committed")->Increment();
+
+  // Reply to the waiting client.
+  const std::string reply = applied.ok() ? "ok" : applied.ToString();
+  (void)reply_endpoint_->Send(write.original.src, write.original.type + ".reply", reply,
+                              write.original.corr_id, /*is_reply=*/true);
+  return applied;
+}
+
+}  // namespace minizk

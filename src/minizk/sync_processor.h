@@ -1,0 +1,99 @@
+// SyncRequestProcessor: minizk's write pipeline, built to reproduce
+// ZOOKEEPER-2201. Every committed write:
+//   1. acquires the commit lock (the critical section),
+//   2. appends to the transaction log,
+//   3. performs a *blocking* remote sync to each follower,
+//   4. periodically serializes a snapshot (Figure 2's chain),
+//   5. releases the lock and replies to the client.
+//
+// A network fault that hangs step 3 wedges the thread INSIDE the critical
+// section: all later writes queue forever, while reads, session pings and
+// admin commands (handled by other threads) keep succeeding — the gray
+// failure heartbeat detectors cannot see.
+//
+// Fires hook site "ProcessWrite:1" capturing {txn_bytes, follower}.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/threading.h"
+#include "src/minizk/data_tree.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/sim_net.h"
+#include "src/watchdog/context.h"
+
+namespace minizk {
+
+struct PendingWrite {
+  wdg::Message original;  // replied to on commit
+  std::string op;         // kMsgCreate / kMsgSet / kMsgDelete
+  std::string path;
+  std::string data;
+};
+
+struct ProcessorOptions {
+  std::vector<wdg::NodeId> followers;
+  int snapshot_every_n = 8;
+  std::string txn_log_path = "/zk/txn.log";
+  std::string snap_path = "/zk/snapshot";
+  size_t queue_capacity = 256;
+  wdg::DurationNs sync_timeout = wdg::Ms(300);
+};
+
+class SyncRequestProcessor {
+ public:
+  SyncRequestProcessor(wdg::Clock& clock, wdg::SimDisk& disk, wdg::SimNet& net,
+                       wdg::NodeId node_id, DataTree& tree, wdg::HookSet& hooks,
+                       wdg::MetricsRegistry& metrics, ProcessorOptions options);
+  ~SyncRequestProcessor() { Stop(); }
+
+  // Replays the transaction log into the tree (crash recovery), then starts
+  // the processing thread.
+  wdg::Status Start();
+  void Stop();
+
+  int64_t recovered_txns() const { return recovered_.load(); }
+
+  // False when the queue is full (write pipeline backed up).
+  bool Enqueue(PendingWrite write);
+
+  // The critical section the mimic checker try-locks (fate sharing).
+  std::timed_mutex& commit_lock() { return commit_mu_; }
+
+  int64_t committed() const { return committed_.load(); }
+  int64_t remote_syncs() const { return remote_syncs_.load(); }
+  int64_t snapshots_taken() const { return snapshots_.load(); }
+  size_t QueueDepth() const { return queue_.Size(); }
+
+ private:
+  void Loop();
+  wdg::Status ProcessWrite(PendingWrite& write);
+
+  wdg::Clock& clock_;
+  wdg::SimDisk& disk_;
+  wdg::SimNet& net_;
+  wdg::NodeId node_id_;
+  DataTree& tree_;
+  wdg::HookSet& hooks_;
+  wdg::MetricsRegistry& metrics_;
+  ProcessorOptions options_;
+
+  wdg::Endpoint* sync_endpoint_ = nullptr;   // "<id>.sync" — remote sync channel
+  wdg::Endpoint* reply_endpoint_ = nullptr;  // "<id>.commit" — client replies
+  wdg::BoundedQueue<PendingWrite> queue_;
+  std::timed_mutex commit_mu_;
+  std::atomic<int64_t> committed_{0};
+  std::atomic<int64_t> recovered_{0};
+  std::atomic<int64_t> remote_syncs_{0};
+  std::atomic<int64_t> snapshots_{0};
+  wdg::StopFlag stop_;
+  wdg::JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace minizk

@@ -1,0 +1,17 @@
+#include "src/minizk/zk_types.h"
+
+namespace minizk {
+
+std::string EncodePathData(const std::string& path, const std::string& data) {
+  return path + '\x1f' + data;
+}
+
+wdg::Result<std::pair<std::string, std::string>> DecodePathData(const std::string& payload) {
+  const size_t sep = payload.find('\x1f');
+  if (sep == std::string::npos) {
+    return wdg::InvalidArgumentError("malformed zk payload");
+  }
+  return std::make_pair(payload.substr(0, sep), payload.substr(sep + 1));
+}
+
+}  // namespace minizk

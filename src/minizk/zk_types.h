@@ -1,0 +1,26 @@
+// Wire protocol for minizk.
+#pragma once
+
+#include <string>
+
+#include "src/common/result.h"
+
+namespace minizk {
+
+// Message types.
+inline constexpr char kMsgCreate[] = "zk.create";
+inline constexpr char kMsgSet[] = "zk.set";
+inline constexpr char kMsgGet[] = "zk.get";
+inline constexpr char kMsgDelete[] = "zk.delete";
+inline constexpr char kMsgChildren[] = "zk.children";
+inline constexpr char kMsgRuok[] = "zk.ruok";    // admin 4-letter-word probe
+inline constexpr char kMsgStat[] = "zk.stat";    // admin monitoring command
+inline constexpr char kMsgSync[] = "zk.sync";    // leader → follower remote sync
+inline constexpr char kMsgPing[] = "zk.ping";    // session heartbeat
+inline constexpr char kMsgWdgProbe[] = "zk.wdg_probe";
+
+// Payload "path\x1fdata" helpers.
+std::string EncodePathData(const std::string& path, const std::string& data);
+wdg::Result<std::pair<std::string, std::string>> DecodePathData(const std::string& payload);
+
+}  // namespace minizk

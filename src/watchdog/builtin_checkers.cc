@@ -1,0 +1,92 @@
+#include "src/watchdog/builtin_checkers.h"
+
+#include "src/common/strings.h"
+
+namespace wdg {
+
+CheckResult ProbeChecker::Check() {
+  SourceLocation loc;
+  loc.component = component();  // probes cannot see deeper than the API
+  SetCurrentOp(loc);
+  const Status status = probe_();
+  if (status.ok()) {
+    consecutive_failures_ = 0;
+    return CheckResult::Pass();
+  }
+  if (++consecutive_failures_ < consecutive_needed_) {
+    return CheckResult::Pass();  // debounce a single slow/blipped response
+  }
+  consecutive_failures_ = 0;
+  // A persistent probe failure is client-visible by construction → "validated".
+  FailureSignature sig = MakeSignature(
+      status.code() == StatusCode::kTimeout ? FailureType::kLivenessTimeout
+                                            : FailureType::kOperationError,
+      loc, status.code(), StrFormat("probe failed: %s", status.ToString().c_str()));
+  sig.impact_confirmed = true;
+  sig.validation_ran = true;
+  return CheckResult::Fail(sig);
+}
+
+CheckResult SignalChecker::Check() {
+  const double value = sample_();
+  if (healthy_(value)) {
+    violations_ = 0;
+    return CheckResult::Pass();
+  }
+  ++violations_;
+  if (violations_ < consecutive_needed_) {
+    return CheckResult::Pass();
+  }
+  violations_ = 0;
+  SourceLocation loc;
+  loc.component = component();
+  return CheckResult::Fail(MakeSignature(
+      FailureType::kSafetyViolation, loc, StatusCode::kResourceExhausted,
+      StrFormat("indicator '%s' unhealthy: value=%g", indicator_name_.c_str(), value)));
+}
+
+CheckResult MimicChecker::Check() {
+  if (context_ != nullptr && !context_->ready()) {
+    // Paper §3.1: "the watchdog driver will ensure that a checker's context is
+    // ready before executing it" — unreached hooks mean nothing to check yet.
+    return CheckResult::NotReady();
+  }
+  static const CheckContext kEmpty{"<none>"};
+  return body_(context_ != nullptr ? *context_ : kEmpty, *this);
+}
+
+SleepDriftChecker::SleepDriftChecker(std::string name, std::string component, Clock& clock,
+                                     FaultInjector& injector, DurationNs expected_sleep,
+                                     double drift_factor, Options options)
+    : Checker(std::move(name), std::move(component), CheckerType::kMimic, options),
+      clock_(clock), injector_(injector), expected_sleep_(expected_sleep),
+      drift_factor_(drift_factor) {}
+
+CheckResult SleepDriftChecker::Check() {
+  SourceLocation loc;
+  loc.component = component();
+  loc.function = "SleepDrift";
+  loc.op_site = "runtime.pause";
+  SetCurrentOp(loc);
+
+  const TimeNs start = clock_.NowNs();
+  clock_.SleepFor(expected_sleep_);
+  // The shared-fate gate: a stop-the-world pause injected at "runtime.pause"
+  // delays this checker exactly as it delays the main program's threads.
+  (void)injector_.Act("runtime.pause");
+  const DurationNs observed = clock_.NowNs() - start;
+  last_observed_.store(observed);
+
+  if (static_cast<double>(observed) >
+      static_cast<double>(expected_sleep_) * drift_factor_) {
+    return CheckResult::Fail(MakeSignature(
+        FailureType::kLivenessTimeout, loc, StatusCode::kResourceExhausted,
+        StrFormat("slept %lld ms but %lld ms elapsed — long runtime pause "
+                  "(memory pressure / GC)",
+                  static_cast<long long>(expected_sleep_ / kNsPerMs),
+                  static_cast<long long>(observed / kNsPerMs))));
+  }
+  return CheckResult::Pass();
+}
+
+}  // namespace wdg

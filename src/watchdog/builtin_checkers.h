@@ -1,0 +1,121 @@
+// The three checker families of Table 2.
+//
+//   ProbeChecker  — a special client invoking public APIs with pre-supplied
+//                   input. Perfect accuracy, weak completeness, no pinpoint.
+//   SignalChecker — monitors a health indicator against a threshold. Modest
+//                   completeness, weak accuracy, partial pinpoint.
+//   MimicChecker  — re-executes selected (reduced) operations of the main
+//                   program with synchronized context. Strong completeness
+//                   and accuracy, pinpoints the failing instruction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include <atomic>
+
+#include "src/fault/fault_injector.h"
+#include "src/watchdog/checker.h"
+
+namespace wdg {
+
+// Probe: run a client-level request; a *persistent* error is a true contract
+// violation. `consecutive_needed` debounces one-off slow responses so the
+// probe keeps its Table-2 "perfect accuracy" property.
+class ProbeChecker : public Checker {
+ public:
+  using ProbeFn = std::function<Status()>;
+
+  ProbeChecker(std::string name, std::string component, ProbeFn probe, Options options = {},
+               int consecutive_needed = 1)
+      : Checker(std::move(name), std::move(component), CheckerType::kProbe, options),
+        probe_(std::move(probe)), consecutive_needed_(consecutive_needed) {}
+
+  CheckResult Check() override;
+
+ private:
+  ProbeFn probe_;
+  int consecutive_needed_;
+  int consecutive_failures_ = 0;  // driver serializes executions per checker
+};
+
+// Signal: sample a numeric indicator; fail after `consecutive_needed`
+// violations of the predicate in a row (debouncing, since one bad sample of
+// e.g. queue length is normal under load — the accuracy weakness of Table 2).
+class SignalChecker : public Checker {
+ public:
+  using SampleFn = std::function<double()>;
+  using PredicateFn = std::function<bool(double)>;  // true == healthy
+
+  SignalChecker(std::string name, std::string component, std::string indicator_name,
+                SampleFn sample, PredicateFn healthy, int consecutive_needed = 3,
+                Options options = {})
+      : Checker(std::move(name), std::move(component), CheckerType::kSignal, options),
+        indicator_name_(std::move(indicator_name)), sample_(std::move(sample)),
+        healthy_(std::move(healthy)), consecutive_needed_(consecutive_needed) {}
+
+  CheckResult Check() override;
+
+ private:
+  std::string indicator_name_;
+  SampleFn sample_;
+  PredicateFn healthy_;
+  int consecutive_needed_;
+  int violations_ = 0;  // touched only from driver executions (serialized per checker)
+};
+
+// Mimic: executes a check body against a synchronized context. The body is
+// either hand-written (this class) or synthesized by AutoWatchdog
+// (awd::GeneratedChecker derives from Checker directly).
+class MimicChecker : public Checker {
+ public:
+  using BodyFn = std::function<CheckResult(const CheckContext&, MimicChecker&)>;
+
+  MimicChecker(std::string name, std::string component, CheckContext* context, BodyFn body,
+               Options options = {})
+      : Checker(std::move(name), std::move(component), CheckerType::kMimic, options),
+        context_(context), body_(std::move(body)) {}
+
+  CheckResult Check() override;
+
+  // Exposed so bodies can build properly-attributed signatures.
+  using Checker::MakeSignature;
+
+ private:
+  CheckContext* context_;
+  BodyFn body_;
+};
+
+// Sleep-drift checker (§3.3's memory-pressure example):
+//
+//   "to detect memory pressure in a Java program, a checker can run a worker
+//    thread in a loop sleeping for a short time; if when the worker awakens,
+//    the elapsed time is significantly larger than the specified sleep time,
+//    the checker likely suffered from a long GC pause [— implying] the main
+//    program is likely experiencing excessive memory usage or a serious
+//    memory leak."
+//
+// The checker sleeps `expected_sleep` through the shared runtime (the
+// "runtime.pause" fault site stands in for a stop-the-world pause affecting
+// every thread in the process) and alarms when the observed elapsed time
+// exceeds expected * drift_factor.
+class SleepDriftChecker : public Checker {
+ public:
+  SleepDriftChecker(std::string name, std::string component, Clock& clock,
+                    FaultInjector& injector, DurationNs expected_sleep = Ms(10),
+                    double drift_factor = 3.0, Options options = {});
+
+  CheckResult Check() override;
+
+  DurationNs last_observed() const { return last_observed_.load(); }
+
+ private:
+  Clock& clock_;
+  FaultInjector& injector_;
+  DurationNs expected_sleep_;
+  double drift_factor_;
+  std::atomic<DurationNs> last_observed_{0};
+};
+
+}  // namespace wdg

@@ -1,0 +1,39 @@
+#include "src/watchdog/checker.h"
+
+namespace wdg {
+
+const char* CheckerTypeName(CheckerType type) {
+  switch (type) {
+    case CheckerType::kProbe:
+      return "probe";
+    case CheckerType::kSignal:
+      return "signal";
+    case CheckerType::kMimic:
+      return "mimic";
+  }
+  return "?";
+}
+
+void Checker::SetCurrentOp(SourceLocation op) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  current_op_ = std::move(op);
+}
+
+SourceLocation Checker::CurrentOp() const {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return current_op_;
+}
+
+FailureSignature Checker::MakeSignature(FailureType ftype, SourceLocation loc, StatusCode code,
+                                        std::string message, std::string context_dump) const {
+  FailureSignature sig;
+  sig.type = ftype;
+  sig.checker_name = name_;
+  sig.location = std::move(loc);
+  sig.code = code;
+  sig.message = std::move(message);
+  sig.context_dump = std::move(context_dump);
+  return sig;
+}
+
+}  // namespace wdg

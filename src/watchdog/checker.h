@@ -1,0 +1,86 @@
+// Checker: one checking procedure inside a watchdog (paper §3.1).
+//
+// A checker stores instructions tailored to inspect one part of the main
+// program. The driver schedules it, bounds its execution time, and converts
+// its crash/hang into a failure signature — the checker deliberately *shares
+// fate* with the code it mimics, so a hung checker is itself the detection.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/watchdog/context.h"
+#include "src/watchdog/failure.h"
+
+namespace wdg {
+
+enum class CheckerType { kProbe, kSignal, kMimic };
+
+const char* CheckerTypeName(CheckerType type);
+
+enum class CheckOutcome {
+  kPass,
+  kFail,
+  kContextNotReady,  // skipped: the main program hasn't reached the hook yet
+  kSkipped,
+};
+
+struct CheckResult {
+  CheckOutcome outcome = CheckOutcome::kPass;
+  FailureSignature signature;  // populated when outcome == kFail
+
+  static CheckResult Pass() { return CheckResult{}; }
+  static CheckResult NotReady() { return CheckResult{CheckOutcome::kContextNotReady, {}}; }
+  static CheckResult Skipped() { return CheckResult{CheckOutcome::kSkipped, {}}; }
+  static CheckResult Fail(FailureSignature sig) {
+    return CheckResult{CheckOutcome::kFail, std::move(sig)};
+  }
+};
+
+// Scheduling parameters for one checker.
+struct CheckerOptions {
+  DurationNs interval = Ms(100);  // how often the driver schedules this checker
+  DurationNs timeout = Ms(400);   // execution deadline; a miss is a liveness signature
+};
+
+class Checker {
+ public:
+  using Options = CheckerOptions;
+
+  Checker(std::string name, std::string component, CheckerType type, Options options = {})
+      : name_(std::move(name)), component_(std::move(component)), type_(type),
+        options_(options) {}
+  virtual ~Checker() = default;
+
+  // Runs one check. May block on a mimicked operation (that's the point);
+  // the driver enforces options().timeout around the whole call.
+  virtual CheckResult Check() = 0;
+
+  const std::string& name() const { return name_; }
+  const std::string& component() const { return component_; }
+  CheckerType type() const { return type_; }
+  const Options& options() const { return options_; }
+
+  // Mimic checkers publish the op they are about to execute; when the driver
+  // declares the execution hung, this is the pinpoint it reports.
+  void SetCurrentOp(SourceLocation op);
+  SourceLocation CurrentOp() const;
+
+ protected:
+  // Convenience for subclasses building failure signatures.
+  FailureSignature MakeSignature(FailureType ftype, SourceLocation loc, StatusCode code,
+                                 std::string message, std::string context_dump = "") const;
+
+ private:
+  const std::string name_;
+  const std::string component_;
+  const CheckerType type_;
+  const Options options_;
+
+  mutable std::mutex op_mu_;
+  SourceLocation current_op_;
+};
+
+}  // namespace wdg

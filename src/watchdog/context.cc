@@ -1,0 +1,212 @@
+#include "src/watchdog/context.h"
+
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace wdg {
+
+std::string CtxValueToString(const CtxValue& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return StrFormat("%lld", static_cast<long long>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return StrFormat("%g", *d);
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return *b ? "true" : "false";
+  }
+  return std::get<std::string>(value);
+}
+
+void CheckContext::Set(const std::string& key, CtxValue value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[key] = std::move(value);  // copy-in: replication, never aliasing
+}
+
+void CheckContext::MarkReady(TimeNs now) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_update_ = now;
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  ready_.store(true, std::memory_order_release);
+}
+
+void CheckContext::Invalidate() { ready_.store(false, std::memory_order_release); }
+
+TimeNs CheckContext::last_update() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_update_;
+}
+
+std::optional<CtxValue> CheckContext::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<std::string> CheckContext::GetString(const std::string& key) const {
+  const auto value = Get(key);
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  if (const auto* s = std::get_if<std::string>(&*value)) {
+    return *s;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> CheckContext::GetInt(const std::string& key) const {
+  const auto value = Get(key);
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  if (const auto* i = std::get_if<int64_t>(&*value)) {
+    return *i;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> CheckContext::GetDouble(const std::string& key) const {
+  const auto value = Get(key);
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  if (const auto* d = std::get_if<double>(&*value)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<int64_t>(&*value)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, CtxValue> CheckContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+std::string CheckContext::Dump() const {
+  const auto snapshot = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : snapshot) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += key + "=" + CtxValueToString(value);
+  }
+  out += "}";
+  return out;
+}
+
+std::map<std::string, CtxValue> CheckContext::ParseDump(const std::string& dump) {
+  std::map<std::string, CtxValue> values;
+  std::string body = dump;
+  if (body.size() >= 2 && body.front() == '{' && body.back() == '}') {
+    body = body.substr(1, body.size() - 2);
+  }
+  for (const std::string& entry : StrSplit(body, ',')) {
+    const std::string_view trimmed = StrTrim(entry);
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      continue;
+    }
+    const std::string key(trimmed.substr(0, eq));
+    const std::string text(trimmed.substr(eq + 1));
+    if (text == "true" || text == "false") {
+      values[key] = text == "true";
+      continue;
+    }
+    // Integer?
+    char* end = nullptr;
+    const long long as_int = std::strtoll(text.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !text.empty()) {
+      values[key] = static_cast<int64_t>(as_int);
+      continue;
+    }
+    const double as_double = std::strtod(text.c_str(), &end);
+    if (end != nullptr && *end == '\0' && !text.empty()) {
+      values[key] = as_double;
+      continue;
+    }
+    values[key] = text;
+  }
+  return values;
+}
+
+void CheckContext::Restore(const std::map<std::string, CtxValue>& values, TimeNs now) {
+  for (const auto& [key, value] : values) {
+    Set(key, value);
+  }
+  MarkReady(now);
+}
+
+HookSite* HookSet::Site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sites_[name];
+  if (!slot) {
+    slot = std::make_unique<HookSite>(name);
+  }
+  return slot.get();
+}
+
+CheckContext* HookSet::Context(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = contexts_[name];
+  if (!slot) {
+    slot = std::make_unique<CheckContext>(name);
+  }
+  return slot.get();
+}
+
+void HookSet::Arm(const std::string& site, const std::string& context) {
+  Site(site)->Arm(Context(context));
+}
+
+void HookSet::Disarm(const std::string& site) { Site(site)->Disarm(); }
+
+void HookSet::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, site] : sites_) {
+    site->Disarm();
+  }
+}
+
+std::vector<std::string> HookSet::SiteNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, _] : sites_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> HookSet::ContextNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(contexts_.size());
+  for (const auto& [name, _] : contexts_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+int HookSet::ArmedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int count = 0;
+  for (const auto& [_, site] : sites_) {
+    if (site->armed()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace wdg

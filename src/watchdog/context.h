@@ -1,0 +1,130 @@
+// Contexts and hooks: the one-way state synchronization between the main
+// program and its watchdog (paper §3.1 "State Synchronization").
+//
+// A CheckContext is the payload store bound to a checker. The main program
+// updates it through *hook sites* placed at the points AutoWatchdog (or a
+// human) selected; updates replicate values *into* the context (deep copy) so
+// checkers can never mutate main-program state through it — replication is
+// the memory-isolation mechanism of §5.1. Synchronization is strictly
+// one-way: nothing ever flows from the context back into the program.
+//
+// The watchdog driver refuses to run a checker whose context is not READY
+// (e.g. an in-memory kvs never flushes, so the flush checker never fires —
+// the paper's canonical spurious-report example).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace wdg {
+
+using CtxValue = std::variant<int64_t, double, bool, std::string>;
+
+std::string CtxValueToString(const CtxValue& value);
+
+class CheckContext {
+ public:
+  explicit CheckContext(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- producer side (main-program hooks) ------------------------------
+  void Set(const std::string& key, CtxValue value);
+  // Marks the context READY; hooks call this after populating all arguments.
+  void MarkReady(TimeNs now);
+  // Drops READY (e.g. component shut down / reconfigured).
+  void Invalidate();
+
+  // --- consumer side (checkers) -----------------------------------------
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  TimeNs last_update() const;
+
+  std::optional<CtxValue> Get(const std::string& key) const;
+  std::optional<std::string> GetString(const std::string& key) const;
+  std::optional<int64_t> GetInt(const std::string& key) const;
+  std::optional<double> GetDouble(const std::string& key) const;
+
+  // Full copy for failure signatures ("failure-inducing context", §5.2).
+  std::map<std::string, CtxValue> Snapshot() const;
+  std::string Dump() const;
+
+  // Parses a Dump() string back into values (ints/doubles/bools recovered by
+  // shape, everything else a string). The §5.2 failure-reproduction path.
+  static std::map<std::string, CtxValue> ParseDump(const std::string& dump);
+  // Bulk-install parsed values and mark ready.
+  void Restore(const std::map<std::string, CtxValue>& values, TimeNs now);
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, CtxValue> values_;
+  std::atomic<bool> ready_{false};
+  std::atomic<uint64_t> epoch_{0};
+  TimeNs last_update_ = 0;
+};
+
+// A single instrumentation point in the main program. Firing an unarmed hook
+// is one relaxed atomic load — the "zero cost when no checker cares" budget.
+class HookSite {
+ public:
+  explicit HookSite(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool armed() const { return ctx_.load(std::memory_order_relaxed) != nullptr; }
+
+  // `fill(ctx)` runs only when armed. The callback should Set() the values
+  // the checker's reduced ops need and then MarkReady.
+  template <typename F>
+  void Fire(F&& fill) {
+    CheckContext* ctx = ctx_.load(std::memory_order_acquire);
+    if (ctx != nullptr) {
+      fill(*ctx);
+      fired_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void Arm(CheckContext* ctx) { ctx_.store(ctx, std::memory_order_release); }
+  void Disarm() { ctx_.store(nullptr, std::memory_order_release); }
+  int64_t fired_count() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<CheckContext*> ctx_{nullptr};
+  std::atomic<int64_t> fired_{0};
+};
+
+// Owns the hook sites of one monitored system plus the contexts armed onto
+// them. AutoWatchdog's HookPlan arms the subset its analysis selected.
+class HookSet {
+ public:
+  // Creates on first use; returned pointer is stable for the HookSet's life.
+  HookSite* Site(const std::string& name);
+  // Creates (or returns) the named context.
+  CheckContext* Context(const std::string& name);
+
+  // Arms `site` to populate `context` (both created on demand).
+  void Arm(const std::string& site, const std::string& context);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  std::vector<std::string> SiteNames() const;
+  std::vector<std::string> ContextNames() const;
+  int ArmedCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<HookSite>> sites_;
+  std::map<std::string, std::unique_ptr<CheckContext>> contexts_;
+};
+
+}  // namespace wdg

@@ -1,0 +1,392 @@
+#include "src/watchdog/driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace wdg {
+
+WatchdogDriver::WatchdogDriver(Clock& clock, Options options)
+    : clock_(clock), options_(std::move(options)) {}
+
+WatchdogDriver::~WatchdogDriver() { Stop(); }
+
+Checker* WatchdogDriver::AddChecker(std::unique_ptr<Checker> checker) {
+  assert(!running() && "checkers must be registered before Start()");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto slot = std::make_unique<Slot>();
+  slot->checker = std::move(checker);
+  Checker* borrowed = slot->checker.get();
+  slots_.push_back(std::move(slot));
+  return borrowed;
+}
+
+void WatchdogDriver::AddListener(FailureListener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(listener);
+}
+
+void WatchdogDriver::AddRecoveryAction(const std::string& component_prefix,
+                                       RecoveryAction* action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_actions_.emplace_back(component_prefix, action);
+}
+
+void WatchdogDriver::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TimeNs now = clock_.NowNs();
+    for (auto& slot : slots_) {
+      slot->next_run = now;  // first pass immediately
+    }
+  }
+  scheduler_ = JoiningThread([this] { SchedulerLoop(); });
+}
+
+void WatchdogDriver::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stop_.Request();
+  scheduler_.Join();
+  if (options_.release_on_stop) {
+    options_.release_on_stop();
+  }
+  // Join everything: in-deadline executions, abandoned drains, probe threads.
+  // release_on_stop is expected to have unblocked any injected hangs.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot->running) {
+      slot->running->thread.Join();
+    }
+    for (auto& exec : slot->drain) {
+      exec->thread.Join();
+    }
+  }
+  for (auto& exec : probe_drain_) {
+    exec->thread.Join();
+  }
+}
+
+void WatchdogDriver::SchedulerLoop() {
+  while (!stop_.Requested()) {
+    const TimeNs now = clock_.NowNs();
+    std::vector<PendingFailure> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& slot : slots_) {
+        ReapSlot(*slot, now, pending);
+        // Suspended while an abandoned execution is still stuck: rescheduling
+        // would pile unbounded threads onto the same hung operation.
+        const bool suspended = !slot->drain.empty();
+        if (slot->enabled && !slot->running && !suspended && now >= slot->next_run) {
+          LaunchExecution(*slot, now);
+        }
+      }
+      // Garbage-collect finished probe validations.
+      std::erase_if(probe_drain_, [](const std::unique_ptr<Execution>& exec) {
+        std::lock_guard<std::mutex> exec_lock(exec->mu);
+        return exec->done;
+      });
+    }
+    for (PendingFailure& failure : pending) {
+      HandleFailure(std::move(failure.signature), failure.checker_type, now);
+    }
+    stop_.WaitFor(options_.tick);
+  }
+}
+
+void WatchdogDriver::LaunchExecution(Slot& slot, TimeNs now) {
+  auto exec = std::make_unique<Execution>();
+  exec->start = now;
+  Execution* raw = exec.get();
+  Checker* checker = slot.checker.get();
+  ++slot.stats.runs;
+  exec->thread = JoiningThread([this, raw, checker] {
+    CheckResult result;
+    bool crashed = false;
+    std::string what;
+    try {
+      result = checker->Check();
+    } catch (const std::exception& e) {
+      crashed = true;
+      what = e.what();
+    } catch (...) {
+      crashed = true;
+      what = "non-standard exception";
+    }
+    std::lock_guard<std::mutex> exec_lock(raw->mu);
+    raw->result = std::move(result);
+    raw->crashed = crashed;
+    raw->crash_what = std::move(what);
+    raw->done = true;
+    (void)this;
+  });
+  slot.running = std::move(exec);
+}
+
+void WatchdogDriver::ReapSlot(Slot& slot, TimeNs now, std::vector<PendingFailure>& pending) {
+  // Drain abandoned executions that have finally finished (their results are
+  // stale and discarded; the liveness signature was already emitted).
+  std::erase_if(slot.drain, [](const std::unique_ptr<Execution>& exec) {
+    std::lock_guard<std::mutex> exec_lock(exec->mu);
+    return exec->done;
+  });
+
+  if (!slot.running) {
+    return;
+  }
+  Execution& exec = *slot.running;
+  bool done;
+  {
+    std::lock_guard<std::mutex> exec_lock(exec.mu);
+    done = exec.done;
+  }
+  Checker& checker = *slot.checker;
+
+  if (done) {
+    CheckResult result;
+    bool crashed;
+    std::string what;
+    {
+      std::lock_guard<std::mutex> exec_lock(exec.mu);
+      result = std::move(exec.result);
+      crashed = exec.crashed;
+      what = std::move(exec.crash_what);
+    }
+    slot.stats.total_latency += now - exec.start;
+    slot.running->thread.Join();
+    slot.running.reset();
+    slot.next_run = now + checker.options().interval;
+
+    if (crashed) {
+      // Isolation (§3.2): the checker blew up, the watchdog did not. A crash
+      // while exercising mimicked logic is itself a strong failure signal.
+      ++slot.stats.crashes;
+      FailureSignature sig;
+      sig.type = FailureType::kCheckerCrash;
+      sig.checker_name = checker.name();
+      sig.location = checker.CurrentOp();
+      if (sig.location.component.empty()) {
+        sig.location.component = checker.component();
+      }
+      sig.code = StatusCode::kInternal;
+      sig.message = StrFormat("checker crashed: %s", what.c_str());
+      pending.push_back(PendingFailure{std::move(sig), checker.type()});
+      return;
+    }
+    switch (result.outcome) {
+      case CheckOutcome::kPass:
+        ++slot.stats.passes;
+        break;
+      case CheckOutcome::kContextNotReady:
+        ++slot.stats.context_not_ready;
+        break;
+      case CheckOutcome::kSkipped:
+        break;
+      case CheckOutcome::kFail:
+        ++slot.stats.fails;
+        pending.push_back(PendingFailure{std::move(result.signature), checker.type()});
+        break;
+    }
+    return;
+  }
+
+  // Still running: enforce the deadline.
+  if (now - exec.start >= checker.options().timeout) {
+    ++slot.stats.timeouts;
+    {
+      std::lock_guard<std::mutex> exec_lock(exec.mu);
+      exec.abandoned = true;
+    }
+    FailureSignature sig;
+    sig.type = FailureType::kLivenessTimeout;
+    sig.checker_name = checker.name();
+    sig.location = checker.CurrentOp();  // the op the checker is blocked in
+    if (sig.location.component.empty()) {
+      sig.location.component = checker.component();
+    }
+    sig.code = StatusCode::kTimeout;
+    sig.message = StrFormat("checker exceeded %lld ms deadline",
+                            static_cast<long long>(checker.options().timeout / kNsPerMs));
+    slot.drain.push_back(std::move(slot.running));
+    slot.next_run = now + checker.options().interval;
+    pending.push_back(PendingFailure{std::move(sig), checker.type()});
+  }
+}
+
+bool WatchdogDriver::RunValidationProbe() {
+  // Returns true iff client impact is confirmed. A probe that itself hangs or
+  // errors confirms impact; a clean probe means the main program absorbed the
+  // fault (§5.1 "superfluous detection").
+  auto exec = std::make_unique<Execution>();
+  Execution* raw = exec.get();
+  auto probe = options_.validation_probe;
+  exec->thread = JoiningThread([raw, probe] {
+    Status status = Status::Ok();
+    try {
+      status = probe();
+    } catch (...) {
+      status = InternalError("validation probe crashed");
+    }
+    std::lock_guard<std::mutex> exec_lock(raw->mu);
+    raw->crashed = !status.ok();
+    raw->done = true;
+  });
+  const TimeNs deadline = clock_.NowNs() + options_.validation_timeout;
+  bool done = false;
+  bool failed = false;
+  while (clock_.NowNs() < deadline) {
+    {
+      std::lock_guard<std::mutex> exec_lock(raw->mu);
+      if (raw->done) {
+        done = true;
+        failed = raw->crashed;
+        break;
+      }
+    }
+    clock_.SleepFor(Ms(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probe_drain_.push_back(std::move(exec));
+  }
+  if (!done) {
+    return true;  // probe hung → impact confirmed
+  }
+  return failed;
+}
+
+void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeNs now) {
+  // Called from the scheduler thread WITHOUT mu_ held.
+  sig.detect_time = now;
+  sig.checker_kind = CheckerTypeName(type);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string key = sig.DedupKey();
+    const auto it = dedup_last_.find(key);
+    if (it != dedup_last_.end() && now - it->second < options_.dedup_window) {
+      deduped_.fetch_add(1);
+      return;
+    }
+    dedup_last_[key] = now;
+  }
+
+  // §5.1 escalation: mimic alarms get impact-checked via an end-to-end probe.
+  bool suppress = false;
+  if (type == CheckerType::kMimic && options_.validation_probe) {
+    sig.validation_ran = true;
+    sig.impact_confirmed = RunValidationProbe();
+    if (!sig.impact_confirmed && options_.suppress_unconfirmed) {
+      suppress = true;
+      suppressed_.fetch_add(1);
+    }
+  }
+
+  WDG_LOG(kInfo) << "watchdog failure: " << sig.ToString();
+  std::vector<FailureListener*> listeners;
+  std::vector<std::pair<std::string, RecoveryAction*>> actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failures_.push_back(sig);
+    if (suppress) {
+      return;
+    }
+    listeners = listeners_;
+    actions = recovery_actions_;
+  }
+  for (FailureListener* listener : listeners) {
+    listener->OnFailure(sig);
+  }
+  for (const auto& [prefix, action] : actions) {
+    if (StrStartsWith(sig.location.component, prefix)) {
+      action->Recover(sig);
+    }
+  }
+}
+
+std::vector<FailureSignature> WatchdogDriver::Failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+std::optional<FailureSignature> WatchdogDriver::FirstFailure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failures_.empty()) {
+    return std::nullopt;
+  }
+  return failures_.front();
+}
+
+bool WatchdogDriver::WaitForFailure(DurationNs timeout,
+                                    std::function<bool(const FailureSignature&)> pred) const {
+  const TimeNs deadline = clock_.NowNs() + timeout;
+  while (clock_.NowNs() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const FailureSignature& sig : failures_) {
+        if (!pred || pred(sig)) {
+          return true;
+        }
+      }
+    }
+    clock_.SleepFor(Ms(2));
+  }
+  return false;
+}
+
+void WatchdogDriver::SetCheckerEnabled(const std::string& checker_name, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot->checker->name() == checker_name) {
+      slot->enabled = enabled;
+      if (enabled) {
+        slot->next_run = clock_.NowNs();
+      }
+    }
+  }
+}
+
+bool WatchdogDriver::IsCheckerEnabled(const std::string& checker_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->checker->name() == checker_name) {
+      return slot->enabled;
+    }
+  }
+  return false;
+}
+
+CheckerStats WatchdogDriver::StatsFor(const std::string& checker_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->checker->name() == checker_name) {
+      return slot->stats;
+    }
+  }
+  return CheckerStats{};
+}
+
+int WatchdogDriver::checker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(slots_.size());
+}
+
+std::vector<std::string> WatchdogDriver::CheckerNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    names.push_back(slot->checker->name());
+  }
+  return names;
+}
+
+}  // namespace wdg

@@ -1,0 +1,179 @@
+// WatchdogDriver: manages checker scheduling and execution (paper §3.1).
+//
+// The driver runs checkers concurrently with the main program on its own
+// executor threads. It is the isolation boundary of §3.2:
+//   - a checker that *throws* becomes a CHECKER_CRASH signature, never an
+//     exception in the main program;
+//   - a checker that *hangs* past its deadline becomes a LIVENESS_TIMEOUT
+//     signature pinpointing the op it was executing (fate sharing turns the
+//     hang itself into the detection), and the checker is suspended until the
+//     stuck execution drains — the driver itself never blocks;
+//   - repeated identical signatures are deduplicated within a window so a
+//     persistent fault doesn't "bark" once per interval;
+//   - optionally (§5.1), a mimic-detected fault is escalated to a probe
+//     checker to confirm client-visible impact before alarming.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/threading.h"
+#include "src/watchdog/checker.h"
+#include "src/watchdog/failure.h"
+
+namespace wdg {
+
+class FailureListener {
+ public:
+  virtual ~FailureListener() = default;
+  virtual void OnFailure(const FailureSignature& signature) = 0;
+};
+
+// Cheap-recovery hook (§5.2): invoked with the precise localization so the
+// action can replace a corrupted object / restart one component instead of
+// rebooting the process.
+class RecoveryAction {
+ public:
+  virtual ~RecoveryAction() = default;
+  virtual void Recover(const FailureSignature& signature) = 0;
+};
+
+class CallbackRecovery : public RecoveryAction {
+ public:
+  explicit CallbackRecovery(std::function<void(const FailureSignature&)> fn)
+      : fn_(std::move(fn)) {}
+  void Recover(const FailureSignature& signature) override { fn_(signature); }
+
+ private:
+  std::function<void(const FailureSignature&)> fn_;
+};
+
+struct CheckerStats {
+  int64_t runs = 0;
+  int64_t passes = 0;
+  int64_t fails = 0;
+  int64_t context_not_ready = 0;
+  int64_t timeouts = 0;
+  int64_t crashes = 0;
+  DurationNs total_latency = 0;
+};
+
+// Driver configuration.
+struct WatchdogDriverOptions {
+  DurationNs tick = Ms(2);
+  DurationNs dedup_window = Sec(2);
+  // §5.1 escalation: when a *mimic* checker fails, run this end-to-end
+  // probe; if it succeeds the alarm is tagged no-client-impact (and, with
+  // suppress_unconfirmed, withheld from listeners).
+  std::function<Status()> validation_probe;
+  DurationNs validation_timeout = Ms(300);
+  bool suppress_unconfirmed = false;
+  // Invoked at Stop() before joining stuck executions — campaigns pass
+  // [&] { injector.ClearAll(); } so abandoned checkers always drain.
+  std::function<void()> release_on_stop;
+};
+
+class WatchdogDriver {
+ public:
+  using Options = WatchdogDriverOptions;
+
+  explicit WatchdogDriver(Clock& clock, Options options = {});
+  ~WatchdogDriver();
+
+  WatchdogDriver(const WatchdogDriver&) = delete;
+  WatchdogDriver& operator=(const WatchdogDriver&) = delete;
+
+  // Registration is allowed before Start() only. Returns a borrow of the
+  // checker for test convenience.
+  Checker* AddChecker(std::unique_ptr<Checker> checker);
+  void AddListener(FailureListener* listener);
+  // `component_prefix` matches signature.location.component by prefix.
+  void AddRecoveryAction(const std::string& component_prefix, RecoveryAction* action);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- results ----------------------------------------------------------
+  // All signatures recorded (including suppressed ones, flagged accordingly).
+  std::vector<FailureSignature> Failures() const;
+  std::optional<FailureSignature> FirstFailure() const;
+  // Blocks until a failure matching `pred` is recorded (default: any).
+  bool WaitForFailure(DurationNs timeout,
+                      std::function<bool(const FailureSignature&)> pred = nullptr) const;
+
+  // Temporarily stops scheduling a checker (e.g. while a recovery action
+  // repairs its component) and resumes it later. Unknown names are ignored.
+  void SetCheckerEnabled(const std::string& checker_name, bool enabled);
+  bool IsCheckerEnabled(const std::string& checker_name) const;
+
+  CheckerStats StatsFor(const std::string& checker_name) const;
+  int checker_count() const;
+  int64_t deduped_count() const { return deduped_.load(); }
+  int64_t suppressed_count() const { return suppressed_.load(); }
+  std::vector<std::string> CheckerNames() const;
+
+ private:
+  struct Execution {
+    std::mutex mu;
+    bool done = false;
+    bool abandoned = false;
+    CheckResult result;
+    bool crashed = false;
+    std::string crash_what;
+    TimeNs start = 0;
+    JoiningThread thread;
+  };
+
+  struct Slot {
+    std::unique_ptr<Checker> checker;
+    bool enabled = true;
+    TimeNs next_run = 0;
+    std::unique_ptr<Execution> running;             // in-deadline execution
+    std::vector<std::unique_ptr<Execution>> drain;  // abandoned, still executing
+    CheckerStats stats;
+  };
+
+  struct PendingFailure {
+    FailureSignature signature;
+    CheckerType checker_type;
+  };
+
+  void SchedulerLoop();
+  void LaunchExecution(Slot& slot, TimeNs now);
+  // Consumes a finished/overdue execution; updates stats; appends failures to
+  // `pending` for processing outside the driver lock.
+  void ReapSlot(Slot& slot, TimeNs now, std::vector<PendingFailure>& pending);
+  // Dedup → validate → record → notify. Takes mu_ only for short sections, so
+  // listeners may call back into driver accessors safely.
+  void HandleFailure(FailureSignature sig, CheckerType type, TimeNs now);
+  // Bounded run of the validation probe; hang counts as confirmed impact.
+  // Called WITHOUT mu_ held.
+  bool RunValidationProbe();
+
+  Clock& clock_;
+  Options options_;
+  std::atomic<bool> running_{false};
+  StopFlag stop_;
+  JoiningThread scheduler_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<FailureListener*> listeners_;
+  std::vector<std::pair<std::string, RecoveryAction*>> recovery_actions_;
+  std::vector<FailureSignature> failures_;
+  std::map<std::string, TimeNs> dedup_last_;
+  std::vector<std::unique_ptr<Execution>> probe_drain_;
+
+  std::atomic<int64_t> deduped_{0};
+  std::atomic<int64_t> suppressed_{0};
+};
+
+}  // namespace wdg

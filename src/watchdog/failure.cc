@@ -1,0 +1,82 @@
+#include "src/watchdog/failure.h"
+
+#include "src/common/strings.h"
+
+namespace wdg {
+
+const char* FailureTypeName(FailureType type) {
+  switch (type) {
+    case FailureType::kLivenessTimeout:
+      return "LIVENESS_TIMEOUT";
+    case FailureType::kSafetyViolation:
+      return "SAFETY_VIOLATION";
+    case FailureType::kOperationError:
+      return "OPERATION_ERROR";
+    case FailureType::kCheckerCrash:
+      return "CHECKER_CRASH";
+  }
+  return "?";
+}
+
+const char* LocalizationLevelName(LocalizationLevel level) {
+  switch (level) {
+    case LocalizationLevel::kNone:
+      return "none";
+    case LocalizationLevel::kProcess:
+      return "process";
+    case LocalizationLevel::kComponent:
+      return "component";
+    case LocalizationLevel::kFunction:
+      return "function";
+    case LocalizationLevel::kOperation:
+      return "operation";
+  }
+  return "?";
+}
+
+LocalizationLevel SourceLocation::Level() const {
+  if (!op_site.empty()) {
+    return LocalizationLevel::kOperation;
+  }
+  if (!function.empty()) {
+    return LocalizationLevel::kFunction;
+  }
+  if (!component.empty()) {
+    return LocalizationLevel::kComponent;
+  }
+  return LocalizationLevel::kProcess;
+}
+
+std::string SourceLocation::ToString() const {
+  std::string out = component.empty() ? "<process>" : component;
+  if (!function.empty()) {
+    out += "::" + function;
+  }
+  if (!op_site.empty()) {
+    out += " @ " + op_site;
+    if (instr_id >= 0) {
+      out += StrFormat(" (instr %d)", instr_id);
+    }
+  }
+  return out;
+}
+
+std::string FailureSignature::ToString() const {
+  std::string out = StrFormat("[%s] checker=%s loc=%s code=%s", FailureTypeName(type),
+                              checker_name.c_str(), location.ToString().c_str(),
+                              StatusCodeName(code));
+  if (!message.empty()) {
+    out += " msg=\"" + message + "\"";
+  }
+  if (validation_ran) {
+    out += impact_confirmed ? " [impact-confirmed]" : " [no-client-impact]";
+  }
+  return out;
+}
+
+std::string FailureSignature::DedupKey() const {
+  return checker_name + "|" + location.op_site + "|" + location.function + "|" +
+         FailureTypeName(type);
+}
+
+}  // namespace wdg

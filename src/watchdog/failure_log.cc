@@ -1,0 +1,144 @@
+#include "src/watchdog/failure_log.h"
+
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace wdg {
+
+namespace {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out.push_back(text[i]);
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+FailureType ParseFailureType(const std::string& name) {
+  for (const FailureType type :
+       {FailureType::kLivenessTimeout, FailureType::kSafetyViolation,
+        FailureType::kOperationError, FailureType::kCheckerCrash}) {
+    if (name == FailureTypeName(type)) {
+      return type;
+    }
+  }
+  return FailureType::kOperationError;
+}
+
+StatusCode ParseStatusCode(const std::string& name) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    if (name == StatusCodeName(static_cast<StatusCode>(c))) {
+      return static_cast<StatusCode>(c);
+    }
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+std::string FailureLog::EncodeRecord(const FailureSignature& sig) {
+  return StrFormat(
+      "%lld\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+      static_cast<long long>(sig.detect_time), FailureTypeName(sig.type),
+      Escape(sig.checker_name).c_str(), Escape(sig.location.component).c_str(),
+      Escape(sig.location.function).c_str(), Escape(sig.location.op_site).c_str(),
+      sig.location.instr_id, StatusCodeName(sig.code), Escape(sig.message).c_str(),
+      Escape(sig.context_dump).c_str(), Escape(sig.checker_kind).c_str());
+}
+
+Result<FailureSignature> FailureLog::DecodeRecord(const std::string& line) {
+  const auto fields = StrSplit(line, '\t');
+  if (fields.size() != 11) {
+    return CorruptionError("failure log record has wrong field count");
+  }
+  FailureSignature sig;
+  sig.detect_time = std::strtoll(fields[0].c_str(), nullptr, 10);
+  sig.type = ParseFailureType(fields[1]);
+  sig.checker_name = Unescape(fields[2]);
+  sig.location.component = Unescape(fields[3]);
+  sig.location.function = Unescape(fields[4]);
+  sig.location.op_site = Unescape(fields[5]);
+  sig.location.instr_id = static_cast<int>(std::strtol(fields[6].c_str(), nullptr, 10));
+  sig.code = ParseStatusCode(fields[7]);
+  sig.message = Unescape(fields[8]);
+  sig.context_dump = Unescape(fields[9]);
+  sig.checker_kind = Unescape(fields[10]);
+  return sig;
+}
+
+void FailureLog::OnFailure(const FailureSignature& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!disk_.Exists(path_)) {
+    if (!disk_.Create(path_).ok()) {
+      ++write_errors_;
+      return;
+    }
+  }
+  if (!disk_.Append(path_, EncodeRecord(signature)).ok()) {
+    ++write_errors_;
+  }
+}
+
+Result<std::vector<FailureSignature>> FailureLog::Load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!disk_.Exists(path_)) {
+    return std::vector<FailureSignature>{};
+  }
+  WDG_ASSIGN_OR_RETURN(const std::string data, disk_.ReadAll(path_));
+  std::vector<FailureSignature> out;
+  for (const std::string& line : StrSplit(data, '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto record = DecodeRecord(line);
+    if (record.ok()) {
+      out.push_back(*record);
+    }
+  }
+  return out;
+}
+
+int64_t FailureLog::write_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_errors_;
+}
+
+}  // namespace wdg

@@ -1,0 +1,45 @@
+// Persistent failure log for postmortem analysis (§5.2):
+//
+//   "developers can leverage the recorded information for failure
+//    reproduction and postmortem analysis."
+//
+// A FailureListener that appends every signature to a durable, line-oriented
+// log on SimDisk and can load it back after a restart — so localization and
+// failure-inducing context survive the process they were captured in.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_disk.h"
+#include "src/watchdog/driver.h"
+
+namespace wdg {
+
+class FailureLog : public FailureListener {
+ public:
+  FailureLog(SimDisk& disk, std::string path) : disk_(disk), path_(std::move(path)) {}
+
+  // FailureListener: append one record (best-effort; I/O errors are counted,
+  // never thrown back into the driver).
+  void OnFailure(const FailureSignature& signature) override;
+
+  // Loads every intact record from the log (post-restart forensics).
+  Result<std::vector<FailureSignature>> Load() const;
+
+  int64_t write_errors() const;
+
+  // Line codec (exposed for tests). Fields are tab-separated; embedded tabs
+  // and newlines in messages are escaped.
+  static std::string EncodeRecord(const FailureSignature& signature);
+  static Result<FailureSignature> DecodeRecord(const std::string& line);
+
+ private:
+  SimDisk& disk_;
+  std::string path_;
+  mutable std::mutex mu_;
+  int64_t write_errors_ = 0;
+};
+
+}  // namespace wdg

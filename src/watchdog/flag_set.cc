@@ -1,0 +1,43 @@
+#include "src/watchdog/flag_set.h"
+
+namespace wdg {
+
+void FlagSet::Declare(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flags_.try_emplace(name, false);
+}
+
+void FlagSet::Set(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flags_[name] = true;
+}
+
+bool FlagSet::IsSet(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+bool FlagSet::AllSetAndReset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_missing_.clear();
+  for (auto& [name, set] : flags_) {
+    if (!set) {
+      last_missing_.push_back(name);
+    }
+    set = false;
+  }
+  return last_missing_.empty();
+}
+
+std::vector<std::string> FlagSet::LastMissing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_missing_;
+}
+
+size_t FlagSet::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flags_.size();
+}
+
+}  // namespace wdg

@@ -1,0 +1,46 @@
+// Main-loop progress flags (§2):
+//
+//   "It is also good practice to insert a flag at each important point of
+//    the main loop and check all flags at the end."
+//
+// A FlagSet holds one flag per important point; the loop Sets them as it
+// passes; a guardian (typically right before WatchdogTimer::Kick) calls
+// AllSetAndReset() — the kick happens only when every point was reached this
+// round, so a loop that silently skips half its work stops feeding the WDT.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wdg {
+
+class FlagSet {
+ public:
+  // Declares a flag (idempotent). Flags start unset.
+  void Declare(const std::string& name);
+
+  // Marks a point as reached this round. Undeclared names are auto-declared
+  // (so instrumentation can't silently rot when points are added).
+  void Set(const std::string& name);
+
+  bool IsSet(const std::string& name) const;
+
+  // True iff every declared flag was set; resets all flags for the next
+  // round either way.
+  bool AllSetAndReset();
+
+  // Flags that were NOT set in the last AllSetAndReset round — tells the
+  // operator which part of the loop went missing.
+  std::vector<std::string> LastMissing() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> last_missing_;
+};
+
+}  // namespace wdg

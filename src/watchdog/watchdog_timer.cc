@@ -1,0 +1,79 @@
+#include "src/watchdog/watchdog_timer.h"
+
+#include "src/common/logging.h"
+
+namespace wdg {
+
+WatchdogTimer::WatchdogTimer(Clock& clock, Options options)
+    : clock_(clock), options_(options) {}
+
+WatchdogTimer::~WatchdogTimer() { Stop(); }
+
+void WatchdogTimer::AddStage(std::string name, std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.push_back(Stage{std::move(name), std::move(action)});
+}
+
+void WatchdogTimer::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_kick_ = clock_.NowNs();
+  }
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void WatchdogTimer::Stop() {
+  stop_.Request();
+  thread_.Join();
+  started_ = false;
+}
+
+void WatchdogTimer::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_kick_ = clock_.NowNs();
+  next_stage_ = 0;  // re-arm: the system proved liveness
+  kicks_.fetch_add(1);
+}
+
+void WatchdogTimer::Loop() {
+  while (!stop_.WaitFor(options_.poll)) {
+    std::function<void()> action;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_stage_ >= static_cast<int>(stages_.size())) {
+        continue;  // all stages exhausted; wait for a kick to re-arm
+      }
+      const DurationNs silence = clock_.NowNs() - last_kick_;
+      const DurationNs due_at =
+          static_cast<DurationNs>(next_stage_ + 1) * options_.stage_interval;
+      if (silence < due_at) {
+        continue;
+      }
+      name = stages_[next_stage_].name;
+      action = stages_[next_stage_].action;
+      fired_names_.push_back(name);
+      ++next_stage_;
+    }
+    WDG_LOG(kWarn) << "watchdog timer stage fired: " << name;
+    if (action) {
+      action();
+    }
+  }
+}
+
+int WatchdogTimer::stages_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_stage_;
+}
+
+std::vector<std::string> WatchdogTimer::FiredStageNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_names_;
+}
+
+}  // namespace wdg

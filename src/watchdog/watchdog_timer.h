@@ -1,0 +1,80 @@
+// WatchdogTimer: the classic embedded WDT of §2 — the ancestor the paper's
+// software watchdogs generalize.
+//
+// "WDTs use internal counters that start from an initial value and count down
+//  to zero. When the counter reaches zero, the watchdog resets the processor.
+//  In a multi-stage watchdog, it will initiate a series of actions upon
+//  timeout, such as generating an interrupt, activating fail-safe states,
+//  logging debug information and resetting the processor. To prevent a reset,
+//  the software must keep 'kicking' the watchdog."
+//
+// Provided for completeness and used by the monitored systems as a last-line
+// liveness guard: the main loop kicks it; sanity checks should run before the
+// kick (§2: check stack depth, flags, etc., then kick).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/threading.h"
+
+namespace wdg {
+
+struct WatchdogTimerOptions {
+  DurationNs stage_interval = Ms(100);
+  DurationNs poll = Ms(5);
+};
+
+class WatchdogTimer {
+ public:
+  using Options = WatchdogTimerOptions;
+
+  // A stage fires once per expiry episode, in order, as the silence persists.
+  // Stage k fires after (k+1) * stage_interval without a kick.
+  struct Stage {
+    std::string name;                  // "interrupt", "fail-safe", "reset", ...
+    std::function<void()> action;
+  };
+
+  WatchdogTimer(Clock& clock, Options options = {});
+  ~WatchdogTimer();
+
+  WatchdogTimer(const WatchdogTimer&) = delete;
+  WatchdogTimer& operator=(const WatchdogTimer&) = delete;
+
+  // Stages must be added before Start().
+  void AddStage(std::string name, std::function<void()> action);
+
+  void Start();
+  void Stop();
+
+  // Resets the countdown and re-arms all stages. Call from the monitored
+  // loop after its sanity checks pass.
+  void Kick();
+
+  int64_t kick_count() const { return kicks_.load(); }
+  // Index of the next stage to fire (0 == fully healthy / re-armed).
+  int stages_fired() const;
+  std::vector<std::string> FiredStageNames() const;
+
+ private:
+  void Loop();
+
+  Clock& clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<Stage> stages_;
+  std::vector<std::string> fired_names_;
+  int next_stage_ = 0;
+  TimeNs last_kick_ = 0;
+  std::atomic<int64_t> kicks_{0};
+  StopFlag stop_;
+  JoiningThread thread_;
+  bool started_ = false;
+};
+
+}  // namespace wdg

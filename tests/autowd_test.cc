@@ -1,0 +1,461 @@
+// Tests for AutoWatchdog: program logic reduction, context inference,
+// checker synthesis, codegen, and the end-to-end Generate pipeline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/autowd/autowatchdog.h"
+#include "src/autowd/codegen.h"
+#include "src/autowd/context_infer.h"
+#include "src/autowd/reduce.h"
+#include "src/autowd/synth.h"
+#include "src/common/clock.h"
+#include "src/watchdog/driver.h"
+
+namespace awd {
+namespace {
+
+// Same Figure-2-shaped module as ir_test.cc (duplicated to keep each test
+// binary self-contained).
+Module FigureTwoModule() {
+  Module module("minizk");
+  module.AddFunction(FunctionBuilder("snapshotLoop", "zk.snapshot")
+                         .LongRunning()
+                         .Op(OpKind::kIoCreate, "disk.create", {"snapName"}, {},
+                             "create snapshot file")
+                         .LoopBegin()
+                         .Compute("wait for snapshot trigger")
+                         .Call("serializeSnapshot", {"oa"})
+                         .Op(OpKind::kIoFsync, "disk.fsync", {"snapName"}, {}, "fsync snapshot")
+                         .LoopEnd()
+                         .Build());
+  module.AddFunction(FunctionBuilder("serializeSnapshot", "zk.snapshot")
+                         .Param("oa")
+                         .Compute("scount = 0")
+                         .Call("serialize", {"oa", "tag"})
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("serialize", "zk.snapshot")
+                         .Param("oa")
+                         .Param("tag")
+                         .Compute("header bookkeeping")
+                         .Call("serializeNode", {"oa", "path"})
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("serializeNode", "zk.snapshot")
+                         .Param("oa")
+                         .Param("path")
+                         .Compute("node = getNode(path)", {"path"}, {"node"})
+                         .Op(OpKind::kLockAcquire, "lock.datatree.node", {"node"}, {},
+                             "synchronized(node)")
+                         .Op(OpKind::kIoWrite, "disk.write", {"oa", "node"}, {},
+                             "oa.writeRecord(node, \"node\")")
+                         .Compute("children = node.getChildren()", {"node"}, {"children"})
+                         .Op(OpKind::kLockRelease, "lock.datatree.node", {"node"})
+                         .Call("serializeNode", {"oa", "path"})
+                         .Return()
+                         .Build());
+  return module;
+}
+
+std::set<std::string> RetainedSites(const ReducedProgram& program) {
+  std::set<std::string> sites;
+  for (const ReducedFunction& fn : program.functions) {
+    for (const ReducedOp& op : fn.ops) {
+      sites.insert(op.site);
+    }
+  }
+  return sites;
+}
+
+// ---------------------------------------------------------------- reduction
+
+TEST(ReducerTest, KeepsVulnerableOpsAlongCallChain) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  ASSERT_EQ(program.functions.size(), 1u);
+  const auto sites = RetainedSites(program);
+  // Figure 2's walk: the writeRecord I/O and the node lock survive, plus the
+  // loop's own fsync. Pure compute and lock-release do not.
+  EXPECT_EQ(sites.count("disk.write"), 1u);
+  EXPECT_EQ(sites.count("lock.datatree.node"), 1u);
+  EXPECT_EQ(sites.count("disk.fsync"), 1u);
+  EXPECT_EQ(sites.size(), 3u);
+}
+
+TEST(ReducerTest, ExcludesInitializationCode) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  // disk.create happens before the loop — initialization, not continuous.
+  EXPECT_EQ(RetainedSites(program).count("disk.create"), 0u);
+}
+
+TEST(ReducerTest, RecursionTerminates) {
+  // serializeNode calls itself; reduction must not loop forever and must not
+  // duplicate its ops.
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  int write_ops = 0;
+  for (const ReducedFunction& fn : program.functions) {
+    for (const ReducedOp& op : fn.ops) {
+      write_ops += op.site == "disk.write" ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(write_ops, 1);
+}
+
+TEST(ReducerTest, ProvenanceIsRecorded) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const ReducedFunction& fn = program.functions[0];
+  EXPECT_EQ(fn.origin, "snapshotLoop");
+  EXPECT_EQ(fn.name, "snapshotLoop_reduced");
+  bool found = false;
+  for (const ReducedOp& op : fn.ops) {
+    if (op.site == "disk.write") {
+      found = true;
+      EXPECT_EQ(op.origin_function, "serializeNode");
+      EXPECT_EQ(op.origin_instr_id, 3);
+      EXPECT_EQ(op.component, "zk.snapshot");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReducerTest, SimilarOpDedupCollapsesRepeats) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("writer", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.write", {"a"})
+                         .Op(OpKind::kIoWrite, "disk.write", {"b"})
+                         .Op(OpKind::kIoWrite, "disk.write", {"c"})
+                         .LoopEnd()
+                         .Build());
+  const ReducedProgram with = Reducer(module).Reduce();
+  EXPECT_EQ(with.functions[0].ops.size(), 1u);  // "invoke write() once"
+  EXPECT_EQ(with.stats.deduped_similar, 2);
+
+  ReducerOptions no_dedup;
+  no_dedup.dedup_similar = false;
+  const ReducedProgram without = Reducer(module, no_dedup).Reduce();
+  EXPECT_EQ(without.functions[0].ops.size(), 3u);
+}
+
+TEST(ReducerTest, GlobalDedupAcrossRoots) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("rootA", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Call("shared")
+                         .LoopEnd()
+                         .Build());
+  module.AddFunction(FunctionBuilder("rootB", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Call("shared")
+                         .Op(OpKind::kNetSend, "net.send.peer", {"msg"})
+                         .LoopEnd()
+                         .Build());
+  module.AddFunction(FunctionBuilder("shared", "c")
+                         .Op(OpKind::kIoWrite, "disk.write", {"x"})
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  // rootA claims shared's write; rootB keeps only its own net.send.
+  int total_ops = 0;
+  for (const ReducedFunction& fn : program.functions) {
+    total_ops += static_cast<int>(fn.ops.size());
+  }
+  EXPECT_EQ(total_ops, 2);
+  EXPECT_EQ(program.stats.deduped_global, 1);
+}
+
+TEST(ReducerTest, MaxDepthBoundsTraversal) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("root", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Call("f1")
+                         .LoopEnd()
+                         .Build());
+  module.AddFunction(FunctionBuilder("f1", "c").Call("f2").Build());
+  module.AddFunction(
+      FunctionBuilder("f2", "c").Op(OpKind::kIoWrite, "disk.write", {"x"}).Build());
+  ReducerOptions shallow;
+  shallow.max_call_depth = 1;
+  EXPECT_TRUE(Reducer(module, shallow).Reduce().functions.empty());
+  ReducerOptions deep;
+  deep.max_call_depth = 8;
+  EXPECT_EQ(Reducer(module, deep).Reduce().functions.size(), 1u);
+}
+
+TEST(ReducerTest, AnnotatedComputeRetained) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("root", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Compute("validatePartition(p)", {"p"})
+                         .Vulnerable()  // developer tag (§4.2 config)
+                         .LoopEnd()
+                         .Build());
+  // Sites are required for executor dispatch; annotated compute uses label site.
+  Module module2("m2");
+  module2.AddFunction(FunctionBuilder("root", "c")
+                          .LongRunning()
+                          .LoopBegin()
+                          .Op(OpKind::kCompute, "kvs.partition.validate", {"p"}, {},
+                              "validatePartition")
+                          .Vulnerable()
+                          .LoopEnd()
+                          .Build());
+  const ReducedProgram program = Reducer(module2).Reduce();
+  ASSERT_EQ(program.functions.size(), 1u);
+  EXPECT_EQ(program.functions[0].ops[0].site, "kvs.partition.validate");
+}
+
+// ------------------------------------------------------------ context infer
+
+TEST(ContextInferTest, VariablesAreUnionOfOpArgs) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  ASSERT_EQ(plan.contexts.size(), 1u);
+  const ContextSpec& spec = plan.contexts[0];
+  EXPECT_EQ(spec.context_name, "snapshotLoop_ctx");
+  const std::set<std::string> vars(spec.variables.begin(), spec.variables.end());
+  EXPECT_EQ(vars.count("oa"), 1u);
+  EXPECT_EQ(vars.count("node"), 1u);
+  EXPECT_EQ(vars.count("snapName"), 1u);
+}
+
+TEST(ContextInferTest, HookBeforeFirstRetainedOpPerOrigin) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  bool node_hook = false;
+  for (const HookPoint& point : plan.points) {
+    if (point.function == "serializeNode") {
+      node_hook = true;
+      // Figure 2: hook inserted right before writeRecord... but the lock
+      // acquire (instr 2) is the first retained op from serializeNode.
+      EXPECT_EQ(point.before_instr_id, 2);
+      EXPECT_EQ(point.hook_site, "serializeNode:2");
+      EXPECT_EQ(point.context_name, "snapshotLoop_ctx");
+      const std::set<std::string> capture(point.capture.begin(), point.capture.end());
+      EXPECT_EQ(capture.count("node"), 1u);
+      EXPECT_EQ(capture.count("oa"), 1u);
+    }
+  }
+  EXPECT_TRUE(node_hook);
+}
+
+TEST(ContextInferTest, HookSiteNaming) {
+  EXPECT_EQ(HookSiteName("Flush", 7), "Flush:7");
+}
+
+// ----------------------------------------------------------------- executor
+
+TEST(OpExecutorRegistryTest, ExactBeatsGenericByOrder) {
+  OpExecutorRegistry registry;
+  registry.Register("disk.write",
+                    [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+                      return wdg::IoError("specific");
+                    });
+  registry.Register("*", [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+    return wdg::Status::Ok();
+  });
+  ReducedOp op;
+  op.site = "disk.write";
+  wdg::CheckContext ctx("c");
+  EXPECT_EQ(registry.Execute(op, ctx, "t").code(), wdg::StatusCode::kIoError);
+  op.site = "anything.else";
+  EXPECT_TRUE(registry.Execute(op, ctx, "t").ok());
+}
+
+TEST(OpExecutorRegistryTest, UnknownSiteIsUnimplemented) {
+  OpExecutorRegistry registry;
+  ReducedOp op;
+  op.site = "mystery.op";
+  wdg::CheckContext ctx("c");
+  EXPECT_EQ(registry.Execute(op, ctx, "t").code(), wdg::StatusCode::kUnimplemented);
+  EXPECT_FALSE(registry.HasExecutorFor("mystery.op"));
+}
+
+// --------------------------------------------------------- generated checker
+
+ReducedFunction TwoOpFunction() {
+  ReducedFunction fn;
+  fn.name = "flushLoop_reduced";
+  fn.origin = "flushLoop";
+  fn.component = "kvs.flusher";
+  ReducedOp write;
+  write.kind = OpKind::kIoWrite;
+  write.site = "disk.write";
+  write.origin_function = "Flush";
+  write.origin_instr_id = 4;
+  write.component = "kvs.flusher";
+  write.args = {"file"};
+  fn.ops.push_back(write);
+  ReducedOp fsync;
+  fsync.kind = OpKind::kIoFsync;
+  fsync.site = "disk.fsync";
+  fsync.origin_function = "Flush";
+  fsync.origin_instr_id = 5;
+  fsync.component = "kvs.flusher";
+  fn.ops.push_back(fsync);
+  return fn;
+}
+
+TEST(GeneratedCheckerTest, GatesOnContextReady) {
+  OpExecutorRegistry registry;
+  int executed = 0;
+  registry.Register("*", [&](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+    ++executed;
+    return wdg::Status::Ok();
+  });
+  wdg::CheckContext ctx("flushLoop_ctx");
+  GeneratedChecker checker(TwoOpFunction(), &ctx, &registry);
+  EXPECT_EQ(checker.Check().outcome, wdg::CheckOutcome::kContextNotReady);
+  EXPECT_EQ(executed, 0);
+  ctx.MarkReady(1);
+  EXPECT_EQ(checker.Check().outcome, wdg::CheckOutcome::kPass);
+  EXPECT_EQ(executed, 2);
+  EXPECT_EQ(checker.ops_executed(), 2);
+}
+
+TEST(GeneratedCheckerTest, FailurePinpointsOpAndCarriesContext) {
+  OpExecutorRegistry registry;
+  registry.Register("disk.write",
+                    [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+                      return wdg::IoError("mimicked write exploded");
+                    });
+  registry.Register("*", [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+    return wdg::Status::Ok();
+  });
+  wdg::CheckContext ctx("flushLoop_ctx");
+  ctx.Set("file", std::string("/sst/42"));
+  ctx.MarkReady(1);
+  GeneratedChecker checker(TwoOpFunction(), &ctx, &registry);
+  const wdg::CheckResult result = checker.Check();
+  ASSERT_EQ(result.outcome, wdg::CheckOutcome::kFail);
+  EXPECT_EQ(result.signature.type, wdg::FailureType::kOperationError);
+  EXPECT_EQ(result.signature.location.function, "Flush");
+  EXPECT_EQ(result.signature.location.op_site, "disk.write");
+  EXPECT_EQ(result.signature.location.instr_id, 4);
+  EXPECT_NE(result.signature.context_dump.find("/sst/42"), std::string::npos);
+}
+
+TEST(GeneratedCheckerTest, TimeoutClassifiedAsLiveness) {
+  EXPECT_EQ(ClassifyOpFailure(wdg::StatusCode::kTimeout),
+            wdg::FailureType::kLivenessTimeout);
+  EXPECT_EQ(ClassifyOpFailure(wdg::StatusCode::kCorruption),
+            wdg::FailureType::kSafetyViolation);
+  EXPECT_EQ(ClassifyOpFailure(wdg::StatusCode::kIoError),
+            wdg::FailureType::kOperationError);
+}
+
+TEST(GeneratedCheckerTest, UnimplementedOpsAreSkippedNotFatal) {
+  OpExecutorRegistry registry;  // no executors at all
+  wdg::CheckContext ctx("c");
+  ctx.MarkReady(1);
+  GeneratedChecker checker(TwoOpFunction(), &ctx, &registry);
+  EXPECT_EQ(checker.Check().outcome, wdg::CheckOutcome::kPass);
+  EXPECT_EQ(checker.ops_skipped(), 2);
+}
+
+// ------------------------------------------------------------------ codegen
+
+TEST(CodegenTest, CheckerSourceLooksLikeFigureThree) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  const std::string source = EmitCheckerSource(program.functions[0], plan);
+  EXPECT_NE(source.find("snapshotLoop_reduced"), std::string::npos);
+  EXPECT_NE(source.find("snapshotLoop_invoke"), std::string::npos);
+  EXPECT_NE(source.find("ContextFactory"), std::string::npos);
+  EXPECT_NE(source.find("checker context not ready"), std::string::npos);
+  EXPECT_NE(source.find("disk.write"), std::string::npos);
+}
+
+TEST(CodegenTest, ReductionTraceMarksKeepDropAndHooks) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  const std::string trace = EmitReductionTrace(module, program, plan);
+  EXPECT_NE(trace.find("KEEP"), std::string::npos);
+  EXPECT_NE(trace.find("drop"), std::string::npos);
+  EXPECT_NE(trace.find("+ hook serializeNode:2"), std::string::npos);
+  EXPECT_NE(trace.find("[long-running]"), std::string::npos);
+}
+
+TEST(CodegenTest, SummaryCountsAreConsistent) {
+  const Module module = FigureTwoModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const std::string summary = SummarizeReduction(program);
+  EXPECT_NE(summary.find("minizk"), std::string::npos);
+  EXPECT_NE(summary.find("1 long-running roots"), std::string::npos);
+}
+
+// ------------------------------------------------------- generate (pipeline)
+
+TEST(GenerateTest, ArmsHooksAndRegistersCheckers) {
+  const Module module = FigureTwoModule();
+  wdg::HookSet hooks;
+  OpExecutorRegistry registry;
+  registry.Register("*", [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+    return wdg::Status::Ok();
+  });
+  wdg::WatchdogDriver driver(wdg::RealClock::Instance());
+  const GenerationReport report = Generate(module, hooks, registry, driver);
+  EXPECT_EQ(report.checker_names.size(), 1u);
+  EXPECT_GE(report.hooks_armed, 2);  // snapshotLoop + serializeNode origins
+  EXPECT_EQ(driver.checker_count(), 1);
+  EXPECT_TRUE(hooks.Site("serializeNode:2")->armed());
+  EXPECT_EQ(report.ops_without_executor, 0);
+}
+
+TEST(GenerateTest, EndToEndDetectionThroughDriver) {
+  const Module module = FigureTwoModule();
+  wdg::HookSet hooks;
+  OpExecutorRegistry registry;
+  std::atomic<bool> disk_broken{false};
+  registry.Register("disk.write",
+                    [&](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+                      return disk_broken ? wdg::IoError("bad sector") : wdg::Status::Ok();
+                    });
+  registry.Register("*", [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+    return wdg::Status::Ok();
+  });
+
+  wdg::WatchdogDriver driver(wdg::RealClock::Instance());
+  GenerationOptions options;
+  options.checker.interval = wdg::Ms(10);
+  options.checker.timeout = wdg::Ms(100);
+  Generate(module, hooks, registry, driver, options);
+  driver.Start();
+
+  // The "main program" reaches the hook point and synchronizes state.
+  hooks.Site("serializeNode:2")->Fire([&](wdg::CheckContext& ctx) {
+    ctx.Set("oa", std::string("archive0"));
+    ctx.Set("node", std::string("/zk/node1"));
+    ctx.MarkReady(wdg::RealClock::Instance().NowNs());
+  });
+  hooks.Site("snapshotLoop:4")->Fire([&](wdg::CheckContext& ctx) {
+    ctx.Set("snapName", std::string("snap.0"));
+    ctx.MarkReady(wdg::RealClock::Instance().NowNs());
+  });
+
+  wdg::RealClock::Instance().SleepFor(wdg::Ms(60));
+  EXPECT_TRUE(driver.Failures().empty());  // healthy program, silent watchdog
+
+  disk_broken = true;  // production fault appears
+  ASSERT_TRUE(driver.WaitForFailure(wdg::Sec(2)));
+  driver.Stop();
+  const auto failure = *driver.FirstFailure();
+  EXPECT_EQ(failure.location.op_site, "disk.write");
+  EXPECT_EQ(failure.location.function, "serializeNode");
+  EXPECT_NE(failure.context_dump.find("/zk/node1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace awd

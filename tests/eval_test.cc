@@ -1,0 +1,197 @@
+// Tests for the eval harness: scenario catalog sanity, localization scoring,
+// aggregation math, and three representative end-to-end trials (control,
+// gray failure, crash).
+#include <gtest/gtest.h>
+
+#include "src/eval/campaign.h"
+#include "src/eval/scenario.h"
+#include "src/eval/table.h"
+#include "src/eval/workload.h"
+
+namespace wdg {
+namespace {
+
+TEST(ScenarioCatalogTest, CoversTheGrayFailureSpace) {
+  const auto catalog = KvsScenarioCatalog();
+  EXPECT_GE(catalog.size(), 14u);
+  int controls = 0;
+  int crashes = 0;
+  int background = 0;  // faults invisible to clients — the probe blind spot
+  for (const Scenario& s : catalog) {
+    controls += s.fault_free ? 1 : 0;
+    crashes += s.crash ? 1 : 0;
+    if (!s.fault_free && !s.benign && !s.crash && !s.client_visible) {
+      ++background;
+    }
+    if (!s.fault_free && !s.benign && !s.crash) {
+      EXPECT_FALSE(s.true_op_site.empty()) << s.name;
+      EXPECT_FALSE(s.true_component.empty()) << s.name;
+    }
+  }
+  EXPECT_GE(controls, 2);
+  EXPECT_EQ(crashes, 1);
+  EXPECT_GE(background, 5);
+}
+
+TEST(ScenarioCatalogTest, UniqueNames) {
+  const auto catalog = KvsScenarioCatalog();
+  std::set<std::string> names;
+  for (const Scenario& s : catalog) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate scenario " << s.name;
+  }
+}
+
+TEST(LocalizationScoringTest, LevelsRankCorrectly) {
+  Scenario s;
+  s.true_component = "kvs.flusher";
+  s.true_function = "FlushMemtable";
+  s.true_op_site = "disk.write";
+  EXPECT_EQ(ScoreLocalization(s, {"kvs.flusher", "FlushMemtable", "disk.write", 3}),
+            LocalizationLevel::kOperation);
+  EXPECT_EQ(ScoreLocalization(s, {"kvs.flusher", "FlushMemtable", "disk.fsync", 4}),
+            LocalizationLevel::kFunction);
+  EXPECT_EQ(ScoreLocalization(s, {"kvs.flusher", "Other", "x", 1}),
+            LocalizationLevel::kComponent);
+  EXPECT_EQ(ScoreLocalization(s, {"kvs.listener", "Other", "x", 1}),
+            LocalizationLevel::kProcess);
+}
+
+TEST(AggregateTest, ComputesCompletenessAccuracyLatency) {
+  TrialResult fault_trial;
+  fault_trial.scenario = "s1";
+  fault_trial.fault_free = false;
+  DetectorOutcome hit;
+  hit.enabled = true;
+  hit.detected = true;
+  hit.latency = Ms(100);
+  hit.localization = LocalizationLevel::kOperation;
+  fault_trial.outcomes["wd-mimic"] = hit;
+  DetectorOutcome miss;
+  miss.enabled = true;
+  fault_trial.outcomes["heartbeat"] = miss;
+
+  TrialResult control;
+  control.scenario = "control";
+  control.fault_free = true;
+  DetectorOutcome noisy;
+  noisy.enabled = true;
+  noisy.false_alarms = 3;
+  control.outcomes["heartbeat"] = noisy;
+  DetectorOutcome quiet;
+  quiet.enabled = true;
+  control.outcomes["wd-mimic"] = quiet;
+
+  const auto aggregates = Aggregate({fault_trial, control});
+  const DetectorAggregate& mimic = aggregates.at("wd-mimic");
+  EXPECT_DOUBLE_EQ(mimic.Completeness(), 1.0);
+  EXPECT_DOUBLE_EQ(mimic.Accuracy(), 1.0);
+  EXPECT_EQ(mimic.MedianLatency(), Ms(100));
+  EXPECT_DOUBLE_EQ(mimic.PinpointRate(LocalizationLevel::kOperation), 1.0);
+
+  const DetectorAggregate& hb = aggregates.at("heartbeat");
+  EXPECT_DOUBLE_EQ(hb.Completeness(), 0.0);
+  EXPECT_DOUBLE_EQ(hb.Accuracy(), 0.0);  // 0 detections, 3 false alarms
+}
+
+TEST(TablePrinterTest, AlignsAndTruncates) {
+  TablePrinter table({{"name", 8}, {"value", 5}});
+  EXPECT_EQ(table.Row({"short", "1"}), "short     1      ");
+  EXPECT_EQ(table.Row({"waytoolongname", "12345678"}), "waytoolo  12345  ");
+  EXPECT_NE(table.HeaderRow().find("name"), std::string::npos);
+}
+
+Scenario FindScenario(const std::string& name) {
+  for (const Scenario& s : KvsScenarioCatalog()) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  ADD_FAILURE() << "missing scenario " << name;
+  return Scenario{};
+}
+
+TrialOptions FastTrial() {
+  TrialOptions options;
+  options.warmup = Ms(250);
+  options.observe = Ms(700);
+  return options;
+}
+
+TEST(TrialTest, BenignHeartbeatLinkFaultFoolsOnlyTheCrashFD) {
+  // The heartbeat path drops, the process is perfectly healthy: the crash FD
+  // false-alarms; every intrinsic checker stays silent.
+  Scenario benign;
+  for (const Scenario& s : KvsScenarioCatalog()) {
+    if (s.name == "monitor-link-drop") {
+      benign = s;
+    }
+  }
+  ASSERT_TRUE(benign.benign);
+  const TrialResult result = RunTrial(benign, FastTrial());
+  EXPECT_TRUE(result.fault_free);  // scored like a control
+  EXPECT_GE(result.outcomes.at(kDetHeartbeat).false_alarms, 1);
+  EXPECT_EQ(result.outcomes.at(kDetMimic).false_alarms, 0);
+  EXPECT_EQ(result.outcomes.at(kDetWdProbe).false_alarms, 0);
+  EXPECT_EQ(result.outcomes.at(kDetApiProbe).false_alarms, 0);
+}
+
+TEST(WorkloadGeneratorTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(11);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (WorkloadGenerator::PickKey(rng, 64, 1.2) < 8) {
+      ++low;
+    }
+  }
+  EXPECT_GT(low, 1200);  // heavily skewed to the hot head
+  Rng rng2(11);
+  int low_uniform = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (WorkloadGenerator::PickKey(rng2, 64, 0.0) < 8) {
+      ++low_uniform;
+    }
+  }
+  EXPECT_NEAR(low_uniform, 250, 120);  // uniform: ~1/8 of picks
+}
+
+TEST(TrialTest, ControlRunIsQuietEverywhere) {
+  const TrialResult result = RunTrial(FindScenario("control-1"), FastTrial());
+  EXPECT_TRUE(result.fault_free);
+  EXPECT_GT(result.workload_requests, 20);
+  for (const auto& [label, outcome] : result.outcomes) {
+    EXPECT_FALSE(outcome.detected) << label;
+    EXPECT_EQ(outcome.false_alarms, 0) << label << ": " << outcome.detail;
+  }
+}
+
+TEST(TrialTest, BackgroundGrayFailureOnlyMimicSees) {
+  // Replication link hang: clients keep committing, heartbeats keep beating.
+  const TrialResult result = RunTrial(FindScenario("replication-link-hang"), FastTrial());
+  const DetectorOutcome& mimic = result.outcomes.at(kDetMimic);
+  EXPECT_TRUE(mimic.detected) << mimic.detail;
+  EXPECT_GE(mimic.localization, LocalizationLevel::kFunction) << mimic.detail;
+  EXPECT_FALSE(result.outcomes.at(kDetHeartbeat).detected);
+  EXPECT_FALSE(result.outcomes.at(kDetApiProbe).detected);
+  EXPECT_FALSE(result.outcomes.at(kDetObserver).detected);
+}
+
+TEST(TrialTest, CrashOnlyExtrinsicDetectorsSee) {
+  const TrialResult result = RunTrial(FindScenario("process-crash"), FastTrial());
+  EXPECT_FALSE(result.outcomes.at(kDetMimic).detected);  // watchdog died too
+  EXPECT_TRUE(result.outcomes.at(kDetHeartbeat).detected);
+  EXPECT_TRUE(result.outcomes.at(kDetApiProbe).detected);
+}
+
+TEST(TrialTest, ClientVisibleFaultSeenByProbesAndMimic) {
+  const TrialResult result = RunTrial(FindScenario("wal-append-hang"), FastTrial());
+  EXPECT_TRUE(result.outcomes.at(kDetMimic).detected)
+      << result.outcomes.at(kDetMimic).detail;
+  EXPECT_TRUE(result.outcomes.at(kDetApiProbe).detected);
+  EXPECT_TRUE(result.outcomes.at(kDetObserver).detected);
+  // Mimic pinpoints the op; probes only know "the process is sick".
+  EXPECT_EQ(result.outcomes.at(kDetMimic).localization, LocalizationLevel::kOperation);
+  EXPECT_EQ(result.outcomes.at(kDetApiProbe).localization, LocalizationLevel::kProcess);
+}
+
+}  // namespace
+}  // namespace wdg

@@ -1,0 +1,202 @@
+// Unit tests for the mini-IR and its static analyses.
+#include <gtest/gtest.h>
+
+#include "src/ir/analysis.h"
+#include "src/ir/ir.h"
+
+namespace awd {
+namespace {
+
+// A ZooKeeper-shaped module mirroring Figure 2 of the paper: a long-running
+// snapshot loop calling serializeSnapshot → serialize → serializeNode
+// (recursive), whose only interesting op is the writeRecord I/O.
+Module FigureTwoModule() {
+  Module module("minizk");
+  module.AddFunction(FunctionBuilder("snapshotLoop", "zk.snapshot")
+                         .LongRunning()
+                         .Op(OpKind::kIoCreate, "disk.create", {"snapName"}, {},
+                             "create snapshot file")  // init: outside the loop
+                         .LoopBegin()
+                         .Compute("wait for snapshot trigger")
+                         .Call("serializeSnapshot", {"oa"})
+                         .Op(OpKind::kIoFsync, "disk.fsync", {"snapName"}, {}, "fsync snapshot")
+                         .LoopEnd()
+                         .Build());
+  module.AddFunction(FunctionBuilder("serializeSnapshot", "zk.snapshot")
+                         .Param("oa")
+                         .Compute("scount = 0")
+                         .Call("serialize", {"oa", "tag"})
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("serialize", "zk.snapshot")
+                         .Param("oa")
+                         .Param("tag")
+                         .Compute("header bookkeeping")
+                         .Call("serializeNode", {"oa", "path"})
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("serializeNode", "zk.snapshot")
+                         .Param("oa")
+                         .Param("path")
+                         .Compute("node = getNode(path)", {"path"}, {"node"})
+                         .Op(OpKind::kLockAcquire, "lock.datatree.node", {"node"}, {},
+                             "synchronized(node)")
+                         .Op(OpKind::kIoWrite, "disk.write", {"oa", "node"}, {},
+                             "oa.writeRecord(node, \"node\")")
+                         .Compute("children = node.getChildren()", {"node"}, {"children"})
+                         .Op(OpKind::kLockRelease, "lock.datatree.node", {"node"})
+                         .Call("serializeNode", {"oa", "path"})  // recurse into children
+                         .Return()
+                         .Build());
+  return module;
+}
+
+TEST(IrBuilderTest, IdsAutoIncrementFromOne) {
+  const Module module = FigureTwoModule();
+  const Function* fn = module.GetFunction("serializeNode");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_GE(fn->instrs.size(), 3u);
+  EXPECT_EQ(fn->instrs[0].id, 1);
+  EXPECT_EQ(fn->instrs[1].id, 2);
+  EXPECT_EQ(fn->FindInstr(3)->site, "disk.write");
+  EXPECT_EQ(fn->FindInstr(999), nullptr);
+}
+
+TEST(IrBuilderTest, ModuleLookupAndCounts) {
+  const Module module = FigureTwoModule();
+  EXPECT_EQ(module.name(), "minizk");
+  EXPECT_EQ(module.functions().size(), 4u);
+  EXPECT_NE(module.GetFunction("serialize"), nullptr);
+  EXPECT_EQ(module.GetFunction("absent"), nullptr);
+  EXPECT_GT(module.TotalInstrCount(), 10);
+}
+
+TEST(IrBuilderTest, InstrToStringIsReadable) {
+  const Module module = FigureTwoModule();
+  const Instr* write = module.GetFunction("serializeNode")->FindInstr(3);
+  const std::string text = write->ToString();
+  EXPECT_NE(text.find("io_write"), std::string::npos);
+  EXPECT_NE(text.find("disk.write"), std::string::npos);
+  EXPECT_NE(text.find("writeRecord"), std::string::npos);
+}
+
+TEST(VulnerabilityTest, DefaultCategoriesMatchPaper) {
+  // §4.1: I/O, synchronization, resource, communication are vulnerable.
+  EXPECT_TRUE(IsVulnerableByDefault(OpKind::kIoWrite));
+  EXPECT_TRUE(IsVulnerableByDefault(OpKind::kIoRead));
+  EXPECT_TRUE(IsVulnerableByDefault(OpKind::kNetSend));
+  EXPECT_TRUE(IsVulnerableByDefault(OpKind::kNetRecv));
+  EXPECT_TRUE(IsVulnerableByDefault(OpKind::kLockAcquire));
+  EXPECT_TRUE(IsVulnerableByDefault(OpKind::kAlloc));
+  // Pure logic is "better suited for unit testing before production".
+  EXPECT_FALSE(IsVulnerableByDefault(OpKind::kCompute));
+  EXPECT_FALSE(IsVulnerableByDefault(OpKind::kCall));
+  EXPECT_FALSE(IsVulnerableByDefault(OpKind::kLockRelease));
+}
+
+TEST(CallGraphTest, DirectCallees) {
+  const Module module = FigureTwoModule();
+  const CallGraph graph(module);
+  EXPECT_EQ(graph.CalleesOf("snapshotLoop").count("serializeSnapshot"), 1u);
+  EXPECT_EQ(graph.CalleesOf("serialize").count("serializeNode"), 1u);
+  EXPECT_TRUE(graph.CalleesOf("absent").empty());
+}
+
+TEST(CallGraphTest, TransitiveReachability) {
+  const Module module = FigureTwoModule();
+  const CallGraph graph(module);
+  const auto reach = graph.ReachableFrom("snapshotLoop");
+  EXPECT_EQ(reach.size(), 4u);  // all functions reachable from the loop
+  EXPECT_EQ(reach.count("serializeNode"), 1u);
+}
+
+TEST(CallGraphTest, DetectsRecursionCycle) {
+  const Module module = FigureTwoModule();
+  const CallGraph graph(module);
+  EXPECT_TRUE(graph.HasCycleThrough("serializeNode"));
+  EXPECT_FALSE(graph.HasCycleThrough("snapshotLoop"));
+}
+
+TEST(LongRunningTest, RootsAreFlaggedFunctions) {
+  const Module module = FigureTwoModule();
+  const auto roots = LongRunningRoots(module);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], "snapshotLoop");
+}
+
+TEST(ContinuousInstrsTest, LoopBodyOnlyForRoots) {
+  const Module module = FigureTwoModule();
+  const Function* loop = module.GetFunction("snapshotLoop");
+  // As a root (include_whole_body=false): only instrs inside the loop —
+  // the disk.create init op is excluded (§4.1 "exclude initialization").
+  const auto continuous = ContinuousInstrs(*loop, /*include_whole_body=*/false);
+  for (const int id : continuous) {
+    EXPECT_NE(loop->FindInstr(id)->site, "disk.create");
+  }
+  EXPECT_FALSE(continuous.empty());
+}
+
+TEST(ContinuousInstrsTest, WholeBodyForCallees) {
+  const Module module = FigureTwoModule();
+  const Function* node = module.GetFunction("serializeNode");
+  // Callees of a continuous region are taken wholesale (no loops inside).
+  const auto ids = ContinuousInstrs(*node, /*include_whole_body=*/true);
+  EXPECT_EQ(ids.size(), node->instrs.size());
+}
+
+TEST(ContinuousInstrsTest, FunctionWithoutLoopTakesAll) {
+  const Module module = FigureTwoModule();
+  const Function* fn = module.GetFunction("serializeSnapshot");
+  EXPECT_EQ(ContinuousInstrs(*fn, false).size(), fn->instrs.size());
+}
+
+TEST(PolicyTest, DefaultUsesBuiltinCategories) {
+  const VulnerabilityPolicy policy = VulnerabilityPolicy::Default();
+  Instr io;
+  io.kind = OpKind::kIoWrite;
+  io.site = "disk.write";
+  EXPECT_TRUE(policy.IsVulnerable(io));
+  Instr compute;
+  compute.kind = OpKind::kCompute;
+  EXPECT_FALSE(policy.IsVulnerable(compute));
+}
+
+TEST(PolicyTest, KindOverrideNarrowsScope) {
+  VulnerabilityPolicy policy;
+  policy.vulnerable_kinds = {OpKind::kNetSend};
+  Instr io;
+  io.kind = OpKind::kIoWrite;
+  io.site = "disk.write";
+  EXPECT_FALSE(policy.IsVulnerable(io));
+  Instr net;
+  net.kind = OpKind::kNetSend;
+  net.site = "net.send.x";
+  EXPECT_TRUE(policy.IsVulnerable(net));
+}
+
+TEST(PolicyTest, ExtraAndExcludedSites) {
+  VulnerabilityPolicy policy;
+  policy.extra_sites = {"index.insert"};       // system-specific vulnerable op (§4.2)
+  policy.excluded_sites = {"disk.fsync"};
+  Instr custom;
+  custom.kind = OpKind::kCompute;
+  custom.site = "index.insert";
+  EXPECT_TRUE(policy.IsVulnerable(custom));
+  Instr fsync;
+  fsync.kind = OpKind::kIoFsync;
+  fsync.site = "disk.fsync";
+  EXPECT_FALSE(policy.IsVulnerable(fsync));
+}
+
+TEST(PolicyTest, AnnotationsHonored) {
+  VulnerabilityPolicy policy;
+  Instr tagged;
+  tagged.kind = OpKind::kCompute;
+  tagged.annotated_vulnerable = true;
+  EXPECT_TRUE(policy.IsVulnerable(tagged));
+  policy.honor_annotations = false;
+  EXPECT_FALSE(policy.IsVulnerable(tagged));
+}
+
+}  // namespace
+}  // namespace awd

@@ -1,0 +1,283 @@
+// Tests for mini-HDFS: block store integrity, DataNode/NameNode behavior,
+// and the §3.3 disk-checker story — the weak permissions-only check vs the
+// generated mimic checker that does real I/O.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/autowd/autowatchdog.h"
+#include "src/common/strings.h"
+#include "src/minihdfs/ir_model.h"
+
+namespace minihdfs {
+namespace {
+
+class HdfsFixture : public ::testing::Test {
+ protected:
+  HdfsFixture()
+      : injector_(clock_),
+        disk_(clock_, injector_, wdg::DiskOptions{.base_latency = wdg::Us(5),
+                                                  .per_kb_latency = 0}),
+        net_(clock_, injector_, wdg::NetOptions{.base_latency = wdg::Us(20)}) {}
+
+  ~HdfsFixture() override {
+    injector_.ClearAll();
+    if (driver_) {
+      driver_->Stop();
+    }
+    if (datanode_) {
+      datanode_->Stop();
+    }
+    if (namenode_) {
+      namenode_->Stop();
+    }
+  }
+
+  void StartCluster(bool with_watchdog) {
+    namenode_ = std::make_unique<NameNode>(clock_, net_);
+    namenode_->Start();
+    DataNodeOptions options;
+    options.heartbeat_interval = wdg::Ms(15);
+    options.scan_interval = wdg::Ms(15);
+    datanode_ = std::make_unique<DataNode>(clock_, disk_, net_, options);
+    ASSERT_TRUE(datanode_->Start().ok());
+
+    if (with_watchdog) {
+      RegisterOpExecutors(registry_, *datanode_);
+      wdg::WatchdogDriver::Options driver_options;
+      driver_options.release_on_stop = [this] { injector_.ClearAll(); };
+      driver_ = std::make_unique<wdg::WatchdogDriver>(clock_, driver_options);
+      awd::GenerationOptions gen;
+      gen.checker.interval = wdg::Ms(20);
+      gen.checker.timeout = wdg::Ms(250);
+      report_ = awd::Generate(DescribeIr(datanode_->options()), datanode_->hooks(),
+                              registry_, *driver_, gen);
+      driver_->Start();
+    }
+  }
+
+  wdg::Status WriteBlockViaNet(int64_t id, const std::string& data) {
+    wdg::Endpoint* client = net_.CreateEndpoint("hdfs-client");
+    const auto reply = client->Call(
+        "dn1", kMsgWriteBlock,
+        wdg::StrFormat("%lld", static_cast<long long>(id)) + '\x1f' + data, wdg::Ms(500));
+    if (!reply.ok()) {
+      return reply.status();
+    }
+    return *reply == "ok" ? wdg::Status::Ok() : wdg::InternalError(*reply);
+  }
+
+  wdg::RealClock& clock_ = wdg::RealClock::Instance();
+  wdg::FaultInjector injector_;
+  wdg::SimDisk disk_;
+  wdg::SimNet net_;
+  std::unique_ptr<NameNode> namenode_;
+  std::unique_ptr<DataNode> datanode_;
+  awd::OpExecutorRegistry registry_;
+  std::unique_ptr<wdg::WatchdogDriver> driver_;
+  awd::GenerationReport report_;
+};
+
+TEST_F(HdfsFixture, BlockStoreRoundtripAndIntegrity) {
+  BlockStore store(disk_, "/hdfs/dn1");
+  ASSERT_TRUE(store.WriteBlock(7, "block seven contents").ok());
+  const auto data = store.ReadBlock(7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "block seven contents");
+  EXPECT_TRUE(store.VerifyBlock(7).ok());
+  EXPECT_TRUE(store.HasBlock(7));
+  ASSERT_EQ(store.ListBlocks().size(), 1u);
+  EXPECT_EQ(store.ListBlocks()[0], 7);
+
+  disk_.MarkBadRange(store.BlockPath(7), 2, 4);
+  EXPECT_EQ(store.VerifyBlock(7).code(), wdg::StatusCode::kCorruption);
+  disk_.ClearBadRanges();
+  ASSERT_TRUE(store.DeleteBlock(7).ok());
+  EXPECT_FALSE(store.HasBlock(7));
+}
+
+TEST_F(HdfsFixture, BlockOverwriteUpdatesChecksum) {
+  BlockStore store(disk_, "/hdfs/dn1");
+  ASSERT_TRUE(store.WriteBlock(1, "version-1").ok());
+  ASSERT_TRUE(store.WriteBlock(1, "version-2").ok());
+  EXPECT_EQ(*store.ReadBlock(1), "version-2");
+  EXPECT_TRUE(store.VerifyBlock(1).ok());
+}
+
+TEST_F(HdfsFixture, DataNodeServesWritesAndReads) {
+  StartCluster(/*with_watchdog=*/false);
+  ASSERT_TRUE(WriteBlockViaNet(42, "hello blocks").ok());
+  wdg::Endpoint* client = net_.CreateEndpoint("reader");
+  const auto reply = client->Call("dn1", kMsgReadBlock, "42", wdg::Ms(500));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, std::string("ok") + '\x1f' + "hello blocks");
+  EXPECT_EQ(datanode_->blocks_written(), 1);
+}
+
+TEST_F(HdfsFixture, NameNodeTracksHeartbeatsAndBlockCounts) {
+  StartCluster(/*with_watchdog=*/false);
+  ASSERT_TRUE(WriteBlockViaNet(1, "a").ok());
+  ASSERT_TRUE(WriteBlockViaNet(2, "b").ok());
+  clock_.SleepFor(wdg::Ms(100));
+  EXPECT_TRUE(namenode_->IsLive("dn1", wdg::Ms(100)));
+  EXPECT_GE(namenode_->heartbeats_received(), 3);
+  EXPECT_EQ(namenode_->LastReportedBlockCount("dn1"), 2);
+}
+
+TEST_F(HdfsFixture, BlockScannerFindsRottenBlocks) {
+  StartCluster(/*with_watchdog=*/false);
+  ASSERT_TRUE(WriteBlockViaNet(5, "scan me please").ok());
+  clock_.SleepFor(wdg::Ms(80));
+  EXPECT_GE(datanode_->scans_completed(), 1);
+  EXPECT_EQ(datanode_->scan_failures(), 0);
+  disk_.MarkBadRange(datanode_->blocks().BlockPath(5), 1, 3);
+  clock_.SleepFor(wdg::Ms(100));
+  EXPECT_GE(datanode_->scan_failures(), 1);
+}
+
+TEST_F(HdfsFixture, PermissionsOnlyCheckMissesDeadDisk) {
+  // The §3.3 motivation in one test: directory checks pass while every write
+  // fails; only the enhanced (mimic) checker catches it.
+  StartCluster(/*with_watchdog=*/true);
+  ASSERT_TRUE(WriteBlockViaNet(1, "seed block").ok());
+  clock_.SleepFor(wdg::Ms(80));
+
+  wdg::FaultSpec dead;
+  dead.id = "dead-disk";
+  dead.site_pattern = "disk.write";
+  dead.kind = wdg::FaultKind::kError;
+  injector_.Inject(dead);
+
+  // Weak check: still green.
+  EXPECT_TRUE(datanode_->CheckDirsPermissionsOnly().ok());
+  // Heartbeats: still green.
+  clock_.SleepFor(wdg::Ms(60));
+  EXPECT_TRUE(namenode_->IsLive("dn1", wdg::Ms(100)));
+  // The generated disk checker (real I/O): alarm with pinpoint.
+  ASSERT_TRUE(driver_->WaitForFailure(wdg::Sec(3), [](const wdg::FailureSignature& sig) {
+    return sig.location.op_site == "disk.write" &&
+           sig.location.function == "HandleWriteBlock";
+  }));
+}
+
+TEST_F(HdfsFixture, GeneratedWatchdogSilentOnHealthyNode) {
+  StartCluster(/*with_watchdog=*/true);
+  EXPECT_EQ(report_.program.functions.size(), 3u);  // xceiver, scanner, heartbeat regions
+  EXPECT_EQ(report_.ops_without_executor, 0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(WriteBlockViaNet(i, std::string(128, 'd')).ok());
+  }
+  clock_.SleepFor(wdg::Ms(300));
+  for (const auto& failure : driver_->Failures()) {
+    ADD_FAILURE() << "unexpected alarm: " << failure.ToString();
+  }
+}
+
+TEST_F(HdfsFixture, WedgedScannerDetectedWhileHeartbeatsFlow) {
+  StartCluster(/*with_watchdog=*/true);
+  ASSERT_TRUE(WriteBlockViaNet(1, "block").ok());
+  clock_.SleepFor(wdg::Ms(80));  // scanner context becomes ready
+
+  wdg::FaultSpec hang;
+  hang.id = "scan-hang";
+  hang.site_pattern = "hdfs.scan.verify";
+  hang.kind = wdg::FaultKind::kHang;
+  injector_.Inject(hang);
+
+  ASSERT_TRUE(driver_->WaitForFailure(wdg::Sec(3), [](const wdg::FailureSignature& sig) {
+    return sig.type == wdg::FailureType::kLivenessTimeout &&
+           sig.location.op_site == "hdfs.scan.verify";
+  }));
+  // The gray part: NameNode still thinks everything is fine.
+  EXPECT_TRUE(namenode_->IsLive("dn1", wdg::Ms(100)));
+  injector_.ClearAll();
+}
+
+TEST_F(HdfsFixture, CorruptBlockCaughtByScannerMimic) {
+  StartCluster(/*with_watchdog=*/true);
+  ASSERT_TRUE(WriteBlockViaNet(9, "important data").ok());
+  clock_.SleepFor(wdg::Ms(80));
+  disk_.MarkBadRange(datanode_->blocks().BlockPath(9), 2, 4);
+  ASSERT_TRUE(driver_->WaitForFailure(wdg::Sec(3), [](const wdg::FailureSignature& sig) {
+    return sig.type == wdg::FailureType::kSafetyViolation;
+  }));
+}
+
+TEST_F(HdfsFixture, NameNodeNoticesDeadDataNode) {
+  StartCluster(/*with_watchdog=*/false);
+  clock_.SleepFor(wdg::Ms(60));
+  EXPECT_TRUE(namenode_->IsLive("dn1", wdg::Ms(100)));
+  datanode_->Stop();  // fail-stop: heartbeats cease
+  clock_.SleepFor(wdg::Ms(150));
+  EXPECT_FALSE(namenode_->IsLive("dn1", wdg::Ms(100)));
+  EXPECT_FALSE(namenode_->IsLive("never-registered", wdg::Sec(10)));
+}
+
+TEST_F(HdfsFixture, PipelineReplicatesToDownstream) {
+  namenode_ = std::make_unique<NameNode>(clock_, net_);
+  namenode_->Start();
+  DataNodeOptions downstream_options;
+  downstream_options.node_id = "dn2";
+  DataNode downstream(clock_, disk_, net_, downstream_options);
+  ASSERT_TRUE(downstream.Start().ok());
+
+  DataNodeOptions options;
+  options.downstream = "dn2";
+  datanode_ = std::make_unique<DataNode>(clock_, disk_, net_, options);
+  ASSERT_TRUE(datanode_->Start().ok());
+
+  ASSERT_TRUE(WriteBlockViaNet(3, "replicate me").ok());
+  EXPECT_EQ(datanode_->pipeline_acks(), 1);
+  EXPECT_TRUE(downstream.blocks().HasBlock(3));
+  EXPECT_EQ(*downstream.blocks().ReadBlock(3), "replicate me");
+  downstream.Stop();
+}
+
+TEST_F(HdfsFixture, HungPipelineDetectedWithPinpoint) {
+  namenode_ = std::make_unique<NameNode>(clock_, net_);
+  namenode_->Start();
+  DataNodeOptions downstream_options;
+  downstream_options.node_id = "dn2";
+  DataNode downstream(clock_, disk_, net_, downstream_options);
+  ASSERT_TRUE(downstream.Start().ok());
+
+  DataNodeOptions options;
+  options.downstream = "dn2";
+  options.heartbeat_interval = wdg::Ms(15);
+  datanode_ = std::make_unique<DataNode>(clock_, disk_, net_, options);
+  ASSERT_TRUE(datanode_->Start().ok());
+
+  RegisterOpExecutors(registry_, *datanode_);
+  wdg::WatchdogDriver::Options driver_options;
+  driver_options.release_on_stop = [this] { injector_.ClearAll(); };
+  driver_ = std::make_unique<wdg::WatchdogDriver>(clock_, driver_options);
+  awd::GenerationOptions gen;
+  gen.checker.interval = wdg::Ms(20);
+  gen.checker.timeout = wdg::Ms(250);
+  report_ = awd::Generate(DescribeIr(datanode_->options()), datanode_->hooks(), registry_,
+                          *driver_, gen);
+  EXPECT_EQ(report_.ops_without_executor, 0);
+  driver_->Start();
+
+  ASSERT_TRUE(WriteBlockViaNet(1, "seed").ok());
+  clock_.SleepFor(wdg::Ms(80));
+
+  wdg::FaultSpec hang;
+  hang.id = "pipe";
+  hang.site_pattern = "net.send.dn2";
+  hang.kind = wdg::FaultKind::kHang;
+  injector_.Inject(hang);
+
+  ASSERT_TRUE(driver_->WaitForFailure(wdg::Sec(3), [](const wdg::FailureSignature& sig) {
+    return sig.type == wdg::FailureType::kLivenessTimeout &&
+           sig.location.op_site == "net.send.dn2" &&
+           sig.location.function == "HandleWriteBlock";
+  }));
+  // Heartbeats ride a different link ("nn"), so the NameNode stays fooled.
+  EXPECT_TRUE(namenode_->IsLive("dn1", wdg::Ms(100)));
+  injector_.ClearAll();
+  downstream.Stop();
+}
+
+}  // namespace
+}  // namespace minihdfs

@@ -1,0 +1,371 @@
+// Property-based tests (parameterized gtest): invariants of the fault
+// injector, WAL recovery, SSTable integrity, CRC detection, the reducer, and
+// the bounded queue, swept over randomized inputs and parameter grids.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/checksum.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/threading.h"
+#include "src/fault/fault_injector.h"
+#include "src/ir/analysis.h"
+#include "src/autowd/reduce.h"
+#include "src/kvs/sstable.h"
+#include "src/kvs/wal.h"
+#include "src/sim/sim_disk.h"
+
+namespace wdg {
+namespace {
+
+// ----------------------------------------------------- fault kind contracts
+
+class FaultKindContract : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(FaultKindContract, BehavesPerContract) {
+  const FaultKind kind = GetParam();
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  FaultSpec spec;
+  spec.id = "f";
+  spec.site_pattern = "op";
+  spec.kind = kind;
+  spec.delay = Ms(20);
+  injector.Inject(spec);
+
+  if (kind == FaultKind::kHang || kind == FaultKind::kBusyLoop) {
+    // Blocking kinds: thread parks until removal; never returns an error.
+    std::atomic<bool> done{false};
+    std::thread blocked([&] {
+      EXPECT_TRUE(injector.Act("op").ok());
+      done = true;
+    });
+    while (injector.parked_thread_count() == 0) {
+      std::this_thread::yield();
+    }
+    EXPECT_FALSE(done.load());
+    injector.ClearAll();
+    blocked.join();
+    EXPECT_TRUE(done.load());
+    return;
+  }
+
+  std::string payload = "payload-bytes-original";
+  const std::string original = payload;
+  bool dropped = false;
+  const TimeNs start = clock.NowNs();
+  const Status status = injector.Act("op", &payload, &dropped);
+  const DurationNs took = clock.NowNs() - start;
+
+  switch (kind) {
+    case FaultKind::kDelay:
+      EXPECT_TRUE(status.ok());
+      EXPECT_GE(took, Ms(15));
+      EXPECT_EQ(payload, original);
+      EXPECT_FALSE(dropped);
+      break;
+    case FaultKind::kError:
+      EXPECT_FALSE(status.ok());
+      EXPECT_EQ(payload, original);  // errors never silently mutate data
+      EXPECT_FALSE(dropped);
+      break;
+    case FaultKind::kCorruption:
+      EXPECT_TRUE(status.ok());      // corruption is silent
+      EXPECT_NE(payload, original);
+      EXPECT_EQ(payload.size(), original.size());  // same length, wrong bits
+      EXPECT_FALSE(dropped);
+      break;
+    case FaultKind::kSilentDrop:
+      EXPECT_TRUE(status.ok());
+      EXPECT_TRUE(dropped);
+      break;
+    default:
+      FAIL() << "unhandled kind";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FaultKindContract,
+                         ::testing::Values(FaultKind::kDelay, FaultKind::kHang,
+                                           FaultKind::kError, FaultKind::kCorruption,
+                                           FaultKind::kSilentDrop, FaultKind::kBusyLoop),
+                         [](const auto& param_info) { return FaultKindName(param_info.param); });
+
+// ------------------------------------------------------------ WAL recovery
+
+class WalRecoveryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalRecoveryProperty, RecoveredRecordsAreAnIntactPrefix) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  SimDisk disk(clock, injector, DiskOptions{.base_latency = 0, .per_kb_latency = 0});
+  Rng rng(GetParam());
+
+  kvs::Wal wal(disk, "/wal");
+  ASSERT_TRUE(wal.Open().ok());
+  std::vector<std::string> written;
+  const int count = static_cast<int>(rng.Uniform(1, 20));
+  for (int i = 0; i < count; ++i) {
+    std::string record;
+    const int len = static_cast<int>(rng.Uniform(0, 200));
+    for (int b = 0; b < len; ++b) {
+      record.push_back(static_cast<char>(rng.Uniform(0, 255)));
+    }
+    ASSERT_TRUE(wal.Append(record).ok());
+    written.push_back(std::move(record));
+  }
+
+  // Property 1: clean recovery returns exactly what was written.
+  {
+    const auto recovery = wal.Recover();
+    ASSERT_TRUE(recovery.ok());
+    EXPECT_EQ(recovery->records, written);
+    EXPECT_EQ(recovery->corrupt_tail_bytes, 0);
+  }
+
+  // Property 2: corrupt one random byte; recovery yields an intact PREFIX of
+  // the written records (never a mangled or reordered record).
+  const auto size = disk.Size("/wal");
+  ASSERT_TRUE(size.ok());
+  const int64_t flip_at = rng.Uniform(0, *size - 1);
+  const auto byte = disk.Read("/wal", flip_at, 1);
+  ASSERT_TRUE(byte.ok());
+  std::string flipped = *byte;
+  flipped[0] = static_cast<char>(flipped[0] ^ 0x20);
+  ASSERT_TRUE(disk.Write("/wal", flip_at, flipped).ok());
+
+  const auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_LE(recovery->records.size(), written.size());
+  for (size_t i = 0; i < recovery->records.size(); ++i) {
+    EXPECT_EQ(recovery->records[i], written[i]) << "record " << i << " not intact";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalRecoveryProperty, ::testing::Range<uint64_t>(1, 13));
+
+// --------------------------------------------------------- SSTable integrity
+
+class SsTableIntegrityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SsTableIntegrityProperty, RoundtripAndAnyFlipDetected) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  SimDisk disk(clock, injector, DiskOptions{.base_latency = 0, .per_kb_latency = 0});
+  Rng rng(GetParam());
+
+  std::vector<std::pair<std::string, kvs::MemEntry>> entries;
+  const int count = static_cast<int>(rng.Uniform(1, 30));
+  std::set<std::string> keys;
+  for (int i = 0; i < count; ++i) {
+    const std::string key = StrFormat("key-%03lld", static_cast<long long>(rng.Uniform(0, 999)));
+    if (!keys.insert(key).second) {
+      continue;
+    }
+    kvs::MemEntry entry;
+    entry.tombstone = rng.Bernoulli(0.2);
+    if (!entry.tombstone) {
+      entry.value = std::string(static_cast<size_t>(rng.Uniform(0, 64)), 'v');
+    }
+    entries.emplace_back(key, std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  ASSERT_TRUE(kvs::SsTable::Write(disk, "/t", entries).ok());
+
+  // Property 1: load returns exactly what was written.
+  const auto loaded = kvs::SsTable::Load(disk, "/t");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), entries.size());
+  for (const auto& [key, entry] : entries) {
+    EXPECT_EQ(loaded->at(key).value, entry.value);
+    EXPECT_EQ(loaded->at(key).tombstone, entry.tombstone);
+  }
+
+  // Property 2: flipping any single random byte makes validation fail.
+  const auto size = disk.Size("/t");
+  ASSERT_TRUE(size.ok());
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t at = rng.Uniform(0, *size - 1);
+    disk.MarkBadRange("/t", at, 1);
+    EXPECT_FALSE(kvs::SsTable::Validate(disk, "/t").ok())
+        << "flip at offset " << at << " undetected";
+    disk.ClearBadRanges();
+    EXPECT_TRUE(kvs::SsTable::Validate(disk, "/t").ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsTableIntegrityProperty, ::testing::Range<uint64_t>(1, 13));
+
+// ------------------------------------------------------------ CRC detection
+
+class CrcFlipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcFlipProperty, SingleBitFlipAlwaysDetected) {
+  std::string data = "The quick brown fox jumps over the lazy dog 0123456789";
+  const uint32_t clean = Crc32(data);
+  const int bit = GetParam();
+  data[static_cast<size_t>(bit / 8) % data.size()] ^= static_cast<char>(1 << (bit % 8));
+  EXPECT_NE(Crc32(data), clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CrcFlipProperty, ::testing::Range(0, 64));
+
+// --------------------------------------------------------- reducer invariants
+
+namespace reducer_prop {
+
+// Random acyclic module: f0 is the long-running root with a loop; each
+// function calls only higher-numbered functions.
+awd::Module RandomModule(uint64_t seed) {
+  Rng rng(seed);
+  awd::Module module(StrFormat("rand%llu", static_cast<unsigned long long>(seed)));
+  const int fn_count = static_cast<int>(rng.Uniform(2, 6));
+  const awd::OpKind kinds[] = {awd::OpKind::kIoRead,  awd::OpKind::kIoWrite,
+                               awd::OpKind::kNetSend, awd::OpKind::kLockAcquire,
+                               awd::OpKind::kCompute, awd::OpKind::kSleep,
+                               awd::OpKind::kAlloc,   awd::OpKind::kLockRelease};
+  for (int f = 0; f < fn_count; ++f) {
+    awd::FunctionBuilder builder(StrFormat("f%d", f), "comp");
+    if (f == 0) {
+      builder.LongRunning();
+      builder.LoopBegin();
+    }
+    const int op_count = static_cast<int>(rng.Uniform(1, 8));
+    for (int i = 0; i < op_count; ++i) {
+      if (f + 1 < fn_count && rng.Bernoulli(0.3)) {
+        builder.Call(StrFormat("f%lld", static_cast<long long>(rng.Uniform(f + 1, fn_count - 1))));
+        continue;
+      }
+      const awd::OpKind kind = kinds[rng.Uniform(0, 7)];
+      builder.Op(kind, StrFormat("site.%lld", static_cast<long long>(rng.Uniform(0, 5))), {"x"});
+    }
+    if (f == 0) {
+      builder.LoopEnd();
+    }
+    module.AddFunction(builder.Build());
+  }
+  return module;
+}
+
+}  // namespace reducer_prop
+
+class ReducerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReducerProperty, InvariantsHoldOnRandomModules) {
+  const awd::Module module = reducer_prop::RandomModule(GetParam());
+  const awd::VulnerabilityPolicy policy = awd::VulnerabilityPolicy::Default();
+  awd::Reducer reducer(module);
+  const awd::ReducedProgram program = reducer.Reduce();
+
+  const awd::CallGraph graph(module);
+  const auto reachable = graph.ReachableFrom("f0");
+
+  for (const awd::ReducedFunction& fn : program.functions) {
+    std::set<std::pair<awd::OpKind, std::string>> seen;
+    for (const awd::ReducedOp& op : fn.ops) {
+      // Invariant 1: every retained op is vulnerable under the policy.
+      awd::Instr instr;
+      instr.kind = op.kind;
+      instr.site = op.site;
+      EXPECT_TRUE(policy.IsVulnerable(instr)) << awd::OpKindName(op.kind);
+      // Invariant 2: no duplicate (kind, site) within one reduced function.
+      EXPECT_TRUE(seen.insert({op.kind, op.site}).second);
+      // Invariant 3: provenance points into a function reachable from a root.
+      EXPECT_EQ(reachable.count(op.origin_function), 1u) << op.origin_function;
+      // Invariant 4: the origin instruction exists and matches.
+      const awd::Function* origin = module.GetFunction(op.origin_function);
+      ASSERT_NE(origin, nullptr);
+      const awd::Instr* found = origin->FindInstr(op.origin_instr_id);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->kind, op.kind);
+      EXPECT_EQ(found->site, op.site);
+    }
+  }
+
+  // Invariant 5: reduction is deterministic.
+  const awd::ReducedProgram again = awd::Reducer(module).Reduce();
+  ASSERT_EQ(again.functions.size(), program.functions.size());
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    ASSERT_EQ(again.functions[i].ops.size(), program.functions[i].ops.size());
+    for (size_t j = 0; j < program.functions[i].ops.size(); ++j) {
+      EXPECT_EQ(again.functions[i].ops[j].site, program.functions[i].ops[j].site);
+      EXPECT_EQ(again.functions[i].ops[j].origin_instr_id,
+                program.functions[i].ops[j].origin_instr_id);
+    }
+  }
+
+  // Invariant 6: disabling dedup never yields FEWER ops.
+  awd::ReducerOptions no_dedup;
+  no_dedup.dedup_similar = false;
+  no_dedup.global_dedup = false;
+  const awd::ReducedProgram fat = awd::Reducer(module, no_dedup).Reduce();
+  EXPECT_GE(fat.stats.ops_retained, program.stats.ops_retained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReducerProperty, ::testing::Range<uint64_t>(1, 25));
+
+// ------------------------------------------------------- bounded queue sweep
+
+class QueueCapacityProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QueueCapacityProperty, NeverExceedsCapacityNeverLosesItems) {
+  const size_t capacity = GetParam();
+  BoundedQueue<int> queue(capacity);
+  std::atomic<int64_t> pushed_sum{0};
+  std::atomic<int64_t> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  constexpr int kItems = 500;
+
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) {
+      ASSERT_TRUE(queue.Push(i, Sec(10)));
+      pushed_sum += i;
+      EXPECT_LE(queue.Size(), capacity);
+    }
+  });
+  std::thread consumer([&] {
+    while (popped_count.load() < kItems) {
+      const auto item = queue.Pop(Sec(10));
+      ASSERT_TRUE(item.has_value());
+      popped_sum += *item;
+      ++popped_count;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, QueueCapacityProperty,
+                         ::testing::Values(1, 2, 3, 8, 64, 1024));
+
+// ------------------------------------------------------- site pattern sweep
+
+struct PatternCase {
+  const char* pattern;
+  const char* site;
+  bool matches;
+};
+
+class SitePatternProperty : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(SitePatternProperty, MatchesAsSpecified) {
+  const PatternCase& c = GetParam();
+  EXPECT_EQ(SitePatternMatches(c.pattern, c.site), c.matches)
+      << c.pattern << " vs " << c.site;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SitePatternProperty,
+    ::testing::Values(PatternCase{"*", "", true}, PatternCase{"*", "x.y.z", true},
+                      PatternCase{"a.*", "a.", true}, PatternCase{"a.*", "a.b.c", true},
+                      PatternCase{"a.*", "a", false}, PatternCase{"a.*", "ab.c", false},
+                      PatternCase{"a.b", "a.b", true}, PatternCase{"a.b", "a.b.c", false},
+                      PatternCase{"", "", true}, PatternCase{"", "x", false}));
+
+}  // namespace
+}  // namespace wdg

@@ -1,0 +1,219 @@
+// Tests for the §5.1/§5.2 extension features: invariant mining (semantic
+// checks) and the persistent failure log.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/autowd/invariants.h"
+#include "src/common/strings.h"
+#include "src/watchdog/driver.h"
+#include "src/watchdog/failure_log.h"
+
+namespace wdg {
+namespace {
+
+// ------------------------------------------------------------ invariant miner
+
+TEST(InvariantMinerTest, LearnsRangesFromHealthyObservations) {
+  CheckContext ctx("repl_ctx");
+  awd::InvariantMiner miner(ctx);
+  miner.Observe();
+  EXPECT_EQ(miner.observations(), 0);  // context not ready → no learning
+
+  for (int i = 1; i <= 20; ++i) {
+    ctx.Set("batch_size", static_cast<int64_t>(i % 8 + 1));  // 1..8
+    ctx.Set("lag_ms", 2.5 * (i % 4));                        // 0..7.5
+    ctx.Set("follower", std::string("kvs2"));                // non-numeric: skipped
+    ctx.MarkReady(i);
+    miner.Observe();
+  }
+  EXPECT_EQ(miner.observations(), 20);
+  const auto invariants = miner.Invariants();
+  ASSERT_EQ(invariants.size(), 2u);  // only the numeric variables
+  for (const auto& inv : invariants) {
+    if (inv.variable == "batch_size") {
+      EXPECT_DOUBLE_EQ(inv.min, 1);
+      EXPECT_DOUBLE_EQ(inv.max, 8);
+    } else {
+      EXPECT_EQ(inv.variable, "lag_ms");
+      EXPECT_DOUBLE_EQ(inv.min, 0);
+      EXPECT_DOUBLE_EQ(inv.max, 7.5);
+    }
+  }
+}
+
+TEST(RangeInvariantTest, ToleranceBandScalesWithMagnitude) {
+  awd::RangeInvariant inv;
+  inv.variable = "x";
+  inv.min = 0;
+  inv.max = 100;
+  EXPECT_TRUE(inv.Holds(100, 0.5));
+  EXPECT_TRUE(inv.Holds(149, 0.5));   // within max + 0.5*100
+  EXPECT_FALSE(inv.Holds(151, 0.5));
+  EXPECT_TRUE(inv.Holds(-49, 0.5));
+  EXPECT_FALSE(inv.Holds(-51, 0.5));
+  // Tiny ranges still get a usable band (scale floor of 1).
+  awd::RangeInvariant small;
+  small.variable = "y";
+  small.min = 0.1;
+  small.max = 0.2;
+  EXPECT_TRUE(small.Holds(0.6, 0.5));
+  EXPECT_FALSE(small.Holds(0.8, 0.5));
+}
+
+TEST(InvariantCheckerTest, TrainsThenFlagsAnomaly) {
+  RealClock& clock = RealClock::Instance();
+  HookSet hooks;
+  CheckContext* ctx = hooks.Context("repl_ctx");
+  auto miner = std::make_shared<awd::InvariantMiner>(*ctx);
+
+  CheckerOptions options;
+  options.interval = Ms(5);
+  options.timeout = Ms(100);
+  WatchdogDriver driver(clock);
+  driver.AddChecker(awd::MakeInvariantChecker("repl_invariants", "kvs.replication", ctx,
+                                              miner, /*tolerance=*/0.5,
+                                              /*min_training_samples=*/5, options));
+  driver.Start();
+
+  // Healthy phase: batch sizes 1..16.
+  for (int i = 0; i < 30; ++i) {
+    ctx->Set("batch_size", static_cast<int64_t>(i % 16 + 1));
+    ctx->MarkReady(clock.NowNs());
+    clock.SleepFor(Ms(3));
+  }
+  EXPECT_TRUE(driver.Failures().empty());
+  EXPECT_GE(miner->observations(), 5);
+
+  // Anomaly: the queue suddenly explodes (a stuck consumer downstream).
+  ctx->Set("batch_size", int64_t{5000});
+  ctx->MarkReady(clock.NowNs());
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  driver.Stop();
+  const auto failure = *driver.FirstFailure();
+  EXPECT_EQ(failure.type, FailureType::kSafetyViolation);
+  EXPECT_NE(failure.message.find("invariant violated"), std::string::npos);
+  EXPECT_NE(failure.message.find("batch_size"), std::string::npos);
+  EXPECT_EQ(failure.location.component, "kvs.replication");
+}
+
+TEST(InvariantCheckerTest, NeverJudgesWhileUndertrained) {
+  RealClock& clock = RealClock::Instance();
+  HookSet hooks;
+  CheckContext* ctx = hooks.Context("c");
+  auto miner = std::make_shared<awd::InvariantMiner>(*ctx);
+  CheckerOptions options;
+  options.interval = Ms(5);
+  WatchdogDriver driver(clock);
+  driver.AddChecker(awd::MakeInvariantChecker("inv", "comp", ctx, miner, 0.5,
+                                              /*min_training_samples=*/1000, options));
+  driver.Start();
+  ctx->Set("x", int64_t{1});
+  ctx->MarkReady(1);
+  clock.SleepFor(Ms(60));
+  ctx->Set("x", int64_t{999999});  // would violate, but the model is too young
+  ctx->MarkReady(2);
+  clock.SleepFor(Ms(60));
+  driver.Stop();
+  EXPECT_TRUE(driver.Failures().empty());
+}
+
+// --------------------------------------------------------------- failure log
+
+FailureSignature SampleSignature() {
+  FailureSignature sig;
+  sig.type = FailureType::kLivenessTimeout;
+  sig.checker_name = "ProcessorLoop_reduced";
+  sig.location = {"zk.sync_processor", "ProcessWrite", "lock.zk.commit", 1};
+  sig.code = StatusCode::kTimeout;
+  sig.message = "commit critical section held too long\nwith a newline\tand tab";
+  sig.context_dump = "{follower=zk-f1, txn_bytes=14}";
+  sig.detect_time = 123456789;
+  sig.checker_kind = "mimic";
+  return sig;
+}
+
+TEST(FailureLogTest, RecordRoundtripPreservesEverything) {
+  const FailureSignature sig = SampleSignature();
+  const std::string line = FailureLog::EncodeRecord(sig);
+  const auto decoded = FailureLog::DecodeRecord(
+      line.substr(0, line.size() - 1));  // strip trailing newline
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, sig.type);
+  EXPECT_EQ(decoded->checker_name, sig.checker_name);
+  EXPECT_EQ(decoded->location.component, sig.location.component);
+  EXPECT_EQ(decoded->location.function, sig.location.function);
+  EXPECT_EQ(decoded->location.op_site, sig.location.op_site);
+  EXPECT_EQ(decoded->location.instr_id, sig.location.instr_id);
+  EXPECT_EQ(decoded->code, sig.code);
+  EXPECT_EQ(decoded->message, sig.message);  // escapes round-trip
+  EXPECT_EQ(decoded->context_dump, sig.context_dump);
+  EXPECT_EQ(decoded->detect_time, sig.detect_time);
+  EXPECT_EQ(decoded->checker_kind, sig.checker_kind);
+}
+
+TEST(FailureLogTest, MalformedLinesRejected) {
+  EXPECT_FALSE(FailureLog::DecodeRecord("garbage").ok());
+  EXPECT_FALSE(FailureLog::DecodeRecord("a\tb\tc").ok());
+}
+
+TEST(FailureLogTest, PersistsAcrossReload) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  SimDisk disk(clock, injector, DiskOptions{.base_latency = 0, .per_kb_latency = 0});
+
+  {
+    FailureLog log(disk, "/wdg/failures.log");
+    FailureSignature a = SampleSignature();
+    FailureSignature b = SampleSignature();
+    b.checker_name = "FlushLoop_reduced";
+    b.type = FailureType::kSafetyViolation;
+    log.OnFailure(a);
+    log.OnFailure(b);
+    EXPECT_EQ(log.write_errors(), 0);
+  }
+  // "Restart": a fresh log object over the same disk.
+  FailureLog reloaded(disk, "/wdg/failures.log");
+  const auto records = reloaded.Load();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].checker_name, "ProcessorLoop_reduced");
+  EXPECT_EQ((*records)[1].checker_name, "FlushLoop_reduced");
+  EXPECT_EQ((*records)[1].type, FailureType::kSafetyViolation);
+}
+
+TEST(FailureLogTest, EmptyLogLoadsEmpty) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  SimDisk disk(clock, injector, DiskOptions{.base_latency = 0, .per_kb_latency = 0});
+  FailureLog log(disk, "/never-written.log");
+  const auto records = log.Load();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(FailureLogTest, DriverIntegration) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  SimDisk disk(clock, injector, DiskOptions{.base_latency = 0, .per_kb_latency = 0});
+  FailureLog log(disk, "/wdg/failures.log");
+
+  WatchdogDriver driver(clock);
+  driver.AddListener(&log);
+  CheckerOptions options;
+  options.interval = Ms(10);
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "p", "sys", [] { return IoError("persistent failure"); }, options));
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  driver.Stop();
+
+  const auto records = log.Load();
+  ASSERT_TRUE(records.ok());
+  ASSERT_FALSE(records->empty());
+  EXPECT_EQ((*records)[0].checker_name, "p");
+  EXPECT_EQ((*records)[0].checker_kind, "probe");
+}
+
+}  // namespace
+}  // namespace wdg

@@ -1,0 +1,261 @@
+// Stress and concurrency tests: the driver under a large randomized checker
+// population, hooks under concurrent fire, the fault injector under
+// concurrent mutation, and kvs under multi-client load with transient faults.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/kvs/client.h"
+#include "src/kvs/server.h"
+#include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/driver.h"
+
+namespace wdg {
+namespace {
+
+TEST(DriverStressTest, FortyRandomizedCheckersSurvive) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  WatchdogDriver::Options options;
+  options.dedup_window = Ms(50);
+  options.release_on_stop = [&injector] { injector.ClearAll(); };
+  WatchdogDriver driver(clock, options);
+
+  // A hang fault some checkers will park on.
+  FaultSpec hang;
+  hang.id = "h";
+  hang.site_pattern = "stress.hang";
+  hang.kind = FaultKind::kHang;
+  injector.Inject(hang);
+
+  std::atomic<int64_t> bodies{0};
+  constexpr int kCheckers = 40;
+  for (int i = 0; i < kCheckers; ++i) {
+    CheckerOptions checker_options;
+    checker_options.interval = Ms(5 + i % 17);
+    checker_options.timeout = Ms(60);
+    const int behavior = i % 5;
+    driver.AddChecker(std::make_unique<MimicChecker>(
+        StrFormat("stress_%02d", i), StrFormat("comp%d", i % 7), nullptr,
+        [behavior, &bodies, &injector, &clock](const CheckContext&,
+                                               MimicChecker& self) -> CheckResult {
+          bodies.fetch_add(1);
+          switch (behavior) {
+            case 0:  // always passes
+              return CheckResult::Pass();
+            case 1:  // always fails
+              return CheckResult::Fail(self.MakeSignature(
+                  FailureType::kOperationError, {"comp", "Fn", "op.fail", 1},
+                  StatusCode::kIoError, "synthetic"));
+            case 2:  // slow but within deadline
+              clock.SleepFor(Ms(20));
+              return CheckResult::Pass();
+            case 3:  // crashes
+              throw std::runtime_error("synthetic crash");
+            default:  // hangs on the injected fault
+              self.SetCurrentOp({"comp", "Fn", "stress.hang", 2});
+              injector.Act("stress.hang");
+              return CheckResult::Pass();
+          }
+        },
+        checker_options));
+  }
+
+  driver.Start();
+  clock.SleepFor(Ms(600));
+  driver.Stop();  // must join everything cleanly (release_on_stop frees hangs)
+
+  EXPECT_GT(bodies.load(), 100);
+  // Every behavior class produced its expected evidence.
+  int64_t passes = 0;
+  int64_t fails = 0;
+  int64_t crashes = 0;
+  int64_t timeouts = 0;
+  for (const std::string& name : driver.CheckerNames()) {
+    const CheckerStats stats = driver.StatsFor(name);
+    passes += stats.passes;
+    fails += stats.fails;
+    crashes += stats.crashes;
+    timeouts += stats.timeouts;
+    // Accounting sanity: a run ends in exactly one bucket (or is in flight).
+    EXPECT_GE(stats.runs,
+              stats.passes + stats.fails + stats.crashes + stats.context_not_ready);
+  }
+  EXPECT_GT(passes, 0);
+  EXPECT_GT(fails, 0);
+  EXPECT_GT(crashes, 0);
+  EXPECT_GT(timeouts, 0);
+  EXPECT_FALSE(driver.Failures().empty());
+  EXPECT_GT(driver.deduped_count(), 0);  // repeated synthetic failures deduped
+}
+
+TEST(HookStressTest, ConcurrentFireAndSnapshotAreCoherent) {
+  HookSet hooks;
+  hooks.Arm("site", "ctx");
+  HookSite* site = hooks.Site("site");
+  CheckContext* ctx = hooks.Context("ctx");
+  std::atomic<bool> stop{false};
+
+  // 4 producers updating the context through the hook...
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      int64_t i = 0;
+      while (!stop.load()) {
+        site->Fire([&](CheckContext& c) {
+          // Each producer writes a consistent (tag, value) pair.
+          c.Set(StrFormat("tag%d", p), i);
+          c.Set(StrFormat("val%d", p), StrFormat("v%lld", static_cast<long long>(i)));
+          c.MarkReady(i);
+        });
+        ++i;
+      }
+    });
+  }
+  // ...while 2 consumers snapshot. Each snapshot must be internally coherent:
+  // the string value matches the integer tag for each producer.
+  std::vector<std::thread> consumers;
+  std::atomic<int64_t> snapshots{0};
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (!stop.load()) {
+        const auto snapshot = ctx->Snapshot();
+        for (int p = 0; p < 4; ++p) {
+          const auto tag = snapshot.find(StrFormat("tag%d", p));
+          const auto val = snapshot.find(StrFormat("val%d", p));
+          if (tag == snapshot.end() || val == snapshot.end()) {
+            continue;
+          }
+          // Values may trail tags by one update but must never be garbage.
+          EXPECT_TRUE(std::holds_alternative<int64_t>(tag->second));
+          EXPECT_TRUE(std::holds_alternative<std::string>(val->second));
+        }
+        snapshots.fetch_add(1);
+      }
+    });
+  }
+  RealClock::Instance().SleepFor(Ms(200));
+  stop = true;
+  for (auto& t : producers) {
+    t.join();
+  }
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_GT(site->fired_count(), 1000);
+  EXPECT_GT(snapshots.load(), 100);
+}
+
+TEST(InjectorStressTest, ConcurrentSitesAndMutation) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> acts{0};
+  std::atomic<int64_t> errors{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 6; ++w) {
+    workers.emplace_back([&, w] {
+      const std::string site = StrFormat("site.%d", w % 3);
+      while (!stop.load()) {
+        std::string payload = "data";
+        if (!injector.Act(site, &payload).ok()) {
+          errors.fetch_add(1);
+        }
+        acts.fetch_add(1);
+      }
+    });
+  }
+  // Mutator: keeps injecting/removing faults while sites are hot.
+  std::thread mutator([&] {
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+      FaultSpec spec;
+      spec.id = StrFormat("f%lld", static_cast<long long>(rng.Uniform(0, 4)));
+      spec.site_pattern = StrFormat("site.%lld", static_cast<long long>(rng.Uniform(0, 2)));
+      spec.kind = rng.Bernoulli(0.5) ? FaultKind::kError : FaultKind::kCorruption;
+      injector.Inject(spec);
+      clock.SleepFor(Ms(1));
+      if (rng.Bernoulli(0.6)) {
+        injector.Remove(spec.id);
+      }
+    }
+    injector.ClearAll();
+  });
+  mutator.join();
+  stop = true;
+  for (auto& t : workers) {
+    t.join();
+  }
+  EXPECT_GT(acts.load(), 1000);
+  EXPECT_GT(errors.load(), 0);  // some faults actually fired
+  EXPECT_TRUE(injector.ActiveFaultIds().empty());
+}
+
+TEST(KvsStressTest, ConcurrentClientsWithTransientFaults) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock, /*seed=*/3);
+  SimDisk disk(clock, injector, DiskOptions{.base_latency = Us(2), .per_kb_latency = 0});
+  SimNet net(clock, injector, NetOptions{.base_latency = Us(10), .per_kb_latency = 0,
+                                         .drop_probability = 0});
+  kvs::KvsOptions options;
+  options.node_id = "kvs1";
+  options.flush_threshold_bytes = 1024;
+  options.flush_poll = Ms(10);
+  options.compaction_max_tables = 3;
+  options.compaction_poll = Ms(15);
+  kvs::KvsNode node(clock, disk, net, options);
+  ASSERT_TRUE(node.Start().ok());
+
+  // Low-probability transient write errors; the in-place handler retries once.
+  FaultSpec flaky;
+  flaky.id = "flaky";
+  flaky.site_pattern = "disk.append";
+  flaky.kind = FaultKind::kError;
+  flaky.probability = 0.05;
+  injector.Inject(flaky);
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 80;
+  std::vector<std::thread> clients;
+  std::atomic<int> committed{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      kvs::KvsClient client(net, StrFormat("client%d", c), "kvs1", Ms(500));
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::string key = StrFormat("c%d-k%03d", c, i);
+        if (client.Set(key, StrFormat("value-%d-%d", c, i)).ok()) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  injector.ClearAll();
+
+  // Every acknowledged write must be readable with the right value.
+  EXPECT_GT(committed.load(), kClients * kOpsPerClient / 2);
+  kvs::KvsClient reader(net, "reader", "kvs1", Ms(500));
+  int verified = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      const std::string key = StrFormat("c%d-k%03d", c, i);
+      const auto value = reader.Get(key);
+      if (value.ok()) {
+        EXPECT_EQ(*value, StrFormat("value-%d-%d", c, i));
+        ++verified;
+      }
+    }
+  }
+  EXPECT_GE(verified, committed.load());  // acked writes are never lost
+  node.Stop();
+}
+
+}  // namespace
+}  // namespace wdg

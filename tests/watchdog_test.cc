@@ -1,0 +1,503 @@
+// Unit + integration tests for the core watchdog library: contexts, hooks,
+// the three checker families, and the driver (scheduling, hang capture,
+// crash isolation, dedup, probe-validation escalation, recovery actions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/common/clock.h"
+#include "src/fault/fault_injector.h"
+#include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/context.h"
+#include "src/watchdog/driver.h"
+#include "src/watchdog/failure.h"
+
+namespace wdg {
+namespace {
+
+// ---------------------------------------------------------------- contexts
+
+TEST(CheckContextTest, NotReadyUntilMarked) {
+  CheckContext ctx("kvs.flush");
+  EXPECT_FALSE(ctx.ready());
+  ctx.Set("file", std::string("/sst/1"));
+  EXPECT_FALSE(ctx.ready());  // Set alone does not publish
+  ctx.MarkReady(123);
+  EXPECT_TRUE(ctx.ready());
+  EXPECT_EQ(ctx.last_update(), 123);
+  EXPECT_EQ(ctx.epoch(), 1u);
+}
+
+TEST(CheckContextTest, TypedAccessors) {
+  CheckContext ctx("c");
+  ctx.Set("i", int64_t{42});
+  ctx.Set("d", 2.5);
+  ctx.Set("s", std::string("text"));
+  ctx.Set("b", true);
+  EXPECT_EQ(*ctx.GetInt("i"), 42);
+  EXPECT_DOUBLE_EQ(*ctx.GetDouble("d"), 2.5);
+  EXPECT_DOUBLE_EQ(*ctx.GetDouble("i"), 42.0);  // int widens to double
+  EXPECT_EQ(*ctx.GetString("s"), "text");
+  EXPECT_FALSE(ctx.GetInt("s").has_value());    // type mismatch
+  EXPECT_FALSE(ctx.Get("missing").has_value());
+}
+
+TEST(CheckContextTest, SnapshotIsReplicatedCopy) {
+  CheckContext ctx("c");
+  ctx.Set("k", std::string("v1"));
+  auto snapshot = ctx.Snapshot();
+  ctx.Set("k", std::string("v2"));
+  // Isolation: the checker's copy is unaffected by later main-program writes.
+  EXPECT_EQ(std::get<std::string>(snapshot.at("k")), "v1");
+}
+
+TEST(CheckContextTest, InvalidateDropsReady) {
+  CheckContext ctx("c");
+  ctx.MarkReady(1);
+  ctx.Invalidate();
+  EXPECT_FALSE(ctx.ready());
+}
+
+TEST(CheckContextTest, DumpRendersAllValues) {
+  CheckContext ctx("c");
+  ctx.Set("n", int64_t{7});
+  ctx.Set("name", std::string("sst"));
+  const std::string dump = ctx.Dump();
+  EXPECT_NE(dump.find("n=7"), std::string::npos);
+  EXPECT_NE(dump.find("name=sst"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- hooks
+
+TEST(HookSetTest, UnarmedHookIsInert) {
+  HookSet hooks;
+  HookSite* site = hooks.Site("kvs.flusher.write");
+  int fills = 0;
+  site->Fire([&](CheckContext&) { ++fills; });
+  EXPECT_EQ(fills, 0);
+  EXPECT_FALSE(site->armed());
+  EXPECT_EQ(site->fired_count(), 0);
+}
+
+TEST(HookSetTest, ArmedHookPopulatesContext) {
+  HookSet hooks;
+  hooks.Arm("kvs.flusher.write", "flush_ctx");
+  HookSite* site = hooks.Site("kvs.flusher.write");
+  site->Fire([&](CheckContext& ctx) {
+    ctx.Set("file", std::string("/sst/9"));
+    ctx.MarkReady(77);
+  });
+  CheckContext* ctx = hooks.Context("flush_ctx");
+  EXPECT_TRUE(ctx->ready());
+  EXPECT_EQ(*ctx->GetString("file"), "/sst/9");
+  EXPECT_EQ(site->fired_count(), 1);
+}
+
+TEST(HookSetTest, DisarmStopsSync) {
+  HookSet hooks;
+  hooks.Arm("s", "c");
+  hooks.Disarm("s");
+  int fills = 0;
+  hooks.Site("s")->Fire([&](CheckContext&) { ++fills; });
+  EXPECT_EQ(fills, 0);
+  EXPECT_EQ(hooks.ArmedCount(), 0);
+}
+
+TEST(HookSetTest, StablePointersAndNames) {
+  HookSet hooks;
+  HookSite* a = hooks.Site("x");
+  hooks.Site("y");
+  EXPECT_EQ(hooks.Site("x"), a);
+  EXPECT_EQ(hooks.SiteNames().size(), 2u);
+}
+
+// ---------------------------------------------------------------- checkers
+
+TEST(ProbeCheckerTest, PassAndFail) {
+  std::atomic<bool> healthy{true};
+  ProbeChecker checker("probe", "kvs", [&] {
+    return healthy ? Status::Ok() : TimeoutError("SET timed out");
+  });
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  healthy = false;
+  const CheckResult result = checker.Check();
+  ASSERT_EQ(result.outcome, CheckOutcome::kFail);
+  EXPECT_EQ(result.signature.type, FailureType::kLivenessTimeout);
+  // Probes see only the public API: localization stops at the process level.
+  EXPECT_EQ(result.signature.location.Level(), LocalizationLevel::kComponent);
+  EXPECT_TRUE(result.signature.impact_confirmed);  // probe == client impact
+}
+
+TEST(SignalCheckerTest, DebouncesTransientSpikes) {
+  double value = 0;
+  SignalChecker checker("queue_depth", "kvs.listener", "queue",
+                        [&] { return value; }, [](double v) { return v < 100; },
+                        /*consecutive_needed=*/3);
+  value = 500;  // spike
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);  // 1st violation
+  value = 5;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);  // reset
+  value = 500;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  const CheckResult result = checker.Check();  // 3rd consecutive → alarm
+  ASSERT_EQ(result.outcome, CheckOutcome::kFail);
+  EXPECT_EQ(result.signature.location.component, "kvs.listener");
+}
+
+TEST(MimicCheckerTest, RefusesUnreadyContext) {
+  CheckContext ctx("c");
+  int bodies = 0;
+  MimicChecker checker("m", "kvs.flusher", &ctx,
+                       [&](const CheckContext&, MimicChecker&) {
+                         ++bodies;
+                         return CheckResult::Pass();
+                       });
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kContextNotReady);
+  EXPECT_EQ(bodies, 0);  // the paper's spurious-report guard
+  ctx.MarkReady(1);
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  EXPECT_EQ(bodies, 1);
+}
+
+TEST(MimicCheckerTest, BodySeesContextValues) {
+  CheckContext ctx("c");
+  ctx.Set("file", std::string("/sst/3"));
+  ctx.MarkReady(1);
+  MimicChecker checker("m", "kvs.flusher", &ctx,
+                       [&](const CheckContext& c, MimicChecker& self) {
+                         EXPECT_EQ(*c.GetString("file"), "/sst/3");
+                         SourceLocation loc{"kvs.flusher", "Flush", "disk.write", 4};
+                         return CheckResult::Fail(self.MakeSignature(
+                             FailureType::kOperationError, loc, StatusCode::kIoError,
+                             "write failed", c.Dump()));
+                       });
+  const CheckResult result = checker.Check();
+  ASSERT_EQ(result.outcome, CheckOutcome::kFail);
+  EXPECT_EQ(result.signature.location.Level(), LocalizationLevel::kOperation);
+  EXPECT_NE(result.signature.context_dump.find("/sst/3"), std::string::npos);
+}
+
+TEST(SleepDriftCheckerTest, QuietRuntimePassesPausedRuntimeAlarms) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  SleepDriftChecker checker("gc_watch", "runtime", clock, injector,
+                            /*expected_sleep=*/Ms(10), /*drift_factor=*/3.0);
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  EXPECT_GE(checker.last_observed(), Ms(10));
+
+  // A 60ms stop-the-world pause (6x the expected sleep).
+  FaultSpec pause;
+  pause.id = "gc";
+  pause.site_pattern = "runtime.pause";
+  pause.kind = FaultKind::kDelay;
+  pause.delay = Ms(60);
+  injector.Inject(pause);
+  const CheckResult result = checker.Check();
+  ASSERT_EQ(result.outcome, CheckOutcome::kFail);
+  EXPECT_EQ(result.signature.type, FailureType::kLivenessTimeout);
+  EXPECT_EQ(result.signature.code, StatusCode::kResourceExhausted);
+  EXPECT_NE(result.signature.message.find("memory pressure"), std::string::npos);
+  injector.ClearAll();
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+}
+
+// -------------------------------------------------------------- signatures
+
+TEST(FailureSignatureTest, LocalizationLevels) {
+  SourceLocation loc;
+  EXPECT_EQ(loc.Level(), LocalizationLevel::kProcess);
+  loc.component = "kvs.indexer";
+  EXPECT_EQ(loc.Level(), LocalizationLevel::kComponent);
+  loc.function = "Insert";
+  EXPECT_EQ(loc.Level(), LocalizationLevel::kFunction);
+  loc.op_site = "index.insert";
+  EXPECT_EQ(loc.Level(), LocalizationLevel::kOperation);
+}
+
+TEST(FailureSignatureTest, ToStringMentionsEverything) {
+  FailureSignature sig;
+  sig.type = FailureType::kLivenessTimeout;
+  sig.checker_name = "flush_checker";
+  sig.location = {"kvs.flusher", "Flush", "disk.write", 7};
+  sig.code = StatusCode::kTimeout;
+  sig.message = "stuck";
+  const std::string text = sig.ToString();
+  EXPECT_NE(text.find("LIVENESS_TIMEOUT"), std::string::npos);
+  EXPECT_NE(text.find("flush_checker"), std::string::npos);
+  EXPECT_NE(text.find("disk.write"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ driver
+
+class RecordingListener : public FailureListener {
+ public:
+  void OnFailure(const FailureSignature& sig) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    signatures_.push_back(sig);
+  }
+  std::vector<FailureSignature> signatures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return signatures_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FailureSignature> signatures_;
+};
+
+CheckerOptions FastChecker() {
+  CheckerOptions options;
+  options.interval = Ms(10);
+  options.timeout = Ms(60);
+  return options;
+}
+
+TEST(WatchdogDriverTest, RunsCheckersPeriodically) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  std::atomic<int> runs{0};
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "p", "sys", [&] { ++runs; return Status::Ok(); }, FastChecker()));
+  driver.Start();
+  clock.SleepFor(Ms(100));
+  driver.Stop();
+  EXPECT_GE(runs.load(), 3);
+  const CheckerStats stats = driver.StatsFor("p");
+  EXPECT_EQ(stats.runs, stats.passes);
+  EXPECT_EQ(stats.fails, 0);
+}
+
+TEST(WatchdogDriverTest, ReportsFailuresToListeners) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  RecordingListener listener;
+  driver.AddListener(&listener);
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "p", "sys", [] { return IoError("broken"); }, FastChecker()));
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  driver.Stop();
+  ASSERT_FALSE(listener.signatures().empty());
+  EXPECT_EQ(listener.signatures()[0].checker_name, "p");
+}
+
+TEST(WatchdogDriverTest, HungCheckerBecomesLivenessSignatureWithPinpoint) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  FaultSpec hang;
+  hang.id = "h";
+  hang.site_pattern = "net.send.follower";
+  hang.kind = FaultKind::kHang;
+  injector.Inject(hang);
+
+  WatchdogDriver::Options options;
+  options.release_on_stop = [&] { injector.ClearAll(); };
+  WatchdogDriver driver(clock, options);
+  auto* checker_ptr = driver.AddChecker(std::make_unique<MimicChecker>(
+      "replication_checker", "kvs.replication", nullptr,
+      [&](const CheckContext&, MimicChecker& self) {
+        // Fate sharing: publish the op, then block exactly like the program.
+        self.SetCurrentOp({"kvs.replication", "ReplicateBatch", "net.send.follower", 20});
+        injector.Act("net.send.follower");
+        return CheckResult::Pass();
+      },
+      FastChecker()));
+  (void)checker_ptr;
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  const auto failure = *driver.FirstFailure();
+  EXPECT_EQ(failure.type, FailureType::kLivenessTimeout);
+  EXPECT_EQ(failure.location.op_site, "net.send.follower");
+  EXPECT_EQ(failure.location.function, "ReplicateBatch");
+  EXPECT_EQ(failure.location.Level(), LocalizationLevel::kOperation);
+  driver.Stop();  // releases the parked checker via release_on_stop
+  EXPECT_GE(driver.StatsFor("replication_checker").timeouts, 1);
+}
+
+TEST(WatchdogDriverTest, CheckerCrashIsIsolatedAndReported) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "crashy", "kvs.indexer", nullptr,
+      [](const CheckContext&, MimicChecker&) -> CheckResult {
+        throw std::runtime_error("segfault stand-in");
+      },
+      FastChecker()));
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  driver.Stop();
+  const auto failure = *driver.FirstFailure();
+  EXPECT_EQ(failure.type, FailureType::kCheckerCrash);
+  EXPECT_NE(failure.message.find("segfault stand-in"), std::string::npos);
+  EXPECT_GE(driver.StatsFor("crashy").crashes, 1);
+}
+
+TEST(WatchdogDriverTest, DedupCollapsesRepeatedSignatures) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.dedup_window = Sec(10);
+  WatchdogDriver driver(clock, options);
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "p", "sys", [] { return IoError("same failure every time"); }, FastChecker()));
+  driver.Start();
+  clock.SleepFor(Ms(150));
+  driver.Stop();
+  EXPECT_EQ(driver.Failures().size(), 1u);  // one report despite ~10 failing runs
+  EXPECT_GE(driver.deduped_count(), 3);
+}
+
+TEST(WatchdogDriverTest, ValidationProbeConfirmsImpact) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.validation_probe = [] { return TimeoutError("client request also fails"); };
+  WatchdogDriver driver(clock, options);
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "m", "kvs.flusher", nullptr,
+      [](const CheckContext&, MimicChecker& self) {
+        return CheckResult::Fail(self.MakeSignature(
+            FailureType::kOperationError, {"kvs.flusher", "Flush", "disk.write", 1},
+            StatusCode::kIoError, "mimicked write failed"));
+      },
+      FastChecker()));
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  driver.Stop();
+  const auto failure = *driver.FirstFailure();
+  EXPECT_TRUE(failure.validation_ran);
+  EXPECT_TRUE(failure.impact_confirmed);
+}
+
+TEST(WatchdogDriverTest, UnconfirmedAlarmSuppressedWhenConfigured) {
+  RealClock& clock = RealClock::Instance();
+  RecordingListener listener;
+  WatchdogDriver::Options options;
+  options.validation_probe = [] { return Status::Ok(); };  // clients are fine
+  options.suppress_unconfirmed = true;
+  WatchdogDriver driver(clock, options);
+  driver.AddListener(&listener);
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "m", "kvs.flusher", nullptr,
+      [](const CheckContext&, MimicChecker& self) {
+        return CheckResult::Fail(self.MakeSignature(
+            FailureType::kOperationError, {"kvs.flusher", "Flush", "disk.write", 1},
+            StatusCode::kIoError, "transient"));
+      },
+      FastChecker()));
+  driver.Start();
+  clock.SleepFor(Ms(200));
+  driver.Stop();
+  EXPECT_GE(driver.suppressed_count(), 1);
+  EXPECT_TRUE(listener.signatures().empty());          // suppressed from listeners
+  ASSERT_FALSE(driver.Failures().empty());             // still recorded, flagged
+  EXPECT_FALSE(driver.Failures()[0].impact_confirmed);
+}
+
+TEST(WatchdogDriverTest, RecoveryActionInvokedOnMatchingComponent) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  std::atomic<int> recovered{0};
+  CallbackRecovery recovery([&](const FailureSignature&) { ++recovered; });
+  driver.AddRecoveryAction("kvs.flusher", &recovery);
+  std::atomic<int> other{0};
+  CallbackRecovery other_recovery([&](const FailureSignature&) { ++other; });
+  driver.AddRecoveryAction("kvs.indexer", &other_recovery);
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "m", "kvs.flusher", nullptr,
+      [](const CheckContext&, MimicChecker& self) {
+        return CheckResult::Fail(self.MakeSignature(
+            FailureType::kOperationError, {"kvs.flusher", "Flush", "disk.write", 1},
+            StatusCode::kIoError, "x"));
+      },
+      FastChecker()));
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
+  driver.Stop();
+  EXPECT_GE(recovered.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+}
+
+TEST(WatchdogDriverTest, NotReadyContextNeverRunsBody) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  CheckContext ctx("never_ready");
+  std::atomic<int> bodies{0};
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "m", "kvs.flusher", &ctx,
+      [&](const CheckContext&, MimicChecker&) {
+        ++bodies;
+        return CheckResult::Pass();
+      },
+      FastChecker()));
+  driver.Start();
+  clock.SleepFor(Ms(80));
+  driver.Stop();
+  EXPECT_EQ(bodies.load(), 0);
+  EXPECT_GE(driver.StatsFor("m").context_not_ready, 2);
+}
+
+TEST(WatchdogDriverTest, HungCheckerSuspendedNotRestacked) {
+  // While one execution is stuck, the driver must not pile further threads
+  // onto the same hung op.
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  FaultSpec hang;
+  hang.id = "h";
+  hang.site_pattern = "op";
+  hang.kind = FaultKind::kHang;
+  injector.Inject(hang);
+  WatchdogDriver::Options options;
+  options.release_on_stop = [&] { injector.ClearAll(); };
+  WatchdogDriver driver(clock, options);
+  std::atomic<int> entries{0};
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "m", "sys", nullptr,
+      [&](const CheckContext&, MimicChecker&) {
+        ++entries;
+        injector.Act("op");
+        return CheckResult::Pass();
+      },
+      FastChecker()));
+  driver.Start();
+  clock.SleepFor(Ms(300));
+  driver.Stop();
+  EXPECT_EQ(entries.load(), 1);  // exactly one execution entered the hang
+}
+
+TEST(WatchdogDriverTest, PauseAndResumeChecker) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  std::atomic<int> runs{0};
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "p", "sys", [&] { ++runs; return Status::Ok(); }, FastChecker()));
+  driver.Start();
+  clock.SleepFor(Ms(60));
+  driver.SetCheckerEnabled("p", false);
+  EXPECT_FALSE(driver.IsCheckerEnabled("p"));
+  clock.SleepFor(Ms(30));  // let in-flight runs drain
+  const int frozen = runs.load();
+  clock.SleepFor(Ms(80));
+  EXPECT_LE(runs.load(), frozen + 1);  // at most one straggler
+  driver.SetCheckerEnabled("p", true);
+  clock.SleepFor(Ms(80));
+  driver.Stop();
+  EXPECT_GT(runs.load(), frozen + 1);  // resumed
+}
+
+TEST(WatchdogDriverTest, StopIsIdempotentAndStartOnce) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  driver.AddChecker(std::make_unique<ProbeChecker>("p", "s", [] { return Status::Ok(); },
+                                                   FastChecker()));
+  driver.Start();
+  driver.Start();  // no-op
+  EXPECT_TRUE(driver.running());
+  driver.Stop();
+  driver.Stop();  // no-op
+  EXPECT_FALSE(driver.running());
+  EXPECT_EQ(driver.checker_count(), 1);
+}
+
+}  // namespace
+}  // namespace wdg

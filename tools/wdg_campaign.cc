@@ -1,0 +1,164 @@
+// wdg_campaign: run the fault-injection evaluation campaign from the command
+// line with configurable scenarios, seeds and detector options.
+//
+//   wdg_campaign [--scenario <substring>] [--seeds N] [--validation]
+//                [--suppress] [--observe-ms N] [--list]
+//
+// Examples:
+//   wdg_campaign --list
+//   wdg_campaign --scenario replication --seeds 3
+//   wdg_campaign --validation --suppress
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/eval/campaign.h"
+#include "src/eval/scenario.h"
+#include "src/eval/table.h"
+
+namespace {
+
+struct CliOptions {
+  std::string scenario_filter;
+  int seeds = 1;
+  bool validation = false;
+  bool suppress = false;
+  wdg::DurationNs observe = wdg::Ms(1000);
+  bool list_only = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: wdg_campaign [--scenario <substring>] [--seeds N] [--validation]\n"
+      "                    [--suppress] [--observe-ms N] [--list]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--scenario") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.scenario_filter = value;
+    } else if (arg == "--seeds") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.seeds = std::atoi(value);
+    } else if (arg == "--observe-ms") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.observe = wdg::Ms(std::atoll(value));
+    } else if (arg == "--validation") {
+      options.validation = true;
+    } else if (arg == "--suppress") {
+      options.suppress = true;
+    } else if (arg == "--list") {
+      options.list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return options.seeds >= 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, cli)) {
+    PrintUsage();
+    return 2;
+  }
+
+  const auto catalog = wdg::KvsScenarioCatalog();
+  if (cli.list_only) {
+    wdg::TablePrinter table({{"scenario", 26}, {"kind", 12}, {"description", 60}});
+    table.PrintHeader();
+    for (const wdg::Scenario& s : catalog) {
+      const char* kind = s.fault_free ? "control"
+                         : s.benign   ? "benign"
+                         : s.crash    ? "crash"
+                                      : (s.client_visible ? "client-vis" : "background");
+      table.PrintRow({s.name, kind, s.description});
+    }
+    return 0;
+  }
+
+  std::vector<wdg::TrialResult> results;
+  for (int seed = 0; seed < cli.seeds; ++seed) {
+    wdg::TrialOptions trial;
+    trial.seed = 42 + static_cast<uint64_t>(seed) * 1000;
+    trial.observe = cli.observe;
+    trial.enable_validation = cli.validation;
+    trial.suppress_unconfirmed = cli.suppress;
+    for (const wdg::Scenario& scenario : catalog) {
+      if (!cli.scenario_filter.empty() &&
+          scenario.name.find(cli.scenario_filter) == std::string::npos) {
+        continue;
+      }
+      std::printf("running %-26s seed=%d...\n", scenario.name.c_str(), seed);
+      std::fflush(stdout);
+      results.push_back(wdg::RunTrial(scenario, trial));
+    }
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no scenarios matched '%s'\n", cli.scenario_filter.c_str());
+    return 1;
+  }
+
+  // Per-trial detail.
+  std::printf("\n");
+  wdg::TablePrinter detail({{"scenario", 26}, {"detector", 11}, {"detected", 9},
+                            {"latency", 14}, {"localization", 12}, {"false alarms", 13}});
+  detail.PrintHeader();
+  for (const wdg::TrialResult& result : results) {
+    for (const auto& [label, outcome] : result.outcomes) {
+      if (!outcome.enabled || (!outcome.detected && outcome.false_alarms == 0)) {
+        continue;
+      }
+      detail.PrintRow(
+          {result.scenario, label, outcome.detected ? "yes" : "no",
+           outcome.detected
+               ? wdg::StrFormat("%.1f logical s", wdg::ToLogicalSeconds(outcome.latency))
+               : "-",
+           outcome.detected ? wdg::LocalizationLevelName(outcome.localization) : "-",
+           wdg::StrFormat("%d", outcome.false_alarms)});
+    }
+  }
+  detail.PrintRule();
+
+  // Aggregate summary.
+  const auto aggregates = wdg::Aggregate(results);
+  std::printf("\n");
+  wdg::TablePrinter summary({{"detector", 12}, {"completeness", 13}, {"accuracy", 9},
+                             {"pinpoint op", 12}, {"median latency", 15}});
+  summary.PrintHeader();
+  for (const auto& [label, agg] : aggregates) {
+    summary.PrintRow(
+        {label,
+         wdg::StrFormat("%d/%d (%3.0f%%)", agg.detected, agg.fault_trials,
+                        agg.Completeness() * 100),
+         wdg::StrFormat("%3.0f%%", agg.Accuracy() * 100),
+         wdg::StrFormat("%3.0f%%", agg.PinpointRate(wdg::LocalizationLevel::kOperation) * 100),
+         agg.detected > 0
+             ? wdg::StrFormat("%.1f logical s", wdg::ToLogicalSeconds(agg.MedianLatency()))
+             : "-"});
+  }
+  summary.PrintRule();
+  return 0;
+}
