@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablations.cc" "bench_build/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o" "gcc" "bench_build/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/wdg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvs/CMakeFiles/kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/wdg_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/autowd/CMakeFiles/wdg_awd.dir/DependInfo.cmake"
+  "/root/repo/build/src/watchdog/CMakeFiles/wdg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wdg_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wdg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

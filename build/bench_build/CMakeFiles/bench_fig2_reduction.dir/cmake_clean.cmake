@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_reduction"
+  "../bench/bench_fig2_reduction.pdb"
+  "CMakeFiles/bench_fig2_reduction.dir/bench_fig2_reduction.cc.o"
+  "CMakeFiles/bench_fig2_reduction.dir/bench_fig2_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_generated_checker"
+  "../bench/bench_fig3_generated_checker.pdb"
+  "CMakeFiles/bench_fig3_generated_checker.dir/bench_fig3_generated_checker.cc.o"
+  "CMakeFiles/bench_fig3_generated_checker.dir/bench_fig3_generated_checker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_generated_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

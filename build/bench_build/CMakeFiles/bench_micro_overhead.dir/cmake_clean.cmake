@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_overhead"
+  "../bench/bench_micro_overhead.pdb"
+  "CMakeFiles/bench_micro_overhead.dir/bench_micro_overhead.cc.o"
+  "CMakeFiles/bench_micro_overhead.dir/bench_micro_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_preliminary_results"
+  "../bench/bench_preliminary_results.pdb"
+  "CMakeFiles/bench_preliminary_results.dir/bench_preliminary_results.cc.o"
+  "CMakeFiles/bench_preliminary_results.dir/bench_preliminary_results.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preliminary_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

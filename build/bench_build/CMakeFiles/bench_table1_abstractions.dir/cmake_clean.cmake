@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_abstractions"
+  "../bench/bench_table1_abstractions.pdb"
+  "CMakeFiles/bench_table1_abstractions.dir/bench_table1_abstractions.cc.o"
+  "CMakeFiles/bench_table1_abstractions.dir/bench_table1_abstractions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

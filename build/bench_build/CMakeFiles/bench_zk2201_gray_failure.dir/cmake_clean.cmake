@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_zk2201_gray_failure"
+  "../bench/bench_zk2201_gray_failure.pdb"
+  "CMakeFiles/bench_zk2201_gray_failure.dir/bench_zk2201_gray_failure.cc.o"
+  "CMakeFiles/bench_zk2201_gray_failure.dir/bench_zk2201_gray_failure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zk2201_gray_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autowd_generate.dir/autowd_generate.cpp.o"
+  "CMakeFiles/autowd_generate.dir/autowd_generate.cpp.o.d"
+  "autowd_generate"
+  "autowd_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autowd_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

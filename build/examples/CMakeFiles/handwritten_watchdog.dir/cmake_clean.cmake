@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handwritten_watchdog.dir/handwritten_watchdog.cpp.o"
+  "CMakeFiles/handwritten_watchdog.dir/handwritten_watchdog.cpp.o.d"
+  "handwritten_watchdog"
+  "handwritten_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handwritten_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_disk_checker.dir/hdfs_disk_checker.cpp.o"
+  "CMakeFiles/hdfs_disk_checker.dir/hdfs_disk_checker.cpp.o.d"
+  "hdfs_disk_checker"
+  "hdfs_disk_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_disk_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

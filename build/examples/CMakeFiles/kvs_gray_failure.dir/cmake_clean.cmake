@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_gray_failure.dir/kvs_gray_failure.cpp.o"
+  "CMakeFiles/kvs_gray_failure.dir/kvs_gray_failure.cpp.o.d"
+  "kvs_gray_failure"
+  "kvs_gray_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_gray_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zk2201_demo.dir/zk2201_demo.cpp.o"
+  "CMakeFiles/zk2201_demo.dir/zk2201_demo.cpp.o.d"
+  "zk2201_demo"
+  "zk2201_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zk2201_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autowd/autowatchdog.cc" "src/autowd/CMakeFiles/wdg_awd.dir/autowatchdog.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/autowatchdog.cc.o.d"
+  "/root/repo/src/autowd/codegen.cc" "src/autowd/CMakeFiles/wdg_awd.dir/codegen.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/codegen.cc.o.d"
+  "/root/repo/src/autowd/context_infer.cc" "src/autowd/CMakeFiles/wdg_awd.dir/context_infer.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/context_infer.cc.o.d"
+  "/root/repo/src/autowd/invariants.cc" "src/autowd/CMakeFiles/wdg_awd.dir/invariants.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/invariants.cc.o.d"
+  "/root/repo/src/autowd/reduce.cc" "src/autowd/CMakeFiles/wdg_awd.dir/reduce.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/reduce.cc.o.d"
+  "/root/repo/src/autowd/replay.cc" "src/autowd/CMakeFiles/wdg_awd.dir/replay.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/replay.cc.o.d"
+  "/root/repo/src/autowd/synth.cc" "src/autowd/CMakeFiles/wdg_awd.dir/synth.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/wdg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/watchdog/CMakeFiles/wdg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wdg_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

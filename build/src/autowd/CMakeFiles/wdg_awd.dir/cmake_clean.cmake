@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_awd.dir/autowatchdog.cc.o"
+  "CMakeFiles/wdg_awd.dir/autowatchdog.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/codegen.cc.o"
+  "CMakeFiles/wdg_awd.dir/codegen.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/context_infer.cc.o"
+  "CMakeFiles/wdg_awd.dir/context_infer.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/invariants.cc.o"
+  "CMakeFiles/wdg_awd.dir/invariants.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/reduce.cc.o"
+  "CMakeFiles/wdg_awd.dir/reduce.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/replay.cc.o"
+  "CMakeFiles/wdg_awd.dir/replay.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/synth.cc.o"
+  "CMakeFiles/wdg_awd.dir/synth.cc.o.d"
+  "libwdg_awd.a"
+  "libwdg_awd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_awd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wdg_awd.
+# This may be replaced when dependencies are built.

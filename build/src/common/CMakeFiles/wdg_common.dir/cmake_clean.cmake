@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_common.dir/checksum.cc.o"
+  "CMakeFiles/wdg_common.dir/checksum.cc.o.d"
+  "CMakeFiles/wdg_common.dir/clock.cc.o"
+  "CMakeFiles/wdg_common.dir/clock.cc.o.d"
+  "CMakeFiles/wdg_common.dir/config.cc.o"
+  "CMakeFiles/wdg_common.dir/config.cc.o.d"
+  "CMakeFiles/wdg_common.dir/logging.cc.o"
+  "CMakeFiles/wdg_common.dir/logging.cc.o.d"
+  "CMakeFiles/wdg_common.dir/metrics.cc.o"
+  "CMakeFiles/wdg_common.dir/metrics.cc.o.d"
+  "CMakeFiles/wdg_common.dir/status.cc.o"
+  "CMakeFiles/wdg_common.dir/status.cc.o.d"
+  "CMakeFiles/wdg_common.dir/strings.cc.o"
+  "CMakeFiles/wdg_common.dir/strings.cc.o.d"
+  "libwdg_common.a"
+  "libwdg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_detectors.dir/api_probe.cc.o"
+  "CMakeFiles/wdg_detectors.dir/api_probe.cc.o.d"
+  "CMakeFiles/wdg_detectors.dir/client_observer.cc.o"
+  "CMakeFiles/wdg_detectors.dir/client_observer.cc.o.d"
+  "CMakeFiles/wdg_detectors.dir/heartbeat.cc.o"
+  "CMakeFiles/wdg_detectors.dir/heartbeat.cc.o.d"
+  "CMakeFiles/wdg_detectors.dir/resource_signal.cc.o"
+  "CMakeFiles/wdg_detectors.dir/resource_signal.cc.o.d"
+  "libwdg_detectors.a"
+  "libwdg_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_eval.dir/campaign.cc.o"
+  "CMakeFiles/wdg_eval.dir/campaign.cc.o.d"
+  "CMakeFiles/wdg_eval.dir/scenario.cc.o"
+  "CMakeFiles/wdg_eval.dir/scenario.cc.o.d"
+  "CMakeFiles/wdg_eval.dir/table.cc.o"
+  "CMakeFiles/wdg_eval.dir/table.cc.o.d"
+  "CMakeFiles/wdg_eval.dir/workload.cc.o"
+  "CMakeFiles/wdg_eval.dir/workload.cc.o.d"
+  "libwdg_eval.a"
+  "libwdg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

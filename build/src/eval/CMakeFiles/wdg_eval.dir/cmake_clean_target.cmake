@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwdg_eval.a"
+)

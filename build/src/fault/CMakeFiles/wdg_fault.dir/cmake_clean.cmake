@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_fault.dir/fault_injector.cc.o"
+  "CMakeFiles/wdg_fault.dir/fault_injector.cc.o.d"
+  "CMakeFiles/wdg_fault.dir/fault_plan.cc.o"
+  "CMakeFiles/wdg_fault.dir/fault_plan.cc.o.d"
+  "libwdg_fault.a"
+  "libwdg_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

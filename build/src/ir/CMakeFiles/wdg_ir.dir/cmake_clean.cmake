@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_ir.dir/analysis.cc.o"
+  "CMakeFiles/wdg_ir.dir/analysis.cc.o.d"
+  "CMakeFiles/wdg_ir.dir/ir.cc.o"
+  "CMakeFiles/wdg_ir.dir/ir.cc.o.d"
+  "libwdg_ir.a"
+  "libwdg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvs/client.cc" "src/kvs/CMakeFiles/kvs.dir/client.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/client.cc.o.d"
+  "/root/repo/src/kvs/compaction.cc" "src/kvs/CMakeFiles/kvs.dir/compaction.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/compaction.cc.o.d"
+  "/root/repo/src/kvs/flusher.cc" "src/kvs/CMakeFiles/kvs.dir/flusher.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/flusher.cc.o.d"
+  "/root/repo/src/kvs/index.cc" "src/kvs/CMakeFiles/kvs.dir/index.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/index.cc.o.d"
+  "/root/repo/src/kvs/ir_model.cc" "src/kvs/CMakeFiles/kvs.dir/ir_model.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/ir_model.cc.o.d"
+  "/root/repo/src/kvs/memtable.cc" "src/kvs/CMakeFiles/kvs.dir/memtable.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/memtable.cc.o.d"
+  "/root/repo/src/kvs/partition.cc" "src/kvs/CMakeFiles/kvs.dir/partition.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/partition.cc.o.d"
+  "/root/repo/src/kvs/recovery.cc" "src/kvs/CMakeFiles/kvs.dir/recovery.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/recovery.cc.o.d"
+  "/root/repo/src/kvs/replication.cc" "src/kvs/CMakeFiles/kvs.dir/replication.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/replication.cc.o.d"
+  "/root/repo/src/kvs/server.cc" "src/kvs/CMakeFiles/kvs.dir/server.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/server.cc.o.d"
+  "/root/repo/src/kvs/sstable.cc" "src/kvs/CMakeFiles/kvs.dir/sstable.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/sstable.cc.o.d"
+  "/root/repo/src/kvs/types.cc" "src/kvs/CMakeFiles/kvs.dir/types.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/types.cc.o.d"
+  "/root/repo/src/kvs/wal.cc" "src/kvs/CMakeFiles/kvs.dir/wal.cc.o" "gcc" "src/kvs/CMakeFiles/kvs.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wdg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/watchdog/CMakeFiles/wdg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/autowd/CMakeFiles/wdg_awd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wdg_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wdg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs.dir/client.cc.o"
+  "CMakeFiles/kvs.dir/client.cc.o.d"
+  "CMakeFiles/kvs.dir/compaction.cc.o"
+  "CMakeFiles/kvs.dir/compaction.cc.o.d"
+  "CMakeFiles/kvs.dir/flusher.cc.o"
+  "CMakeFiles/kvs.dir/flusher.cc.o.d"
+  "CMakeFiles/kvs.dir/index.cc.o"
+  "CMakeFiles/kvs.dir/index.cc.o.d"
+  "CMakeFiles/kvs.dir/ir_model.cc.o"
+  "CMakeFiles/kvs.dir/ir_model.cc.o.d"
+  "CMakeFiles/kvs.dir/memtable.cc.o"
+  "CMakeFiles/kvs.dir/memtable.cc.o.d"
+  "CMakeFiles/kvs.dir/partition.cc.o"
+  "CMakeFiles/kvs.dir/partition.cc.o.d"
+  "CMakeFiles/kvs.dir/recovery.cc.o"
+  "CMakeFiles/kvs.dir/recovery.cc.o.d"
+  "CMakeFiles/kvs.dir/replication.cc.o"
+  "CMakeFiles/kvs.dir/replication.cc.o.d"
+  "CMakeFiles/kvs.dir/server.cc.o"
+  "CMakeFiles/kvs.dir/server.cc.o.d"
+  "CMakeFiles/kvs.dir/sstable.cc.o"
+  "CMakeFiles/kvs.dir/sstable.cc.o.d"
+  "CMakeFiles/kvs.dir/types.cc.o"
+  "CMakeFiles/kvs.dir/types.cc.o.d"
+  "CMakeFiles/kvs.dir/wal.cc.o"
+  "CMakeFiles/kvs.dir/wal.cc.o.d"
+  "libkvs.a"
+  "libkvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

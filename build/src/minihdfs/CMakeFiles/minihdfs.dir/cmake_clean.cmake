@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihdfs.dir/block_store.cc.o"
+  "CMakeFiles/minihdfs.dir/block_store.cc.o.d"
+  "CMakeFiles/minihdfs.dir/datanode.cc.o"
+  "CMakeFiles/minihdfs.dir/datanode.cc.o.d"
+  "CMakeFiles/minihdfs.dir/ir_model.cc.o"
+  "CMakeFiles/minihdfs.dir/ir_model.cc.o.d"
+  "libminihdfs.a"
+  "libminihdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

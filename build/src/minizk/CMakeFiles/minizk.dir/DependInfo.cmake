@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minizk/client.cc" "src/minizk/CMakeFiles/minizk.dir/client.cc.o" "gcc" "src/minizk/CMakeFiles/minizk.dir/client.cc.o.d"
+  "/root/repo/src/minizk/data_tree.cc" "src/minizk/CMakeFiles/minizk.dir/data_tree.cc.o" "gcc" "src/minizk/CMakeFiles/minizk.dir/data_tree.cc.o.d"
+  "/root/repo/src/minizk/ir_model.cc" "src/minizk/CMakeFiles/minizk.dir/ir_model.cc.o" "gcc" "src/minizk/CMakeFiles/minizk.dir/ir_model.cc.o.d"
+  "/root/repo/src/minizk/server.cc" "src/minizk/CMakeFiles/minizk.dir/server.cc.o" "gcc" "src/minizk/CMakeFiles/minizk.dir/server.cc.o.d"
+  "/root/repo/src/minizk/sync_processor.cc" "src/minizk/CMakeFiles/minizk.dir/sync_processor.cc.o" "gcc" "src/minizk/CMakeFiles/minizk.dir/sync_processor.cc.o.d"
+  "/root/repo/src/minizk/zk_types.cc" "src/minizk/CMakeFiles/minizk.dir/zk_types.cc.o" "gcc" "src/minizk/CMakeFiles/minizk.dir/zk_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wdg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/watchdog/CMakeFiles/wdg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/autowd/CMakeFiles/wdg_awd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wdg_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wdg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minizk.dir/client.cc.o"
+  "CMakeFiles/minizk.dir/client.cc.o.d"
+  "CMakeFiles/minizk.dir/data_tree.cc.o"
+  "CMakeFiles/minizk.dir/data_tree.cc.o.d"
+  "CMakeFiles/minizk.dir/ir_model.cc.o"
+  "CMakeFiles/minizk.dir/ir_model.cc.o.d"
+  "CMakeFiles/minizk.dir/server.cc.o"
+  "CMakeFiles/minizk.dir/server.cc.o.d"
+  "CMakeFiles/minizk.dir/sync_processor.cc.o"
+  "CMakeFiles/minizk.dir/sync_processor.cc.o.d"
+  "CMakeFiles/minizk.dir/zk_types.cc.o"
+  "CMakeFiles/minizk.dir/zk_types.cc.o.d"
+  "libminizk.a"
+  "libminizk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minizk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_sim.dir/sim_disk.cc.o"
+  "CMakeFiles/wdg_sim.dir/sim_disk.cc.o.d"
+  "CMakeFiles/wdg_sim.dir/sim_net.cc.o"
+  "CMakeFiles/wdg_sim.dir/sim_net.cc.o.d"
+  "libwdg_sim.a"
+  "libwdg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/watchdog/builtin_checkers.cc" "src/watchdog/CMakeFiles/wdg_core.dir/builtin_checkers.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/builtin_checkers.cc.o.d"
+  "/root/repo/src/watchdog/checker.cc" "src/watchdog/CMakeFiles/wdg_core.dir/checker.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/checker.cc.o.d"
+  "/root/repo/src/watchdog/context.cc" "src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o.d"
+  "/root/repo/src/watchdog/driver.cc" "src/watchdog/CMakeFiles/wdg_core.dir/driver.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/driver.cc.o.d"
+  "/root/repo/src/watchdog/failure.cc" "src/watchdog/CMakeFiles/wdg_core.dir/failure.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/failure.cc.o.d"
+  "/root/repo/src/watchdog/failure_log.cc" "src/watchdog/CMakeFiles/wdg_core.dir/failure_log.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/failure_log.cc.o.d"
+  "/root/repo/src/watchdog/flag_set.cc" "src/watchdog/CMakeFiles/wdg_core.dir/flag_set.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/flag_set.cc.o.d"
+  "/root/repo/src/watchdog/watchdog_timer.cc" "src/watchdog/CMakeFiles/wdg_core.dir/watchdog_timer.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/watchdog_timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wdg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wdg_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_core.dir/builtin_checkers.cc.o"
+  "CMakeFiles/wdg_core.dir/builtin_checkers.cc.o.d"
+  "CMakeFiles/wdg_core.dir/checker.cc.o"
+  "CMakeFiles/wdg_core.dir/checker.cc.o.d"
+  "CMakeFiles/wdg_core.dir/context.cc.o"
+  "CMakeFiles/wdg_core.dir/context.cc.o.d"
+  "CMakeFiles/wdg_core.dir/driver.cc.o"
+  "CMakeFiles/wdg_core.dir/driver.cc.o.d"
+  "CMakeFiles/wdg_core.dir/failure.cc.o"
+  "CMakeFiles/wdg_core.dir/failure.cc.o.d"
+  "CMakeFiles/wdg_core.dir/failure_log.cc.o"
+  "CMakeFiles/wdg_core.dir/failure_log.cc.o.d"
+  "CMakeFiles/wdg_core.dir/flag_set.cc.o"
+  "CMakeFiles/wdg_core.dir/flag_set.cc.o.d"
+  "CMakeFiles/wdg_core.dir/watchdog_timer.cc.o"
+  "CMakeFiles/wdg_core.dir/watchdog_timer.cc.o.d"
+  "libwdg_core.a"
+  "libwdg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

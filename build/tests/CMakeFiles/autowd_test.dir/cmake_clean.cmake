@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autowd_test.dir/autowd_test.cc.o"
+  "CMakeFiles/autowd_test.dir/autowd_test.cc.o.d"
+  "autowd_test"
+  "autowd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autowd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_integration_test.dir/kvs_integration_test.cc.o"
+  "CMakeFiles/kvs_integration_test.dir/kvs_integration_test.cc.o.d"
+  "kvs_integration_test"
+  "kvs_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

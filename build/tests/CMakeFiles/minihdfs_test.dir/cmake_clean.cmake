@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihdfs_test.dir/minihdfs_test.cc.o"
+  "CMakeFiles/minihdfs_test.dir/minihdfs_test.cc.o.d"
+  "minihdfs_test"
+  "minihdfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihdfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minizk_test.dir/minizk_test.cc.o"
+  "CMakeFiles/minizk_test.dir/minizk_test.cc.o.d"
+  "minizk_test"
+  "minizk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minizk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvs/CMakeFiles/kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/autowd/CMakeFiles/wdg_awd.dir/DependInfo.cmake"
+  "/root/repo/build/src/watchdog/CMakeFiles/wdg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wdg_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wdg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_campaign.dir/wdg_campaign.cc.o"
+  "CMakeFiles/wdg_campaign.dir/wdg_campaign.cc.o.d"
+  "wdg_campaign"
+  "wdg_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
