@@ -1,0 +1,297 @@
+#include "src/autowd/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace awd {
+
+const char* RedirectModeName(RedirectMode mode) {
+  switch (mode) {
+    case RedirectMode::kScratchRedirect:
+      return "scratch-redirect";
+    case RedirectMode::kReplicate:
+      return "replicate";
+    case RedirectMode::kReadOnly:
+      return "read-only";
+    case RedirectMode::kBoundedTry:
+      return "bounded-try";
+  }
+  return "?";
+}
+
+const RedirectionEntry* RedirectionPlan::Match(const std::string& site) const {
+  for (const RedirectionEntry& entry : entries) {
+    if (wdg::SitePatternMatches(entry.site_pattern, site)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+void Emit(std::vector<Finding>& findings, Severity severity, std::string rule,
+          std::string function, int instr_id, std::string message) {
+  Finding finding;
+  finding.severity = severity;
+  finding.rule = std::move(rule);
+  finding.function = std::move(function);
+  finding.instr_id = instr_id;
+  finding.message = std::move(message);
+  findings.push_back(std::move(finding));
+}
+
+bool IsDestructive(OpKind kind) {
+  return kind == OpKind::kIoWrite || kind == OpKind::kIoDelete || kind == OpKind::kNetSend;
+}
+
+const char* DestructiveRule(OpKind kind) {
+  switch (kind) {
+    case OpKind::kIoWrite:
+      return "iso.unredirected-write";
+    case OpKind::kIoDelete:
+      return "iso.unredirected-delete";
+    default:
+      return "iso.unreplicated-send";
+  }
+}
+
+}  // namespace
+
+void CheckIsolation(const ReducedProgram& program, const RedirectionPlan& redirections,
+                    std::vector<Finding>& findings) {
+  for (const ReducedFunction& fn : program.functions) {
+    for (const ReducedOp& op : fn.ops) {
+      const RedirectionEntry* entry = redirections.Match(op.site);
+      if (IsDestructive(op.kind)) {
+        if (entry == nullptr) {
+          Emit(findings, Severity::kError, DestructiveRule(op.kind), op.origin_function,
+               op.origin_instr_id,
+               wdg::StrFormat("checker '%s' re-executes destructive op '%s' (%s) with "
+                              "no redirection/replication declared; side effects "
+                              "would leak into the main program",
+                              fn.name.c_str(), op.site.c_str(), OpKindName(op.kind)));
+        } else if (entry->mode == RedirectMode::kReadOnly) {
+          Emit(findings, Severity::kError, "iso.readonly-destructive", op.origin_function,
+               op.origin_instr_id,
+               wdg::StrFormat("'%s' is declared read-only (pattern '%s') but the "
+                              "reduced op is a destructive %s",
+                              op.site.c_str(), entry->site_pattern.c_str(),
+                              OpKindName(op.kind)));
+        }
+        continue;
+      }
+      switch (op.kind) {
+        case OpKind::kIoCreate:
+          if (entry == nullptr || (entry->mode != RedirectMode::kScratchRedirect &&
+                                   entry->mode != RedirectMode::kReplicate)) {
+            Emit(findings, Severity::kWarning, "iso.unredirected-create",
+                 op.origin_function, op.origin_instr_id,
+                 wdg::StrFormat("checker '%s' creates '%s' outside a scratch "
+                                "namespace",
+                                fn.name.c_str(), op.site.c_str()));
+          }
+          break;
+        case OpKind::kLockAcquire:
+          if (entry == nullptr || entry->mode != RedirectMode::kBoundedTry) {
+            Emit(findings, Severity::kWarning, "iso.unbounded-lock", op.origin_function,
+                 op.origin_instr_id,
+                 wdg::StrFormat("mimicked acquisition of '%s' is not declared as a "
+                                "bounded try-lock; a wedged owner would wedge the "
+                                "watchdog too",
+                                op.site.c_str()));
+          }
+          break;
+        default:
+          if (entry == nullptr) {
+            Emit(findings, Severity::kNote, "iso.undeclared-site", op.origin_function,
+                 op.origin_instr_id,
+                 wdg::StrFormat("no redirection entry covers '%s'; executor behavior "
+                                "is unspecified by the plan",
+                                op.site.c_str()));
+          }
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Splits "<function>:<instr_id>"; returns false on malformed input.
+bool ParseHookSite(const std::string& site, std::string& function, int& instr_id) {
+  const size_t colon = site.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= site.size()) {
+    return false;
+  }
+  function = site.substr(0, colon);
+  instr_id = 0;
+  for (size_t i = colon + 1; i < site.size(); ++i) {
+    if (site[i] < '0' || site[i] > '9') {
+      return false;
+    }
+    instr_id = instr_id * 10 + (site[i] - '0');
+  }
+  return true;
+}
+
+void CheckHookPoints(const Module& module, const HookPlan& plan,
+                     std::vector<Finding>& findings) {
+  std::set<std::string> context_names;
+  for (const ContextSpec& spec : plan.contexts) {
+    context_names.insert(spec.context_name);
+  }
+
+  std::map<std::string, std::string> site_owner;  // hook_site -> context_name
+  for (const HookPoint& point : plan.points) {
+    std::string parsed_fn;
+    int parsed_id = 0;
+    const bool parses = ParseHookSite(point.hook_site, parsed_fn, parsed_id);
+    if (!parses || parsed_fn != point.function || parsed_id != point.before_instr_id) {
+      Emit(findings, Severity::kError, "hook.bad-site", point.function,
+           point.before_instr_id,
+           wdg::StrFormat("hook site '%s' does not name this point's "
+                          "<function>:<instr_id> (%s:%d)",
+                          point.hook_site.c_str(), point.function.c_str(),
+                          point.before_instr_id));
+    }
+    const Function* fn = module.GetFunction(point.function);
+    if (fn == nullptr) {
+      Emit(findings, Severity::kError, "hook.bad-site", point.function,
+           point.before_instr_id,
+           wdg::StrFormat("hook names function '%s' which does not exist in "
+                          "module '%s'",
+                          point.function.c_str(), module.name().c_str()));
+    } else if (fn->FindInstr(point.before_instr_id) == nullptr) {
+      Emit(findings, Severity::kError, "hook.bad-site", point.function,
+           point.before_instr_id,
+           wdg::StrFormat("hook fires before instr %d of '%s', which has no such "
+                          "instruction — the hook would never fire",
+                          point.before_instr_id, point.function.c_str()));
+    }
+    if (context_names.count(point.context_name) == 0) {
+      Emit(findings, Severity::kError, "hook.unknown-context", point.function,
+           point.before_instr_id,
+           wdg::StrFormat("hook populates context '%s' which no checker declares",
+                          point.context_name.c_str()));
+    }
+    const auto [it, inserted] = site_owner.try_emplace(point.hook_site, point.context_name);
+    if (!inserted && it->second != point.context_name) {
+      Emit(findings, Severity::kError, "hook.site-clobbered", point.function,
+           point.before_instr_id,
+           wdg::StrFormat("site '%s' is armed for both '%s' and '%s'; arming is "
+                          "last-writer-wins, so one checker starves",
+                          point.hook_site.c_str(), it->second.c_str(),
+                          point.context_name.c_str()));
+    }
+  }
+}
+
+}  // namespace
+
+void CheckHookPlan(const Module& module, const ReducedProgram& program,
+                   const HookPlan& plan, std::vector<Finding>& findings) {
+  CheckHookPoints(module, plan, findings);
+
+  for (const ReducedFunction& fn : program.functions) {
+    const ContextSpec* spec = plan.FindContext(fn.name);
+    if (spec == nullptr) {
+      Emit(findings, Severity::kError, "hook.missing-context", fn.origin, 0,
+           wdg::StrFormat("reduced function '%s' has no context spec; its checker "
+                          "could never become ready",
+                          fn.name.c_str()));
+      continue;
+    }
+
+    std::vector<const HookPoint*> points;
+    for (const HookPoint& point : plan.points) {
+      if (point.context_name == spec->context_name) {
+        points.push_back(&point);
+      }
+    }
+
+    // Union of everything this context's hooks capture.
+    std::set<std::string> captured;
+    for (const HookPoint* point : points) {
+      captured.insert(point->capture.begin(), point->capture.end());
+    }
+    for (const std::string& var : spec->variables) {
+      if (captured.count(var) == 0) {
+        Emit(findings, Severity::kError, "hook.uncaptured-var", fn.origin, 0,
+             wdg::StrFormat("context variable '%s' of '%s' is captured by no hook; "
+                            "the checker would only ever see a fallback value",
+                            var.c_str(), spec->context_name.c_str()));
+      }
+    }
+
+    // Dominance walk in reduced-op order: a hook for origin F fires when the
+    // walk reaches F's first contributed op at/after the hook's anchor, so a
+    // variable must be captured by a hook that fires at or before the op
+    // consuming it.
+    std::set<std::string> available;
+    std::set<const HookPoint*> fired;
+    for (const ReducedOp& op : fn.ops) {
+      for (const HookPoint* point : points) {
+        if (fired.count(point) > 0) {
+          continue;
+        }
+        if (point->function == op.origin_function &&
+            point->before_instr_id <= op.origin_instr_id) {
+          available.insert(point->capture.begin(), point->capture.end());
+          fired.insert(point);
+        }
+      }
+      for (const std::string& arg : op.args) {
+        if (captured.count(arg) > 0 && available.count(arg) == 0) {
+          Emit(findings, Severity::kError, "hook.late-capture", op.origin_function,
+               op.origin_instr_id,
+               wdg::StrFormat("'%s' is consumed here but every hook capturing it "
+                              "fires later in the reduced order (§3.2 context out "
+                              "of sync)",
+                              arg.c_str()));
+        }
+      }
+    }
+
+    // Hooks that synchronize nothing any op consumes.
+    std::set<std::string> consumed;
+    for (const ReducedOp& op : fn.ops) {
+      consumed.insert(op.args.begin(), op.args.end());
+    }
+    for (const HookPoint* point : points) {
+      const bool useful = std::any_of(
+          point->capture.begin(), point->capture.end(),
+          [&](const std::string& var) { return consumed.count(var) > 0; });
+      if (!useful) {
+        Emit(findings, Severity::kWarning, "hook.dead", point->function,
+             point->before_instr_id,
+             wdg::StrFormat("hook '%s' captures nothing '%s' consumes; it costs a "
+                            "fire on every pass for no synchronization",
+                            point->hook_site.c_str(), fn.name.c_str()));
+      }
+    }
+  }
+}
+
+LintResult LintModule(const Module& module, const RedirectionPlan& redirections,
+                      const LintPolicy& policy, ReducerOptions reducer) {
+  LintResult result;
+  std::vector<Finding> findings = Verifier::Default().Run(module);
+
+  result.program = Reducer(module, std::move(reducer)).Reduce();
+  result.plan = InferContexts(result.program);
+  CheckIsolation(result.program, redirections, findings);
+  CheckHookPlan(module, result.program, result.plan, findings);
+
+  result.findings = ApplyPolicy(std::move(findings), policy);
+  SortFindings(result.findings);
+  result.errors = CountSeverity(result.findings, Severity::kError);
+  result.warnings = CountSeverity(result.findings, Severity::kWarning);
+  result.notes = CountSeverity(result.findings, Severity::kNote);
+  return result;
+}
+
+}  // namespace awd

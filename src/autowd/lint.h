@@ -1,0 +1,80 @@
+// wdg-lint, artifact half: static checks over AutoWatchdog's outputs.
+//
+//   iso.*   isolation analysis (§3.3) over a ReducedProgram: a generated
+//           checker re-executes destructive operations (disk writes/deletes,
+//           messages on real channels); each such site must be covered by the
+//           checker's I/O-redirection plan — scratch-redirected or replicated
+//           onto a dedicated watchdog channel — or the checker leaks side
+//           effects into the main program.
+//   hook.*  hook-plan soundness (§3.2, §4.1): every context variable is
+//           captured by a hook that precedes the first reduced op consuming
+//           it (in the IR's linear-with-loops order), every hook site names a
+//           real "<function>:<instr_id>", no dead or clobbered hooks.
+//
+// LintModule() is the whole gate: IR passes (src/ir/verifier.h) + reduction +
+// context inference + both artifact passes, with a LintPolicy applied.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/autowd/context_infer.h"
+#include "src/autowd/reduce.h"
+#include "src/ir/verifier.h"
+
+namespace awd {
+
+// How a checker neutralizes one op site's side effects. Mirrors what the
+// system's RegisterOpExecutors() actually implements; DescribeRedirections()
+// in each ir_model declares it so the lint can check the plan statically.
+enum class RedirectMode {
+  kScratchRedirect,  // writes land in the checker's scratch namespace
+  kReplicate,        // re-sent on a dedicated watchdog channel/endpoint
+  kReadOnly,         // executor only observes (reads, gauges, validation)
+  kBoundedTry,       // real lock, but bounded try-acquire (never blocks P)
+};
+
+const char* RedirectModeName(RedirectMode mode);
+
+struct RedirectionEntry {
+  std::string site_pattern;  // exact, "prefix.*", or "*" (fault-site matching)
+  RedirectMode mode = RedirectMode::kReadOnly;
+  std::string note;  // how the executor achieves it, for reports
+};
+
+struct RedirectionPlan {
+  std::vector<RedirectionEntry> entries;
+
+  // First matching entry, or nullptr.
+  const RedirectionEntry* Match(const std::string& site) const;
+};
+
+// (3) Isolation: iso.unredirected-write, iso.unredirected-delete,
+// iso.unreplicated-send, iso.readonly-destructive, iso.unredirected-create,
+// iso.unbounded-lock, iso.undeclared-site.
+void CheckIsolation(const ReducedProgram& program, const RedirectionPlan& redirections,
+                    std::vector<Finding>& findings);
+
+// (4) Hook-plan soundness: hook.bad-site, hook.site-clobbered,
+// hook.unknown-context, hook.missing-context, hook.uncaptured-var,
+// hook.late-capture, hook.dead.
+void CheckHookPlan(const Module& module, const ReducedProgram& program,
+                   const HookPlan& plan, std::vector<Finding>& findings);
+
+struct LintResult {
+  std::vector<Finding> findings;  // policy applied, sorted errors-first
+  ReducedProgram program;         // the artifacts that were checked
+  HookPlan plan;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+// The full static gate over one system: runs Verifier::Default() on the
+// module, reduces it, infers the hook plan, and runs both artifact passes.
+LintResult LintModule(const Module& module, const RedirectionPlan& redirections,
+                      const LintPolicy& policy = {}, ReducerOptions reducer = {});
+
+}  // namespace awd

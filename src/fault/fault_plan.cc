@@ -17,6 +17,9 @@ FaultPlan& FaultPlan::RemoveAt(DurationNs at, std::string fault_id) {
 void FaultPlan::Start() {
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  // Anchor the schedule here, not in Run(): the plan thread may be scheduled
+  // arbitrarily late, and callers advance simulated time right after Start().
+  start_ns_ = clock_.NowNs();
   thread_ = JoiningThread([this] { Run(); });
 }
 
@@ -26,7 +29,7 @@ void FaultPlan::Stop() {
 }
 
 void FaultPlan::Run() {
-  const TimeNs start = clock_.NowNs();
+  const TimeNs start = start_ns_;
   for (const FaultEvent& event : events_) {
     const TimeNs fire_at = start + event.at;
     while (clock_.NowNs() < fire_at) {

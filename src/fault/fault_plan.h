@@ -37,6 +37,7 @@ class FaultPlan {
   FaultInjector& injector_;
   Clock& clock_;
   std::vector<FaultEvent> events_;
+  TimeNs start_ns_ = 0;
   StopFlag stop_;
   StopFlag finished_;
   bool done_ = false;

@@ -1,0 +1,451 @@
+#include "src/ir/verifier.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/ir/analysis.h"
+
+namespace awd {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string Finding::Location() const {
+  return wdg::StrFormat("%s:%d", function.c_str(), instr_id);
+}
+
+std::string Finding::ToString() const {
+  return wdg::StrFormat("%-7s %-26s %-24s %s", SeverityName(severity), rule.c_str(),
+                        Location().c_str(), message.c_str());
+}
+
+std::vector<Finding> ApplyPolicy(std::vector<Finding> findings, const LintPolicy& policy) {
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& finding : findings) {
+    if (policy.disabled_rules.count(finding.rule) > 0 ||
+        policy.suppressed_locations.count(finding.Location()) > 0) {
+      continue;
+    }
+    if (policy.warnings_as_errors && finding.severity == Severity::kWarning) {
+      finding.severity = Severity::kError;
+    }
+    kept.push_back(std::move(finding));
+  }
+  return kept;
+}
+
+int CountSeverity(const std::vector<Finding>& findings, Severity severity) {
+  int count = 0;
+  for (const Finding& finding : findings) {
+    if (finding.severity == severity) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.ToString() + "\n";
+  }
+  return out;
+}
+
+void SortFindings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.severity != b.severity) {
+      return static_cast<int>(a.severity) < static_cast<int>(b.severity);
+    }
+    if (a.function != b.function) {
+      return a.function < b.function;
+    }
+    if (a.instr_id != b.instr_id) {
+      return a.instr_id < b.instr_id;
+    }
+    return a.rule < b.rule;
+  });
+}
+
+Verifier& Verifier::AddPass(std::string name, ModulePass pass) {
+  passes_.emplace_back(std::move(name), std::move(pass));
+  return *this;
+}
+
+std::vector<Finding> Verifier::Run(const Module& module) const {
+  std::vector<Finding> findings;
+  for (const auto& [_, pass] : passes_) {
+    pass(module, findings);
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::vector<std::string> Verifier::PassNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& [name, _] : passes_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Verifier Verifier::Default() {
+  Verifier verifier;
+  verifier.AddPass("well-formed", CheckWellFormed);
+  verifier.AddPass("lock-discipline", CheckLockDiscipline);
+  return verifier;
+}
+
+namespace {
+
+void Emit(std::vector<Finding>& findings, Severity severity, std::string rule,
+          std::string function, int instr_id, std::string message) {
+  Finding finding;
+  finding.severity = severity;
+  finding.rule = std::move(rule);
+  finding.function = std::move(function);
+  finding.instr_id = instr_id;
+  finding.message = std::move(message);
+  findings.push_back(std::move(finding));
+}
+
+// Loop depth of every instruction index, by a linear walk. Negative depths
+// (LoopEnd without LoopBegin) clamp to 0; balance violations are reported by
+// the caller.
+std::vector<int> LoopDepths(const Function& fn) {
+  std::vector<int> depths;
+  depths.reserve(fn.instrs.size());
+  int depth = 0;
+  for (const Instr& instr : fn.instrs) {
+    if (instr.kind == OpKind::kLoopBegin) {
+      ++depth;
+    } else if (instr.kind == OpKind::kLoopEnd) {
+      depth = std::max(0, depth - 1);
+    }
+    depths.push_back(depth);
+  }
+  return depths;
+}
+
+void CheckFunctionStructure(const Module& module, const Function& fn,
+                            std::vector<Finding>& findings) {
+  if (fn.instrs.empty()) {
+    Emit(findings, Severity::kWarning, "ir.empty-function", fn.name, 0,
+         "function has no instructions");
+    return;
+  }
+
+  // Unique, positive instruction ids — hook sites and failure pinpoints
+  // depend on them.
+  std::map<int, int> id_count;
+  for (const Instr& instr : fn.instrs) {
+    if (instr.id <= 0) {
+      Emit(findings, Severity::kError, "ir.nonpositive-id", fn.name, instr.id,
+           wdg::StrFormat("instruction id %d is not positive", instr.id));
+    }
+    if (++id_count[instr.id] == 2) {
+      Emit(findings, Severity::kError, "ir.duplicate-id", fn.name, instr.id,
+           wdg::StrFormat("instruction id %d appears more than once; hook sites "
+                          "and pinpoints would be ambiguous",
+                          instr.id));
+    }
+  }
+
+  // Balanced LoopBegin/LoopEnd.
+  int depth = 0;
+  int first_open = 0;
+  for (const Instr& instr : fn.instrs) {
+    if (instr.kind == OpKind::kLoopBegin) {
+      if (depth == 0) {
+        first_open = instr.id;
+      }
+      ++depth;
+    } else if (instr.kind == OpKind::kLoopEnd) {
+      if (depth == 0) {
+        Emit(findings, Severity::kError, "ir.loop-balance", fn.name, instr.id,
+             "LoopEnd without a matching LoopBegin");
+      } else {
+        --depth;
+      }
+    }
+  }
+  if (depth > 0) {
+    Emit(findings, Severity::kError, "ir.loop-balance", fn.name, first_open,
+         wdg::StrFormat("%d LoopBegin(s) never closed; the continuous region "
+                        "would swallow the rest of the function",
+                        depth));
+  }
+
+  // Call targets resolve.
+  for (const Instr& instr : fn.instrs) {
+    if (instr.kind != OpKind::kCall) {
+      continue;
+    }
+    if (instr.callee.empty()) {
+      Emit(findings, Severity::kError, "ir.dangling-call", fn.name, instr.id,
+           "call instruction has no callee");
+    } else if (module.GetFunction(instr.callee) == nullptr) {
+      Emit(findings, Severity::kError, "ir.dangling-call", fn.name, instr.id,
+           wdg::StrFormat("callee '%s' is not defined in module '%s'",
+                          instr.callee.c_str(), module.name().c_str()));
+    }
+  }
+}
+
+void CheckDataflow(const Function& fn, std::vector<Finding>& findings) {
+  const std::vector<int> depths = LoopDepths(fn);
+
+  // Where each value is first defined (param == position -1).
+  std::map<std::string, size_t> first_def;
+  std::set<std::string> params(fn.params.begin(), fn.params.end());
+  for (size_t i = 0; i < fn.instrs.size(); ++i) {
+    for (const std::string& def : fn.instrs[i].defs) {
+      first_def.try_emplace(def, i);
+    }
+  }
+
+  // Which defs are ever consumed (any position — a loop may carry a value
+  // backwards, so order does not matter for liveness).
+  std::set<std::string> consumed;
+  for (const Instr& instr : fn.instrs) {
+    for (const std::string& arg : instr.args) {
+      consumed.insert(arg);
+    }
+  }
+
+  std::set<std::string> ambient_reported;
+  std::set<std::string> defined(params);
+  for (size_t i = 0; i < fn.instrs.size(); ++i) {
+    const Instr& instr = fn.instrs[i];
+    for (const std::string& arg : instr.args) {
+      if (defined.count(arg) > 0) {
+        continue;
+      }
+      const auto def_it = first_def.find(arg);
+      if (def_it == first_def.end()) {
+        // Never defined anywhere in the function: ambient state the hook
+        // captures from the environment (config paths, peer ids, gauges).
+        if (ambient_reported.insert(arg).second) {
+          Emit(findings, Severity::kNote, "ir.ambient-arg", fn.name, instr.id,
+               wdg::StrFormat("'%s' is not a param or def; assumed ambient state "
+                              "captured at hook time",
+                              arg.c_str()));
+        }
+        continue;
+      }
+      // Defined, but only later. Inside a common loop the value can be
+      // carried around the back edge; outside one it is a straight
+      // use-before-def.
+      const bool loop_carried = depths[i] > 0 && depths[def_it->second] > 0;
+      Emit(findings, loop_carried ? Severity::kNote : Severity::kError,
+           loop_carried ? "ir.loop-carried-use" : "ir.use-before-def", fn.name, instr.id,
+           wdg::StrFormat("'%s' is consumed before its definition at %s:%d%s",
+                          arg.c_str(), fn.name.c_str(), fn.instrs[def_it->second].id,
+                          loop_carried ? " (loop-carried)" : ""));
+    }
+    for (const std::string& def : instr.defs) {
+      defined.insert(def);
+      if (consumed.count(def) == 0) {
+        Emit(findings, Severity::kWarning, "ir.unused-def", fn.name, instr.id,
+             wdg::StrFormat("'%s' is defined but never consumed", def.c_str()));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckWellFormed(const Module& module, std::vector<Finding>& findings) {
+  std::set<std::string> names;
+  for (const Function& fn : module.functions()) {
+    if (!names.insert(fn.name).second) {
+      Emit(findings, Severity::kError, "ir.duplicate-function", fn.name, 0,
+           "function defined more than once; lookups resolve to the last definition");
+    }
+    CheckFunctionStructure(module, fn, findings);
+    CheckDataflow(fn, findings);
+  }
+  if (LongRunningRoots(module).empty()) {
+    Emit(findings, Severity::kWarning, "ir.no-roots", "", 0,
+         wdg::StrFormat("module '%s' has no long-running function; reduction "
+                        "produces no checkers",
+                        module.name().c_str()));
+  }
+}
+
+namespace {
+
+struct HeldLock {
+  std::string site;
+  int acquire_id = 0;
+};
+
+// One lock-order edge A→B with the first place it was observed.
+struct OrderEdge {
+  std::string function;
+  int instr_id = 0;
+};
+
+using OrderGraph = std::map<std::string, std::map<std::string, OrderEdge>>;
+
+// Lock sites a function may acquire, directly or through calls.
+std::map<std::string, std::set<std::string>> TransitiveAcquires(const Module& module) {
+  CallGraph graph(module);
+  std::map<std::string, std::set<std::string>> direct;
+  for (const Function& fn : module.functions()) {
+    for (const Instr& instr : fn.instrs) {
+      if (instr.kind == OpKind::kLockAcquire) {
+        direct[fn.name].insert(instr.site);
+      }
+    }
+  }
+  std::map<std::string, std::set<std::string>> transitive;
+  for (const Function& fn : module.functions()) {
+    std::set<std::string>& sites = transitive[fn.name];
+    for (const std::string& reached : graph.ReachableFrom(fn.name)) {
+      const auto it = direct.find(reached);
+      if (it != direct.end()) {
+        sites.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+  return transitive;
+}
+
+void WalkLocks(const Function& fn,
+               const std::map<std::string, std::set<std::string>>& transitive,
+               OrderGraph& order, std::vector<Finding>& findings) {
+  std::vector<HeldLock> held;
+  const auto add_edge = [&](const std::string& from, const std::string& to, int id) {
+    if (from == to) {
+      return;
+    }
+    order[from].try_emplace(to, OrderEdge{fn.name, id});
+  };
+
+  for (const Instr& instr : fn.instrs) {
+    switch (instr.kind) {
+      case OpKind::kLockAcquire: {
+        for (const HeldLock& lock : held) {
+          if (lock.site == instr.site) {
+            Emit(findings, Severity::kWarning, "lock.reacquire", fn.name, instr.id,
+                 wdg::StrFormat("'%s' acquired at %s:%d is still held; re-acquiring "
+                                "a non-reentrant lock self-deadlocks",
+                                instr.site.c_str(), fn.name.c_str(), lock.acquire_id));
+          }
+          add_edge(lock.site, instr.site, instr.id);
+        }
+        held.push_back(HeldLock{instr.site, instr.id});
+        break;
+      }
+      case OpKind::kLockRelease: {
+        const auto it = std::find_if(held.rbegin(), held.rend(), [&](const HeldLock& lock) {
+          return lock.site == instr.site;
+        });
+        if (it == held.rend()) {
+          Emit(findings, Severity::kError, "lock.release-without-acquire", fn.name,
+               instr.id,
+               wdg::StrFormat("'%s' released here but not held on any path through "
+                              "this function",
+                              instr.site.c_str()));
+        } else {
+          held.erase(std::next(it).base());
+        }
+        break;
+      }
+      case OpKind::kCall: {
+        // Locks the callee (transitively) acquires order after everything
+        // currently held.
+        const auto it = transitive.find(instr.callee);
+        if (it != transitive.end()) {
+          for (const HeldLock& lock : held) {
+            for (const std::string& callee_site : it->second) {
+              add_edge(lock.site, callee_site, instr.id);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const HeldLock& lock : held) {
+    Emit(findings, Severity::kError, "lock.leaked", fn.name, lock.acquire_id,
+         wdg::StrFormat("'%s' acquired here is never released on the fall-through "
+                        "path",
+                        lock.site.c_str()));
+  }
+}
+
+// Reports each lock-order cycle once, anchored at its lexicographically
+// smallest site so permutations collapse.
+void ReportCycles(const OrderGraph& order, std::vector<Finding>& findings) {
+  for (const auto& [start, _] : order) {
+    // DFS from `start` looking for a path back to it.
+    std::vector<std::string> path{start};
+    std::set<std::string> visited;
+    bool found = false;
+    std::function<void(const std::string&)> dfs = [&](const std::string& site) {
+      if (found || !visited.insert(site).second) {
+        return;
+      }
+      const auto it = order.find(site);
+      if (it == order.end()) {
+        return;
+      }
+      for (const auto& [next, edge] : it->second) {
+        if (found) {
+          return;
+        }
+        if (next == start) {
+          // Only report when start is the smallest site in the cycle.
+          if (*std::min_element(path.begin(), path.end()) != start) {
+            continue;
+          }
+          std::string chain;
+          for (const std::string& hop : path) {
+            chain += hop + " -> ";
+          }
+          chain += start;
+          Emit(findings, Severity::kWarning, "lock.order-cycle", edge.function,
+               edge.instr_id,
+               wdg::StrFormat("lock-order cycle %s; a mimic checker and the main "
+                              "program taking these in opposite orders can deadlock",
+                              chain.c_str()));
+          found = true;
+          return;
+        }
+        path.push_back(next);
+        dfs(next);
+        path.pop_back();
+      }
+    };
+    dfs(start);
+  }
+}
+
+}  // namespace
+
+void CheckLockDiscipline(const Module& module, std::vector<Finding>& findings) {
+  const auto transitive = TransitiveAcquires(module);
+  OrderGraph order;
+  for (const Function& fn : module.functions()) {
+    WalkLocks(fn, transitive, order, findings);
+  }
+  ReportCycles(order, findings);
+}
+
+}  // namespace awd

@@ -1,0 +1,99 @@
+// wdg-lint: static verification passes over the mini-IR.
+//
+// The runtime enforces the paper's safety properties only after the fact — a
+// checker that deadlocks against the main program or a hook site naming a
+// nonexistent instruction is discovered when a checker misbehaves in
+// production. These passes move that discovery to analysis time: a Verifier
+// runs named passes over a Module and reports Findings pinpointed to
+// "<function>:<instr_id>", the same coordinates failure signatures use.
+//
+// IR-level pass families (this header):
+//   ir.*    well-formedness — balanced loops, unique ids, resolving call
+//           targets, def-before-use dataflow over args/defs
+//   lock.*  lock discipline — acquire/release pairing per site and a
+//           cross-function lock-order graph with cycle detection (§3.3: a
+//           mimic checker must not be able to deadlock the main program)
+//
+// Artifact-level passes (isolation over ReducedProgram, hook-plan soundness
+// over HookPlan) live in src/autowd/lint.h; they reuse Finding/LintPolicy.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace awd {
+
+enum class Severity {
+  kError,    // violates a property the runtime relies on; gates the build
+  kWarning,  // likely defect (unused def, unbounded mimic lock)
+  kNote,     // informational (ambient context variable, loop-carried use)
+};
+
+const char* SeverityName(Severity severity);
+
+struct Finding {
+  Severity severity = Severity::kWarning;
+  std::string rule;      // "ir.loop-balance", "lock.order-cycle", ...
+  std::string function;  // where the finding anchors; may be empty for module
+  int instr_id = 0;      // 0 == whole function
+  std::string message;
+
+  // "<function>:<instr_id>" — matches hook-site and failure-pinpoint naming.
+  std::string Location() const;
+  std::string ToString() const;
+};
+
+// VulnerabilityPolicy-style tuning of the lint gate (docs/LINT.md): rules can
+// be disabled wholesale, individual locations suppressed, and warnings
+// promoted to errors for strict builds.
+struct LintPolicy {
+  std::set<std::string> disabled_rules;
+  std::set<std::string> suppressed_locations;  // "<function>:<instr_id>"
+  bool warnings_as_errors = false;
+};
+
+// Filters suppressed findings and applies severity promotion.
+std::vector<Finding> ApplyPolicy(std::vector<Finding> findings, const LintPolicy& policy);
+
+int CountSeverity(const std::vector<Finding>& findings, Severity severity);
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+// Pass signature: append findings for `module`.
+using ModulePass = std::function<void(const Module&, std::vector<Finding>&)>;
+
+// The pass manager. Passes run in registration order; Run() returns findings
+// sorted errors-first, then by location.
+class Verifier {
+ public:
+  Verifier& AddPass(std::string name, ModulePass pass);
+  std::vector<Finding> Run(const Module& module) const;
+
+  std::vector<std::string> PassNames() const;
+
+  // Both IR pass families registered.
+  static Verifier Default();
+
+ private:
+  std::vector<std::pair<std::string, ModulePass>> passes_;
+};
+
+// --- concrete passes (callable directly from tests) ------------------------
+
+// ir.loop-balance, ir.duplicate-id, ir.nonpositive-id, ir.duplicate-function,
+// ir.dangling-call, ir.use-before-def, ir.loop-carried-use, ir.unused-def,
+// ir.ambient-arg, ir.empty-function, ir.no-roots.
+void CheckWellFormed(const Module& module, std::vector<Finding>& findings);
+
+// lock.release-without-acquire, lock.leaked, lock.reacquire,
+// lock.order-cycle.
+void CheckLockDiscipline(const Module& module, std::vector<Finding>& findings);
+
+// Stable ordering for reports: severity, then function, instr id, rule.
+void SortFindings(std::vector<Finding>& findings);
+
+}  // namespace awd

@@ -29,7 +29,7 @@ awd::Module DescribeIr(const KvsOptions& options) {
                              "index.Get(key)")
                          .Vulnerable()  // system-specific op tagged by the developer
                          .Call("WalAppend", {"key", "value"})
-                         .Compute("memtable.Apply(key, value)", {"key", "value"})
+                         .Compute("memtable.Apply(key, value)", {"key", "value", "entry"})
                          .Return()
                          .Build());
   module.AddFunction(FunctionBuilder("WalAppend", "kvs.wal")
@@ -80,11 +80,12 @@ awd::Module DescribeIr(const KvsOptions& options) {
                              "load sstable[1]")
                          .Op(OpKind::kIoRead, "disk.read", {"table_count"}, {"entries"},
                              "load sstable[2]")
-                         .Op(OpKind::kCompute, "compact.merge", {"table_count"}, {"merged"},
-                             "merge entries")
+                         .Op(OpKind::kCompute, "compact.merge", {"table_count", "entries"},
+                             {"merged"}, "merge entries")
                          .Vulnerable()
                          .Op(OpKind::kIoCreate, "disk.create", {}, {}, "create merged table")
-                         .Op(OpKind::kIoWrite, "disk.write", {}, {}, "write merged table")
+                         .Op(OpKind::kIoWrite, "disk.write", {"merged"}, {},
+                             "write merged table")
                          .Op(OpKind::kIoFsync, "disk.fsync", {}, {}, "fsync merged table")
                          .Return()
                          .Build());
@@ -123,6 +124,25 @@ awd::Module DescribeIr(const KvsOptions& options) {
                          .Build());
 
   return module;
+}
+
+awd::RedirectionPlan DescribeRedirections() {
+  using awd::RedirectMode;
+  awd::RedirectionPlan plan;
+  plan.entries = {
+      {"disk.append", RedirectMode::kScratchRedirect, "scratch WAL + read-back verify"},
+      {"disk.fsync", RedirectMode::kScratchRedirect, "fsync of the scratch WAL"},
+      {"disk.create", RedirectMode::kScratchRedirect, "create-probe in scratch"},
+      {"disk.write", RedirectMode::kScratchRedirect, "scratch block + read-back compare"},
+      {"disk.read", RedirectMode::kReadOnly, "reads the first registered SSTable"},
+      {"index.lookup", RedirectMode::kReadOnly, "watchdog-keyspace index probe"},
+      {"compact.merge", RedirectMode::kScratchRedirect, "CompactionManager::MergeProbe"},
+      {"lock.*", RedirectMode::kBoundedTry, "try_lock_for on the real mutex"},
+      {"net.send.*", RedirectMode::kReplicate, "probe from the dedicated .wdg endpoint"},
+      {"net.recv.*", RedirectMode::kReadOnly, "listener-tick gauge freshness"},
+      {"kvs.partition.validate", RedirectMode::kReadOnly, "checksum fsck of real data"},
+  };
+  return plan;
 }
 
 namespace {

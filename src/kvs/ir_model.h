@@ -12,6 +12,7 @@
 // same fault-injection sites as the main program — fate sharing.
 #pragma once
 
+#include "src/autowd/lint.h"
 #include "src/autowd/synth.h"
 #include "src/ir/ir.h"
 #include "src/kvs/server.h"
@@ -21,6 +22,10 @@ namespace kvs {
 // IR model of a node with the given options (follower ids parameterize the
 // replication sites; node id parameterizes the recv site).
 awd::Module DescribeIr(const KvsOptions& options);
+
+// How RegisterOpExecutors() neutralizes each op site's side effects —
+// the I/O-redirection plan wdg-lint's isolation pass checks W against.
+awd::RedirectionPlan DescribeRedirections();
 
 // Registers mimic executors for every op site DescribeIr() emits. `node`
 // must outlive the registry and any driver using it.

@@ -57,6 +57,20 @@ awd::Module DescribeIr(const DataNodeOptions& options) {
   return module;
 }
 
+awd::RedirectionPlan DescribeRedirections() {
+  using awd::RedirectMode;
+  awd::RedirectionPlan plan;
+  plan.entries = {
+      {"disk.create", RedirectMode::kScratchRedirect, "disk-probe block in scratch"},
+      {"disk.write", RedirectMode::kScratchRedirect, "scratch block + read-back compare"},
+      {"disk.fsync", RedirectMode::kScratchRedirect, "fsync of the scratch block"},
+      {"net.send.*", RedirectMode::kReplicate, "probe from the dedicated .wdg endpoint"},
+      {"net.recv.*", RedirectMode::kReadOnly, "listener-tick gauge freshness"},
+      {"hdfs.scan.verify", RedirectMode::kReadOnly, "verify one real block, read-only"},
+  };
+  return plan;
+}
+
 void RegisterOpExecutors(awd::OpExecutorRegistry& registry, DataNode& node) {
   const std::string node_id = node.options().node_id;
   const std::string namenode_id = node.options().namenode_id;

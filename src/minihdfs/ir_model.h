@@ -4,6 +4,7 @@
 // than the original permissions-only check.
 #pragma once
 
+#include "src/autowd/lint.h"
 #include "src/autowd/synth.h"
 #include "src/ir/ir.h"
 #include "src/minihdfs/datanode.h"
@@ -11,6 +12,9 @@
 namespace minihdfs {
 
 awd::Module DescribeIr(const DataNodeOptions& options);
+
+// I/O-redirection plan of the executors, for wdg-lint's isolation pass.
+awd::RedirectionPlan DescribeRedirections();
 
 void RegisterOpExecutors(awd::OpExecutorRegistry& registry, DataNode& node);
 

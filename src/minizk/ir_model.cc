@@ -17,6 +17,7 @@ awd::Module DescribeIr(const ZkOptions& options) {
                          .LoopBegin()
                          .Op(OpKind::kNetRecv, "net.recv." + options.node_id, {"node"},
                              {"msg"}, "endpoint.Recv()")
+                         .Compute("dispatch msg to handler", {"msg"})
                          .LoopEnd()
                          .Build());
 
@@ -87,6 +88,19 @@ awd::Module DescribeIr(const ZkOptions& options) {
   }
 
   return module;
+}
+
+awd::RedirectionPlan DescribeRedirections() {
+  using awd::RedirectMode;
+  awd::RedirectionPlan plan;
+  plan.entries = {
+      {"disk.append", RedirectMode::kScratchRedirect, "scratch txn log + size verify"},
+      {"disk.write", RedirectMode::kScratchRedirect, "scratch snapshot record + read-back"},
+      {"lock.*", RedirectMode::kBoundedTry, "try_lock_for on the real mutex"},
+      {"net.send.*", RedirectMode::kReplicate, "probe from the dedicated .wdg endpoint"},
+      {"net.recv.*", RedirectMode::kReadOnly, "listener-tick gauge freshness"},
+  };
+  return plan;
 }
 
 void RegisterOpExecutors(awd::OpExecutorRegistry& registry, ZkNode& node) {

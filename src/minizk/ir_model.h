@@ -2,6 +2,7 @@
 // serializeSnapshot chain) and the mimic op executors.
 #pragma once
 
+#include "src/autowd/lint.h"
 #include "src/autowd/synth.h"
 #include "src/ir/ir.h"
 #include "src/minizk/server.h"
@@ -9,6 +10,9 @@
 namespace minizk {
 
 awd::Module DescribeIr(const ZkOptions& options);
+
+// I/O-redirection plan of the executors, for wdg-lint's isolation pass.
+awd::RedirectionPlan DescribeRedirections();
 
 void RegisterOpExecutors(awd::OpExecutorRegistry& registry, ZkNode& node);
 

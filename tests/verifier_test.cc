@@ -1,0 +1,590 @@
+// wdg-lint coverage: the three shipped IR models pass every pass family
+// clean, and each rule fires on a minimal bad module with the rule name and
+// pinpointed instruction id asserted.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autowd/lint.h"
+#include "src/ir/verifier.h"
+#include "src/kvs/ir_model.h"
+#include "src/minihdfs/ir_model.h"
+#include "src/minizk/ir_model.h"
+
+namespace awd {
+namespace {
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& function = "", int instr_id = -1) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& finding) {
+    if (finding.rule != rule) {
+      return false;
+    }
+    if (!function.empty() && finding.function != function) {
+      return false;
+    }
+    return instr_id < 0 || finding.instr_id == instr_id;
+  });
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&](const Finding& finding) { return finding.rule == rule; }));
+}
+
+// ------------------------------------------------------- shipped models pass
+
+TEST(LintShippedModelsTest, KvsIsClean) {
+  kvs::KvsOptions options;
+  options.followers = {"kvs2", "kvs3"};
+  const LintResult result =
+      LintModule(kvs::DescribeIr(options), kvs::DescribeRedirections());
+  EXPECT_EQ(result.errors, 0) << FormatFindings(result.findings);
+  EXPECT_EQ(result.warnings, 0) << FormatFindings(result.findings);
+  EXPECT_GT(result.program.functions.size(), 0u);
+  EXPECT_GT(result.plan.points.size(), 0u);
+}
+
+TEST(LintShippedModelsTest, MinizkIsClean) {
+  minizk::ZkOptions options;
+  options.followers = {"zk-f1", "zk-f2"};
+  const LintResult result =
+      LintModule(minizk::DescribeIr(options), minizk::DescribeRedirections());
+  EXPECT_EQ(result.errors, 0) << FormatFindings(result.findings);
+  EXPECT_EQ(result.warnings, 0) << FormatFindings(result.findings);
+}
+
+TEST(LintShippedModelsTest, MinizkStandaloneIsClean) {
+  const LintResult result =
+      LintModule(minizk::DescribeIr(minizk::ZkOptions{}), minizk::DescribeRedirections());
+  EXPECT_EQ(result.errors, 0) << FormatFindings(result.findings);
+}
+
+TEST(LintShippedModelsTest, MinihdfsIsClean) {
+  minihdfs::DataNodeOptions options;
+  options.downstream = "dn2";
+  const LintResult result =
+      LintModule(minihdfs::DescribeIr(options), minihdfs::DescribeRedirections());
+  EXPECT_EQ(result.errors, 0) << FormatFindings(result.findings);
+  EXPECT_EQ(result.warnings, 0) << FormatFindings(result.findings);
+}
+
+// ------------------------------------------------------------ well-formedness
+
+TEST(WellFormedTest, UnbalancedLoopBegin) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c").LongRunning().LoopBegin().Compute("x").Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.loop-balance", "f", 1)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, LoopEndWithoutBegin) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c").LongRunning().Compute("x").LoopEnd().Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.loop-balance", "f", 2)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, DuplicateInstrIds) {
+  Function fn = FunctionBuilder("f", "c").Compute("a").Compute("b").Build();
+  fn.instrs[1].id = fn.instrs[0].id;
+  Module module("m");
+  module.AddFunction(std::move(fn));
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.duplicate-id", "f", 1)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, NonpositiveInstrId) {
+  Function fn = FunctionBuilder("f", "c").Compute("a").Build();
+  fn.instrs[0].id = 0;
+  Module module("m");
+  module.AddFunction(std::move(fn));
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.nonpositive-id", "f", 0)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, DanglingCallTarget) {
+  Module module("m");
+  module.AddFunction(
+      FunctionBuilder("f", "c").LongRunning().Call("DoesNotExist").Return().Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.dangling-call", "f", 1)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, DuplicateFunctionDefinition) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c").LongRunning().Compute("a").Build());
+  module.AddFunction(FunctionBuilder("f", "c").Compute("b").Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.duplicate-function", "f", 0))
+      << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, UseBeforeDefIsAnError) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Compute("use x", {"x"}, {})
+                         .Compute("def x", {}, {"x"})
+                         .Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.use-before-def", "f", 1)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, LoopCarriedUseIsOnlyANote) {
+  // A value defined later inside the same loop flows around the back edge.
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Compute("use acc", {"acc"}, {})
+                         .Compute("def acc", {}, {"acc"})
+                         .LoopEnd()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_FALSE(HasFinding(findings, "ir.use-before-def"));
+  EXPECT_TRUE(HasFinding(findings, "ir.loop-carried-use", "f", 2))
+      << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, UnusedDefIsAWarning) {
+  Module module("m");
+  module.AddFunction(
+      FunctionBuilder("f", "c").LongRunning().Compute("def v", {}, {"v"}).Return().Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.unused-def", "f", 1)) << FormatFindings(findings);
+}
+
+TEST(WellFormedTest, AmbientArgsAreNotesNotErrors) {
+  // Args never defined anywhere model ambient state (config paths, peer ids).
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Op(OpKind::kIoWrite, "disk.write", {"wal_path"}, {})
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_FALSE(HasFinding(findings, "ir.use-before-def"));
+  EXPECT_TRUE(HasFinding(findings, "ir.ambient-arg", "f", 1)) << FormatFindings(findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kError), 0);
+}
+
+TEST(WellFormedTest, ModuleWithoutRootsWarns) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c").Compute("x").Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "ir.no-roots")) << FormatFindings(findings);
+}
+
+// ------------------------------------------------------------ lock discipline
+
+TEST(LockDisciplineTest, LeakedLockPinpointsAcquire) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Compute("setup")
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckLockDiscipline(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.leaked", "f", 2)) << FormatFindings(findings);
+}
+
+TEST(LockDisciplineTest, ReleaseWithoutAcquire) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckLockDiscipline(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.release-without-acquire", "f", 1))
+      << FormatFindings(findings);
+}
+
+TEST(LockDisciplineTest, ReacquireWhileHeld) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckLockDiscipline(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.reacquire", "f", 2)) << FormatFindings(findings);
+  EXPECT_FALSE(HasFinding(findings, "lock.leaked"));
+}
+
+TEST(LockDisciplineTest, OppositeOrderAcquisitionIsACycle) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("ab", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("ba", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckLockDiscipline(module, findings);
+  EXPECT_EQ(CountRule(findings, "lock.order-cycle"), 1) << FormatFindings(findings);
+}
+
+TEST(LockDisciplineTest, CrossFunctionOrderThroughCalls) {
+  // f holds lock.a and calls g which takes lock.b; h takes them in the
+  // opposite order directly — a cycle only visible interprocedurally.
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Call("g")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("g", "c")
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("h", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckLockDiscipline(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.order-cycle")) << FormatFindings(findings);
+}
+
+TEST(LockDisciplineTest, NestedOrderIsNotACycle) {
+  // minizk's real shape: commit -> datatree, never the reverse.
+  minizk::ZkOptions options;
+  options.followers = {"zk-f1"};
+  std::vector<Finding> findings;
+  CheckLockDiscipline(minizk::DescribeIr(options), findings);
+  EXPECT_FALSE(HasFinding(findings, "lock.order-cycle")) << FormatFindings(findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kError), 0) << FormatFindings(findings);
+}
+
+// ----------------------------------------------------------------- isolation
+
+Module DestructiveModule() {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Loop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.write", {"buf"}, {})
+                         .Op(OpKind::kIoDelete, "disk.delete", {"path"}, {})
+                         .Op(OpKind::kNetSend, "net.send.peer", {"peer"}, {})
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .LoopEnd()
+                         .Build());
+  return module;
+}
+
+TEST(IsolationTest, UnredirectedDestructiveOpsAreErrors) {
+  const Module module = DestructiveModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  std::vector<Finding> findings;
+  CheckIsolation(program, RedirectionPlan{}, findings);
+  EXPECT_TRUE(HasFinding(findings, "iso.unredirected-write", "Loop", 2))
+      << FormatFindings(findings);
+  EXPECT_TRUE(HasFinding(findings, "iso.unredirected-delete", "Loop", 3))
+      << FormatFindings(findings);
+  EXPECT_TRUE(HasFinding(findings, "iso.unreplicated-send", "Loop", 4))
+      << FormatFindings(findings);
+  EXPECT_TRUE(HasFinding(findings, "iso.unbounded-lock", "Loop", 5))
+      << FormatFindings(findings);
+}
+
+TEST(IsolationTest, ReadOnlyDeclarationForAWriteIsAnError) {
+  const Module module = DestructiveModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  RedirectionPlan plan;
+  plan.entries = {{"disk.write", RedirectMode::kReadOnly, ""},
+                  {"disk.delete", RedirectMode::kScratchRedirect, ""},
+                  {"net.send.*", RedirectMode::kReplicate, ""},
+                  {"lock.*", RedirectMode::kBoundedTry, ""}};
+  std::vector<Finding> findings;
+  CheckIsolation(program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "iso.readonly-destructive", "Loop", 2))
+      << FormatFindings(findings);
+  EXPECT_FALSE(HasFinding(findings, "iso.unredirected-delete"));
+  EXPECT_FALSE(HasFinding(findings, "iso.unreplicated-send"));
+  EXPECT_FALSE(HasFinding(findings, "iso.unbounded-lock"));
+}
+
+TEST(IsolationTest, ScratchAndReplicateSatisfyTheGate) {
+  const Module module = DestructiveModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  RedirectionPlan plan;
+  plan.entries = {{"disk.*", RedirectMode::kScratchRedirect, ""},
+                  {"net.send.*", RedirectMode::kReplicate, ""},
+                  {"lock.*", RedirectMode::kBoundedTry, ""}};
+  std::vector<Finding> findings;
+  CheckIsolation(program, plan, findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kError), 0) << FormatFindings(findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kWarning), 0) << FormatFindings(findings);
+}
+
+// ----------------------------------------------------------------- hook plan
+
+// A two-function module whose reduction yields ops from both Loop and Step.
+Module HookModule() {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Loop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kNetRecv, "net.recv.n1", {}, {"req"})
+                         .Call("Step", {"req"})
+                         .LoopEnd()
+                         .Build());
+  module.AddFunction(FunctionBuilder("Step", "c")
+                         .Param("req")
+                         .Op(OpKind::kIoWrite, "disk.write", {"req"}, {})
+                         .Return()
+                         .Build());
+  return module;
+}
+
+TEST(HookPlanTest, InferredPlanIsSound) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kError), 0) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, SiteNamingNonexistentInstrIsAnError) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_FALSE(plan.points.empty());
+  plan.points[0].before_instr_id = 99;
+  plan.points[0].hook_site = HookSiteName(plan.points[0].function, 99);
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.bad-site", plan.points[0].function, 99))
+      << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, SiteStringMismatchIsAnError) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_FALSE(plan.points.empty());
+  plan.points[0].hook_site = "garbage";
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.bad-site")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, UncapturedContextVariableIsAnError) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  for (HookPoint& point : plan.points) {
+    point.capture.erase(std::remove(point.capture.begin(), point.capture.end(), "req"),
+                        point.capture.end());
+  }
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.uncaptured-var")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, CaptureAfterFirstConsumingOpIsLate) {
+  // Hand-build a plan whose only hook for Step fires after the op consuming
+  // req (anchored past it) — dominance in the linear-with-loops order fails.
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Step", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.write", {"req"}, {})
+                         .Op(OpKind::kIoFsync, "disk.fsync", {"req"}, {})
+                         .LoopEnd()
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  ASSERT_EQ(program.functions.size(), 1u);
+  ASSERT_EQ(program.functions[0].ops.size(), 2u);
+  HookPlan plan = InferContexts(program);
+  ASSERT_EQ(plan.points.size(), 1u);
+  plan.points[0].before_instr_id = program.functions[0].ops[1].origin_instr_id;
+  plan.points[0].hook_site =
+      HookSiteName(plan.points[0].function, plan.points[0].before_instr_id);
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.late-capture", "Step", 2))
+      << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, SiteArmedForTwoContextsIsClobbered) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_FALSE(plan.points.empty());
+  HookPoint clone = plan.points[0];
+  clone.context_name = "other_ctx";
+  ContextSpec other;
+  other.context_name = "other_ctx";
+  other.reduced_function = "other_reduced";
+  plan.contexts.push_back(other);
+  plan.points.push_back(clone);
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.site-clobbered")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, HookForUnknownContextIsAnError) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_FALSE(plan.points.empty());
+  plan.points[0].context_name = "nobody_declares_me";
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.unknown-context")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, MissingContextSpecIsAnError) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  plan.contexts.clear();
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.missing-context")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, HookCapturingNothingConsumedIsDead) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_FALSE(plan.points.empty());
+  for (HookPoint& point : plan.points) {
+    point.capture = {"unconsumed_extra"};
+  }
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "hook.dead")) << FormatFindings(findings);
+}
+
+// -------------------------------------------------------------------- policy
+
+TEST(LintPolicyTest, DisabledRulesAndSuppressedLocationsDrop) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Compute("dead", {}, {"v"})
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckWellFormed(module, findings);
+  CheckLockDiscipline(module, findings);
+  ASSERT_TRUE(HasFinding(findings, "lock.leaked", "f", 1));
+  ASSERT_TRUE(HasFinding(findings, "ir.unused-def", "f", 2));
+
+  LintPolicy policy;
+  policy.disabled_rules.insert("ir.unused-def");
+  policy.suppressed_locations.insert("f:1");
+  const std::vector<Finding> kept = ApplyPolicy(findings, policy);
+  EXPECT_FALSE(HasFinding(kept, "ir.unused-def"));
+  EXPECT_FALSE(HasFinding(kept, "lock.leaked"));
+}
+
+TEST(LintPolicyTest, WarningsAsErrorsPromotes) {
+  std::vector<Finding> findings;
+  Finding warning;
+  warning.severity = Severity::kWarning;
+  warning.rule = "ir.unused-def";
+  warning.function = "f";
+  warning.instr_id = 1;
+  findings.push_back(warning);
+  LintPolicy policy;
+  policy.warnings_as_errors = true;
+  const std::vector<Finding> kept = ApplyPolicy(findings, policy);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].severity, Severity::kError);
+}
+
+// ----------------------------------------------------------------- pass manager
+
+TEST(VerifierTest, DefaultRegistersBothPassFamilies) {
+  const std::vector<std::string> names = Verifier::Default().PassNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "well-formed");
+  EXPECT_EQ(names[1], "lock-discipline");
+}
+
+TEST(VerifierTest, RunSortsErrorsFirst) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("f", "c")
+                         .LongRunning()
+                         .Compute("dead", {}, {"v"})       // warning
+                         .Op(OpKind::kLockRelease, "lock.a")  // error
+                         .Return()
+                         .Build());
+  const std::vector<Finding> findings = Verifier::Default().Run(module);
+  ASSERT_GE(findings.size(), 2u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+}
+
+TEST(VerifierTest, CustomPassesRun) {
+  Verifier verifier;
+  int calls = 0;
+  verifier.AddPass("probe", [&calls](const Module&, std::vector<Finding>&) { ++calls; });
+  verifier.Run(Module("m"));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LintModuleTest, FullGateFlagsASeededBadModule) {
+  Module module("bad");
+  module.AddFunction(FunctionBuilder("Loop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kIoWrite, "disk.write", {"buf"}, {})
+                         .Call("Nope")
+                         .Build());
+  const LintResult result = LintModule(module, RedirectionPlan{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasFinding(result.findings, "ir.loop-balance", "Loop"));
+  EXPECT_TRUE(HasFinding(result.findings, "ir.dangling-call", "Loop", 4));
+  EXPECT_TRUE(HasFinding(result.findings, "lock.leaked", "Loop", 2));
+  EXPECT_TRUE(HasFinding(result.findings, "iso.unredirected-write", "Loop", 3));
+}
+
+}  // namespace
+}  // namespace awd

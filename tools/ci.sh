@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: build + ctest twice — plain, then under address sanitizer — so the
+# wdg_lint static checks and the sanitizer run on every PR.
+#
+#   tools/ci.sh [extra ctest args...]
+#
+# Build trees land in build-ci/ and build-ci-asan/ next to the source tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_leg() {
+  local build_dir=$1 sanitize=$2
+  shift 2
+  local cmake_args=(-B "${build_dir}" -S .)
+  if [[ -n "${sanitize}" ]]; then
+    cmake_args+=("-DWDG_SANITIZE=${sanitize}")
+  fi
+  echo "=== configure ${build_dir} (sanitize='${sanitize}') ==="
+  cmake "${cmake_args[@]}"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${build_dir}" -j "$(nproc)"
+  echo "=== ctest ${build_dir} ==="
+  # until-pass:2 absorbs timing flakes in the concurrency-stress and campaign
+  # suites under sanitizer slowdown + full parallelism; real failures fail twice.
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+    --repeat until-pass:2 "$@"
+}
+
+run_leg build-ci "" "$@"
+run_leg build-ci-asan address "$@"
+
+echo "ci: both legs green"

@@ -1,0 +1,217 @@
+// wdg_lint: the static verification gate (docs/LINT.md).
+//
+// Runs every wdg-lint pass family — IR well-formedness, lock discipline,
+// isolation, hook-plan soundness — over the kvs, minizk and minihdfs
+// DescribeIr() models and their generated hook plans, prints findings with
+// severity and pinpointed <function>:<instr_id> locations, and exits nonzero
+// when any error survives the policy. Registered with ctest so a bad IR
+// model fails the build.
+//
+//   wdg_lint [--system kvs|minizk|minihdfs|all] [--fixture good|bad]
+//            [--warnings-as-errors] [--disable-rule R] [--suppress LOC]
+//            [--notes] [--summary]
+//
+// Examples:
+//   wdg_lint                             # lint all three systems
+//   wdg_lint --system minizk --notes     # include informational findings
+//   wdg_lint --fixture bad               # seeded-broken module; must fail
+//   wdg_lint --disable-rule ir.unused-def --suppress "FlushMemtable:3"
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/autowd/lint.h"
+#include "src/ir/verifier.h"
+#include "src/kvs/ir_model.h"
+#include "src/minihdfs/ir_model.h"
+#include "src/minizk/ir_model.h"
+
+namespace {
+
+struct CliOptions {
+  std::string system = "all";
+  std::string fixture = "good";
+  awd::LintPolicy policy;
+  bool show_notes = false;
+  bool summary_only = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: wdg_lint [--system kvs|minizk|minihdfs|all] [--fixture good|bad]\n"
+      "                [--warnings-as-errors] [--disable-rule R] [--suppress LOC]\n"
+      "                [--notes] [--summary]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--system") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.system = value;
+      if (options.system != "all" && options.system != "kvs" &&
+          options.system != "minizk" && options.system != "minihdfs") {
+        std::fprintf(stderr, "wdg_lint: unknown system '%s'\n",
+                     options.system.c_str());
+        return false;
+      }
+    } else if (arg == "--fixture") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.fixture = value;
+      if (options.fixture != "good" && options.fixture != "bad") {
+        std::fprintf(stderr, "wdg_lint: unknown fixture '%s'\n",
+                     options.fixture.c_str());
+        return false;
+      }
+    } else if (arg == "--disable-rule") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.policy.disabled_rules.insert(value);
+    } else if (arg == "--suppress") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.policy.suppressed_locations.insert(value);
+    } else if (arg == "--warnings-as-errors") {
+      options.policy.warnings_as_errors = true;
+    } else if (arg == "--notes") {
+      options.show_notes = true;
+    } else if (arg == "--summary") {
+      options.summary_only = true;
+    } else {
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+// Deliberately-broken module proving every IR-level pass fires: unbalanced
+// loop, leaked lock, dangling call, use-before-def, unused def, duplicate
+// ids, opposite-order lock acquisition, and (with the empty redirection plan
+// it is linted against) unredirected destructive ops.
+awd::Module BadFixture() {
+  using awd::FunctionBuilder;
+  using awd::OpKind;
+  awd::Module module("bad_fixture");
+
+  module.AddFunction(FunctionBuilder("BrokenLoop", "fixture")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kLockAcquire, "lock.a", {}, {}, "never released")
+                         .Op(OpKind::kIoWrite, "disk.write", {"payload"}, {},
+                             "destructive, unredirected")
+                         .Call("MissingHandler", {"payload"})
+                         .Build());  // LoopEnd intentionally missing
+
+  module.AddFunction(FunctionBuilder("UseBeforeDef", "fixture")
+                         .Compute("consume x before it exists", {"x"}, {})
+                         .Compute("define x too late", {}, {"x"})
+                         .Compute("dead value", {}, {"never_read"})
+                         .Return()
+                         .Build());
+
+  module.AddFunction(FunctionBuilder("OrderAB", "fixture")
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("OrderBA", "fixture")
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.c")
+                         .Return()
+                         .Build());
+
+  awd::Function duplicate_ids = FunctionBuilder("DuplicateIds", "fixture")
+                                    .Compute("first", {}, {"v"})
+                                    .Compute("second", {"v"}, {})
+                                    .Return()
+                                    .Build();
+  duplicate_ids.instrs[1].id = duplicate_ids.instrs[0].id;
+  module.AddFunction(std::move(duplicate_ids));
+
+  return module;
+}
+
+int LintOne(const std::string& name, const awd::Module& module,
+            const awd::RedirectionPlan& redirections, const CliOptions& options) {
+  const awd::LintResult result = awd::LintModule(module, redirections, options.policy);
+
+  std::printf("== %s ==\n", name.c_str());
+  if (!options.summary_only) {
+    for (const awd::Finding& finding : result.findings) {
+      if (finding.severity == awd::Severity::kNote && !options.show_notes) {
+        continue;
+      }
+      std::printf("  %s\n", finding.ToString().c_str());
+    }
+  }
+  std::printf(
+      "%s: %d reduced checkers, %d hooks planned — %d error(s), %d warning(s), "
+      "%d note(s)\n",
+      name.c_str(), static_cast<int>(result.program.functions.size()),
+      static_cast<int>(result.plan.points.size()), result.errors, result.warnings,
+      result.notes);
+  return result.errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    return 2;
+  }
+
+  int errors = 0;
+  if (options.fixture == "bad") {
+    // Linted against an empty redirection plan: nothing is declared safe.
+    errors += LintOne("bad_fixture", BadFixture(), awd::RedirectionPlan{}, options);
+  } else {
+    // Representative leader/pipeline configurations so the replication and
+    // downstream sites exist in the models.
+    if (options.system == "all" || options.system == "kvs") {
+      kvs::KvsOptions kvs_options;
+      kvs_options.followers = {"kvs2", "kvs3"};
+      errors += LintOne("kvs", kvs::DescribeIr(kvs_options), kvs::DescribeRedirections(),
+                        options);
+    }
+    if (options.system == "all" || options.system == "minizk") {
+      minizk::ZkOptions zk_options;
+      zk_options.followers = {"zk-f1", "zk-f2"};
+      errors += LintOne("minizk", minizk::DescribeIr(zk_options),
+                        minizk::DescribeRedirections(), options);
+    }
+    if (options.system == "all" || options.system == "minihdfs") {
+      minihdfs::DataNodeOptions dn_options;
+      dn_options.downstream = "dn2";
+      errors += LintOne("minihdfs", minihdfs::DescribeIr(dn_options),
+                        minihdfs::DescribeRedirections(), options);
+    }
+  }
+
+  if (errors > 0) {
+    std::printf("wdg_lint: FAILED with %d error(s)\n", errors);
+    return 1;
+  }
+  std::printf("wdg_lint: clean\n");
+  return 0;
+}
