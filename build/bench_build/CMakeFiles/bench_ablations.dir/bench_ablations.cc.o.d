@@ -239,7 +239,8 @@ bench_build/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o: \
  /usr/include/c++/12/cstdarg /root/repo/src/eval/campaign.h \
  /root/repo/src/eval/scenario.h /root/repo/src/fault/fault_injector.h \
  /root/repo/src/common/rng.h /root/repo/src/eval/table.h \
- /root/repo/src/kvs/ir_model.h /root/repo/src/kvs/server.h \
+ /root/repo/src/kvs/ir_model.h /root/repo/src/autowd/lint.h \
+ /root/repo/src/ir/verifier.h /root/repo/src/kvs/server.h \
  /root/repo/src/common/metrics.h /root/repo/src/kvs/compaction.h \
  /root/repo/src/kvs/index.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \

@@ -237,7 +237,8 @@ bench_build/CMakeFiles/bench_fig2_reduction.dir/bench_fig2_reduction.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg /root/repo/src/eval/table.h \
- /root/repo/src/kvs/ir_model.h /root/repo/src/kvs/server.h \
+ /root/repo/src/kvs/ir_model.h /root/repo/src/autowd/lint.h \
+ /root/repo/src/ir/verifier.h /root/repo/src/kvs/server.h \
  /root/repo/src/common/metrics.h /root/repo/src/kvs/compaction.h \
  /root/repo/src/kvs/index.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \

@@ -241,5 +241,6 @@ bench_build/CMakeFiles/bench_fig3_generated_checker.dir/bench_fig3_generated_che
  /usr/include/assert.h /root/repo/src/sim/sim_net.h \
  /root/repo/src/common/metrics.h /root/repo/src/fault/fault_injector.h \
  /root/repo/src/common/rng.h /root/repo/src/minizk/ir_model.h \
+ /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
  /root/repo/src/minizk/server.h /root/repo/src/minizk/data_tree.h \
  /root/repo/src/sim/sim_disk.h /root/repo/src/minizk/sync_processor.h

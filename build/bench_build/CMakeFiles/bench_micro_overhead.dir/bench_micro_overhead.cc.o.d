@@ -240,7 +240,8 @@ bench_build/CMakeFiles/bench_micro_overhead.dir/bench_micro_overhead.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/common/checksum.h \
  /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
- /root/repo/src/kvs/ir_model.h /root/repo/src/kvs/server.h \
+ /root/repo/src/kvs/ir_model.h /root/repo/src/autowd/lint.h \
+ /root/repo/src/ir/verifier.h /root/repo/src/kvs/server.h \
  /root/repo/src/common/metrics.h /root/repo/src/kvs/compaction.h \
  /root/repo/src/kvs/index.h /root/repo/src/common/result.h \
  /root/repo/src/kvs/memtable.h /root/repo/src/kvs/sstable.h \

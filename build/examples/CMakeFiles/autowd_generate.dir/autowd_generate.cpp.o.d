@@ -237,6 +237,7 @@ examples/CMakeFiles/autowd_generate.dir/autowd_generate.cpp.o: \
  /root/repo/src/common/threading.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/kvs/ir_model.h \
+ /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
  /root/repo/src/kvs/server.h /root/repo/src/common/metrics.h \
  /root/repo/src/kvs/compaction.h /root/repo/src/kvs/index.h \
  /root/repo/src/common/result.h /usr/include/c++/12/cassert \

@@ -241,7 +241,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/assert.h /root/repo/src/kvs/types.h \
  /root/repo/src/sim/sim_net.h /root/repo/src/common/metrics.h \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
- /root/repo/src/kvs/ir_model.h /root/repo/src/kvs/server.h \
+ /root/repo/src/kvs/ir_model.h /root/repo/src/autowd/lint.h \
+ /root/repo/src/ir/verifier.h /root/repo/src/kvs/server.h \
  /root/repo/src/kvs/compaction.h /root/repo/src/kvs/index.h \
  /root/repo/src/kvs/memtable.h /root/repo/src/kvs/sstable.h \
  /root/repo/src/sim/sim_disk.h /root/repo/src/kvs/partition.h \

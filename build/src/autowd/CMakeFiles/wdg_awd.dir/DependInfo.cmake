@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/autowd/codegen.cc" "src/autowd/CMakeFiles/wdg_awd.dir/codegen.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/codegen.cc.o.d"
   "/root/repo/src/autowd/context_infer.cc" "src/autowd/CMakeFiles/wdg_awd.dir/context_infer.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/context_infer.cc.o.d"
   "/root/repo/src/autowd/invariants.cc" "src/autowd/CMakeFiles/wdg_awd.dir/invariants.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/invariants.cc.o.d"
+  "/root/repo/src/autowd/lint.cc" "src/autowd/CMakeFiles/wdg_awd.dir/lint.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/lint.cc.o.d"
   "/root/repo/src/autowd/reduce.cc" "src/autowd/CMakeFiles/wdg_awd.dir/reduce.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/reduce.cc.o.d"
   "/root/repo/src/autowd/replay.cc" "src/autowd/CMakeFiles/wdg_awd.dir/replay.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/replay.cc.o.d"
   "/root/repo/src/autowd/synth.cc" "src/autowd/CMakeFiles/wdg_awd.dir/synth.cc.o" "gcc" "src/autowd/CMakeFiles/wdg_awd.dir/synth.cc.o.d"

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wdg_awd.dir/context_infer.cc.o.d"
   "CMakeFiles/wdg_awd.dir/invariants.cc.o"
   "CMakeFiles/wdg_awd.dir/invariants.cc.o.d"
+  "CMakeFiles/wdg_awd.dir/lint.cc.o"
+  "CMakeFiles/wdg_awd.dir/lint.cc.o.d"
   "CMakeFiles/wdg_awd.dir/reduce.cc.o"
   "CMakeFiles/wdg_awd.dir/reduce.cc.o.d"
   "CMakeFiles/wdg_awd.dir/replay.cc.o"

@@ -247,7 +247,8 @@ src/eval/CMakeFiles/wdg_eval.dir/campaign.cc.o: \
  /root/repo/src/common/metrics.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/kvs/client.h /root/repo/src/kvs/types.h \
- /root/repo/src/kvs/ir_model.h /root/repo/src/kvs/server.h \
+ /root/repo/src/kvs/ir_model.h /root/repo/src/autowd/lint.h \
+ /root/repo/src/ir/verifier.h /root/repo/src/kvs/server.h \
  /root/repo/src/kvs/compaction.h /root/repo/src/kvs/index.h \
  /root/repo/src/kvs/memtable.h /root/repo/src/kvs/sstable.h \
  /root/repo/src/sim/sim_disk.h /root/repo/src/kvs/partition.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ir/analysis.cc" "src/ir/CMakeFiles/wdg_ir.dir/analysis.cc.o" "gcc" "src/ir/CMakeFiles/wdg_ir.dir/analysis.cc.o.d"
   "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/wdg_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/wdg_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/wdg_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/wdg_ir.dir/verifier.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wdg_ir.dir/analysis.cc.o.d"
   "CMakeFiles/wdg_ir.dir/ir.cc.o"
   "CMakeFiles/wdg_ir.dir/ir.cc.o.d"
+  "CMakeFiles/wdg_ir.dir/verifier.cc.o"
+  "CMakeFiles/wdg_ir.dir/verifier.cc.o.d"
   "libwdg_ir.a"
   "libwdg_ir.pdb"
 )

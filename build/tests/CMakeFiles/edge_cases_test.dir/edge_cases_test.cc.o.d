@@ -316,6 +316,7 @@ tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cc.o: \
  /root/repo/src/common/rng.h /root/repo/src/minizk/client.h \
  /root/repo/src/common/result.h /root/repo/src/sim/sim_net.h \
  /root/repo/src/common/metrics.h /root/repo/src/minizk/ir_model.h \
+ /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
  /root/repo/src/minizk/server.h /root/repo/src/minizk/data_tree.h \
  /root/repo/src/sim/sim_disk.h /root/repo/src/minizk/sync_processor.h \
  /root/repo/src/minizk/zk_types.h /root/repo/src/fault/fault_plan.h \

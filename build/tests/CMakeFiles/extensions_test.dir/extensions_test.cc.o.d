@@ -316,6 +316,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o: \
  /root/repo/src/kvs/types.h /root/repo/src/sim/sim_net.h \
  /root/repo/src/common/metrics.h /root/repo/src/fault/fault_injector.h \
  /root/repo/src/common/rng.h /root/repo/src/kvs/ir_model.h \
+ /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
  /root/repo/src/kvs/server.h /root/repo/src/kvs/compaction.h \
  /root/repo/src/kvs/index.h /root/repo/src/kvs/memtable.h \
  /root/repo/src/kvs/sstable.h /root/repo/src/sim/sim_disk.h \

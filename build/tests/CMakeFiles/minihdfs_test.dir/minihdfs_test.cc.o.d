@@ -312,6 +312,7 @@ tests/CMakeFiles/minihdfs_test.dir/minihdfs_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg /root/repo/src/minihdfs/ir_model.h \
+ /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
  /root/repo/src/minihdfs/datanode.h /root/repo/src/common/metrics.h \
  /root/repo/src/minihdfs/block_store.h /root/repo/src/common/result.h \
  /root/repo/src/sim/sim_disk.h /root/repo/src/fault/fault_injector.h \

@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(wdg_lint_models "/root/repo/build/tools/wdg_lint")
+set_tests_properties(wdg_lint_models PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wdg_lint_bad_fixture "/root/repo/build/tools/wdg_lint" "--fixture" "bad")
+set_tests_properties(wdg_lint_bad_fixture PROPERTIES  TIMEOUT "60" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
