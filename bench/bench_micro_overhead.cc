@@ -26,21 +26,63 @@ void BM_HookFire_Unarmed(benchmark::State& state) {
 }
 BENCHMARK(BM_HookFire_Unarmed);
 
-// The armed hook: one-way context replication of two values.
+// The armed hook, Context API v2: typed keys interned once, the two writes
+// stage into the thread-local batch, MarkReady flushes under the touched
+// stripes. This is the production hook-site code path.
 void BM_HookFire_Armed(benchmark::State& state) {
+  static const auto kFile = wdg::ContextKey<std::string>::Of("bench.file");
+  static const auto kEntries = wdg::ContextKey<int64_t>::Of("bench.entries");
   wdg::HookSite site("kvs.flusher.write");
   wdg::CheckContext ctx("flush_ctx");
   site.Arm(&ctx);
   int64_t i = 0;
   for (auto _ : state) {
     site.Fire([&](wdg::CheckContext& c) {
-      c.Set("file", std::string("/sst/000042.sst"));
-      c.Set("entries", ++i);
+      c.Set(kFile, "/sst/000042.sst");
+      c.Set(kEntries, ++i);
       c.MarkReady(i);
     });
   }
 }
 BENCHMARK(BM_HookFire_Armed);
+
+// The same workload through the DEPRECATED v1 string-keyed shim (per-call
+// intern + immediate per-slot locked store) — the mutex+map-era baseline the
+// typed API is measured against.
+void BM_HookFire_Armed_LegacyStringKeys(benchmark::State& state) {
+  wdg::HookSite site("kvs.flusher.write");
+  wdg::CheckContext ctx("flush_ctx_legacy");
+  site.Arm(&ctx);
+  int64_t i = 0;
+  for (auto _ : state) {
+    site.Fire([&](wdg::CheckContext& c) {
+      c.Set("bench.file", std::string("/sst/000042.sst"));
+      c.Set("bench.entries", ++i);
+      c.MarkReady(i);
+    });
+  }
+}
+BENCHMARK(BM_HookFire_Armed_LegacyStringKeys);
+
+// Concurrent hook sites on DIFFERENT keys of one context: the sharded store
+// means threads hit different stripes instead of one global mutex.
+void BM_HookFire_Armed_Contended(benchmark::State& state) {
+  static wdg::CheckContext ctx("contended_ctx");
+  static const auto kKeys = [] {
+    std::vector<wdg::ContextKey<int64_t>> keys;
+    for (int t = 0; t < 8; ++t) {
+      keys.push_back(wdg::ContextKey<int64_t>::Of(wdg::StrFormat("bench.t%d", t)));
+    }
+    return keys;
+  }();
+  const auto& key = kKeys[state.thread_index() % kKeys.size()];
+  int64_t i = 0;
+  for (auto _ : state) {
+    ctx.Set(key, ++i);
+    ctx.MarkReady(i);
+  }
+}
+BENCHMARK(BM_HookFire_Armed_Contended)->Threads(4);
 
 void BM_ContextSnapshot(benchmark::State& state) {
   wdg::CheckContext ctx("c");
@@ -53,6 +95,18 @@ void BM_ContextSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContextSnapshot);
+
+// Typed point-read on the checker side: slot index -> stripe lock -> copy.
+void BM_ContextGet_TypedKey(benchmark::State& state) {
+  static const auto kEntries = wdg::ContextKey<int64_t>::Of("bench.get.entries");
+  wdg::CheckContext ctx("c");
+  ctx.Set(kEntries, 42);
+  ctx.MarkReady(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Get(kEntries));
+  }
+}
+BENCHMARK(BM_ContextGet_TypedKey);
 
 // Fault-site gate on the hot path with no faults active.
 void BM_FaultSite_NoFault(benchmark::State& state) {

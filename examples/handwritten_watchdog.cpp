@@ -3,12 +3,23 @@
 // of Table 2 (probe, signal, mimic), contexts + hooks, recovery actions, and
 // the §5.1 probe-validation escalation.
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/common/strings.h"
 #include "src/kvs/client.h"
 #include "src/kvs/server.h"
+#include "src/watchdog/builder.h"
 #include "src/watchdog/builtin_checkers.h"
 #include "src/watchdog/driver.h"
+
+// Registration misconfiguration is a typed Status from CheckerBuilder; a
+// demo just treats any of them as fatal.
+static void OrDie(const wdg::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "checker registration failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
 
 int main() {
   wdg::RealClock& clock = wdg::RealClock::Instance();
@@ -23,42 +34,50 @@ int main() {
   kvs::KvsNode node(clock, disk, net, options);
   (void)node.Start();
 
-  // --- the driver, with probe-validation escalation ------------------------
-  kvs::KvsClient validation_client(net, "validator", "kvs1", wdg::Ms(150));
+  // --- the driver ----------------------------------------------------------
   wdg::WatchdogDriver::Options driver_options;
   driver_options.release_on_stop = [&injector] { injector.ClearAll(); };
-  driver_options.validation_probe = [&validation_client] {
-    return validation_client.Set("__wdg/validate", "ping");
-  };
   wdg::WatchdogDriver driver(clock, driver_options);
-
-  wdg::CheckerOptions fast;
-  fast.interval = wdg::Ms(25);
-  fast.timeout = wdg::Ms(300);
 
   // --- 1. a probe checker: act like a client ---------------------------------
   kvs::KvsClient probe_client(net, "prober", "kvs1", wdg::Ms(150));
-  driver.AddChecker(std::make_unique<wdg::ProbeChecker>(
-      "set_get_probe", "kvs",
-      [&probe_client] {
-        WDG_RETURN_IF_ERROR(probe_client.Set("__wdg/probe", "v"));
-        return probe_client.Get("__wdg/probe").status();
-      },
-      fast, /*consecutive_needed=*/2));
+  OrDie(wdg::CheckerBuilder("set_get_probe")
+            .Component("kvs")
+            .Interval(wdg::Ms(25))
+            .Deadline(wdg::Ms(300))
+            .Debounce(2)
+            .Probe([&probe_client] {
+              WDG_RETURN_IF_ERROR(probe_client.Set("__wdg/probe", "v"));
+              return probe_client.Get("__wdg/probe").status();
+            })
+            .RegisterWith(driver));
 
   // --- 2. a signal checker: watch a health indicator -------------------------
-  driver.AddChecker(std::make_unique<wdg::SignalChecker>(
-      "memtable_watch", "kvs.flusher", "memtable bytes",
-      [&node] { return static_cast<double>(node.memtable().ApproximateBytes()); },
-      [](double bytes) { return bytes < 16 * 1024; }, /*consecutive_needed=*/3, fast));
+  OrDie(wdg::CheckerBuilder("memtable_watch")
+            .Component("kvs.flusher")
+            .Interval(wdg::Ms(25))
+            .Deadline(wdg::Ms(300))
+            .Debounce(3)
+            .Signal("memtable bytes",
+                    [&node] { return static_cast<double>(node.memtable().ApproximateBytes()); },
+                    [](double bytes) { return bytes < 16 * 1024; })
+            .RegisterWith(driver));
 
-  // --- 3. a hand-written mimic checker ----------------------------------------
-  // Context synchronized by a hook we arm ourselves on the flusher's hook site.
+  // --- 3. a hand-written mimic checker, with §5.1 escalation ------------------
+  // Context synchronized by a hook we arm ourselves on the flusher's hook
+  // site; a separate client-level probe validates mimic alarms for
+  // client-visible impact before they reach listeners unconfirmed.
   node.hooks().Arm("FlushMemtable:1", "my_flush_ctx");
-  wdg::CheckContext* flush_ctx = node.hooks().Context("my_flush_ctx");
-  driver.AddChecker(std::make_unique<wdg::MimicChecker>(
-      "flush_mimic", "kvs.flusher", flush_ctx,
-      [&node](const wdg::CheckContext& ctx, wdg::MimicChecker& self) {
+  kvs::KvsClient validation_client(net, "validator", "kvs1", wdg::Ms(150));
+  OrDie(wdg::CheckerBuilder("flush_mimic")
+            .Component("kvs.flusher")
+            .Interval(wdg::Ms(25))
+            .Deadline(wdg::Ms(300))
+            .ContextFactory([&node] { return node.hooks().Context("my_flush_ctx"); })
+            .EscalationProbe([&validation_client] {
+              return validation_client.Set("__wdg/validate", "ping");
+            })
+            .Mimic([&node](const wdg::CheckContext& ctx, wdg::MimicChecker& self) {
         // Mimic the flush's disk write into a scratch file (I/O redirection).
         wdg::SourceLocation loc{"kvs.flusher", "FlushMemtable", "disk.write", 3};
         self.SetCurrentOp(loc);
@@ -79,8 +98,8 @@ int main() {
               ctx.Dump()));
         }
         return wdg::CheckResult::Pass();
-      },
-      fast));
+            })
+            .RegisterWith(driver));
 
   // --- 4. a cheap-recovery action (§5.2) ---------------------------------------
   wdg::CallbackRecovery restart_flusher([](const wdg::FailureSignature& sig) {

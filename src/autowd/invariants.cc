@@ -79,7 +79,7 @@ std::unique_ptr<wdg::Checker> MakeInvariantChecker(
           return wdg::CheckResult::Skipped();
         }
         for (const RangeInvariant& inv : miner->Invariants()) {
-          const auto value = ctx.GetDouble(inv.variable);
+          const auto value = ctx.Get<double>(inv.variable);
           if (!value.has_value()) {
             continue;
           }

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "src/autowd/codegen.h"
 #include "src/common/strings.h"
 
 namespace awd {
@@ -276,6 +277,29 @@ void CheckHookPlan(const Module& module, const ReducedProgram& program,
   }
 }
 
+void CheckCheckerSourceApi(const std::string& checker_name, const std::string& source,
+                           std::vector<Finding>& findings) {
+  static const char* const kDeprecated[] = {"GetString(", "GetInt(", "GetDouble(",
+                                            "args_getter"};
+  for (const char* pattern : kDeprecated) {
+    if (source.find(pattern) != std::string::npos) {
+      findings.push_back(Finding{
+          Severity::kError, "api.deprecated-accessor", checker_name, 0,
+          wdg::StrFormat("generated checker '%s' emits deprecated accessor "
+                         "'%s': generated code must use the typed-key "
+                         "context API (ContextKey + Get(key))",
+                         checker_name.c_str(), pattern)});
+    }
+  }
+}
+
+void CheckGeneratedApi(const ReducedProgram& program, const HookPlan& plan,
+                       std::vector<Finding>& findings) {
+  for (const ReducedFunction& fn : program.functions) {
+    CheckCheckerSourceApi(fn.name, EmitCheckerSource(fn, plan), findings);
+  }
+}
+
 LintResult LintModule(const Module& module, const RedirectionPlan& redirections,
                       const LintPolicy& policy, ReducerOptions reducer) {
   LintResult result;
@@ -285,6 +309,7 @@ LintResult LintModule(const Module& module, const RedirectionPlan& redirections,
   result.plan = InferContexts(result.program);
   CheckIsolation(result.program, redirections, findings);
   CheckHookPlan(module, result.program, result.plan, findings);
+  CheckGeneratedApi(result.program, result.plan, findings);
 
   result.findings = ApplyPolicy(std::move(findings), policy);
   SortFindings(result.findings);

@@ -1,5 +1,7 @@
 #include "src/kvs/compaction.h"
 
+#include "src/kvs/ctx_keys.h"
+
 #include <map>
 
 #include "src/common/logging.h"
@@ -51,7 +53,7 @@ wdg::Status CompactionManager::CompactOnce(bool force) {
   }
 
   hooks_.Site("CompactTables:1")->Fire([&](wdg::CheckContext& ctx) {
-    ctx.Set("table_count", static_cast<int64_t>(tables.size()));
+    ctx.Set(keys::TableCount(), static_cast<int64_t>(tables.size()));
     ctx.MarkReady(clock_.NowNs());
   });
 

@@ -1,0 +1,56 @@
+// Typed context keys for the kvs hook plan (Context API v2).
+//
+// Each accessor interns its key once (function-local static) and returns the
+// process-wide handle, so hook-site writes are indexed slot stores — see
+// docs/CONTEXT_API.md. Key names match the v1 string keys exactly, so
+// legacy readers (`Get<T>("name")`, recovery ParseDump paths) keep working.
+#pragma once
+
+#include <string>
+
+#include "src/watchdog/context.h"
+
+namespace kvs::keys {
+
+inline const wdg::ContextKey<std::string>& Node() {
+  static const auto k = wdg::ContextKey<std::string>::Of("node");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& Key() {
+  static const auto k = wdg::ContextKey<std::string>::Of("key");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& WalPath() {
+  static const auto k = wdg::ContextKey<std::string>::Of("wal_path");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& RecordBytes() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("record_bytes");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& FlushFile() {
+  static const auto k = wdg::ContextKey<std::string>::Of("flush_file");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& EntryCount() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("entry_count");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& TableCount() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("table_count");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& Follower() {
+  static const auto k = wdg::ContextKey<std::string>::Of("follower");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& BatchSize() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("batch_size");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& Table() {
+  static const auto k = wdg::ContextKey<std::string>::Of("table");
+  return k;
+}
+
+}  // namespace kvs::keys

@@ -1,5 +1,7 @@
 #include "src/kvs/flusher.h"
 
+#include "src/kvs/ctx_keys.h"
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/kvs/sstable.h"
@@ -56,8 +58,8 @@ wdg::Status Flusher::FlushOnce(bool force) {
 
   // State synchronization: one-way context update for the flush checker.
   hooks_.Site("FlushMemtable:1")->Fire([&](wdg::CheckContext& ctx) {
-    ctx.Set("flush_file", path);
-    ctx.Set("entry_count", static_cast<int64_t>(entries.size()));
+    ctx.Set(keys::FlushFile(), path);
+    ctx.Set(keys::EntryCount(), static_cast<int64_t>(entries.size()));
     ctx.MarkReady(clock_.NowNs());
   });
 

@@ -187,7 +187,7 @@ void RegisterOpExecutors(awd::OpExecutorRegistry& registry, KvsNode& node) {
       "index.lookup",
       [&node](const awd::ReducedOp&, const wdg::CheckContext& ctx, const std::string&) {
         const std::string key =
-            ctx.GetString("key").value_or(std::string(kWatchdogKeyPrefix) + "probe");
+            ctx.Get<std::string>("key").value_or(std::string(kWatchdogKeyPrefix) + "probe");
         const auto value = node.index().Get(key);
         if (!value.ok() && value.status().code() != wdg::StatusCode::kNotFound) {
           return value.status();
@@ -303,7 +303,7 @@ void RegisterOpExecutors(awd::OpExecutorRegistry& registry, KvsNode& node) {
   registry.Register(
       "kvs.partition.validate",
       [&node](const awd::ReducedOp&, const wdg::CheckContext& ctx, const std::string&) {
-        const auto table = ctx.GetString("table");
+        const auto table = ctx.Get<std::string>("table");
         if (table.has_value()) {
           const wdg::Status status = node.partitions().Validate(*table);
           // The table may have been compacted away since the hook fired.

@@ -1,5 +1,7 @@
 #include "src/kvs/replication.h"
 
+#include "src/kvs/ctx_keys.h"
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 
@@ -78,8 +80,8 @@ wdg::Status ReplicationEngine::SendBatch(const std::vector<std::string>& batch) 
   wdg::Status result = wdg::Status::Ok();
   for (const wdg::NodeId& follower : options_.followers) {
     hooks_.Site("ReplicateBatch:1")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("follower", follower);
-      ctx.Set("batch_size", static_cast<int64_t>(batch.size()));
+      ctx.Set(keys::Follower(), follower);
+      ctx.Set(keys::BatchSize(), static_cast<int64_t>(batch.size()));
       ctx.MarkReady(clock_.NowNs());
     });
     // The Call blocks inside net.send.<follower> under an injected hang —

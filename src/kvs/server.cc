@@ -1,5 +1,7 @@
 #include "src/kvs/server.h"
 
+#include "src/kvs/ctx_keys.h"
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 
@@ -106,7 +108,7 @@ void KvsNode::Stop() {
 void KvsNode::ListenerLoop() {
   while (!stop_.Requested()) {
     hooks_.Site("RequestLoop:2")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("node", options_.node_id);
+      ctx.Set(keys::Node(), options_.node_id);
       ctx.MarkReady(clock_.NowNs());
     });
     metrics_.GetGauge("kvs.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
@@ -137,7 +139,7 @@ void KvsNode::ListenerLoop() {
 Response KvsNode::Apply(const Request& request, bool from_replication) {
   if (request.op == OpType::kGet) {
     hooks_.Site("ApplyRequest:2")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("key", request.key);
+      ctx.Set(keys::Key(), request.key);
       ctx.MarkReady(clock_.NowNs());
     });
     const auto value = index_.Get(request.key);
@@ -159,8 +161,8 @@ Response KvsNode::Apply(const Request& request, bool from_replication) {
   if (!options_.in_memory && !from_replication) {
     const std::string record = request.Encode();
     hooks_.Site("WalAppend:1")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("wal_path", wal_path());
-      ctx.Set("record_bytes", static_cast<int64_t>(record.size()));
+      ctx.Set(keys::WalPath(), wal_path());
+      ctx.Set(keys::RecordBytes(), static_cast<int64_t>(record.size()));
       ctx.MarkReady(clock_.NowNs());
     });
     wdg::Status status = wal_->Append(record);
@@ -246,7 +248,7 @@ void KvsNode::MaintenanceLoop() {
     if (!partitions.empty()) {
       const size_t i = maintenance_cursor_.fetch_add(1) % partitions.size();
       hooks_.Site("PartitionMaintenance:2")->Fire([&](wdg::CheckContext& ctx) {
-        ctx.Set("table", partitions[i].path);
+        ctx.Set(keys::Table(), partitions[i].path);
         ctx.MarkReady(clock_.NowNs());
       });
       const wdg::Status valid = partitions_.Validate(partitions[i].path);

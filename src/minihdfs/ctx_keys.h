@@ -1,0 +1,28 @@
+// Typed context keys for the minihdfs hook plan (Context API v2).
+// See src/kvs/ctx_keys.h for the pattern and docs/CONTEXT_API.md for why.
+#pragma once
+
+#include <string>
+
+#include "src/watchdog/context.h"
+
+namespace minihdfs::keys {
+
+inline const wdg::ContextKey<std::string>& Node() {
+  static const auto k = wdg::ContextKey<std::string>::Of("node");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& BlockId() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("block_id");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& BlockBytes() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("block_bytes");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& Namenode() {
+  static const auto k = wdg::ContextKey<std::string>::Of("namenode");
+  return k;
+}
+
+}  // namespace minihdfs::keys

@@ -1,5 +1,7 @@
 #include "src/minihdfs/datanode.h"
 
+#include "src/minihdfs/ctx_keys.h"
+
 #include <cstdlib>
 
 #include "src/common/logging.h"
@@ -48,7 +50,7 @@ wdg::Status DataNode::CheckDirsPermissionsOnly() const {
 void DataNode::ListenerLoop() {
   while (!stop_.Requested()) {
     hooks_.Site("DataNodeLoop:2")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("node", options_.node_id);
+      ctx.Set(keys::Node(), options_.node_id);
       ctx.MarkReady(clock_.NowNs());
     });
     metrics_.GetGauge("hdfs.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
@@ -65,8 +67,8 @@ void DataNode::ListenerLoop() {
       const int64_t block_id = std::strtoll(msg->payload.c_str(), nullptr, 10);
       const std::string data = msg->payload.substr(sep + 1);
       hooks_.Site("HandleWriteBlock:1")->Fire([&](wdg::CheckContext& ctx) {
-        ctx.Set("block_id", block_id);
-        ctx.Set("block_bytes", static_cast<int64_t>(data.size()));
+        ctx.Set(keys::BlockId(), block_id);
+        ctx.Set(keys::BlockBytes(), static_cast<int64_t>(data.size()));
         ctx.MarkReady(clock_.NowNs());
       });
       wdg::Status status = blocks_.WriteBlock(block_id, data);
@@ -111,7 +113,7 @@ void DataNode::ScannerLoop() {
     }
     const int64_t block_id = block_ids[scan_cursor_.fetch_add(1) % block_ids.size()];
     hooks_.Site("BlockScanLoop:2")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("block_id", block_id);
+      ctx.Set(keys::BlockId(), block_id);
       ctx.MarkReady(clock_.NowNs());
     });
     // Instrumented site: campaigns can wedge or break the scanner itself.
@@ -132,7 +134,7 @@ void DataNode::HeartbeatLoop() {
   wdg::Endpoint* hb = net_.CreateEndpoint(options_.node_id + ".hb");
   while (!stop_.WaitFor(options_.heartbeat_interval)) {
     hooks_.Site("HeartbeatLoop:2")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("namenode", options_.namenode_id);
+      ctx.Set(keys::Namenode(), options_.namenode_id);
       ctx.MarkReady(clock_.NowNs());
     });
     const std::string payload = options_.node_id + '\x1f' +

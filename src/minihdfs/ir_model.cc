@@ -106,7 +106,7 @@ void RegisterOpExecutors(awd::OpExecutorRegistry& registry, DataNode& node) {
         if (!disk.Exists(path)) {
           WDG_RETURN_IF_ERROR(disk.Create(path));
         }
-        const int64_t size = std::min<int64_t>(ctx.GetInt("block_bytes").value_or(512), 4096);
+        const int64_t size = std::min<int64_t>(ctx.Get<int64_t>("block_bytes").value_or(512), 4096);
         const std::string data(static_cast<size_t>(size), '\x6b');
         WDG_RETURN_IF_ERROR(disk.Write(path, 0, data));
         WDG_ASSIGN_OR_RETURN(const std::string readback, disk.Read(path, 0, size));
@@ -132,7 +132,7 @@ void RegisterOpExecutors(awd::OpExecutorRegistry& registry, DataNode& node) {
       "hdfs.scan.verify",
       [&node](const awd::ReducedOp&, const wdg::CheckContext& ctx, const std::string&) {
         WDG_RETURN_IF_ERROR(node.disk().injector().Act("hdfs.scan.verify"));
-        const auto block_id = ctx.GetInt("block_id");
+        const auto block_id = ctx.Get<int64_t>("block_id");
         if (!block_id.has_value() || !node.blocks().HasBlock(*block_id)) {
           return wdg::Status::Ok();  // block may have been deleted since the hook
         }

@@ -1,0 +1,28 @@
+// Typed context keys for the minizk hook plan (Context API v2).
+// See src/kvs/ctx_keys.h for the pattern and docs/CONTEXT_API.md for why.
+#pragma once
+
+#include <string>
+
+#include "src/watchdog/context.h"
+
+namespace minizk::keys {
+
+inline const wdg::ContextKey<std::string>& Node() {
+  static const auto k = wdg::ContextKey<std::string>::Of("node");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& Oa() {
+  static const auto k = wdg::ContextKey<std::string>::Of("oa");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& TxnBytes() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("txn_bytes");
+  return k;
+}
+inline const wdg::ContextKey<std::string>& Follower() {
+  static const auto k = wdg::ContextKey<std::string>::Of("follower");
+  return k;
+}
+
+}  // namespace minizk::keys

@@ -1,5 +1,7 @@
 #include "src/minizk/data_tree.h"
 
+#include "src/minizk/ctx_keys.h"
+
 #include "src/common/strings.h"
 
 namespace minizk {
@@ -91,8 +93,8 @@ wdg::Status DataTree::SerializeNode(wdg::SimDisk& disk, const std::string& snap_
   // The paper's AutoWatchdog inserts the context hook between the scount
   // bump (line 19) and writeRecord (line 20) — same spot here.
   hooks.Site("serializeNode:2")->Fire([&](wdg::CheckContext& ctx) {
-    ctx.Set("node", path);
-    ctx.Set("oa", snap_path);
+    ctx.Set(keys::Node(), path);
+    ctx.Set(keys::Oa(), snap_path);
     ctx.MarkReady(clock_.NowNs());
   });
   const std::string record =

@@ -148,7 +148,7 @@ void RegisterOpExecutors(awd::OpExecutorRegistry& registry, ZkNode& node) {
           WDG_RETURN_IF_ERROR(disk.Create(path));
         }
         const std::string record =
-            "node=" + ctx.GetString("node").value_or("<none>") + "\n";
+            "node=" + ctx.Get<std::string>("node").value_or("<none>") + "\n";
         WDG_RETURN_IF_ERROR(disk.Write(path, 0, record));
         WDG_ASSIGN_OR_RETURN(const std::string readback,
                              disk.Read(path, 0, static_cast<int64_t>(record.size())));

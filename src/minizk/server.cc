@@ -1,5 +1,7 @@
 #include "src/minizk/server.h"
 
+#include "src/minizk/ctx_keys.h"
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/minizk/zk_types.h"
@@ -47,7 +49,7 @@ void ZkNode::Stop() {
 void ZkNode::ListenerLoop() {
   while (!stop_.Requested()) {
     hooks_.Site("ListenerLoop:2")->Fire([&](wdg::CheckContext& ctx) {
-      ctx.Set("node", options_.node_id);
+      ctx.Set(keys::Node(), options_.node_id);
       ctx.MarkReady(clock_.NowNs());
     });
     metrics_.GetGauge("zk.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
@@ -115,7 +117,7 @@ void ZkNode::SessionLoop() {
     metrics_.GetGauge("zk.session.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
     for (const wdg::NodeId& follower : options_.followers) {
       hooks_.Site("SessionLoop:2")->Fire([&](wdg::CheckContext& ctx) {
-        ctx.Set("follower", follower);
+        ctx.Set(keys::Follower(), follower);
         ctx.MarkReady(clock_.NowNs());
       });
       const auto ack = ping_ep->Call(follower + ".hb", kMsgPing, options_.node_id, wdg::Ms(100));

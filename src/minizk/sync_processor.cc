@@ -1,5 +1,7 @@
 #include "src/minizk/sync_processor.h"
 
+#include "src/minizk/ctx_keys.h"
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/minizk/zk_types.h"
@@ -91,9 +93,9 @@ wdg::Status SyncRequestProcessor::ProcessWrite(PendingWrite& write) {
   const std::string txn = write.op + " " + EncodePathData(write.path, write.data);
 
   hooks_.Site("ProcessWrite:1")->Fire([&](wdg::CheckContext& ctx) {
-    ctx.Set("txn_bytes", static_cast<int64_t>(txn.size()));
+    ctx.Set(keys::TxnBytes(), static_cast<int64_t>(txn.size()));
     if (!options_.followers.empty()) {
-      ctx.Set("follower", options_.followers.front());
+      ctx.Set(keys::Follower(), options_.followers.front());
     }
     ctx.MarkReady(clock_.NowNs());
   });

@@ -1,0 +1,174 @@
+#include "src/watchdog/builder.h"
+
+#include "src/common/strings.h"
+
+namespace wdg {
+
+CheckerBuilder& CheckerBuilder::Component(std::string component) {
+  component_ = std::move(component);
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::Interval(DurationNs interval) {
+  interval_ = interval;
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::Deadline(DurationNs deadline) {
+  deadline_ = deadline;
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::Debounce(int consecutive_needed) {
+  debounce_ = consecutive_needed;
+  debounce_set_ = true;
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::WithContext(CheckContext* context) {
+  context_ = context;
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::ContextFactory(std::function<CheckContext*()> factory) {
+  context_factory_ = std::move(factory);
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::Probe(ProbeChecker::ProbeFn probe) {
+  if (body_ != Body::kNone) {
+    body_conflict_ = true;
+  }
+  body_ = Body::kProbe;
+  probe_ = std::move(probe);
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::Signal(std::string indicator, SignalChecker::SampleFn sample,
+                                       SignalChecker::PredicateFn healthy) {
+  if (body_ != Body::kNone) {
+    body_conflict_ = true;
+  }
+  body_ = Body::kSignal;
+  indicator_ = std::move(indicator);
+  sample_ = std::move(sample);
+  healthy_ = std::move(healthy);
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::Mimic(MimicChecker::BodyFn body) {
+  if (body_ != Body::kNone) {
+    body_conflict_ = true;
+  }
+  body_ = Body::kMimic;
+  mimic_ = std::move(body);
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::EscalationProbe(std::function<Status()> probe,
+                                                DurationNs timeout) {
+  escalation_probe_ = std::move(probe);
+  escalation_timeout_ = timeout;
+  return *this;
+}
+
+Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
+  if (name_.empty()) {
+    return InvalidArgumentError("checker name must not be empty");
+  }
+  if (body_conflict_) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': more than one body supplied (Probe/Signal/Mimic "
+                  "are mutually exclusive)",
+                  name_.c_str()));
+  }
+  if (body_ == Body::kNone) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': no body — call Probe(), Signal(), or Mimic()",
+                  name_.c_str()));
+  }
+  if (interval_ <= 0) {
+    return InvalidArgumentError(StrFormat("checker '%s': interval must be > 0", name_.c_str()));
+  }
+  if (deadline_ <= 0) {
+    return InvalidArgumentError(StrFormat("checker '%s': deadline must be > 0", name_.c_str()));
+  }
+  if (debounce_set_ && debounce_ <= 0) {
+    return InvalidArgumentError(StrFormat("checker '%s': debounce must be > 0", name_.c_str()));
+  }
+  if (context_ != nullptr && context_factory_) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': WithContext and ContextFactory are mutually "
+                  "exclusive",
+                  name_.c_str()));
+  }
+
+  CheckerOptions options{interval_, deadline_};
+  switch (body_) {
+    case Body::kProbe: {
+      if (context_ != nullptr || context_factory_) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': a probe body takes no context", name_.c_str()));
+      }
+      if (debounce_set_) {
+        return std::unique_ptr<Checker>(std::make_unique<ProbeChecker>(
+            name_, component_, std::move(probe_), options, debounce_));
+      }
+      return std::unique_ptr<Checker>(
+          std::make_unique<ProbeChecker>(name_, component_, std::move(probe_), options));
+    }
+    case Body::kSignal: {
+      if (context_ != nullptr || context_factory_) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': a signal body takes no context", name_.c_str()));
+      }
+      const int needed = debounce_set_ ? debounce_ : 3;  // SignalChecker default
+      return std::unique_ptr<Checker>(std::make_unique<SignalChecker>(
+          name_, component_, indicator_, std::move(sample_), std::move(healthy_), needed,
+          options));
+    }
+    case Body::kMimic: {
+      if (debounce_set_) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': Debounce applies to probe/signal bodies only",
+                      name_.c_str()));
+      }
+      CheckContext* context = context_;
+      if (context_factory_) {
+        context = context_factory_();
+        if (context == nullptr) {
+          return InvalidArgumentError(
+              StrFormat("checker '%s': context factory returned null", name_.c_str()));
+        }
+      }
+      if (context == nullptr) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': a mimic body requires WithContext or "
+                      "ContextFactory",
+                      name_.c_str()));
+      }
+      return std::unique_ptr<Checker>(std::make_unique<MimicChecker>(
+          name_, component_, context, std::move(mimic_), options));
+    }
+    case Body::kNone:
+      break;  // unreachable: handled above
+  }
+  return InternalError("CheckerBuilder: unhandled body kind");
+}
+
+Status CheckerBuilder::RegisterWith(WatchdogDriver& driver) {
+  auto built = Build();
+  if (!built.ok()) {
+    return built.status();
+  }
+  if (escalation_probe_) {
+    Status probe_status =
+        driver.SetValidationProbe(escalation_probe_, escalation_timeout_);
+    if (!probe_status.ok()) {
+      return probe_status;
+    }
+  }
+  return driver.TryAddChecker(std::move(built).value());
+}
+
+}  // namespace wdg

@@ -1,0 +1,99 @@
+// CheckerBuilder: fluent, validated construction of checkers.
+//
+// The v1 registration surface was a grab-bag of constructors — misconfiguring
+// one (zero interval, a mimic body with no context, two check bodies) either
+// asserted deep inside the driver or silently produced a checker that never
+// fired. The builder front-loads that validation into a typed error:
+//
+//   auto status = wdg::CheckerBuilder("flush-mimic")
+//                     .Component("kvs.flusher")
+//                     .Interval(wdg::Ms(50))
+//                     .Deadline(wdg::Ms(200))
+//                     .WithContext(hooks.Context("flush_ctx"))
+//                     .Mimic(body)
+//                     .RegisterWith(driver);
+//   if (!status.ok()) { /* kInvalidArgument / kFailedPrecondition / ... */ }
+//
+// Exactly one body — Probe(), Signal(), or Mimic() — must be supplied.
+// Build() returns the checker for callers that manage registration
+// themselves; RegisterWith() also installs the optional §5.1 escalation
+// probe on the driver. The old direct-constructor entry points remain valid.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/driver.h"
+
+namespace wdg {
+
+class CheckerBuilder {
+ public:
+  explicit CheckerBuilder(std::string name) : name_(std::move(name)) {}
+
+  // The component the checker watches; signatures attribute failures to it.
+  CheckerBuilder& Component(std::string component);
+  // Scheduling period. Must be > 0.
+  CheckerBuilder& Interval(DurationNs interval);
+  // Execution deadline; a miss becomes a LIVENESS_TIMEOUT. Must be > 0.
+  CheckerBuilder& Deadline(DurationNs deadline);
+  // Consecutive violations required before alarming (probe/signal only).
+  CheckerBuilder& Debounce(int consecutive_needed);
+
+  // Context for a mimic body: either a fixed context...
+  CheckerBuilder& WithContext(CheckContext* context);
+  // ...or a factory resolved at Build() time (e.g. hooks not created yet
+  // when the builder chain is written down). Mutually exclusive.
+  CheckerBuilder& ContextFactory(std::function<CheckContext*()> factory);
+
+  // Exactly one of the three bodies:
+  CheckerBuilder& Probe(ProbeChecker::ProbeFn probe);
+  CheckerBuilder& Signal(std::string indicator, SignalChecker::SampleFn sample,
+                         SignalChecker::PredicateFn healthy);
+  CheckerBuilder& Mimic(MimicChecker::BodyFn body);
+
+  // §5.1 escalation: installed on the driver by RegisterWith().
+  CheckerBuilder& EscalationProbe(std::function<Status()> probe,
+                                  DurationNs timeout = Ms(300));
+
+  // Validates the configuration and constructs the checker.
+  // kInvalidArgument on any inconsistency (empty name, no/multiple bodies,
+  // non-positive interval/deadline/debounce, context rules violated).
+  Result<std::unique_ptr<Checker>> Build();
+
+  // Build() + driver registration (+ escalation-probe install, if set).
+  // Adds kFailedPrecondition when the driver is already running and
+  // kAlreadyExists on a duplicate checker name.
+  Status RegisterWith(WatchdogDriver& driver);
+
+ private:
+  enum class Body { kNone, kProbe, kSignal, kMimic };
+
+  std::string name_;
+  std::string component_;
+  DurationNs interval_ = Ms(100);
+  DurationNs deadline_ = Ms(400);
+  int debounce_ = 1;
+  bool debounce_set_ = false;
+
+  CheckContext* context_ = nullptr;
+  std::function<CheckContext*()> context_factory_;
+
+  Body body_ = Body::kNone;
+  bool body_conflict_ = false;
+  ProbeChecker::ProbeFn probe_;
+  std::string indicator_;
+  SignalChecker::SampleFn sample_;
+  SignalChecker::PredicateFn healthy_;
+  MimicChecker::BodyFn mimic_;
+
+  std::function<Status()> escalation_probe_;
+  DurationNs escalation_timeout_ = Ms(300);
+};
+
+}  // namespace wdg

@@ -1,5 +1,7 @@
 #include "src/watchdog/context.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdlib>
 
 #include "src/common/strings.h"
@@ -19,76 +21,316 @@ std::string CtxValueToString(const CtxValue& value) {
   return std::get<std::string>(value);
 }
 
-void CheckContext::Set(const std::string& key, CtxValue value) {
+const char* CtxTypeName(CtxType type) {
+  switch (type) {
+    case CtxType::kInt:
+      return "int";
+    case CtxType::kDouble:
+      return "double";
+    case CtxType::kBool:
+      return "bool";
+    case CtxType::kString:
+      return "string";
+    case CtxType::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------- KeyRegistry
+
+KeyRegistry& KeyRegistry::Instance() {
+  // Leaked singleton: static ContextKeys in other TUs may be destroyed after
+  // any registry with normal storage duration.
+  static KeyRegistry* registry = new KeyRegistry();
+  return *registry;
+}
+
+uint32_t KeyRegistry::Intern(std::string_view name, CtxType type) {
   std::lock_guard<std::mutex> lock(mu_);
-  values_[key] = std::move(value);  // copy-in: replication, never aliasing
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    Entry& entry = *entries_[it->second];
+    // First concrete registration fixes the declared type; the legacy shim
+    // interns as kAny and must never clobber a typed declaration.
+    if (entry.type == CtxType::kAny && type != CtxType::kAny) {
+      entry.type = type;
+    }
+    return it->second;
+  }
+  const uint32_t slot = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(std::make_unique<Entry>(Entry{std::string(name), type}));
+  by_name_.emplace(entries_.back()->name, slot);
+  return slot;
+}
+
+std::optional<uint32_t> KeyRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& KeyRegistry::NameOf(uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(slot < entries_.size());
+  return entries_[slot]->name;
+}
+
+CtxType KeyRegistry::TypeOf(uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(slot < entries_.size());
+  return entries_[slot]->type;
+}
+
+uint32_t KeyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(entries_.size());
+}
+
+std::vector<const std::string*> KeyRegistry::Names(uint32_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t n = std::min<uint32_t>(limit, static_cast<uint32_t>(entries_.size()));
+  std::vector<const std::string*> names(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    names[i] = &entries_[i]->name;
+  }
+  return names;
+}
+
+const std::string& ContextKeyBase::name() const {
+  return KeyRegistry::Instance().NameOf(slot_);
+}
+
+// ---------------------------------------------------------- CheckContext
+
+namespace {
+
+uint64_t NextContextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// One staging batch per thread, reused across fires (the entries vector
+// keeps its capacity, so steady-state staging never allocates).
+HookBatch& ThreadBatch() {
+  thread_local HookBatch batch;
+  return batch;
+}
+
+}  // namespace
+
+CheckContext::CheckContext(std::string name)
+    : name_(std::move(name)), id_(NextContextId()) {}
+
+CheckContext::~CheckContext() {
+  for (auto& chunk : chunks_) {
+    delete chunk.load(std::memory_order_acquire);
+  }
+}
+
+void CheckContext::StageWrite(uint32_t slot, CtxValue value) {
+  HookBatch& batch = ThreadBatch();
+  if (batch.owner_id_ != id_) {
+    // Entries staged for another context and never flushed (its hook exited
+    // without MarkReady) are abandoned, not leaked into this one.
+    batch.entries_.clear();
+    batch.owner_id_ = id_;
+  }
+  batch.entries_.emplace_back(slot, std::move(value));
+}
+
+CheckContext::SlotCell* CheckContext::CellFor(uint32_t slot) {
+  const uint32_t chunk_index = slot / kSlotsPerChunk;
+  assert(chunk_index < kMaxChunks && "context key slots exhausted");
+  std::atomic<Chunk*>& entry = chunks_[chunk_index];
+  Chunk* chunk = entry.load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    Chunk* fresh = new Chunk();
+    if (entry.compare_exchange_strong(chunk, fresh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      chunk = fresh;
+    } else {
+      delete fresh;  // lost the race; `chunk` holds the winner
+    }
+  }
+  return &chunk->cells[slot % kSlotsPerChunk];
+}
+
+const CheckContext::SlotCell* CheckContext::CellIfPresent(uint32_t slot) const {
+  const uint32_t chunk_index = slot / kSlotsPerChunk;
+  if (chunk_index >= kMaxChunks) {
+    return nullptr;
+  }
+  const Chunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    return nullptr;
+  }
+  return &chunk->cells[slot % kSlotsPerChunk];
+}
+
+void CheckContext::WriteSlot(uint32_t slot, CtxValue value) {
+  SlotCell* cell = CellFor(slot);
+  std::lock_guard<std::mutex> lock(stripes_[slot % kStripes]);
+  cell->populated = true;
+  cell->value = std::move(value);  // copy-in: replication, never aliasing
+}
+
+void CheckContext::Set(const std::string& key, CtxValue value) {
+  WriteSlot(KeyRegistry::Instance().Intern(key, CtxType::kAny), std::move(value));
+}
+
+void CheckContext::FlushBatch(HookBatch& batch) {
+  if (batch.entries_.empty()) {
+    return;
+  }
+  // Pre-create cells (may allocate a chunk) before taking any stripe.
+  uint32_t stripe_mask = 0;
+  for (const auto& [slot, value] : batch.entries_) {
+    (void)CellFor(slot);
+    stripe_mask |= 1u << (slot % kStripes);
+  }
+  // All touched stripes held at once, acquired in ascending order (the same
+  // order SnapshotConsistent uses), so a reader can never see half a batch
+  // and two overlapping batches can never interleave their slots.
+  for (uint32_t s = 0; s < kStripes; ++s) {
+    if (stripe_mask & (1u << s)) {
+      stripes_[s].lock();
+    }
+  }
+  for (auto& [slot, value] : batch.entries_) {
+    SlotCell* cell = CellFor(slot);
+    cell->populated = true;
+    cell->value = std::move(value);
+  }
+  for (uint32_t s = kStripes; s-- > 0;) {
+    if (stripe_mask & (1u << s)) {
+      stripes_[s].unlock();
+    }
+  }
+  batch.entries_.clear();
 }
 
 void CheckContext::MarkReady(TimeNs now) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_update_ = now;
+  HookBatch& batch = ThreadBatch();
+  if (batch.owner_id_ == id_) {
+    FlushBatch(batch);
+    batch.owner_id_ = 0;
   }
+  last_update_.store(now, std::memory_order_release);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   ready_.store(true, std::memory_order_release);
 }
 
 void CheckContext::Invalidate() { ready_.store(false, std::memory_order_release); }
 
-TimeNs CheckContext::last_update() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return last_update_;
+size_t CheckContext::pending_batch_size() const {
+  const HookBatch& batch = ThreadBatch();
+  return batch.owner_id_ == id_ ? batch.entries_.size() : 0;
+}
+
+std::optional<CtxValue> CheckContext::ReadSlot(uint32_t slot) const {
+  const SlotCell* cell = CellIfPresent(slot);
+  if (cell == nullptr) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(stripes_[slot % kStripes]);
+  if (!cell->populated) {
+    return std::nullopt;
+  }
+  return cell->value;
 }
 
 std::optional<CtxValue> CheckContext::Get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = values_.find(key);
-  if (it == values_.end()) {
+  const auto slot = KeyRegistry::Instance().Find(key);
+  if (!slot.has_value()) {
     return std::nullopt;
   }
-  return it->second;
+  return ReadSlot(*slot);
 }
 
 std::optional<std::string> CheckContext::GetString(const std::string& key) const {
-  const auto value = Get(key);
-  if (!value.has_value()) {
-    return std::nullopt;
-  }
-  if (const auto* s = std::get_if<std::string>(&*value)) {
-    return *s;
-  }
-  return std::nullopt;
+  return Get<std::string>(key);
 }
 
 std::optional<int64_t> CheckContext::GetInt(const std::string& key) const {
-  const auto value = Get(key);
-  if (!value.has_value()) {
-    return std::nullopt;
-  }
-  if (const auto* i = std::get_if<int64_t>(&*value)) {
-    return *i;
-  }
-  return std::nullopt;
+  return Get<int64_t>(key);
 }
 
 std::optional<double> CheckContext::GetDouble(const std::string& key) const {
-  const auto value = Get(key);
-  if (!value.has_value()) {
-    return std::nullopt;
+  return Get<double>(key);
+}
+
+CheckContext::ConsistentSnapshot CheckContext::SnapshotConsistent() const {
+  ConsistentSnapshot snapshot;
+  // One registry lock up front for all slot names (interning only appends,
+  // so any slot populated in this context is already in the table).
+  const std::vector<const std::string*> names =
+      KeyRegistry::Instance().Names(kSlotsPerChunk * kMaxChunks);
+  for (uint32_t s = 0; s < kStripes; ++s) {
+    stripes_[s].lock();
   }
-  if (const auto* d = std::get_if<double>(&*value)) {
-    return *d;
+  snapshot.epoch = epoch_.load(std::memory_order_acquire);
+  snapshot.last_update = last_update_.load(std::memory_order_acquire);
+  for (uint32_t chunk_index = 0; chunk_index < kMaxChunks; ++chunk_index) {
+    const Chunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      continue;
+    }
+    for (uint32_t i = 0; i < kSlotsPerChunk; ++i) {
+      const SlotCell& cell = chunk->cells[i];
+      if (cell.populated) {
+        snapshot.values.emplace(*names[chunk_index * kSlotsPerChunk + i], cell.value);
+      }
+    }
   }
-  if (const auto* i = std::get_if<int64_t>(&*value)) {
-    return static_cast<double>(*i);
+  for (uint32_t s = kStripes; s-- > 0;) {
+    stripes_[s].unlock();
   }
-  return std::nullopt;
+  return snapshot;
 }
 
 std::map<std::string, CtxValue> CheckContext::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return values_;
+  return SnapshotConsistent().values;
 }
+
+namespace {
+
+// v2 dump tag for a value ("i:" / "d:" / "b:" / "s:"), so ParseDump restores
+// the exact type — an untagged "1234" can only be guessed at by shape.
+char DumpTag(const CtxValue& value) {
+  if (std::holds_alternative<int64_t>(value)) {
+    return 'i';
+  }
+  if (std::holds_alternative<double>(value)) {
+    return 'd';
+  }
+  if (std::holds_alternative<bool>(value)) {
+    return 'b';
+  }
+  return 's';
+}
+
+// Legacy (untagged) value recovery by shape: bools, ints, doubles, strings.
+CtxValue ParseUntagged(const std::string& text) {
+  if (text == "true" || text == "false") {
+    return text == "true";
+  }
+  char* end = nullptr;
+  const long long as_int = std::strtoll(text.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !text.empty()) {
+    return static_cast<int64_t>(as_int);
+  }
+  const double as_double = std::strtod(text.c_str(), &end);
+  if (end != nullptr && *end == '\0' && !text.empty()) {
+    return as_double;
+  }
+  return text;
+}
+
+}  // namespace
 
 std::string CheckContext::Dump() const {
   const auto snapshot = Snapshot();
@@ -99,7 +341,9 @@ std::string CheckContext::Dump() const {
       out += ", ";
     }
     first = false;
-    out += key + "=" + CtxValueToString(value);
+    out += key + "=";
+    out += DumpTag(value);
+    out += ':' + CtxValueToString(value);
   }
   out += "}";
   return out;
@@ -119,23 +363,26 @@ std::map<std::string, CtxValue> CheckContext::ParseDump(const std::string& dump)
     }
     const std::string key(trimmed.substr(0, eq));
     const std::string text(trimmed.substr(eq + 1));
-    if (text == "true" || text == "false") {
-      values[key] = text == "true";
+    if (text.size() >= 2 && text[1] == ':' &&
+        (text[0] == 'i' || text[0] == 'd' || text[0] == 'b' || text[0] == 's')) {
+      const std::string payload = text.substr(2);
+      switch (text[0]) {
+        case 'i':
+          values[key] = static_cast<int64_t>(std::strtoll(payload.c_str(), nullptr, 10));
+          break;
+        case 'd':
+          values[key] = std::strtod(payload.c_str(), nullptr);
+          break;
+        case 'b':
+          values[key] = payload == "true";
+          break;
+        default:
+          values[key] = payload;  // verbatim, even if it looks numeric
+          break;
+      }
       continue;
     }
-    // Integer?
-    char* end = nullptr;
-    const long long as_int = std::strtoll(text.c_str(), &end, 10);
-    if (end != nullptr && *end == '\0' && !text.empty()) {
-      values[key] = static_cast<int64_t>(as_int);
-      continue;
-    }
-    const double as_double = std::strtod(text.c_str(), &end);
-    if (end != nullptr && *end == '\0' && !text.empty()) {
-      values[key] = as_double;
-      continue;
-    }
-    values[key] = text;
+    values[key] = ParseUntagged(text);
   }
   return values;
 }
@@ -146,6 +393,8 @@ void CheckContext::Restore(const std::map<std::string, CtxValue>& values, TimeNs
   }
   MarkReady(now);
 }
+
+// --------------------------------------------------------------- HookSet
 
 HookSite* HookSet::Site(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -8,11 +8,31 @@
 // the memory-isolation mechanism of §5.1. Synchronization is strictly
 // one-way: nothing ever flows from the context back into the program.
 //
+// Context API v2 (the hot-path redesign):
+//
+//   * Typed keys. A `ContextKey<T>` is registered once (process-wide) and
+//     resolves a name to a slot index, so a hook-site write is an indexed
+//     store — no string hashing, no map insert, no global lock.
+//   * Sharded storage. Slots live in lazily-allocated chunks guarded by
+//     striped locks, so concurrent hook sites writing different keys never
+//     contend on a shared mutex.
+//   * Batched one-way sync. Writes staged through the typed API accumulate
+//     in a thread-local HookBatch; MarkReady() flushes the whole batch under
+//     the (few) stripes it touches and only then publishes the epoch + READY
+//     flag. Checkers therefore only ever observe fully-populated contexts,
+//     and Snapshot() — which briefly holds every stripe — can never see a
+//     torn batch.
+//
+// The string-keyed Set/GetString/GetInt/GetDouble surface from v1 remains as
+// a thin shim over the slot store (deprecated; see docs/CONTEXT_API.md for
+// the migration recipe).
+//
 // The watchdog driver refuses to run a checker whose context is not READY
 // (e.g. an in-memory kvs never flushes, so the flush checker never fires —
 // the paper's canonical spurious-report example).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -20,6 +40,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -31,15 +53,150 @@ using CtxValue = std::variant<int64_t, double, bool, std::string>;
 
 std::string CtxValueToString(const CtxValue& value);
 
+// Declared value type of a context key. kAny keys carry whole CtxValues
+// (untyped: AutoWatchdog-generated checkers, dump/restore, the legacy shim).
+enum class CtxType : uint8_t { kInt, kDouble, kBool, kString, kAny };
+
+const char* CtxTypeName(CtxType type);
+
+namespace internal {
+template <typename T>
+struct CtxTypeOf;
+template <>
+struct CtxTypeOf<int64_t> { static constexpr CtxType value = CtxType::kInt; };
+template <>
+struct CtxTypeOf<double> { static constexpr CtxType value = CtxType::kDouble; };
+template <>
+struct CtxTypeOf<bool> { static constexpr CtxType value = CtxType::kBool; };
+template <>
+struct CtxTypeOf<std::string> { static constexpr CtxType value = CtxType::kString; };
+template <>
+struct CtxTypeOf<CtxValue> { static constexpr CtxType value = CtxType::kAny; };
+}  // namespace internal
+
+// Process-wide intern table: key name -> (slot index, declared type). Slots
+// are assigned once and never recycled; every CheckContext indexes its own
+// storage with the same slot numbers, so a key handle works on any context.
+class KeyRegistry {
+ public:
+  static KeyRegistry& Instance();
+
+  // Interns `name`, returning its stable slot. The first registration with a
+  // concrete type fixes the declared type; later kAny interns (the legacy
+  // shim) never widen or override it.
+  uint32_t Intern(std::string_view name, CtxType type);
+  // Slot for an already-interned name, or nullopt (lookups never register).
+  std::optional<uint32_t> Find(std::string_view name) const;
+  const std::string& NameOf(uint32_t slot) const;
+  CtxType TypeOf(uint32_t slot) const;
+  uint32_t size() const;
+  // Name pointers for slots [0, limit): one registry lock for the whole
+  // table instead of one per NameOf call (snapshot path). The pointers stay
+  // valid after the lock drops — entries are never destroyed or moved.
+  std::vector<const std::string*> Names(uint32_t limit) const;
+
+ private:
+  KeyRegistry() = default;
+
+  struct Entry {
+    std::string name;
+    CtxType type;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint32_t, std::less<>> by_name_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // stable addresses
+};
+
+// A typed key handle: name -> slot resolution done once (`Of` interns into
+// the KeyRegistry), so hook-site writes are indexed stores. Keys are cheap
+// value types; the idiomatic pattern is a function-local static per key:
+//
+//   static const auto kEntries = wdg::ContextKey<int64_t>::Of("entry_count");
+//   ctx.Set(kEntries, count);
+//
+// ContextKey<CtxValue> is the untyped ("any") variant used by generated
+// checkers whose IR carries no type information.
+class ContextKeyBase {
+ public:
+  uint32_t slot() const { return slot_; }
+  CtxType type() const { return type_; }
+  const std::string& name() const;
+
+ protected:
+  ContextKeyBase(uint32_t slot, CtxType type) : slot_(slot), type_(type) {}
+
+ private:
+  uint32_t slot_;
+  CtxType type_;
+};
+
+template <typename T>
+class ContextKey : public ContextKeyBase {
+ public:
+  static_assert(std::is_same_v<T, int64_t> || std::is_same_v<T, double> ||
+                    std::is_same_v<T, bool> || std::is_same_v<T, std::string> ||
+                    std::is_same_v<T, CtxValue>,
+                "ContextKey<T>: T must be int64_t, double, bool, std::string, "
+                "or CtxValue");
+  using value_type = T;
+
+  static ContextKey Of(std::string_view name) {
+    return ContextKey(
+        KeyRegistry::Instance().Intern(name, internal::CtxTypeOf<T>::value));
+  }
+
+ private:
+  explicit ContextKey(uint32_t slot)
+      : ContextKeyBase(slot, internal::CtxTypeOf<T>::value) {}
+};
+
+// Writes staged by one thread between hook entry and MarkReady(). Lives in
+// thread-local storage inside context.cc; hook sites never construct one
+// directly — CheckContext::Set(key, value) appends to the calling thread's
+// batch, and MarkReady() flushes it. Staging is just a vector push: no lock,
+// no map, no atomic.
+class HookBatch {
+ public:
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  friend class CheckContext;
+
+  std::vector<std::pair<uint32_t, CtxValue>> entries_;
+  uint64_t owner_id_ = 0;  // CheckContext::id_ of the staging target
+};
+
 class CheckContext {
  public:
-  explicit CheckContext(std::string name) : name_(std::move(name)) {}
+  explicit CheckContext(std::string name);
+  ~CheckContext();
+
+  CheckContext(const CheckContext&) = delete;
+  CheckContext& operator=(const CheckContext&) = delete;
 
   const std::string& name() const { return name_; }
 
   // --- producer side (main-program hooks) ------------------------------
+  // Stages `value` in the calling thread's HookBatch; visible to checkers
+  // only after MarkReady() flushes the batch. `type_identity_t` keeps T
+  // deduced from the key alone, so Set(kFile, "/sst/9") works.
+  template <typename T>
+  void Set(const ContextKey<T>& key, std::type_identity_t<T> value) {
+    StageWrite(key.slot(), CtxValue(std::move(value)));
+  }
+  void Set(const ContextKey<CtxValue>& key, CtxValue value) {
+    StageWrite(key.slot(), std::move(value));
+  }
+  // DEPRECATED string-keyed shim (v1): interns the key on every call and
+  // writes the slot immediately (un-batched). Prefer ContextKey<T>.
   void Set(const std::string& key, CtxValue value);
-  // Marks the context READY; hooks call this after populating all arguments.
+
+  // Flushes the calling thread's staged batch (all touched stripes held at
+  // once, so readers can never observe half a batch), then publishes: bumps
+  // the epoch and marks the context READY. Hooks call this after staging all
+  // the values the checker's reduced ops need.
   void MarkReady(TimeNs now);
   // Drops READY (e.g. component shut down / reconfigured).
   void Invalidate();
@@ -47,30 +204,105 @@ class CheckContext {
   // --- consumer side (checkers) -----------------------------------------
   bool ready() const { return ready_.load(std::memory_order_acquire); }
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
-  TimeNs last_update() const;
+  TimeNs last_update() const { return last_update_.load(std::memory_order_acquire); }
 
+  // The one typed getter. Returns nullopt when the key was never written or
+  // holds a different type (ints widen to double, matching v1 GetDouble).
+  template <typename T>
+  std::optional<T> Get(const ContextKey<T>& key) const {
+    return Extract<T>(ReadSlot(key.slot()));
+  }
+  // Typed read through a name (cold paths: executors, invariant miners).
+  template <typename T>
+  std::optional<T> Get(std::string_view name) const {
+    const auto slot = KeyRegistry::Instance().Find(name);
+    if (!slot.has_value()) {
+      return std::nullopt;
+    }
+    return Extract<T>(ReadSlot(*slot));
+  }
+  // The single dump-oriented untyped accessor: the raw variant, any type.
   std::optional<CtxValue> Get(const std::string& key) const;
+
+  // DEPRECATED v1 accessors, kept as thin shims over Get<T>; migrate to
+  // Get(ContextKey<T>) on hot paths or Get<T>(name) on cold ones.
   std::optional<std::string> GetString(const std::string& key) const;
   std::optional<int64_t> GetInt(const std::string& key) const;
   std::optional<double> GetDouble(const std::string& key) const;
 
-  // Full copy for failure signatures ("failure-inducing context", §5.2).
+  // Epoch-consistent full copy for failure signatures ("failure-inducing
+  // context", §5.2). Briefly holds every stripe, so the values can never mix
+  // two concurrently-flushed batches.
+  struct ConsistentSnapshot {
+    uint64_t epoch = 0;
+    TimeNs last_update = 0;
+    std::map<std::string, CtxValue> values;
+  };
+  ConsistentSnapshot SnapshotConsistent() const;
   std::map<std::string, CtxValue> Snapshot() const;
   std::string Dump() const;
 
-  // Parses a Dump() string back into values (ints/doubles/bools recovered by
-  // shape, everything else a string). The §5.2 failure-reproduction path.
+  // Parses a Dump() string back into values. Understands both the v2 format
+  // (values carry a type tag, "entries=i:16") and the legacy untagged format
+  // (ints/doubles/bools recovered by shape — which mis-typed strings that
+  // look numeric; the tag exists so "1234" survives the round trip). The
+  // §5.2 failure-reproduction path.
   static std::map<std::string, CtxValue> ParseDump(const std::string& dump);
   // Bulk-install parsed values and mark ready.
   void Restore(const std::map<std::string, CtxValue>& values, TimeNs now);
 
+  // Entries this thread has staged for this context but not yet flushed.
+  size_t pending_batch_size() const;
+
  private:
+  static constexpr uint32_t kSlotsPerChunk = 32;
+  static constexpr uint32_t kMaxChunks = 64;  // 2048 slots process-wide
+  static constexpr uint32_t kStripes = 16;
+
+  struct SlotCell {
+    bool populated = false;
+    CtxValue value;
+  };
+  struct Chunk {
+    std::array<SlotCell, kSlotsPerChunk> cells;
+  };
+
+  template <typename T>
+  static std::optional<T> Extract(std::optional<CtxValue> value) {
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    if constexpr (std::is_same_v<T, CtxValue>) {
+      return value;
+    } else {
+      if (const T* typed = std::get_if<T>(&*value)) {
+        return *typed;
+      }
+      if constexpr (std::is_same_v<T, double>) {
+        if (const int64_t* i = std::get_if<int64_t>(&*value)) {
+          return static_cast<double>(*i);  // int widens to double (v1 compat)
+        }
+      }
+      return std::nullopt;
+    }
+  }
+
+  void StageWrite(uint32_t slot, CtxValue value);
+  // Writes one slot immediately under its stripe (legacy shim, Restore).
+  void WriteSlot(uint32_t slot, CtxValue value);
+  // Applies the batch under all touched stripes, then clears it.
+  void FlushBatch(HookBatch& batch);
+  SlotCell* CellFor(uint32_t slot);                // allocates the chunk
+  const SlotCell* CellIfPresent(uint32_t slot) const;
+  std::optional<CtxValue> ReadSlot(uint32_t slot) const;
+
   const std::string name_;
-  mutable std::mutex mu_;
-  std::map<std::string, CtxValue> values_;
+  const uint64_t id_;  // process-unique, guards against stale thread batches
+  mutable std::array<std::mutex, kStripes> stripes_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
   std::atomic<bool> ready_{false};
   std::atomic<uint64_t> epoch_{0};
-  TimeNs last_update_ = 0;
+  std::atomic<TimeNs> last_update_{0};
 };
 
 // A single instrumentation point in the main program. Firing an unarmed hook

@@ -24,6 +24,43 @@ Checker* WatchdogDriver::AddChecker(std::unique_ptr<Checker> checker) {
   return borrowed;
 }
 
+Status WatchdogDriver::TryAddChecker(std::unique_ptr<Checker> checker) {
+  if (checker == nullptr) {
+    return InvalidArgumentError("TryAddChecker: null checker");
+  }
+  if (running()) {
+    return FailedPreconditionError(
+        StrFormat("cannot register checker '%s': driver already running",
+                  checker->name().c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->checker->name() == checker->name()) {
+      return AlreadyExistsError(
+          StrFormat("checker '%s' is already registered", checker->name().c_str()));
+    }
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->checker = std::move(checker);
+  slots_.push_back(std::move(slot));
+  return Status::Ok();
+}
+
+Status WatchdogDriver::SetValidationProbe(std::function<Status()> probe,
+                                          DurationNs timeout) {
+  if (running()) {
+    return FailedPreconditionError(
+        "cannot install validation probe: driver already running");
+  }
+  if (timeout <= 0) {
+    return InvalidArgumentError("validation probe timeout must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.validation_probe = std::move(probe);
+  options_.validation_timeout = timeout;
+  return Status::Ok();
+}
+
 void WatchdogDriver::AddListener(FailureListener* listener) {
   std::lock_guard<std::mutex> lock(mu_);
   listeners_.push_back(listener);

@@ -91,8 +91,17 @@ class WatchdogDriver {
   WatchdogDriver& operator=(const WatchdogDriver&) = delete;
 
   // Registration is allowed before Start() only. Returns a borrow of the
-  // checker for test convenience.
+  // checker for test convenience. Asserts on misuse; prefer TryAddChecker
+  // (or CheckerBuilder::RegisterWith) for a typed error instead.
   Checker* AddChecker(std::unique_ptr<Checker> checker);
+  // Typed-error registration: kFailedPrecondition if the driver is already
+  // running, kAlreadyExists on a duplicate checker name, kInvalidArgument
+  // on a null checker.
+  Status TryAddChecker(std::unique_ptr<Checker> checker);
+  // Installs (or replaces) the §5.1 escalation probe after construction —
+  // CheckerBuilder::EscalationProbe routes here. kFailedPrecondition once
+  // the driver is running.
+  Status SetValidationProbe(std::function<Status()> probe, DurationNs timeout);
   void AddListener(FailureListener* listener);
   // `component_prefix` matches signature.location.component by prefix.
   void AddRecoveryAction(const std::string& component_prefix, RecoveryAction* action);

@@ -375,6 +375,11 @@ TEST(CodegenTest, CheckerSourceLooksLikeFigureThree) {
   EXPECT_NE(source.find("ContextFactory"), std::string::npos);
   EXPECT_NE(source.find("checker context not ready"), std::string::npos);
   EXPECT_NE(source.find("disk.write"), std::string::npos);
+  // Captured variables are read through the typed-key API, not the
+  // deprecated string accessors or the pre-v2 positional args_getter.
+  EXPECT_NE(source.find("wdg::ContextKey<wdg::CtxValue>::Of"), std::string::npos);
+  EXPECT_EQ(source.find("args_getter"), std::string::npos);
+  EXPECT_EQ(source.find("GetString("), std::string::npos);
 }
 
 TEST(CodegenTest, ReductionTraceMarksKeepDropAndHooks) {

@@ -1,0 +1,151 @@
+// Concurrency torture for the Context API v2 hot path, designed to run under
+// TSan (-DWDG_SANITIZE=thread; tools/ci.sh runs it in the TSan leg).
+//
+// N producer threads, each firing its own hook site against ONE shared
+// context, each staging an M-key batch. The §3.1 invariant under test:
+// checkers only ever observe fully-populated state — a Snapshot() must never
+// see a torn batch (some keys from one flush, some from another), and the
+// epoch must be monotone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/strings.h"
+#include "src/watchdog/context.h"
+
+namespace wdg {
+namespace {
+
+constexpr int kProducers = 8;   // N threads...
+constexpr int kKeysPerBatch = 6;  // ...each staging M keys per hook fire
+
+TEST(ContextConcurrencyTest, SnapshotNeverObservesTornBatch) {
+  HookSet hooks;
+  CheckContext* ctx = hooks.Context("shared_ctx");
+
+  // Per-producer key groups, interned before the hot loops. Producer p is
+  // the only writer of its group, and writes the same sequence number to
+  // every key in one batch — any snapshot mixing two of p's batches is torn.
+  std::vector<std::vector<ContextKey<int64_t>>> keys(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int k = 0; k < kKeysPerBatch; ++k) {
+      keys[p].push_back(ContextKey<int64_t>::Of(StrFormat("cc.p%d.k%d", p, k)));
+    }
+    hooks.Arm(StrFormat("site%d", p), "shared_ctx");
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      HookSite* site = hooks.Site(StrFormat("site%d", p));
+      int64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        site->Fire([&](CheckContext& c) {
+          for (const auto& key : keys[p]) {
+            c.Set(key, seq);
+          }
+          c.MarkReady(seq);
+        });
+        ++seq;
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  std::atomic<int64_t> snapshots{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snapshot = ctx->SnapshotConsistent();
+        // Epoch monotonicity across consecutive reads from one thread.
+        ASSERT_GE(snapshot.epoch, last_epoch);
+        last_epoch = snapshot.epoch;
+        // Torn-batch check: within a snapshot, every key of a producer's
+        // group carries the same sequence number.
+        for (int p = 0; p < kProducers; ++p) {
+          int found = 0;
+          std::optional<int64_t> expected;
+          for (int k = 0; k < kKeysPerBatch; ++k) {
+            const auto it = snapshot.values.find(StrFormat("cc.p%d.k%d", p, k));
+            if (it == snapshot.values.end()) {
+              continue;
+            }
+            ++found;
+            ASSERT_TRUE(std::holds_alternative<int64_t>(it->second));
+            const int64_t seq = std::get<int64_t>(it->second);
+            if (!expected.has_value()) {
+              expected = seq;
+            } else {
+              ASSERT_EQ(seq, *expected) << "torn batch from producer " << p;
+            }
+          }
+          // A batch lands whole or not at all: never a strict subset.
+          ASSERT_TRUE(found == 0 || found == kKeysPerBatch)
+              << "partial batch from producer " << p << ": " << found;
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Typed point-reads race the flushes too (stripe-level read path).
+  std::thread point_reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int p = 0; p < kProducers; ++p) {
+        (void)ctx->Get(keys[p][0]);
+      }
+    }
+  });
+
+  RealClock::Instance().SleepFor(Ms(300));
+  stop = true;
+  for (auto& t : producers) {
+    t.join();
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  point_reader.join();
+
+  EXPECT_GT(snapshots.load(), 50);
+  EXPECT_TRUE(ctx->ready());
+  // Final state: every group fully populated and internally consistent.
+  const auto final_snapshot = ctx->SnapshotConsistent();
+  EXPECT_GT(final_snapshot.epoch, 0u);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int k = 1; k < kKeysPerBatch; ++k) {
+      EXPECT_EQ(std::get<int64_t>(
+                    final_snapshot.values.at(StrFormat("cc.p%d.k%d", p, k))),
+                std::get<int64_t>(
+                    final_snapshot.values.at(StrFormat("cc.p%d.k0", p))));
+    }
+  }
+}
+
+TEST(ContextConcurrencyTest, EpochCountsFlushesExactly) {
+  CheckContext ctx("c");
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  static const auto kSeq = ContextKey<int64_t>::Of("cc.epoch.seq");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        ctx.Set(kSeq, i);
+        ctx.MarkReady(i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ctx.epoch(), static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace wdg

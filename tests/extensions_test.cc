@@ -172,6 +172,27 @@ TEST(ParseDumpTest, RoundtripsAllValueTypes) {
   EXPECT_EQ(std::get<std::string>(parsed.at("name")), "snapshot-7");
 }
 
+TEST(ParseDumpTest, PreservesNumericLookingStrings) {
+  // The v1 round-trip bug: an untagged dump of a *string* "1234" parsed back
+  // as int64_t. The v2 type tag pins the variant alternative.
+  CheckContext ctx("c");
+  ctx.Set("key", std::string("1234"));
+  ctx.Set("count", int64_t{1234});
+  const auto parsed = CheckContext::ParseDump(ctx.Dump());
+  EXPECT_EQ(std::get<std::string>(parsed.at("key")), "1234");
+  EXPECT_EQ(std::get<int64_t>(parsed.at("count")), 1234);
+}
+
+TEST(ParseDumpTest, AcceptsLegacyUntaggedFormat) {
+  // Dumps written before the type tag existed still parse (by shape).
+  const auto parsed =
+      CheckContext::ParseDump("{count=42, ratio=1.5, flag=true, name=snapshot-7}");
+  EXPECT_EQ(std::get<int64_t>(parsed.at("count")), 42);
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed.at("ratio")), 1.5);
+  EXPECT_EQ(std::get<bool>(parsed.at("flag")), true);
+  EXPECT_EQ(std::get<std::string>(parsed.at("name")), "snapshot-7");
+}
+
 TEST(ParseDumpTest, ToleratesEmptyAndMalformed) {
   EXPECT_TRUE(CheckContext::ParseDump("{}").empty());
   EXPECT_TRUE(CheckContext::ParseDump("").empty());
@@ -184,8 +205,8 @@ TEST(ParseDumpTest, RestorePopulatesAndMarksReady) {
   CheckContext ctx("c");
   ctx.Restore(CheckContext::ParseDump("{file=/sst/9, entries=16}"), 123);
   EXPECT_TRUE(ctx.ready());
-  EXPECT_EQ(*ctx.GetString("file"), "/sst/9");
-  EXPECT_EQ(*ctx.GetInt("entries"), 16);
+  EXPECT_EQ(*ctx.Get<std::string>("file"), "/sst/9");
+  EXPECT_EQ(*ctx.Get<int64_t>("entries"), 16);
 }
 
 // ------------------------------------------------------------------- replay

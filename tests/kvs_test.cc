@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/checksum.h"
+#include "src/kvs/ctx_keys.h"
 #include "src/kvs/compaction.h"
 #include "src/kvs/flusher.h"
 #include "src/kvs/index.h"
@@ -361,8 +362,8 @@ TEST_F(FlusherTest, HookFiresWhenArmed) {
   ASSERT_TRUE(flusher_.FlushOnce().ok());
   wdg::CheckContext* ctx = hooks_.Context("FlushLoop_ctx");
   EXPECT_TRUE(ctx->ready());
-  EXPECT_EQ(*ctx->GetInt("entry_count"), 1);
-  EXPECT_TRUE(ctx->GetString("flush_file").has_value());
+  EXPECT_EQ(*ctx->Get(kvs::keys::EntryCount()), 1);
+  EXPECT_TRUE(ctx->Get(kvs::keys::FlushFile()).has_value());
 }
 
 TEST_F(FlusherTest, BackgroundLoopFlushesOnThreshold) {
@@ -518,8 +519,8 @@ TEST_F(ReplicationTest, HookCapturesFollowerAndBatchSize) {
   engine.Stop();
   wdg::CheckContext* ctx = hooks_.Context("ReplicationLoop_ctx");
   EXPECT_TRUE(ctx->ready());
-  EXPECT_EQ(*ctx->GetString("follower"), "f1");
-  EXPECT_EQ(*ctx->GetInt("batch_size"), 1);
+  EXPECT_EQ(*ctx->Get(kvs::keys::Follower()), "f1");
+  EXPECT_EQ(*ctx->Get(kvs::keys::BatchSize()), 1);
 }
 
 }  // namespace

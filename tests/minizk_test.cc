@@ -7,6 +7,7 @@
 
 #include "src/autowd/autowatchdog.h"
 #include "src/common/strings.h"
+#include "src/minizk/ctx_keys.h"
 #include "src/minizk/client.h"
 #include "src/minizk/ir_model.h"
 #include "src/minizk/server.h"
@@ -69,8 +70,8 @@ TEST_F(ZkDiskFixture, SnapshotSerializesAllNodesAndFiresHook) {
   // The Figure 2 hook fired between the scount bump and writeRecord.
   wdg::CheckContext* ctx = hooks.Context("snapshot_ctx");
   EXPECT_TRUE(ctx->ready());
-  EXPECT_EQ(*ctx->GetString("node"), "/b");  // last node serialized
-  EXPECT_EQ(*ctx->GetString("oa"), "/zk/snap");
+  EXPECT_EQ(*ctx->Get(minizk::keys::Node()), "/b");  // last node serialized
+  EXPECT_EQ(*ctx->Get(minizk::keys::Oa()), "/zk/snap");
 }
 
 TEST_F(ZkDiskFixture, SnapshotOverwritesPrevious) {

@@ -586,5 +586,43 @@ TEST(LintModuleTest, FullGateFlagsASeededBadModule) {
   EXPECT_TRUE(HasFinding(result.findings, "iso.unredirected-write", "Loop", 3));
 }
 
+// -------------------------------------------------- generated-API hygiene
+
+TEST(GeneratedApiTest, FlagsDeprecatedStringAccessors) {
+  std::vector<Finding> findings;
+  CheckCheckerSourceApi("snapshotLoop_reduced",
+                        "auto node = ctx.GetString(\"node\");\n"
+                        "auto size = ctx.GetInt(\"bytes\");\n",
+                        findings);
+  EXPECT_TRUE(HasFinding(findings, "api.deprecated-accessor", "snapshotLoop_reduced"))
+      << FormatFindings(findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kError), 2);
+}
+
+TEST(GeneratedApiTest, FlagsPositionalArgsGetter) {
+  std::vector<Finding> findings;
+  CheckCheckerSourceApi("c", "auto node = ctx.args_getter(0);\n", findings);
+  EXPECT_TRUE(HasFinding(findings, "api.deprecated-accessor")) << FormatFindings(findings);
+}
+
+TEST(GeneratedApiTest, TypedKeyApiIsClean) {
+  std::vector<Finding> findings;
+  CheckCheckerSourceApi(
+      "c",
+      "static const auto k_node = wdg::ContextKey<wdg::CtxValue>::Of(\"node\");\n"
+      "auto node = ctx.Get(k_node);\n",
+      findings);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(GeneratedApiTest, CurrentCodegenPassesTheRule) {
+  const Module module = HookModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  std::vector<Finding> findings;
+  CheckGeneratedApi(program, plan, findings);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
 }  // namespace
 }  // namespace awd

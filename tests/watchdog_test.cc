@@ -8,6 +8,7 @@
 
 #include "src/common/clock.h"
 #include "src/fault/fault_injector.h"
+#include "src/watchdog/builder.h"
 #include "src/watchdog/builtin_checkers.h"
 #include "src/watchdog/context.h"
 #include "src/watchdog/driver.h"
@@ -29,7 +30,58 @@ TEST(CheckContextTest, NotReadyUntilMarked) {
   EXPECT_EQ(ctx.epoch(), 1u);
 }
 
-TEST(CheckContextTest, TypedAccessors) {
+TEST(CheckContextTest, TypedKeysReadBack) {
+  static const auto kI = ContextKey<int64_t>::Of("tk.i");
+  static const auto kD = ContextKey<double>::Of("tk.d");
+  static const auto kS = ContextKey<std::string>::Of("tk.s");
+  static const auto kB = ContextKey<bool>::Of("tk.b");
+  CheckContext ctx("c");
+  ctx.Set(kI, 42);
+  ctx.Set(kD, 2.5);
+  ctx.Set(kS, "text");  // type_identity_t: converts without spelling the type
+  ctx.Set(kB, true);
+  ctx.MarkReady(1);  // typed writes batch until MarkReady
+  EXPECT_EQ(*ctx.Get(kI), 42);
+  EXPECT_DOUBLE_EQ(*ctx.Get(kD), 2.5);
+  EXPECT_EQ(*ctx.Get(kS), "text");
+  EXPECT_TRUE(*ctx.Get(kB));
+  // Typed read through the name (cold path) sees the same slots.
+  EXPECT_EQ(*ctx.Get<int64_t>("tk.i"), 42);
+  EXPECT_DOUBLE_EQ(*ctx.Get<double>("tk.i"), 42.0);  // int widens to double
+  EXPECT_FALSE(ctx.Get<int64_t>("tk.s").has_value());  // type mismatch
+  EXPECT_FALSE(ctx.Get("missing").has_value());
+}
+
+TEST(CheckContextTest, TypedWritesBatchUntilMarkReady) {
+  static const auto kFile = ContextKey<std::string>::Of("batch.file");
+  static const auto kCount = ContextKey<int64_t>::Of("batch.count");
+  CheckContext ctx("c");
+  ctx.Set(kFile, "/sst/9");
+  ctx.Set(kCount, 16);
+  // Staged in the thread-local HookBatch: nothing visible yet.
+  EXPECT_EQ(ctx.pending_batch_size(), 2u);
+  EXPECT_FALSE(ctx.Get(kFile).has_value());
+  ctx.MarkReady(55);
+  EXPECT_EQ(ctx.pending_batch_size(), 0u);
+  EXPECT_EQ(*ctx.Get(kFile), "/sst/9");
+  EXPECT_EQ(*ctx.Get(kCount), 16);
+}
+
+TEST(CheckContextTest, KeyRegistryInternsOnce) {
+  const auto a = ContextKey<int64_t>::Of("reg.same");
+  const auto b = ContextKey<int64_t>::Of("reg.same");
+  EXPECT_EQ(a.slot(), b.slot());
+  EXPECT_EQ(a.name(), "reg.same");
+  // The legacy shim interns as kAny; a concrete declaration fixes the type.
+  CheckContext ctx("c");
+  ctx.Set("reg.legacy_first", CtxValue(int64_t{1}));
+  const auto typed = ContextKey<int64_t>::Of("reg.legacy_first");
+  EXPECT_EQ(KeyRegistry::Instance().TypeOf(typed.slot()), CtxType::kInt);
+}
+
+// DEPRECATED-shim coverage: the v1 string-keyed surface must keep working
+// (immediate, un-batched writes) until every external caller migrates.
+TEST(CheckContextTest, LegacyStringAccessors) {
   CheckContext ctx("c");
   ctx.Set("i", int64_t{42});
   ctx.Set("d", 2.5);
@@ -52,6 +104,19 @@ TEST(CheckContextTest, SnapshotIsReplicatedCopy) {
   EXPECT_EQ(std::get<std::string>(snapshot.at("k")), "v1");
 }
 
+TEST(CheckContextTest, ConsistentSnapshotCarriesEpoch) {
+  static const auto kK = ContextKey<std::string>::Of("snap.k");
+  CheckContext ctx("c");
+  ctx.Set(kK, "v1");
+  ctx.MarkReady(10);
+  ctx.Set(kK, "v2");
+  ctx.MarkReady(20);
+  const auto snapshot = ctx.SnapshotConsistent();
+  EXPECT_EQ(snapshot.epoch, 2u);
+  EXPECT_EQ(snapshot.last_update, 20);
+  EXPECT_EQ(std::get<std::string>(snapshot.values.at("snap.k")), "v2");
+}
+
 TEST(CheckContextTest, InvalidateDropsReady) {
   CheckContext ctx("c");
   ctx.MarkReady(1);
@@ -59,13 +124,13 @@ TEST(CheckContextTest, InvalidateDropsReady) {
   EXPECT_FALSE(ctx.ready());
 }
 
-TEST(CheckContextTest, DumpRendersAllValues) {
+TEST(CheckContextTest, DumpRendersAllValuesWithTypeTags) {
   CheckContext ctx("c");
   ctx.Set("n", int64_t{7});
   ctx.Set("name", std::string("sst"));
   const std::string dump = ctx.Dump();
-  EXPECT_NE(dump.find("n=7"), std::string::npos);
-  EXPECT_NE(dump.find("name=sst"), std::string::npos);
+  EXPECT_NE(dump.find("n=i:7"), std::string::npos);
+  EXPECT_NE(dump.find("name=s:sst"), std::string::npos);
 }
 
 // ------------------------------------------------------------------- hooks
@@ -81,16 +146,17 @@ TEST(HookSetTest, UnarmedHookIsInert) {
 }
 
 TEST(HookSetTest, ArmedHookPopulatesContext) {
+  static const auto kFile = ContextKey<std::string>::Of("hook.file");
   HookSet hooks;
   hooks.Arm("kvs.flusher.write", "flush_ctx");
   HookSite* site = hooks.Site("kvs.flusher.write");
   site->Fire([&](CheckContext& ctx) {
-    ctx.Set("file", std::string("/sst/9"));
+    ctx.Set(kFile, "/sst/9");
     ctx.MarkReady(77);
   });
   CheckContext* ctx = hooks.Context("flush_ctx");
   EXPECT_TRUE(ctx->ready());
-  EXPECT_EQ(*ctx->GetString("file"), "/sst/9");
+  EXPECT_EQ(*ctx->Get(kFile), "/sst/9");
   EXPECT_EQ(site->fired_count(), 1);
 }
 
@@ -167,7 +233,7 @@ TEST(MimicCheckerTest, BodySeesContextValues) {
   ctx.MarkReady(1);
   MimicChecker checker("m", "kvs.flusher", &ctx,
                        [&](const CheckContext& c, MimicChecker& self) {
-                         EXPECT_EQ(*c.GetString("file"), "/sst/3");
+                         EXPECT_EQ(*c.Get<std::string>("file"), "/sst/3");
                          SourceLocation loc{"kvs.flusher", "Flush", "disk.write", 4};
                          return CheckResult::Fail(self.MakeSignature(
                              FailureType::kOperationError, loc, StatusCode::kIoError,
@@ -497,6 +563,140 @@ TEST(WatchdogDriverTest, StopIsIdempotentAndStartOnce) {
   driver.Stop();  // no-op
   EXPECT_FALSE(driver.running());
   EXPECT_EQ(driver.checker_count(), 1);
+}
+
+// ---------------------------------------------------------- CheckerBuilder
+
+TEST(CheckerBuilderTest, BuildsMimicChecker) {
+  CheckContext ctx("c");
+  auto built = CheckerBuilder("flush-mimic")
+                   .Component("kvs.flusher")
+                   .Interval(Ms(50))
+                   .Deadline(Ms(200))
+                   .WithContext(&ctx)
+                   .Mimic([](const CheckContext&, MimicChecker&) {
+                     return CheckResult::Pass();
+                   })
+                   .Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ((*built)->name(), "flush-mimic");
+  EXPECT_EQ((*built)->component(), "kvs.flusher");
+  EXPECT_EQ((*built)->type(), CheckerType::kMimic);
+  EXPECT_EQ((*built)->options().interval, Ms(50));
+  EXPECT_EQ((*built)->options().timeout, Ms(200));
+}
+
+TEST(CheckerBuilderTest, ContextFactoryResolvedAtBuild) {
+  HookSet hooks;
+  auto built = CheckerBuilder("m")
+                   .ContextFactory([&] { return hooks.Context("late_ctx"); })
+                   .Mimic([](const CheckContext&, MimicChecker&) {
+                     return CheckResult::Pass();
+                   })
+                   .Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  // Null factory result is a typed error, not a crash.
+  auto bad = CheckerBuilder("m2")
+                 .ContextFactory([]() -> CheckContext* { return nullptr; })
+                 .Mimic([](const CheckContext&, MimicChecker&) {
+                   return CheckResult::Pass();
+                 })
+                 .Build();
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckerBuilderTest, RejectsMisconfiguration) {
+  const auto mimic_body = [](const CheckContext&, MimicChecker&) {
+    return CheckResult::Pass();
+  };
+  const auto probe_body = [] { return Status::Ok(); };
+  CheckContext ctx("c");
+
+  // Empty name.
+  EXPECT_EQ(CheckerBuilder("").Probe(probe_body).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // No body.
+  EXPECT_EQ(CheckerBuilder("x").Build().status().code(), StatusCode::kInvalidArgument);
+  // Two bodies.
+  EXPECT_EQ(CheckerBuilder("x").Probe(probe_body).Mimic(mimic_body).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-positive interval / deadline / debounce.
+  EXPECT_EQ(CheckerBuilder("x").Probe(probe_body).Interval(0).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckerBuilder("x").Probe(probe_body).Deadline(-1).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckerBuilder("x").Probe(probe_body).Debounce(0).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // Probe body takes no context; mimic requires one; Debounce is probe/signal.
+  EXPECT_EQ(
+      CheckerBuilder("x").Probe(probe_body).WithContext(&ctx).Build().status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckerBuilder("x").Mimic(mimic_body).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      CheckerBuilder("x").Mimic(mimic_body).WithContext(&ctx).Debounce(2).Build().status().code(),
+      StatusCode::kInvalidArgument);
+  // WithContext and ContextFactory are mutually exclusive.
+  EXPECT_EQ(CheckerBuilder("x")
+                .Mimic(mimic_body)
+                .WithContext(&ctx)
+                .ContextFactory([&] { return &ctx; })
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckerBuilderTest, RegisterWithRejectsDuplicatesAndRunningDriver) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  const auto probe_body = [] { return Status::Ok(); };
+
+  EXPECT_TRUE(CheckerBuilder("p").Probe(probe_body).RegisterWith(driver).ok());
+  // Duplicate name is a typed error, not a second slot.
+  EXPECT_EQ(CheckerBuilder("p").Probe(probe_body).RegisterWith(driver).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(driver.checker_count(), 1);
+
+  driver.Start();
+  EXPECT_EQ(CheckerBuilder("q").Probe(probe_body).RegisterWith(driver).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(driver.SetValidationProbe(probe_body, Ms(100)).code(),
+            StatusCode::kFailedPrecondition);
+  driver.Stop();
+}
+
+TEST(CheckerBuilderTest, InstallsEscalationProbe) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  std::atomic<int> probes{0};
+  CheckContext ctx("c");
+  ctx.MarkReady(1);
+  // A failing mimic escalates to the validation probe (§5.1); the probe
+  // passing tags the alarm no-client-impact.
+  Status status = CheckerBuilder("m")
+                      .Component("kvs")
+                      .Interval(Ms(5))
+                      .Deadline(Ms(100))
+                      .WithContext(&ctx)
+                      .Mimic([](const CheckContext& c, MimicChecker& self) {
+                        SourceLocation loc{"kvs", "f", "disk.write", 1};
+                        return CheckResult::Fail(self.MakeSignature(
+                            FailureType::kOperationError, loc, StatusCode::kIoError,
+                            "boom", c.Dump()));
+                      })
+                      .EscalationProbe([&] {
+                        ++probes;
+                        return Status::Ok();
+                      })
+                      .RegisterWith(driver);
+  ASSERT_TRUE(status.ok()) << status;
+  driver.Start();
+  ASSERT_TRUE(driver.WaitForFailure(Sec(5)));
+  driver.Stop();
+  EXPECT_GT(probes.load(), 0);
+  ASSERT_TRUE(driver.FirstFailure().has_value());
+  EXPECT_FALSE(driver.FirstFailure()->impact_confirmed);
 }
 
 }  // namespace

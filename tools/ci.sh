@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: build + ctest twice — plain, then under address sanitizer — so the
-# wdg_lint static checks and the sanitizer run on every PR.
+# CI gate: build + ctest three times — plain, under address sanitizer, and a
+# thread-sanitizer leg focused on the context/hook synchronization hot path —
+# so the wdg_lint static checks and both sanitizers run on every PR.
 #
 #   tools/ci.sh [extra ctest args...]
 #
-# Build trees land in build-ci/ and build-ci-asan/ next to the source tree.
+# Build trees land in build-ci/, build-ci-asan/, and build-ci-tsan/ next to
+# the source tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,5 +31,8 @@ run_leg() {
 
 run_leg build-ci "" "$@"
 run_leg build-ci-asan address "$@"
+# TSan leg: the concurrency suites that hammer the sharded context store and
+# batched hook flush (epoch monotonicity, no torn batches under racing sites).
+run_leg build-ci-tsan thread -R 'context_concurrency|stress_test' "$@"
 
-echo "ci: both legs green"
+echo "ci: all three legs green"
