@@ -234,8 +234,8 @@ src/kvs/CMakeFiles/kvs.dir/flusher.cc.o: /root/repo/src/kvs/flusher.cc \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
  /root/repo/src/kvs/partition.h /root/repo/src/watchdog/context.h \
- /usr/include/c++/12/variant /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/variant /root/repo/src/kvs/ctx_keys.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg

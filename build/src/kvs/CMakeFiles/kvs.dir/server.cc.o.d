@@ -236,7 +236,8 @@ src/kvs/CMakeFiles/kvs.dir/server.cc.o: /root/repo/src/kvs/server.cc \
  /usr/include/c++/12/variant /root/repo/src/kvs/flusher.h \
  /root/repo/src/kvs/replication.h /root/repo/src/kvs/types.h \
  /root/repo/src/sim/sim_net.h /root/repo/src/kvs/wal.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/kvs/ctx_keys.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg

@@ -232,8 +232,8 @@ src/minihdfs/CMakeFiles/minihdfs.dir/datanode.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
  /root/repo/src/sim/sim_net.h /root/repo/src/watchdog/context.h \
- /usr/include/c++/12/variant /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/variant /root/repo/src/minihdfs/ctx_keys.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg

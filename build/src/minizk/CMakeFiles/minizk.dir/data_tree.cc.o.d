@@ -231,4 +231,5 @@ src/minizk/CMakeFiles/minizk.dir/data_tree.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/variant \
- /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg
+ /root/repo/src/minizk/ctx_keys.h /root/repo/src/common/strings.h \
+ /usr/include/c++/12/cstdarg

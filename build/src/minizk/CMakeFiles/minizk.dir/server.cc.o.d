@@ -233,7 +233,8 @@ src/minizk/CMakeFiles/minizk.dir/server.cc.o: \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/variant \
  /root/repo/src/minizk/sync_processor.h /root/repo/src/sim/sim_net.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/minizk/ctx_keys.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg /root/repo/src/minizk/zk_types.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/watchdog/builder.cc" "src/watchdog/CMakeFiles/wdg_core.dir/builder.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/builder.cc.o.d"
   "/root/repo/src/watchdog/builtin_checkers.cc" "src/watchdog/CMakeFiles/wdg_core.dir/builtin_checkers.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/builtin_checkers.cc.o.d"
   "/root/repo/src/watchdog/checker.cc" "src/watchdog/CMakeFiles/wdg_core.dir/checker.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/checker.cc.o.d"
   "/root/repo/src/watchdog/context.cc" "src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o.d"

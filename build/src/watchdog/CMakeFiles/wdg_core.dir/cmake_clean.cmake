@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/wdg_core.dir/builder.cc.o"
+  "CMakeFiles/wdg_core.dir/builder.cc.o.d"
   "CMakeFiles/wdg_core.dir/builtin_checkers.cc.o"
   "CMakeFiles/wdg_core.dir/builtin_checkers.cc.o.d"
   "CMakeFiles/wdg_core.dir/checker.cc.o"

@@ -293,24 +293,25 @@ tests/CMakeFiles/kvs_test.dir/kvs_test.cc.o: /root/repo/tests/kvs_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/checksum.h /root/repo/src/kvs/compaction.h \
- /root/repo/src/common/clock.h /usr/include/c++/12/condition_variable \
+ /root/repo/src/common/checksum.h /root/repo/src/kvs/ctx_keys.h \
+ /root/repo/src/watchdog/context.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/common/metrics.h /root/repo/src/common/threading.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
- /root/repo/src/kvs/index.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/kvs/memtable.h \
- /root/repo/src/kvs/sstable.h /root/repo/src/sim/sim_disk.h \
- /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
- /root/repo/src/kvs/partition.h /root/repo/src/watchdog/context.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/kvs/compaction.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/kvs/index.h \
+ /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/kvs/memtable.h /root/repo/src/kvs/sstable.h \
+ /root/repo/src/sim/sim_disk.h /root/repo/src/fault/fault_injector.h \
+ /root/repo/src/common/rng.h /root/repo/src/kvs/partition.h \
  /root/repo/src/kvs/flusher.h /root/repo/src/kvs/replication.h \
  /root/repo/src/kvs/types.h /root/repo/src/sim/sim_net.h \
  /root/repo/src/kvs/wal.h

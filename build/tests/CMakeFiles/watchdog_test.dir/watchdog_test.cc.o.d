@@ -303,7 +303,8 @@ tests/CMakeFiles/watchdog_test.dir/watchdog_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
- /root/repo/src/common/status.h \
+ /root/repo/src/common/status.h /root/repo/src/watchdog/builder.h \
+ /root/repo/src/common/result.h \
  /root/repo/src/watchdog/builtin_checkers.h \
  /root/repo/src/watchdog/checker.h /root/repo/src/watchdog/context.h \
  /root/repo/src/watchdog/failure.h /root/repo/src/watchdog/driver.h \
