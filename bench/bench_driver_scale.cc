@@ -1,0 +1,183 @@
+// Driver scaling: pooled executor vs. the old thread-per-check execution.
+//
+// The pre-split driver spawned a fresh thread for every checker execution —
+// at N checkers on a T-ms interval that is N*1000/T thread creations per
+// second inside the monitored process. This bench replays that strategy (as a
+// faithful local replica; the production driver no longer implements it) next
+// to the pooled scheduler/executor at {1, 8, 64, 256} checkers and reports
+// checks/sec, p99 queue delay (due -> body running), and threads created.
+// Emits BENCH_driver_scale.json to seed the perf trajectory.
+//
+//   ./bench_driver_scale [--quick]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/strings.h"
+#include "src/common/threading.h"
+#include "src/eval/table.h"
+#include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/driver.h"
+
+namespace {
+
+constexpr wdg::DurationNs kInterval = wdg::Ms(50);
+
+struct ModeResult {
+  std::string mode;
+  int checkers = 0;
+  double checks_per_sec = 0;
+  double p99_queue_delay_us = 0;
+  int64_t threads_spawned = 0;
+};
+
+// The old driver, distilled: a 2ms polling tick over every slot, one new
+// thread per due execution.
+ModeResult RunThreadPerCheck(int checkers, wdg::DurationNs duration) {
+  wdg::RealClock& clock = wdg::RealClock::Instance();
+  wdg::Histogram delay;
+  std::atomic<int64_t> completed{0};
+  std::vector<wdg::TimeNs> next_run(checkers);
+  const wdg::TimeNs start = clock.NowNs();
+  for (int i = 0; i < checkers; ++i) {
+    next_run[i] = start + wdg::Ms(i % 50);  // same stagger as the pooled run
+  }
+  std::vector<std::unique_ptr<wdg::JoiningThread>> threads;
+  int64_t spawned = 0;
+  while (clock.NowNs() - start < duration) {
+    const wdg::TimeNs now = clock.NowNs();
+    for (int i = 0; i < checkers; ++i) {
+      if (now < next_run[i]) {
+        continue;
+      }
+      next_run[i] = now + kInterval;
+      ++spawned;
+      const wdg::TimeNs due = now;
+      threads.push_back(std::make_unique<wdg::JoiningThread>(
+          [&clock, &delay, &completed, due] {
+            delay.Record(static_cast<double>(clock.NowNs() - due));
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }));
+      if (threads.size() >= 1024) {
+        threads.clear();  // join the finished backlog so memory stays bounded
+      }
+    }
+    clock.SleepFor(wdg::Ms(2));  // the old fixed tick
+  }
+  threads.clear();
+  const double elapsed_s = static_cast<double>(clock.NowNs() - start) /
+                           static_cast<double>(wdg::kNsPerSec);
+  ModeResult result;
+  result.mode = "thread-per-check";
+  result.checkers = checkers;
+  result.checks_per_sec = static_cast<double>(completed.load()) / elapsed_s;
+  result.p99_queue_delay_us = delay.Percentile(99) / 1000.0;
+  result.threads_spawned = spawned;
+  return result;
+}
+
+ModeResult RunPooled(int checkers, wdg::DurationNs duration) {
+  wdg::RealClock& clock = wdg::RealClock::Instance();
+  wdg::WatchdogDriver::Options options;
+  options.executor.workers = 4;
+  options.executor.queue_capacity = 512;
+  wdg::WatchdogDriver driver(clock, options);
+  for (int i = 0; i < checkers; ++i) {
+    wdg::CheckerOptions checker;
+    checker.interval = kInterval;
+    checker.timeout = wdg::Ms(400);
+    checker.initial_delay = wdg::Ms(i % 50);
+    driver.AddChecker(std::make_unique<wdg::ProbeChecker>(
+        wdg::StrFormat("p%03d", i), "bench", [] { return wdg::Status::Ok(); },
+        checker));
+  }
+  const wdg::TimeNs start = clock.NowNs();
+  driver.Start();
+  clock.SleepFor(duration);
+  const wdg::DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  const double elapsed_s = static_cast<double>(clock.NowNs() - start) /
+                           static_cast<double>(wdg::kNsPerSec);
+  driver.Stop();
+  ModeResult result;
+  result.mode = "pooled";
+  result.checkers = checkers;
+  result.checks_per_sec =
+      static_cast<double>(metrics.executions_completed) / elapsed_s;
+  result.p99_queue_delay_us = metrics.queue_delay_p99_ns / 1000.0;
+  result.threads_spawned = metrics.threads_spawned;
+  return result;
+}
+
+void WriteJson(const std::vector<ModeResult>& results, wdg::DurationNs duration) {
+  FILE* out = std::fopen("BENCH_driver_scale.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open BENCH_driver_scale.json for writing\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"driver_scale\",\n");
+  std::fprintf(out, "  \"interval_ms\": %lld,\n",
+               static_cast<long long>(kInterval / wdg::kNsPerMs));
+  std::fprintf(out, "  \"duration_ms\": %lld,\n",
+               static_cast<long long>(duration / wdg::kNsPerMs));
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"checkers\": %d, \"mode\": \"%s\", "
+                 "\"checks_per_sec\": %.1f, \"p99_queue_delay_us\": %.1f, "
+                 "\"threads_spawned\": %lld}%s\n",
+                 r.checkers, r.mode.c_str(), r.checks_per_sec,
+                 r.p99_queue_delay_us, static_cast<long long>(r.threads_spawned),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_driver_scale.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const wdg::DurationNs duration = quick ? wdg::Ms(300) : wdg::Sec(1);
+  const std::vector<int> fleet_sizes = {1, 8, 64, 256};
+
+  std::printf("=== driver scaling: pooled executor vs thread-per-check ===\n");
+  std::printf("interval %lld ms, %s run (%lld ms per config)\n\n",
+              static_cast<long long>(kInterval / wdg::kNsPerMs),
+              quick ? "quick" : "full",
+              static_cast<long long>(duration / wdg::kNsPerMs));
+
+  std::vector<ModeResult> results;
+  for (const int checkers : fleet_sizes) {
+    results.push_back(RunThreadPerCheck(checkers, duration));
+    results.push_back(RunPooled(checkers, duration));
+  }
+
+  wdg::TablePrinter table({{"checkers", 9},
+                           {"mode", 17},
+                           {"checks/sec", 11},
+                           {"p99 q-delay (us)", 17},
+                           {"threads spawned", 16}});
+  table.PrintHeader();
+  for (const ModeResult& r : results) {
+    table.PrintRow({wdg::StrFormat("%d", r.checkers), r.mode,
+                    wdg::StrFormat("%.0f", r.checks_per_sec),
+                    wdg::StrFormat("%.0f", r.p99_queue_delay_us),
+                    wdg::StrFormat("%lld", static_cast<long long>(r.threads_spawned))});
+  }
+  table.PrintRule();
+  std::printf("\nthe pooled executor holds thread creation flat (pool size) while "
+              "thread-per-check grows linearly with fleet size * rate\n");
+  WriteJson(results, duration);
+  return 0;
+}

@@ -83,6 +83,14 @@ int main() {
     std::printf("no detection (unexpected)\n");
   }
 
+  // 7. The watchdog watches itself: pool + queue health from DriverMetrics().
+  const wdg::DriverMetricsSnapshot wd = driver.DriverMetrics();
+  std::printf("watchdog:  %lld checks on %d pooled workers "
+              "(%lld threads spawned, queue p99 %.0f us)\n",
+              static_cast<long long>(wd.executions_completed), wd.pool_workers,
+              static_cast<long long>(wd.threads_spawned),
+              wd.queue_delay_p99_ns / 1000.0);
+
   injector.ClearAll();
   driver.Stop();
   node.Stop();

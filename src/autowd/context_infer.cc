@@ -28,18 +28,25 @@ HookPlan InferContexts(const ReducedProgram& program) {
     spec.context_name = fn.origin + "_ctx";
     spec.reduced_function = fn.name;
 
-    // Variables = union of every retained op's args, in first-use order.
+    // Variables = union of every retained op's *uninitialized* args, in
+    // first-use order. An arg an earlier reduced op defines is satisfied by
+    // the checker's own re-execution (§4.1 asks for context only where C
+    // "cannot be directly executed due to uninitialized variables"); hooking
+    // it would capture a stale intermediate (hook.stale-capture).
     std::set<std::string> seen;
+    std::set<std::string> produced;
     for (const ReducedOp& op : fn.ops) {
       for (const std::string& arg : op.args) {
-        if (seen.insert(arg).second) {
+        if (produced.count(arg) == 0 && seen.insert(arg).second) {
           spec.variables.push_back(arg);
         }
       }
+      produced.insert(op.defs.begin(), op.defs.end());
     }
+    const std::set<std::string> needed(spec.variables.begin(), spec.variables.end());
 
     // One hook per origin function, before its first contributed op, capturing
-    // the args of all ops that origin contributes.
+    // the context variables of all ops that origin contributes.
     std::map<std::string, HookPoint> per_origin;
     for (const ReducedOp& op : fn.ops) {
       auto [it, inserted] = per_origin.try_emplace(op.origin_function);
@@ -53,8 +60,9 @@ HookPlan InferContexts(const ReducedProgram& program) {
       point.before_instr_id = std::min(point.before_instr_id, op.origin_instr_id);
       point.hook_site = HookSiteName(point.function, point.before_instr_id);
       for (const std::string& arg : op.args) {
-        if (std::find(point.capture.begin(), point.capture.end(), arg) ==
-            point.capture.end()) {
+        if (needed.count(arg) > 0 &&
+            std::find(point.capture.begin(), point.capture.end(), arg) ==
+                point.capture.end()) {
           point.capture.push_back(arg);
         }
       }

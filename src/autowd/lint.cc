@@ -191,11 +191,80 @@ void CheckHookPoints(const Module& module, const HookPlan& plan,
   }
 }
 
+// A capture is *stale* when the hook fires before its origin function has
+// defined the captured value: the walk hits "<function>:<id>" with the value
+// still holding garbage (or the previous iteration's state). Straight-line
+// late definitions are errors — every firing captures an undefined value.
+// When the hook anchor and the definition share a loop region the capture is
+// loop-carried: from the second iteration on it holds last iteration's value,
+// which is exactly the §4.1 synchronization model — but the first firing is
+// still undefined, so it is worth a note.
+void CheckStaleCaptures(const Module& module, const HookPlan& plan,
+                        std::vector<Finding>& findings) {
+  for (const HookPoint& point : plan.points) {
+    const Function* fn = module.GetFunction(point.function);
+    if (fn == nullptr) {
+      continue;  // hook.bad-site already reported
+    }
+    const std::set<std::string> params(fn->params.begin(), fn->params.end());
+    std::map<std::string, int> first_def;
+    std::vector<std::pair<int, int>> loops;  // [LoopBegin id, LoopEnd id]
+    std::vector<int> loop_stack;
+    for (const Instr& instr : fn->instrs) {
+      if (instr.kind == OpKind::kLoopBegin) {
+        loop_stack.push_back(instr.id);
+      } else if (instr.kind == OpKind::kLoopEnd && !loop_stack.empty()) {
+        loops.emplace_back(loop_stack.back(), instr.id);
+        loop_stack.pop_back();
+      }
+      for (const std::string& def : instr.defs) {
+        first_def.try_emplace(def, instr.id);
+      }
+    }
+    const auto in_same_loop = [&loops](int a, int b) {
+      for (const auto& [begin, end] : loops) {
+        if (begin <= a && a <= end && begin <= b && b <= end) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const std::string& var : point.capture) {
+      if (params.count(var) > 0) {
+        continue;  // defined at entry
+      }
+      const auto def = first_def.find(var);
+      if (def == first_def.end()) {
+        continue;  // ambient state (field/global/peer value) — not this rule's call
+      }
+      if (def->second < point.before_instr_id) {
+        continue;  // defined strictly before the hook fires
+      }
+      if (in_same_loop(def->second, point.before_instr_id)) {
+        Emit(findings, Severity::kNote, "hook.stale-capture", point.function,
+             point.before_instr_id,
+             wdg::StrFormat("hook '%s' captures loop-carried '%s' (defined at "
+                            "instr %d, after the hook): the first firing sees an "
+                            "undefined value",
+                            point.hook_site.c_str(), var.c_str(), def->second));
+      } else {
+        Emit(findings, Severity::kError, "hook.stale-capture", point.function,
+             point.before_instr_id,
+             wdg::StrFormat("hook '%s' captures '%s' before '%s' defines it "
+                            "(instr %d): the capture is always stale",
+                            point.hook_site.c_str(), var.c_str(),
+                            point.function.c_str(), def->second));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void CheckHookPlan(const Module& module, const ReducedProgram& program,
                    const HookPlan& plan, std::vector<Finding>& findings) {
   CheckHookPoints(module, plan, findings);
+  CheckStaleCaptures(module, plan, findings);
 
   for (const ReducedFunction& fn : program.functions) {
     const ContextSpec* spec = plan.FindContext(fn.name);

@@ -57,7 +57,9 @@ void CheckIsolation(const ReducedProgram& program, const RedirectionPlan& redire
 
 // (4) Hook-plan soundness: hook.bad-site, hook.site-clobbered,
 // hook.unknown-context, hook.missing-context, hook.uncaptured-var,
-// hook.late-capture, hook.dead.
+// hook.late-capture, hook.stale-capture (hook fires before its origin
+// function defines the captured value — error in straight-line code, note
+// when the definition is loop-carried), hook.dead.
 void CheckHookPlan(const Module& module, const ReducedProgram& program,
                    const HookPlan& plan, std::vector<Finding>& findings);
 

@@ -48,6 +48,7 @@ void Reducer::Visit(const Function& fn, bool whole_body, int depth,
     op.origin_instr_id = instr->id;
     op.component = fn.component;
     op.args = instr->args;
+    op.defs = instr->defs;
     op.label = instr->label;
     out.push_back(std::move(op));
   }

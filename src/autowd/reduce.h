@@ -27,6 +27,7 @@ struct ReducedOp {
   int origin_instr_id = 0;
   std::string component;
   std::vector<std::string> args;  // context variables the op consumes
+  std::vector<std::string> defs;  // values the op produces when re-executed
   std::string label;
 };
 

@@ -5,11 +5,16 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/clock.h"
 
@@ -123,6 +128,32 @@ class BoundedQueue {
   bool shutdown_ = false;
 };
 
+// Auto-reset notification. WaitFor returns true when Notify was called
+// (including a Notify that raced ahead of the wait), false on timeout.
+class Event {
+ public:
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      signaled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool WaitFor(DurationNs ns) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool signaled =
+        cv_.wait_for(lock, std::chrono::nanoseconds(ns), [&] { return signaled_; });
+    signaled_ = false;
+    return signaled;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
 // std::thread wrapper that joins on destruction (and never detaches).
 class JoiningThread {
  public:
@@ -146,6 +177,181 @@ class JoiningThread {
 
  private:
   std::thread thread_;
+};
+
+// Fixed-capacity pool of long-lived workers draining a bounded task queue.
+//
+// Each submitted task gets a ticket. A caller that decides a task is wedged
+// calls AbandonIfRunning(ticket): the worker executing it is *abandoned* —
+// its thread leaves the active set, parked on a drain list until Stop, and a
+// replacement worker is spawned immediately — so pool capacity never shrinks
+// while the hung task blocks only itself. This is the execution half of the
+// watchdog's §3.2 guarantee (a hung checker is detected, never waited on),
+// but the primitive is generic.
+//
+// Stop() contract: the caller must first unblock anything that could keep an
+// abandoned task hung forever (the watchdog driver runs release_on_stop);
+// Stop then discards still-queued tasks and joins every thread ever spawned.
+class WorkerPool {
+ public:
+  struct Options {
+    int workers = 4;
+    size_t queue_capacity = 256;
+  };
+  using Task = std::function<void()>;
+
+  explicit WorkerPool(Options options)
+      : options_(options), queue_(options.queue_capacity) {}
+  ~WorkerPool() { Stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Start() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return;
+    }
+    started_ = true;
+    for (int i = 0; i < options_.workers; ++i) {
+      SpawnWorkerLocked();
+    }
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!started_ || stopping_) {
+        return;
+      }
+      stopping_ = true;
+    }
+    queue_.Shutdown();
+    while (queue_.TryPop().has_value()) {
+      // Discard tasks that never dispatched; their submitters are gone.
+    }
+    // Join active workers first, then abandoned ones (whose hung tasks the
+    // caller is expected to have unblocked before calling Stop).
+    std::vector<std::unique_ptr<Worker>> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      to_join.swap(workers_);
+    }
+    to_join.clear();  // JoiningThread dtor joins
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      to_join.swap(drained_);
+    }
+    to_join.clear();
+  }
+
+  // Non-blocking enqueue; nullopt when the queue is full (backpressure) or
+  // the pool is stopped. The ticket identifies the task for AbandonIfRunning.
+  std::optional<uint64_t> TrySubmit(Task task) {
+    uint64_t ticket;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!started_ || stopping_) {
+        return std::nullopt;
+      }
+      ticket = next_ticket_++;
+    }
+    if (!queue_.Push(Item{ticket, std::move(task)}, /*timeout=*/0)) {
+      return std::nullopt;
+    }
+    return ticket;
+  }
+
+  // If `ticket`'s task is still executing, abandon its worker (park the
+  // thread, spawn a replacement) and return true. False when the task already
+  // completed — the caller should re-check its completion state.
+  bool AbandonIfRunning(uint64_t ticket) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = running_.find(ticket);
+    if (it == running_.end()) {
+      return false;
+    }
+    Worker* worker = it->second;
+    worker->abandoned = true;
+    running_.erase(it);
+    for (auto wit = workers_.begin(); wit != workers_.end(); ++wit) {
+      if (wit->get() == worker) {
+        drained_.push_back(std::move(*wit));
+        workers_.erase(wit);
+        break;
+      }
+    }
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+    if (!stopping_) {
+      SpawnWorkerLocked();
+    }
+    return true;
+  }
+
+  int configured_workers() const { return options_.workers; }
+  size_t queue_capacity() const { return queue_.capacity(); }
+  size_t QueueDepth() const { return queue_.Size(); }
+  int BusyCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(running_.size());
+  }
+  // Threads ever created (initial workers + respawns after abandonment).
+  int64_t threads_spawned() const { return threads_spawned_.load(std::memory_order_relaxed); }
+  int64_t abandoned_count() const { return abandoned_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    JoiningThread thread;
+    bool abandoned = false;  // guarded by mu_
+  };
+  struct Item {
+    uint64_t ticket = 0;
+    Task task;
+  };
+
+  void SpawnWorkerLocked() {
+    auto worker = std::make_unique<Worker>();
+    Worker* raw = worker.get();
+    threads_spawned_.fetch_add(1, std::memory_order_relaxed);
+    worker->thread = JoiningThread([this, raw] { WorkerLoop(raw); });
+    workers_.push_back(std::move(worker));
+  }
+
+  void WorkerLoop(Worker* self) {
+    while (true) {
+      std::optional<Item> item = queue_.Pop(Ms(250));
+      if (!item.has_value()) {
+        if (queue_.shutdown()) {
+          return;
+        }
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_[item->ticket] = self;
+      }
+      item->task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_.erase(item->ticket);  // no-op if this worker was abandoned
+        if (self->abandoned) {
+          return;  // a replacement already took this worker's slot
+        }
+      }
+    }
+  }
+
+  const Options options_;
+  BoundedQueue<Item> queue_;
+  mutable std::mutex mu_;
+  bool started_ = false;
+  bool stopping_ = false;
+  uint64_t next_ticket_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;  // active
+  std::vector<std::unique_ptr<Worker>> drained_;  // abandoned, joined at Stop
+  std::map<uint64_t, Worker*> running_;           // ticket -> executing worker
+  std::atomic<int64_t> threads_spawned_{0};
+  std::atomic<int64_t> abandoned_{0};
 };
 
 }  // namespace wdg

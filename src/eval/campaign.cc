@@ -127,6 +127,11 @@ TrialResult RunTrial(const Scenario& scenario, const TrialOptions& options) {
   kvs::KvsClient validation_client(net, "val-probe", "kvs1", Ms(150));
   WatchdogDriver::Options driver_options;
   driver_options.release_on_stop = [&injector] { injector.ClearAll(); };
+  // Campaigns run dozens of checkers on a small machine: a compact pool with
+  // headroom for abandoned-worker respawns keeps the watchdog's own footprint
+  // bounded (it is part of what Fig. 1 measures).
+  driver_options.executor.workers = 4;
+  driver_options.executor.queue_capacity = 512;
   if (options.enable_validation) {
     driver_options.validation_probe = [&validation_client] {
       static std::atomic<int64_t> nonce{0};
@@ -282,6 +287,7 @@ TrialResult RunTrial(const Scenario& scenario, const TrialOptions& options) {
   result.workload_requests = workload.requests();
   result.workload_errors = workload.errors();
   result.leader_metrics = leader.metrics().Snapshot();
+  result.driver_metrics = driver.DriverMetrics().ToMap();
 
   // --- teardown ----------------------------------------------------------------
   injector.ClearAll();

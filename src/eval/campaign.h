@@ -59,6 +59,9 @@ struct TrialResult {
   int64_t suppressed_alarms = 0;
   // Leader metrics snapshot at trial end (error-handler counters etc.).
   std::map<std::string, double> leader_metrics;
+  // Watchdog self-observability at trial end (pool, queue delay, timeouts —
+  // DriverMetricsSnapshot::ToMap()). Lets benches report watchdog overhead.
+  std::map<std::string, double> driver_metrics;
 };
 
 // Runs one scenario end-to-end on a fresh simulated cluster.

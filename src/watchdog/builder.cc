@@ -19,6 +19,11 @@ CheckerBuilder& CheckerBuilder::Deadline(DurationNs deadline) {
   return *this;
 }
 
+CheckerBuilder& CheckerBuilder::InitialDelay(DurationNs delay) {
+  initial_delay_ = delay;
+  return *this;
+}
+
 CheckerBuilder& CheckerBuilder::Debounce(int consecutive_needed) {
   debounce_ = consecutive_needed;
   debounce_set_ = true;
@@ -93,6 +98,10 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
   if (deadline_ <= 0) {
     return InvalidArgumentError(StrFormat("checker '%s': deadline must be > 0", name_.c_str()));
   }
+  if (initial_delay_ < 0) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': initial delay must be >= 0", name_.c_str()));
+  }
   if (debounce_set_ && debounce_ <= 0) {
     return InvalidArgumentError(StrFormat("checker '%s': debounce must be > 0", name_.c_str()));
   }
@@ -103,7 +112,7 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
                   name_.c_str()));
   }
 
-  CheckerOptions options{interval_, deadline_};
+  CheckerOptions options{interval_, deadline_, initial_delay_};
   switch (body_) {
     case Body::kProbe: {
       if (context_ != nullptr || context_factory_) {

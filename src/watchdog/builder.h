@@ -42,6 +42,9 @@ class CheckerBuilder {
   CheckerBuilder& Interval(DurationNs interval);
   // Execution deadline; a miss becomes a LIVENESS_TIMEOUT. Must be > 0.
   CheckerBuilder& Deadline(DurationNs deadline);
+  // Delay before the first run after Start(); staggers large fleets so they
+  // don't all hit the executor queue in the same instant. Must be >= 0.
+  CheckerBuilder& InitialDelay(DurationNs delay);
   // Consecutive violations required before alarming (probe/signal only).
   CheckerBuilder& Debounce(int consecutive_needed);
 
@@ -78,6 +81,7 @@ class CheckerBuilder {
   std::string component_;
   DurationNs interval_ = Ms(100);
   DurationNs deadline_ = Ms(400);
+  DurationNs initial_delay_ = 0;
   int debounce_ = 1;
   bool debounce_set_ = false;
 

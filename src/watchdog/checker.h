@@ -43,6 +43,7 @@ struct CheckResult {
 struct CheckerOptions {
   DurationNs interval = Ms(100);  // how often the driver schedules this checker
   DurationNs timeout = Ms(400);   // execution deadline; a miss is a liveness signature
+  DurationNs initial_delay = 0;   // stagger the first run after Start()
 };
 
 class Checker {

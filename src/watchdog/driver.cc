@@ -9,8 +9,43 @@
 
 namespace wdg {
 
+namespace {
+// Retry delay after the executor queue rejected a submission (backpressure).
+constexpr DurationNs kBackpressureRetry = Ms(2);
+}  // namespace
+
+std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
+  return {
+      {"wdg.driver.pool.workers", static_cast<double>(pool_workers)},
+      {"wdg.driver.pool.busy", static_cast<double>(busy_workers)},
+      {"wdg.driver.pool.utilization", pool_utilization},
+      {"wdg.driver.queue.depth", static_cast<double>(queue_depth)},
+      {"wdg.driver.queue.capacity", static_cast<double>(queue_capacity)},
+      {"wdg.driver.executions.dispatched", static_cast<double>(executions_dispatched)},
+      {"wdg.driver.executions.completed", static_cast<double>(executions_completed)},
+      {"wdg.driver.timeouts", static_cast<double>(timeouts)},
+      {"wdg.driver.crashes", static_cast<double>(crashes)},
+      {"wdg.driver.workers.abandoned", static_cast<double>(workers_abandoned)},
+      {"wdg.driver.threads.spawned", static_cast<double>(threads_spawned)},
+      {"wdg.driver.queue.rejections", static_cast<double>(queue_rejections)},
+      {"wdg.driver.queue_delay.mean_ns", queue_delay_mean_ns},
+      {"wdg.driver.queue_delay.p99_ns", queue_delay_p99_ns},
+      {"wdg.driver.scheduler_lag_ns", scheduler_lag_ns},
+  };
+}
+
 WatchdogDriver::WatchdogDriver(Clock& clock, Options options)
-    : clock_(clock), options_(std::move(options)) {}
+    : clock_(clock), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  scheduler_lag_gauge_ = metrics_->GetGauge("wdg.driver.scheduler_lag_ns");
+  pool_utilization_gauge_ = metrics_->GetGauge("wdg.driver.pool.utilization");
+  executor_ = std::make_unique<CheckerExecutor>(clock_, *metrics_, options_.executor);
+}
 
 WatchdogDriver::~WatchdogDriver() { Stop(); }
 
@@ -79,10 +114,16 @@ void WatchdogDriver::Start() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const TimeNs now = clock_.NowNs();
-    for (auto& slot : slots_) {
-      slot->next_run = now;  // first pass immediately
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = *slots_[i];
+      slot.latency_hist = metrics_->GetHistogram(
+          "wdg.driver.checker." + slot.checker->name() + ".latency_ns");
+      // First pass immediately unless the checker asked for a staggered start.
+      ScheduleLocked(slot, i, now + slot.checker->options().initial_delay);
     }
   }
+  executor_->SetWakeScheduler([this] { wake_.Notify(); });
+  executor_->Start();
   scheduler_ = JoiningThread([this] { SchedulerLoop(); });
 }
 
@@ -91,170 +132,284 @@ void WatchdogDriver::Stop() {
     return;
   }
   stop_.Request();
+  wake_.Notify();
   scheduler_.Join();
   if (options_.release_on_stop) {
     options_.release_on_stop();
   }
-  // Join everything: in-deadline executions, abandoned drains, probe threads.
-  // release_on_stop is expected to have unblocked any injected hangs.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& slot : slots_) {
-    if (slot->running) {
-      slot->running->thread.Join();
-    }
-    for (auto& exec : slot->drain) {
-      exec->thread.Join();
-    }
+  // Joins every pool worker, including abandoned ones (release_on_stop is
+  // expected to have unblocked any injected hangs) and discards queued work.
+  executor_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PendingFailure> dropped;
+    FinalReapLocked(clock_.NowNs(), dropped);
   }
-  for (auto& exec : probe_drain_) {
-    exec->thread.Join();
+  // Join validation-probe threads.
+  std::vector<std::unique_ptr<ProbeRun>> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes.swap(probe_drain_);
   }
+  probes.clear();  // JoiningThread dtor joins
 }
 
-void WatchdogDriver::SchedulerLoop() {
-  while (!stop_.Requested()) {
-    const TimeNs now = clock_.NowNs();
-    std::vector<PendingFailure> pending;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto& slot : slots_) {
-        ReapSlot(*slot, now, pending);
-        // Suspended while an abandoned execution is still stuck: rescheduling
-        // would pile unbounded threads onto the same hung operation.
-        const bool suspended = !slot->drain.empty();
-        if (slot->enabled && !slot->running && !suspended && now >= slot->next_run) {
-          LaunchExecution(*slot, now);
-        }
-      }
-      // Garbage-collect finished probe validations.
-      std::erase_if(probe_drain_, [](const std::unique_ptr<Execution>& exec) {
-        std::lock_guard<std::mutex> exec_lock(exec->mu);
-        return exec->done;
-      });
-    }
-    for (PendingFailure& failure : pending) {
-      HandleFailure(std::move(failure.signature), failure.checker_type, now);
-    }
-    stop_.WaitFor(options_.tick);
-  }
+void WatchdogDriver::ScheduleLocked(Slot& slot, size_t slot_index, TimeNs when) {
+  slot.next_run = when;
+  heap_.push(HeapEntry{when, slot_index, ++slot.heap_gen});
 }
 
-void WatchdogDriver::LaunchExecution(Slot& slot, TimeNs now) {
+void WatchdogDriver::LaunchLocked(Slot& slot, size_t slot_index, TimeNs now) {
   auto exec = std::make_unique<Execution>();
-  exec->start = now;
-  Execution* raw = exec.get();
-  Checker* checker = slot.checker.get();
+  exec->checker = slot.checker.get();
+  if (!executor_->Submit(exec.get())) {
+    // Queue full: backpressure. The check is late, never a new thread.
+    ScheduleLocked(slot, slot_index, now + kBackpressureRetry);
+    return;
+  }
   ++slot.stats.runs;
-  exec->thread = JoiningThread([this, raw, checker] {
-    CheckResult result;
-    bool crashed = false;
-    std::string what;
-    try {
-      result = checker->Check();
-    } catch (const std::exception& e) {
-      crashed = true;
-      what = e.what();
-    } catch (...) {
-      crashed = true;
-      what = "non-standard exception";
-    }
-    std::lock_guard<std::mutex> exec_lock(raw->mu);
-    raw->result = std::move(result);
-    raw->crashed = crashed;
-    raw->crash_what = std::move(what);
-    raw->done = true;
-    (void)this;
-  });
   slot.running = std::move(exec);
+  inflight_.push_back(slot_index);
 }
 
-void WatchdogDriver::ReapSlot(Slot& slot, TimeNs now, std::vector<PendingFailure>& pending) {
+void WatchdogDriver::EmitLivenessSignature(Slot& slot,
+                                           std::vector<PendingFailure>& pending) {
+  Checker& checker = *slot.checker;
+  FailureSignature sig;
+  sig.type = FailureType::kLivenessTimeout;
+  sig.checker_name = checker.name();
+  sig.location = checker.CurrentOp();  // the op the checker is blocked in
+  if (sig.location.component.empty()) {
+    sig.location.component = checker.component();
+  }
+  sig.code = StatusCode::kTimeout;
+  sig.message = StrFormat("checker exceeded %lld ms deadline",
+                          static_cast<long long>(checker.options().timeout / kNsPerMs));
+  pending.push_back(PendingFailure{std::move(sig), checker.type()});
+}
+
+void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
+                                std::vector<PendingFailure>& pending) {
   // Drain abandoned executions that have finally finished (their results are
   // stale and discarded; the liveness signature was already emitted).
+  const bool was_suspended = !slot.drain.empty();
   std::erase_if(slot.drain, [](const std::unique_ptr<Execution>& exec) {
     std::lock_guard<std::mutex> exec_lock(exec->mu);
     return exec->done;
   });
 
   if (!slot.running) {
+    if (was_suspended && slot.drain.empty() && slot.enabled) {
+      // The stuck execution drained: resume the suspended checker.
+      ScheduleLocked(slot, slot_index, std::max(slot.next_run, now));
+    }
     return;
   }
+
   Execution& exec = *slot.running;
+  Checker& checker = *slot.checker;
   bool done;
   {
     std::lock_guard<std::mutex> exec_lock(exec.mu);
     done = exec.done;
   }
-  Checker& checker = *slot.checker;
 
-  if (done) {
+  if (!done) {
+    // Still running: enforce the deadline, counted from dispatch (queue wait
+    // is backpressure, not a hang — it has its own histogram).
+    const TimeNs dispatched = exec.dispatch_time.load(std::memory_order_acquire);
+    if (dispatched == 0 || now - dispatched < checker.options().timeout) {
+      return;
+    }
+    if (executor_->Abandon(&exec)) {
+      // Isolation (§3.2): the worker stays parked on the hung op, the pool
+      // already spawned its replacement, and the hang *is* the detection.
+      ++slot.stats.timeouts;
+      timeouts_total_.fetch_add(1, std::memory_order_relaxed);
+      EmitLivenessSignature(slot, pending);
+      slot.drain.push_back(std::move(slot.running));
+      slot.next_run = now + checker.options().interval;  // resumes after drain
+      return;
+    }
+    // Abandon lost the race with completion: fall through and reap the
+    // (barely late) result normally.
+    {
+      std::lock_guard<std::mutex> exec_lock(exec.mu);
+      done = exec.done;
+    }
+    if (!done) {
+      return;  // completion is mid-publish; the wake event will bring us back
+    }
+  }
+
+  CheckResult result;
+  bool crashed;
+  std::string what;
+  TimeNs complete_time;
+  {
+    std::lock_guard<std::mutex> exec_lock(exec.mu);
+    result = std::move(exec.result);
+    crashed = exec.crashed;
+    what = std::move(exec.crash_what);
+    complete_time = exec.complete_time;
+  }
+  const TimeNs dispatched = exec.dispatch_time.load(std::memory_order_acquire);
+  const DurationNs latency = complete_time - dispatched;
+  slot.stats.total_latency += latency;
+  slot.stats.total_queue_delay += dispatched - exec.enqueue_time;
+  if (slot.latency_hist != nullptr) {
+    slot.latency_hist->Record(static_cast<double>(latency));
+  }
+  slot.running.reset();
+  ScheduleLocked(slot, slot_index, now + checker.options().interval);
+
+  if (crashed) {
+    // Isolation (§3.2): the checker blew up, the watchdog did not. A crash
+    // while exercising mimicked logic is itself a strong failure signal.
+    ++slot.stats.crashes;
+    crashes_total_.fetch_add(1, std::memory_order_relaxed);
+    FailureSignature sig;
+    sig.type = FailureType::kCheckerCrash;
+    sig.checker_name = checker.name();
+    sig.location = checker.CurrentOp();
+    if (sig.location.component.empty()) {
+      sig.location.component = checker.component();
+    }
+    sig.code = StatusCode::kInternal;
+    sig.message = StrFormat("checker crashed: %s", what.c_str());
+    pending.push_back(PendingFailure{std::move(sig), checker.type()});
+    return;
+  }
+  switch (result.outcome) {
+    case CheckOutcome::kPass:
+      ++slot.stats.passes;
+      break;
+    case CheckOutcome::kContextNotReady:
+      ++slot.stats.context_not_ready;
+      break;
+    case CheckOutcome::kSkipped:
+      break;
+    case CheckOutcome::kFail:
+      ++slot.stats.fails;
+      pending.push_back(PendingFailure{std::move(result.signature), checker.type()});
+      break;
+  }
+}
+
+void WatchdogDriver::FinalReapLocked(TimeNs now, std::vector<PendingFailure>& pending) {
+  // Every pool worker has been joined: dispatched executions are complete,
+  // queued ones were discarded. Fold completed results into the stats so a
+  // healthy checker ends with runs == passes; signatures surfacing this late
+  // are dropped (the driver is stopping — nobody is listening for them).
+  (void)pending;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    slot.drain.clear();  // stale by definition; already signatured
+    if (!slot.running) {
+      continue;
+    }
+    Execution& exec = *slot.running;
+    bool done;
+    {
+      std::lock_guard<std::mutex> exec_lock(exec.mu);
+      done = exec.done;
+    }
+    if (!done) {
+      // Never dispatched (discarded from the queue at Stop): un-count the run.
+      --slot.stats.runs;
+      slot.running.reset();
+      continue;
+    }
     CheckResult result;
     bool crashed;
-    std::string what;
+    TimeNs complete_time;
     {
       std::lock_guard<std::mutex> exec_lock(exec.mu);
       result = std::move(exec.result);
       crashed = exec.crashed;
-      what = std::move(exec.crash_what);
+      complete_time = exec.complete_time;
     }
-    slot.stats.total_latency += now - exec.start;
-    slot.running->thread.Join();
-    slot.running.reset();
-    slot.next_run = now + checker.options().interval;
-
+    const TimeNs dispatched = exec.dispatch_time.load(std::memory_order_acquire);
+    slot.stats.total_latency += complete_time - dispatched;
+    slot.stats.total_queue_delay += dispatched - exec.enqueue_time;
     if (crashed) {
-      // Isolation (§3.2): the checker blew up, the watchdog did not. A crash
-      // while exercising mimicked logic is itself a strong failure signal.
       ++slot.stats.crashes;
-      FailureSignature sig;
-      sig.type = FailureType::kCheckerCrash;
-      sig.checker_name = checker.name();
-      sig.location = checker.CurrentOp();
-      if (sig.location.component.empty()) {
-        sig.location.component = checker.component();
-      }
-      sig.code = StatusCode::kInternal;
-      sig.message = StrFormat("checker crashed: %s", what.c_str());
-      pending.push_back(PendingFailure{std::move(sig), checker.type()});
-      return;
+    } else if (result.outcome == CheckOutcome::kPass) {
+      ++slot.stats.passes;
+    } else if (result.outcome == CheckOutcome::kContextNotReady) {
+      ++slot.stats.context_not_ready;
+    } else if (result.outcome == CheckOutcome::kFail) {
+      ++slot.stats.fails;
     }
-    switch (result.outcome) {
-      case CheckOutcome::kPass:
-        ++slot.stats.passes;
-        break;
-      case CheckOutcome::kContextNotReady:
-        ++slot.stats.context_not_ready;
-        break;
-      case CheckOutcome::kSkipped:
-        break;
-      case CheckOutcome::kFail:
-        ++slot.stats.fails;
-        pending.push_back(PendingFailure{std::move(result.signature), checker.type()});
-        break;
-    }
-    return;
+    slot.running.reset();
   }
+  inflight_.clear();
+  (void)now;
+}
 
-  // Still running: enforce the deadline.
-  if (now - exec.start >= checker.options().timeout) {
-    ++slot.stats.timeouts;
+void WatchdogDriver::SchedulerLoop() {
+  while (!stop_.Requested()) {
+    const TimeNs now = clock_.NowNs();
+    if (planned_wake_ != 0 && now > planned_wake_) {
+      scheduler_lag_gauge_->Set(static_cast<double>(now - planned_wake_));
+    }
+    std::vector<PendingFailure> pending;
+    TimeNs next_deadline = now + options_.max_sleep;
     {
-      std::lock_guard<std::mutex> exec_lock(exec.mu);
-      exec.abandoned = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      // (1) Reap in-flight executions: completions, hang deadlines, drains.
+      for (size_t i = 0; i < inflight_.size();) {
+        const size_t slot_index = inflight_[i];
+        Slot& slot = *slots_[slot_index];
+        ReapLocked(slot, slot_index, now, pending);
+        if (!slot.running && slot.drain.empty()) {
+          inflight_[i] = inflight_.back();
+          inflight_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      // (2) Launch everything due, straight off the deadline heap.
+      while (!heap_.empty() && heap_.top().when <= now) {
+        const HeapEntry entry = heap_.top();
+        heap_.pop();
+        Slot& slot = *slots_[entry.slot_index];
+        if (entry.gen != slot.heap_gen) {
+          continue;  // superseded by a newer schedule for this slot
+        }
+        if (!slot.enabled || slot.running || !slot.drain.empty()) {
+          continue;  // disabled slots reschedule on re-enable; suspended on drain
+        }
+        LaunchLocked(slot, entry.slot_index, now);
+      }
+      // (3) Sleep until the earliest of: next launch, next hang deadline.
+      if (!heap_.empty()) {
+        next_deadline = std::min(next_deadline, heap_.top().when);
+      }
+      for (const size_t slot_index : inflight_) {
+        Slot& slot = *slots_[slot_index];
+        if (slot.running) {
+          const TimeNs dispatched =
+              slot.running->dispatch_time.load(std::memory_order_acquire);
+          if (dispatched != 0) {
+            next_deadline = std::min(
+                next_deadline, dispatched + slot.checker->options().timeout);
+          }
+        }
+      }
+      const int workers = executor_->worker_count();
+      pool_utilization_gauge_->Set(
+          workers == 0 ? 0.0
+                       : static_cast<double>(executor_->busy_count()) / workers);
     }
-    FailureSignature sig;
-    sig.type = FailureType::kLivenessTimeout;
-    sig.checker_name = checker.name();
-    sig.location = checker.CurrentOp();  // the op the checker is blocked in
-    if (sig.location.component.empty()) {
-      sig.location.component = checker.component();
+    for (PendingFailure& failure : pending) {
+      HandleFailure(std::move(failure.signature), failure.checker_type, now);
     }
-    sig.code = StatusCode::kTimeout;
-    sig.message = StrFormat("checker exceeded %lld ms deadline",
-                            static_cast<long long>(checker.options().timeout / kNsPerMs));
-    slot.drain.push_back(std::move(slot.running));
-    slot.next_run = now + checker.options().interval;
-    pending.push_back(PendingFailure{std::move(sig), checker.type()});
+    const TimeNs before_sleep = clock_.NowNs();
+    planned_wake_ = next_deadline;
+    if (next_deadline > before_sleep) {
+      wake_.WaitFor(next_deadline - before_sleep);
+    }
   }
 }
 
@@ -262,18 +417,18 @@ bool WatchdogDriver::RunValidationProbe() {
   // Returns true iff client impact is confirmed. A probe that itself hangs or
   // errors confirms impact; a clean probe means the main program absorbed the
   // fault (§5.1 "superfluous detection").
-  auto exec = std::make_unique<Execution>();
-  Execution* raw = exec.get();
+  auto run = std::make_unique<ProbeRun>();
+  ProbeRun* raw = run.get();
   auto probe = options_.validation_probe;
-  exec->thread = JoiningThread([raw, probe] {
+  run->thread = JoiningThread([raw, probe] {
     Status status = Status::Ok();
     try {
       status = probe();
     } catch (...) {
       status = InternalError("validation probe crashed");
     }
-    std::lock_guard<std::mutex> exec_lock(raw->mu);
-    raw->crashed = !status.ok();
+    std::lock_guard<std::mutex> probe_lock(raw->mu);
+    raw->failed = !status.ok();
     raw->done = true;
   });
   const TimeNs deadline = clock_.NowNs() + options_.validation_timeout;
@@ -281,10 +436,10 @@ bool WatchdogDriver::RunValidationProbe() {
   bool failed = false;
   while (clock_.NowNs() < deadline) {
     {
-      std::lock_guard<std::mutex> exec_lock(raw->mu);
+      std::lock_guard<std::mutex> probe_lock(raw->mu);
       if (raw->done) {
         done = true;
-        failed = raw->crashed;
+        failed = raw->failed;
         break;
       }
     }
@@ -292,7 +447,12 @@ bool WatchdogDriver::RunValidationProbe() {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    probe_drain_.push_back(std::move(exec));
+    // Garbage-collect finished probe validations (joins are instant: done).
+    std::erase_if(probe_drain_, [](const std::unique_ptr<ProbeRun>& p) {
+      std::lock_guard<std::mutex> probe_lock(p->mu);
+      return p->done;
+    });
+    probe_drain_.push_back(std::move(run));
   }
   if (!done) {
     return true;  // probe hung → impact confirmed
@@ -314,6 +474,11 @@ void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeN
       return;
     }
     dedup_last_[key] = now;
+    // Prune entries outside the window so long campaigns with churning
+    // signatures don't grow this map without bound.
+    std::erase_if(dedup_last_, [&](const auto& entry) {
+      return now - entry.second >= options_.dedup_window;
+    });
   }
 
   // §5.1 escalation: mimic alarms get impact-checked via an end-to-end probe.
@@ -379,16 +544,35 @@ bool WatchdogDriver::WaitForFailure(DurationNs timeout,
   return false;
 }
 
-void WatchdogDriver::SetCheckerEnabled(const std::string& checker_name, bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& slot : slots_) {
-    if (slot->checker->name() == checker_name) {
-      slot->enabled = enabled;
-      if (enabled) {
-        slot->next_run = clock_.NowNs();
+Status WatchdogDriver::TrySetCheckerEnabled(const std::string& checker_name,
+                                            bool enabled) {
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = *slots_[i];
+      if (slot.checker->name() != checker_name) {
+        continue;
       }
+      found = true;
+      slot.enabled = enabled;
+      if (enabled && running() && !slot.running && slot.drain.empty()) {
+        // Resume immediately (suspended slots resume when their drain clears).
+        ScheduleLocked(slot, i, clock_.NowNs());
+      }
+      break;
     }
   }
+  if (!found) {
+    return NotFoundError(
+        StrFormat("no checker named '%s' is registered", checker_name.c_str()));
+  }
+  wake_.Notify();
+  return Status::Ok();
+}
+
+void WatchdogDriver::SetCheckerEnabled(const std::string& checker_name, bool enabled) {
+  (void)TrySetCheckerEnabled(checker_name, enabled);
 }
 
 bool WatchdogDriver::IsCheckerEnabled(const std::string& checker_name) const {
@@ -424,6 +608,30 @@ std::vector<std::string> WatchdogDriver::CheckerNames() const {
     names.push_back(slot->checker->name());
   }
   return names;
+}
+
+DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
+  DriverMetricsSnapshot snapshot;
+  snapshot.pool_workers = executor_->worker_count();
+  snapshot.busy_workers = executor_->busy_count();
+  snapshot.queue_depth = executor_->queue_depth();
+  snapshot.queue_capacity = executor_->queue_capacity();
+  snapshot.pool_utilization =
+      snapshot.pool_workers == 0
+          ? 0.0
+          : static_cast<double>(snapshot.busy_workers) / snapshot.pool_workers;
+  snapshot.executions_dispatched = executor_->dispatched_count();
+  snapshot.executions_completed = executor_->completed_count();
+  snapshot.timeouts = timeouts_total_.load(std::memory_order_relaxed);
+  snapshot.crashes = crashes_total_.load(std::memory_order_relaxed);
+  snapshot.workers_abandoned = executor_->workers_abandoned();
+  snapshot.threads_spawned = executor_->threads_spawned();
+  snapshot.queue_rejections = executor_->rejected_count();
+  Histogram* queue_delay = metrics_->GetHistogram("wdg.driver.queue_delay_ns");
+  snapshot.queue_delay_mean_ns = queue_delay->Mean();
+  snapshot.queue_delay_p99_ns = queue_delay->Percentile(99);
+  snapshot.scheduler_lag_ns = scheduler_lag_gauge_->Value();
+  return snapshot;
 }
 
 }  // namespace wdg

@@ -1,17 +1,31 @@
 // WatchdogDriver: manages checker scheduling and execution (paper §3.1).
 //
-// The driver runs checkers concurrently with the main program on its own
-// executor threads. It is the isolation boundary of §3.2:
+// The driver is split into two layers (docs/DRIVER.md):
+//
+//   scheduler — one thread that keeps every checker in a next-run min-heap
+//     and sleeps until the earliest deadline (a launch becoming due, or an
+//     in-flight execution reaching its hang deadline) instead of rescanning
+//     all slots on a fixed tick. Dispatches and completions wake it early.
+//   executor  — a fixed pool of long-lived workers (src/watchdog/executor.h)
+//     fed by a bounded queue; a full queue is backpressure, not thread growth.
+//
+// It is the isolation boundary of §3.2:
 //   - a checker that *throws* becomes a CHECKER_CRASH signature, never an
 //     exception in the main program;
 //   - a checker that *hangs* past its deadline becomes a LIVENESS_TIMEOUT
 //     signature pinpointing the op it was executing (fate sharing turns the
-//     hang itself into the detection), and the checker is suspended until the
-//     stuck execution drains — the driver itself never blocks;
+//     hang itself into the detection); its worker is abandoned — parked off
+//     the pool and replaced so capacity never shrinks — and the checker is
+//     suspended until the stuck execution drains. The driver never blocks;
 //   - repeated identical signatures are deduplicated within a window so a
 //     persistent fault doesn't "bark" once per interval;
 //   - optionally (§5.1), a mimic-detected fault is escalated to a probe
 //     checker to confirm client-visible impact before alarming.
+//
+// The driver also watches itself: per-checker latency histograms, the
+// enqueue→dispatch queue-delay histogram, scheduler lag, and pool utilization
+// are exported through a MetricsRegistry and summarized by DriverMetrics(),
+// so a signal checker can monitor the watchdog's own health.
 #pragma once
 
 #include <atomic>
@@ -20,12 +34,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/threading.h"
 #include "src/watchdog/checker.h"
+#include "src/watchdog/executor.h"
 #include "src/watchdog/failure.h"
 
 namespace wdg {
@@ -62,13 +79,47 @@ struct CheckerStats {
   int64_t context_not_ready = 0;
   int64_t timeouts = 0;
   int64_t crashes = 0;
-  DurationNs total_latency = 0;
+  DurationNs total_latency = 0;      // dispatch → completion
+  DurationNs total_queue_delay = 0;  // enqueue → dispatch
+};
+
+// Snapshot of the driver's self-observability metrics. Signal checkers can
+// sample these to watch the watchdog itself (e.g. alarm on queue delay).
+struct DriverMetricsSnapshot {
+  int pool_workers = 0;
+  int busy_workers = 0;
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  double pool_utilization = 0;  // busy / workers, in [0, 1]
+
+  int64_t executions_dispatched = 0;
+  int64_t executions_completed = 0;
+  int64_t timeouts = 0;            // liveness deadline misses
+  int64_t crashes = 0;             // checker exceptions caught
+  int64_t workers_abandoned = 0;   // hung workers parked off the pool
+  int64_t threads_spawned = 0;     // pool threads ever created (incl. respawns)
+  int64_t queue_rejections = 0;    // backpressure: submit hit a full queue
+
+  double queue_delay_mean_ns = 0;
+  double queue_delay_p99_ns = 0;
+  double scheduler_lag_ns = 0;  // last observed oversleep past a planned wake
+
+  // Flattened view for dashboards / table code that wants name→value.
+  std::map<std::string, double> ToMap() const;
 };
 
 // Driver configuration.
 struct WatchdogDriverOptions {
-  DurationNs tick = Ms(2);
+  // Upper bound on one scheduler sleep. The scheduler normally wakes exactly
+  // at the next deadline (or earlier, on dispatch/completion events); this
+  // only caps how long a lost wake could go unnoticed.
+  DurationNs max_sleep = Ms(250);
   DurationNs dedup_window = Sec(2);
+  // Executor pool sizing: worker count and submission-queue capacity.
+  CheckerExecutorOptions executor;
+  // Metrics registry to export driver observability into; the driver owns a
+  // private registry when null.
+  MetricsRegistry* metrics = nullptr;
   // §5.1 escalation: when a *mimic* checker fails, run this end-to-end
   // probe; if it succeeds the alarm is tagged no-client-impact (and, with
   // suppress_unconfirmed, withheld from listeners).
@@ -119,7 +170,10 @@ class WatchdogDriver {
                       std::function<bool(const FailureSignature&)> pred = nullptr) const;
 
   // Temporarily stops scheduling a checker (e.g. while a recovery action
-  // repairs its component) and resumes it later. Unknown names are ignored.
+  // repairs its component) and resumes it later. kNotFound for an unknown
+  // checker name.
+  Status TrySetCheckerEnabled(const std::string& checker_name, bool enabled);
+  // Legacy shim: ignores unknown names. Prefer TrySetCheckerEnabled.
   void SetCheckerEnabled(const std::string& checker_name, bool enabled);
   bool IsCheckerEnabled(const std::string& checker_name) const;
 
@@ -129,25 +183,30 @@ class WatchdogDriver {
   int64_t suppressed_count() const { return suppressed_.load(); }
   std::vector<std::string> CheckerNames() const;
 
- private:
-  struct Execution {
-    std::mutex mu;
-    bool done = false;
-    bool abandoned = false;
-    CheckResult result;
-    bool crashed = false;
-    std::string crash_what;
-    TimeNs start = 0;
-    JoiningThread thread;
-  };
+  // --- driver observability --------------------------------------------
+  DriverMetricsSnapshot DriverMetrics() const;
+  // The registry the driver exports into (per-checker latency histograms,
+  // queue-delay histogram, scheduler-lag gauge, pool gauges). Signal
+  // checkers can sample it like any monitored component's registry.
+  MetricsRegistry& metrics() { return *metrics_; }
 
+ private:
   struct Slot {
     std::unique_ptr<Checker> checker;
     bool enabled = true;
     TimeNs next_run = 0;
+    uint64_t heap_gen = 0;  // matches the newest live heap entry for the slot
     std::unique_ptr<Execution> running;             // in-deadline execution
     std::vector<std::unique_ptr<Execution>> drain;  // abandoned, still executing
     CheckerStats stats;
+    Histogram* latency_hist = nullptr;  // wdg.driver.checker.<name>.latency_ns
+  };
+
+  struct HeapEntry {
+    TimeNs when = 0;
+    size_t slot_index = 0;
+    uint64_t gen = 0;
+    bool operator>(const HeapEntry& other) const { return when > other.when; }
   };
 
   struct PendingFailure {
@@ -156,33 +215,62 @@ class WatchdogDriver {
   };
 
   void SchedulerLoop();
-  void LaunchExecution(Slot& slot, TimeNs now);
-  // Consumes a finished/overdue execution; updates stats; appends failures to
-  // `pending` for processing outside the driver lock.
-  void ReapSlot(Slot& slot, TimeNs now, std::vector<PendingFailure>& pending);
+  // Pushes a heap entry for `slot` at `when` (mu_ held).
+  void ScheduleLocked(Slot& slot, size_t slot_index, TimeNs when);
+  // Submits the slot's next execution to the pool (mu_ held). On
+  // backpressure the launch is retried at now + backoff.
+  void LaunchLocked(Slot& slot, size_t slot_index, TimeNs now);
+  // Consumes completions / deadline misses for one in-flight slot (mu_
+  // held); appends failures for processing outside the lock.
+  void ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
+                  std::vector<PendingFailure>& pending);
+  // Collects results that finished right before Stop, without declaring new
+  // timeouts (mu_ held).
+  void FinalReapLocked(TimeNs now, std::vector<PendingFailure>& pending);
   // Dedup → validate → record → notify. Takes mu_ only for short sections, so
   // listeners may call back into driver accessors safely.
   void HandleFailure(FailureSignature sig, CheckerType type, TimeNs now);
   // Bounded run of the validation probe; hang counts as confirmed impact.
   // Called WITHOUT mu_ held.
   bool RunValidationProbe();
+  void EmitLivenessSignature(Slot& slot, std::vector<PendingFailure>& pending);
 
   Clock& clock_;
   Options options_;
   std::atomic<bool> running_{false};
   StopFlag stop_;
+  Event wake_;  // dispatches, completions, and state changes wake the scheduler
   JoiningThread scheduler_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Gauge* scheduler_lag_gauge_ = nullptr;
+  Gauge* pool_utilization_gauge_ = nullptr;
+  std::unique_ptr<CheckerExecutor> executor_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  std::vector<size_t> inflight_;  // slot indices with running executions/drains
   std::vector<FailureListener*> listeners_;
   std::vector<std::pair<std::string, RecoveryAction*>> recovery_actions_;
   std::vector<FailureSignature> failures_;
   std::map<std::string, TimeNs> dedup_last_;
-  std::vector<std::unique_ptr<Execution>> probe_drain_;
 
+  // Probe validation bookkeeping (threads are rare and short-lived).
+  struct ProbeRun {
+    std::mutex mu;
+    bool done = false;
+    bool failed = false;
+    JoiningThread thread;
+  };
+  std::vector<std::unique_ptr<ProbeRun>> probe_drain_;
+
+  TimeNs planned_wake_ = 0;  // 0 = no deadline was armed for the last sleep
   std::atomic<int64_t> deduped_{0};
   std::atomic<int64_t> suppressed_{0};
+  std::atomic<int64_t> timeouts_total_{0};
+  std::atomic<int64_t> crashes_total_{0};
 };
 
 }  // namespace wdg

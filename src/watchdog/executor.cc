@@ -1,0 +1,74 @@
+#include "src/watchdog/executor.h"
+
+#include <exception>
+#include <utility>
+
+namespace wdg {
+
+CheckerExecutor::CheckerExecutor(Clock& clock, MetricsRegistry& metrics, Options options)
+    : clock_(clock),
+      pool_(WorkerPool::Options{options.workers, options.queue_capacity}),
+      queue_delay_hist_(metrics.GetHistogram("wdg.driver.queue_delay_ns")) {}
+
+CheckerExecutor::~CheckerExecutor() { Stop(); }
+
+void CheckerExecutor::Start() { pool_.Start(); }
+
+void CheckerExecutor::Stop() { pool_.Stop(); }
+
+void CheckerExecutor::SetWakeScheduler(std::function<void()> wake) {
+  wake_scheduler_ = std::move(wake);
+}
+
+bool CheckerExecutor::Submit(Execution* exec) {
+  exec->enqueue_time = clock_.NowNs();
+  std::optional<uint64_t> ticket = pool_.TrySubmit([this, exec] { RunOnWorker(exec); });
+  if (!ticket.has_value()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  exec->ticket = *ticket;
+  return true;
+}
+
+bool CheckerExecutor::Abandon(Execution* exec) {
+  return pool_.AbandonIfRunning(exec->ticket);
+}
+
+void CheckerExecutor::RunOnWorker(Execution* exec) {
+  const TimeNs dispatched_at = clock_.NowNs();
+  exec->dispatch_time.store(dispatched_at, std::memory_order_release);
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  queue_delay_hist_->Record(static_cast<double>(dispatched_at - exec->enqueue_time));
+  if (wake_scheduler_) {
+    wake_scheduler_();  // the scheduler can now arm this execution's deadline
+  }
+
+  CheckResult result;
+  bool crashed = false;
+  std::string what;
+  try {
+    result = exec->checker->Check();
+  } catch (const std::exception& e) {
+    crashed = true;
+    what = e.what();
+  } catch (...) {
+    crashed = true;
+    what = "non-standard exception";
+  }
+
+  {
+    std::lock_guard<std::mutex> exec_lock(exec->mu);
+    exec->result = std::move(result);
+    exec->crashed = crashed;
+    exec->crash_what = std::move(what);
+    exec->complete_time = clock_.NowNs();
+    exec->done = true;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (wake_scheduler_) {
+    wake_scheduler_();
+  }
+}
+
+}  // namespace wdg

@@ -1,0 +1,110 @@
+// CheckerExecutor: the execution half of the watchdog driver (paper §3.1/§3.2).
+//
+// The driver used to spawn a fresh thread per checker execution per interval;
+// at hundreds of checkers that is hundreds of thread creations per second
+// inside the monitored process — exactly the unbounded overhead the paper
+// warns a watchdog must not impose. The executor replaces that with a fixed
+// pool of long-lived workers fed by a bounded queue:
+//
+//   - Submit() is non-blocking; a full queue is *backpressure* and the
+//     scheduler simply retries at its next wake, so a slow pool throttles
+//     checking instead of ballooning threads;
+//   - a worker stuck past its checker's deadline is abandoned via
+//     WorkerPool::AbandonIfRunning — the thread leaves the pool (parked on a
+//     drain list until Stop) and a replacement is spawned, preserving §3.2:
+//     the hang is the detection, and the driver never blocks on it;
+//   - a checker that throws is caught on the worker and surfaces as a
+//     CHECKER_CRASH signature, never an exception in the main program;
+//   - every dispatch records queue delay (enqueue→dispatch) so the watchdog
+//     can observe its own scheduling health (DriverMetrics()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/threading.h"
+#include "src/watchdog/checker.h"
+
+namespace wdg {
+
+// One in-flight checker execution, shared between the scheduler (which owns
+// it via the checker's slot) and the worker that runs it. The worker fills
+// the result fields under `mu` and flips `done` last; the scheduler reads
+// them only after observing done == true.
+struct Execution {
+  Checker* checker = nullptr;
+  TimeNs enqueue_time = 0;
+  // 0 until a worker picks the execution up; the deadline for hang
+  // abandonment counts from this point (execution time, not queue time).
+  std::atomic<TimeNs> dispatch_time{0};
+  uint64_t ticket = 0;
+
+  std::mutex mu;
+  bool done = false;
+  bool crashed = false;
+  CheckResult result;
+  std::string crash_what;
+  TimeNs complete_time = 0;  // worker-side timestamp, exact run latency
+};
+
+struct CheckerExecutorOptions {
+  int workers = 4;
+  size_t queue_capacity = 256;
+};
+
+class CheckerExecutor {
+ public:
+  using Options = CheckerExecutorOptions;
+
+  CheckerExecutor(Clock& clock, MetricsRegistry& metrics, Options options);
+  ~CheckerExecutor();
+
+  CheckerExecutor(const CheckerExecutor&) = delete;
+  CheckerExecutor& operator=(const CheckerExecutor&) = delete;
+
+  void Start();
+  // Discards queued work and joins every worker ever spawned, including
+  // abandoned ones. The caller must first unblock injected hangs
+  // (WatchdogDriver runs release_on_stop before this).
+  void Stop();
+
+  // Invoked (without locks held) on dispatch and on completion so the
+  // scheduler can re-arm its deadline wait. Set before Start().
+  void SetWakeScheduler(std::function<void()> wake);
+
+  // Non-blocking. False when the queue is full (backpressure) or the
+  // executor is stopped; the scheduler retries at its next wake.
+  bool Submit(Execution* exec);
+
+  // Abandon the worker running `exec` if it is still running. False means
+  // the execution already completed — re-check exec->done instead.
+  bool Abandon(Execution* exec);
+
+  int worker_count() const { return pool_.configured_workers(); }
+  int busy_count() const { return pool_.BusyCount(); }
+  size_t queue_depth() const { return pool_.QueueDepth(); }
+  size_t queue_capacity() const { return pool_.queue_capacity(); }
+  int64_t threads_spawned() const { return pool_.threads_spawned(); }
+  int64_t workers_abandoned() const { return pool_.abandoned_count(); }
+  int64_t dispatched_count() const { return dispatched_.load(std::memory_order_relaxed); }
+  int64_t completed_count() const { return completed_.load(std::memory_order_relaxed); }
+  int64_t rejected_count() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  void RunOnWorker(Execution* exec);
+
+  Clock& clock_;
+  WorkerPool pool_;
+  std::function<void()> wake_scheduler_;
+  Histogram* queue_delay_hist_;  // wdg.driver.queue_delay_ns
+  std::atomic<int64_t> dispatched_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> rejected_{0};
+};
+
+}  // namespace wdg

@@ -1,0 +1,155 @@
+// Scale and shutdown behavior of the scheduler/executor split: hundreds of
+// checkers must share a small worker pool with bounded queue delay and no
+// thread-per-execution explosion; an injected hang must abandon exactly one
+// worker (and respawn its replacement); Stop() must join cleanly even while
+// the submission queue is saturated. Runs under the TSan CI leg.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/common/clock.h"
+#include "src/common/strings.h"
+#include "src/fault/fault_injector.h"
+#include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/driver.h"
+
+namespace wdg {
+namespace {
+
+CheckerOptions ScaleChecker(DurationNs initial_delay = 0) {
+  CheckerOptions options;
+  options.interval = Ms(50);
+  options.timeout = Ms(400);
+  options.initial_delay = initial_delay;
+  return options;
+}
+
+TEST(DriverScaleTest, HundredsOfCheckersShareASmallPool) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.executor.workers = 4;
+  options.executor.queue_capacity = 512;
+  WatchdogDriver driver(clock, options);
+
+  constexpr int kCheckers = 220;
+  std::atomic<int64_t> total_runs{0};
+  for (int i = 0; i < kCheckers; ++i) {
+    // Staggered starts spread the fleet across the interval instead of
+    // slamming the queue with 220 simultaneous submissions every period.
+    driver.AddChecker(std::make_unique<ProbeChecker>(
+        StrFormat("p%03d", i), "scale",
+        [&total_runs] {
+          total_runs.fetch_add(1, std::memory_order_relaxed);
+          return Status::Ok();
+        },
+        ScaleChecker(/*initial_delay=*/Ms(i % 50))));
+  }
+  driver.Start();
+  clock.SleepFor(Ms(600));
+  const DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  driver.Stop();
+
+  // Every checker got scheduled, repeatedly.
+  EXPECT_GE(total_runs.load(), kCheckers * 2);
+  for (const std::string& name : driver.CheckerNames()) {
+    EXPECT_GE(driver.StatsFor(name).runs, 1) << name;
+  }
+  // The whole fleet ran on the fixed pool: no thread-per-execution growth.
+  EXPECT_EQ(metrics.pool_workers, 4);
+  EXPECT_EQ(metrics.threads_spawned, 4);
+  EXPECT_EQ(metrics.workers_abandoned, 0);
+  // Queue delay stays bounded (generous ceiling: this also runs under TSan).
+  EXPECT_LT(metrics.queue_delay_p99_ns, static_cast<double>(Ms(300)));
+  EXPECT_TRUE(driver.Failures().empty());
+}
+
+TEST(DriverScaleTest, InjectedHangAbandonsExactlyOneWorkerAndRespawns) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  FaultSpec hang;
+  hang.id = "stuck";
+  hang.site_pattern = "scale.op";
+  hang.kind = FaultKind::kHang;
+  injector.Inject(hang);
+
+  WatchdogDriver::Options options;
+  options.executor.workers = 3;
+  options.release_on_stop = [&injector] { injector.ClearAll(); };
+  WatchdogDriver driver(clock, options);
+
+  CheckerOptions hung_options;
+  hung_options.interval = Ms(20);
+  hung_options.timeout = Ms(80);
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "hung", "scale", nullptr,
+      [&injector](const CheckContext&, MimicChecker&) {
+        (void)injector.Act("scale.op");
+        return CheckResult::Pass();
+      },
+      hung_options));
+  std::atomic<int64_t> healthy_runs{0};
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "healthy", "scale",
+      [&healthy_runs] {
+        healthy_runs.fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      },
+      ScaleChecker()));
+  driver.Start();
+
+  ASSERT_TRUE(driver.WaitForFailure(Sec(5), [](const FailureSignature& sig) {
+    return sig.type == FailureType::kLivenessTimeout && sig.checker_name == "hung";
+  }));
+  clock.SleepFor(Ms(100));  // let the respawned worker settle in
+  const DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  const int64_t runs_at_detect = healthy_runs.load();
+  clock.SleepFor(Ms(150));
+
+  // Exactly one worker was parked; one replacement thread restored capacity.
+  EXPECT_EQ(metrics.workers_abandoned, 1);
+  EXPECT_EQ(metrics.threads_spawned, 3 + 1);
+  EXPECT_EQ(metrics.timeouts, 1);
+  // The pool kept serving the healthy checker while one worker hangs.
+  EXPECT_GT(healthy_runs.load(), runs_at_detect);
+  driver.Stop();  // release_on_stop unblocks the hang; joins must not wedge
+  EXPECT_EQ(injector.parked_thread_count(), 0);
+}
+
+TEST(DriverScaleTest, StopUnderSaturatedQueueJoinsCleanly) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.executor.workers = 2;
+  options.executor.queue_capacity = 4;  // far smaller than the fleet
+  WatchdogDriver driver(clock, options);
+
+  constexpr int kCheckers = 64;
+  for (int i = 0; i < kCheckers; ++i) {
+    driver.AddChecker(std::make_unique<ProbeChecker>(
+        StrFormat("sat%02d", i), "scale",
+        [&clock] {
+          clock.SleepFor(Ms(2));  // keep workers busy so the queue stays full
+          return Status::Ok();
+        },
+        ScaleChecker()));
+  }
+  driver.Start();
+  clock.SleepFor(Ms(120));
+  const DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  driver.Stop();  // must discard queued work and join without deadlock
+  EXPECT_FALSE(driver.running());
+
+  // The tiny queue actually pushed back — and backpressure never grew threads.
+  EXPECT_GT(metrics.queue_rejections, 0);
+  EXPECT_EQ(metrics.threads_spawned, 2);
+  // Stats stay coherent: a run either completed with an outcome or was
+  // un-counted when the queue was discarded at Stop.
+  for (const std::string& name : driver.CheckerNames()) {
+    const CheckerStats stats = driver.StatsFor(name);
+    EXPECT_EQ(stats.runs, stats.passes + stats.fails + stats.context_not_ready +
+                              stats.timeouts + stats.crashes)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace wdg

@@ -412,7 +412,16 @@ TEST(HookPlanTest, SiteStringMismatchIsAnError) {
 }
 
 TEST(HookPlanTest, UncapturedContextVariableIsAnError) {
-  const Module module = HookModule();
+  // "req" enters the loop uninitialized (nothing reduced defines it), so it
+  // is a genuine context variable; stripping it from every capture starves
+  // the checker.
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Step", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.write", {"req"}, {})
+                         .LoopEnd()
+                         .Build());
   const ReducedProgram program = Reducer(module).Reduce();
   HookPlan plan = InferContexts(program);
   for (HookPoint& point : plan.points) {
@@ -422,6 +431,77 @@ TEST(HookPlanTest, UncapturedContextVariableIsAnError) {
   std::vector<Finding> findings;
   CheckHookPlan(module, program, plan, findings);
   EXPECT_TRUE(HasFinding(findings, "hook.uncaptured-var")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, IntermediateValuesAreNotContextVariables) {
+  // The reduced checker re-executes the read that defines "data", so "data"
+  // must not be inferred as context (capturing it would be stale by design).
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Job", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoRead, "disk.read", {"path"}, {"data"})
+                         .Op(OpKind::kIoWrite, "disk.write", {"data"}, {})
+                         .LoopEnd()
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  ASSERT_EQ(plan.contexts.size(), 1u);
+  EXPECT_EQ(plan.contexts[0].variables, std::vector<std::string>{"path"});
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  EXPECT_FALSE(HasFinding(findings, "hook.stale-capture")) << FormatFindings(findings);
+}
+
+TEST(HookPlanTest, CaptureBeforeStraightLineDefinitionIsStale) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Job", "c")
+                         .LongRunning()
+                         .Op(OpKind::kIoRead, "disk.read", {}, {"data"})
+                         .Op(OpKind::kIoWrite, "disk.write", {"data"}, {})
+                         .Return()
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_EQ(plan.points.size(), 1u);
+  // Force a capture of the read's product: the hook (before instr 1) would
+  // fire before "data" exists, on every single firing.
+  plan.points[0].capture.push_back("data");
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  ASSERT_TRUE(HasFinding(findings, "hook.stale-capture", "Job", 1))
+      << FormatFindings(findings);
+  for (const Finding& finding : findings) {
+    if (finding.rule == "hook.stale-capture") {
+      EXPECT_EQ(finding.severity, Severity::kError);
+    }
+  }
+}
+
+TEST(HookPlanTest, LoopCarriedCaptureIsANote) {
+  Module module("m");
+  module.AddFunction(FunctionBuilder("Job", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoRead, "disk.read", {}, {"data"})
+                         .Op(OpKind::kIoWrite, "disk.write", {"data"}, {})
+                         .LoopEnd()
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  HookPlan plan = InferContexts(program);
+  ASSERT_EQ(plan.points.size(), 1u);
+  // Definition and hook anchor share the loop: iteration N's capture carries
+  // iteration N-1's value — §4.1's model, but the first firing is undefined.
+  plan.points[0].capture.push_back("data");
+  std::vector<Finding> findings;
+  CheckHookPlan(module, program, plan, findings);
+  ASSERT_TRUE(HasFinding(findings, "hook.stale-capture", "Job", 2))
+      << FormatFindings(findings);
+  for (const Finding& finding : findings) {
+    if (finding.rule == "hook.stale-capture") {
+      EXPECT_EQ(finding.severity, Severity::kNote);
+    }
+  }
 }
 
 TEST(HookPlanTest, CaptureAfterFirstConsumingOpIsLate) {

@@ -539,16 +539,28 @@ TEST(WatchdogDriverTest, PauseAndResumeChecker) {
       "p", "sys", [&] { ++runs; return Status::Ok(); }, FastChecker()));
   driver.Start();
   clock.SleepFor(Ms(60));
-  driver.SetCheckerEnabled("p", false);
+  EXPECT_TRUE(driver.TrySetCheckerEnabled("p", false).ok());
   EXPECT_FALSE(driver.IsCheckerEnabled("p"));
   clock.SleepFor(Ms(30));  // let in-flight runs drain
   const int frozen = runs.load();
   clock.SleepFor(Ms(80));
   EXPECT_LE(runs.load(), frozen + 1);  // at most one straggler
-  driver.SetCheckerEnabled("p", true);
+  EXPECT_TRUE(driver.TrySetCheckerEnabled("p", true).ok());
   clock.SleepFor(Ms(80));
   driver.Stop();
   EXPECT_GT(runs.load(), frozen + 1);  // resumed
+}
+
+TEST(WatchdogDriverTest, TrySetCheckerEnabledUnknownName) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  driver.AddChecker(std::make_unique<ProbeChecker>(
+      "p", "sys", [] { return Status::Ok(); }, FastChecker()));
+  const Status status = driver.TrySetCheckerEnabled("no-such-checker", false);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // The legacy shim stays silent on unknown names.
+  driver.SetCheckerEnabled("no-such-checker", false);
+  EXPECT_TRUE(driver.IsCheckerEnabled("p"));
 }
 
 TEST(WatchdogDriverTest, StopIsIdempotentAndStartOnce) {

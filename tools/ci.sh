@@ -30,9 +30,14 @@ run_leg() {
 }
 
 run_leg build-ci "" "$@"
+echo "=== bench smoke: driver scale ==="
+# Quick pass over the pooled-executor bench so a scheduler/executor regression
+# shows up as a CI diff in BENCH_driver_scale.json, not a silent perf slide.
+./build-ci/bench/bench_driver_scale --quick
 run_leg build-ci-asan address "$@"
 # TSan leg: the concurrency suites that hammer the sharded context store and
-# batched hook flush (epoch monotonicity, no torn batches under racing sites).
-run_leg build-ci-tsan thread -R 'context_concurrency|stress_test' "$@"
+# batched hook flush, plus the pooled scheduler/executor scale suite
+# (abandonment, backpressure, and shutdown races).
+run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale' "$@"
 
 echo "ci: all three legs green"
