@@ -241,4 +241,5 @@ examples/CMakeFiles/handwritten_watchdog.dir/handwritten_watchdog.cpp.o: \
  /root/repo/src/watchdog/builder.h \
  /root/repo/src/watchdog/builtin_checkers.h \
  /root/repo/src/watchdog/checker.h /root/repo/src/watchdog/failure.h \
- /root/repo/src/watchdog/driver.h
+ /root/repo/src/watchdog/driver.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/watchdog/executor.h

@@ -233,9 +233,11 @@ src/autowd/CMakeFiles/wdg_awd.dir/autowatchdog.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/watchdog/failure.h \
  /root/repo/src/common/status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/watchdog/driver.h \
- /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/common/logging.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/threading.h /usr/include/c++/12/thread \
+ /root/repo/src/watchdog/executor.h /root/repo/src/common/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

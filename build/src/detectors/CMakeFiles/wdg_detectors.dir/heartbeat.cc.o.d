@@ -219,7 +219,6 @@ src/detectors/CMakeFiles/wdg_detectors.dir/heartbeat.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/common/threading.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/sim/sim_net.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
@@ -228,7 +227,8 @@ src/detectors/CMakeFiles/wdg_detectors.dir/heartbeat.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/thread \
+ /root/repo/src/sim/sim_net.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/metrics.h \
  /root/repo/src/common/result.h /usr/include/c++/12/cassert \

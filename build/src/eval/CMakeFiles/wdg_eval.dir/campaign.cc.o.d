@@ -238,20 +238,22 @@ src/eval/CMakeFiles/wdg_eval.dir/campaign.cc.o: \
  /root/repo/src/autowd/synth.h /root/repo/src/watchdog/checker.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/optional \
  /usr/include/c++/12/variant /root/repo/src/watchdog/driver.h \
- /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/common/strings.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/threading.h /usr/include/c++/12/thread \
+ /root/repo/src/watchdog/executor.h /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg /root/repo/src/detectors/api_probe.h \
  /root/repo/src/detectors/client_observer.h \
  /root/repo/src/detectors/heartbeat.h /root/repo/src/sim/sim_net.h \
- /root/repo/src/common/metrics.h /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/kvs/client.h /root/repo/src/kvs/types.h \
- /root/repo/src/kvs/ir_model.h /root/repo/src/autowd/lint.h \
- /root/repo/src/ir/verifier.h /root/repo/src/kvs/server.h \
- /root/repo/src/kvs/compaction.h /root/repo/src/kvs/index.h \
- /root/repo/src/kvs/memtable.h /root/repo/src/kvs/sstable.h \
- /root/repo/src/sim/sim_disk.h /root/repo/src/kvs/partition.h \
- /root/repo/src/kvs/flusher.h /root/repo/src/kvs/replication.h \
- /root/repo/src/kvs/wal.h /root/repo/src/eval/workload.h \
+ /root/repo/src/common/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/kvs/client.h \
+ /root/repo/src/kvs/types.h /root/repo/src/kvs/ir_model.h \
+ /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
+ /root/repo/src/kvs/server.h /root/repo/src/kvs/compaction.h \
+ /root/repo/src/kvs/index.h /root/repo/src/kvs/memtable.h \
+ /root/repo/src/kvs/sstable.h /root/repo/src/sim/sim_disk.h \
+ /root/repo/src/kvs/partition.h /root/repo/src/kvs/flusher.h \
+ /root/repo/src/kvs/replication.h /root/repo/src/kvs/wal.h \
+ /root/repo/src/eval/workload.h \
  /root/repo/src/watchdog/builtin_checkers.h

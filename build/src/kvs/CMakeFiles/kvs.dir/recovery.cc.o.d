@@ -236,8 +236,9 @@ src/kvs/CMakeFiles/kvs.dir/recovery.cc.o: /root/repo/src/kvs/recovery.cc \
  /usr/include/c++/12/variant /root/repo/src/kvs/flusher.h \
  /root/repo/src/kvs/replication.h /root/repo/src/kvs/types.h \
  /root/repo/src/sim/sim_net.h /root/repo/src/kvs/wal.h \
- /root/repo/src/watchdog/driver.h /root/repo/src/watchdog/checker.h \
- /root/repo/src/watchdog/failure.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/watchdog/driver.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/watchdog/checker.h \
+ /root/repo/src/watchdog/failure.h /root/repo/src/watchdog/executor.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/watchdog/checker.cc" "src/watchdog/CMakeFiles/wdg_core.dir/checker.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/checker.cc.o.d"
   "/root/repo/src/watchdog/context.cc" "src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o.d"
   "/root/repo/src/watchdog/driver.cc" "src/watchdog/CMakeFiles/wdg_core.dir/driver.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/driver.cc.o.d"
+  "/root/repo/src/watchdog/executor.cc" "src/watchdog/CMakeFiles/wdg_core.dir/executor.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/executor.cc.o.d"
   "/root/repo/src/watchdog/failure.cc" "src/watchdog/CMakeFiles/wdg_core.dir/failure.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/failure.cc.o.d"
   "/root/repo/src/watchdog/failure_log.cc" "src/watchdog/CMakeFiles/wdg_core.dir/failure_log.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/failure_log.cc.o.d"
   "/root/repo/src/watchdog/flag_set.cc" "src/watchdog/CMakeFiles/wdg_core.dir/flag_set.cc.o" "gcc" "src/watchdog/CMakeFiles/wdg_core.dir/flag_set.cc.o.d"

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wdg_core.dir/context.cc.o.d"
   "CMakeFiles/wdg_core.dir/driver.cc.o"
   "CMakeFiles/wdg_core.dir/driver.cc.o.d"
+  "CMakeFiles/wdg_core.dir/executor.cc.o"
+  "CMakeFiles/wdg_core.dir/executor.cc.o.d"
   "CMakeFiles/wdg_core.dir/failure.cc.o"
   "CMakeFiles/wdg_core.dir/failure.cc.o.d"
   "CMakeFiles/wdg_core.dir/failure_log.cc.o"

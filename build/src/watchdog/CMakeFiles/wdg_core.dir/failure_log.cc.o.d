@@ -230,9 +230,10 @@ src/watchdog/CMakeFiles/wdg_core.dir/failure_log.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /root/repo/src/fault/fault_injector.h \
  /root/repo/src/common/rng.h /root/repo/src/watchdog/driver.h \
- /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/threading.h \
  /usr/include/c++/12/thread /root/repo/src/watchdog/checker.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/variant \
- /root/repo/src/watchdog/failure.h /root/repo/src/common/strings.h \
- /usr/include/c++/12/cstdarg
+ /root/repo/src/watchdog/failure.h /root/repo/src/watchdog/executor.h \
+ /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg

@@ -308,6 +308,8 @@ tests/CMakeFiles/autowd_test.dir/autowd_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/watchdog/context.h /root/repo/src/watchdog/failure.h \
  /root/repo/src/common/status.h /root/repo/src/watchdog/driver.h \
- /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/threading.h /usr/include/c++/12/thread \
+ /root/repo/src/watchdog/executor.h

@@ -318,5 +318,7 @@ tests/CMakeFiles/coverage_sweep_test.dir/coverage_sweep_test.cc.o: \
  /root/repo/src/watchdog/context.h /root/repo/src/kvs/flusher.h \
  /root/repo/src/kvs/replication.h /root/repo/src/kvs/wal.h \
  /root/repo/src/watchdog/failure_log.h /root/repo/src/watchdog/driver.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/watchdog/checker.h /root/repo/src/watchdog/failure.h \
+ /root/repo/src/watchdog/executor.h \
  /root/repo/src/watchdog/watchdog_timer.h

@@ -308,12 +308,14 @@ tests/CMakeFiles/minihdfs_test.dir/minihdfs_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/watchdog/context.h /root/repo/src/watchdog/failure.h \
  /root/repo/src/common/status.h /root/repo/src/watchdog/driver.h \
- /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/common/strings.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/threading.h /usr/include/c++/12/thread \
+ /root/repo/src/watchdog/executor.h /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg /root/repo/src/minihdfs/ir_model.h \
  /root/repo/src/autowd/lint.h /root/repo/src/ir/verifier.h \
- /root/repo/src/minihdfs/datanode.h /root/repo/src/common/metrics.h \
- /root/repo/src/minihdfs/block_store.h /root/repo/src/common/result.h \
- /root/repo/src/sim/sim_disk.h /root/repo/src/fault/fault_injector.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/sim_net.h
+ /root/repo/src/minihdfs/datanode.h /root/repo/src/minihdfs/block_store.h \
+ /root/repo/src/common/result.h /root/repo/src/sim/sim_disk.h \
+ /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
+ /root/repo/src/sim/sim_net.h

@@ -318,4 +318,5 @@ tests/CMakeFiles/stress_test.dir/stress_test.cc.o: \
  /root/repo/src/kvs/replication.h /root/repo/src/kvs/wal.h \
  /root/repo/src/watchdog/builtin_checkers.h \
  /root/repo/src/watchdog/checker.h /root/repo/src/watchdog/failure.h \
- /root/repo/src/watchdog/driver.h
+ /root/repo/src/watchdog/driver.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/watchdog/executor.h

@@ -308,6 +308,8 @@ tests/CMakeFiles/watchdog_test.dir/watchdog_test.cc.o: \
  /root/repo/src/watchdog/builtin_checkers.h \
  /root/repo/src/watchdog/checker.h /root/repo/src/watchdog/context.h \
  /root/repo/src/watchdog/failure.h /root/repo/src/watchdog/driver.h \
- /root/repo/src/common/threading.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/threading.h /usr/include/c++/12/thread \
+ /root/repo/src/watchdog/executor.h
