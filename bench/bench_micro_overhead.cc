@@ -84,6 +84,24 @@ void BM_HookFire_Armed_Contended(benchmark::State& state) {
 }
 BENCHMARK(BM_HookFire_Armed_Contended)->Threads(4);
 
+// The dominant hook shape in the system models: ONE value then MarkReady.
+// This exercises the wait-free single-value publish (claim-CAS + release
+// store), skipping stripe locks and the staging flush entirely.
+void BM_HookFire_Armed_SingleValue(benchmark::State& state) {
+  static const auto kSeq = wdg::ContextKey<int64_t>::Of("bench.single.seq");
+  wdg::HookSite site("kvs.listener.accept");
+  wdg::CheckContext ctx("accept_ctx");
+  site.Arm(&ctx);
+  int64_t i = 0;
+  for (auto _ : state) {
+    site.Fire([&](wdg::CheckContext& c) {
+      c.Set(kSeq, ++i);
+      c.MarkReady(i);
+    });
+  }
+}
+BENCHMARK(BM_HookFire_Armed_SingleValue);
+
 void BM_ContextSnapshot(benchmark::State& state) {
   wdg::CheckContext ctx("c");
   for (int i = 0; i < 8; ++i) {
@@ -96,7 +114,24 @@ void BM_ContextSnapshot(benchmark::State& state) {
 }
 BENCHMARK(BM_ContextSnapshot);
 
-// Typed point-read on the checker side: slot index -> stripe lock -> copy.
+// The checker-side cold path the lock-free read rebuild targets: a full
+// consistent snapshot (epoch + all populated slots) with zero stripe
+// mutexes on the optimistic path.
+void BM_ContextSnapshotConsistent(benchmark::State& state) {
+  wdg::CheckContext ctx("c");
+  for (int i = 0; i < 8; ++i) {
+    ctx.Set(wdg::StrFormat("snapc.key%d", i), std::string("some value"));
+  }
+  ctx.MarkReady(1);
+  for (auto _ : state) {
+    auto snapshot = ctx.SnapshotConsistent();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_ContextSnapshotConsistent);
+
+// Typed point-read on the checker side: slot index -> seqlock-validated
+// atomic-word copy, no locks on the stable path.
 void BM_ContextGet_TypedKey(benchmark::State& state) {
   static const auto kEntries = wdg::ContextKey<int64_t>::Of("bench.get.entries");
   wdg::CheckContext ctx("c");
@@ -107,6 +142,36 @@ void BM_ContextGet_TypedKey(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContextGet_TypedKey);
+
+// Name-keyed read (generated-checker cold start before keys are cached):
+// lock-free registry probe + the same seqlock cell read.
+void BM_ContextGet_ByName(benchmark::State& state) {
+  wdg::CheckContext ctx("c");
+  ctx.Set("bench.byname.entries", wdg::CtxValue(int64_t{42}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Get<int64_t>("bench.byname.entries"));
+  }
+}
+BENCHMARK(BM_ContextGet_ByName);
+
+// Reader/writer mix on one context: 3 reader threads point-read a key that
+// a 4th thread keeps republishing through the single-value fast path.
+void BM_ContextGet_ContendedWithWriter(benchmark::State& state) {
+  static wdg::CheckContext ctx("rw_ctx");
+  static const auto kHot = wdg::ContextKey<int64_t>::Of("bench.rw.hot");
+  if (state.thread_index() == 0) {
+    int64_t i = 0;
+    for (auto _ : state) {
+      ctx.Set(kHot, ++i);
+      ctx.MarkReady(i);
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ctx.Get(kHot));
+    }
+  }
+}
+BENCHMARK(BM_ContextGet_ContendedWithWriter)->Threads(4);
 
 // Fault-site gate on the hot path with no faults active.
 void BM_FaultSite_NoFault(benchmark::State& state) {

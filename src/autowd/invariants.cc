@@ -25,7 +25,7 @@ void InvariantMiner::Observe() {
   const auto snapshot = context_.Snapshot();
   std::lock_guard<std::mutex> lock(mu_);
   ++observations_;
-  for (const auto& [key, value] : snapshot) {
+  for (const auto& [key, value] : snapshot) {  // key: interned name pointer
     double numeric;
     if (const auto* i = std::get_if<int64_t>(&value)) {
       numeric = static_cast<double>(*i);
@@ -34,10 +34,10 @@ void InvariantMiner::Observe() {
     } else {
       continue;  // only numeric invariants are mined
     }
-    auto [it, inserted] = ranges_.try_emplace(key);
+    auto [it, inserted] = ranges_.try_emplace(*key);
     RangeInvariant& inv = it->second;
     if (inserted) {
-      inv.variable = key;
+      inv.variable = *key;
       inv.min = numeric;
       inv.max = numeric;
     } else {

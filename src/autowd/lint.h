@@ -64,12 +64,14 @@ void CheckHookPlan(const Module& module, const ReducedProgram& program,
                    const HookPlan& plan, std::vector<Finding>& findings);
 
 // (5) Generated-API hygiene: api.deprecated-accessor — the emitted checker
-// source must use the typed-key context API (ContextKey/Get(key)); string
-// accessors (GetString/GetInt/GetDouble) and the pre-v2 positional
-// args_getter put a map lookup + lock back on the hot path the typed API
-// exists to avoid. CheckGeneratedApi emits each checker's source and scans
-// it; CheckCheckerSourceApi is the scan itself (exposed for linting checker
-// sources produced elsewhere, and for tests).
+// source must use the typed-key context API (ContextKey/Get(key)). The v1
+// string accessors (GetString/GetInt/GetDouble) no longer exist on
+// CheckContext at all; the lint keeps rejecting them (and the pre-v2
+// positional args_getter) so vendored or hand-written checker sources that
+// predate the deletion fail loudly at lint time instead of at compile time
+// deep inside a generated translation unit. CheckGeneratedApi emits each
+// checker's source and scans it; CheckCheckerSourceApi is the scan itself
+// (exposed for linting checker sources produced elsewhere, and for tests).
 void CheckCheckerSourceApi(const std::string& checker_name, const std::string& source,
                            std::vector<Finding>& findings);
 void CheckGeneratedApi(const ReducedProgram& program, const HookPlan& plan,

@@ -1,8 +1,13 @@
 #include "src/watchdog/context.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <thread>
 
 #include "src/common/strings.h"
 
@@ -19,6 +24,31 @@ std::string CtxValueToString(const CtxValue& value) {
     return *b ? "true" : "false";
   }
   return std::get<std::string>(value);
+}
+
+CtxSnapshot::const_iterator CtxSnapshot::find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (*entry.first == name) {
+      return &entry;
+    }
+  }
+  return end();
+}
+
+const CtxValue& CtxSnapshot::at(std::string_view name) const {
+  const const_iterator it = find(name);
+  if (it == end()) {
+    throw std::out_of_range("CtxSnapshot::at: no key " + std::string(name));
+  }
+  return it->second;
+}
+
+std::map<std::string, CtxValue> CtxSnapshot::ToMap() const {
+  std::map<std::string, CtxValue> out;
+  for (const Entry& entry : entries_) {
+    out.emplace(*entry.first, entry.second);
+  }
+  return out;
 }
 
 const char* CtxTypeName(CtxType type) {
@@ -41,61 +71,84 @@ const char* CtxTypeName(CtxType type) {
 
 KeyRegistry& KeyRegistry::Instance() {
   // Leaked singleton: static ContextKeys in other TUs may be destroyed after
-  // any registry with normal storage duration.
+  // any registry with normal storage duration. Entries leak with it — they
+  // must outlive every reader, and there is no quiescent point to free them.
   static KeyRegistry* registry = new KeyRegistry();
   return *registry;
 }
 
-uint32_t KeyRegistry::Intern(std::string_view name, CtxType type) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = by_name_.find(name);
-  if (it != by_name_.end()) {
-    Entry& entry = *entries_[it->second];
-    // First concrete registration fixes the declared type; the legacy shim
-    // interns as kAny and must never clobber a typed declaration.
-    if (entry.type == CtxType::kAny && type != CtxType::kAny) {
-      entry.type = type;
+KeyRegistry::Entry* KeyRegistry::Probe(std::string_view name) const {
+  uint32_t idx =
+      static_cast<uint32_t>(std::hash<std::string_view>{}(name)) & (kBuckets - 1);
+  for (;;) {
+    Entry* entry = buckets_[idx].load(std::memory_order_acquire);
+    if (entry == nullptr) {
+      return nullptr;
     }
-    return it->second;
+    if (entry->name == name) {
+      return entry;
+    }
+    idx = (idx + 1) & (kBuckets - 1);
   }
-  const uint32_t slot = static_cast<uint32_t>(entries_.size());
-  entries_.push_back(std::make_unique<Entry>(Entry{std::string(name), type}));
-  by_name_.emplace(entries_.back()->name, slot);
-  return slot;
+}
+
+uint32_t KeyRegistry::Intern(std::string_view name, CtxType type) {
+  Entry* entry = Probe(name);
+  if (entry == nullptr) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    entry = Probe(name);  // a racing intern may have landed it meanwhile
+    if (entry == nullptr) {
+      const uint32_t slot = count_.load(std::memory_order_relaxed);
+      assert(slot < kMaxKeys && "context key slots exhausted");
+      entry = new Entry(std::string(name), type, slot);
+      by_slot_[slot].store(entry, std::memory_order_release);
+      uint32_t idx = static_cast<uint32_t>(std::hash<std::string_view>{}(name)) &
+                     (kBuckets - 1);
+      while (buckets_[idx].load(std::memory_order_relaxed) != nullptr) {
+        idx = (idx + 1) & (kBuckets - 1);
+      }
+      buckets_[idx].store(entry, std::memory_order_release);
+      count_.store(slot + 1, std::memory_order_release);
+      return slot;
+    }
+  }
+  // First concrete registration fixes the declared type; the legacy shim
+  // interns as kAny and must never clobber a typed declaration.
+  if (type != CtxType::kAny) {
+    CtxType expected = CtxType::kAny;
+    entry->type.compare_exchange_strong(expected, type, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+  }
+  return entry->slot;
 }
 
 std::optional<uint32_t> KeyRegistry::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = by_name_.find(name);
-  if (it == by_name_.end()) {
+  const Entry* entry = Probe(name);
+  if (entry == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return entry->slot;
 }
 
 const std::string& KeyRegistry::NameOf(uint32_t slot) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(slot < entries_.size());
-  return entries_[slot]->name;
+  const Entry* entry = by_slot_[slot].load(std::memory_order_acquire);
+  assert(entry != nullptr);
+  return entry->name;
 }
 
 CtxType KeyRegistry::TypeOf(uint32_t slot) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(slot < entries_.size());
-  return entries_[slot]->type;
+  const Entry* entry = by_slot_[slot].load(std::memory_order_acquire);
+  assert(entry != nullptr);
+  return entry->type.load(std::memory_order_acquire);
 }
 
-uint32_t KeyRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<uint32_t>(entries_.size());
-}
+uint32_t KeyRegistry::size() const { return count_.load(std::memory_order_acquire); }
 
 std::vector<const std::string*> KeyRegistry::Names(uint32_t limit) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint32_t n = std::min<uint32_t>(limit, static_cast<uint32_t>(entries_.size()));
+  const uint32_t n = std::min(limit, count_.load(std::memory_order_acquire));
   std::vector<const std::string*> names(n);
   for (uint32_t i = 0; i < n; ++i) {
-    names[i] = &entries_[i]->name;
+    names[i] = &by_slot_[i].load(std::memory_order_acquire)->name;
   }
   return names;
 }
@@ -131,15 +184,181 @@ CheckContext::~CheckContext() {
   }
 }
 
-void CheckContext::StageWrite(uint32_t slot, CtxValue value) {
+// ------------------------------------------------- inline payload codec
+
+uint32_t CheckContext::InlineWordCount(uint64_t header) {
+  if (static_cast<SlotTag>(header & 0xff) == SlotTag::kInlineStr) {
+    return (static_cast<uint32_t>(header >> 8) + 7) / 8;
+  }
+  return 1;
+}
+
+bool CheckContext::EncodeInline(const CtxValue& value, uint64_t* header,
+                                uint64_t words[kPayloadWords]) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    *header = static_cast<uint64_t>(SlotTag::kInt);
+    words[0] = static_cast<uint64_t>(*i);
+    return true;
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    *header = static_cast<uint64_t>(SlotTag::kDouble);
+    words[0] = std::bit_cast<uint64_t>(*d);
+    return true;
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    *header = static_cast<uint64_t>(SlotTag::kBool);
+    words[0] = *b ? 1 : 0;
+    return true;
+  }
+  const std::string& s = std::get<std::string>(value);
+  if (s.size() > kInlineBytes) {
+    return false;
+  }
+  *header = static_cast<uint64_t>(SlotTag::kInlineStr) |
+            (static_cast<uint64_t>(s.size()) << 8);
+  std::memcpy(words, s.data(), s.size());
+  return true;
+}
+
+void CheckContext::DecodeInlineInto(uint64_t header,
+                                    const uint64_t words[kPayloadWords],
+                                    CtxValue* out) {
+  switch (static_cast<SlotTag>(header & 0xff)) {
+    case SlotTag::kInt:
+      *out = static_cast<int64_t>(words[0]);
+      break;
+    case SlotTag::kDouble:
+      *out = std::bit_cast<double>(words[0]);
+      break;
+    case SlotTag::kBool:
+      *out = words[0] != 0;
+      break;
+    default: {
+      const size_t len = static_cast<size_t>(header >> 8);
+      out->emplace<std::string>(reinterpret_cast<const char*>(words), len);
+      break;
+    }
+  }
+}
+
+// -------------------------------------------------- seqlock cell protocol
+
+uint32_t CheckContext::ClaimCell(SlotCell& cell) {
+  uint32_t s = cell.seq.load(std::memory_order_relaxed);
+  for (int spin = 0;; ++spin) {
+    // The acq_rel CAS keeps the caller's payload stores from hoisting above
+    // the claim; the competing writer's window is a handful of stores, so
+    // this spin is short unless that writer is descheduled mid-publish —
+    // the yield hands it the CPU so the spin can't burn a whole timeslice.
+    if ((s & 1) == 0 &&
+        cell.seq.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return s + 1;
+    }
+    if (spin % 64 == 63) {
+      std::this_thread::yield();
+    }
+    s = cell.seq.load(std::memory_order_relaxed);
+  }
+}
+
+void CheckContext::PublishCell(SlotCell& cell, uint32_t odd_seq) {
+  cell.seq.store(odd_seq + 1, std::memory_order_release);
+}
+
+CheckContext::CellRead CheckContext::TryReadCell(const SlotCell& cell, CtxValue* out) {
+  const uint32_t s1 = cell.seq.load(std::memory_order_acquire);
+  if ((s1 & 1) != 0) {
+    return CellRead::kUnstable;
+  }
+  const uint64_t header = cell.header.load(std::memory_order_relaxed);
+  const SlotTag tag = static_cast<SlotTag>(header & 0xff);
+  if (tag == SlotTag::kEmpty || tag == SlotTag::kOverflowStr) {
+    // No payload words to copy (empty) or none worth copying (overflow):
+    // validate just the header observation. Snapshot scans are mostly empty
+    // cells, so skipping the six word loads here is the scan's fast path.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (cell.seq.load(std::memory_order_relaxed) != s1) {
+      return CellRead::kUnstable;
+    }
+    return tag == SlotTag::kEmpty ? CellRead::kEmpty : CellRead::kOverflow;
+  }
+  uint64_t words[kPayloadWords];
+  const uint32_t word_count = InlineWordCount(header);
+  for (uint32_t i = 0; i < word_count; ++i) {
+    words[i] = cell.words[i].load(std::memory_order_relaxed);
+  }
+  // The fence orders the payload loads before the seq re-check, so a write
+  // racing the copy is always caught (Boehm's seqlock reader idiom; every
+  // access is atomic, so this is TSan-clean by construction).
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (cell.seq.load(std::memory_order_relaxed) != s1) {
+    return CellRead::kUnstable;
+  }
+  DecodeInlineInto(header, words, out);
+  return CellRead::kOk;
+}
+
+// ----------------------------------------------------------- write paths
+
+HookBatch& CheckContext::OwnedBatch() {
   HookBatch& batch = ThreadBatch();
   if (batch.owner_id_ != id_) {
     // Entries staged for another context and never flushed (its hook exited
     // without MarkReady) are abandoned, not leaked into this one.
     batch.entries_.clear();
+    batch.overflow_.clear();
     batch.owner_id_ = id_;
   }
-  batch.entries_.emplace_back(slot, std::move(value));
+  return batch;
+}
+
+void CheckContext::StageWrite(uint32_t slot, int64_t value) {
+  HookBatch::Staged& e = OwnedBatch().entries_.emplace_back();
+  e.slot = slot;
+  e.header = static_cast<uint64_t>(SlotTag::kInt);
+  e.words[0] = static_cast<uint64_t>(value);
+}
+
+void CheckContext::StageWrite(uint32_t slot, double value) {
+  HookBatch::Staged& e = OwnedBatch().entries_.emplace_back();
+  e.slot = slot;
+  e.header = static_cast<uint64_t>(SlotTag::kDouble);
+  e.words[0] = std::bit_cast<uint64_t>(value);
+}
+
+void CheckContext::StageWrite(uint32_t slot, bool value) {
+  HookBatch::Staged& e = OwnedBatch().entries_.emplace_back();
+  e.slot = slot;
+  e.header = static_cast<uint64_t>(SlotTag::kBool);
+  e.words[0] = value ? 1 : 0;
+}
+
+void CheckContext::StageWrite(uint32_t slot, std::string value) {
+  HookBatch& batch = OwnedBatch();
+  HookBatch::Staged& e = batch.entries_.emplace_back();
+  e.slot = slot;
+  if (value.size() <= kInlineBytes) {
+    e.header = static_cast<uint64_t>(SlotTag::kInlineStr) |
+               (static_cast<uint64_t>(value.size()) << 8);
+    std::memcpy(e.words, value.data(), value.size());
+  } else {
+    e.header = static_cast<uint64_t>(SlotTag::kOverflowStr);
+    e.words[0] = batch.overflow_.size();  // index, resolved at striped flush
+    batch.overflow_.push_back(std::move(value));
+  }
+}
+
+void CheckContext::StageWrite(uint32_t slot, CtxValue value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    StageWrite(slot, *i);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    StageWrite(slot, *d);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    StageWrite(slot, *b);
+  } else {
+    StageWrite(slot, std::move(std::get<std::string>(value)));
+  }
 }
 
 CheckContext::SlotCell* CheckContext::CellFor(uint32_t slot) {
@@ -155,8 +374,22 @@ CheckContext::SlotCell* CheckContext::CellFor(uint32_t slot) {
     } else {
       delete fresh;  // lost the race; `chunk` holds the winner
     }
+    uint32_t limit = chunk_limit_.load(std::memory_order_relaxed);
+    while (limit < chunk_index + 1 &&
+           !chunk_limit_.compare_exchange_weak(limit, chunk_index + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+    }
   }
   return &chunk->cells[slot % kSlotsPerChunk];
+}
+
+void CheckContext::MarkPopulated(uint32_t slot) {
+  Chunk* chunk = chunks_[slot / kSlotsPerChunk].load(std::memory_order_relaxed);
+  const uint32_t bit = 1u << (slot % kSlotsPerChunk);
+  if ((chunk->populated.load(std::memory_order_relaxed) & bit) == 0) {
+    chunk->populated.fetch_or(bit, std::memory_order_release);
+  }
 }
 
 const CheckContext::SlotCell* CheckContext::CellIfPresent(uint32_t slot) const {
@@ -171,52 +404,223 @@ const CheckContext::SlotCell* CheckContext::CellIfPresent(uint32_t slot) const {
   return &chunk->cells[slot % kSlotsPerChunk];
 }
 
+void CheckContext::StoreCellLocked(SlotCell& cell, CtxValue value) {
+  uint64_t header = 0;
+  uint64_t words[kPayloadWords];
+  const bool fits_inline = EncodeInline(value, &header, words);
+  const uint32_t odd = ClaimCell(cell);
+  if (fits_inline) {
+    cell.header.store(header, std::memory_order_relaxed);
+    const uint32_t word_count = InlineWordCount(header);
+    for (uint32_t i = 0; i < word_count; ++i) {
+      cell.words[i].store(words[i], std::memory_order_relaxed);
+    }
+  } else {
+    // Overflow strings live in the stripe-guarded member; the tag redirects
+    // readers onto the locked path. copy-in: replication, never aliasing.
+    cell.overflow = std::move(std::get<std::string>(value));
+    cell.header.store(static_cast<uint64_t>(SlotTag::kOverflowStr),
+                      std::memory_order_relaxed);
+  }
+  PublishCell(cell, odd);
+}
+
 void CheckContext::WriteSlot(uint32_t slot, CtxValue value) {
   SlotCell* cell = CellFor(slot);
-  std::lock_guard<std::mutex> lock(stripes_[slot % kStripes]);
-  cell->populated = true;
-  cell->value = std::move(value);  // copy-in: replication, never aliasing
+  while (snapshot_waiters_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();  // let a pending locked snapshot go first
+  }
+  // Single-slot write: per-cell seqlock atomicity is the whole story, so no
+  // begun/done bracket — a snapshot either sees it or linearizes before it,
+  // and the seq-fingerprint re-check rejects mid-scan movement.
+  {
+    std::lock_guard<std::mutex> lock(stripes_[slot % kStripes]);
+    StoreCellLocked(*cell, std::move(value));
+  }
+  MarkPopulated(slot);
 }
 
 void CheckContext::Set(const std::string& key, CtxValue value) {
   WriteSlot(KeyRegistry::Instance().Intern(key, CtxType::kAny), std::move(value));
 }
 
+bool CheckContext::TryPublishSingle(const HookBatch::Staged& entry) {
+  if (static_cast<SlotTag>(entry.header & 0xff) == SlotTag::kOverflowStr) {
+    return false;  // needs overflow storage → stripe-locked flush
+  }
+  SlotCell& cell = *CellFor(entry.slot);
+  uint32_t s = cell.seq.load(std::memory_order_relaxed);
+  if ((s & 1) != 0 ||
+      !cell.seq.compare_exchange_strong(s, s + 1, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    // Another writer is mid-publish on this cell; take the locked path
+    // instead of spinning so the fast path stays wait-free.
+    return false;
+  }
+  cell.header.store(entry.header, std::memory_order_relaxed);
+  const uint32_t word_count = InlineWordCount(entry.header);
+  for (uint32_t i = 0; i < word_count; ++i) {
+    cell.words[i].store(entry.words[i], std::memory_order_relaxed);
+  }
+  PublishCell(cell, s + 1);
+  MarkPopulated(entry.slot);
+  fastpath_publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool CheckContext::FlushBatchLockFree(HookBatch& batch) {
+  // Stack-bounded: real hook batches carry a handful of values. Bigger ones
+  // (none exist in-repo) just take the striped path.
+  constexpr size_t kMaxFast = 16;
+  if (batch.entries_.size() > kMaxFast) {
+    return false;
+  }
+  // Entries are already in cell wire format; an overflow string bails to the
+  // striped path before any shared state is touched. Duplicate slots
+  // collapse to the batch's last write (claiming one cell twice would
+  // self-deadlock).
+  const HookBatch::Staged* picked[kMaxFast];
+  size_t n = 0;
+  for (const HookBatch::Staged& e : batch.entries_) {
+    if (static_cast<SlotTag>(e.header & 0xff) == SlotTag::kOverflowStr) {
+      return false;
+    }
+    size_t j = 0;
+    while (j < n && picked[j]->slot != e.slot) {
+      ++j;
+    }
+    picked[j] = &e;
+    if (j == n) {
+      ++n;
+    }
+  }
+  // Claim order must be ascending so overlapping batches serialize on their
+  // first common cell (ordered two-phase claiming). One- and two-entry
+  // batches — the dominant hook shapes — order with a single compare;
+  // anything larger takes the insertion sort (n is still tiny).
+  size_t order[kMaxFast];
+  if (n <= 2) {
+    const bool swap = n == 2 && picked[0]->slot > picked[1]->slot;
+    order[0] = swap ? 1 : 0;
+    order[n - 1] = swap ? 0 : n - 1;
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = i;
+      while (j > 0 && picked[order[j - 1]]->slot > picked[i]->slot) {
+        order[j] = order[j - 1];
+        --j;
+      }
+      order[j] = i;
+    }
+  }
+  SlotCell* cells[kMaxFast];
+  for (size_t i = 0; i < n; ++i) {
+    cells[i] = CellFor(picked[i]->slot);  // may allocate the chunk
+  }
+  // Same anti-starvation gate as the striped path (see FlushBatch), but NO
+  // begun/done bracket: because every cell is claimed before any is
+  // published (two-phase), a reader that saw one of this batch's publishes
+  // necessarily finds every other batch cell's seq changed afterwards, so
+  // the snapshot seq-fingerprint re-check catches any torn observation
+  // without the flush paying two counter RMWs per fire.
+  while (snapshot_waiters_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  uint32_t odd[kMaxFast];
+  for (size_t i = 0; i < n; ++i) {
+    odd[order[i]] = ClaimCell(*cells[order[i]]);
+  }
+  // All cells held odd: store payloads, then publish. A reader can never see
+  // part of the batch settle before the rest — unpublished cells read as
+  // unstable until the last publish lands.
+  for (size_t i = 0; i < n; ++i) {
+    cells[i]->header.store(picked[i]->header, std::memory_order_relaxed);
+    const uint32_t word_count = InlineWordCount(picked[i]->header);
+    for (uint32_t w = 0; w < word_count; ++w) {
+      cells[i]->words[w].store(picked[i]->words[w], std::memory_order_relaxed);
+    }
+    PublishCell(*cells[i], odd[i]);
+    MarkPopulated(picked[i]->slot);
+  }
+  return true;
+}
+
 void CheckContext::FlushBatch(HookBatch& batch) {
   if (batch.entries_.empty()) {
     return;
   }
+  if (FlushBatchLockFree(batch)) {
+    batch.entries_.clear();
+    return;
+  }
   // Pre-create cells (may allocate a chunk) before taking any stripe.
   uint32_t stripe_mask = 0;
-  for (const auto& [slot, value] : batch.entries_) {
-    (void)CellFor(slot);
-    stripe_mask |= 1u << (slot % kStripes);
+  for (const HookBatch::Staged& e : batch.entries_) {
+    (void)CellFor(e.slot);
+    stripe_mask |= 1u << (e.slot % kStripes);
+  }
+  // Gate check before entering the flush window: costs one relaxed-class
+  // load per flush when idle, and keeps a hot writer fleet from barging the
+  // stripes away from a locked-fallback snapshot indefinitely.
+  while (snapshot_waiters_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
   }
   // All touched stripes held at once, acquired in ascending order (the same
-  // order SnapshotConsistent uses), so a reader can never see half a batch
-  // and two overlapping batches can never interleave their slots.
+  // order the locked snapshot fallback uses), so a locked reader can never
+  // see half a batch and two overlapping batches can never interleave their
+  // slots.
   for (uint32_t s = 0; s < kStripes; ++s) {
     if (stripe_mask & (1u << s)) {
       stripes_[s].lock();
     }
   }
-  for (auto& [slot, value] : batch.entries_) {
-    SlotCell* cell = CellFor(slot);
-    cell->populated = true;
-    cell->value = std::move(value);
+  // The begun/done bracket lets optimistic snapshots prove no STRIPED flush
+  // overlapped their scan — cells here publish one at a time, so per-cell
+  // seqs alone can't rule out a half-landed batch. It sits inside the stripe
+  // section so the counters only ever move while some stripe is held: the
+  // locked fallback, which holds them all, can therefore never deadlock
+  // waiting on a flusher that is itself queued behind those stripes. The
+  // acq_rel RMW keeps the cell stores below from hoisting above it.
+  flushes_begun_.fetch_add(1, std::memory_order_acq_rel);
+  for (const HookBatch::Staged& e : batch.entries_) {
+    SlotCell& cell = *CellFor(e.slot);
+    const uint32_t odd = ClaimCell(cell);
+    if (static_cast<SlotTag>(e.header & 0xff) == SlotTag::kOverflowStr) {
+      // The staged entry carries the overflow_ index; the string itself
+      // lands in the stripe-guarded member.
+      cell.overflow = std::move(batch.overflow_[e.words[0]]);
+      cell.header.store(static_cast<uint64_t>(SlotTag::kOverflowStr),
+                        std::memory_order_relaxed);
+    } else {
+      cell.header.store(e.header, std::memory_order_relaxed);
+      const uint32_t word_count = InlineWordCount(e.header);
+      for (uint32_t w = 0; w < word_count; ++w) {
+        cell.words[w].store(e.words[w], std::memory_order_relaxed);
+      }
+    }
+    PublishCell(cell, odd);
+    MarkPopulated(e.slot);
   }
+  flushes_done_.fetch_add(1, std::memory_order_acq_rel);
   for (uint32_t s = kStripes; s-- > 0;) {
     if (stripe_mask & (1u << s)) {
       stripes_[s].unlock();
     }
   }
   batch.entries_.clear();
+  batch.overflow_.clear();
 }
 
 void CheckContext::MarkReady(TimeNs now) {
   HookBatch& batch = ThreadBatch();
   if (batch.owner_id_ == id_) {
-    FlushBatch(batch);
+    // Single-value batches — the dominant hook shape — publish with one
+    // claim-CAS and one release store, skipping the stripe dance entirely.
+    if (batch.entries_.size() == 1 && TryPublishSingle(batch.entries_[0])) {
+      batch.entries_.clear();
+    } else {
+      FlushBatch(batch);
+    }
     batch.owner_id_ = 0;
   }
   last_update_.store(now, std::memory_order_release);
@@ -231,16 +635,75 @@ size_t CheckContext::pending_batch_size() const {
   return batch.owner_id_ == id_ ? batch.entries_.size() : 0;
 }
 
+// ------------------------------------------------------------ read paths
+
 std::optional<CtxValue> CheckContext::ReadSlot(uint32_t slot) const {
   const SlotCell* cell = CellIfPresent(slot);
   if (cell == nullptr) {
     return std::nullopt;
   }
+  CtxValue value;
+  for (int attempt = 0; attempt < kCellRetries; ++attempt) {
+    switch (TryReadCell(*cell, &value)) {
+      case CellRead::kOk:
+        return value;
+      case CellRead::kEmpty:
+        return std::nullopt;
+      case CellRead::kOverflow:
+        get_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return ReadSlotLocked(slot, *cell);
+      case CellRead::kUnstable:
+        break;  // writer mid-publish; its window is a few stores — retry
+    }
+  }
+  get_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return ReadSlotLocked(slot, *cell);
+}
+
+bool CheckContext::ReadCellStripeHeld(const SlotCell& cell, CtxValue* out) const {
+  // Stripe held: striped flushes and overflow writers are excluded. The
+  // remaining racers — the single-value fast path and the lock-free batch
+  // flush — hold a cell odd only for a handful of stores before publishing
+  // (neither blocks while claiming), so the loop converges quickly.
+  for (int spin = 0;; ++spin) {
+    switch (TryReadCell(cell, out)) {
+      case CellRead::kOk:
+        return true;
+      case CellRead::kEmpty:
+        return false;
+      case CellRead::kOverflow: {
+        const uint32_t s1 = cell.seq.load(std::memory_order_acquire);
+        const uint64_t header = cell.header.load(std::memory_order_acquire);
+        if ((s1 & 1) == 0 &&
+            static_cast<SlotTag>(header & 0xff) == SlotTag::kOverflowStr) {
+          // `overflow` is only mutated under this stripe, so the copy itself
+          // is safe; the seq re-check pairs it with the tag we validated.
+          std::string copy = cell.overflow;
+          std::atomic_thread_fence(std::memory_order_acquire);
+          if (cell.seq.load(std::memory_order_relaxed) == s1) {
+            *out = CtxValue(std::move(copy));
+            return true;
+          }
+        }
+        break;
+      }
+      case CellRead::kUnstable:
+        break;
+    }
+    if (spin % 64 == 63) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::optional<CtxValue> CheckContext::ReadSlotLocked(uint32_t slot,
+                                                     const SlotCell& cell) const {
   std::lock_guard<std::mutex> lock(stripes_[slot % kStripes]);
-  if (!cell->populated) {
+  CtxValue value;
+  if (!ReadCellStripeHeld(cell, &value)) {
     return std::nullopt;
   }
-  return cell->value;
+  return value;
 }
 
 std::optional<CtxValue> CheckContext::Get(const std::string& key) const {
@@ -251,49 +714,209 @@ std::optional<CtxValue> CheckContext::Get(const std::string& key) const {
   return ReadSlot(*slot);
 }
 
-std::optional<std::string> CheckContext::GetString(const std::string& key) const {
-  return Get<std::string>(key);
-}
-
-std::optional<int64_t> CheckContext::GetInt(const std::string& key) const {
-  return Get<int64_t>(key);
-}
-
-std::optional<double> CheckContext::GetDouble(const std::string& key) const {
-  return Get<double>(key);
-}
-
 CheckContext::ConsistentSnapshot CheckContext::SnapshotConsistent() const {
   ConsistentSnapshot snapshot;
-  // One registry lock up front for all slot names (interning only appends,
-  // so any slot populated in this context is already in the table).
-  const std::vector<const std::string*> names =
-      KeyRegistry::Instance().Names(kSlotsPerChunk * kMaxChunks);
+  // Values land directly in the result's flat entry array — one reserve up
+  // front (slot capacity is tiny: chunks in use × kSlotsPerChunk), no
+  // intermediate scratch, no per-entry re-move on success.
+  KeyRegistry& registry = KeyRegistry::Instance();
+  std::vector<CtxSnapshot::Entry>& entries = snapshot.values.entries_;
+  const uint32_t chunk_limit = chunk_limit_.load(std::memory_order_acquire);
+  entries.reserve(static_cast<size_t>(chunk_limit) * kSlotsPerChunk);
+  for (int attempt = 0; attempt < kSnapshotRetries; ++attempt) {
+    entries.clear();
+    const uint64_t begun = flushes_begun_.load(std::memory_order_acquire);
+    if (flushes_done_.load(std::memory_order_acquire) != begun) {
+      // A striped batch flush is mid-flight right now; its cells would tear.
+      snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Fingerprint pre-pass: freeze the set of cells this attempt will visit
+    // (the populated masks) and sum their seq counters. Seqs only ever grow,
+    // so an equal sum after the value pass proves no visited cell moved
+    // while values were being copied. Because the lock-free flush claims
+    // EVERY batch cell (odd seq) before publishing ANY, a reader that copied
+    // one value of a batch finds some other visited seq changed by re-check
+    // time — so the fingerprint rules out torn batches without the write
+    // path paying a per-flush counter bracket. Striped flushes publish cell
+    // by cell and are covered by the begun/done bracket instead.
+    const Chunk* chunk_ptrs[kMaxChunks];
+    uint32_t masks[kMaxChunks];
+    uint64_t fingerprint = 0;
+    for (uint32_t ci = 0; ci < chunk_limit; ++ci) {
+      const Chunk* chunk = chunks_[ci].load(std::memory_order_acquire);
+      chunk_ptrs[ci] = chunk;
+      // Only ever-populated cells are worth probing; the bitmask iteration
+      // skips the (typically dominant) empty remainder of the chunk.
+      uint32_t mask =
+          chunk == nullptr ? 0u : chunk->populated.load(std::memory_order_acquire);
+      masks[ci] = mask;
+      while (mask != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        fingerprint += chunk->cells[i].seq.load(std::memory_order_relaxed);
+      }
+    }
+    // Orders the fingerprint loads before every value load below — the
+    // seqlock reader-entry fence (all accesses atomic: TSan-clean).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    bool stable = true;
+    for (uint32_t ci = 0; ci < chunk_limit && stable; ++ci) {
+      const Chunk* chunk = chunk_ptrs[ci];
+      uint32_t mask = masks[ci];
+      while (mask != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const SlotCell& cell = chunk->cells[i];
+        const uint32_t slot = ci * kSlotsPerChunk + i;
+        // Emplace first and decode straight into the entry's variant — no
+        // temporary CtxValue, no post-scan move. Misreads pop it back off.
+        CtxSnapshot::Entry& entry =
+            entries.emplace_back(&registry.NameOf(slot), CtxValue{});
+        CellRead read = CellRead::kUnstable;
+        for (int spin = 0; spin < kCellRetries; ++spin) {
+          read = TryReadCell(cell, &entry.second);
+          if (read != CellRead::kUnstable) {
+            break;
+          }
+        }
+        if (read == CellRead::kUnstable) {
+          stable = false;  // the whole attempt is discarded
+          break;
+        }
+        if (read == CellRead::kOverflow) {
+          // Long string: one stripe briefly, for this cell only — the scan
+          // stays lock-free for every inline slot.
+          auto locked = ReadSlotLocked(slot, cell);
+          if (locked.has_value()) {
+            entry.second = std::move(*locked);
+          } else {
+            entries.pop_back();
+          }
+          continue;
+        }
+        if (read != CellRead::kOk) {
+          entries.pop_back();  // kEmpty: bit raced a first write mid-claim
+        }
+      }
+    }
+    // The fence orders every value load before the validation loads: the
+    // bracket re-check (striped flushes) and the fingerprint re-check
+    // (fast-path publishes and lock-free batch flushes). Either moving
+    // during the scan discards the attempt, so a snapshot can never mix two
+    // concurrently-published batches.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (!stable || flushes_begun_.load(std::memory_order_relaxed) != begun) {
+      snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    uint64_t recheck = 0;
+    for (uint32_t ci = 0; ci < chunk_limit; ++ci) {
+      const Chunk* chunk = chunk_ptrs[ci];
+      uint32_t mask = masks[ci];
+      while (mask != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        recheck += chunk->cells[i].seq.load(std::memory_order_relaxed);
+      }
+    }
+    if (recheck != fingerprint) {
+      snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    snapshot_optimistic_.fetch_add(1, std::memory_order_relaxed);
+    snapshot.epoch = epoch_.load(std::memory_order_acquire);
+    snapshot.last_update = last_update_.load(std::memory_order_acquire);
+    return snapshot;
+  }
+  snapshot_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return SnapshotLocked();
+}
+
+CheckContext::ConsistentSnapshot CheckContext::SnapshotLocked() const {
+  ConsistentSnapshot snapshot;
+  snapshot_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  // Holding every stripe quiesces the striped writers (overflow batches,
+  // WriteSlot): their begun/done bracket only moves while a stripe is held,
+  // so no striped flush can be in flight here and none can start. Lock-free
+  // batch flushes and fast-path publishes don't take stripes; consistency
+  // against them comes from the same seq-fingerprint the optimistic path
+  // uses, in a retry loop. The retries are bounded — the waiter count we
+  // bumped above gates NEW lock-free flushes, so only writers already past
+  // the gate check can move a visited seq, at most once each.
   for (uint32_t s = 0; s < kStripes; ++s) {
     stripes_[s].lock();
   }
-  snapshot.epoch = epoch_.load(std::memory_order_acquire);
-  snapshot.last_update = last_update_.load(std::memory_order_acquire);
-  for (uint32_t chunk_index = 0; chunk_index < kMaxChunks; ++chunk_index) {
-    const Chunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
-    if (chunk == nullptr) {
-      continue;
-    }
-    for (uint32_t i = 0; i < kSlotsPerChunk; ++i) {
-      const SlotCell& cell = chunk->cells[i];
-      if (cell.populated) {
-        snapshot.values.emplace(*names[chunk_index * kSlotsPerChunk + i], cell.value);
+  KeyRegistry& registry = KeyRegistry::Instance();
+  const uint32_t chunk_limit = chunk_limit_.load(std::memory_order_acquire);
+  for (;;) {
+    snapshot.values.entries_.clear();
+    const Chunk* chunk_ptrs[kMaxChunks];
+    uint32_t masks[kMaxChunks];
+    uint64_t fingerprint = 0;
+    for (uint32_t ci = 0; ci < chunk_limit; ++ci) {
+      const Chunk* chunk = chunks_[ci].load(std::memory_order_acquire);
+      chunk_ptrs[ci] = chunk;
+      uint32_t mask =
+          chunk == nullptr ? 0u : chunk->populated.load(std::memory_order_acquire);
+      masks[ci] = mask;
+      while (mask != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        fingerprint += chunk->cells[i].seq.load(std::memory_order_relaxed);
       }
     }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (uint32_t ci = 0; ci < chunk_limit; ++ci) {
+      const Chunk* chunk = chunk_ptrs[ci];
+      uint32_t mask = masks[ci];
+      while (mask != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        CtxValue value;
+        if (ReadCellStripeHeld(chunk->cells[i], &value)) {
+          snapshot.values.entries_.emplace_back(
+              &registry.NameOf(ci * kSlotsPerChunk + i), std::move(value));
+        }
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t recheck = 0;
+    for (uint32_t ci = 0; ci < chunk_limit; ++ci) {
+      const Chunk* chunk = chunk_ptrs[ci];
+      uint32_t mask = masks[ci];
+      while (mask != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        recheck += chunk->cells[i].seq.load(std::memory_order_relaxed);
+      }
+    }
+    if (recheck == fingerprint) {
+      break;
+    }
+    std::this_thread::yield();  // a pre-gate lock-free writer raced the scan
   }
+  snapshot.epoch = epoch_.load(std::memory_order_acquire);
+  snapshot.last_update = last_update_.load(std::memory_order_acquire);
   for (uint32_t s = kStripes; s-- > 0;) {
     stripes_[s].unlock();
   }
+  snapshot_waiters_.fetch_sub(1, std::memory_order_acq_rel);
   return snapshot;
 }
 
-std::map<std::string, CtxValue> CheckContext::Snapshot() const {
+CtxSnapshot CheckContext::Snapshot() const {
   return SnapshotConsistent().values;
+}
+
+CheckContext::ReadStats CheckContext::read_stats() const {
+  ReadStats stats;
+  stats.snapshot_optimistic = snapshot_optimistic_.load(std::memory_order_relaxed);
+  stats.snapshot_retries = snapshot_retries_.load(std::memory_order_relaxed);
+  stats.snapshot_fallbacks = snapshot_fallbacks_.load(std::memory_order_relaxed);
+  stats.get_fallbacks = get_fallbacks_.load(std::memory_order_relaxed);
+  stats.fastpath_publishes = fastpath_publishes_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 namespace {
@@ -333,17 +956,29 @@ CtxValue ParseUntagged(const std::string& text) {
 }  // namespace
 
 std::string CheckContext::Dump() const {
-  const auto snapshot = Snapshot();
+  const CtxSnapshot snapshot = Snapshot();
+  // Snapshot entries come in slot (intern) order, which depends on which
+  // hook site ran first; sort by name so a failure signature's dump is
+  // byte-stable across runs.
+  std::vector<const CtxSnapshot::Entry*> ordered;
+  ordered.reserve(snapshot.size());
+  for (const auto& entry : snapshot) {
+    ordered.push_back(&entry);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CtxSnapshot::Entry* a, const CtxSnapshot::Entry* b) {
+              return *a->first < *b->first;
+            });
   std::string out = "{";
   bool first = true;
-  for (const auto& [key, value] : snapshot) {
+  for (const CtxSnapshot::Entry* entry : ordered) {
     if (!first) {
       out += ", ";
     }
     first = false;
-    out += key + "=";
-    out += DumpTag(value);
-    out += ':' + CtxValueToString(value);
+    out += *entry->first + "=";
+    out += DumpTag(entry->second);
+    out += ':' + CtxValueToString(entry->second);
   }
   out += "}";
   return out;

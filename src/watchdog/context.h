@@ -13,19 +13,25 @@
 //   * Typed keys. A `ContextKey<T>` is registered once (process-wide) and
 //     resolves a name to a slot index, so a hook-site write is an indexed
 //     store — no string hashing, no map insert, no global lock.
-//   * Sharded storage. Slots live in lazily-allocated chunks guarded by
-//     striped locks, so concurrent hook sites writing different keys never
-//     contend on a shared mutex.
+//   * Sharded storage. Slots live in lazily-allocated chunks; writers are
+//     serialized by striped locks, so concurrent hook sites writing
+//     different keys never contend on a shared mutex.
 //   * Batched one-way sync. Writes staged through the typed API accumulate
 //     in a thread-local HookBatch; MarkReady() flushes the whole batch under
 //     the (few) stripes it touches and only then publishes the epoch + READY
-//     flag. Checkers therefore only ever observe fully-populated contexts,
-//     and Snapshot() — which briefly holds every stripe — can never see a
-//     torn batch.
+//     flag. Checkers therefore only ever observe fully-populated contexts.
+//     Single-value batches (the dominant hook shape) skip the stripes
+//     entirely: one claim-CAS + release-store publish.
 //
-// The string-keyed Set/GetString/GetInt/GetDouble surface from v1 remains as
-// a thin shim over the slot store (deprecated; see docs/CONTEXT_API.md for
-// the migration recipe).
+// v3 read path (see docs/CONTEXT_API.md "Read path"): checker-side reads are
+// lock-free. Every slot cell carries a seqlock-style epoch (even = stable,
+// odd = mid-write) over a fixed atomic-word payload, so `Get()` is an
+// optimistic copy + re-validate, and `SnapshotConsistent()` is an optimistic
+// whole-store scan validated against a flush-window counter pair — it takes
+// ZERO stripe mutexes unless a flush overlaps it repeatedly (bounded retries,
+// then the locked fallback). The name→slot KeyRegistry is an append-only
+// intern table probed lock-free, so `Get<T>(name)` and snapshot name
+// resolution never lock either.
 //
 // The watchdog driver refuses to run a checker whose context is not READY
 // (e.g. an in-memory kvs never flushes, so the flush checker never fires —
@@ -42,6 +48,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -72,13 +79,43 @@ template <>
 struct CtxTypeOf<std::string> { static constexpr CtxType value = CtxType::kString; };
 template <>
 struct CtxTypeOf<CtxValue> { static constexpr CtxType value = CtxType::kAny; };
+
+// Typed view of a stored variant: exact-type match, except ints widen to
+// double (v1 GetDouble compat). Shared by CheckContext::Get and
+// CtxSnapshot::Get so point reads and snapshot lookups agree on semantics.
+template <typename T>
+std::optional<T> ExtractTyped(const CtxValue& value) {
+  if constexpr (std::is_same_v<T, CtxValue>) {
+    return value;
+  } else {
+    if (const T* typed = std::get_if<T>(&value)) {
+      return *typed;
+    }
+    if constexpr (std::is_same_v<T, double>) {
+      if (const int64_t* i = std::get_if<int64_t>(&value)) {
+        return static_cast<double>(*i);
+      }
+    }
+    return std::nullopt;
+  }
+}
 }  // namespace internal
 
 // Process-wide intern table: key name -> (slot index, declared type). Slots
 // are assigned once and never recycled; every CheckContext indexes its own
 // storage with the same slot numbers, so a key handle works on any context.
+//
+// Lookups (Find / NameOf / TypeOf / Names) are lock-free: entries are
+// append-only, published with release stores into a fixed open-addressed
+// bucket array and a by-slot array, and never moved or destroyed — the
+// RCU-style "immutable once published" discipline without any reclamation,
+// because nothing is ever retired. Only Intern's insert slow path takes the
+// writer mutex.
 class KeyRegistry {
  public:
+  // Matches CheckContext's slot capacity (kSlotsPerChunk * kMaxChunks).
+  static constexpr uint32_t kMaxKeys = 2048;
+
   static KeyRegistry& Instance();
 
   // Interns `name`, returning its stable slot. The first registration with a
@@ -90,22 +127,76 @@ class KeyRegistry {
   const std::string& NameOf(uint32_t slot) const;
   CtxType TypeOf(uint32_t slot) const;
   uint32_t size() const;
-  // Name pointers for slots [0, limit): one registry lock for the whole
-  // table instead of one per NameOf call (snapshot path). The pointers stay
-  // valid after the lock drops — entries are never destroyed or moved.
+  // Name pointers for slots [0, limit). The pointers stay valid forever —
+  // entries are never destroyed or moved.
   std::vector<const std::string*> Names(uint32_t limit) const;
 
  private:
   KeyRegistry() = default;
 
   struct Entry {
-    std::string name;
-    CtxType type;
+    Entry(std::string n, CtxType t, uint32_t s)
+        : name(std::move(n)), type(t), slot(s) {}
+    const std::string name;
+    std::atomic<CtxType> type;
+    const uint32_t slot;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, uint32_t, std::less<>> by_name_;
-  std::vector<std::unique_ptr<Entry>> entries_;  // stable addresses
+  static constexpr uint32_t kBuckets = 4096;  // 2x kMaxKeys, power of two
+
+  // Linear-probe lookup; nullptr on miss. Safe concurrently with inserts:
+  // probing stops at the first null bucket and inserts only fill nulls.
+  Entry* Probe(std::string_view name) const;
+
+  std::mutex write_mu_;  // serializes interns; lookups never take it
+  std::array<std::atomic<Entry*>, kBuckets> buckets_{};
+  std::array<std::atomic<Entry*>, kMaxKeys> by_slot_{};
+  std::atomic<uint32_t> count_{0};
+};
+
+// The checker-side snapshot container: a flat array of (interned name,
+// value) entries in slot order. Key names are pointers into KeyRegistry
+// entries — which are never destroyed or moved — so building a snapshot
+// copies zero key strings and performs one allocation. (The std::map this
+// replaced cost more to build than the entire lock-free cell scan it was
+// fed from: node allocations plus a string copy per key.) Lookups are
+// linear scans: contexts hold tens of keys and checkers mostly iterate.
+//
+// Entries are pairs so map idioms survive: `find()` returns an Entry
+// pointer whose miss value is `end()`, `it->second` is the value, and
+// structured bindings iterate as [name_ptr, value].
+class CtxSnapshot {
+ public:
+  using Entry = std::pair<const std::string*, CtxValue>;
+  using const_iterator = const Entry*;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const_iterator begin() const { return entries_.data(); }
+  const_iterator end() const { return entries_.data() + entries_.size(); }
+
+  // Entry pointer, or end() when the key is absent (map-idiom compatible).
+  const_iterator find(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name) != end(); }
+  // Throws std::out_of_range when absent, like std::map::at.
+  const CtxValue& at(std::string_view name) const;
+  // Typed lookup with the same widening rules as CheckContext::Get.
+  template <typename T>
+  std::optional<T> Get(std::string_view name) const {
+    const const_iterator it = find(name);
+    if (it == end()) {
+      return std::nullopt;
+    }
+    return internal::ExtractTyped<T>(it->second);
+  }
+  // Deep copy into the owning-map shape used by serialization (Restore,
+  // failure-signature persistence). Off the hot path by design.
+  std::map<std::string, CtxValue> ToMap() const;
+
+ private:
+  friend class CheckContext;
+
+  std::vector<Entry> entries_;
 };
 
 // A typed key handle: name -> slot resolution done once (`Of` interns into
@@ -164,7 +255,20 @@ class HookBatch {
  private:
   friend class CheckContext;
 
-  std::vector<std::pair<uint32_t, CtxValue>> entries_;
+  // One staged write, already encoded in the cell wire format (tag/length
+  // header + payload words — see CheckContext::SlotTag). Encoding at Set()
+  // time keeps this POD: staging appends 64 flat bytes, MarkReady's flush
+  // stores the words straight into the slot cell without re-inspecting a
+  // variant, and clear() is a pointer reset instead of a destructor walk.
+  // Strings too long for the inline words park in `overflow_` and stage
+  // their index in words[0]; such batches take the striped flush path.
+  struct Staged {
+    uint32_t slot;
+    uint64_t header;
+    uint64_t words[6];  // == CheckContext::kPayloadWords (static_asserted)
+  };
+  std::vector<Staged> entries_;
+  std::vector<std::string> overflow_;
   uint64_t owner_id_ = 0;  // CheckContext::id_ of the staging target
 };
 
@@ -190,13 +294,15 @@ class CheckContext {
     StageWrite(key.slot(), std::move(value));
   }
   // DEPRECATED string-keyed shim (v1): interns the key on every call and
-  // writes the slot immediately (un-batched). Prefer ContextKey<T>.
+  // writes the slot immediately (un-batched). Kept for Restore/ParseDump
+  // round trips; prefer ContextKey<T> everywhere else.
   void Set(const std::string& key, CtxValue value);
 
-  // Flushes the calling thread's staged batch (all touched stripes held at
-  // once, so readers can never observe half a batch), then publishes: bumps
-  // the epoch and marks the context READY. Hooks call this after staging all
-  // the values the checker's reduced ops need.
+  // Publishes the calling thread's staged batch, then bumps the epoch and
+  // marks the context READY. Multi-value batches flush under every stripe
+  // they touch (held at once, so readers can never observe half a batch);
+  // a single inline-encodable value takes the wait-free fast path — one
+  // claim-CAS on its cell and one release-store publish, no mutex.
   void MarkReady(TimeNs now);
   // Drops READY (e.g. component shut down / reconfigured).
   void Invalidate();
@@ -208,11 +314,14 @@ class CheckContext {
 
   // The one typed getter. Returns nullopt when the key was never written or
   // holds a different type (ints widen to double, matching v1 GetDouble).
+  // Lock-free: an optimistic seqlock copy of the slot cell; falls back to
+  // the stripe lock only after bounded retries or for overflow strings.
   template <typename T>
   std::optional<T> Get(const ContextKey<T>& key) const {
     return Extract<T>(ReadSlot(key.slot()));
   }
   // Typed read through a name (cold paths: executors, invariant miners).
+  // The registry probe is lock-free too.
   template <typename T>
   std::optional<T> Get(std::string_view name) const {
     const auto slot = KeyRegistry::Instance().Find(name);
@@ -224,22 +333,18 @@ class CheckContext {
   // The single dump-oriented untyped accessor: the raw variant, any type.
   std::optional<CtxValue> Get(const std::string& key) const;
 
-  // DEPRECATED v1 accessors, kept as thin shims over Get<T>; migrate to
-  // Get(ContextKey<T>) on hot paths or Get<T>(name) on cold ones.
-  std::optional<std::string> GetString(const std::string& key) const;
-  std::optional<int64_t> GetInt(const std::string& key) const;
-  std::optional<double> GetDouble(const std::string& key) const;
-
   // Epoch-consistent full copy for failure signatures ("failure-inducing
-  // context", §5.2). Briefly holds every stripe, so the values can never mix
-  // two concurrently-flushed batches.
+  // context", §5.2). Optimistic: scans every slot cell without locks and
+  // validates that no batch flush overlapped the scan (so the values can
+  // never mix two concurrently-flushed batches); after kSnapshotRetries
+  // overlapped attempts it falls back to holding every stripe.
   struct ConsistentSnapshot {
     uint64_t epoch = 0;
     TimeNs last_update = 0;
-    std::map<std::string, CtxValue> values;
+    CtxSnapshot values;
   };
   ConsistentSnapshot SnapshotConsistent() const;
-  std::map<std::string, CtxValue> Snapshot() const;
+  CtxSnapshot Snapshot() const;
   std::string Dump() const;
 
   // Parses a Dump() string back into values. Understands both the v2 format
@@ -254,55 +359,184 @@ class CheckContext {
   // Entries this thread has staged for this context but not yet flushed.
   size_t pending_batch_size() const;
 
+  // --- read-path observability ------------------------------------------
+  // Counters for the optimistic machinery (all monotone). Tests assert the
+  // bounded-retry fallback actually triggers under flush churn; benches
+  // report how often snapshots stayed lock-free.
+  struct ReadStats {
+    int64_t snapshot_optimistic = 0;  // snapshots served without stripe locks
+    int64_t snapshot_retries = 0;     // optimistic scans restarted by a flush
+    int64_t snapshot_fallbacks = 0;   // snapshots that took the locked path
+    int64_t get_fallbacks = 0;        // point reads that took a stripe lock
+    int64_t fastpath_publishes = 0;   // MarkReady single-value fast publishes
+  };
+  ReadStats read_stats() const;
+
  private:
   static constexpr uint32_t kSlotsPerChunk = 32;
   static constexpr uint32_t kMaxChunks = 64;  // 2048 slots process-wide
   static constexpr uint32_t kStripes = 16;
+  // Payload capacity of a cell's atomic words: strings up to this many bytes
+  // are stored inline (seqlock-copyable); longer ones live in the
+  // stripe-guarded `overflow` member and force readers onto the locked path.
+  static constexpr uint32_t kInlineBytes = 48;
+  static constexpr uint32_t kPayloadWords = kInlineBytes / 8;
+  // Staged entries are encoded in the cell wire format at Set() time, so
+  // their payload capacity must match the cell's exactly.
+  static_assert(sizeof(HookBatch::Staged::words) == kPayloadWords * sizeof(uint64_t),
+                "HookBatch::Staged must hold a full inline payload");
+  // Bounded optimism: per-cell re-reads before a point read takes the stripe
+  // lock, and whole-scan restarts before a snapshot takes every stripe.
+  static constexpr int kCellRetries = 8;
+  static constexpr int kSnapshotRetries = 4;
 
+  enum class SlotTag : uint8_t {
+    kEmpty = 0,
+    kInt,
+    kDouble,
+    kBool,
+    kInlineStr,    // length in header bits 8.., bytes in words[]
+    kOverflowStr,  // value lives in SlotCell::overflow (stripe-guarded)
+  };
+
+  // One slot. `seq` is the per-slot seqlock epoch: even = stable, odd = a
+  // writer is mid-publish. The payload is a tag/length header plus
+  // kPayloadWords atomic words, so readers copy it with plain atomic loads
+  // (TSan-clean, no torn reads possible). Writers — whether holding the
+  // stripe mutex or on the single-value fast path — claim the cell by
+  // CAS-ing seq even→odd, store the payload, then release-store seq back to
+  // even. `overflow` (strings > kInlineBytes) is written only under the
+  // stripe mutex, and read either under that mutex or never.
   struct SlotCell {
-    bool populated = false;
-    CtxValue value;
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> header{0};  // SlotTag | (inline length << 8)
+    std::array<std::atomic<uint64_t>, kPayloadWords> words{};
+    std::string overflow;
   };
   struct Chunk {
     std::array<SlotCell, kSlotsPerChunk> cells;
+    // Monotone population bitmask: bit i set once cells[i] was ever written
+    // (values are never deleted). Snapshot scans iterate set bits instead of
+    // probing all kSlotsPerChunk cells; the release fetch_or pairs with the
+    // scan's acquire load so a visible bit implies a visible publish. Purely
+    // an accelerator — TryReadCell still classifies unset-but-claimed cells
+    // correctly as empty/unstable.
+    std::atomic<uint32_t> populated{0};
   };
+
+  enum class CellRead { kOk, kEmpty, kUnstable, kOverflow };
 
   template <typename T>
   static std::optional<T> Extract(std::optional<CtxValue> value) {
     if (!value.has_value()) {
       return std::nullopt;
     }
-    if constexpr (std::is_same_v<T, CtxValue>) {
-      return value;
-    } else {
-      if (const T* typed = std::get_if<T>(&*value)) {
-        return *typed;
-      }
-      if constexpr (std::is_same_v<T, double>) {
-        if (const int64_t* i = std::get_if<int64_t>(&*value)) {
-          return static_cast<double>(*i);  // int widens to double (v1 compat)
-        }
-      }
-      return std::nullopt;
-    }
+    return internal::ExtractTyped<T>(*value);
   }
 
+  // Inline payload codec. Encode returns false when the value cannot be
+  // represented in the atomic words (a string longer than kInlineBytes).
+  static bool EncodeInline(const CtxValue& value, uint64_t* header,
+                           uint64_t words[kPayloadWords]);
+  // Words actually carrying payload for `header`: scalars use one, inline
+  // strings ceil(len/8). Writers store and readers load only these —
+  // trailing cell words keep stale bits that no decode ever reads.
+  static uint32_t InlineWordCount(uint64_t header);
+  // Decodes in place (strings construct directly inside the caller's
+  // variant — the snapshot scan decodes straight into its result entry).
+  static void DecodeInlineInto(uint64_t header,
+                               const uint64_t words[kPayloadWords],
+                               CtxValue* out);
+
+  // Seqlock writer protocol. ClaimCell spins (the competing writer's window
+  // is a handful of stores) and returns the odd seq; the caller stores the
+  // payload and publishes with PublishCell.
+  static uint32_t ClaimCell(SlotCell& cell);
+  static void PublishCell(SlotCell& cell, uint32_t odd_seq);
+  // One optimistic read attempt: copies the atomic payload and re-validates
+  // the cell seq around it.
+  static CellRead TryReadCell(const SlotCell& cell, CtxValue* out);
+
+  // The calling thread's batch, claimed for this context (entries staged for
+  // another context and never flushed are abandoned, not leaked into it).
+  HookBatch& OwnedBatch();
+  // Staging overloads: each encodes into the batch's POD wire format. The
+  // typed Set<T> resolves to the exact-type overload, so scalar staging is a
+  // header+word append with no CtxValue variant anywhere on the path.
+  void StageWrite(uint32_t slot, int64_t value);
+  void StageWrite(uint32_t slot, double value);
+  void StageWrite(uint32_t slot, bool value);
+  void StageWrite(uint32_t slot, std::string value);
   void StageWrite(uint32_t slot, CtxValue value);
   // Writes one slot immediately under its stripe (legacy shim, Restore).
   void WriteSlot(uint32_t slot, CtxValue value);
-  // Applies the batch under all touched stripes, then clears it.
+  // Stores `value` into `cell`; the cell's stripe mutex must be held (the
+  // only path allowed to touch `overflow`).
+  void StoreCellLocked(SlotCell& cell, CtxValue value);
+  // Single-value fast path: one claim-CAS + release publish, no stripe. Fails
+  // (→ locked flush) when the value needs overflow storage or the claim CAS
+  // loses to a concurrent writer.
+  bool TryPublishSingle(const HookBatch::Staged& entry);
+  // Records `slot` in its chunk's population bitmask after a publish. The
+  // steady-state overwrite pays one relaxed load (bit already set).
+  void MarkPopulated(uint32_t slot);
+  // Applies the batch and clears it. All-inline batches flush lock-free:
+  // every cell is claimed (seq even→odd, ascending slot order so two
+  // overlapping batches serialize instead of deadlocking or interleaving),
+  // then stored and published — the per-cell seqlocks ARE the locks, and the
+  // claim-all-before-publish-any shape is what lets a snapshot's seq
+  // fingerprint prove batch atomicity without the flush touching any shared
+  // counter. Batches with overflow strings (or absurdly many entries) take
+  // the striped path.
   void FlushBatch(HookBatch& batch);
+  // The lock-free flavor; returns false when the batch needs stripes.
+  bool FlushBatchLockFree(HookBatch& batch);
   SlotCell* CellFor(uint32_t slot);                // allocates the chunk
   const SlotCell* CellIfPresent(uint32_t slot) const;
   std::optional<CtxValue> ReadSlot(uint32_t slot) const;
+  std::optional<CtxValue> ReadSlotLocked(uint32_t slot, const SlotCell& cell) const;
+  // Reads one cell to a stable value; the cell's stripe must be held. The
+  // remaining racers are single-value fast publishes and lock-free batch
+  // flushes (neither takes stripes) — their windows are a few stores wide,
+  // so the wait converges; the stripe still excludes overflow rewrites.
+  bool ReadCellStripeHeld(const SlotCell& cell, CtxValue* out) const;
+  ConsistentSnapshot SnapshotLocked() const;
 
   const std::string name_;
   const uint64_t id_;  // process-unique, guards against stale thread batches
   mutable std::array<std::mutex, kStripes> stripes_;
   std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  // One past the highest chunk index ever allocated: snapshot scans stop
+  // here instead of walking all kMaxChunks pointers (contexts use a handful
+  // of slots; the registry's slot space is process-global).
+  std::atomic<uint32_t> chunk_limit_{0};
   std::atomic<bool> ready_{false};
   std::atomic<uint64_t> epoch_{0};
   std::atomic<TimeNs> last_update_{0};
+  // Flush-window counters for STRIPED flushes only, which publish their
+  // cells one at a time: `begun` moves before the first cell store, `done`
+  // after the last, both inside the stripe-held section, so an optimistic
+  // snapshot can prove no striped flush overlapped its scan (begun stable
+  // across the scan and equal to done at the start) and the locked fallback,
+  // holding every stripe, knows none is in flight. Lock-free batch flushes,
+  // fast-path publishes, and WriteSlot don't participate: the first claims
+  // all cells before publishing any and the latter two touch one cell, so
+  // the snapshot seq-fingerprint re-check already detects them.
+  std::atomic<uint64_t> flushes_begun_{0};
+  std::atomic<uint64_t> flushes_done_{0};
+  // Snapshot gate: while a locked-fallback snapshot is pending, new flushes
+  // yield at entry instead of re-grabbing stripes. Futexes barge — a hot
+  // flusher re-acquires a just-released stripe before the woken snapshot
+  // thread runs — so without the gate a saturating writer fleet can starve
+  // the fallback for whole scheduler rounds (worst on one core). In-flight
+  // flushes are unaffected (they already hold their stripes), and the
+  // single-value fast path ignores the gate entirely to stay wait-free.
+  mutable std::atomic<int> snapshot_waiters_{0};
+  mutable std::atomic<int64_t> snapshot_optimistic_{0};
+  mutable std::atomic<int64_t> snapshot_retries_{0};
+  mutable std::atomic<int64_t> snapshot_fallbacks_{0};
+  mutable std::atomic<int64_t> get_fallbacks_{0};
+  std::atomic<int64_t> fastpath_publishes_{0};
 };
 
 // A single instrumentation point in the main program. Firing an unarmed hook

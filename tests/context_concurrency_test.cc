@@ -127,6 +127,160 @@ TEST(ContextConcurrencyTest, SnapshotNeverObservesTornBatch) {
   }
 }
 
+// Seqlock torture with every writer shape at once: multi-key flush batches,
+// single-value fast-path publishes, and a 2-key batch whose string value
+// overflows the inline payload (routing readers through the per-slot locked
+// path). Each writer embeds the same sequence number in every value of a
+// batch — the overflow writer embeds it in both the string and a sibling
+// int — so any torn or mixed-epoch observation is detectable. Run under the
+// TSan CI leg: all optimistic reads are atomic-word loads by construction.
+TEST(ContextConcurrencyTest, SeqlockTortureMixedWriterShapes) {
+  CheckContext ctx("torture");
+
+  static const auto kBatchA = ContextKey<int64_t>::Of("tt.batch.a");
+  static const auto kBatchB = ContextKey<int64_t>::Of("tt.batch.b");
+  static const auto kBatchC = ContextKey<int64_t>::Of("tt.batch.c");
+  static const auto kFast = ContextKey<int64_t>::Of("tt.fast");
+  static const auto kBigStr = ContextKey<std::string>::Of("tt.big.str");
+  static const auto kBigSeq = ContextKey<int64_t>::Of("tt.big.seq");
+
+  std::atomic<bool> stop{false};
+
+  // Writer 1: 3-key inline batches (stripe-locked flush path).
+  std::thread batch_writer([&] {
+    int64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ctx.Set(kBatchA, seq);
+      ctx.Set(kBatchB, seq);
+      ctx.Set(kBatchC, seq);
+      ctx.MarkReady(seq);
+      ++seq;
+    }
+  });
+
+  // Writer 2: single-value batches (wait-free fast path).
+  std::thread fast_writer([&] {
+    int64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ctx.Set(kFast, seq);
+      ctx.MarkReady(seq);
+      ++seq;
+    }
+  });
+
+  // Writer 3: 2-key batch where the string (> 48 bytes) lands in overflow
+  // storage; the trailing digits encode the same seq as the sibling int.
+  std::thread overflow_writer([&] {
+    const std::string pad(64, 'p');
+    int64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ctx.Set(kBigStr, pad + StrFormat("%lld", static_cast<long long>(seq)));
+      ctx.Set(kBigSeq, seq);
+      ctx.MarkReady(seq);
+      ++seq;
+    }
+  });
+
+  std::atomic<int64_t> snapshots{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      int64_t last_fast = -1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snapshot = ctx.SnapshotConsistent();
+        const auto a = snapshot.values.find("tt.batch.a");
+        if (a != snapshot.values.end()) {
+          ASSERT_EQ(std::get<int64_t>(snapshot.values.at("tt.batch.b")),
+                    std::get<int64_t>(a->second));
+          ASSERT_EQ(std::get<int64_t>(snapshot.values.at("tt.batch.c")),
+                    std::get<int64_t>(a->second));
+        }
+        const auto big = snapshot.values.find("tt.big.str");
+        if (big != snapshot.values.end()) {
+          const std::string& text = std::get<std::string>(big->second);
+          ASSERT_EQ(text.substr(64),
+                    StrFormat("%lld", static_cast<long long>(std::get<int64_t>(
+                                          snapshot.values.at("tt.big.seq")))));
+        }
+        // Fast-path point reads: decoded value is never torn and, from one
+        // thread, never goes backwards (single writer increments it).
+        const auto fast = ctx.Get(kFast);
+        if (fast.has_value()) {
+          ASSERT_GE(*fast, last_fast);
+          last_fast = *fast;
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  RealClock::Instance().SleepFor(Ms(300));
+  stop = true;
+  batch_writer.join();
+  fast_writer.join();
+  overflow_writer.join();
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  EXPECT_GT(snapshots.load(), 50);
+  const auto stats = ctx.read_stats();
+  EXPECT_GT(stats.fastpath_publishes, 0);
+  // Fallbacks may or may not trigger under scheduler noise; optimistic
+  // successes plus fallbacks must account for every completed snapshot.
+  EXPECT_EQ(stats.snapshot_optimistic + stats.snapshot_fallbacks,
+            snapshots.load());
+}
+
+// The bounded-retry fallback: hold a flush window open (flushes_begun_ !=
+// flushes_done_ for the whole call) and SnapshotConsistent must burn its
+// retries, take the locked path, and still return a coherent result.
+TEST(ContextConcurrencyTest, SnapshotFallsBackUnderPersistentFlushChurn) {
+  CheckContext ctx("fallback");
+  static const auto kA = ContextKey<int64_t>::Of("fb.a");
+  static const auto kB = ContextKey<int64_t>::Of("fb.b");
+  ctx.Set(kA, 1);
+  ctx.Set(kB, 1);
+  ctx.MarkReady(1);
+
+  // Churn writers: two-key batches as fast as they can flush, so snapshot
+  // scans keep colliding with open flush windows.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      int64_t seq = 2;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ctx.Set(kA, seq);
+        ctx.Set(kB, seq);
+        ctx.MarkReady(seq);
+        ++seq;
+      }
+    });
+  }
+
+  int64_t completed = 0;
+  const TimeNs deadline = RealClock::Instance().NowNs() + Ms(300);
+  while (RealClock::Instance().NowNs() < deadline) {
+    const auto snapshot = ctx.SnapshotConsistent();
+    ASSERT_EQ(std::get<int64_t>(snapshot.values.at("fb.a")),
+              std::get<int64_t>(snapshot.values.at("fb.b")));
+    ++completed;
+    if (ctx.read_stats().snapshot_fallbacks > 0 && completed > 100) {
+      break;  // exercised both the retry burn and the locked path
+    }
+  }
+  stop = true;
+  for (auto& t : writers) {
+    t.join();
+  }
+  const auto stats = ctx.read_stats();
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(stats.snapshot_retries + stats.snapshot_optimistic, 0);
+  // Every snapshot completed one way or the other — none hung, none torn.
+  EXPECT_EQ(stats.snapshot_optimistic + stats.snapshot_fallbacks, completed);
+}
+
 TEST(ContextConcurrencyTest, EpochCountsFlushesExactly) {
   CheckContext ctx("c");
   constexpr int kThreads = 4;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/common/clock.h"
+#include "src/common/strings.h"
 #include "src/fault/fault_injector.h"
 #include "src/watchdog/builder.h"
 #include "src/watchdog/builtin_checkers.h"
@@ -79,20 +80,80 @@ TEST(CheckContextTest, KeyRegistryInternsOnce) {
   EXPECT_EQ(KeyRegistry::Instance().TypeOf(typed.slot()), CtxType::kInt);
 }
 
-// DEPRECATED-shim coverage: the v1 string-keyed surface must keep working
-// (immediate, un-batched writes) until every external caller migrates.
-TEST(CheckContextTest, LegacyStringAccessors) {
+// The v1 string-keyed *write* surface must keep working (immediate,
+// un-batched writes — Restore depends on it); the read side is the typed
+// Get<T>(name) that replaced the deleted GetInt/GetDouble/GetString shim.
+TEST(CheckContextTest, LegacyStringWritesReadBackTyped) {
   CheckContext ctx("c");
   ctx.Set("i", int64_t{42});
   ctx.Set("d", 2.5);
   ctx.Set("s", std::string("text"));
   ctx.Set("b", true);
-  EXPECT_EQ(*ctx.GetInt("i"), 42);
-  EXPECT_DOUBLE_EQ(*ctx.GetDouble("d"), 2.5);
-  EXPECT_DOUBLE_EQ(*ctx.GetDouble("i"), 42.0);  // int widens to double
-  EXPECT_EQ(*ctx.GetString("s"), "text");
-  EXPECT_FALSE(ctx.GetInt("s").has_value());    // type mismatch
+  EXPECT_EQ(*ctx.Get<int64_t>("i"), 42);
+  EXPECT_DOUBLE_EQ(*ctx.Get<double>("d"), 2.5);
+  EXPECT_DOUBLE_EQ(*ctx.Get<double>("i"), 42.0);  // int widens to double
+  EXPECT_EQ(*ctx.Get<std::string>("s"), "text");
+  EXPECT_TRUE(*ctx.Get<bool>("b"));
+  EXPECT_FALSE(ctx.Get<int64_t>("s").has_value());  // type mismatch
   EXPECT_FALSE(ctx.Get("missing").has_value());
+}
+
+// Strings longer than the 48-byte inline payload land in the stripe-guarded
+// overflow member; reads route through the locked per-slot path and must
+// round-trip exactly, including back-to-back overwrites in both directions.
+TEST(CheckContextTest, OverflowStringsRoundTrip) {
+  static const auto kBig = ContextKey<std::string>::Of("ovf.big");
+  const std::string long_value(200, 'x');
+  CheckContext ctx("c");
+  ctx.Set(kBig, long_value);
+  ctx.MarkReady(1);
+  EXPECT_EQ(*ctx.Get(kBig), long_value);
+  EXPECT_EQ(std::get<std::string>(ctx.Snapshot().at("ovf.big")), long_value);
+  ctx.Set(kBig, "short again");  // overflow -> inline overwrite
+  ctx.MarkReady(2);
+  EXPECT_EQ(*ctx.Get(kBig), "short again");
+  ctx.Set(kBig, std::string(64, 'y'));  // inline -> overflow again
+  ctx.MarkReady(3);
+  EXPECT_EQ(*ctx.Get(kBig), std::string(64, 'y'));
+}
+
+// Single-value batches publish through the wait-free fast path (one CAS +
+// one release store); multi-value batches and overflow strings do not.
+TEST(CheckContextTest, SingleValueFastPathCounted) {
+  static const auto kOne = ContextKey<int64_t>::Of("fp.one");
+  static const auto kTwo = ContextKey<int64_t>::Of("fp.two");
+  static const auto kBig = ContextKey<std::string>::Of("fp.big");
+  CheckContext ctx("c");
+  ctx.Set(kOne, 1);
+  ctx.MarkReady(1);
+  EXPECT_EQ(ctx.read_stats().fastpath_publishes, 1);
+  ctx.Set(kOne, 2);
+  ctx.Set(kTwo, 3);
+  ctx.MarkReady(2);  // two-entry batch -> stripe-locked flush
+  EXPECT_EQ(ctx.read_stats().fastpath_publishes, 1);
+  ctx.Set(kBig, std::string(100, 'z'));
+  ctx.MarkReady(3);  // single entry but overflow -> stripe-locked flush
+  EXPECT_EQ(ctx.read_stats().fastpath_publishes, 1);
+  EXPECT_EQ(*ctx.Get(kOne), 2);
+  EXPECT_EQ(*ctx.Get(kTwo), 3);
+  EXPECT_EQ(ctx.epoch(), 3u);
+}
+
+// Uncontended reads never touch a stripe mutex: the optimistic counters
+// advance and the fallback counters stay at zero.
+TEST(CheckContextTest, ReadStatsTrackOptimisticPath) {
+  static const auto kK = ContextKey<int64_t>::Of("stats.k");
+  CheckContext ctx("c");
+  ctx.Set(kK, 7);
+  ctx.MarkReady(1);
+  (void)ctx.Get(kK);
+  (void)ctx.SnapshotConsistent();
+  (void)ctx.Snapshot();
+  const auto stats = ctx.read_stats();
+  EXPECT_EQ(stats.snapshot_optimistic, 2);
+  EXPECT_EQ(stats.snapshot_retries, 0);
+  EXPECT_EQ(stats.snapshot_fallbacks, 0);
+  EXPECT_EQ(stats.get_fallbacks, 0);
 }
 
 TEST(CheckContextTest, SnapshotIsReplicatedCopy) {
@@ -575,6 +636,81 @@ TEST(WatchdogDriverTest, StopIsIdempotentAndStartOnce) {
   driver.Stop();  // no-op
   EXPECT_FALSE(driver.running());
   EXPECT_EQ(driver.checker_count(), 1);
+}
+
+// Watchdog-on-the-watchdog: scripted metric sequences drive the alarm paths.
+TEST(DriverHealthCheckerTest, AlarmsOnRejectionGrowthAndLagGauges) {
+  DriverMetricsSnapshot m;
+  DriverHealthChecker::Thresholds t;  // defaults: growth>=1, 2 consecutive
+  DriverHealthChecker checker("driver_watch", [&] { return m; }, t);
+
+  // First sample only anchors the baseline — even a nonzero total passes.
+  m.queue_rejections = 7;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  // Flat counters and quiet gauges: healthy.
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+
+  // Rejections grow across two consecutive samples → debounced, then alarm.
+  m.queue_rejections = 9;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);  // 1st violation
+  m.queue_rejections = 12;
+  const CheckResult shed = checker.Check();
+  ASSERT_EQ(shed.outcome, CheckOutcome::kFail);
+  EXPECT_EQ(shed.signature.type, FailureType::kSafetyViolation);
+  EXPECT_EQ(shed.signature.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.signature.location.component, "wdg.driver");
+  EXPECT_NE(shed.signature.message.find("shed"), std::string::npos);
+
+  // A single scheduler-lag spike is debounced away by a healthy sample.
+  m.scheduler_lag_ns = 200.0 * kNsPerMs;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  m.scheduler_lag_ns = 0;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+
+  // Sustained p99 queue delay over threshold alarms with the gauge named.
+  m.queue_delay_p99_ns = 500.0 * kNsPerMs;
+  EXPECT_EQ(checker.Check().outcome, CheckOutcome::kPass);
+  const CheckResult lag = checker.Check();
+  ASSERT_EQ(lag.outcome, CheckOutcome::kFail);
+  EXPECT_NE(lag.signature.message.find("queue delay"), std::string::npos);
+}
+
+// Wired against a real driver: a probe fleet saturating a tiny queue sheds
+// submits, and the health checker — sampling the same driver it could run
+// on — turns the rejection growth into a wdg.driver safety violation.
+TEST(DriverHealthCheckerTest, SeesRealDriverRejections) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.executor.workers = 1;
+  options.executor.queue_capacity = 2;  // far smaller than the fleet
+  WatchdogDriver driver(clock, options);
+  for (int i = 0; i < 32; ++i) {
+    driver.AddChecker(std::make_unique<ProbeChecker>(
+        StrFormat("sat%02d", i), "sys",
+        [&clock] {
+          clock.SleepFor(Ms(2));  // keep the worker busy so the queue fills
+          return Status::Ok();
+        },
+        FastChecker()));
+  }
+
+  DriverHealthChecker::Thresholds t;
+  t.consecutive_needed = 1;
+  DriverHealthChecker health("driver_watch",
+                             [&] { return driver.DriverMetrics(); }, t);
+  EXPECT_EQ(health.Check().outcome, CheckOutcome::kPass);  // baseline anchor
+
+  driver.Start();
+  // Wait until backpressure has provably shed at least one submit.
+  for (int i = 0; i < 100 && driver.DriverMetrics().queue_rejections == 0; ++i) {
+    clock.SleepFor(Ms(10));
+  }
+  ASSERT_GT(driver.DriverMetrics().queue_rejections, 0);
+  const CheckResult result = health.Check();
+  driver.Stop();
+  ASSERT_EQ(result.outcome, CheckOutcome::kFail);
+  EXPECT_EQ(result.signature.location.component, "wdg.driver");
+  EXPECT_NE(result.signature.message.find("shed"), std::string::npos);
 }
 
 // ---------------------------------------------------------- CheckerBuilder

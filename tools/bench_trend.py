@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Append the latest bench results to BENCH_TREND.json and gate regressions.
+
+Reads the per-bench JSON artifacts the bench binaries emit
+(BENCH_driver_scale.json, BENCH_context_read.json), extracts a small set of
+tracked headline metrics, and appends one trend entry:
+
+    {"sha": ..., "timestamp": ..., "metrics": {name: value, ...}}
+
+Before appending, each metric is compared against the BEST value it reached in
+the last WINDOW trend entries (direction-aware: throughput should not drop,
+latency should not grow). A metric more than --threshold (default 25%, env
+WDG_BENCH_TREND_THRESHOLD) worse than its recent best fails the run WITHOUT
+appending, so a regressed build can't poison its own baseline. Comparing
+against best-of-window rather than the previous run keeps one noisy CI box
+sample from ratcheting the baseline downward.
+
+Usage:  tools/bench_trend.py [--repo-root DIR] [--threshold 0.25] [--dry-run]
+Exit:   0 appended (or nothing to do with --dry-run), 1 regression, 2 no input.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+# (metric name, source file, extractor, direction). Direction "up" = bigger is
+# better (throughput); "down" = smaller is better (latency).
+TRACKED = [
+    ("driver_pooled_checks_per_sec_256",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=256, mode="pooled")["checks_per_sec"],
+     "up"),
+    ("driver_pooled_p99_queue_delay_us_256",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=256, mode="pooled")["p99_queue_delay_us"],
+     "down"),
+    ("context_get_p50_ns_8r",
+     "BENCH_context_read.json",
+     lambda d: _config(d, readers=8)["get_p50_ns"],
+     "down"),
+    ("context_snapshot_p50_ns_8r",
+     "BENCH_context_read.json",
+     lambda d: _config(d, readers=8)["snapshot_p50_ns"],
+     "down"),
+]
+
+WINDOW = 3  # trend entries the regression gate compares against
+
+
+def _config(doc, **want):
+    for cfg in doc.get("configs", []):
+        if all(cfg.get(k) == v for k, v in want.items()):
+            return cfg
+    raise KeyError(f"no config matching {want}")
+
+
+def collect_metrics(root):
+    metrics, directions = {}, {}
+    for name, source, extract, direction in TRACKED:
+        path = os.path.join(root, source)
+        if not os.path.exists(path):
+            print(f"bench_trend: {source} missing, skipping {name}", file=sys.stderr)
+            continue
+        try:
+            with open(path) as f:
+                metrics[name] = extract(json.load(f))
+            directions[name] = direction
+        except (KeyError, json.JSONDecodeError) as err:
+            print(f"bench_trend: could not read {name} from {source}: {err}",
+                  file=sys.stderr)
+    return metrics, directions
+
+
+def git_sha(root):
+    try:
+        sha = subprocess.run(["git", "rev-parse", "HEAD"], cwd=root, check=True,
+                             capture_output=True, text=True).stdout.strip()
+        dirty = subprocess.run(["git", "status", "--porcelain"], cwd=root,
+                               check=True, capture_output=True,
+                               text=True).stdout.strip()
+        return sha + ("+dirty" if dirty else "")
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def find_regressions(history, metrics, directions, threshold):
+    regressions = []
+    recent = history[-WINDOW:]
+    for name, value in metrics.items():
+        seen = [e["metrics"][name] for e in recent if name in e.get("metrics", {})]
+        if not seen:
+            continue  # new metric: no baseline yet
+        if directions[name] == "up":
+            best = max(seen)
+            if value < best * (1.0 - threshold):
+                regressions.append(f"{name}: {value:g} vs recent best {best:g} "
+                                   f"(-{(1 - value / best) * 100:.0f}%)")
+        else:
+            best = min(seen)
+            if value > best * (1.0 + threshold):
+                regressions.append(f"{name}: {value:g} vs recent best {best:g} "
+                                   f"(+{(value / best - 1) * 100:.0f}%)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root",
+                        default=os.path.join(os.path.dirname(__file__), ".."))
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get("WDG_BENCH_TREND_THRESHOLD",
+                                                     "0.25")))
+    parser.add_argument("--dry-run", action="store_true",
+                        help="gate only; do not append to the trend file")
+    args = parser.parse_args()
+    root = os.path.abspath(args.repo_root)
+
+    metrics, directions = collect_metrics(root)
+    if not metrics:
+        print("bench_trend: no bench artifacts found; run the benches first",
+              file=sys.stderr)
+        return 2
+
+    trend_path = os.path.join(root, "BENCH_TREND.json")
+    history = []
+    if os.path.exists(trend_path):
+        with open(trend_path) as f:
+            history = json.load(f)
+
+    regressions = find_regressions(history, metrics, directions, args.threshold)
+    if regressions:
+        print(f"bench_trend: regression beyond {args.threshold:.0%} "
+              f"(entry NOT appended):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+
+    for name in sorted(metrics):
+        print(f"bench_trend: {name} = {metrics[name]:g} ok")
+    if args.dry_run:
+        return 0
+    history.append({
+        "sha": git_sha(root),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+                     .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "metrics": metrics,
+    })
+    with open(trend_path, "w") as f:
+        json.dump(history, f, indent=2)
+        f.write("\n")
+    print(f"bench_trend: appended entry {len(history)} to BENCH_TREND.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

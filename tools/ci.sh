@@ -34,6 +34,16 @@ echo "=== bench smoke: driver scale ==="
 # Quick pass over the pooled-executor bench so a scheduler/executor regression
 # shows up as a CI diff in BENCH_driver_scale.json, not a silent perf slide.
 ./build-ci/bench/bench_driver_scale --quick
+echo "=== bench smoke: context read path ==="
+# Runs in the build tree so the quick-mode JSON can't clobber the committed
+# full-run artifact the trend gate below reads.
+(cd build-ci/bench && ./bench_context_read --quick)
+echo "=== bench trend gate ==="
+# Headline metrics from the committed full-run artifacts; fails the build if
+# one regressed >25% against its best of the last three BENCH_TREND.json
+# entries (WDG_BENCH_TREND_THRESHOLD overrides). --dry-run: CI gates but only
+# a deliberate full bench run appends to the trend.
+python3 tools/bench_trend.py --dry-run
 run_leg build-ci-asan address "$@"
 # TSan leg: the concurrency suites that hammer the sharded context store and
 # batched hook flush, plus the pooled scheduler/executor scale suite
