@@ -229,6 +229,11 @@ src/autowd/CMakeFiles/wdg_awd.dir/invariants.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/watchdog/checker.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/optional \
  /usr/include/c++/12/variant /root/repo/src/watchdog/failure.h \
+ /root/repo/src/watchdog/driver.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/metrics.h /root/repo/src/common/threading.h \
+ /usr/include/c++/12/thread /root/repo/src/watchdog/executor.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

@@ -227,7 +227,7 @@ src/autowd/CMakeFiles/wdg_awd.dir/synth.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/watchdog/failure.h \
- /root/repo/src/common/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/strings.h \
+ /root/repo/src/common/status.h /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg

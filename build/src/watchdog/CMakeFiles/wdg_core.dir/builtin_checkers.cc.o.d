@@ -229,4 +229,9 @@ src/watchdog/CMakeFiles/wdg_core.dir/builtin_checkers.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/watchdog/context.h /usr/include/c++/12/optional \
  /usr/include/c++/12/variant /root/repo/src/watchdog/failure.h \
+ /root/repo/src/watchdog/driver.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/metrics.h /root/repo/src/common/threading.h \
+ /usr/include/c++/12/thread /root/repo/src/watchdog/executor.h \
  /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg

@@ -206,6 +206,7 @@ src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -229,4 +230,6 @@ src/watchdog/CMakeFiles/wdg_core.dir/context.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/thread /root/repo/src/common/strings.h \
+ /usr/include/c++/12/cstdarg

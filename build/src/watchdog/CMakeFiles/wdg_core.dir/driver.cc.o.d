@@ -227,9 +227,9 @@ src/watchdog/CMakeFiles/wdg_core.dir/driver.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/common/metrics.h /root/repo/src/common/threading.h \
  /usr/include/c++/12/thread /root/repo/src/watchdog/checker.h \
- /root/repo/src/watchdog/context.h /usr/include/c++/12/variant \
+ /root/repo/src/watchdog/context.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /root/repo/src/watchdog/failure.h /root/repo/src/common/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/watchdog/executor.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -308,11 +308,11 @@ tests/CMakeFiles/semantic_test.dir/semantic_test.cc.o: \
  /root/repo/src/common/clock.h /root/repo/src/common/rng.h \
  /root/repo/src/common/status.h /root/repo/src/watchdog/checker.h \
  /root/repo/src/watchdog/context.h /root/repo/src/watchdog/failure.h \
- /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg \
  /root/repo/src/watchdog/driver.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/common/metrics.h /root/repo/src/common/threading.h \
  /usr/include/c++/12/thread /root/repo/src/watchdog/executor.h \
+ /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg \
  /root/repo/src/watchdog/failure_log.h /root/repo/src/sim/sim_disk.h \
  /root/repo/src/common/result.h

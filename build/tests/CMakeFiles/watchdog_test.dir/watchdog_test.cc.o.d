@@ -302,6 +302,7 @@ tests/CMakeFiles/watchdog_test.dir/watchdog_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg \
  /root/repo/src/fault/fault_injector.h /root/repo/src/common/rng.h \
  /root/repo/src/common/status.h /root/repo/src/watchdog/builder.h \
  /root/repo/src/common/result.h \
