@@ -179,15 +179,21 @@ class JoiningThread {
   std::thread thread_;
 };
 
-// Fixed-capacity pool of long-lived workers draining a bounded task queue.
+// Resizable pool of long-lived workers draining a bounded task queue.
 //
 // Each submitted task gets a ticket. A caller that decides a task is wedged
 // calls AbandonIfRunning(ticket): the worker executing it is *abandoned* —
 // its thread leaves the active set, parked on a drain list until Stop, and a
-// replacement worker is spawned immediately — so pool capacity never shrinks
-// while the hung task blocks only itself. This is the execution half of the
-// watchdog's §3.2 guarantee (a hung checker is detected, never waited on),
-// but the primitive is generic.
+// replacement worker is spawned (up to the current target) — so pool capacity
+// never shrinks while the hung task blocks only itself. This is the execution
+// half of the watchdog's §3.2 guarantee (a hung checker is detected, never
+// waited on), but the primitive is generic.
+//
+// The pool size is a *target*, not a constant: SetTargetWorkers grows the
+// active set immediately and shrinks it cooperatively — a worker retires only
+// between tasks (after an idle queue wait, or after finishing a task with the
+// queue empty), never mid-task, so resizing can't lose or interrupt work.
+// Retired threads are parked like abandoned ones and joined at Stop.
 //
 // Stop() contract: the caller must first unblock anything that could keep an
 // abandoned task hung forever (the watchdog driver runs release_on_stop);
@@ -201,7 +207,8 @@ class WorkerPool {
   using Task = std::function<void()>;
 
   explicit WorkerPool(Options options)
-      : options_(options), queue_(options.queue_capacity) {}
+      : options_(options), queue_(options.queue_capacity),
+        target_(options.workers < 0 ? 0 : options.workers) {}
   ~WorkerPool() { Stop(); }
 
   WorkerPool(const WorkerPool&) = delete;
@@ -213,7 +220,22 @@ class WorkerPool {
       return;
     }
     started_ = true;
-    for (int i = 0; i < options_.workers; ++i) {
+    while (static_cast<int>(workers_.size()) < target_) {
+      SpawnWorkerLocked();
+    }
+  }
+
+  // Resizes the pool toward `n` workers. Growth spawns immediately; shrink is
+  // cooperative (workers retire between tasks once they notice the pool is
+  // over target), so active_workers() converges to the target rather than
+  // jumping. Safe to call at any time, including before Start().
+  void SetTargetWorkers(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_ = n < 0 ? 0 : n;
+    if (!started_ || stopping_) {
+      return;
+    }
+    while (static_cast<int>(workers_.size()) < target_) {
       SpawnWorkerLocked();
     }
   }
@@ -241,6 +263,11 @@ class WorkerPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       to_join.swap(drained_);
+    }
+    to_join.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      to_join.swap(retired_);
     }
     to_join.clear();
   }
@@ -282,22 +309,33 @@ class WorkerPool {
       }
     }
     abandoned_.fetch_add(1, std::memory_order_relaxed);
-    if (!stopping_) {
+    // The respawn restores capacity but counts against the current target, so
+    // abandonment can never push the pool past what the resizer allows.
+    if (!stopping_ && static_cast<int>(workers_.size()) < target_) {
       SpawnWorkerLocked();
     }
     return true;
   }
 
   int configured_workers() const { return options_.workers; }
+  int target_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return target_;
+  }
+  int active_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(workers_.size());
+  }
   size_t queue_capacity() const { return queue_.capacity(); }
   size_t QueueDepth() const { return queue_.Size(); }
   int BusyCount() const {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int>(running_.size());
   }
-  // Threads ever created (initial workers + respawns after abandonment).
+  // Threads ever created (initial workers + respawns + scale-up spawns).
   int64_t threads_spawned() const { return threads_spawned_.load(std::memory_order_relaxed); }
   int64_t abandoned_count() const { return abandoned_.load(std::memory_order_relaxed); }
+  int64_t retired_count() const { return retired_total_.load(std::memory_order_relaxed); }
 
  private:
   struct Worker {
@@ -317,12 +355,34 @@ class WorkerPool {
     workers_.push_back(std::move(worker));
   }
 
+  // Moves this worker to the retired list if the pool is over target. Only
+  // called between tasks, so a retirement never interrupts work.
+  bool RetireIfOverTarget(Worker* self) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || self->abandoned ||
+        static_cast<int>(workers_.size()) <= target_) {
+      return false;
+    }
+    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+      if (it->get() == self) {
+        retired_.push_back(std::move(*it));
+        workers_.erase(it);
+        retired_total_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
   void WorkerLoop(Worker* self) {
     while (true) {
       std::optional<Item> item = queue_.Pop(Ms(250));
       if (!item.has_value()) {
         if (queue_.shutdown()) {
           return;
+        }
+        if (RetireIfOverTarget(self)) {
+          return;  // idle and over target: shrink the pool
         }
         continue;
       }
@@ -338,6 +398,9 @@ class WorkerPool {
           return;  // a replacement already took this worker's slot
         }
       }
+      if (queue_.Size() == 0 && RetireIfOverTarget(self)) {
+        return;  // drained backlog and over target: shrink promptly
+      }
     }
   }
 
@@ -346,12 +409,15 @@ class WorkerPool {
   mutable std::mutex mu_;
   bool started_ = false;
   bool stopping_ = false;
+  int target_ = 0;  // desired active worker count; guarded by mu_
   uint64_t next_ticket_ = 1;
   std::vector<std::unique_ptr<Worker>> workers_;  // active
   std::vector<std::unique_ptr<Worker>> drained_;  // abandoned, joined at Stop
+  std::vector<std::unique_ptr<Worker>> retired_;  // shrunk away, joined at Stop
   std::map<uint64_t, Worker*> running_;           // ticket -> executing worker
   std::atomic<int64_t> threads_spawned_{0};
   std::atomic<int64_t> abandoned_{0};
+  std::atomic<int64_t> retired_total_{0};
 };
 
 }  // namespace wdg

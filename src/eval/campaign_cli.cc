@@ -1,0 +1,126 @@
+#include "src/eval/campaign_cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+#include "src/eval/table.h"
+
+namespace wdg {
+namespace {
+
+// Strict base-10 integer parse: the whole token must be digits (with optional
+// sign), unlike atoi which silently accepts "5x" and returns 0 for garbage.
+bool ParseInt64(const std::string& text, int64_t& out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string CampaignUsage() {
+  return
+      "usage: wdg_campaign [--scenario <substring>] [--seeds N] [--validation]\n"
+      "                    [--suppress] [--observe-ms N] [--list]\n";
+}
+
+const char* ScenarioKindName(const Scenario& scenario) {
+  if (scenario.fault_free) {
+    return "control";
+  }
+  if (scenario.benign) {
+    return "benign";
+  }
+  if (scenario.crash) {
+    return "crash";
+  }
+  return scenario.client_visible ? "client-vis" : "background";
+}
+
+std::string FormatScenarioList(const std::vector<Scenario>& catalog) {
+  TablePrinter table({{"scenario", 26}, {"kind", 12}, {"description", 60}});
+  std::string out = table.HeaderRow() + "\n" + table.Rule() + "\n";
+  for (const Scenario& s : catalog) {
+    out += table.Row({s.name, ScenarioKindName(s), s.description}) + "\n";
+  }
+  out += table.Rule() + "\n";
+  return out;
+}
+
+CampaignParseResult ParseCampaignArgs(const std::vector<std::string>& args) {
+  CampaignParseResult result;
+  CampaignCliOptions& options = result.options;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&](const char** value) -> bool {
+      if (i + 1 >= args.size()) {
+        return false;
+      }
+      *value = args[++i].c_str();
+      return true;
+    };
+    if (arg == "--scenario") {
+      const char* value = nullptr;
+      if (!next(&value)) {
+        result.error = "--scenario requires a value";
+        return result;
+      }
+      options.scenario_filter = value;
+    } else if (arg == "--seeds") {
+      const char* value = nullptr;
+      if (!next(&value)) {
+        result.error = "--seeds requires a value";
+        return result;
+      }
+      int64_t seeds = 0;
+      if (!ParseInt64(value, seeds) || seeds < 1 || seeds > kCampaignMaxSeeds) {
+        result.error = StrFormat("--seeds must be an integer in [1, %d], got '%s'",
+                                 kCampaignMaxSeeds, value);
+        return result;
+      }
+      options.seeds = static_cast<int>(seeds);
+    } else if (arg == "--observe-ms") {
+      const char* value = nullptr;
+      if (!next(&value)) {
+        result.error = "--observe-ms requires a value";
+        return result;
+      }
+      int64_t ms = 0;
+      if (!ParseInt64(value, ms) || ms < kCampaignMinObserveMs ||
+          ms > kCampaignMaxObserveMs) {
+        result.error = StrFormat(
+            "--observe-ms must be an integer in [%lld, %lld], got '%s'",
+            static_cast<long long>(kCampaignMinObserveMs),
+            static_cast<long long>(kCampaignMaxObserveMs), value);
+        return result;
+      }
+      options.observe = Ms(ms);
+    } else if (arg == "--validation") {
+      options.validation = true;
+    } else if (arg == "--suppress") {
+      options.suppress = true;
+    } else if (arg == "--list") {
+      options.list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+      result.ok = true;
+      return result;
+    } else {
+      result.error = StrFormat("unknown flag: %s", arg.c_str());
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace wdg

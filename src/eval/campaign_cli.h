@@ -1,0 +1,49 @@
+// Argument parsing and list formatting for the wdg_campaign CLI, split out of
+// the binary so the flag grammar and the --list golden output are unit-testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/eval/scenario.h"
+
+namespace wdg {
+
+// Observation windows outside this range are almost certainly a units mistake
+// (seconds passed as ms, or a stray negative) — reject them at parse time.
+inline constexpr int64_t kCampaignMinObserveMs = 1;
+inline constexpr int64_t kCampaignMaxObserveMs = 600'000;  // 10 minutes
+inline constexpr int kCampaignMaxSeeds = 10'000;
+
+struct CampaignCliOptions {
+  std::string scenario_filter;
+  int seeds = 1;
+  bool validation = false;
+  bool suppress = false;
+  DurationNs observe = Ms(1000);
+  bool list_only = false;
+  bool show_help = false;
+};
+
+struct CampaignParseResult {
+  bool ok = false;
+  std::string error;  // empty when ok or when --help was requested
+  CampaignCliOptions options;
+};
+
+// Parses argv-style arguments (excluding the program name). Never touches the
+// process environment or stdout; errors come back as a message so the caller
+// decides where to print them.
+CampaignParseResult ParseCampaignArgs(const std::vector<std::string>& args);
+
+std::string CampaignUsage();
+
+// Classifies a scenario for the --list table: control / benign / crash /
+// client-vis / background.
+const char* ScenarioKindName(const Scenario& scenario);
+
+// Renders the --list table (header, rows, trailing rule) as one string.
+std::string FormatScenarioList(const std::vector<Scenario>& catalog);
+
+}  // namespace wdg

@@ -24,6 +24,11 @@ CheckerBuilder& CheckerBuilder::InitialDelay(DurationNs delay) {
   return *this;
 }
 
+CheckerBuilder& CheckerBuilder::AdaptiveDeadline(bool enabled) {
+  adaptive_deadline_ = enabled;
+  return *this;
+}
+
 CheckerBuilder& CheckerBuilder::Debounce(int consecutive_needed) {
   debounce_ = consecutive_needed;
   debounce_set_ = true;
@@ -112,7 +117,7 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
                   name_.c_str()));
   }
 
-  CheckerOptions options{interval_, deadline_, initial_delay_};
+  CheckerOptions options{interval_, deadline_, initial_delay_, adaptive_deadline_};
   switch (body_) {
     case Body::kProbe: {
       if (context_ != nullptr || context_factory_) {

@@ -45,6 +45,10 @@ class CheckerBuilder {
   // Delay before the first run after Start(); staggers large fleets so they
   // don't all hit the executor queue in the same instant. Must be >= 0.
   CheckerBuilder& InitialDelay(DurationNs delay);
+  // Opt out of (or back into) histogram-derived hang deadlines; with `false`
+  // the driver always uses the static Deadline() even when its adaptive
+  // deadline budgets are enabled. Defaults to opted in.
+  CheckerBuilder& AdaptiveDeadline(bool enabled);
   // Consecutive violations required before alarming (probe/signal only).
   CheckerBuilder& Debounce(int consecutive_needed);
 
@@ -82,6 +86,7 @@ class CheckerBuilder {
   DurationNs interval_ = Ms(100);
   DurationNs deadline_ = Ms(400);
   DurationNs initial_delay_ = 0;
+  bool adaptive_deadline_ = true;
   int debounce_ = 1;
   bool debounce_set_ = false;
 

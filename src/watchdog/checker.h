@@ -44,6 +44,11 @@ struct CheckerOptions {
   DurationNs interval = Ms(100);  // how often the driver schedules this checker
   DurationNs timeout = Ms(400);   // execution deadline; a miss is a liveness signature
   DurationNs initial_delay = 0;   // stagger the first run after Start()
+  // Opt this checker into histogram-derived hang deadlines when the driver's
+  // deadline budgets are enabled (WatchdogDriverOptions::deadline_budget).
+  // Set false to pin the static `timeout` — e.g. a body with a legitimate
+  // rare slow path its latency histogram has not seen yet.
+  bool adaptive_deadline = true;
 };
 
 class Checker {

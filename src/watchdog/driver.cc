@@ -12,10 +12,26 @@ namespace wdg {
 namespace {
 // Retry delay after the executor queue rejected a submission (backpressure).
 constexpr DurationNs kBackpressureRetry = Ms(2);
+// Completions between budget refreshes for one checker. The inference scans
+// the latency reservoir (Percentile), so it runs every few reaps, not every
+// reap; deadlines still track the tail within a handful of intervals.
+constexpr int64_t kBudgetRefreshRuns = 16;
 }  // namespace
 
+DurationNs InferDeadlineBudget(const Histogram& hist,
+                               const DeadlineBudgetOptions& options,
+                               DurationNs fallback) {
+  if (!options.enabled || hist.count() < options.min_samples) {
+    return fallback;
+  }
+  double budget = hist.Percentile(99) * options.tail_multiplier;
+  budget = std::max(budget, static_cast<double>(options.floor));
+  budget = std::min(budget, static_cast<double>(options.ceiling));
+  return static_cast<DurationNs>(budget);
+}
+
 std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
-  return {
+  std::map<std::string, double> map = {
       {"wdg.driver.pool.workers", static_cast<double>(pool_workers)},
       {"wdg.driver.pool.busy", static_cast<double>(busy_workers)},
       {"wdg.driver.pool.utilization", pool_utilization},
@@ -28,10 +44,19 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       {"wdg.driver.workers.abandoned", static_cast<double>(workers_abandoned)},
       {"wdg.driver.threads.spawned", static_cast<double>(threads_spawned)},
       {"wdg.driver.queue.rejections", static_cast<double>(queue_rejections)},
+      {"wdg.driver.autoscale.enabled", adaptive_pool ? 1.0 : 0.0},
+      {"wdg.driver.autoscale.target_workers", static_cast<double>(target_workers)},
+      {"wdg.driver.autoscale.scale_ups", static_cast<double>(scale_up_events)},
+      {"wdg.driver.autoscale.scale_downs", static_cast<double>(scale_down_events)},
+      {"wdg.driver.autoscale.workers_retired", static_cast<double>(workers_retired)},
       {"wdg.driver.queue_delay.mean_ns", queue_delay_mean_ns},
       {"wdg.driver.queue_delay.p99_ns", queue_delay_p99_ns},
       {"wdg.driver.scheduler_lag_ns", scheduler_lag_ns},
   };
+  for (const auto& [name, deadline_ns] : checker_deadline_ns) {
+    map["wdg.driver.deadline." + name + "_ns"] = deadline_ns;
+  }
+  return map;
 }
 
 WatchdogDriver::WatchdogDriver(Clock& clock, Options options)
@@ -172,7 +197,23 @@ void WatchdogDriver::LaunchLocked(Slot& slot, size_t slot_index, TimeNs now) {
   inflight_.push_back(slot_index);
 }
 
-void WatchdogDriver::EmitLivenessSignature(Slot& slot,
+DurationNs WatchdogDriver::SlotDeadlineLocked(const Slot& slot) const {
+  return slot.deadline_budget > 0 ? slot.deadline_budget
+                                  : slot.checker->options().timeout;
+}
+
+void WatchdogDriver::RefreshBudgetLocked(Slot& slot) {
+  if (!options_.deadline_budget.enabled ||
+      !slot.checker->options().adaptive_deadline || slot.latency_hist == nullptr) {
+    return;
+  }
+  const DurationNs inferred = InferDeadlineBudget(
+      *slot.latency_hist, options_.deadline_budget, slot.checker->options().timeout);
+  slot.deadline_budget =
+      inferred == slot.checker->options().timeout ? 0 : inferred;
+}
+
+void WatchdogDriver::EmitLivenessSignature(Slot& slot, DurationNs deadline,
                                            std::vector<PendingFailure>& pending) {
   Checker& checker = *slot.checker;
   FailureSignature sig;
@@ -184,7 +225,7 @@ void WatchdogDriver::EmitLivenessSignature(Slot& slot,
   }
   sig.code = StatusCode::kTimeout;
   sig.message = StrFormat("checker exceeded %lld ms deadline",
-                          static_cast<long long>(checker.options().timeout / kNsPerMs));
+                          static_cast<long long>(deadline / kNsPerMs));
   pending.push_back(PendingFailure{std::move(sig), checker.type()});
 }
 
@@ -216,9 +257,11 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
 
   if (!done) {
     // Still running: enforce the deadline, counted from dispatch (queue wait
-    // is backpressure, not a hang — it has its own histogram).
+    // is backpressure, not a hang — it has its own histogram). The deadline is
+    // the slot's inferred budget once its latency histogram has warmed up.
+    const DurationNs deadline = SlotDeadlineLocked(slot);
     const TimeNs dispatched = exec.dispatch_time.load(std::memory_order_acquire);
-    if (dispatched == 0 || now - dispatched < checker.options().timeout) {
+    if (dispatched == 0 || now - dispatched < deadline) {
       return;
     }
     if (executor_->Abandon(&exec)) {
@@ -226,7 +269,7 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
       // already spawned its replacement, and the hang *is* the detection.
       ++slot.stats.timeouts;
       timeouts_total_.fetch_add(1, std::memory_order_relaxed);
-      EmitLivenessSignature(slot, pending);
+      EmitLivenessSignature(slot, deadline, pending);
       slot.drain.push_back(std::move(slot.running));
       slot.next_run = now + checker.options().interval;  // resumes after drain
       return;
@@ -259,6 +302,9 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
   slot.stats.total_queue_delay += dispatched - exec.enqueue_time;
   if (slot.latency_hist != nullptr) {
     slot.latency_hist->Record(static_cast<double>(latency));
+  }
+  if (slot.stats.runs % kBudgetRefreshRuns == 0) {
+    RefreshBudgetLocked(slot);
   }
   slot.running.reset();
   ScheduleLocked(slot, slot_index, now + checker.options().interval);
@@ -392,8 +438,8 @@ void WatchdogDriver::SchedulerLoop() {
           const TimeNs dispatched =
               slot.running->dispatch_time.load(std::memory_order_acquire);
           if (dispatched != 0) {
-            next_deadline = std::min(
-                next_deadline, dispatched + slot.checker->options().timeout);
+            next_deadline =
+                std::min(next_deadline, dispatched + SlotDeadlineLocked(slot));
           }
         }
       }
@@ -401,6 +447,9 @@ void WatchdogDriver::SchedulerLoop() {
       pool_utilization_gauge_->Set(
           workers == 0 ? 0.0
                        : static_cast<double>(executor_->busy_count()) / workers);
+      // One autoscaler evaluation per pass; the same wake cadence that bounds
+      // deadline detection also bounds how fast the pool reacts to load.
+      executor_->MaybeScale(now);
     }
     for (PendingFailure& failure : pending) {
       HandleFailure(std::move(failure.signature), failure.checker_type, now);
@@ -627,6 +676,18 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
   snapshot.workers_abandoned = executor_->workers_abandoned();
   snapshot.threads_spawned = executor_->threads_spawned();
   snapshot.queue_rejections = executor_->rejected_count();
+  snapshot.adaptive_pool = executor_->adaptive();
+  snapshot.target_workers = executor_->target_workers();
+  snapshot.scale_up_events = executor_->scale_up_events();
+  snapshot.scale_down_events = executor_->scale_down_events();
+  snapshot.workers_retired = executor_->workers_retired();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slot : slots_) {
+      snapshot.checker_deadline_ns[slot->checker->name()] =
+          static_cast<double>(SlotDeadlineLocked(*slot));
+    }
+  }
   Histogram* queue_delay = metrics_->GetHistogram("wdg.driver.queue_delay_ns");
   snapshot.queue_delay_mean_ns = queue_delay->Mean();
   snapshot.queue_delay_p99_ns = queue_delay->Percentile(99);

@@ -83,10 +83,33 @@ struct CheckerStats {
   DurationNs total_queue_delay = 0;  // enqueue → dispatch
 };
 
+// Per-checker hang-deadline inference (docs/DRIVER.md). When enabled, the
+// driver derives each checker's deadline from its own latency histogram —
+// clamp(p99 × tail_multiplier, floor, ceiling) — instead of using one global
+// timeout, so a 50 µs mimic is declared hung in milliseconds while a slow
+// end-to-end probe keeps its headroom. A checker whose histogram has fewer
+// than min_samples observations (or that set adaptive_deadline = false) keeps
+// its static CheckerOptions::timeout. Abandon/suspend/drain semantics are
+// unchanged: only the deadline *value* adapts.
+struct DeadlineBudgetOptions {
+  bool enabled = false;
+  double tail_multiplier = 4.0;
+  DurationNs floor = Ms(20);
+  DurationNs ceiling = Sec(2);
+  int64_t min_samples = 8;
+};
+
+// Pure inference rule, exposed for property testing: clamp(p99 × multiplier,
+// floor, ceiling); `fallback` (the checker's static timeout) when disabled or
+// under-sampled. Monotone in the histogram tail between the clamps.
+DurationNs InferDeadlineBudget(const Histogram& hist,
+                               const DeadlineBudgetOptions& options,
+                               DurationNs fallback);
+
 // Snapshot of the driver's self-observability metrics. Signal checkers can
 // sample these to watch the watchdog itself (e.g. alarm on queue delay).
 struct DriverMetricsSnapshot {
-  int pool_workers = 0;
+  int pool_workers = 0;  // currently active workers (varies when adaptive)
   int busy_workers = 0;
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
@@ -100,9 +123,20 @@ struct DriverMetricsSnapshot {
   int64_t threads_spawned = 0;     // pool threads ever created (incl. respawns)
   int64_t queue_rejections = 0;    // backpressure: submit hit a full queue
 
+  // Autoscaler decisions (zero when the executor is not adaptive).
+  bool adaptive_pool = false;
+  int target_workers = 0;          // where the autoscaler is steering the pool
+  int64_t scale_up_events = 0;
+  int64_t scale_down_events = 0;
+  int64_t workers_retired = 0;     // workers shrunk away (joined at Stop)
+
   double queue_delay_mean_ns = 0;
   double queue_delay_p99_ns = 0;
   double scheduler_lag_ns = 0;  // last observed oversleep past a planned wake
+
+  // Effective per-checker hang deadlines (ns). Equal to the checker's static
+  // timeout until its histogram-derived budget takes over.
+  std::map<std::string, double> checker_deadline_ns;
 
   // Flattened view for dashboards / table code that wants name→value.
   std::map<std::string, double> ToMap() const;
@@ -115,8 +149,12 @@ struct WatchdogDriverOptions {
   // only caps how long a lost wake could go unnoticed.
   DurationNs max_sleep = Ms(250);
   DurationNs dedup_window = Sec(2);
-  // Executor pool sizing: worker count and submission-queue capacity.
+  // Executor pool sizing: worker count, submission-queue capacity, and the
+  // optional utilization-driven autoscaler.
   CheckerExecutorOptions executor;
+  // Histogram-informed per-checker hang deadlines (off by default: every
+  // checker keeps its static CheckerOptions::timeout).
+  DeadlineBudgetOptions deadline_budget;
   // Metrics registry to export driver observability into; the driver owns a
   // private registry when null.
   MetricsRegistry* metrics = nullptr;
@@ -200,6 +238,9 @@ class WatchdogDriver {
     std::vector<std::unique_ptr<Execution>> drain;  // abandoned, still executing
     CheckerStats stats;
     Histogram* latency_hist = nullptr;  // wdg.driver.checker.<name>.latency_ns
+    // Histogram-derived hang deadline; 0 until the budget inference has enough
+    // samples, meaning "use the checker's static timeout".
+    DurationNs deadline_budget = 0;
   };
 
   struct HeapEntry {
@@ -233,7 +274,15 @@ class WatchdogDriver {
   // Bounded run of the validation probe; hang counts as confirmed impact.
   // Called WITHOUT mu_ held.
   bool RunValidationProbe();
-  void EmitLivenessSignature(Slot& slot, std::vector<PendingFailure>& pending);
+  void EmitLivenessSignature(Slot& slot, DurationNs deadline,
+                             std::vector<PendingFailure>& pending);
+  // The hang deadline currently in force for a slot: its inferred budget, or
+  // the checker's static timeout while the budget is cold / opted out.
+  DurationNs SlotDeadlineLocked(const Slot& slot) const;
+  // Refreshes the slot's inferred budget from its latency histogram (mu_ held;
+  // called every few completions so the Percentile scan stays off the per-run
+  // hot path).
+  void RefreshBudgetLocked(Slot& slot);
 
   Clock& clock_;
   Options options_;

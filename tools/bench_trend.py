@@ -37,6 +37,10 @@ TRACKED = [
      "BENCH_driver_scale.json",
      lambda d: _config(d, checkers=256, mode="pooled")["p99_queue_delay_us"],
      "down"),
+    ("driver_adaptive_p99_queue_delay_us_256",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=256, mode="adaptive")["p99_queue_delay_us"],
+     "down"),
     ("context_get_p50_ns_8r",
      "BENCH_context_read.json",
      lambda d: _config(d, readers=8)["get_p50_ns"],
@@ -92,7 +96,14 @@ def find_regressions(history, metrics, directions, threshold):
     for name, value in metrics.items():
         seen = [e["metrics"][name] for e in recent if name in e.get("metrics", {})]
         if not seen:
-            continue  # new metric: no baseline yet
+            # New metric with no baseline in the window: it cannot gate this
+            # run, but say so out loud — a silent pass here once hid a metric
+            # that was never being compared at all. The value still lands in
+            # the appended entry and becomes the baseline for the next run.
+            print(f"bench_trend: WARNING no baseline for {name} in last "
+                  f"{WINDOW} entries; recording {value:g} as the new baseline",
+                  file=sys.stderr)
+            continue
         if directions[name] == "up":
             best = max(seen)
             if value < best * (1.0 - threshold):

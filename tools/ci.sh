@@ -11,6 +11,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Guard: build trees must never be tracked. The seed once committed build/
+# (743 generated files); fail loudly if any build artifact sneaks back into
+# the index so it cannot land again.
+if tracked_build=$(git ls-files -- 'build/*' 'build-*/*' 2>/dev/null) \
+    && [[ -n "${tracked_build}" ]]; then
+  echo "ci: build artifacts are tracked in git — run 'git rm -r --cached <dir>':" >&2
+  echo "${tracked_build}" | head -20 >&2
+  exit 1
+fi
+
 run_leg() {
   local build_dir=$1 sanitize=$2
   shift 2
@@ -47,7 +57,8 @@ python3 tools/bench_trend.py --dry-run
 run_leg build-ci-asan address "$@"
 # TSan leg: the concurrency suites that hammer the sharded context store and
 # batched hook flush, plus the pooled scheduler/executor scale suite
-# (abandonment, backpressure, and shutdown races).
-run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale' "$@"
+# (abandonment, backpressure, and shutdown races) and the chaos/soak tier
+# that storms the adaptive autoscaler + deadline budgets with injected faults.
+run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale|driver_chaos' "$@"
 
 echo "ci: all three legs green"

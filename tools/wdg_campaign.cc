@@ -8,94 +8,36 @@
 //   wdg_campaign --list
 //   wdg_campaign --scenario replication --seeds 3
 //   wdg_campaign --validation --suppress
+//
+// Flag grammar and --list rendering live in src/eval/campaign_cli.{h,cc} so
+// they are unit-tested; this file is just wiring.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/common/strings.h"
 #include "src/eval/campaign.h"
+#include "src/eval/campaign_cli.h"
 #include "src/eval/scenario.h"
 #include "src/eval/table.h"
 
-namespace {
-
-struct CliOptions {
-  std::string scenario_filter;
-  int seeds = 1;
-  bool validation = false;
-  bool suppress = false;
-  wdg::DurationNs observe = wdg::Ms(1000);
-  bool list_only = false;
-};
-
-void PrintUsage() {
-  std::printf(
-      "usage: wdg_campaign [--scenario <substring>] [--seeds N] [--validation]\n"
-      "                    [--suppress] [--observe-ms N] [--list]\n");
-}
-
-bool ParseArgs(int argc, char** argv, CliOptions& options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--scenario") {
-      const char* value = next();
-      if (value == nullptr) {
-        return false;
-      }
-      options.scenario_filter = value;
-    } else if (arg == "--seeds") {
-      const char* value = next();
-      if (value == nullptr) {
-        return false;
-      }
-      options.seeds = std::atoi(value);
-    } else if (arg == "--observe-ms") {
-      const char* value = next();
-      if (value == nullptr) {
-        return false;
-      }
-      options.observe = wdg::Ms(std::atoll(value));
-    } else if (arg == "--validation") {
-      options.validation = true;
-    } else if (arg == "--suppress") {
-      options.suppress = true;
-    } else if (arg == "--list") {
-      options.list_only = true;
-    } else if (arg == "--help" || arg == "-h") {
-      return false;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return options.seeds >= 1;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  CliOptions cli;
-  if (!ParseArgs(argc, argv, cli)) {
-    PrintUsage();
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const wdg::CampaignParseResult parsed = wdg::ParseCampaignArgs(args);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s\n", parsed.error.c_str());
+    std::fputs(wdg::CampaignUsage().c_str(), stderr);
     return 2;
+  }
+  const wdg::CampaignCliOptions& cli = parsed.options;
+  if (cli.show_help) {
+    std::fputs(wdg::CampaignUsage().c_str(), stdout);
+    return 0;
   }
 
   const auto catalog = wdg::KvsScenarioCatalog();
   if (cli.list_only) {
-    wdg::TablePrinter table({{"scenario", 26}, {"kind", 12}, {"description", 60}});
-    table.PrintHeader();
-    for (const wdg::Scenario& s : catalog) {
-      const char* kind = s.fault_free ? "control"
-                         : s.benign   ? "benign"
-                         : s.crash    ? "crash"
-                                      : (s.client_visible ? "client-vis" : "background");
-      table.PrintRow({s.name, kind, s.description});
-    }
+    std::fputs(wdg::FormatScenarioList(catalog).c_str(), stdout);
     return 0;
   }
 
