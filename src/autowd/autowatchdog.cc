@@ -1,5 +1,6 @@
 #include "src/autowd/autowatchdog.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/common/logging.h"
@@ -32,6 +33,21 @@ GenerationReport Generate(const Module& module, wdg::HookSet& hooks,
                           GenerationOptions options) {
   GenerationReport report = Analyze(module, options.reducer);
 
+  // Price each checker statically; the deadline bound becomes a per-checker
+  // prior the driver uses until its latency histogram warms up. A prior can
+  // only tighten the configured timeout, never loosen it.
+  std::map<std::string, wdg::DurationNs> priors;
+  if (options.cost_prior.enabled) {
+    for (const CheckerCostEstimate& estimate :
+         EstimateCheckerCosts(module, report.program)) {
+      const wdg::DurationNs prior =
+          std::min(estimate.DeadlinePrior(options.cost_prior), options.checker.timeout);
+      if (prior > 0) {
+        priors[estimate.checker] = prior;
+      }
+    }
+  }
+
   // Instrument P: arm each planned hook onto its context.
   for (const HookPoint& point : report.plan.points) {
     hooks.Arm(point.hook_site, point.context_name);
@@ -50,8 +66,14 @@ GenerationReport Generate(const Module& module, wdg::HookSet& hooks,
                         << " will skip it)";
       }
     }
+    wdg::CheckerOptions checker_options = options.checker;
+    const auto prior = priors.find(fn.name);
+    if (prior != priors.end()) {
+      checker_options.deadline_prior = prior->second;
+      report.deadline_priors[fn.name] = prior->second;
+    }
     driver.AddChecker(
-        std::make_unique<GeneratedChecker>(fn, context, &registry, options.checker));
+        std::make_unique<GeneratedChecker>(fn, context, &registry, checker_options));
   }
   WDG_LOG(kInfo) << SummarizeReduction(report.program) << "; hooks armed: "
                  << report.hooks_armed;

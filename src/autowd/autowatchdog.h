@@ -14,11 +14,13 @@
 //  software."
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/autowd/codegen.h"
 #include "src/autowd/context_infer.h"
+#include "src/autowd/cost.h"
 #include "src/autowd/reduce.h"
 #include "src/autowd/synth.h"
 #include "src/watchdog/driver.h"
@@ -31,11 +33,17 @@ struct GenerationReport {
   std::vector<std::string> checker_names;
   int hooks_armed = 0;
   int ops_without_executor = 0;  // reduced ops the runtime can't mimic (yet)
+  // Per-checker static-analysis deadline priors actually seeded into the
+  // registered CheckerOptions (already capped at the configured timeout).
+  std::map<std::string, wdg::DurationNs> deadline_priors;
 };
 
 struct GenerationOptions {
   ReducerOptions reducer;
   wdg::CheckerOptions checker;
+  // How cost.static-estimate bounds become CheckerOptions::deadline_prior.
+  // Disable to register every checker with the one global static timeout.
+  CostPriorOptions cost_prior;
 };
 
 // Runs the whole pipeline against a live system: reduces `module`, arms the

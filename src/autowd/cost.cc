@@ -1,0 +1,85 @@
+#include "src/autowd/cost.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace awd {
+
+wdg::DurationNs CheckerCostEstimate::DeadlinePrior(const CostPriorOptions& options) const {
+  if (!options.enabled) {
+    return 0;
+  }
+  double prior = deadline_bound_ns * options.multiplier;
+  prior = std::max(prior, static_cast<double>(options.floor));
+  prior = std::min(prior, static_cast<double>(options.ceiling));
+  return static_cast<wdg::DurationNs>(prior);
+}
+
+std::vector<CheckerCostEstimate> EstimateCheckerCosts(const Module& module,
+                                                      const ReducedProgram& program,
+                                                      const CostModel& model) {
+  const ModuleDataflow dataflow(module, model);
+  std::vector<CheckerCostEstimate> estimates;
+  estimates.reserve(program.functions.size());
+  for (const ReducedFunction& fn : program.functions) {
+    CheckerCostEstimate estimate;
+    estimate.checker = fn.name;
+    estimate.origin = fn.origin;
+    estimate.ops = static_cast<int>(fn.ops.size());
+    for (const ReducedOp& op : fn.ops) {
+      estimate.run_cost_ns += model.UnitNs(op.kind);
+      estimate.deadline_bound_ns += model.DeadlineUnitNs(op.kind);
+    }
+    const FunctionSummary* summary = dataflow.Summary(fn.origin);
+    if (summary != nullptr) {
+      estimate.origin_weight_ns = summary->total_cost_ns;
+    }
+    estimates.push_back(std::move(estimate));
+  }
+  return estimates;
+}
+
+void CheckStaticCosts(const Module& module, const ReducedProgram& program,
+                      std::vector<Finding>& findings) {
+  const CostPriorOptions prior_options;
+  for (const CheckerCostEstimate& estimate :
+       EstimateCheckerCosts(module, program)) {
+    Finding finding;
+    finding.severity = Severity::kNote;
+    finding.rule = "cost.static-estimate";
+    finding.function = estimate.origin;
+    finding.instr_id = 0;
+    finding.message = wdg::StrFormat(
+        "checker '%s': %d op(s), ~%.0f us/run typical, worst legitimate run "
+        "%.0f ms; seeds a %.0f ms deadline prior (origin region weight "
+        "~%.0f us)",
+        estimate.checker.c_str(), estimate.ops, estimate.run_cost_ns / 1e3,
+        estimate.deadline_bound_ns / 1e6,
+        static_cast<double>(estimate.DeadlinePrior(prior_options)) / 1e6,
+        estimate.origin_weight_ns / 1e3);
+    findings.push_back(std::move(finding));
+  }
+}
+
+std::string FormatCostsJson(const std::vector<CheckerCostEstimate>& estimates,
+                            const CostPriorOptions& options) {
+  std::string out = "[";
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const CheckerCostEstimate& estimate = estimates[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += wdg::StrFormat(
+        "  {\"checker\": \"%s\", \"origin\": \"%s\", \"ops\": %d, "
+        "\"run_cost_us\": %.1f, \"deadline_bound_us\": %.1f, "
+        "\"deadline_prior_ms\": %.1f, \"origin_weight_us\": %.1f}",
+        wdg::JsonEscape(estimate.checker).c_str(),
+        wdg::JsonEscape(estimate.origin).c_str(), estimate.ops,
+        estimate.run_cost_ns / 1e3, estimate.deadline_bound_ns / 1e3,
+        static_cast<double>(estimate.DeadlinePrior(options)) / 1e6,
+        estimate.origin_weight_ns / 1e3);
+  }
+  out += estimates.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace awd

@@ -4,7 +4,11 @@
 #include <map>
 #include <set>
 
+#include <deque>
+#include <utility>
+
 #include "src/autowd/codegen.h"
+#include "src/autowd/cost.h"
 #include "src/common/strings.h"
 
 namespace awd {
@@ -369,6 +373,248 @@ void CheckGeneratedApi(const ReducedProgram& program, const HookPlan& plan,
   }
 }
 
+namespace {
+
+std::string JoinChain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& hop : chain) {
+    if (!out.empty()) {
+      out += " -> ";
+    }
+    out += hop;
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckEffects(const ModuleDataflow& dataflow, const ReducedProgram& program,
+                  const RedirectionPlan& redirections, std::vector<Finding>& findings) {
+  // Instructions the reducer retained anywhere in the program (global dedup
+  // means a site claimed by one checker is retained on behalf of all): those
+  // are iso.*'s jurisdiction, so the effect pass never double-reports them.
+  std::set<std::pair<std::string, int>> retained;
+  for (const ReducedFunction& fn : program.functions) {
+    for (const ReducedOp& op : fn.ops) {
+      retained.emplace(op.origin_function, op.origin_instr_id);
+    }
+  }
+
+  // Checkers by origin root; a root may legitimately have none when every
+  // vulnerable op it reaches fell past the reducer's horizon — exactly the
+  // case this pass exists for, so quantify over the module's roots.
+  std::map<std::string, const ReducedFunction*> checkers;
+  for (const ReducedFunction& fn : program.functions) {
+    checkers[fn.origin] = &fn;
+  }
+
+  std::set<std::pair<std::string, std::string>> reported;  // (root, site)
+  for (const std::string& root : dataflow.LongRunningRoots()) {
+    const auto checker = checkers.find(root);
+    const ReducedFunction* fn = checker != checkers.end() ? checker->second : nullptr;
+    const std::vector<ModuleDataflow::ReachableWrite> writes =
+        dataflow.ContinuousWrites(root);
+    int destructive = 0;
+    int escapes = 0;
+    std::set<std::string> span;
+    for (const ModuleDataflow::ReachableWrite& write : writes) {
+      span.insert(write.site.function);
+      if (!IsDestructive(write.site.kind)) {
+        continue;  // creates are iso.unredirected-create's call
+      }
+      ++destructive;
+      if (retained.count({write.site.function, write.site.instr_id}) > 0) {
+        continue;  // the reducer kept it; iso.* already judged it
+      }
+      const RedirectionEntry* entry = redirections.Match(write.site.site);
+      if (entry != nullptr && entry->mode != RedirectMode::kReadOnly) {
+        continue;  // confined by the plan even though the reducer dropped it
+      }
+      if (!reported.emplace(root, write.site.site).second) {
+        continue;
+      }
+      ++escapes;
+      Emit(findings, Severity::kError, "effect.escape", write.site.function,
+           write.site.instr_id,
+           wdg::StrFormat("destructive op '%s' (%s) is reachable from root '%s' "
+                          "via %s but was dropped by the bounded reducer walk, so "
+                          "no isolation check ever saw it%s; %s",
+                          write.site.site.c_str(), OpKindName(write.site.kind),
+                          root.c_str(), JoinChain(write.chain).c_str(),
+                          entry == nullptr
+                              ? " and no redirection covers it"
+                              : " and its only redirection entry is read-only",
+                          fn != nullptr
+                              ? wdg::StrFormat("checker '%s' would leak this side "
+                                               "effect into the main program",
+                                               fn->name.c_str())
+                                    .c_str()
+                              : "this root's checker was dropped entirely, so the "
+                                "region runs unwatched"));
+    }
+    if (escapes == 0 && fn != nullptr) {
+      Emit(findings, Severity::kNote, "effect.confined", root, 0,
+           wdg::StrFormat("checker '%s': full interprocedural write-set of '%s' "
+                          "(%d destructive site(s) across %d function(s)) is "
+                          "confined to redirected/replicated state",
+                          fn->name.c_str(), root.c_str(), destructive,
+                          static_cast<int>(span.size())));
+    }
+  }
+}
+
+void CheckCheckerLockOrder(const ModuleDataflow& dataflow, const ReducedProgram& program,
+                           const RedirectionPlan& redirections,
+                           std::vector<Finding>& findings) {
+  // Main-program interprocedural order graph.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const ModuleDataflow::LockEdge& edge : dataflow.LockOrderEdges()) {
+    adj[edge.from].insert(edge.to);
+  }
+
+  struct CheckerEdge {
+    std::string from;
+    std::string to;
+    const ReducedFunction* checker = nullptr;
+    const ReducedOp* op = nullptr;
+  };
+  std::vector<CheckerEdge> checker_edges;
+  std::set<std::pair<std::string, std::string>> seen_checker_edges;
+  for (const ReducedFunction& fn : program.functions) {
+    std::vector<std::string> held;
+    for (const ReducedOp& op : fn.ops) {
+      if (op.kind == OpKind::kLockRelease) {
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+          if (*it == op.site) {
+            held.erase(std::next(it).base());
+            break;
+          }
+        }
+        continue;
+      }
+      if (op.kind != OpKind::kLockAcquire) {
+        continue;
+      }
+      const RedirectionEntry* entry = redirections.Match(op.site);
+      const bool bounded = entry != nullptr && entry->mode == RedirectMode::kBoundedTry;
+      if (!bounded) {
+        // The checker genuinely blocks on this lock, so the acquire order it
+        // mimics becomes real edges in the system-wide order graph.
+        for (const std::string& from : held) {
+          if (from != op.site &&
+              seen_checker_edges.emplace(from, op.site).second) {
+            checker_edges.push_back(CheckerEdge{from, op.site, &fn, &op});
+          }
+        }
+      }
+      held.push_back(op.site);
+    }
+  }
+
+  // A checker edge to→...→from closing back over the combined graph is a
+  // cycle the main-program-only analysis cannot see. BFS with parents for a
+  // readable witness path.
+  std::map<std::string, std::set<std::string>> combined = adj;
+  for (const CheckerEdge& edge : checker_edges) {
+    combined[edge.from].insert(edge.to);
+  }
+  for (const CheckerEdge& edge : checker_edges) {
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> queue{edge.to};
+    parent[edge.to] = "";
+    bool closes = false;
+    while (!queue.empty() && !closes) {
+      const std::string node = queue.front();
+      queue.pop_front();
+      const auto it = combined.find(node);
+      if (it == combined.end()) {
+        continue;
+      }
+      for (const std::string& next : it->second) {
+        if (parent.emplace(next, node).second) {
+          if (next == edge.from) {
+            closes = true;
+            break;
+          }
+          queue.push_back(next);
+        }
+      }
+    }
+    if (!closes) {
+      continue;
+    }
+    // Parent chain gives from←...←to; print the cycle as from → to → ... → from.
+    std::vector<std::string> back;
+    for (std::string node = edge.from; !node.empty(); node = parent[node]) {
+      back.push_back(node);
+      if (node == edge.to) {
+        break;
+      }
+    }
+    std::string cycle = edge.from;
+    for (auto it = back.rbegin(); it != back.rend(); ++it) {
+      cycle += " -> " + *it;
+    }
+    Emit(findings, Severity::kError, "lock.interproc-order", edge.op->origin_function,
+         edge.op->origin_instr_id,
+         wdg::StrFormat("checker '%s' mimics acquiring '%s' while holding '%s' "
+                        "without a bounded-try declaration, closing the lock-order "
+                        "cycle %s with the main program's interprocedural order; "
+                        "the watchdog and the watched process can deadlock each "
+                        "other",
+                        edge.checker->name.c_str(), edge.to.c_str(), edge.from.c_str(),
+                        cycle.c_str()));
+  }
+}
+
+void CheckHookRaces(const ModuleDataflow& dataflow, const HookPlan& plan,
+                    std::vector<Finding>& findings) {
+  struct Writer {
+    const HookPoint* point = nullptr;
+    std::string root;
+    std::set<std::string> lockset;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<Writer>> writers;
+  for (const HookPoint& point : plan.points) {
+    const auto locksets = dataflow.LocksetsBefore(point.function, point.before_instr_id);
+    for (const auto& [root, lockset] : locksets) {
+      for (const std::string& var : point.capture) {
+        writers[{point.context_name, var}].push_back(Writer{&point, root, lockset});
+      }
+    }
+  }
+
+  for (const auto& [key, entries] : writers) {
+    bool reported = false;
+    for (size_t i = 0; i < entries.size() && !reported; ++i) {
+      for (size_t j = i + 1; j < entries.size() && !reported; ++j) {
+        const Writer& a = entries[i];
+        const Writer& b = entries[j];
+        if (a.root == b.root) {
+          continue;
+        }
+        const bool disjoint = std::none_of(
+            a.lockset.begin(), a.lockset.end(),
+            [&b](const std::string& site) { return b.lockset.count(site) > 0; });
+        if (!disjoint) {
+          continue;
+        }
+        reported = true;
+        Emit(findings, Severity::kWarning, "race.hook-context", b.point->function,
+             b.point->before_instr_id,
+             wdg::StrFormat("context key '%s.%s' is written from hook '%s' "
+                            "(reached from root '%s') and hook '%s' (root '%s') "
+                            "under disjoint locksets; the two threads can "
+                            "interleave captures and the checker may observe a "
+                            "torn context",
+                            key.first.c_str(), key.second.c_str(),
+                            a.point->hook_site.c_str(), a.root.c_str(),
+                            b.point->hook_site.c_str(), b.root.c_str()));
+      }
+    }
+  }
+}
+
 LintResult LintModule(const Module& module, const RedirectionPlan& redirections,
                       const LintPolicy& policy, ReducerOptions reducer) {
   LintResult result;
@@ -379,6 +625,12 @@ LintResult LintModule(const Module& module, const RedirectionPlan& redirections,
   CheckIsolation(result.program, redirections, findings);
   CheckHookPlan(module, result.program, result.plan, findings);
   CheckGeneratedApi(result.program, result.plan, findings);
+
+  const ModuleDataflow dataflow(module);
+  CheckEffects(dataflow, result.program, redirections, findings);
+  CheckCheckerLockOrder(dataflow, result.program, redirections, findings);
+  CheckHookRaces(dataflow, result.plan, findings);
+  CheckStaticCosts(module, result.program, findings);
 
   result.findings = ApplyPolicy(std::move(findings), policy);
   SortFindings(result.findings);

@@ -10,9 +10,23 @@
 //           captured by a hook that precedes the first reduced op consuming
 //           it (in the IR's linear-with-loops order), every hook site names a
 //           real "<function>:<instr_id>", no dead or clobbered hooks.
+//   effect.* interprocedural isolation proof over the ModuleDataflow
+//           summaries: the full depth-unbounded write-set reachable from each
+//           checker's origin region must be confined to redirected/replicated
+//           state. effect.escape flags destructive sites the bounded reducer
+//           walk dropped (so iso.* never saw them); effect.confined records
+//           the proof when the whole write-set is covered.
+//   lock.interproc-order (artifact half): lock-order cycles mixing the
+//           checker's own mimicked acquire order with the main program's
+//           interprocedural order graph, for lock sites the plan does not
+//           declare bounded-try.
+//   race.*  hook-site lockset analysis: a context key written from hook
+//           sites reachable from different long-running roots (≈ threads)
+//           under disjoint locksets can interleave captures.
+//   cost.*  static cost annotations per checker (src/autowd/cost.h).
 //
 // LintModule() is the whole gate: IR passes (src/ir/verifier.h) + reduction +
-// context inference + both artifact passes, with a LintPolicy applied.
+// context inference + every artifact pass, with a LintPolicy applied.
 #pragma once
 
 #include <string>
@@ -20,6 +34,7 @@
 
 #include "src/autowd/context_infer.h"
 #include "src/autowd/reduce.h"
+#include "src/ir/dataflow.h"
 #include "src/ir/verifier.h"
 
 namespace awd {
@@ -76,6 +91,35 @@ void CheckCheckerSourceApi(const std::string& checker_name, const std::string& s
                            std::vector<Finding>& findings);
 void CheckGeneratedApi(const ReducedProgram& program, const HookPlan& plan,
                        std::vector<Finding>& findings);
+
+// (6) Effect proof: for every reduced checker, quantify over the FULL
+// interprocedural write-set of its origin region (ModuleDataflow, no depth
+// bound) instead of the reducer's bounded walk. effect.escape (error) fires
+// for a destructive site (write/delete/send) that leaked past the reducer —
+// dropped by max_call_depth or the recursion guard, hence invisible to
+// iso.* — and is not scratch-redirected/replicated; effect.confined (note)
+// records the per-checker proof when every reachable destructive site is
+// covered, with the write-set size and call-graph span as the certificate.
+void CheckEffects(const ModuleDataflow& dataflow, const ReducedProgram& program,
+                  const RedirectionPlan& redirections, std::vector<Finding>& findings);
+
+// (7) lock.interproc-order, artifact half: combine the main program's
+// interprocedural lock-order edges with the acquire order each generated
+// checker mimics (its reduced-op sequence). A checker-side edge exists where
+// the checker would block on a lock the plan does not declare kBoundedTry
+// while holding another mimicked lock; any cycle containing at least one
+// such edge is an error — the checker and the main program can deadlock
+// each other, which the main-program-only cycle check cannot prove.
+void CheckCheckerLockOrder(const ModuleDataflow& dataflow, const ReducedProgram& program,
+                           const RedirectionPlan& redirections,
+                           std::vector<Finding>& findings);
+
+// (8) race.hook-context: a context key is written whenever a hook site
+// fires, in whichever main-program thread executes it. When the same key's
+// hook sites are reachable from two different long-running roots under
+// disjoint locksets, the captures can interleave — warning.
+void CheckHookRaces(const ModuleDataflow& dataflow, const HookPlan& plan,
+                    std::vector<Finding>& findings);
 
 struct LintResult {
   std::vector<Finding> findings;  // policy applied, sorted errors-first

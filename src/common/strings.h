@@ -24,4 +24,8 @@ bool StrStartsWith(std::string_view text, std::string_view prefix);
 // exact match.
 bool SitePatternMatches(std::string_view pattern, std::string_view site);
 
+// Escapes text for embedding inside a JSON string literal (quotes,
+// backslashes, control characters). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
 }  // namespace wdg

@@ -5,6 +5,7 @@
 
 #include "src/common/strings.h"
 #include "src/ir/analysis.h"
+#include "src/ir/dataflow.h"
 
 namespace awd {
 
@@ -63,6 +64,26 @@ std::string FormatFindings(const std::vector<Finding>& findings) {
   return out;
 }
 
+std::string FindingToJson(const Finding& finding) {
+  return wdg::StrFormat(
+      "{\"severity\": \"%s\", \"rule\": \"%s\", \"function\": \"%s\", "
+      "\"instr_id\": %d, \"location\": \"%s\", \"message\": \"%s\"}",
+      SeverityName(finding.severity), wdg::JsonEscape(finding.rule).c_str(),
+      wdg::JsonEscape(finding.function).c_str(), finding.instr_id,
+      wdg::JsonEscape(finding.Location()).c_str(),
+      wdg::JsonEscape(finding.message).c_str());
+}
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "  " + FindingToJson(findings[i]);
+  }
+  out += findings.empty() ? "]" : "\n]";
+  return out;
+}
+
 void SortFindings(std::vector<Finding>& findings) {
   std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.severity != b.severity) {
@@ -105,6 +126,7 @@ Verifier Verifier::Default() {
   Verifier verifier;
   verifier.AddPass("well-formed", CheckWellFormed);
   verifier.AddPass("lock-discipline", CheckLockDiscipline);
+  verifier.AddPass("interproc-locks", CheckInterprocLocks);
   return verifier;
 }
 
@@ -446,6 +468,23 @@ void CheckLockDiscipline(const Module& module, std::vector<Finding>& findings) {
     WalkLocks(fn, transitive, order, findings);
   }
   ReportCycles(order, findings);
+}
+
+void CheckInterprocLocks(const Module& module, std::vector<Finding>& findings) {
+  const ModuleDataflow dataflow(module);
+  for (const ModuleDataflow::CrossFrameReacquire& hit : dataflow.CrossFrameReacquires()) {
+    std::string chain = hit.function;
+    for (const std::string& hop : hit.chain) {
+      chain += " -> " + hop;
+    }
+    Emit(findings, Severity::kError, "lock.interproc-order", hit.function,
+         hit.call_instr_id,
+         wdg::StrFormat("'%s' acquired at %s:%d is still held at this call, and the "
+                        "callee may re-acquire it (%s); a non-reentrant lock "
+                        "self-deadlocks here, invisibly to per-frame analysis",
+                        hit.site.c_str(), hit.function.c_str(), hit.acquire_instr_id,
+                        chain.c_str()));
+  }
 }
 
 }  // namespace awd

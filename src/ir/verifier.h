@@ -10,12 +10,18 @@
 // IR-level pass families (this header):
 //   ir.*    well-formedness — balanced loops, unique ids, resolving call
 //           targets, def-before-use dataflow over args/defs
-//   lock.*  lock discipline — acquire/release pairing per site and a
+//   lock.*  lock discipline — acquire/release pairing per site, a
 //           cross-function lock-order graph with cycle detection (§3.3: a
-//           mimic checker must not be able to deadlock the main program)
+//           mimic checker must not be able to deadlock the main program),
+//           and the interprocedural half (lock.interproc-order): locks held
+//           across calls whose transitive callees re-acquire the same site —
+//           a self-deadlock the per-frame walk provably cannot see, because
+//           the order graph drops self-edges and the reacquire check only
+//           consults the current frame's held stack.
 //
 // Artifact-level passes (isolation over ReducedProgram, hook-plan soundness
-// over HookPlan) live in src/autowd/lint.h; they reuse Finding/LintPolicy.
+// over HookPlan, the effect.*/race.*/cost.* families over the interprocedural
+// summaries) live in src/autowd/lint.h; they reuse Finding/LintPolicy.
 #pragma once
 
 #include <functional>
@@ -63,6 +69,13 @@ std::vector<Finding> ApplyPolicy(std::vector<Finding> findings, const LintPolicy
 int CountSeverity(const std::vector<Finding>& findings, Severity severity);
 std::string FormatFindings(const std::vector<Finding>& findings);
 
+// Machine-readable variants (wdg_lint --format=json): one JSON object per
+// finding with severity, rule, function, instr_id, location and message.
+// FormatFindingsJson renders a JSON array (two-space indented, stable field
+// order) so CI annotation scripts can parse lint output without scraping.
+std::string FindingToJson(const Finding& finding);
+std::string FormatFindingsJson(const std::vector<Finding>& findings);
+
 // Pass signature: append findings for `module`.
 using ModulePass = std::function<void(const Module&, std::vector<Finding>&)>;
 
@@ -92,6 +105,13 @@ void CheckWellFormed(const Module& module, std::vector<Finding>& findings);
 // lock.release-without-acquire, lock.leaked, lock.reacquire,
 // lock.order-cycle.
 void CheckLockDiscipline(const Module& module, std::vector<Finding>& findings);
+
+// lock.interproc-order (IR half): a lock held at a call site whose callee
+// — through any chain, including recursion back into the holder — may
+// acquire the same site again. Uses the ModuleDataflow summaries
+// (src/ir/dataflow.h); the checker-vs-main-program half of the rule lives in
+// src/autowd/lint.h where the redirection plan is known.
+void CheckInterprocLocks(const Module& module, std::vector<Finding>& findings);
 
 // Stable ordering for reports: severity, then function, instr id, rule.
 void SortFindings(std::vector<Finding>& findings);

@@ -29,6 +29,11 @@ CheckerBuilder& CheckerBuilder::AdaptiveDeadline(bool enabled) {
   return *this;
 }
 
+CheckerBuilder& CheckerBuilder::DeadlinePrior(DurationNs prior) {
+  deadline_prior_ = prior;
+  return *this;
+}
+
 CheckerBuilder& CheckerBuilder::Debounce(int consecutive_needed) {
   debounce_ = consecutive_needed;
   debounce_set_ = true;
@@ -117,7 +122,12 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
                   name_.c_str()));
   }
 
-  CheckerOptions options{interval_, deadline_, initial_delay_, adaptive_deadline_};
+  if (deadline_prior_ < 0) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': deadline prior must be >= 0", name_.c_str()));
+  }
+  CheckerOptions options{interval_, deadline_, initial_delay_, adaptive_deadline_,
+                         deadline_prior_};
   switch (body_) {
     case Body::kProbe: {
       if (context_ != nullptr || context_factory_) {

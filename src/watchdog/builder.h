@@ -49,6 +49,10 @@ class CheckerBuilder {
   // the driver always uses the static Deadline() even when its adaptive
   // deadline budgets are enabled. Defaults to opted in.
   CheckerBuilder& AdaptiveDeadline(bool enabled);
+  // Static-analysis deadline prior (CheckerOptions::deadline_prior): used
+  // instead of the global Deadline() until the driver's histogram budget
+  // warms up. Must be >= 0; capped at Deadline() by the driver. 0 disables.
+  CheckerBuilder& DeadlinePrior(DurationNs prior);
   // Consecutive violations required before alarming (probe/signal only).
   CheckerBuilder& Debounce(int consecutive_needed);
 
@@ -87,6 +91,7 @@ class CheckerBuilder {
   DurationNs deadline_ = Ms(400);
   DurationNs initial_delay_ = 0;
   bool adaptive_deadline_ = true;
+  DurationNs deadline_prior_ = 0;
   int debounce_ = 1;
   bool debounce_set_ = false;
 

@@ -49,6 +49,12 @@ struct CheckerOptions {
   // Set false to pin the static `timeout` — e.g. a body with a legitimate
   // rare slow path its latency histogram has not seen yet.
   bool adaptive_deadline = true;
+  // Static-analysis deadline prior (0 = none): a per-checker hang deadline
+  // derived from the interprocedural cost model before the driver's latency
+  // histogram has min_samples completions. Used instead of the global static
+  // `timeout` fallback until the adaptive budget warms up; never exceeds
+  // `timeout` (the generator clamps it), so it only ever tightens detection.
+  DurationNs deadline_prior = 0;
 };
 
 class Checker {

@@ -52,6 +52,7 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       {"wdg.driver.queue_delay.mean_ns", queue_delay_mean_ns},
       {"wdg.driver.queue_delay.p99_ns", queue_delay_p99_ns},
       {"wdg.driver.scheduler_lag_ns", scheduler_lag_ns},
+      {"wdg.driver.deadline.priors_active", static_cast<double>(deadline_priors_active)},
   };
   for (const auto& [name, deadline_ns] : checker_deadline_ns) {
     map["wdg.driver.deadline." + name + "_ns"] = deadline_ns;
@@ -198,8 +199,16 @@ void WatchdogDriver::LaunchLocked(Slot& slot, size_t slot_index, TimeNs now) {
 }
 
 DurationNs WatchdogDriver::SlotDeadlineLocked(const Slot& slot) const {
-  return slot.deadline_budget > 0 ? slot.deadline_budget
-                                  : slot.checker->options().timeout;
+  if (slot.deadline_budget > 0) {
+    return slot.deadline_budget;
+  }
+  // No histogram-derived budget yet: prefer the static-analysis prior over
+  // the global timeout, so cold-start deadlines are already per-checker. The
+  // prior is generated ≤ timeout; min() keeps that invariant even for
+  // hand-built options.
+  const CheckerOptions& opts = slot.checker->options();
+  return opts.deadline_prior > 0 ? std::min(opts.deadline_prior, opts.timeout)
+                                 : opts.timeout;
 }
 
 void WatchdogDriver::RefreshBudgetLocked(Slot& slot) {
@@ -686,6 +695,9 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
     for (const auto& slot : slots_) {
       snapshot.checker_deadline_ns[slot->checker->name()] =
           static_cast<double>(SlotDeadlineLocked(*slot));
+      if (slot->deadline_budget == 0 && slot->checker->options().deadline_prior > 0) {
+        ++snapshot.deadline_priors_active;
+      }
     }
   }
   Histogram* queue_delay = metrics_->GetHistogram("wdg.driver.queue_delay_ns");

@@ -134,9 +134,13 @@ struct DriverMetricsSnapshot {
   double queue_delay_p99_ns = 0;
   double scheduler_lag_ns = 0;  // last observed oversleep past a planned wake
 
-  // Effective per-checker hang deadlines (ns). Equal to the checker's static
-  // timeout until its histogram-derived budget takes over.
+  // Effective per-checker hang deadlines (ns). Before any histogram-derived
+  // budget takes over this is the checker's static-analysis deadline prior
+  // when one was generated, else its static timeout.
   std::map<std::string, double> checker_deadline_ns;
+  // Checkers whose effective deadline currently comes from a static-analysis
+  // prior (deadline_prior set, histogram budget not yet active).
+  int64_t deadline_priors_active = 0;
 
   // Flattened view for dashboards / table code that wants name→value.
   std::map<std::string, double> ToMap() const;

@@ -462,5 +462,65 @@ TEST(GenerateTest, EndToEndDetectionThroughDriver) {
   EXPECT_NE(failure.context_dump.find("/zk/node1"), std::string::npos);
 }
 
+// Static cost priors must differentiate checker hang deadlines *before* the
+// driver's latency histograms have any samples: a cheap read-loop checker
+// starts at the 200 ms prior floor while a send-heavy checker keeps the
+// configured timeout, visible in DriverMetrics() straight after Generate().
+TEST(GenerateTest, CostPriorsSeedColdStartDeadlines) {
+  Module module("priors");
+  module.AddFunction(FunctionBuilder("CheapLoop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoRead, "disk.cheap", {"key"}, {"val"})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("SlowLoop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kNetSend, "net.s1", {"m1"}, {})
+                         .Op(OpKind::kNetSend, "net.s2", {"m2"}, {})
+                         .Op(OpKind::kIoFsync, "disk.sync", {"f"}, {})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+
+  wdg::HookSet hooks;
+  OpExecutorRegistry registry;
+  registry.Register("*", [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
+    return wdg::Status::Ok();
+  });
+  wdg::WatchdogDriver driver(wdg::RealClock::Instance());
+  GenerationOptions options;
+  options.checker.timeout = wdg::Ms(400);
+  const GenerationReport report = Generate(module, hooks, registry, driver, options);
+
+  // Both checkers got a prior; the generator caps priors at the timeout.
+  ASSERT_EQ(report.deadline_priors.size(), 2u);
+  EXPECT_EQ(report.deadline_priors.at("CheapLoop_reduced"), wdg::Ms(200));
+  EXPECT_EQ(report.deadline_priors.at("SlowLoop_reduced"), wdg::Ms(400));
+
+  // No executions have run, yet the effective deadlines already differ and
+  // the cheap checker's is strictly tighter than the static timeout.
+  const wdg::DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  EXPECT_EQ(metrics.checker_deadline_ns.at("CheapLoop_reduced"),
+            static_cast<double>(wdg::Ms(200)));
+  EXPECT_EQ(metrics.checker_deadline_ns.at("SlowLoop_reduced"),
+            static_cast<double>(wdg::Ms(400)));
+  EXPECT_EQ(metrics.deadline_priors_active, 2);
+  EXPECT_EQ(metrics.ToMap().at("wdg.driver.deadline.priors_active"), 2.0);
+
+  // Disabling the cost prior restores the uniform static timeout.
+  wdg::WatchdogDriver plain_driver(wdg::RealClock::Instance());
+  GenerationOptions no_priors = options;
+  no_priors.cost_prior.enabled = false;
+  const GenerationReport plain = Generate(module, hooks, registry, plain_driver, no_priors);
+  EXPECT_TRUE(plain.deadline_priors.empty());
+  const wdg::DriverMetricsSnapshot plain_metrics = plain_driver.DriverMetrics();
+  EXPECT_EQ(plain_metrics.checker_deadline_ns.at("CheapLoop_reduced"),
+            static_cast<double>(wdg::Ms(400)));
+  EXPECT_EQ(plain_metrics.deadline_priors_active, 0);
+}
+
 }  // namespace
 }  // namespace awd

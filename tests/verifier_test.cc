@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/autowd/cost.h"
 #include "src/autowd/lint.h"
+#include "src/ir/dataflow.h"
 #include "src/ir/verifier.h"
 #include "src/kvs/ir_model.h"
 #include "src/minihdfs/ir_model.h"
@@ -621,11 +623,12 @@ TEST(LintPolicyTest, WarningsAsErrorsPromotes) {
 
 // ----------------------------------------------------------------- pass manager
 
-TEST(VerifierTest, DefaultRegistersBothPassFamilies) {
+TEST(VerifierTest, DefaultRegistersAllPassFamilies) {
   const std::vector<std::string> names = Verifier::Default().PassNames();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   EXPECT_EQ(names[0], "well-formed");
   EXPECT_EQ(names[1], "lock-discipline");
+  EXPECT_EQ(names[2], "interproc-locks");
 }
 
 TEST(VerifierTest, RunSortsErrorsFirst) {
@@ -702,6 +705,367 @@ TEST(GeneratedApiTest, CurrentCodegenPassesTheRule) {
   std::vector<Finding> findings;
   CheckGeneratedApi(program, plan, findings);
   EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+// -------------------------------------------------- interprocedural dataflow
+
+// A→B→C→A call cycle with C also calling leaf D, which performs the only
+// write. Summaries must propagate D's effect set around the whole cycle.
+Module SccModule() {
+  Module module("scc");
+  module.AddFunction(FunctionBuilder("A", "c").LongRunning().Call("B").Return().Build());
+  module.AddFunction(FunctionBuilder("B", "c").Call("C").Return().Build());
+  module.AddFunction(
+      FunctionBuilder("C", "c").Call("A").Call("D").Return().Build());
+  module.AddFunction(FunctionBuilder("D", "c")
+                         .Op(OpKind::kIoWrite, "disk.leaf", {"buf"}, {})
+                         .Return()
+                         .Build());
+  return module;
+}
+
+TEST(DataflowTest, SummariesPropagateAroundCallCycles) {
+  const Module module = SccModule();  // dataflow borrows the module
+  const ModuleDataflow dataflow(module);
+  for (const char* name : {"A", "B", "C"}) {
+    const FunctionSummary* summary = dataflow.Summary(name);
+    ASSERT_NE(summary, nullptr) << name;
+    EXPECT_TRUE(summary->recursive) << name;
+    ASSERT_EQ(summary->writes.count("disk.leaf"), 1u) << name;
+    EXPECT_EQ(summary->writes.at("disk.leaf").function, "D");
+  }
+  const FunctionSummary* leaf = dataflow.Summary("D");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_FALSE(leaf->recursive);
+  // Callee-first SCC order: D's singleton SCC fixpoints before the cycle's.
+  EXPECT_LT(leaf->scc_index, dataflow.Summary("A")->scc_index);
+}
+
+TEST(DataflowTest, ReachableWritesCarryWitnessChains) {
+  const Module module = SccModule();  // dataflow borrows the module
+  const ModuleDataflow dataflow(module);
+  const auto writes = dataflow.ContinuousWrites("A");
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].site.site, "disk.leaf");
+  const std::vector<std::string> expected = {"A", "B", "C", "D"};
+  EXPECT_EQ(writes[0].chain, expected);
+}
+
+TEST(DataflowTest, LoopNestingMultipliesCost) {
+  Module module("cost");
+  module.AddFunction(FunctionBuilder("Flat", "c")
+                         .Op(OpKind::kIoWrite, "disk.w", {"b"}, {})
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("Looped", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.w", {"b"}, {})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  const ModuleDataflow dataflow(module);
+  EXPECT_GT(dataflow.Summary("Looped")->self_cost_ns,
+            dataflow.Summary("Flat")->self_cost_ns * 2);
+}
+
+// Call chain one deeper than ReducerOptions::max_call_depth, ending in an
+// unredirected disk write.
+Module DeepEscapeModule() {
+  Module module("deep");
+  module.AddFunction(FunctionBuilder("Root", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Call("Hop1")
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  for (int depth = 1; depth <= 16; ++depth) {
+    module.AddFunction(FunctionBuilder("Hop" + std::to_string(depth), "c")
+                           .Call("Hop" + std::to_string(depth + 1))
+                           .Return()
+                           .Build());
+  }
+  module.AddFunction(FunctionBuilder("Hop17", "c")
+                         .Op(OpKind::kIoWrite, "disk.deep", {"buf"}, {})
+                         .Return()
+                         .Build());
+  return module;
+}
+
+// The committed regression fixture for effect.escape: the intraprocedural
+// pipeline (reduce + CheckIsolation) provably misses the depth-17 write —
+// the reducer drops it, so iso.* has nothing to judge — while the
+// depth-unbounded effect proof reports it.
+TEST(EffectTest, EscapePastReducerHorizonOnlyCaughtInterprocedurally) {
+  const Module module = DeepEscapeModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  for (const ReducedFunction& fn : program.functions) {
+    for (const ReducedOp& op : fn.ops) {
+      EXPECT_NE(op.site, "disk.deep") << "reducer horizon moved; rebuild fixture";
+    }
+  }
+  std::vector<Finding> iso;
+  CheckIsolation(program, RedirectionPlan{}, iso);
+  EXPECT_FALSE(HasFinding(iso, "iso.unredirected-write"))
+      << "intraprocedural pass saw the deep write; fixture no longer proves the gap";
+
+  const ModuleDataflow dataflow(module);
+  std::vector<Finding> findings;
+  CheckEffects(dataflow, program, RedirectionPlan{}, findings);
+  EXPECT_TRUE(HasFinding(findings, "effect.escape", "Hop17", 1))
+      << FormatFindings(findings);
+}
+
+TEST(EffectTest, RedirectedDeepWriteIsConfined) {
+  const Module module = DeepEscapeModule();
+  const ReducedProgram program = Reducer(module).Reduce();
+  RedirectionPlan plan;
+  plan.entries.push_back({"disk.*", RedirectMode::kScratchRedirect, "scratch"});
+  const ModuleDataflow dataflow(module);
+  std::vector<Finding> findings;
+  CheckEffects(dataflow, program, plan, findings);
+  EXPECT_FALSE(HasFinding(findings, "effect.escape")) << FormatFindings(findings);
+}
+
+TEST(EffectTest, CoveredWriteSetEarnsConfinedNote) {
+  Module module("confined");
+  module.AddFunction(FunctionBuilder("Loop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.w", {"buf"}, {})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  RedirectionPlan plan;
+  plan.entries.push_back({"disk.w", RedirectMode::kScratchRedirect, "scratch"});
+  const ReducedProgram program = Reducer(module).Reduce();
+  const ModuleDataflow dataflow(module);
+  std::vector<Finding> findings;
+  CheckEffects(dataflow, program, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "effect.confined", "Loop")) << FormatFindings(findings);
+  EXPECT_FALSE(HasFinding(findings, "effect.escape"));
+}
+
+// The committed regression fixture for lock.interproc-order: a lock held
+// across a self-call. CheckLockDiscipline provably emits nothing (the cycle
+// detector drops self-edges; reacquire only checks the current frame), the
+// cross-frame pass errors.
+TEST(InterprocLockTest, HeldAcrossRecursionOnlyCaughtCrossFrame) {
+  Module module("rec");
+  module.AddFunction(FunctionBuilder("RecursiveHold", "c")
+                         .Op(OpKind::kLockAcquire, "lock.r")
+                         .Call("RecursiveHold")
+                         .Op(OpKind::kLockRelease, "lock.r")
+                         .Return()
+                         .Build());
+  std::vector<Finding> intra;
+  CheckLockDiscipline(module, intra);
+  EXPECT_TRUE(intra.empty())
+      << "per-frame pass now sees the cross-frame reacquire: " << FormatFindings(intra);
+
+  std::vector<Finding> findings;
+  CheckInterprocLocks(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.interproc-order", "RecursiveHold", 2))
+      << FormatFindings(findings);
+}
+
+TEST(InterprocLockTest, ReleaseBeforeRecursingIsClean) {
+  Module module("rec");
+  module.AddFunction(FunctionBuilder("Drains", "c")
+                         .Op(OpKind::kLockAcquire, "lock.r")
+                         .Op(OpKind::kLockRelease, "lock.r")
+                         .Call("Drains")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckInterprocLocks(module, findings);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(InterprocLockTest, HeldAcrossDeepCalleeReacquire) {
+  Module module("deep");
+  module.AddFunction(FunctionBuilder("Outer", "c")
+                         .Op(OpKind::kLockAcquire, "lock.m")
+                         .Call("Middle")
+                         .Op(OpKind::kLockRelease, "lock.m")
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("Middle", "c").Call("Inner").Return().Build());
+  module.AddFunction(FunctionBuilder("Inner", "c")
+                         .Op(OpKind::kLockAcquire, "lock.m")
+                         .Op(OpKind::kLockRelease, "lock.m")
+                         .Return()
+                         .Build());
+  std::vector<Finding> findings;
+  CheckInterprocLocks(module, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.interproc-order", "Outer", 2))
+      << FormatFindings(findings);
+}
+
+// Checker-vs-main deadlock: the main program orders a before b; a hand-built
+// checker mimics b then a without bounded-try declarations, closing the cycle.
+TEST(CheckerLockOrderTest, CheckerClosingMainCycleIsAnError) {
+  Module module("order");
+  module.AddFunction(FunctionBuilder("Main", "c")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.a")
+                         .Op(OpKind::kLockAcquire, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.b")
+                         .Op(OpKind::kLockRelease, "lock.a")
+                         .Return()
+                         .Build());
+  ReducedProgram program;
+  ReducedFunction checker;
+  checker.name = "Backwards_reduced";
+  checker.origin = "Main";
+  checker.ops.push_back({OpKind::kLockAcquire, "lock.b", "Main", 2, "c", {}, {}, ""});
+  checker.ops.push_back({OpKind::kLockAcquire, "lock.a", "Main", 1, "c", {}, {}, ""});
+  program.functions.push_back(std::move(checker));
+
+  const ModuleDataflow dataflow(module);
+  std::vector<Finding> findings;
+  CheckCheckerLockOrder(dataflow, program, RedirectionPlan{}, findings);
+  EXPECT_TRUE(HasFinding(findings, "lock.interproc-order", "Main", 1))
+      << FormatFindings(findings);
+
+  // Declaring the closing acquire a bounded try removes the blocking edge.
+  RedirectionPlan bounded;
+  bounded.entries.push_back({"lock.a", RedirectMode::kBoundedTry, "try"});
+  std::vector<Finding> clean;
+  CheckCheckerLockOrder(dataflow, program, bounded, clean);
+  EXPECT_TRUE(clean.empty()) << FormatFindings(clean);
+}
+
+// -------------------------------------------------------- hook-context races
+
+Module RaceModule(bool shared_lock) {
+  Module module("race");
+  FunctionBuilder root_a("RaceRootA", "c");
+  root_a.LongRunning()
+      .Op(OpKind::kLockAcquire, "lock.x")
+      .Call("SharedCapture")
+      .Op(OpKind::kLockRelease, "lock.x")
+      .Return();
+  module.AddFunction(root_a.Build());
+  FunctionBuilder root_b("RaceRootB", "c");
+  root_b.LongRunning();
+  if (shared_lock) {
+    root_b.Op(OpKind::kLockAcquire, "lock.x")
+        .Call("SharedCapture")
+        .Op(OpKind::kLockRelease, "lock.x");
+  } else {
+    root_b.Call("SharedCapture");
+  }
+  root_b.Return();
+  module.AddFunction(root_b.Build());
+  module.AddFunction(FunctionBuilder("SharedCapture", "c")
+                         .Compute("stage", {}, {"v"})
+                         .Op(OpKind::kIoRead, "disk.race", {"v"}, {})
+                         .Return()
+                         .Build());
+  return module;
+}
+
+TEST(HookRaceTest, DisjointLocksetsFromDifferentRootsWarn) {
+  const Module module = RaceModule(/*shared_lock=*/false);
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  const ModuleDataflow dataflow(module);
+  std::vector<Finding> findings;
+  CheckHookRaces(dataflow, plan, findings);
+  EXPECT_TRUE(HasFinding(findings, "race.hook-context", "SharedCapture", 2))
+      << FormatFindings(findings);
+}
+
+TEST(HookRaceTest, CommonLockSerializesCaptures) {
+  const Module module = RaceModule(/*shared_lock=*/true);
+  const ReducedProgram program = Reducer(module).Reduce();
+  const HookPlan plan = InferContexts(program);
+  const ModuleDataflow dataflow(module);
+  std::vector<Finding> findings;
+  CheckHookRaces(dataflow, plan, findings);
+  EXPECT_FALSE(HasFinding(findings, "race.hook-context")) << FormatFindings(findings);
+}
+
+// ------------------------------------------------------------- static costs
+
+TEST(CostTest, EstimatesPriceOpsAndSeedPriors) {
+  Module module("cost");
+  module.AddFunction(FunctionBuilder("Loop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kNetSend, "net.send", {"msg"}, {})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  const auto estimates = EstimateCheckerCosts(module, program);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].checker, "Loop_reduced");
+  EXPECT_EQ(estimates[0].ops, 1);
+  EXPECT_GT(estimates[0].deadline_bound_ns, estimates[0].run_cost_ns);
+
+  // Prior = clamp(bound × multiplier, floor, ceiling).
+  CostPriorOptions options;
+  const double raw = estimates[0].deadline_bound_ns * options.multiplier;
+  const wdg::DurationNs prior = estimates[0].DeadlinePrior(options);
+  EXPECT_GE(prior, options.floor);
+  EXPECT_LE(prior, options.ceiling);
+  if (raw > options.floor && raw < options.ceiling) {
+    EXPECT_EQ(prior, static_cast<wdg::DurationNs>(raw));
+  }
+  options.enabled = false;
+  EXPECT_EQ(estimates[0].DeadlinePrior(options), 0);
+}
+
+TEST(CostTest, StaticEstimateNotesAndJson) {
+  Module module("cost");
+  module.AddFunction(FunctionBuilder("Loop", "c")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Op(OpKind::kIoWrite, "disk.w", {"b"}, {})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  const ReducedProgram program = Reducer(module).Reduce();
+  std::vector<Finding> findings;
+  CheckStaticCosts(module, program, findings);
+  EXPECT_TRUE(HasFinding(findings, "cost.static-estimate", "Loop")) << FormatFindings(findings);
+
+  const std::string json = FormatCostsJson(EstimateCheckerCosts(module, program));
+  EXPECT_NE(json.find("\"checker\": \"Loop_reduced\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"deadline_prior_ms\""), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------- JSON output
+
+TEST(JsonOutputTest, FindingToJsonGolden) {
+  Finding finding;
+  finding.severity = Severity::kError;
+  finding.rule = "effect.escape";
+  finding.function = "Hop17";
+  finding.instr_id = 1;
+  finding.message = "a \"quoted\" message";
+  EXPECT_EQ(FindingToJson(finding),
+            "{\"severity\": \"error\", \"rule\": \"effect.escape\", "
+            "\"function\": \"Hop17\", \"instr_id\": 1, "
+            "\"location\": \"Hop17:1\", "
+            "\"message\": \"a \\\"quoted\\\" message\"}");
+}
+
+TEST(JsonOutputTest, FormatFindingsJsonGolden) {
+  EXPECT_EQ(FormatFindingsJson({}), "[]");
+  Finding finding;
+  finding.severity = Severity::kWarning;
+  finding.rule = "race.hook-context";
+  finding.function = "F";
+  finding.instr_id = 2;
+  finding.message = "line1\nline2";
+  EXPECT_EQ(FormatFindingsJson({finding}),
+            "[\n  {\"severity\": \"warning\", \"rule\": \"race.hook-context\", "
+            "\"function\": \"F\", \"instr_id\": 2, \"location\": \"F:2\", "
+            "\"message\": \"line1\\nline2\"}\n]");
 }
 
 }  // namespace

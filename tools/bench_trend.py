@@ -41,6 +41,10 @@ TRACKED = [
      "BENCH_driver_scale.json",
      lambda d: _config(d, checkers=256, mode="adaptive")["p99_queue_delay_us"],
      "down"),
+    ("driver_pooled_storm_p99_queue_delay_us_256",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=256, mode="pooled-storm")["p99_queue_delay_us"],
+     "down"),
     ("context_get_p50_ns_8r",
      "BENCH_context_read.json",
      lambda d: _config(d, readers=8)["get_p50_ns"],

@@ -40,6 +40,19 @@ run_leg() {
 }
 
 run_leg build-ci "" "$@"
+echo "=== lint leg: shipped IR models, warnings as errors ==="
+# The ctest wdg_lint_models entry runs with default policy; this leg raises
+# the bar for the shipped models — any warning (iso.*, race.hook-context,
+# hook.dead, ...) fails CI. Per-system invocations keep the failure pinpointed.
+for system in kvs minizk minihdfs; do
+  ./build-ci/tools/wdg_lint --system "${system}" --warnings-as-errors --summary
+done
+# The seeded-broken fixture must still fail under the same flags; a lint that
+# stops catching its own regression fixtures is worse than no lint.
+if ./build-ci/tools/wdg_lint --fixture bad --warnings-as-errors --summary; then
+  echo "ci: wdg_lint accepted the bad fixture — the gate is broken" >&2
+  exit 1
+fi
 echo "=== bench smoke: driver scale ==="
 # Quick pass over the pooled-executor bench so a scheduler/executor regression
 # shows up as a CI diff in BENCH_driver_scale.json, not a silent perf slide.

@@ -1,27 +1,32 @@
 // wdg_lint: the static verification gate (docs/LINT.md).
 //
 // Runs every wdg-lint pass family — IR well-formedness, lock discipline,
-// isolation, hook-plan soundness — over the kvs, minizk and minihdfs
-// DescribeIr() models and their generated hook plans, prints findings with
-// severity and pinpointed <function>:<instr_id> locations, and exits nonzero
-// when any error survives the policy. Registered with ctest so a bad IR
-// model fails the build.
+// interprocedural lock order, isolation, effect/escape proofs, hook-plan
+// soundness, hook-context races, static cost estimates — over the kvs,
+// minizk and minihdfs DescribeIr() models and their generated hook plans,
+// prints findings with severity and pinpointed <function>:<instr_id>
+// locations, and exits nonzero when any error survives the policy.
+// Registered with ctest so a bad IR model fails the build.
 //
 //   wdg_lint [--system kvs|minizk|minihdfs|all] [--fixture good|bad]
 //            [--warnings-as-errors] [--disable-rule R] [--suppress LOC]
-//            [--notes] [--summary]
+//            [--notes] [--summary] [--format text|json] [--emit-costs]
 //
 // Examples:
 //   wdg_lint                             # lint all three systems
 //   wdg_lint --system minizk --notes     # include informational findings
 //   wdg_lint --fixture bad               # seeded-broken module; must fail
+//   wdg_lint --format json               # machine-readable findings
+//   wdg_lint --emit-costs                # static per-checker cost annotations
 //   wdg_lint --disable-rule ir.unused-def --suppress "FlushMemtable:3"
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/autowd/cost.h"
 #include "src/autowd/lint.h"
+#include "src/common/strings.h"
 #include "src/ir/verifier.h"
 #include "src/kvs/ir_model.h"
 #include "src/minihdfs/ir_model.h"
@@ -32,16 +37,18 @@ namespace {
 struct CliOptions {
   std::string system = "all";
   std::string fixture = "good";
+  std::string format = "text";
   awd::LintPolicy policy;
   bool show_notes = false;
   bool summary_only = false;
+  bool emit_costs = false;
 };
 
 void PrintUsage() {
   std::printf(
       "usage: wdg_lint [--system kvs|minizk|minihdfs|all] [--fixture good|bad]\n"
       "                [--warnings-as-errors] [--disable-rule R] [--suppress LOC]\n"
-      "                [--notes] [--summary]\n");
+      "                [--notes] [--summary] [--format text|json] [--emit-costs]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
@@ -73,6 +80,16 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
                      options.fixture.c_str());
         return false;
       }
+    } else if (arg == "--format") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      options.format = value;
+      if (options.format != "text" && options.format != "json") {
+        std::fprintf(stderr, "wdg_lint: unknown format '%s'\n", options.format.c_str());
+        return false;
+      }
     } else if (arg == "--disable-rule") {
       const char* value = next();
       if (value == nullptr) {
@@ -91,6 +108,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.show_notes = true;
     } else if (arg == "--summary") {
       options.summary_only = true;
+    } else if (arg == "--emit-costs") {
+      options.emit_costs = true;
     } else {
       PrintUsage();
       return false;
@@ -99,10 +118,24 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-// Deliberately-broken module proving every IR-level pass fires: unbalanced
+// Deliberately-broken module proving every pass family fires: unbalanced
 // loop, leaked lock, dangling call, use-before-def, unused def, duplicate
 // ids, opposite-order lock acquisition, and (with the empty redirection plan
-// it is linted against) unredirected destructive ops.
+// it is linted against) unredirected destructive ops — plus the three
+// interprocedural seeds the per-frame passes provably miss:
+//
+//   DeepEscapeLoop → Deep1 → ... → Deep17 → disk write. One call deeper
+//   than the reducer's max_call_depth, so the write never reaches the
+//   reduced program and iso.* stays silent; effect.escape must catch it.
+//
+//   RecursiveHold acquires lock.r, calls itself with the lock held, then
+//   releases. The cycle detector drops self-edges and lock.reacquire only
+//   sees the current frame, so only lock.interproc-order (cross-frame
+//   reacquire) fires.
+//
+//   RaceRootA calls SharedCapture holding lock.x; RaceRootB calls it with
+//   no lock. The hook capturing SharedCapture's context fires from both
+//   threads under disjoint locksets — race.hook-context.
 awd::Module BadFixture() {
   using awd::FunctionBuilder;
   using awd::OpKind;
@@ -148,16 +181,79 @@ awd::Module BadFixture() {
   duplicate_ids.instrs[1].id = duplicate_ids.instrs[0].id;
   module.AddFunction(std::move(duplicate_ids));
 
+  // effect.escape seed: one call past the reducer's depth bound.
+  module.AddFunction(FunctionBuilder("DeepEscapeLoop", "fixture")
+                         .LongRunning()
+                         .LoopBegin()
+                         .Call("Deep1", {})
+                         .LoopEnd()
+                         .Return()
+                         .Build());
+  for (int depth = 1; depth <= 16; ++depth) {
+    module.AddFunction(
+        FunctionBuilder("Deep" + std::to_string(depth), "fixture")
+            .Call("Deep" + std::to_string(depth + 1), {})
+            .Return()
+            .Build());
+  }
+  module.AddFunction(FunctionBuilder("Deep17", "fixture")
+                         .Op(OpKind::kIoWrite, "disk.deep", {}, {},
+                             "beyond the reducer's horizon")
+                         .Return()
+                         .Build());
+
+  // lock.interproc-order seed: held across a self-call.
+  module.AddFunction(FunctionBuilder("RecursiveHold", "fixture")
+                         .Op(OpKind::kLockAcquire, "lock.r")
+                         .Call("RecursiveHold", {})
+                         .Op(OpKind::kLockRelease, "lock.r")
+                         .Return()
+                         .Build());
+
+  // race.hook-context seed: two roots, disjoint locksets, shared hook site.
+  module.AddFunction(FunctionBuilder("RaceRootA", "fixture")
+                         .LongRunning()
+                         .Op(OpKind::kLockAcquire, "lock.x")
+                         .Call("SharedCapture", {})
+                         .Op(OpKind::kLockRelease, "lock.x")
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("RaceRootB", "fixture")
+                         .LongRunning()
+                         .Op(OpKind::kNetRecv, "net.race", {}, {"req"})
+                         .Call("SharedCapture", {})
+                         .Return()
+                         .Build());
+  module.AddFunction(FunctionBuilder("SharedCapture", "fixture")
+                         .Compute("stage value", {}, {"v"})
+                         .Op(OpKind::kIoRead, "disk.race", {"v"}, {})
+                         .Return()
+                         .Build());
+
   return module;
 }
 
-int LintOne(const std::string& name, const awd::Module& module,
-            const awd::RedirectionPlan& redirections, const CliOptions& options) {
-  const awd::LintResult result = awd::LintModule(module, redirections, options.policy);
+struct SystemResult {
+  std::string name;
+  awd::LintResult lint;
+  std::vector<awd::CheckerCostEstimate> costs;
+};
 
-  std::printf("== %s ==\n", name.c_str());
+SystemResult LintOne(const std::string& name, const awd::Module& module,
+                     const awd::RedirectionPlan& redirections, const CliOptions& options) {
+  SystemResult result;
+  result.name = name;
+  result.lint = awd::LintModule(module, redirections, options.policy);
+  if (options.emit_costs) {
+    result.costs = awd::EstimateCheckerCosts(module, result.lint.program);
+  }
+  return result;
+}
+
+void PrintText(const SystemResult& result, const CliOptions& options) {
+  std::printf("== %s ==\n", result.name.c_str());
   if (!options.summary_only) {
-    for (const awd::Finding& finding : result.findings) {
+    for (const awd::Finding& finding : result.lint.findings) {
       if (finding.severity == awd::Severity::kNote && !options.show_notes) {
         continue;
       }
@@ -167,10 +263,56 @@ int LintOne(const std::string& name, const awd::Module& module,
   std::printf(
       "%s: %d reduced checkers, %d hooks planned — %d error(s), %d warning(s), "
       "%d note(s)\n",
-      name.c_str(), static_cast<int>(result.program.functions.size()),
-      static_cast<int>(result.plan.points.size()), result.errors, result.warnings,
-      result.notes);
-  return result.errors;
+      result.name.c_str(), static_cast<int>(result.lint.program.functions.size()),
+      static_cast<int>(result.lint.plan.points.size()), result.lint.errors,
+      result.lint.warnings, result.lint.notes);
+  if (options.emit_costs) {
+    std::printf("%s costs: %s\n", result.name.c_str(),
+                awd::FormatCostsJson(result.costs).c_str());
+  }
+}
+
+// One JSON object per system; findings use the same schema as
+// awd::FindingToJson, costs the same as awd::FormatCostsJson.
+std::string ToJson(const SystemResult& result, const CliOptions& options) {
+  std::string out = wdg::StrFormat(
+      "  {\n"
+      "    \"system\": \"%s\",\n"
+      "    \"checkers\": %d,\n"
+      "    \"hooks\": %d,\n"
+      "    \"errors\": %d,\n"
+      "    \"warnings\": %d,\n"
+      "    \"notes\": %d,\n"
+      "    \"findings\": [",
+      wdg::JsonEscape(result.name).c_str(),
+      static_cast<int>(result.lint.program.functions.size()),
+      static_cast<int>(result.lint.plan.points.size()), result.lint.errors,
+      result.lint.warnings, result.lint.notes);
+  bool first = true;
+  for (const awd::Finding& finding : result.lint.findings) {
+    if (finding.severity == awd::Severity::kNote && !options.show_notes) {
+      continue;
+    }
+    out += first ? "\n      " : ",\n      ";
+    out += awd::FindingToJson(finding);
+    first = false;
+  }
+  out += first ? "]" : "\n    ]";
+  if (options.emit_costs) {
+    out += ",\n    \"costs\": ";
+    std::string costs = awd::FormatCostsJson(result.costs);
+    // Re-indent the nested array so the combined document stays readable.
+    std::string indented;
+    for (const char ch : costs) {
+      indented += ch;
+      if (ch == '\n') {
+        indented += "    ";
+      }
+    }
+    out += indented;
+  }
+  out += "\n  }";
+  return out;
 }
 
 }  // namespace
@@ -181,33 +323,49 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int errors = 0;
+  std::vector<SystemResult> results;
   if (options.fixture == "bad") {
     // Linted against an empty redirection plan: nothing is declared safe.
-    errors += LintOne("bad_fixture", BadFixture(), awd::RedirectionPlan{}, options);
+    results.push_back(LintOne("bad_fixture", BadFixture(), awd::RedirectionPlan{}, options));
   } else {
     // Representative leader/pipeline configurations so the replication and
     // downstream sites exist in the models.
     if (options.system == "all" || options.system == "kvs") {
       kvs::KvsOptions kvs_options;
       kvs_options.followers = {"kvs2", "kvs3"};
-      errors += LintOne("kvs", kvs::DescribeIr(kvs_options), kvs::DescribeRedirections(),
-                        options);
+      results.push_back(LintOne("kvs", kvs::DescribeIr(kvs_options),
+                                kvs::DescribeRedirections(), options));
     }
     if (options.system == "all" || options.system == "minizk") {
       minizk::ZkOptions zk_options;
       zk_options.followers = {"zk-f1", "zk-f2"};
-      errors += LintOne("minizk", minizk::DescribeIr(zk_options),
-                        minizk::DescribeRedirections(), options);
+      results.push_back(LintOne("minizk", minizk::DescribeIr(zk_options),
+                                minizk::DescribeRedirections(), options));
     }
     if (options.system == "all" || options.system == "minihdfs") {
       minihdfs::DataNodeOptions dn_options;
       dn_options.downstream = "dn2";
-      errors += LintOne("minihdfs", minihdfs::DescribeIr(dn_options),
-                        minihdfs::DescribeRedirections(), options);
+      results.push_back(LintOne("minihdfs", minihdfs::DescribeIr(dn_options),
+                                minihdfs::DescribeRedirections(), options));
     }
   }
 
+  int errors = 0;
+  if (options.format == "json") {
+    std::printf("[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("%s%s\n", ToJson(results[i], options).c_str(),
+                  i + 1 < results.size() ? "," : "");
+      errors += results[i].lint.errors;
+    }
+    std::printf("]\n");
+    return errors > 0 ? 1 : 0;
+  }
+
+  for (const SystemResult& result : results) {
+    PrintText(result, options);
+    errors += result.lint.errors;
+  }
   if (errors > 0) {
     std::printf("wdg_lint: FAILED with %d error(s)\n", errors);
     return 1;
