@@ -52,9 +52,9 @@ int CountFalseAlarms(bool with_context_sync) {
       leader.hooks().Context(spec.context_name)->MarkReady(clock.NowNs());
     }
   }
-  driver.Start();
+  (void)driver.Start();
   clock.SleepFor(wdg::Ms(800));
-  driver.Stop();
+  (void)driver.Stop();
   const int alarms = static_cast<int>(driver.Failures().size());
   leader.Stop();
   return alarms;

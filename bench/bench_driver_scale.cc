@@ -105,12 +105,12 @@ ModeResult RunPooled(int checkers, wdg::DurationNs duration) {
         checker));
   }
   const wdg::TimeNs start = clock.NowNs();
-  driver.Start();
+  (void)driver.Start();
   clock.SleepFor(duration);
   const wdg::DriverMetricsSnapshot metrics = driver.DriverMetrics();
   const double elapsed_s = static_cast<double>(clock.NowNs() - start) /
                            static_cast<double>(wdg::kNsPerSec);
-  driver.Stop();
+  (void)driver.Stop();
   ModeResult result;
   result.mode = "pooled";
   result.checkers = checkers;
@@ -175,7 +175,7 @@ ModeResult RunStorm(int checkers, wdg::DurationNs duration, bool adaptive) {
   }
 
   const wdg::TimeNs start = clock.NowNs();
-  driver.Start();
+  (void)driver.Start();
   // Let the fleet warm up, then storm: every hang site wedges at once.
   clock.SleepFor(duration / 4);
   for (int i = 0; i < hangs; ++i) {
@@ -198,7 +198,7 @@ ModeResult RunStorm(int checkers, wdg::DurationNs duration, bool adaptive) {
     // Quiesce the fleet and require the autoscaler to walk back to
     // min_workers before shutdown.
     for (const std::string& name : names) {
-      driver.SetCheckerEnabled(name, false);
+      (void)driver.TrySetCheckerEnabled(name, false);
     }
     result.min_workers = options.executor.min_workers;
     const wdg::TimeNs scale_back_deadline = clock.NowNs() + wdg::Sec(5);
@@ -211,7 +211,7 @@ ModeResult RunStorm(int checkers, wdg::DurationNs duration, bool adaptive) {
       clock.SleepFor(wdg::Ms(10));
     }
   }
-  driver.Stop();
+  (void)driver.Stop();
 
   result.mode = adaptive ? "adaptive" : "pooled-storm";
   result.checkers = checkers;

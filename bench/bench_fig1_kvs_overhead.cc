@@ -65,7 +65,7 @@ RunStats RunWorkload(bool with_watchdog, wdg::DurationNs duration) {
     gen.checker.timeout = wdg::Ms(250);
     stats.report = awd::Generate(kvs::DescribeIr(leader.options()), leader.hooks(), registry,
                                  driver, gen);
-    driver.Start();
+    (void)driver.Start();
   }
 
   // Closed-loop client workload.
@@ -96,7 +96,7 @@ RunStats RunWorkload(bool with_watchdog, wdg::DurationNs duration) {
   for (const std::string& name : driver.CheckerNames()) {
     stats.checker_runs += driver.StatsFor(name).runs;
   }
-  driver.Stop();
+  (void)driver.Stop();
   leader.Stop();
   follower.Stop();
   return stats;

@@ -58,7 +58,7 @@ int main() {
   gen.checker.interval = wdg::Ms(20);
   gen.checker.timeout = wdg::Ms(250);
   awd::Generate(module, leader.hooks(), registry, driver, gen);
-  driver.Start();
+  (void)driver.Start();
 
   std::printf("=== live execution ===\n\n");
   clock.SleepFor(wdg::Ms(150));
@@ -96,7 +96,7 @@ int main() {
     std::printf("          (no detection — unexpected)\n");
   }
   injector.ClearAll();
-  driver.Stop();
+  (void)driver.Stop();
   leader.Stop();
   follower.Stop();
   return detected ? 0 : 1;

@@ -46,24 +46,6 @@ void BM_HookFire_Armed(benchmark::State& state) {
 }
 BENCHMARK(BM_HookFire_Armed);
 
-// The same workload through the DEPRECATED v1 string-keyed shim (per-call
-// intern + immediate per-slot locked store) — the mutex+map-era baseline the
-// typed API is measured against.
-void BM_HookFire_Armed_LegacyStringKeys(benchmark::State& state) {
-  wdg::HookSite site("kvs.flusher.write");
-  wdg::CheckContext ctx("flush_ctx_legacy");
-  site.Arm(&ctx);
-  int64_t i = 0;
-  for (auto _ : state) {
-    site.Fire([&](wdg::CheckContext& c) {
-      c.Set("bench.file", std::string("/sst/000042.sst"));
-      c.Set("bench.entries", ++i);
-      c.MarkReady(i);
-    });
-  }
-}
-BENCHMARK(BM_HookFire_Armed_LegacyStringKeys);
-
 // Concurrent hook sites on DIFFERENT keys of one context: the sharded store
 // means threads hit different stripes instead of one global mutex.
 void BM_HookFire_Armed_Contended(benchmark::State& state) {
@@ -105,8 +87,9 @@ BENCHMARK(BM_HookFire_Armed_SingleValue);
 void BM_ContextSnapshot(benchmark::State& state) {
   wdg::CheckContext ctx("c");
   for (int i = 0; i < 8; ++i) {
-    ctx.Set(wdg::StrFormat("key%d", i), std::string("some value"));
+    ctx.Set(wdg::ContextKey<std::string>::Of(wdg::StrFormat("key%d", i)), "some value");
   }
+  ctx.MarkReady(1);
   for (auto _ : state) {
     auto snapshot = ctx.Snapshot();
     benchmark::DoNotOptimize(snapshot);
@@ -120,7 +103,7 @@ BENCHMARK(BM_ContextSnapshot);
 void BM_ContextSnapshotConsistent(benchmark::State& state) {
   wdg::CheckContext ctx("c");
   for (int i = 0; i < 8; ++i) {
-    ctx.Set(wdg::StrFormat("snapc.key%d", i), std::string("some value"));
+    ctx.Set(wdg::ContextKey<std::string>::Of(wdg::StrFormat("snapc.key%d", i)), "some value");
   }
   ctx.MarkReady(1);
   for (auto _ : state) {
@@ -146,8 +129,10 @@ BENCHMARK(BM_ContextGet_TypedKey);
 // Name-keyed read (generated-checker cold start before keys are cached):
 // lock-free registry probe + the same seqlock cell read.
 void BM_ContextGet_ByName(benchmark::State& state) {
+  static const auto kByName = wdg::ContextKey<int64_t>::Of("bench.byname.entries");
   wdg::CheckContext ctx("c");
-  ctx.Set("bench.byname.entries", wdg::CtxValue(int64_t{42}));
+  ctx.Set(kByName, 42);
+  ctx.MarkReady(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ctx.Get<int64_t>("bench.byname.entries"));
   }

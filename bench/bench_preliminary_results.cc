@@ -81,7 +81,7 @@ int main() {
     r.checkers = static_cast<int>(report.checker_names.size());
     r.reduced_ops = report.program.stats.ops_retained;
     r.hooks = report.hooks_armed;
-    driver.Start();
+    (void)driver.Start();
 
     minizk::ZkClient client(net, "zc", "zk-leader", wdg::Ms(300));
     (void)client.Create("/app", "v0");
@@ -100,7 +100,7 @@ int main() {
       r.pinpoint = sig.location.ToString();
     }
     injector.ClearAll();
-    driver.Stop();
+    (void)driver.Stop();
     leader.Stop();
     follower.Stop();
   }));
@@ -136,7 +136,7 @@ int main() {
     r.checkers = static_cast<int>(report.checker_names.size());
     r.reduced_ops = report.program.stats.ops_retained;
     r.hooks = report.hooks_armed;
-    driver.Start();
+    (void)driver.Start();
 
     // Spread writes across flush polls so several tables accumulate and a
     // compaction actually runs (arming the compaction checker's context).
@@ -168,7 +168,7 @@ int main() {
       }
     }
     injector.ClearAll();
-    driver.Stop();
+    (void)driver.Stop();
     leader.Stop();
     follower.Stop();
   }));
@@ -194,7 +194,7 @@ int main() {
     r.checkers = static_cast<int>(report.checker_names.size());
     r.reduced_ops = report.program.stats.ops_retained;
     r.hooks = report.hooks_armed;
-    driver.Start();
+    (void)driver.Start();
 
     wdg::Endpoint* client = net.CreateEndpoint("hdfs-client");
     (void)client->Call("dn1", minihdfs::kMsgWriteBlock,
@@ -213,7 +213,7 @@ int main() {
       r.pinpoint = sig.location.ToString();
     }
     injector.ClearAll();
-    driver.Stop();
+    (void)driver.Stop();
     datanode.Stop();
     namenode.Stop();
   }));

@@ -55,7 +55,7 @@ int main() {
   gen.checker.interval = wdg::Ms(250);
   gen.checker.timeout = wdg::Ms(400);
   awd::Generate(minizk::DescribeIr(options), leader.hooks(), registry, driver, gen);
-  driver.Start();
+  (void)driver.Start();
 
   // Baseline 1: ZooKeeper's heartbeat protocol (sessions/pings) — we observe
   // its health through ping acks continuing to flow.
@@ -135,7 +135,7 @@ int main() {
 
   injector.ClearAll();
   admin_probe.Stop();
-  driver.Stop();
+  (void)driver.Stop();
   leader.Stop();
   follower.Stop();
   return first.has_value() ? 0 : 1;

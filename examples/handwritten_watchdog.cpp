@@ -108,7 +108,10 @@ int main() {
   });
   driver.AddRecoveryAction("kvs.flusher", &restart_flusher);
 
-  driver.Start();
+  if (const wdg::Status st = driver.Start(); !st.ok()) {
+    std::fprintf(stderr, "driver Start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf("hand-built watchdog running: %d checkers\n", driver.checker_count());
 
   kvs::KvsClient client(net, "app", "kvs1");
@@ -131,7 +134,7 @@ int main() {
     }
   }
   injector.ClearAll();
-  driver.Stop();
+  (void)driver.Stop();
   node.Stop();
   return 0;
 }

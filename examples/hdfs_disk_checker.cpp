@@ -37,7 +37,10 @@ int main() {
   gen.checker.timeout = wdg::Ms(250);
   awd::Generate(minihdfs::DescribeIr(datanode.options()), datanode.hooks(), registry, driver,
                 gen);
-  driver.Start();
+  if (const wdg::Status st = driver.Start(); !st.ok()) {
+    std::fprintf(stderr, "driver Start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   // Store a block so the write-path context synchronizes.
   wdg::Endpoint* client = net.CreateEndpoint("client");
@@ -70,7 +73,7 @@ int main() {
               namenode.IsLive("dn1", wdg::Ms(100)) ? "flowing (node 'healthy')" : "stopped");
 
   injector.ClearAll();
-  driver.Stop();
+  (void)driver.Stop();
   datanode.Stop();
   namenode.Stop();
   return 0;

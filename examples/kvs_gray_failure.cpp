@@ -59,7 +59,10 @@ int main() {
   gen.checker.interval = wdg::Ms(25);
   gen.checker.timeout = wdg::Ms(300);
   awd::Generate(kvs::DescribeIr(node.options()), node.hooks(), registry, driver, gen);
-  driver.Start();
+  if (const wdg::Status st = driver.Start(); !st.ok()) {
+    std::fprintf(stderr, "driver Start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   kvs::KvsClient client(net, "app", "kvs1", wdg::Ms(400));
   for (int i = 0; i < 60; ++i) {
@@ -118,7 +121,7 @@ int main() {
               heartbeat.Suspects("kvs1") ? "SUSPECTS (unexpected)" : "leader looks healthy");
 
   injector.ClearAll();
-  driver.Stop();
+  (void)driver.Stop();
   heartbeat.Stop();
   node.Stop();
   follower.Stop();

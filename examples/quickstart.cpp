@@ -48,7 +48,10 @@ int main() {
   std::printf("generated %zu mimic checkers (%d reduced ops, %d hooks armed)\n",
               report.checker_names.size(), report.program.stats.ops_retained,
               report.hooks_armed);
-  driver.Start();
+  if (const wdg::Status st = driver.Start(); !st.ok()) {
+    std::fprintf(stderr, "driver Start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   // 4. Normal traffic: contexts synchronize, checkers run, watchdog is silent.
   kvs::KvsClient client(net, "app", "kvs1");
@@ -92,7 +95,7 @@ int main() {
               wd.queue_delay_p99_ns / 1000.0);
 
   injector.ClearAll();
-  driver.Stop();
+  (void)driver.Stop();
   node.Stop();
   return 0;
 }

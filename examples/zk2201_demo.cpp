@@ -35,7 +35,10 @@ int main() {
   gen.checker.interval = wdg::Ms(50);
   gen.checker.timeout = wdg::Ms(300);
   awd::Generate(minizk::DescribeIr(options), leader.hooks(), registry, driver, gen);
-  driver.Start();
+  if (const wdg::Status st = driver.Start(); !st.ok()) {
+    std::fprintf(stderr, "driver Start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   minizk::ZkClient client(net, "app", "zk-leader", wdg::Ms(300));
   std::printf("cluster up: leader + follower, watchdog generated and running\n");
@@ -79,7 +82,7 @@ int main() {
   const wdg::Status recovered = client.Set("/config/db", "primary=host-b");
   std::printf("\nnetwork restored; retry write: %s\n", recovered.ToString().c_str());
 
-  driver.Stop();
+  (void)driver.Stop();
   leader.Stop();
   follower.Stop();
   return 0;

@@ -352,8 +352,11 @@ void CheckHookPlan(const Module& module, const ReducedProgram& program,
 
 void CheckCheckerSourceApi(const std::string& checker_name, const std::string& source,
                            std::vector<Finding>& findings) {
+  // `.Set("` / `->Set("` catch the removed string-keyed CheckContext::Set
+  // shim; the typed API is Set(kKey, value) so a string literal as the first
+  // argument can only be the legacy form.
   static const char* const kDeprecated[] = {"GetString(", "GetInt(", "GetDouble(",
-                                            "args_getter"};
+                                            "args_getter", ".Set(\"", "->Set(\""};
   for (const char* pattern : kDeprecated) {
     if (source.find(pattern) != std::string::npos) {
       findings.push_back(Finding{

@@ -182,7 +182,7 @@ TrialResult RunTrial(const Scenario& scenario, const TrialOptions& options) {
         [&leader] { return leader.metrics().GetGauge("kvs.listener.queue_depth")->Value(); },
         [](double v) { return v < 64; }, 3, signal_options));
   }
-  driver.Start();
+  (void)driver.Start();
 
   kvs::KvsClient api_probe_client(net, "api-probe", "kvs1", Ms(150));
   ApiProbeOptions api_options;
@@ -229,7 +229,7 @@ TrialResult RunTrial(const Scenario& scenario, const TrialOptions& options) {
   if (scenario.crash) {
     // Fail-stop: the process dies — and the intrinsic watchdog dies with it
     // (Table 1: crash FDs have stronger isolation).
-    driver.Stop();
+    (void)driver.Stop();
     leader.Stop();
   } else if (!scenario.fault_free) {
     injector.Inject(scenario.fault);
@@ -292,7 +292,7 @@ TrialResult RunTrial(const Scenario& scenario, const TrialOptions& options) {
   // --- teardown ----------------------------------------------------------------
   injector.ClearAll();
   workload.Stop();
-  driver.Stop();
+  (void)driver.Stop();
   api_probe.Stop();
   heartbeat.Stop();
   leader.Stop();

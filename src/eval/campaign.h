@@ -21,6 +21,7 @@ inline constexpr char kDetWdSignal[] = "wd-signal";
 inline constexpr char kDetHeartbeat[] = "heartbeat";
 inline constexpr char kDetApiProbe[] = "api-probe";
 inline constexpr char kDetObserver[] = "observer";
+inline constexpr char kDetSupervisor[] = "wdogd";
 
 struct TrialOptions {
   bool with_mimic = true;       // AutoWatchdog-generated mimic checkers
@@ -62,6 +63,15 @@ struct TrialResult {
   // Watchdog self-observability at trial end (pool, queue delay, timeouts —
   // DriverMetricsSnapshot::ToMap()). Lets benches report watchdog overhead.
   std::map<std::string, double> driver_metrics;
+  // Supervisor-plane facts (populated by RunSupervisedTrial, zero elsewhere):
+  // what the out-of-process wdogd saw and did while the in-process watchdog
+  // shared the main program's fate.
+  int64_t supervisor_warns = 0;
+  int64_t supervisor_restarts = 0;
+  int64_t supervisor_reboots = 0;
+  bool supervisor_escalated = false;
+  DurationNs supervisor_detection_latency = 0;  // injection → first journal event
+  std::vector<std::string> reset_causes;        // journaled causes, in order
 };
 
 // Runs one scenario end-to-end on a fresh simulated cluster.

@@ -1,0 +1,154 @@
+#include "src/supervisor/transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace wdg {
+namespace internal {
+
+// One direction of the duplex pipe: a byte buffer plus hangup flags for both
+// ends. `writer_closed` turns the reader's blocking wait into EOF;
+// `reader_closed` turns the writer's next Write into EPIPE.
+struct PipeChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string buffer;
+  bool writer_closed = false;
+  bool reader_closed = false;
+};
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<int64_t> g_open_endpoints{0};
+
+}  // namespace
+
+struct PipePairFactory {
+  static std::unique_ptr<PipeEndpoint> Make(Clock& clock,
+                                            std::shared_ptr<internal::PipeChannel> read_channel,
+                                            std::shared_ptr<internal::PipeChannel> write_channel,
+                                            PipeOptions options) {
+    return std::unique_ptr<PipeEndpoint>(new PipeEndpoint(
+        clock, std::move(read_channel), std::move(write_channel), std::move(options)));
+  }
+};
+
+PipeEndpoint::PipeEndpoint(Clock& clock, std::shared_ptr<internal::PipeChannel> read_channel,
+                           std::shared_ptr<internal::PipeChannel> write_channel,
+                           PipeOptions options)
+    : clock_(clock),
+      read_channel_(std::move(read_channel)),
+      write_channel_(std::move(write_channel)),
+      options_(std::move(options)) {
+  g_open_endpoints.fetch_add(1, std::memory_order_relaxed);
+}
+
+PipeEndpoint::~PipeEndpoint() { Close(); }
+
+Status PipeEndpoint::Write(std::string_view bytes) {
+  const size_t chunk_size =
+      options_.max_write_chunk > 0 ? options_.max_write_chunk : bytes.size();
+  size_t offset = 0;
+  do {
+    std::string chunk(bytes.substr(offset, chunk_size));
+    offset += chunk.size();
+    if (options_.injector != nullptr) {
+      bool dropped = false;
+      const Status gate = options_.injector->Act(options_.site + ".send", &chunk, &dropped);
+      if (!gate.ok()) {
+        return gate;
+      }
+      if (dropped) {
+        continue;  // chunk lost on the floor; the frame arrives torn
+      }
+    }
+    std::lock_guard<std::mutex> lock(write_channel_->mu);
+    if (write_channel_->reader_closed) {
+      return AbortedError("pipe peer closed");
+    }
+    if (write_channel_->writer_closed) {
+      return AbortedError("pipe endpoint closed");
+    }
+    write_channel_->buffer.append(chunk);
+    write_channel_->cv.notify_all();
+  } while (offset < bytes.size());
+  return Status::Ok();
+}
+
+Result<std::string> PipeEndpoint::Read(size_t max_bytes, DurationNs timeout) {
+  const TimeNs deadline = clock_.NowNs() + timeout;
+  std::unique_lock<std::mutex> lock(read_channel_->mu);
+  for (;;) {
+    if (!read_channel_->buffer.empty()) {
+      const size_t take = std::min(max_bytes, read_channel_->buffer.size());
+      std::string out = read_channel_->buffer.substr(0, take);
+      read_channel_->buffer.erase(0, take);
+      return out;
+    }
+    if (read_channel_->writer_closed || read_channel_->reader_closed) {
+      return AbortedError("pipe peer closed");
+    }
+    if (clock_.NowNs() >= deadline) {
+      return TimeoutError("pipe read timed out");
+    }
+    // Slice-wait so a SimClock advance (which does not signal this cv) is
+    // still observed promptly against the deadline above.
+    read_channel_->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+Result<std::string> PipeEndpoint::TryRead(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(read_channel_->mu);
+  if (!read_channel_->buffer.empty()) {
+    const size_t take = std::min(max_bytes, read_channel_->buffer.size());
+    std::string out = read_channel_->buffer.substr(0, take);
+    read_channel_->buffer.erase(0, take);
+    return out;
+  }
+  if (read_channel_->writer_closed || read_channel_->reader_closed) {
+    return AbortedError("pipe peer closed");
+  }
+  return std::string();
+}
+
+bool PipeEndpoint::peer_closed() const {
+  std::lock_guard<std::mutex> lock(read_channel_->mu);
+  return read_channel_->writer_closed;
+}
+
+void PipeEndpoint::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_channel_->mu);
+    write_channel_->writer_closed = true;
+    write_channel_->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(read_channel_->mu);
+    read_channel_->reader_closed = true;
+    read_channel_->cv.notify_all();
+  }
+  g_open_endpoints.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int64_t PipeEndpoint::open_count() {
+  return g_open_endpoints.load(std::memory_order_relaxed);
+}
+
+PipePair CreatePipePair(Clock& clock, PipeOptions options) {
+  auto a_to_b = std::make_shared<internal::PipeChannel>();
+  auto b_to_a = std::make_shared<internal::PipeChannel>();
+  PipePair pair;
+  pair.first = PipePairFactory::Make(clock, b_to_a, a_to_b, options);
+  pair.second = PipePairFactory::Make(clock, a_to_b, b_to_a, options);
+  return pair;
+}
+
+}  // namespace wdg

@@ -1,0 +1,92 @@
+// Local transport for the supervisor plane: an in-process analog of a
+// socketpair. CreatePipePair() returns two connected endpoints, each a
+// full-duplex byte stream with EPIPE/EOF semantics:
+//
+//   - Write() to an endpoint whose peer closed fails kAborted (EPIPE).
+//   - Read() drains buffered bytes first, then reports kAborted on EOF
+//     (peer closed) — exactly the order a real socket reports it, so a
+//     dying client's final kick is still delivered before the supervisor
+//     sees the hangup.
+//
+// Writes pass through an optional FaultInjector site (`<site>.send`), so
+// campaigns can delay, drop, or sever supervisor traffic like any other I/O;
+// a dropped chunk mid-frame is how the protocol tests produce torn frames.
+//
+// PipeEndpoint::open_count() tracks live (unclosed) endpoints process-wide —
+// the supervisor tests use it as the "no fd leak" oracle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/fault/fault_injector.h"
+
+namespace wdg {
+
+namespace internal {
+struct PipeChannel;
+}  // namespace internal
+
+struct PipeOptions {
+  FaultInjector* injector = nullptr;  // faults on "<site>.send" when set
+  std::string site = "wdog.pipe";
+  // >0: writes are split into chunks of this many bytes, each passing the
+  // fault site independently — lets a probabilistic kSilentDrop tear a frame.
+  size_t max_write_chunk = 0;
+};
+
+class PipeEndpoint {
+ public:
+  ~PipeEndpoint();
+
+  PipeEndpoint(const PipeEndpoint&) = delete;
+  PipeEndpoint& operator=(const PipeEndpoint&) = delete;
+
+  // Appends bytes to the peer's read buffer. kAborted once either side is
+  // closed; fault-injected errors surface as-is.
+  Status Write(std::string_view bytes);
+
+  // Blocks until data, EOF, or timeout. Returns 1..max_bytes bytes;
+  // kTimeout when the deadline passes with no data; kAborted on EOF with
+  // nothing buffered.
+  Result<std::string> Read(size_t max_bytes, DurationNs timeout);
+
+  // Non-blocking Read: empty string when nothing is buffered (and the pipe
+  // is still open), kAborted on drained EOF.
+  Result<std::string> TryRead(size_t max_bytes);
+
+  // True once the peer endpoint closed (buffered data may still remain).
+  bool peer_closed() const;
+
+  // Idempotent; wakes blocked readers on both sides.
+  void Close();
+
+  // Live endpoints process-wide (created minus closed). Test oracle for
+  // descriptor leaks.
+  static int64_t open_count();
+
+ private:
+  friend struct PipePairFactory;
+  PipeEndpoint(Clock& clock, std::shared_ptr<internal::PipeChannel> read_channel,
+               std::shared_ptr<internal::PipeChannel> write_channel, PipeOptions options);
+
+  Clock& clock_;
+  std::shared_ptr<internal::PipeChannel> read_channel_;
+  std::shared_ptr<internal::PipeChannel> write_channel_;
+  PipeOptions options_;
+  std::atomic<bool> closed_{false};
+};
+
+struct PipePair {
+  std::unique_ptr<PipeEndpoint> first;
+  std::unique_ptr<PipeEndpoint> second;
+};
+
+PipePair CreatePipePair(Clock& clock, PipeOptions options = {});
+
+}  // namespace wdg

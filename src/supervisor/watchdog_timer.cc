@@ -1,4 +1,4 @@
-#include "src/watchdog/watchdog_timer.h"
+#include "src/supervisor/watchdog_timer.h"
 
 #include "src/common/logging.h"
 

@@ -1,0 +1,163 @@
+#include "src/supervisor/wdog_client.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wdg {
+
+WdogClient::WdogClient(Clock& clock, std::unique_ptr<PipeEndpoint> pipe)
+    : clock_(clock), pipe_(std::move(pipe)) {}
+
+WdogClient::~WdogClient() { Close(); }
+
+void WdogClient::DrainIncomingLocked() {
+  if (pipe_ == nullptr) {
+    return;
+  }
+  for (;;) {
+    auto chunk = pipe_->TryRead(4096);
+    if (!chunk.ok() || chunk->empty()) {
+      break;
+    }
+    reader_.Append(*chunk);
+  }
+  for (;;) {
+    auto next = reader_.Next();
+    if (!next.ok() || !next->has_value()) {
+      break;
+    }
+    if ((*next)->type == FrameType::kWarn) {
+      ++warns_;
+    }
+  }
+}
+
+Status WdogClient::ReadUntilLocked(FrameType want, DurationNs timeout, Frame* out) {
+  const TimeNs deadline = clock_.NowNs() + timeout;
+  for (;;) {
+    auto next = reader_.Next();
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (next->has_value()) {
+      if ((*next)->type == want) {
+        if (out != nullptr) {
+          *out = **next;
+        }
+        return Status::Ok();
+      }
+      if ((*next)->type == FrameType::kWarn) {
+        ++warns_;
+      }
+      continue;  // unrelated frame (e.g. a stale kick ack); keep looking
+    }
+    const DurationNs remaining = deadline - clock_.NowNs();
+    if (remaining <= 0) {
+      return TimeoutError(std::string("timed out waiting for ") + FrameTypeName(want));
+    }
+    auto chunk = pipe_->Read(4096, std::min<DurationNs>(remaining, Ms(5)));
+    if (chunk.ok()) {
+      reader_.Append(*chunk);
+    } else if (chunk.status().code() == StatusCode::kAborted) {
+      return chunk.status();  // pipe dead: no ack is coming
+    }
+    // kTimeout on the slice: loop and re-check the overall deadline.
+  }
+}
+
+Status WdogClient::Subscribe(const std::string& name, DurationNs deadline,
+                             DurationNs timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pipe_ == nullptr) {
+    return FailedPreconditionError("wdog client is closed");
+  }
+  if (subscribed_) {
+    return FailedPreconditionError("wdog client is already subscribed");
+  }
+  Frame subscribe;
+  subscribe.type = FrameType::kSubscribe;
+  subscribe.name = name;
+  subscribe.deadline = deadline;
+  WDG_RETURN_IF_ERROR(pipe_->Write(EncodeFrame(subscribe)));
+  Frame ack;
+  WDG_RETURN_IF_ERROR(ReadUntilLocked(FrameType::kSubscribeAck, timeout, &ack));
+  subscribed_ = true;
+  client_id_ = ack.client_id;
+  granted_deadline_ = ack.deadline;
+  return Status::Ok();
+}
+
+Status WdogClient::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pipe_ == nullptr) {
+    return FailedPreconditionError("wdog client is closed");
+  }
+  if (!subscribed_) {
+    return FailedPreconditionError("wdog client is not subscribed");
+  }
+  DrainIncomingLocked();
+  Frame kick;
+  kick.type = FrameType::kKick;
+  kick.seq = next_seq_++;
+  WDG_RETURN_IF_ERROR(pipe_->Write(EncodeFrame(kick)));
+  ++kicks_sent_;
+  return Status::Ok();
+}
+
+Status WdogClient::Unsubscribe(DurationNs timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pipe_ == nullptr || !subscribed_) {
+    return FailedPreconditionError("wdog client is not subscribed");
+  }
+  subscribed_ = false;
+  Frame bye;
+  bye.type = FrameType::kUnsubscribe;
+  const Status sent = pipe_->Write(EncodeFrame(bye));
+  if (!sent.ok()) {
+    // Supervisor already tore the pipe down (e.g. it escalated while we were
+    // shutting down). Departure is a fact either way.
+    return sent.code() == StatusCode::kAborted ? Status::Ok() : sent;
+  }
+  const Status acked = ReadUntilLocked(FrameType::kUnsubscribeAck, timeout, nullptr);
+  if (!acked.ok() && acked.code() == StatusCode::kAborted) {
+    return Status::Ok();
+  }
+  return acked;
+}
+
+void WdogClient::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pipe_ != nullptr) {
+    pipe_->Close();
+    pipe_.reset();
+  }
+  subscribed_ = false;
+}
+
+bool WdogClient::subscribed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscribed_;
+}
+
+uint64_t WdogClient::client_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return client_id_;
+}
+
+DurationNs WdogClient::granted_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return granted_deadline_;
+}
+
+int64_t WdogClient::kicks_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kicks_sent_;
+}
+
+int64_t WdogClient::warns_received() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainIncomingLocked();
+  return warns_;
+}
+
+}  // namespace wdg

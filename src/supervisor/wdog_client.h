@@ -1,0 +1,71 @@
+// WdogClient: the process-side half of the supervisor plane. Wraps the pipe
+// endpoint returned by Wdogd::Connect() with the subscribe/kick/unsubscribe
+// protocol (protocol.h) so a supervised process — in practice the
+// WatchdogDriver's scheduler thread — never touches raw frames.
+//
+// Thread-safe: Kick() is called from the driver scheduler while tests poke
+// warn_count()/Unsubscribe() from elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/supervisor/protocol.h"
+#include "src/supervisor/transport.h"
+
+namespace wdg {
+
+class WdogClient {
+ public:
+  WdogClient(Clock& clock, std::unique_ptr<PipeEndpoint> pipe);
+  ~WdogClient();
+
+  WdogClient(const WdogClient&) = delete;
+  WdogClient& operator=(const WdogClient&) = delete;
+
+  // Handshake: sends kSubscribe and blocks for the ack. kTimeout when the
+  // supervisor stays silent, kAborted when the pipe is already dead —
+  // either way the caller must not assume it is being watched.
+  Status Subscribe(const std::string& name, DurationNs deadline, DurationNs timeout);
+
+  // One heartbeat. Fire-and-forget (acks are drained opportunistically, not
+  // awaited): a kick's only job is to reset the supervisor's countdown.
+  Status Kick();
+
+  // Clean departure: sends kUnsubscribe and waits for the ack so a
+  // voluntary shutdown can never race the escalation ladder. Tolerates an
+  // already-closed pipe (the supervisor may have escalated first).
+  Status Unsubscribe(DurationNs timeout);
+
+  void Close();
+
+  bool subscribed() const;
+  uint64_t client_id() const;
+  DurationNs granted_deadline() const;
+  int64_t kicks_sent() const;
+  // kWarn frames seen while draining; a supervised process can treat this
+  // as "the supervisor thinks I am sick" and shed load.
+  int64_t warns_received();
+
+ private:
+  // Drains whatever the supervisor sent without blocking; counts warns.
+  void DrainIncomingLocked();
+  Status ReadUntilLocked(FrameType want, DurationNs timeout, Frame* out);
+
+  Clock& clock_;
+  mutable std::mutex mu_;
+  std::unique_ptr<PipeEndpoint> pipe_;
+  FrameReader reader_;
+  bool subscribed_ = false;
+  uint64_t client_id_ = 0;
+  DurationNs granted_deadline_ = 0;
+  uint64_t next_seq_ = 1;
+  int64_t kicks_sent_ = 0;
+  int64_t warns_ = 0;
+};
+
+}  // namespace wdg

@@ -87,6 +87,12 @@ CheckerBuilder& CheckerBuilder::EscalationProbe(std::function<Status()> probe,
   return *this;
 }
 
+CheckerBuilder& CheckerBuilder::Supervised(DriverSupervision policy) {
+  supervision_ = std::move(policy);
+  supervision_set_ = true;
+  return *this;
+}
+
 Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
   if (name_.empty()) {
     return InvalidArgumentError("checker name must not be empty");
@@ -190,6 +196,12 @@ Status CheckerBuilder::RegisterWith(WatchdogDriver& driver) {
         driver.SetValidationProbe(escalation_probe_, escalation_timeout_);
     if (!probe_status.ok()) {
       return probe_status;
+    }
+  }
+  if (supervision_set_) {
+    Status supervised_status = driver.SetSupervised(supervision_);
+    if (!supervised_status.ok()) {
+      return supervised_status;
     }
   }
   return driver.TryAddChecker(std::move(built).value());

@@ -72,6 +72,12 @@ class CheckerBuilder {
   CheckerBuilder& EscalationProbe(std::function<Status()> probe,
                                   DurationNs timeout = Ms(300));
 
+  // Supervised mode: RegisterWith() routes the policy to
+  // WatchdogDriver::SetSupervised(), so out-of-process supervision goes
+  // through the same blessed registration path as everything else
+  // (docs/SUPERVISOR.md). The policy's client must outlive the driver.
+  CheckerBuilder& Supervised(DriverSupervision policy);
+
   // Validates the configuration and constructs the checker.
   // kInvalidArgument on any inconsistency (empty name, no/multiple bodies,
   // non-positive interval/deadline/debounce, context rules violated).
@@ -108,6 +114,9 @@ class CheckerBuilder {
 
   std::function<Status()> escalation_probe_;
   DurationNs escalation_timeout_ = Ms(300);
+
+  DriverSupervision supervision_;
+  bool supervision_set_ = false;
 };
 
 }  // namespace wdg

@@ -440,10 +440,6 @@ void CheckContext::WriteSlot(uint32_t slot, CtxValue value) {
   MarkPopulated(slot);
 }
 
-void CheckContext::Set(const std::string& key, CtxValue value) {
-  WriteSlot(KeyRegistry::Instance().Intern(key, CtxType::kAny), std::move(value));
-}
-
 bool CheckContext::TryPublishSingle(const HookBatch::Staged& entry) {
   if (static_cast<SlotTag>(entry.header & 0xff) == SlotTag::kOverflowStr) {
     return false;  // needs overflow storage → stripe-locked flush
@@ -1023,8 +1019,11 @@ std::map<std::string, CtxValue> CheckContext::ParseDump(const std::string& dump)
 }
 
 void CheckContext::Restore(const std::map<std::string, CtxValue>& values, TimeNs now) {
+  // Dump text carries no static type information, so restored keys intern as
+  // kAny and go through the untyped slot path directly. This is the only
+  // string-keyed write left in the tree; live code uses ContextKey<T>.
   for (const auto& [key, value] : values) {
-    Set(key, value);
+    WriteSlot(KeyRegistry::Instance().Intern(key, CtxType::kAny), value);
   }
   MarkReady(now);
 }

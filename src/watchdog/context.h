@@ -293,10 +293,11 @@ class CheckContext {
   void Set(const ContextKey<CtxValue>& key, CtxValue value) {
     StageWrite(key.slot(), std::move(value));
   }
-  // DEPRECATED string-keyed shim (v1): interns the key on every call and
-  // writes the slot immediately (un-batched). Kept for Restore/ParseDump
-  // round trips; prefer ContextKey<T> everywhere else.
-  void Set(const std::string& key, CtxValue value);
+  // The v1 string-keyed Set(const std::string&, CtxValue) shim is gone:
+  // every producer interns a ContextKey<T> once instead of paying a registry
+  // lookup per write. The untyped slot path survives only inside Restore()
+  // for Dump/ParseDump round trips; wdg-lint's api.deprecated-accessor rule
+  // keeps the shim from reappearing in generated checkers.
 
   // Publishes the calling thread's staged batch, then bumps the epoch and
   // marks the context READY. Multi-value batches flush under every stripe

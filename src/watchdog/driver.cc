@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/supervisor/wdog_client.h"
 
 namespace wdg {
 
@@ -53,6 +54,10 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       {"wdg.driver.queue_delay.p99_ns", queue_delay_p99_ns},
       {"wdg.driver.scheduler_lag_ns", scheduler_lag_ns},
       {"wdg.driver.deadline.priors_active", static_cast<double>(deadline_priors_active)},
+      {"wdg.driver.supervised", supervised ? 1.0 : 0.0},
+      {"wdg.driver.supervisor.kicks", static_cast<double>(supervisor_kicks)},
+      {"wdg.driver.supervisor.kicks_withheld",
+       static_cast<double>(supervisor_kicks_withheld)},
   };
   for (const auto& [name, deadline_ns] : checker_deadline_ns) {
     map["wdg.driver.deadline." + name + "_ns"] = deadline_ns;
@@ -73,7 +78,7 @@ WatchdogDriver::WatchdogDriver(Clock& clock, Options options)
   executor_ = std::make_unique<CheckerExecutor>(clock_, *metrics_, options_.executor);
 }
 
-WatchdogDriver::~WatchdogDriver() { Stop(); }
+WatchdogDriver::~WatchdogDriver() { (void)Stop(); }
 
 Checker* WatchdogDriver::AddChecker(std::unique_ptr<Checker> checker) {
   assert(!running() && "checkers must be registered before Start()");
@@ -133,9 +138,33 @@ void WatchdogDriver::AddRecoveryAction(const std::string& component_prefix,
   recovery_actions_.emplace_back(component_prefix, action);
 }
 
-void WatchdogDriver::Start() {
+Status WatchdogDriver::SetSupervised(DriverSupervision supervision) {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("cannot enter supervised mode while running");
+  }
+  // A null client returns the driver to unsupervised mode.
+  supervision_ = std::move(supervision);
+  return Status::Ok();
+}
+
+Status WatchdogDriver::Start() {
   if (running_.exchange(true)) {
-    return;
+    return FailedPreconditionError("watchdog driver is already running");
+  }
+  if (stopped_) {
+    running_.store(false, std::memory_order_release);
+    return FailedPreconditionError("watchdog driver cannot be restarted after Stop");
+  }
+  if (supervision_.client != nullptr) {
+    const Status handshake = supervision_.client->Subscribe(
+        supervision_.name, supervision_.kick_deadline, supervision_.handshake_timeout);
+    if (!handshake.ok()) {
+      // Refuse to run unwatched when the caller asked for supervision.
+      running_.store(false, std::memory_order_release);
+      return handshake;
+    }
+    last_supervisor_kick_ = clock_.NowNs();
+    completed_at_last_kick_ = executor_->completed_count();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -151,12 +180,14 @@ void WatchdogDriver::Start() {
   executor_->SetWakeScheduler([this] { wake_.Notify(); });
   executor_->Start();
   scheduler_ = JoiningThread([this] { SchedulerLoop(); });
+  return Status::Ok();
 }
 
-void WatchdogDriver::Stop() {
+Status WatchdogDriver::Stop() {
   if (!running_.exchange(false)) {
-    return;
+    return FailedPreconditionError("watchdog driver is not running");
   }
+  stopped_ = true;
   stop_.Request();
   wake_.Notify();
   scheduler_.Join();
@@ -178,6 +209,12 @@ void WatchdogDriver::Stop() {
     probes.swap(probe_drain_);
   }
   probes.clear();  // JoiningThread dtor joins
+  if (supervision_.client != nullptr && supervision_.unsubscribe_on_stop) {
+    // Clean departure: a voluntary Stop must never walk the escalation
+    // ladder. Errors are tolerated — the supervisor may already be gone.
+    (void)supervision_.client->Unsubscribe(supervision_.handshake_timeout);
+  }
+  return Status::Ok();
 }
 
 void WatchdogDriver::ScheduleLocked(Slot& slot, size_t slot_index, TimeNs when) {
@@ -464,10 +501,43 @@ void WatchdogDriver::SchedulerLoop() {
       HandleFailure(std::move(failure.signature), failure.checker_type, now);
     }
     const TimeNs before_sleep = clock_.NowNs();
-    planned_wake_ = next_deadline;
-    if (next_deadline > before_sleep) {
-      wake_.WaitFor(next_deadline - before_sleep);
+    TimeNs wake_deadline = next_deadline;
+    if (supervision_.client != nullptr) {
+      MaybeKickSupervisor(before_sleep);
+      // Never sleep past the next kick due time — an idle heap must not
+      // read as a dead process.
+      wake_deadline =
+          std::min(wake_deadline, last_supervisor_kick_ + supervision_.kick_interval);
     }
+    planned_wake_ = wake_deadline;
+    if (wake_deadline > before_sleep) {
+      wake_.WaitFor(wake_deadline - before_sleep);
+    }
+  }
+}
+
+void WatchdogDriver::MaybeKickSupervisor(TimeNs now) {
+  if (now - last_supervisor_kick_ < supervision_.kick_interval) {
+    return;
+  }
+  const int64_t completed = executor_->completed_count();
+  const int64_t dispatched = executor_->dispatched_count();
+  // Liveness proof. Reaching this line proves the scheduler pass ran (the
+  // heap is advancing); the executor must additionally have either completed
+  // work since the last kick or be fully idle. Work in flight with zero
+  // completions is a wedged pool — withhold the kick and let wdogd see
+  // silence instead of a healthy heartbeat from a sick process.
+  const bool live = completed > completed_at_last_kick_ || dispatched == completed;
+  if (!live) {
+    supervisor_kicks_withheld_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Advance the window even if the write fails: a dead supervisor pipe must
+  // not turn the scheduler into a busy loop of retries.
+  last_supervisor_kick_ = now;
+  completed_at_last_kick_ = completed;
+  if (supervision_.client->Kick().ok()) {
+    supervisor_kicks_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -629,10 +699,6 @@ Status WatchdogDriver::TrySetCheckerEnabled(const std::string& checker_name,
   return Status::Ok();
 }
 
-void WatchdogDriver::SetCheckerEnabled(const std::string& checker_name, bool enabled) {
-  (void)TrySetCheckerEnabled(checker_name, enabled);
-}
-
 bool WatchdogDriver::IsCheckerEnabled(const std::string& checker_name) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& slot : slots_) {
@@ -704,6 +770,10 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
   snapshot.queue_delay_mean_ns = queue_delay->Mean();
   snapshot.queue_delay_p99_ns = queue_delay->Percentile(99);
   snapshot.scheduler_lag_ns = scheduler_lag_gauge_->Value();
+  snapshot.supervised = supervision_.client != nullptr;
+  snapshot.supervisor_kicks = supervisor_kicks_.load(std::memory_order_relaxed);
+  snapshot.supervisor_kicks_withheld =
+      supervisor_kicks_withheld_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -134,6 +134,11 @@ struct DriverMetricsSnapshot {
   double queue_delay_p99_ns = 0;
   double scheduler_lag_ns = 0;  // last observed oversleep past a planned wake
 
+  // Supervised mode (zero / false when unsupervised).
+  bool supervised = false;
+  int64_t supervisor_kicks = 0;           // kicks actually sent to wdogd
+  int64_t supervisor_kicks_withheld = 0;  // due kicks withheld: liveness unproven
+
   // Effective per-checker hang deadlines (ns). Before any histogram-derived
   // budget takes over this is the checker's static-analysis deadline prior
   // when one was generated, else its static timeout.
@@ -144,6 +149,29 @@ struct DriverMetricsSnapshot {
 
   // Flattened view for dashboards / table code that wants name→value.
   std::map<std::string, double> ToMap() const;
+};
+
+class WdogClient;
+
+// Supervised mode (docs/SUPERVISOR.md): the driver becomes a client of the
+// out-of-process wdogd supervisor. Start() performs the subscribe handshake;
+// the scheduler thread then kicks every kick_interval — but only while the
+// driver is *provably live*: the pass itself proves the deadline heap is
+// advancing, and the kick is withheld unless the executor either completed
+// work since the last kick or is fully idle. A wedged pool (work dispatched,
+// nothing completing) or a dead scheduler goes silent and gets escalated —
+// closing the §3.3 "fault silently disables the watchdog" loop one level up.
+struct DriverSupervision {
+  WdogClient* client = nullptr;  // borrowed; null == unsupervised
+  std::string name = "wdg-driver";
+  DurationNs kick_interval = Ms(25);
+  // Kick deadline requested from the supervisor (it clamps into its policy
+  // bounds). Must comfortably exceed kick_interval plus max_sleep.
+  DurationNs kick_deadline = Ms(150);
+  DurationNs handshake_timeout = Ms(500);
+  // Send a clean unsubscribe at Stop() so a voluntary shutdown never walks
+  // the escalation ladder.
+  bool unsubscribe_on_stop = true;
 };
 
 // Driver configuration.
@@ -199,8 +227,18 @@ class WatchdogDriver {
   // `component_prefix` matches signature.location.component by prefix.
   void AddRecoveryAction(const std::string& component_prefix, RecoveryAction* action);
 
-  void Start();
-  void Stop();
+  // Installs supervised mode (CheckerBuilder::Supervised routes here); a
+  // null client returns the driver to unsupervised mode.
+  // kFailedPrecondition once the driver is running.
+  Status SetSupervised(DriverSupervision supervision);
+
+  // kFailedPrecondition on double-start. In supervised mode a failed
+  // subscribe handshake also fails Start() — an unwatched driver must not
+  // pretend otherwise — and leaves the driver stopped.
+  Status Start();
+  // kFailedPrecondition when the driver is not running (stop-before-start,
+  // double-stop). A driver cannot be restarted after a successful Stop().
+  Status Stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   // --- results ----------------------------------------------------------
@@ -215,8 +253,6 @@ class WatchdogDriver {
   // repairs its component) and resumes it later. kNotFound for an unknown
   // checker name.
   Status TrySetCheckerEnabled(const std::string& checker_name, bool enabled);
-  // Legacy shim: ignores unknown names. Prefer TrySetCheckerEnabled.
-  void SetCheckerEnabled(const std::string& checker_name, bool enabled);
   bool IsCheckerEnabled(const std::string& checker_name) const;
 
   CheckerStats StatsFor(const std::string& checker_name) const;
@@ -283,6 +319,9 @@ class WatchdogDriver {
   // The hang deadline currently in force for a slot: its inferred budget, or
   // the checker's static timeout while the budget is cold / opted out.
   DurationNs SlotDeadlineLocked(const Slot& slot) const;
+  // Supervised-mode heartbeat, run once per scheduler pass (no mu_ held):
+  // kicks wdogd when due and the liveness proof holds.
+  void MaybeKickSupervisor(TimeNs now);
   // Refreshes the slot's inferred budget from its latency histogram (mu_ held;
   // called every few completions so the Percentile scan stays off the per-run
   // hot path).
@@ -318,6 +357,14 @@ class WatchdogDriver {
     JoiningThread thread;
   };
   std::vector<std::unique_ptr<ProbeRun>> probe_drain_;
+
+  // Supervised mode (scheduler-thread state except the counters).
+  DriverSupervision supervision_;
+  bool stopped_ = false;  // a stopped driver cannot be restarted
+  TimeNs last_supervisor_kick_ = 0;
+  int64_t completed_at_last_kick_ = 0;
+  std::atomic<int64_t> supervisor_kicks_{0};
+  std::atomic<int64_t> supervisor_kicks_withheld_{0};
 
   TimeNs planned_wake_ = 0;  // 0 = no deadline was armed for the last sleep
   std::atomic<int64_t> deduped_{0};

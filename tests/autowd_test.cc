@@ -332,8 +332,9 @@ TEST(GeneratedCheckerTest, FailurePinpointsOpAndCarriesContext) {
   registry.Register("*", [](const ReducedOp&, const wdg::CheckContext&, const std::string&) {
     return wdg::Status::Ok();
   });
+  static const auto kFile = wdg::ContextKey<std::string>::Of("file");
   wdg::CheckContext ctx("flushLoop_ctx");
-  ctx.Set("file", std::string("/sst/42"));
+  ctx.Set(kFile, "/sst/42");
   ctx.MarkReady(1);
   GeneratedChecker checker(TwoOpFunction(), &ctx, &registry);
   const wdg::CheckResult result = checker.Check();
@@ -437,16 +438,19 @@ TEST(GenerateTest, EndToEndDetectionThroughDriver) {
   options.checker.interval = wdg::Ms(10);
   options.checker.timeout = wdg::Ms(100);
   Generate(module, hooks, registry, driver, options);
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   // The "main program" reaches the hook point and synchronizes state.
+  static const auto kOa = wdg::ContextKey<std::string>::Of("oa");
+  static const auto kNode = wdg::ContextKey<std::string>::Of("node");
+  static const auto kSnapName = wdg::ContextKey<std::string>::Of("snapName");
   hooks.Site("serializeNode:2")->Fire([&](wdg::CheckContext& ctx) {
-    ctx.Set("oa", std::string("archive0"));
-    ctx.Set("node", std::string("/zk/node1"));
+    ctx.Set(kOa, "archive0");
+    ctx.Set(kNode, "/zk/node1");
     ctx.MarkReady(wdg::RealClock::Instance().NowNs());
   });
   hooks.Site("snapshotLoop:4")->Fire([&](wdg::CheckContext& ctx) {
-    ctx.Set("snapName", std::string("snap.0"));
+    ctx.Set(kSnapName, "snap.0");
     ctx.MarkReady(wdg::RealClock::Instance().NowNs());
   });
 
@@ -455,7 +459,7 @@ TEST(GenerateTest, EndToEndDetectionThroughDriver) {
 
   disk_broken = true;  // production fault appears
   ASSERT_TRUE(driver.WaitForFailure(wdg::Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   const auto failure = *driver.FirstFailure();
   EXPECT_EQ(failure.location.op_site, "disk.write");
   EXPECT_EQ(failure.location.function, "serializeNode");

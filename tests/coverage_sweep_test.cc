@@ -13,7 +13,7 @@
 #include "src/kvs/client.h"
 #include "src/kvs/server.h"
 #include "src/watchdog/failure_log.h"
-#include "src/watchdog/watchdog_timer.h"
+#include "src/supervisor/watchdog_timer.h"
 
 namespace wdg {
 namespace {

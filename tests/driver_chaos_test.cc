@@ -187,7 +187,7 @@ TEST(DriverChaosTest, SeededFaultStormConvergesAndIsolates) {
     storm(StrFormat("chaos.busy.%d", i), FaultKind::kBusyLoop, 0);
   }
 
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   plan.Start();
 
   // Random fleet churn while the storm rages: healthy probes flap on and off
@@ -271,7 +271,7 @@ TEST(DriverChaosTest, SeededFaultStormConvergesAndIsolates) {
   // Queue delay stayed bounded through the storm (generous: TSan leg).
   EXPECT_LT(after.queue_delay_p99_ns, static_cast<double>(Ms(250)));
 
-  driver.Stop();  // release_on_stop clears faults; every join must complete
+  EXPECT_TRUE(driver.Stop().ok());  // release_on_stop clears faults; every join must complete
   EXPECT_EQ(injector.parked_thread_count(), 0);
 
   // Stats coherence for the whole fleet after the storm.
@@ -300,7 +300,7 @@ TEST(DriverChaosTest, AutoscalerGrowsUnderLoadAndShrinksAfterQuiesce) {
         },
         FleetChecker(Ms(20), Ms(400), Ms(i % 20))));
   }
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   // Under sustained pressure the autoscaler must leave min_workers behind.
   ASSERT_TRUE(WaitForMetrics(driver, clock, Sec(10), [](const DriverMetricsSnapshot& m) {
@@ -320,7 +320,7 @@ TEST(DriverChaosTest, AutoscalerGrowsUnderLoadAndShrinksAfterQuiesce) {
   EXPECT_GE(metrics.workers_retired, 1);
   EXPECT_EQ(metrics.workers_abandoned, 0);
   EXPECT_LE(metrics.pool_workers, options.executor.max_workers);
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_TRUE(driver.Failures().empty());
 }
 

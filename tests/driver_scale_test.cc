@@ -60,10 +60,10 @@ TEST(DriverScaleTest, HundredsOfCheckersShareASmallPool) {
         },
         ScaleChecker(/*initial_delay=*/Ms(i % 50))));
   }
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(600));
   const DriverMetricsSnapshot metrics = driver.DriverMetrics();
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
 
   // Every checker got scheduled, repeatedly.
   EXPECT_GE(total_runs.load(), kCheckers * 2);
@@ -111,7 +111,7 @@ TEST(DriverScaleTest, InjectedHangAbandonsExactlyOneWorkerAndRespawns) {
         return Status::Ok();
       },
       ScaleChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   ASSERT_TRUE(driver.WaitForFailure(Sec(5), [](const FailureSignature& sig) {
     return sig.type == FailureType::kLivenessTimeout && sig.checker_name == "hung";
@@ -127,7 +127,7 @@ TEST(DriverScaleTest, InjectedHangAbandonsExactlyOneWorkerAndRespawns) {
   EXPECT_EQ(metrics.timeouts, 1);
   // The pool kept serving the healthy checker while one worker hangs.
   EXPECT_GT(healthy_runs.load(), runs_at_detect);
-  driver.Stop();  // release_on_stop unblocks the hang; joins must not wedge
+  EXPECT_TRUE(driver.Stop().ok());  // release_on_stop unblocks the hang; joins must not wedge
   EXPECT_EQ(injector.parked_thread_count(), 0);
 }
 
@@ -148,10 +148,10 @@ TEST(DriverScaleTest, StopUnderSaturatedQueueJoinsCleanly) {
         },
         ScaleChecker()));
   }
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(120));
   const DriverMetricsSnapshot metrics = driver.DriverMetrics();
-  driver.Stop();  // must discard queued work and join without deadlock
+  EXPECT_TRUE(driver.Stop().ok());  // must discard queued work and join without deadlock
   EXPECT_FALSE(driver.running());
 
   // The tiny queue actually pushed back — and backpressure never grew threads.
@@ -265,7 +265,7 @@ TEST(DeadlineBudgetTest, WarmedBudgetDetectsHangsFasterThanStaticTimeout) {
         return CheckResult::Pass();
       },
       fast));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   // Warm the latency histogram past min_samples and a refresh boundary.
   ASSERT_TRUE(WaitForStat(driver, clock, "fast", 24));
@@ -285,7 +285,7 @@ TEST(DeadlineBudgetTest, WarmedBudgetDetectsHangsFasterThanStaticTimeout) {
   const DriverMetricsSnapshot metrics = driver.DriverMetrics();
   EXPECT_EQ(metrics.workers_abandoned, 1);
   EXPECT_EQ(metrics.timeouts, 1);
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_EQ(injector.parked_thread_count(), 0);
 }
 

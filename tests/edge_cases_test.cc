@@ -137,7 +137,7 @@ TEST(DriverWaitTest, PredicateFiltersFailures) {
   options.interval = wdg::Ms(10);
   driver.AddChecker(std::make_unique<wdg::ProbeChecker>(
       "a", "compA", [] { return wdg::IoError("a failed"); }, options));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   // Wait specifically for a failure that never occurs → times out.
   EXPECT_FALSE(driver.WaitForFailure(wdg::Ms(150), [](const wdg::FailureSignature& sig) {
     return sig.checker_name == "nonexistent";
@@ -146,7 +146,7 @@ TEST(DriverWaitTest, PredicateFiltersFailures) {
   EXPECT_TRUE(driver.WaitForFailure(wdg::Sec(1), [](const wdg::FailureSignature& sig) {
     return sig.checker_name == "a";
   }));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
 }
 
 // ----------------------------------------------------------- eval toggles

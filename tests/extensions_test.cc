@@ -13,7 +13,7 @@
 #include "src/kvs/recovery.h"
 #include "src/kvs/server.h"
 #include "src/watchdog/flag_set.h"
-#include "src/watchdog/watchdog_timer.h"
+#include "src/supervisor/watchdog_timer.h"
 
 namespace wdg {
 namespace {
@@ -160,11 +160,16 @@ TEST(FlagSetTest, GuardsWatchdogTimerKick) {
 // ---------------------------------------------------------------- ParseDump
 
 TEST(ParseDumpTest, RoundtripsAllValueTypes) {
+  static const auto kCount = ContextKey<int64_t>::Of("count");
+  static const auto kRatio = ContextKey<double>::Of("ratio");
+  static const auto kFlag = ContextKey<bool>::Of("flag");
+  static const auto kName = ContextKey<std::string>::Of("name");
   CheckContext ctx("c");
-  ctx.Set("count", int64_t{42});
-  ctx.Set("ratio", 1.5);
-  ctx.Set("flag", true);
-  ctx.Set("name", std::string("snapshot-7"));
+  ctx.Set(kCount, 42);
+  ctx.Set(kRatio, 1.5);
+  ctx.Set(kFlag, true);
+  ctx.Set(kName, "snapshot-7");
+  ctx.MarkReady(1);
   const auto parsed = CheckContext::ParseDump(ctx.Dump());
   EXPECT_EQ(std::get<int64_t>(parsed.at("count")), 42);
   EXPECT_DOUBLE_EQ(std::get<double>(parsed.at("ratio")), 1.5);
@@ -175,9 +180,12 @@ TEST(ParseDumpTest, RoundtripsAllValueTypes) {
 TEST(ParseDumpTest, PreservesNumericLookingStrings) {
   // The v1 round-trip bug: an untagged dump of a *string* "1234" parsed back
   // as int64_t. The v2 type tag pins the variant alternative.
+  static const auto kKey = ContextKey<std::string>::Of("key");
+  static const auto kCount = ContextKey<int64_t>::Of("count");
   CheckContext ctx("c");
-  ctx.Set("key", std::string("1234"));
-  ctx.Set("count", int64_t{1234});
+  ctx.Set(kKey, "1234");
+  ctx.Set(kCount, 1234);
+  ctx.MarkReady(1);
   const auto parsed = CheckContext::ParseDump(ctx.Dump());
   EXPECT_EQ(std::get<std::string>(parsed.at("key")), "1234");
   EXPECT_EQ(std::get<int64_t>(parsed.at("count")), 1234);
@@ -232,7 +240,7 @@ TEST(ReplayTest, ReproducesAPersistentFault) {
   gen.checker.interval = Ms(20);
   gen.checker.timeout = Ms(250);
   awd::Generate(kvs::DescribeIr(node.options()), node.hooks(), registry, driver, gen);
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   kvs::KvsClient client(net, "c", "kvs1");
   for (int i = 0; i < 20; ++i) {
@@ -269,7 +277,7 @@ TEST(ReplayTest, ReproducesAPersistentFault) {
   EXPECT_FALSE(after_fix.reproduced);
   EXPECT_TRUE(after_fix.op_status.ok());
 
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   node.Stop();
 }
 
@@ -310,7 +318,7 @@ TEST(PartitionQuarantineTest, EndToEndCorruptionRecovery) {
 
   kvs::PartitionQuarantineRecovery recovery(node);
   driver.AddRecoveryAction("kvs.partition", &recovery);
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   kvs::KvsClient client(net, "c", "kvs1");
   for (int i = 0; i < 20; ++i) {
@@ -339,7 +347,7 @@ TEST(PartitionQuarantineTest, EndToEndCorruptionRecovery) {
     EXPECT_NE(table, victim);  // read path no longer touches the bad table
   }
 
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   node.Stop();
 }
 

@@ -20,10 +20,13 @@ TEST(InvariantMinerTest, LearnsRangesFromHealthyObservations) {
   miner.Observe();
   EXPECT_EQ(miner.observations(), 0);  // context not ready → no learning
 
+  static const auto kBatchSize = ContextKey<int64_t>::Of("batch_size");
+  static const auto kLagMs = ContextKey<double>::Of("lag_ms");
+  static const auto kFollower = ContextKey<std::string>::Of("follower");
   for (int i = 1; i <= 20; ++i) {
-    ctx.Set("batch_size", static_cast<int64_t>(i % 8 + 1));  // 1..8
-    ctx.Set("lag_ms", 2.5 * (i % 4));                        // 0..7.5
-    ctx.Set("follower", std::string("kvs2"));                // non-numeric: skipped
+    ctx.Set(kBatchSize, i % 8 + 1);                 // 1..8
+    ctx.Set(kLagMs, 2.5 * (i % 4));                 // 0..7.5
+    ctx.Set(kFollower, "kvs2");                     // non-numeric: skipped
     ctx.MarkReady(i);
     miner.Observe();
   }
@@ -74,11 +77,12 @@ TEST(InvariantCheckerTest, TrainsThenFlagsAnomaly) {
   driver.AddChecker(awd::MakeInvariantChecker("repl_invariants", "kvs.replication", ctx,
                                               miner, /*tolerance=*/0.5,
                                               /*min_training_samples=*/5, options));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
 
   // Healthy phase: batch sizes 1..16.
+  static const auto kBatchSize = ContextKey<int64_t>::Of("batch_size");
   for (int i = 0; i < 30; ++i) {
-    ctx->Set("batch_size", static_cast<int64_t>(i % 16 + 1));
+    ctx->Set(kBatchSize, i % 16 + 1);
     ctx->MarkReady(clock.NowNs());
     clock.SleepFor(Ms(3));
   }
@@ -86,10 +90,10 @@ TEST(InvariantCheckerTest, TrainsThenFlagsAnomaly) {
   EXPECT_GE(miner->observations(), 5);
 
   // Anomaly: the queue suddenly explodes (a stuck consumer downstream).
-  ctx->Set("batch_size", int64_t{5000});
+  ctx->Set(kBatchSize, 5000);
   ctx->MarkReady(clock.NowNs());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   const auto failure = *driver.FirstFailure();
   EXPECT_EQ(failure.type, FailureType::kSafetyViolation);
   EXPECT_NE(failure.message.find("invariant violated"), std::string::npos);
@@ -107,14 +111,15 @@ TEST(InvariantCheckerTest, NeverJudgesWhileUndertrained) {
   WatchdogDriver driver(clock);
   driver.AddChecker(awd::MakeInvariantChecker("inv", "comp", ctx, miner, 0.5,
                                               /*min_training_samples=*/1000, options));
-  driver.Start();
-  ctx->Set("x", int64_t{1});
+  ASSERT_TRUE(driver.Start().ok());
+  static const auto kX = ContextKey<int64_t>::Of("x");
+  ctx->Set(kX, 1);
   ctx->MarkReady(1);
   clock.SleepFor(Ms(60));
-  ctx->Set("x", int64_t{999999});  // would violate, but the model is too young
+  ctx->Set(kX, 999999);  // would violate, but the model is too young
   ctx->MarkReady(2);
   clock.SleepFor(Ms(60));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_TRUE(driver.Failures().empty());
 }
 
@@ -204,9 +209,9 @@ TEST(FailureLogTest, DriverIntegration) {
   options.interval = Ms(10);
   driver.AddChecker(std::make_unique<ProbeChecker>(
       "p", "sys", [] { return IoError("persistent failure"); }, options));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
 
   const auto records = log.Load();
   ASSERT_TRUE(records.ok());

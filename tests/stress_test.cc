@@ -65,9 +65,9 @@ TEST(DriverStressTest, FortyRandomizedCheckersSurvive) {
         checker_options));
   }
 
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(600));
-  driver.Stop();  // must join everything cleanly (release_on_stop frees hangs)
+  EXPECT_TRUE(driver.Stop().ok());  // must join everything cleanly (release_on_stop frees hangs)
 
   EXPECT_GT(bodies.load(), 100);
   // Every behavior class produced its expected evidence.

@@ -688,6 +688,29 @@ TEST(GeneratedApiTest, FlagsPositionalArgsGetter) {
   EXPECT_TRUE(HasFinding(findings, "api.deprecated-accessor")) << FormatFindings(findings);
 }
 
+TEST(GeneratedApiTest, FlagsStringKeyedContextSet) {
+  // The v1 string-keyed CheckContext::Set shim was deleted from the public
+  // API; any generated (or hand-pasted) body still writing through it must
+  // fail the gate rather than fail to compile in a user tree.
+  std::vector<Finding> findings;
+  CheckCheckerSourceApi("c",
+                        "ctx.Set(\"file\", std::string(\"/sst/42\"));\n"
+                        "ctx_ptr->Set(\"bytes\", int64_t{7});\n",
+                        findings);
+  EXPECT_TRUE(HasFinding(findings, "api.deprecated-accessor", "c"))
+      << FormatFindings(findings);
+  EXPECT_EQ(CountSeverity(findings, Severity::kError), 2);
+}
+
+TEST(GeneratedApiTest, TypedKeySetIsClean) {
+  std::vector<Finding> findings;
+  CheckCheckerSourceApi("c",
+                        "static const auto k_file = wdg::ContextKey<std::string>::Of(\"file\");\n"
+                        "ctx.Set(k_file, \"/sst/42\");\n",
+                        findings);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
 TEST(GeneratedApiTest, TypedKeyApiIsClean) {
   std::vector<Finding> findings;
   CheckCheckerSourceApi(

@@ -21,9 +21,10 @@ namespace {
 // ---------------------------------------------------------------- contexts
 
 TEST(CheckContextTest, NotReadyUntilMarked) {
+  static const auto kFile = ContextKey<std::string>::Of("nr.file");
   CheckContext ctx("kvs.flush");
   EXPECT_FALSE(ctx.ready());
-  ctx.Set("file", std::string("/sst/1"));
+  ctx.Set(kFile, "/sst/1");
   EXPECT_FALSE(ctx.ready());  // Set alone does not publish
   ctx.MarkReady(123);
   EXPECT_TRUE(ctx.ready());
@@ -73,22 +74,31 @@ TEST(CheckContextTest, KeyRegistryInternsOnce) {
   const auto b = ContextKey<int64_t>::Of("reg.same");
   EXPECT_EQ(a.slot(), b.slot());
   EXPECT_EQ(a.name(), "reg.same");
-  // The legacy shim interns as kAny; a concrete declaration fixes the type.
+  // The untyped ContextKey<CtxValue> interns as kAny (codegen's default);
+  // a concrete declaration fixes the type.
   CheckContext ctx("c");
-  ctx.Set("reg.legacy_first", CtxValue(int64_t{1}));
-  const auto typed = ContextKey<int64_t>::Of("reg.legacy_first");
+  const auto untyped = ContextKey<CtxValue>::Of("reg.untyped_first");
+  ctx.Set(untyped, CtxValue(int64_t{1}));
+  const auto typed = ContextKey<int64_t>::Of("reg.untyped_first");
+  EXPECT_EQ(typed.slot(), untyped.slot());
   EXPECT_EQ(KeyRegistry::Instance().TypeOf(typed.slot()), CtxType::kInt);
 }
 
-// The v1 string-keyed *write* surface must keep working (immediate,
-// un-batched writes — Restore depends on it); the read side is the typed
-// Get<T>(name) that replaced the deleted GetInt/GetDouble/GetString shim.
-TEST(CheckContextTest, LegacyStringWritesReadBackTyped) {
+// The string-keyed *read* side — Get<T>(name) for checkers that only know
+// a name at runtime — must keep working now that the v1 string-keyed write
+// shim is gone (writers always hold a typed key; Restore uses the private
+// slot path).
+TEST(CheckContextTest, StringNameReadsOverTypedWrites) {
+  static const auto kI = ContextKey<int64_t>::Of("i");
+  static const auto kD = ContextKey<double>::Of("d");
+  static const auto kS = ContextKey<std::string>::Of("s");
+  static const auto kB = ContextKey<bool>::Of("b");
   CheckContext ctx("c");
-  ctx.Set("i", int64_t{42});
-  ctx.Set("d", 2.5);
-  ctx.Set("s", std::string("text"));
-  ctx.Set("b", true);
+  ctx.Set(kI, 42);
+  ctx.Set(kD, 2.5);
+  ctx.Set(kS, "text");
+  ctx.Set(kB, true);
+  ctx.MarkReady(1);
   EXPECT_EQ(*ctx.Get<int64_t>("i"), 42);
   EXPECT_DOUBLE_EQ(*ctx.Get<double>("d"), 2.5);
   EXPECT_DOUBLE_EQ(*ctx.Get<double>("i"), 42.0);  // int widens to double
@@ -157,10 +167,13 @@ TEST(CheckContextTest, ReadStatsTrackOptimisticPath) {
 }
 
 TEST(CheckContextTest, SnapshotIsReplicatedCopy) {
+  static const auto kK = ContextKey<std::string>::Of("k");
   CheckContext ctx("c");
-  ctx.Set("k", std::string("v1"));
+  ctx.Set(kK, "v1");
+  ctx.MarkReady(1);
   auto snapshot = ctx.Snapshot();
-  ctx.Set("k", std::string("v2"));
+  ctx.Set(kK, "v2");
+  ctx.MarkReady(2);
   // Isolation: the checker's copy is unaffected by later main-program writes.
   EXPECT_EQ(std::get<std::string>(snapshot.at("k")), "v1");
 }
@@ -186,9 +199,12 @@ TEST(CheckContextTest, InvalidateDropsReady) {
 }
 
 TEST(CheckContextTest, DumpRendersAllValuesWithTypeTags) {
+  static const auto kN = ContextKey<int64_t>::Of("n");
+  static const auto kName = ContextKey<std::string>::Of("name");
   CheckContext ctx("c");
-  ctx.Set("n", int64_t{7});
-  ctx.Set("name", std::string("sst"));
+  ctx.Set(kN, 7);
+  ctx.Set(kName, "sst");
+  ctx.MarkReady(1);
   const std::string dump = ctx.Dump();
   EXPECT_NE(dump.find("n=i:7"), std::string::npos);
   EXPECT_NE(dump.find("name=s:sst"), std::string::npos);
@@ -289,8 +305,9 @@ TEST(MimicCheckerTest, RefusesUnreadyContext) {
 }
 
 TEST(MimicCheckerTest, BodySeesContextValues) {
+  static const auto kFile = ContextKey<std::string>::Of("file");
   CheckContext ctx("c");
-  ctx.Set("file", std::string("/sst/3"));
+  ctx.Set(kFile, "/sst/3");
   ctx.MarkReady(1);
   MimicChecker checker("m", "kvs.flusher", &ctx,
                        [&](const CheckContext& c, MimicChecker& self) {
@@ -387,9 +404,9 @@ TEST(WatchdogDriverTest, RunsCheckersPeriodically) {
   std::atomic<int> runs{0};
   driver.AddChecker(std::make_unique<ProbeChecker>(
       "p", "sys", [&] { ++runs; return Status::Ok(); }, FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(100));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_GE(runs.load(), 3);
   const CheckerStats stats = driver.StatsFor("p");
   EXPECT_EQ(stats.runs, stats.passes);
@@ -403,9 +420,9 @@ TEST(WatchdogDriverTest, ReportsFailuresToListeners) {
   driver.AddListener(&listener);
   driver.AddChecker(std::make_unique<ProbeChecker>(
       "p", "sys", [] { return IoError("broken"); }, FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   ASSERT_FALSE(listener.signatures().empty());
   EXPECT_EQ(listener.signatures()[0].checker_name, "p");
 }
@@ -432,14 +449,14 @@ TEST(WatchdogDriverTest, HungCheckerBecomesLivenessSignatureWithPinpoint) {
       },
       FastChecker()));
   (void)checker_ptr;
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
   const auto failure = *driver.FirstFailure();
   EXPECT_EQ(failure.type, FailureType::kLivenessTimeout);
   EXPECT_EQ(failure.location.op_site, "net.send.follower");
   EXPECT_EQ(failure.location.function, "ReplicateBatch");
   EXPECT_EQ(failure.location.Level(), LocalizationLevel::kOperation);
-  driver.Stop();  // releases the parked checker via release_on_stop
+  EXPECT_TRUE(driver.Stop().ok());  // releases the parked checker via release_on_stop
   EXPECT_GE(driver.StatsFor("replication_checker").timeouts, 1);
 }
 
@@ -452,9 +469,9 @@ TEST(WatchdogDriverTest, CheckerCrashIsIsolatedAndReported) {
         throw std::runtime_error("segfault stand-in");
       },
       FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   const auto failure = *driver.FirstFailure();
   EXPECT_EQ(failure.type, FailureType::kCheckerCrash);
   EXPECT_NE(failure.message.find("segfault stand-in"), std::string::npos);
@@ -468,9 +485,9 @@ TEST(WatchdogDriverTest, DedupCollapsesRepeatedSignatures) {
   WatchdogDriver driver(clock, options);
   driver.AddChecker(std::make_unique<ProbeChecker>(
       "p", "sys", [] { return IoError("same failure every time"); }, FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(150));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_EQ(driver.Failures().size(), 1u);  // one report despite ~10 failing runs
   EXPECT_GE(driver.deduped_count(), 3);
 }
@@ -488,9 +505,9 @@ TEST(WatchdogDriverTest, ValidationProbeConfirmsImpact) {
             StatusCode::kIoError, "mimicked write failed"));
       },
       FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   const auto failure = *driver.FirstFailure();
   EXPECT_TRUE(failure.validation_ran);
   EXPECT_TRUE(failure.impact_confirmed);
@@ -512,9 +529,9 @@ TEST(WatchdogDriverTest, UnconfirmedAlarmSuppressedWhenConfigured) {
             StatusCode::kIoError, "transient"));
       },
       FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(200));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_GE(driver.suppressed_count(), 1);
   EXPECT_TRUE(listener.signatures().empty());          // suppressed from listeners
   ASSERT_FALSE(driver.Failures().empty());             // still recorded, flagged
@@ -538,9 +555,9 @@ TEST(WatchdogDriverTest, RecoveryActionInvokedOnMatchingComponent) {
             StatusCode::kIoError, "x"));
       },
       FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(2)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_GE(recovered.load(), 1);
   EXPECT_EQ(other.load(), 0);
 }
@@ -557,9 +574,9 @@ TEST(WatchdogDriverTest, NotReadyContextNeverRunsBody) {
         return CheckResult::Pass();
       },
       FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(80));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_EQ(bodies.load(), 0);
   EXPECT_GE(driver.StatsFor("m").context_not_ready, 2);
 }
@@ -586,9 +603,9 @@ TEST(WatchdogDriverTest, HungCheckerSuspendedNotRestacked) {
         return CheckResult::Pass();
       },
       FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(300));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_EQ(entries.load(), 1);  // exactly one execution entered the hang
 }
 
@@ -598,7 +615,7 @@ TEST(WatchdogDriverTest, PauseAndResumeChecker) {
   std::atomic<int> runs{0};
   driver.AddChecker(std::make_unique<ProbeChecker>(
       "p", "sys", [&] { ++runs; return Status::Ok(); }, FastChecker()));
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   clock.SleepFor(Ms(60));
   EXPECT_TRUE(driver.TrySetCheckerEnabled("p", false).ok());
   EXPECT_FALSE(driver.IsCheckerEnabled("p"));
@@ -608,7 +625,7 @@ TEST(WatchdogDriverTest, PauseAndResumeChecker) {
   EXPECT_LE(runs.load(), frozen + 1);  // at most one straggler
   EXPECT_TRUE(driver.TrySetCheckerEnabled("p", true).ok());
   clock.SleepFor(Ms(80));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_GT(runs.load(), frozen + 1);  // resumed
 }
 
@@ -619,23 +636,31 @@ TEST(WatchdogDriverTest, TrySetCheckerEnabledUnknownName) {
       "p", "sys", [] { return Status::Ok(); }, FastChecker()));
   const Status status = driver.TrySetCheckerEnabled("no-such-checker", false);
   EXPECT_EQ(status.code(), StatusCode::kNotFound);
-  // The legacy shim stays silent on unknown names.
-  driver.SetCheckerEnabled("no-such-checker", false);
   EXPECT_TRUE(driver.IsCheckerEnabled("p"));
 }
 
-TEST(WatchdogDriverTest, StopIsIdempotentAndStartOnce) {
+TEST(WatchdogDriverTest, StartStopLifecycleStatuses) {
   RealClock& clock = RealClock::Instance();
   WatchdogDriver driver(clock);
   driver.AddChecker(std::make_unique<ProbeChecker>("p", "s", [] { return Status::Ok(); },
                                                    FastChecker()));
-  driver.Start();
-  driver.Start();  // no-op
+  ASSERT_TRUE(driver.Start().ok());
+  const Status double_start = driver.Start();
+  EXPECT_EQ(double_start.code(), StatusCode::kFailedPrecondition);
   EXPECT_TRUE(driver.running());
-  driver.Stop();
-  driver.Stop();  // no-op
+  EXPECT_TRUE(driver.Stop().ok());
+  const Status double_stop = driver.Stop();
+  EXPECT_EQ(double_stop.code(), StatusCode::kFailedPrecondition);
   EXPECT_FALSE(driver.running());
   EXPECT_EQ(driver.checker_count(), 1);
+  // The driver is one-shot: a stopped driver cannot be restarted.
+  EXPECT_EQ(driver.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WatchdogDriverTest, StopBeforeStartReturnsFailedPrecondition) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver driver(clock);
+  EXPECT_EQ(driver.Stop().code(), StatusCode::kFailedPrecondition);
 }
 
 // Watchdog-on-the-watchdog: scripted metric sequences drive the alarm paths.
@@ -700,14 +725,14 @@ TEST(DriverHealthCheckerTest, SeesRealDriverRejections) {
                              [&] { return driver.DriverMetrics(); }, t);
   EXPECT_EQ(health.Check().outcome, CheckOutcome::kPass);  // baseline anchor
 
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   // Wait until backpressure has provably shed at least one submit.
   for (int i = 0; i < 100 && driver.DriverMetrics().queue_rejections == 0; ++i) {
     clock.SleepFor(Ms(10));
   }
   ASSERT_GT(driver.DriverMetrics().queue_rejections, 0);
   const CheckResult result = health.Check();
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   ASSERT_EQ(result.outcome, CheckOutcome::kFail);
   EXPECT_EQ(result.signature.location.component, "wdg.driver");
   EXPECT_NE(result.signature.message.find("shed"), std::string::npos);
@@ -806,12 +831,12 @@ TEST(CheckerBuilderTest, RegisterWithRejectsDuplicatesAndRunningDriver) {
             StatusCode::kAlreadyExists);
   EXPECT_EQ(driver.checker_count(), 1);
 
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   EXPECT_EQ(CheckerBuilder("q").Probe(probe_body).RegisterWith(driver).code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(driver.SetValidationProbe(probe_body, Ms(100)).code(),
             StatusCode::kFailedPrecondition);
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
 }
 
 TEST(CheckerBuilderTest, InstallsEscalationProbe) {
@@ -839,9 +864,9 @@ TEST(CheckerBuilderTest, InstallsEscalationProbe) {
                       })
                       .RegisterWith(driver);
   ASSERT_TRUE(status.ok()) << status;
-  driver.Start();
+  ASSERT_TRUE(driver.Start().ok());
   ASSERT_TRUE(driver.WaitForFailure(Sec(5)));
-  driver.Stop();
+  EXPECT_TRUE(driver.Stop().ok());
   EXPECT_GT(probes.load(), 0);
   ASSERT_TRUE(driver.FirstFailure().has_value());
   EXPECT_FALSE(driver.FirstFailure()->impact_confirmed);

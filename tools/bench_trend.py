@@ -53,6 +53,10 @@ TRACKED = [
      "BENCH_context_read.json",
      lambda d: _config(d, readers=8)["snapshot_p50_ns"],
      "down"),
+    ("supervisor_detection_latency_ms_kvs",
+     "BENCH_supervisor.json",
+     lambda d: _config(d, system="kvs")["detection_latency_ms"],
+     "down"),
 ]
 
 WINDOW = 3  # trend entries the regression gate compares against

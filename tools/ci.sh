@@ -61,6 +61,13 @@ echo "=== bench smoke: context read path ==="
 # Runs in the build tree so the quick-mode JSON can't clobber the committed
 # full-run artifact the trend gate below reads.
 (cd build-ci/bench && ./bench_context_read --quick)
+echo "=== supervised smoke: wdogd escalation under a wedged process ==="
+# The §3.3 scenario the in-process plane cannot catch for itself: a kvs node
+# plus its watchdog driver wedge on an injected disk hang, kicks stop, and
+# the out-of-process wdogd must walk its ladder. wdogd exits nonzero when no
+# escalation fires. Runs in the build tree so the quick-mode JSON can't
+# clobber the committed full-run artifact the trend gate reads.
+(cd build-ci && ./tools/wdogd --quick --system kvs)
 echo "=== bench trend gate ==="
 # Headline metrics from the committed full-run artifacts; fails the build if
 # one regressed >25% against its best of the last three BENCH_TREND.json
@@ -72,6 +79,6 @@ run_leg build-ci-asan address "$@"
 # batched hook flush, plus the pooled scheduler/executor scale suite
 # (abandonment, backpressure, and shutdown races) and the chaos/soak tier
 # that storms the adaptive autoscaler + deadline budgets with injected faults.
-run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale|driver_chaos' "$@"
+run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale|driver_chaos|supervisor' "$@"
 
 echo "ci: all three legs green"
