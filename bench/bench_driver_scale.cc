@@ -8,7 +8,14 @@
 // checks/sec, p99 queue delay (due -> body running), and threads created.
 // Emits BENCH_driver_scale.json to seed the perf trajectory.
 //
-//   ./bench_driver_scale [--quick]
+// The sharded rows run the fleet-scale configuration (8 scheduler shards,
+// per-shard timer wheels, batched dispatch) at {1k, 10k, 100k} checkers, plus
+// a mostly-dormant subscription fleet where checks are skipped because no
+// subscribed context key advanced. --smoke-10k runs only the 10k sharded
+// config and exits nonzero unless p99 queue delay and worker count stay in
+// budget — CI's fast fleet-scale gate.
+//
+//   ./bench_driver_scale [--quick] [--smoke-10k]
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -21,7 +28,9 @@
 #include "src/common/threading.h"
 #include "src/eval/table.h"
 #include "src/fault/fault_injector.h"
+#include "src/watchdog/builder.h"
 #include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/context.h"
 #include "src/watchdog/driver.h"
 
 namespace {
@@ -42,7 +51,132 @@ struct ModeResult {
   int64_t workers_abandoned = 0;
   int min_workers = 0;
   bool scaled_back_to_min = false;
+
+  // Sharded-mode extras (meaningful only for mode "sharded"/"sharded-idle").
+  int shards = 0;
+  int workers_per_shard = 0;
+  int pool_workers = 0;
+  int64_t batches_dispatched = 0;
+  int64_t skipped_unchanged = 0;
+  int64_t interval_ms = 0;
 };
+
+// The fleet-scale driver shape: 8 scheduler shards x 2 fixed workers, 16
+// executions per pool task. per_checker_metrics off, as a 100k fleet must run.
+wdg::WatchdogDriver::Options ShardedOptions() {
+  wdg::WatchdogDriver::Options options;
+  options.shards = 8;
+  options.executor.workers = 2;
+  options.executor.queue_capacity = 4096;
+  options.dispatch_batch = 16;
+  options.per_checker_metrics = false;
+  return options;
+}
+
+// Check interval for a sharded fleet: scaled with size so the aggregate rate
+// (checkers / interval) stays in the 20k-100k checks/sec band the pools can
+// absorb without the bench measuring pure saturation.
+wdg::DurationNs ShardedInterval(int checkers) {
+  if (checkers <= 1000) {
+    return wdg::Ms(50);
+  }
+  return checkers <= 10000 ? wdg::Ms(200) : wdg::Sec(1);
+}
+
+ModeResult RunSharded(int checkers, wdg::DurationNs duration) {
+  wdg::RealClock& clock = wdg::RealClock::Instance();
+  wdg::WatchdogDriver::Options options = ShardedOptions();
+  const wdg::DurationNs interval = ShardedInterval(checkers);
+  wdg::WatchdogDriver driver(clock, options);
+  for (int i = 0; i < checkers; ++i) {
+    wdg::CheckerOptions checker;
+    checker.interval = interval;
+    checker.timeout = wdg::Ms(400);
+    // Uniform stagger across one full interval: the wheel sees a steady
+    // trickle instead of 100k simultaneous deadlines at Start()+interval.
+    checker.initial_delay = (interval / checkers) * i;
+    driver.AddChecker(std::make_unique<wdg::ProbeChecker>(
+        wdg::StrFormat("s%06d", i), "bench", [] { return wdg::Status::Ok(); },
+        checker));
+  }
+  const wdg::TimeNs start = clock.NowNs();
+  (void)driver.Start();
+  // duration + one interval: even a quick run lets every checker complete at
+  // least one full scheduling cycle.
+  clock.SleepFor(duration + interval);
+  const wdg::DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  const double elapsed_s = static_cast<double>(clock.NowNs() - start) /
+                           static_cast<double>(wdg::kNsPerSec);
+  (void)driver.Stop();
+  ModeResult result;
+  result.mode = "sharded";
+  result.checkers = checkers;
+  result.checks_per_sec =
+      static_cast<double>(metrics.executions_completed) / elapsed_s;
+  result.p99_queue_delay_us = metrics.queue_delay_p99_ns / 1000.0;
+  result.threads_spawned = metrics.threads_spawned;
+  result.shards = metrics.shards;
+  result.workers_per_shard = options.executor.workers;
+  result.pool_workers = metrics.pool_workers;
+  result.batches_dispatched = metrics.batches_dispatched;
+  result.skipped_unchanged = metrics.skipped_unchanged;
+  result.interval_ms = interval / wdg::kNsPerMs;
+  return result;
+}
+
+// A mostly-dormant fleet: every checker subscribes to one context key that
+// never advances after the initial publish, so each runs its body once (the
+// subscription baseline) and is thereafter skipped at dispatch time. The
+// interesting number is skipped_unchanged >> checks completed.
+ModeResult RunShardedIdle(int checkers, wdg::DurationNs duration) {
+  wdg::RealClock& clock = wdg::RealClock::Instance();
+  wdg::WatchdogDriver driver(clock, ShardedOptions());
+  const wdg::DurationNs interval = wdg::Ms(20);
+  wdg::CheckContext context("bench.idle");
+  const auto progress = wdg::ContextKey<int64_t>::Of("bench.idle.progress");
+  context.Set(progress, 0);
+  context.MarkReady(1);  // publish: epochs only advance on MarkReady
+  for (int i = 0; i < checkers; ++i) {
+    wdg::Status status =
+        wdg::CheckerBuilder(wdg::StrFormat("i%06d", i))
+            .Component("bench")
+            .Interval(interval)
+            .Deadline(wdg::Ms(400))
+            .InitialDelay((interval / checkers) * i)
+            .WithContext(&context)
+            .SubscribeKey(progress)
+            .Mimic([](const wdg::CheckContext&, wdg::MimicChecker&) {
+              return wdg::CheckResult::Pass();
+            })
+            .RegisterWith(driver);
+    if (!status.ok()) {
+      std::fprintf(stderr, "sharded-idle registration failed: %s\n",
+                   status.ToString().c_str());
+      break;
+    }
+  }
+  const wdg::TimeNs start = clock.NowNs();
+  (void)driver.Start();
+  clock.SleepFor(duration + interval);
+  const wdg::DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  const double elapsed_s = static_cast<double>(clock.NowNs() - start) /
+                           static_cast<double>(wdg::kNsPerSec);
+  (void)driver.Stop();
+  ModeResult result;
+  result.mode = "sharded-idle";
+  result.checkers = checkers;
+  result.checks_per_sec =
+      static_cast<double>(metrics.executions_completed) / elapsed_s;
+  result.p99_queue_delay_us = metrics.queue_delay_p99_ns / 1000.0;
+  result.threads_spawned = metrics.threads_spawned;
+  result.shards = metrics.shards;
+  result.workers_per_shard = ShardedOptions().executor.workers;
+  result.pool_workers = metrics.pool_workers;
+  result.batches_dispatched = metrics.batches_dispatched;
+  result.skipped_unchanged = metrics.skipped_unchanged;
+  result.interval_ms = interval / wdg::kNsPerMs;
+  return result;
+}
 
 // The old driver, distilled: a 2ms polling tick over every slot, one new
 // thread per due execution.
@@ -255,6 +389,16 @@ void WriteJson(const std::vector<ModeResult>& results, wdg::DurationNs duration)
                    static_cast<long long>(r.workers_abandoned), r.min_workers,
                    r.scaled_back_to_min ? "true" : "false");
     }
+    if (r.shards > 0) {
+      std::fprintf(out,
+                   ", \"shards\": %d, \"workers_per_shard\": %d, "
+                   "\"pool_workers\": %d, \"batches_dispatched\": %lld, "
+                   "\"skipped_unchanged\": %lld, \"interval_ms\": %lld",
+                   r.shards, r.workers_per_shard, r.pool_workers,
+                   static_cast<long long>(r.batches_dispatched),
+                   static_cast<long long>(r.skipped_unchanged),
+                   static_cast<long long>(r.interval_ms));
+    }
     std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -262,17 +406,55 @@ void WriteJson(const std::vector<ModeResult>& results, wdg::DurationNs duration)
   std::printf("\nwrote BENCH_driver_scale.json\n");
 }
 
+// CI's fleet-scale gate: run only the 10k sharded config, self-check, and
+// exit nonzero on a budget miss so the pipeline fails without parsing JSON.
+int RunSmoke10k() {
+  std::printf("=== driver scaling: 10k sharded smoke ===\n");
+  const ModeResult r = RunSharded(10000, wdg::Ms(600));
+  const int worker_cap = r.shards * r.workers_per_shard;
+  bool ok = true;
+  std::printf("checks/sec %.0f, p99 queue delay %.0f us, pool workers %d "
+              "(cap %d), batches %lld\n",
+              r.checks_per_sec, r.p99_queue_delay_us, r.pool_workers,
+              worker_cap, static_cast<long long>(r.batches_dispatched));
+  if (r.p99_queue_delay_us > 500.0) {
+    std::fprintf(stderr, "SMOKE FAIL: p99 queue delay %.0f us > 500 us\n",
+                 r.p99_queue_delay_us);
+    ok = false;
+  }
+  if (r.pool_workers > worker_cap) {
+    std::fprintf(stderr, "SMOKE FAIL: pool workers %d > shards x pool size %d\n",
+                 r.pool_workers, worker_cap);
+    ok = false;
+  }
+  if (r.checks_per_sec <= 0) {
+    std::fprintf(stderr, "SMOKE FAIL: no checks completed\n");
+    ok = false;
+  }
+  std::printf("10k sharded smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool smoke_10k = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--smoke-10k") == 0) {
+      smoke_10k = true;
     }
+  }
+  if (smoke_10k) {
+    return RunSmoke10k();  // no JSON: the smoke never perturbs trend baselines
   }
   const wdg::DurationNs duration = quick ? wdg::Ms(300) : wdg::Sec(1);
   const std::vector<int> fleet_sizes = {1, 8, 64, 256};
+  const std::vector<int> sharded_fleets =
+      quick ? std::vector<int>{1000, 10000}
+            : std::vector<int>{1000, 10000, 100000};
 
   std::printf("=== driver scaling: pooled executor vs thread-per-check ===\n");
   std::printf("interval %lld ms, %s run (%lld ms per config)\n\n",
@@ -291,13 +473,18 @@ int main(int argc, char** argv) {
       results.push_back(RunStorm(checkers, duration, /*adaptive=*/true));
     }
   }
+  for (const int checkers : sharded_fleets) {
+    results.push_back(RunSharded(checkers, duration));
+  }
+  results.push_back(RunShardedIdle(quick ? 1000 : 10000, duration));
 
   wdg::TablePrinter table({{"checkers", 9},
                            {"mode", 17},
                            {"checks/sec", 11},
                            {"p99 q-delay (us)", 17},
                            {"threads spawned", 16},
-                           {"scale up/down", 14}});
+                           {"scale up/down", 14},
+                           {"batches/skipped", 16}});
   table.PrintHeader();
   for (const ModeResult& r : results) {
     table.PrintRow(
@@ -310,6 +497,11 @@ int main(int argc, char** argv) {
                               static_cast<long long>(r.scale_up_events),
                               static_cast<long long>(r.scale_down_events),
                               r.scaled_back_to_min ? "" : " (!min)")
+             : "-",
+         r.shards > 0
+             ? wdg::StrFormat("%lld/%lld",
+                              static_cast<long long>(r.batches_dispatched),
+                              static_cast<long long>(r.skipped_unchanged))
              : "-"});
   }
   table.PrintRule();
@@ -330,6 +522,21 @@ int main(int argc, char** argv) {
                     a.p99_queue_delay_us <= 2 * b.p99_queue_delay_us
                         ? " (within 2x)" : " (OVER the 2x budget)");
       }
+    }
+  }
+  for (const ModeResult& r : results) {
+    if (r.mode == "sharded") {
+      std::printf("sharded @ %d checkers: %.0f checks/s, p99 %.0f us, "
+                  "%d workers (cap %d = shards x pool)%s\n",
+                  r.checkers, r.checks_per_sec, r.p99_queue_delay_us,
+                  r.pool_workers, r.shards * r.workers_per_shard,
+                  r.pool_workers <= r.shards * r.workers_per_shard
+                      ? "" : " (OVER worker cap)");
+    } else if (r.mode == "sharded-idle") {
+      std::printf("sharded-idle @ %d checkers: %lld runs skipped with "
+                  "subscribed keys unchanged, %.0f checks/s actually ran\n",
+                  r.checkers, static_cast<long long>(r.skipped_unchanged),
+                  r.checks_per_sec);
     }
   }
   WriteJson(results, duration);

@@ -7,12 +7,16 @@
 //   describe (IR) -> reduce -> infer contexts -> synthesize checkers ->
 //   arm hooks -> run concurrently -> detect + localize.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "src/autowd/autowatchdog.h"
 #include "src/common/strings.h"
 #include "src/kvs/client.h"
 #include "src/kvs/ir_model.h"
 #include "src/kvs/server.h"
+#include "src/watchdog/builder.h"
+#include "src/watchdog/context.h"
 
 int main() {
   // 1. A simulated machine: clock, fault injector, disk, network.
@@ -39,6 +43,7 @@ int main() {
   kvs::RegisterOpExecutors(registry, node);
   wdg::WatchdogDriver::Options driver_options;
   driver_options.release_on_stop = [&injector] { injector.ClearAll(); };
+  driver_options.shards = 2;  // fleet-scale scheduling, demo-sized
   wdg::WatchdogDriver driver(clock, driver_options);
   awd::GenerationOptions gen;
   gen.checker.interval = wdg::Ms(25);
@@ -48,6 +53,30 @@ int main() {
   std::printf("generated %zu mimic checkers (%d reduced ops, %d hooks armed)\n",
               report.checker_names.size(), report.program.stats.ops_retained,
               report.hooks_armed);
+
+  // One hand-written dormant checker rides along: it subscribes to a context
+  // key that is published once and never advances, so after its first run the
+  // driver skips it at dispatch time (wdg.driver.skipped_unchanged below).
+  wdg::CheckContext idle_context("quickstart.idle");
+  const auto idle_key = wdg::ContextKey<int64_t>::Of("quickstart.idle.progress");
+  idle_context.Set(idle_key, 0);
+  idle_context.MarkReady(1);
+  if (const wdg::Status st =
+          wdg::CheckerBuilder("idle-subscriber")
+              .Component("quickstart")
+              .Interval(wdg::Ms(25))
+              .WithContext(&idle_context)
+              .SubscribeKey(idle_key)
+              .Mimic([](const wdg::CheckContext&, wdg::MimicChecker&) {
+                return wdg::CheckResult::Pass();
+              })
+              .RegisterWith(driver);
+      !st.ok()) {
+    std::fprintf(stderr, "idle-subscriber registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
   if (const wdg::Status st = driver.Start(); !st.ok()) {
     std::fprintf(stderr, "driver Start failed: %s\n", st.ToString().c_str());
     return 1;
@@ -93,6 +122,24 @@ int main() {
               static_cast<long long>(wd.executions_completed), wd.pool_workers,
               static_cast<long long>(wd.threads_spawned),
               wd.queue_delay_p99_ns / 1000.0);
+
+  // 8. Fleet-scale view, straight from the flattened metrics map: runs the
+  //    driver skipped because no subscribed key advanced, plus the per-shard
+  //    gauges the sharded scheduler exports (only present when shards > 1).
+  const std::map<std::string, double> flat = wd.ToMap();
+  std::printf("fleet:     %.0f shards, %.0f runs skipped "
+              "(subscribed keys unchanged)\n",
+              flat.at("wdg.driver.shards"),
+              flat.at("wdg.driver.skipped_unchanged"));
+  for (int s = 0; s < wd.shards; ++s) {
+    const std::string prefix = wdg::StrFormat("wdg.driver.shard.%d.", s);
+    std::printf("  shard %d: workers %.0f, completed %.0f, wheel entries %.0f, "
+                "skipped %.0f\n",
+                s, flat.at(prefix + "pool.workers"),
+                flat.at(prefix + "completed"),
+                flat.at(prefix + "wheel.entries"),
+                flat.at(prefix + "skipped_unchanged"));
+  }
 
   injector.ClearAll();
   (void)driver.Stop();

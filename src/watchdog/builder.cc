@@ -40,6 +40,16 @@ CheckerBuilder& CheckerBuilder::Debounce(int consecutive_needed) {
   return *this;
 }
 
+CheckerBuilder& CheckerBuilder::ShardAffinity(int shard) {
+  shard_affinity_ = shard;
+  return *this;
+}
+
+CheckerBuilder& CheckerBuilder::SubscribeSlot(uint32_t key_slot) {
+  subscribe_slots_.push_back(key_slot);
+  return *this;
+}
+
 CheckerBuilder& CheckerBuilder::WithContext(CheckContext* context) {
   context_ = context;
   return *this;
@@ -132,8 +142,18 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
     return InvalidArgumentError(
         StrFormat("checker '%s': deadline prior must be >= 0", name_.c_str()));
   }
+  if (shard_affinity_ < -1) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': shard affinity must be >= 0", name_.c_str()));
+  }
+  if (!subscribe_slots_.empty() && body_ != Body::kMimic) {
+    return InvalidArgumentError(
+        StrFormat("checker '%s': SubscribeKey applies to mimic bodies only "
+                  "(the subscription is resolved against the mimic's context)",
+                  name_.c_str()));
+  }
   CheckerOptions options{interval_, deadline_, initial_delay_, adaptive_deadline_,
-                         deadline_prior_};
+                         deadline_prior_, shard_affinity_};
   switch (body_) {
     case Body::kProbe: {
       if (context_ != nullptr || context_factory_) {
@@ -177,8 +197,12 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
                       "ContextFactory",
                       name_.c_str()));
       }
-      return std::unique_ptr<Checker>(std::make_unique<MimicChecker>(
-          name_, component_, context, std::move(mimic_), options));
+      auto mimic = std::make_unique<MimicChecker>(name_, component_, context,
+                                                  std::move(mimic_), options);
+      if (!subscribe_slots_.empty()) {
+        mimic->SubscribeKeys(context, subscribe_slots_);
+      }
+      return std::unique_ptr<Checker>(std::move(mimic));
     }
     case Body::kNone:
       break;  // unreachable: handled above

@@ -20,9 +20,11 @@
 // probe on the driver. The old direct-constructor entry points remain valid.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/result.h"
@@ -55,6 +57,20 @@ class CheckerBuilder {
   CheckerBuilder& DeadlinePrior(DurationNs prior);
   // Consecutive violations required before alarming (probe/signal only).
   CheckerBuilder& Debounce(int consecutive_needed);
+  // Pin the checker to one scheduler shard of a sharded driver
+  // (CheckerOptions::shard_affinity; the driver takes it modulo its shard
+  // count). Must be >= 0; unset means assignment by name hash.
+  CheckerBuilder& ShardAffinity(int shard);
+
+  // Subscription epochs: the driver skips a scheduled run when none of the
+  // subscribed keys advanced since the last completed run (counted as
+  // wdg.driver.skipped_unchanged). Mimic bodies only — the subscription is
+  // resolved against the mimic's context at Build(). Call once per key.
+  template <typename T>
+  CheckerBuilder& SubscribeKey(const ContextKey<T>& key) {
+    return SubscribeSlot(key.slot());
+  }
+  CheckerBuilder& SubscribeSlot(uint32_t key_slot);
 
   // Context for a mimic body: either a fixed context...
   CheckerBuilder& WithContext(CheckContext* context);
@@ -100,6 +116,8 @@ class CheckerBuilder {
   DurationNs deadline_prior_ = 0;
   int debounce_ = 1;
   bool debounce_set_ = false;
+  int shard_affinity_ = -1;
+  std::vector<uint32_t> subscribe_slots_;
 
   CheckContext* context_ = nullptr;
   std::function<CheckContext*()> context_factory_;

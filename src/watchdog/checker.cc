@@ -14,6 +14,12 @@ const char* CheckerTypeName(CheckerType type) {
   return "?";
 }
 
+void Checker::SubscribeKeys(const CheckContext* context,
+                            std::vector<uint32_t> key_slots) {
+  subscription_context_ = context;
+  subscription_slots_ = std::move(key_slots);
+}
+
 void Checker::SetCurrentOp(SourceLocation op) {
   std::lock_guard<std::mutex> lock(op_mu_);
   current_op_ = std::move(op);

@@ -6,9 +6,11 @@
 // fate* with the code it mimics, so a hung checker is itself the detection.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/watchdog/context.h"
@@ -55,6 +57,11 @@ struct CheckerOptions {
   // `timeout` fallback until the adaptive budget warms up; never exceeds
   // `timeout` (the generator clamps it), so it only ever tightens detection.
   DurationNs deadline_prior = 0;
+  // Sharded drivers (WatchdogDriverOptions::shards > 1): pin this checker to
+  // shard `shard_affinity % shards`, e.g. to co-locate checkers that share a
+  // context so their subscription epochs are read by one scheduler thread.
+  // -1 (default) assigns by hash of the checker name.
+  int shard_affinity = -1;
 };
 
 class Checker {
@@ -80,6 +87,16 @@ class Checker {
   void SetCurrentOp(SourceLocation op);
   SourceLocation CurrentOp() const;
 
+  // --- subscription epochs (fleet-scale driver) -------------------------
+  // Declares that this checker only observes `key_slots` of `context`: the
+  // driver skips a scheduled run entirely when none of those keys advanced
+  // since the last completed run (counted as wdg.driver.skipped_unchanged),
+  // which is what makes a comprehensive fleet of mostly-dormant mimics nearly
+  // free. Set before registration; the driver reads it without locks.
+  void SubscribeKeys(const CheckContext* context, std::vector<uint32_t> key_slots);
+  const CheckContext* subscription_context() const { return subscription_context_; }
+  const std::vector<uint32_t>& subscription_slots() const { return subscription_slots_; }
+
  protected:
   // Convenience for subclasses building failure signatures.
   FailureSignature MakeSignature(FailureType ftype, SourceLocation loc, StatusCode code,
@@ -90,6 +107,9 @@ class Checker {
   const std::string component_;
   const CheckerType type_;
   const Options options_;
+
+  const CheckContext* subscription_context_ = nullptr;
+  std::vector<uint32_t> subscription_slots_;
 
   mutable std::mutex op_mu_;
   SourceLocation current_op_;

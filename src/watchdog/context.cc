@@ -392,6 +392,18 @@ void CheckContext::MarkPopulated(uint32_t slot) {
   }
 }
 
+uint64_t CheckContext::KeyEpoch(uint32_t slot) const {
+  const SlotCell* cell = CellIfPresent(slot);
+  if (cell == nullptr) {
+    return 0;
+  }
+  // The seqlock seq advances by 2 per publish (odd = mid-publish). (seq+1)>>1
+  // maps both the odd claim and the even release of publish n to n, keeping
+  // the epoch monotone and counting an in-flight write as already complete —
+  // a subscribed checker dispatched during the write sees the new data.
+  return (static_cast<uint64_t>(cell->seq.load(std::memory_order_acquire)) + 1) >> 1;
+}
+
 const CheckContext::SlotCell* CheckContext::CellIfPresent(uint32_t slot) const {
   const uint32_t chunk_index = slot / kSlotsPerChunk;
   if (chunk_index >= kMaxChunks) {

@@ -313,6 +313,18 @@ class CheckContext {
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   TimeNs last_update() const { return last_update_.load(std::memory_order_acquire); }
 
+  // Per-key subscription epoch: how many times `slot` has been published into
+  // this context (monotone; 0 for a never-written key; a publish in flight
+  // already counts). Derived from the slot cell's seqlock sequence, so it is
+  // one lock-free atomic load — cheap enough for the driver to consult before
+  // every dispatch. Unlike epoch(), which advances on every MarkReady, this
+  // moves only when *this key* is rewritten, which is what lets a checker
+  // subscribed to a quiet key skip its run entirely (docs/DRIVER.md,
+  // "Subscription epochs").
+  uint64_t KeyEpoch(uint32_t slot) const;
+  template <typename T>
+  uint64_t KeyEpoch(const ContextKey<T>& key) const { return KeyEpoch(key.slot()); }
+
   // The one typed getter. Returns nullopt when the key was never written or
   // holds a different type (ints widen to double, matching v1 GetDouble).
   // Lock-free: an optimistic seqlock copy of the slot cell; falls back to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <exception>
+#include <functional>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -11,12 +12,21 @@
 namespace wdg {
 
 namespace {
-// Retry delay after the executor queue rejected a submission (backpressure).
+// Retry delay after the executor queue rejected a submission (backpressure),
+// and after a cancelled batch sibling is pulled back for re-dispatch.
 constexpr DurationNs kBackpressureRetry = Ms(2);
 // Completions between budget refreshes for one checker. The inference scans
 // the latency reservoir (Percentile), so it runs every few reaps, not every
 // reap; deadlines still track the tail within a handful of intervals.
 constexpr int64_t kBudgetRefreshRuns = 16;
+constexpr int kMaxShards = 64;
+
+bool CasState(Execution& exec, ExecState from, ExecState to) {
+  uint8_t expected = static_cast<uint8_t>(from);
+  return exec.state.compare_exchange_strong(expected, static_cast<uint8_t>(to),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+}
 }  // namespace
 
 DurationNs InferDeadlineBudget(const Histogram& hist,
@@ -45,6 +55,10 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       {"wdg.driver.workers.abandoned", static_cast<double>(workers_abandoned)},
       {"wdg.driver.threads.spawned", static_cast<double>(threads_spawned)},
       {"wdg.driver.queue.rejections", static_cast<double>(queue_rejections)},
+      {"wdg.driver.shards", static_cast<double>(shards)},
+      {"wdg.driver.skipped_unchanged", static_cast<double>(skipped_unchanged)},
+      {"wdg.driver.batches", static_cast<double>(batches_dispatched)},
+      {"wdg.driver.wheel.entries", static_cast<double>(wheel_entries)},
       {"wdg.driver.autoscale.enabled", adaptive_pool ? 1.0 : 0.0},
       {"wdg.driver.autoscale.target_workers", static_cast<double>(target_workers)},
       {"wdg.driver.autoscale.scale_ups", static_cast<double>(scale_up_events)},
@@ -59,6 +73,21 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       {"wdg.driver.supervisor.kicks_withheld",
        static_cast<double>(supervisor_kicks_withheld)},
   };
+  // Per-shard gauges only when actually sharded, so the single-scheduler map
+  // stays free of redundant copies of the aggregate.
+  if (shard_views.size() > 1) {
+    for (size_t i = 0; i < shard_views.size(); ++i) {
+      const ShardView& view = shard_views[i];
+      const std::string prefix = StrFormat("wdg.driver.shard.%d.", static_cast<int>(i));
+      map[prefix + "pool.workers"] = static_cast<double>(view.workers);
+      map[prefix + "pool.busy"] = static_cast<double>(view.busy);
+      map[prefix + "queue.depth"] = static_cast<double>(view.queue_depth);
+      map[prefix + "dispatched"] = static_cast<double>(view.dispatched);
+      map[prefix + "completed"] = static_cast<double>(view.completed);
+      map[prefix + "wheel.entries"] = static_cast<double>(view.wheel_entries);
+      map[prefix + "skipped_unchanged"] = static_cast<double>(view.skipped_unchanged);
+    }
+  }
   for (const auto& [name, deadline_ns] : checker_deadline_ns) {
     map["wdg.driver.deadline." + name + "_ns"] = deadline_ns;
   }
@@ -67,6 +96,11 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
 
 WatchdogDriver::WatchdogDriver(Clock& clock, Options options)
     : clock_(clock), options_(std::move(options)) {
+  options_.shards = std::clamp(options_.shards, 1, kMaxShards);
+  options_.dispatch_batch = std::max(1, options_.dispatch_batch);
+  if (options_.wheel_tick <= 0) {
+    options_.wheel_tick = Ms(1);
+  }
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
   } else {
@@ -75,17 +109,49 @@ WatchdogDriver::WatchdogDriver(Clock& clock, Options options)
   }
   scheduler_lag_gauge_ = metrics_->GetGauge("wdg.driver.scheduler_lag_ns");
   pool_utilization_gauge_ = metrics_->GetGauge("wdg.driver.pool.utilization");
-  executor_ = std::make_unique<CheckerExecutor>(clock_, *metrics_, options_.executor);
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::string gauge_name =
+        options_.shards == 1
+            ? "wdg.driver.pool.workers"
+            : StrFormat("wdg.driver.shard.%d.pool.workers", s);
+    shard->executor = std::make_unique<CheckerExecutor>(clock_, *metrics_,
+                                                        options_.executor, gauge_name);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 WatchdogDriver::~WatchdogDriver() { (void)Stop(); }
 
+int WatchdogDriver::ShardFor(const Checker& checker) const {
+  const int shards = static_cast<int>(shards_.size());
+  const int affinity = checker.options().shard_affinity;
+  if (affinity >= 0) {
+    return affinity % shards;
+  }
+  return static_cast<int>(std::hash<std::string>{}(checker.name()) %
+                          static_cast<size_t>(shards));
+}
+
+std::optional<size_t> WatchdogDriver::FindSlotLocked(const std::string& checker_name) const {
+  const auto it = index_by_name_.find(checker_name);
+  if (it == index_by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 Checker* WatchdogDriver::AddChecker(std::unique_ptr<Checker> checker) {
   assert(!running() && "checkers must be registered before Start()");
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
   auto slot = std::make_unique<Slot>();
   slot->checker = std::move(checker);
+  slot->shard = ShardFor(*slot->checker);
   Checker* borrowed = slot->checker.get();
+  const size_t index = slots_.size();
+  index_by_name_.emplace(slot->checker->name(), index);  // first name wins
+  shards_[static_cast<size_t>(slot->shard)]->members.push_back(index);
   slots_.push_back(std::move(slot));
   return borrowed;
 }
@@ -99,15 +165,17 @@ Status WatchdogDriver::TryAddChecker(std::unique_ptr<Checker> checker) {
         StrFormat("cannot register checker '%s': driver already running",
                   checker->name().c_str()));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& slot : slots_) {
-    if (slot->checker->name() == checker->name()) {
-      return AlreadyExistsError(
-          StrFormat("checker '%s' is already registered", checker->name().c_str()));
-    }
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  if (index_by_name_.count(checker->name()) != 0) {
+    return AlreadyExistsError(
+        StrFormat("checker '%s' is already registered", checker->name().c_str()));
   }
   auto slot = std::make_unique<Slot>();
   slot->checker = std::move(checker);
+  slot->shard = ShardFor(*slot->checker);
+  const size_t index = slots_.size();
+  index_by_name_.emplace(slot->checker->name(), index);
+  shards_[static_cast<size_t>(slot->shard)]->members.push_back(index);
   slots_.push_back(std::move(slot));
   return Status::Ok();
 }
@@ -121,20 +189,20 @@ Status WatchdogDriver::SetValidationProbe(std::function<Status()> probe,
   if (timeout <= 0) {
     return InvalidArgumentError("validation probe timeout must be > 0");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
   options_.validation_probe = std::move(probe);
   options_.validation_timeout = timeout;
   return Status::Ok();
 }
 
 void WatchdogDriver::AddListener(FailureListener* listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(failures_mu_);
   listeners_.push_back(listener);
 }
 
 void WatchdogDriver::AddRecoveryAction(const std::string& component_prefix,
                                        RecoveryAction* action) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(failures_mu_);
   recovery_actions_.emplace_back(component_prefix, action);
 }
 
@@ -164,22 +232,38 @@ Status WatchdogDriver::Start() {
       return handshake;
     }
     last_supervisor_kick_ = clock_.NowNs();
-    completed_at_last_kick_ = executor_->completed_count();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const TimeNs now = clock_.NowNs();
-    for (size_t i = 0; i < slots_.size(); ++i) {
-      Slot& slot = *slots_[i];
-      slot.latency_hist = metrics_->GetHistogram(
-          "wdg.driver.checker." + slot.checker->name() + ".latency_ns");
-      // First pass immediately unless the checker asked for a staggered start.
-      ScheduleLocked(slot, i, now + slot.checker->options().initial_delay);
+    completed_at_last_kick_.assign(shards_.size(), 0);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      completed_at_last_kick_[s] = shards_[s]->executor->completed_count();
     }
   }
-  executor_->SetWakeScheduler([this] { wake_.Notify(); });
-  executor_->Start();
-  scheduler_ = JoiningThread([this] { SchedulerLoop(); });
+  {
+    std::lock_guard<std::mutex> reg_lock(reg_mu_);
+    const TimeNs now = clock_.NowNs();
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.wheel = std::make_unique<TimerWheel>(now, options_.wheel_tick);
+      for (const size_t slot_index : shard.members) {
+        Slot& slot = *slots_[slot_index];
+        if (options_.per_checker_metrics) {
+          slot.latency_hist = metrics_->GetHistogram(
+              "wdg.driver.checker." + slot.checker->name() + ".latency_ns");
+        }
+        // First pass immediately unless the checker asked for a staggered start.
+        ScheduleLocked(shard, slot, slot_index,
+                       now + slot.checker->options().initial_delay);
+      }
+    }
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    shard->executor->SetWakeScheduler([shard] { shard->wake.Notify(); });
+    shard->executor->Start();
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->scheduler = JoiningThread([this, s] { ShardLoop(s); });
+  }
   return Status::Ok();
 }
 
@@ -189,23 +273,32 @@ Status WatchdogDriver::Stop() {
   }
   stopped_ = true;
   stop_.Request();
-  wake_.Notify();
-  scheduler_.Join();
+  for (auto& shard : shards_) {
+    shard->wake.Notify();
+  }
+  for (auto& shard : shards_) {
+    shard->scheduler.Join();
+  }
   if (options_.release_on_stop) {
     options_.release_on_stop();
   }
   // Joins every pool worker, including abandoned ones (release_on_stop is
   // expected to have unblocked any injected hangs) and discards queued work.
-  executor_->Stop();
+  for (auto& shard : shards_) {
+    shard->executor->Stop();
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<PendingFailure> dropped;
-    FinalReapLocked(clock_.NowNs(), dropped);
+    const TimeNs now = clock_.NowNs();
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      FinalReapShardLocked(shard, now);
+    }
   }
   // Join validation-probe threads.
   std::vector<std::unique_ptr<ProbeRun>> probes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(failures_mu_);
     probes.swap(probe_drain_);
   }
   probes.clear();  // JoiningThread dtor joins
@@ -217,22 +310,45 @@ Status WatchdogDriver::Stop() {
   return Status::Ok();
 }
 
-void WatchdogDriver::ScheduleLocked(Slot& slot, size_t slot_index, TimeNs when) {
+void WatchdogDriver::ScheduleLocked(Shard& shard, Slot& slot, size_t slot_index,
+                                    TimeNs when) {
   slot.next_run = when;
-  heap_.push(HeapEntry{when, slot_index, ++slot.heap_gen});
+  // The new generation supersedes any older wheel entry for this slot; stale
+  // entries are dropped at pop time (lazy deletion — no wheel scan needed).
+  ++slot.sched_gen;
+  const uint64_t payload = (static_cast<uint64_t>(slot_index) << 32) |
+                           (slot.sched_gen & 0xffffffffULL);
+  shard.wheel->Schedule(when, payload);
 }
 
-void WatchdogDriver::LaunchLocked(Slot& slot, size_t slot_index, TimeNs now) {
-  auto exec = std::make_unique<Execution>();
-  exec->checker = slot.checker.get();
-  if (!executor_->Submit(exec.get())) {
-    // Queue full: backpressure. The check is late, never a new thread.
-    ScheduleLocked(slot, slot_index, now + kBackpressureRetry);
-    return;
+void WatchdogDriver::LaunchBatchLocked(Shard& shard, const std::vector<size_t>& launches,
+                                       TimeNs now) {
+  const size_t batch_size = static_cast<size_t>(options_.dispatch_batch);
+  std::vector<std::shared_ptr<Execution>> batch;
+  batch.reserve(std::min(launches.size(), batch_size));
+  for (size_t start = 0; start < launches.size(); start += batch_size) {
+    const size_t end = std::min(launches.size(), start + batch_size);
+    batch.clear();
+    for (size_t i = start; i < end; ++i) {
+      auto exec = std::make_shared<Execution>();
+      exec->checker = slots_[launches[i]]->checker.get();
+      batch.push_back(std::move(exec));
+    }
+    if (!shard.executor->SubmitBatch(batch)) {
+      // Queue full: backpressure. The checks are late, never a new thread.
+      for (size_t i = start; i < end; ++i) {
+        ScheduleLocked(shard, *slots_[launches[i]], launches[i],
+                       now + kBackpressureRetry);
+      }
+      continue;
+    }
+    for (size_t i = start; i < end; ++i) {
+      Slot& slot = *slots_[launches[i]];
+      ++slot.stats.runs;
+      slot.running = batch[i - start];
+      shard.inflight.push_back(launches[i]);
+    }
   }
-  ++slot.stats.runs;
-  slot.running = std::move(exec);
-  inflight_.push_back(slot_index);
 }
 
 DurationNs WatchdogDriver::SlotDeadlineLocked(const Slot& slot) const {
@@ -275,12 +391,55 @@ void WatchdogDriver::EmitLivenessSignature(Slot& slot, DurationNs deadline,
   pending.push_back(PendingFailure{std::move(sig), checker.type()});
 }
 
-void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
+bool WatchdogDriver::ShouldSkipUnchangedLocked(Slot& slot) {
+  const Checker& checker = *slot.checker;
+  const CheckContext* context = checker.subscription_context();
+  if (context == nullptr || checker.subscription_slots().empty()) {
+    return false;
+  }
+  // Sum of per-key epochs plus the readiness bit: any subscribed publish (or
+  // a readiness flip) changes the fingerprint. Epochs are monotone, so a
+  // matching fingerprint proves *no* subscribed key advanced since the last
+  // launch decision.
+  uint64_t fingerprint = context->ready() ? 1 : 0;
+  for (const uint32_t key_slot : checker.subscription_slots()) {
+    fingerprint += context->KeyEpoch(key_slot);
+  }
+  if (slot.sub_armed && fingerprint == slot.sub_fingerprint) {
+    return true;
+  }
+  slot.sub_fingerprint = fingerprint;
+  slot.sub_armed = true;
+  return false;
+}
+
+void WatchdogDriver::CancelBatchSiblingsLocked(Shard& shard, const ExecutionBatch* batch,
+                                               TimeNs now) {
+  // The hung execution's batch is abandoned: its not-yet-started siblings
+  // would otherwise wait out the hang on the parked worker. Pull every
+  // still-pending sibling back (kPending→kCancelled — the CAS loses cleanly
+  // if the worker claimed it first) and reschedule it shortly; the launch
+  // never happened, so it is not a run. Stale inflight entries are swept by
+  // the reap pass before the next launch step, so no slot appears twice.
+  for (const size_t slot_index : shard.inflight) {
+    Slot& slot = *slots_[slot_index];
+    if (!slot.running || slot.running->batch.get() != batch) {
+      continue;
+    }
+    if (CasState(*slot.running, ExecState::kPending, ExecState::kCancelled)) {
+      --slot.stats.runs;
+      slot.running.reset();
+      ScheduleLocked(shard, slot, slot_index, now + kBackpressureRetry);
+    }
+  }
+}
+
+void WatchdogDriver::ReapLocked(Shard& shard, Slot& slot, size_t slot_index, TimeNs now,
                                 std::vector<PendingFailure>& pending) {
   // Drain abandoned executions that have finally finished (their results are
   // stale and discarded; the liveness signature was already emitted).
   const bool was_suspended = !slot.drain.empty();
-  std::erase_if(slot.drain, [](const std::unique_ptr<Execution>& exec) {
+  std::erase_if(slot.drain, [](const std::shared_ptr<Execution>& exec) {
     std::lock_guard<std::mutex> exec_lock(exec->mu);
     return exec->done;
   });
@@ -288,13 +447,23 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
   if (!slot.running) {
     if (was_suspended && slot.drain.empty() && slot.enabled) {
       // The stuck execution drained: resume the suspended checker.
-      ScheduleLocked(slot, slot_index, std::max(slot.next_run, now));
+      ScheduleLocked(shard, slot, slot_index, std::max(slot.next_run, now));
     }
     return;
   }
 
   Execution& exec = *slot.running;
   Checker& checker = *slot.checker;
+  if (static_cast<ExecState>(exec.state.load(std::memory_order_acquire)) ==
+      ExecState::kCancelled) {
+    // Defensive: a sibling cancelled out of an abandoned batch is normally
+    // reclaimed by CancelBatchSiblingsLocked itself; reclaim here too in case
+    // a future path leaves one behind. Never dispatched → not a run.
+    --slot.stats.runs;
+    slot.running.reset();
+    ScheduleLocked(shard, slot, slot_index, now + kBackpressureRetry);
+    return;
+  }
   bool done;
   {
     std::lock_guard<std::mutex> exec_lock(exec.mu);
@@ -310,14 +479,20 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
     if (dispatched == 0 || now - dispatched < deadline) {
       return;
     }
-    if (executor_->Abandon(&exec)) {
+    if (CasState(exec, ExecState::kRunning, ExecState::kAbandoned)) {
       // Isolation (§3.2): the worker stays parked on the hung op, the pool
       // already spawned its replacement, and the hang *is* the detection.
+      // Winning the CAS makes this scheduler the sole owner of the abandon:
+      // the worker's close-out CAS now fails, so it stops after the hung
+      // execution even if it eventually unblocks.
+      shard.executor->AbandonBatch(*exec.batch);
       ++slot.stats.timeouts;
       timeouts_total_.fetch_add(1, std::memory_order_relaxed);
       EmitLivenessSignature(slot, deadline, pending);
+      const ExecutionBatch* batch = exec.batch.get();
       slot.drain.push_back(std::move(slot.running));
       slot.next_run = now + checker.options().interval;  // resumes after drain
+      CancelBatchSiblingsLocked(shard, batch, now);
       return;
     }
     // Abandon lost the race with completion: fall through and reap the
@@ -353,7 +528,7 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
     RefreshBudgetLocked(slot);
   }
   slot.running.reset();
-  ScheduleLocked(slot, slot_index, now + checker.options().interval);
+  ScheduleLocked(shard, slot, slot_index, now + checker.options().interval);
 
   if (crashed) {
     // Isolation (§3.2): the checker blew up, the watchdog did not. A crash
@@ -388,14 +563,13 @@ void WatchdogDriver::ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
   }
 }
 
-void WatchdogDriver::FinalReapLocked(TimeNs now, std::vector<PendingFailure>& pending) {
-  // Every pool worker has been joined: dispatched executions are complete,
-  // queued ones were discarded. Fold completed results into the stats so a
-  // healthy checker ends with runs == passes; signatures surfacing this late
-  // are dropped (the driver is stopping — nobody is listening for them).
-  (void)pending;
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    Slot& slot = *slots_[i];
+void WatchdogDriver::FinalReapShardLocked(Shard& shard, TimeNs now) {
+  // Every pool worker has been joined: claimed executions are complete,
+  // queued / cancelled ones never ran. Fold completed results into the stats
+  // so a healthy checker ends with runs == passes; signatures surfacing this
+  // late are dropped (the driver is stopping — nobody is listening for them).
+  for (const size_t slot_index : shard.members) {
+    Slot& slot = *slots_[slot_index];
     slot.drain.clear();  // stale by definition; already signatured
     if (!slot.running) {
       continue;
@@ -407,7 +581,8 @@ void WatchdogDriver::FinalReapLocked(TimeNs now, std::vector<PendingFailure>& pe
       done = exec.done;
     }
     if (!done) {
-      // Never dispatched (discarded from the queue at Stop): un-count the run.
+      // Never dispatched (discarded from the queue at Stop, or cancelled out
+      // of an abandoned batch): un-count the run.
       --slot.stats.runs;
       slot.running.reset();
       continue;
@@ -435,50 +610,67 @@ void WatchdogDriver::FinalReapLocked(TimeNs now, std::vector<PendingFailure>& pe
     }
     slot.running.reset();
   }
-  inflight_.clear();
+  shard.inflight.clear();
   (void)now;
 }
 
-void WatchdogDriver::SchedulerLoop() {
+void WatchdogDriver::ShardLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   while (!stop_.Requested()) {
     const TimeNs now = clock_.NowNs();
-    if (planned_wake_ != 0 && now > planned_wake_) {
-      scheduler_lag_gauge_->Set(static_cast<double>(now - planned_wake_));
+    if (shard.planned_wake != 0 && now > shard.planned_wake) {
+      scheduler_lag_gauge_->Set(static_cast<double>(now - shard.planned_wake));
     }
     std::vector<PendingFailure> pending;
     TimeNs next_deadline = now + options_.max_sleep;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(shard.mu);
       // (1) Reap in-flight executions: completions, hang deadlines, drains.
-      for (size_t i = 0; i < inflight_.size();) {
-        const size_t slot_index = inflight_[i];
+      for (size_t i = 0; i < shard.inflight.size();) {
+        const size_t slot_index = shard.inflight[i];
         Slot& slot = *slots_[slot_index];
-        ReapLocked(slot, slot_index, now, pending);
+        ReapLocked(shard, slot, slot_index, now, pending);
         if (!slot.running && slot.drain.empty()) {
-          inflight_[i] = inflight_.back();
-          inflight_.pop_back();
+          shard.inflight[i] = shard.inflight.back();
+          shard.inflight.pop_back();
         } else {
           ++i;
         }
       }
-      // (2) Launch everything due, straight off the deadline heap.
-      while (!heap_.empty() && heap_.top().when <= now) {
-        const HeapEntry entry = heap_.top();
-        heap_.pop();
-        Slot& slot = *slots_[entry.slot_index];
-        if (entry.gen != slot.heap_gen) {
+      // (2) Pop everything due off the wheel; filter stale generations
+      // (lazy deletion), disabled and suspended slots, and subscription
+      // skips; launch the rest in dispatch_batch-sized batches.
+      shard.due.clear();
+      shard.wheel->PopDue(now, &shard.due);
+      shard.launch_scratch.clear();
+      for (const uint64_t payload : shard.due) {
+        const size_t slot_index = static_cast<size_t>(payload >> 32);
+        const uint32_t gen = static_cast<uint32_t>(payload);
+        Slot& slot = *slots_[slot_index];
+        if (gen != static_cast<uint32_t>(slot.sched_gen)) {
           continue;  // superseded by a newer schedule for this slot
         }
         if (!slot.enabled || slot.running || !slot.drain.empty()) {
           continue;  // disabled slots reschedule on re-enable; suspended on drain
         }
-        LaunchLocked(slot, entry.slot_index, now);
+        if (ShouldSkipUnchangedLocked(slot)) {
+          // No subscribed context key advanced since the last launch: the
+          // component is dormant, the run would be a no-op. Skip straight to
+          // the next interval.
+          ++slot.stats.skipped_unchanged;
+          shard.skipped_unchanged.fetch_add(1, std::memory_order_relaxed);
+          ScheduleLocked(shard, slot, slot_index,
+                         now + slot.checker->options().interval);
+          continue;
+        }
+        shard.launch_scratch.push_back(slot_index);
       }
+      LaunchBatchLocked(shard, shard.launch_scratch, now);
       // (3) Sleep until the earliest of: next launch, next hang deadline.
-      if (!heap_.empty()) {
-        next_deadline = std::min(next_deadline, heap_.top().when);
+      if (const auto next_event = shard.wheel->NextEventTime()) {
+        next_deadline = std::min(next_deadline, *next_event);
       }
-      for (const size_t slot_index : inflight_) {
+      for (const size_t slot_index : shard.inflight) {
         Slot& slot = *slots_[slot_index];
         if (slot.running) {
           const TimeNs dispatched =
@@ -489,45 +681,60 @@ void WatchdogDriver::SchedulerLoop() {
           }
         }
       }
-      const int workers = executor_->worker_count();
-      pool_utilization_gauge_->Set(
-          workers == 0 ? 0.0
-                       : static_cast<double>(executor_->busy_count()) / workers);
       // One autoscaler evaluation per pass; the same wake cadence that bounds
       // deadline detection also bounds how fast the pool reacts to load.
-      executor_->MaybeScale(now);
+      shard.executor->MaybeScale(now);
     }
+    // Utilization across all shards' pools (lock-free counters), so the gauge
+    // reflects the fleet no matter which shard updated it last.
+    int workers = 0;
+    int busy = 0;
+    for (const auto& other : shards_) {
+      workers += other->executor->worker_count();
+      busy += other->executor->busy_count();
+    }
+    pool_utilization_gauge_->Set(
+        workers == 0 ? 0.0 : static_cast<double>(busy) / workers);
     for (PendingFailure& failure : pending) {
       HandleFailure(std::move(failure.signature), failure.checker_type, now);
     }
     const TimeNs before_sleep = clock_.NowNs();
     TimeNs wake_deadline = next_deadline;
-    if (supervision_.client != nullptr) {
+    if (shard_index == 0 && supervision_.client != nullptr) {
       MaybeKickSupervisor(before_sleep);
-      // Never sleep past the next kick due time — an idle heap must not
+      // Never sleep past the next kick due time — an idle wheel must not
       // read as a dead process.
       wake_deadline =
           std::min(wake_deadline, last_supervisor_kick_ + supervision_.kick_interval);
     }
-    planned_wake_ = wake_deadline;
+    shard.planned_wake = wake_deadline;
     if (wake_deadline > before_sleep) {
-      wake_.WaitFor(wake_deadline - before_sleep);
+      shard.wake.WaitFor(wake_deadline - before_sleep);
     }
   }
 }
 
 void WatchdogDriver::MaybeKickSupervisor(TimeNs now) {
+  // Runs on shard 0's scheduler thread only; last_supervisor_kick_ and
+  // completed_at_last_kick_ are its private state once the driver runs.
   if (now - last_supervisor_kick_ < supervision_.kick_interval) {
     return;
   }
-  const int64_t completed = executor_->completed_count();
-  const int64_t dispatched = executor_->dispatched_count();
-  // Liveness proof. Reaching this line proves the scheduler pass ran (the
-  // heap is advancing); the executor must additionally have either completed
-  // work since the last kick or be fully idle. Work in flight with zero
-  // completions is a wedged pool — withhold the kick and let wdogd see
-  // silence instead of a healthy heartbeat from a sick process.
-  const bool live = completed > completed_at_last_kick_ || dispatched == completed;
+  // Liveness proof. Reaching this line proves shard 0's scheduler pass ran
+  // (its wheel is advancing); every shard's executor must additionally have
+  // either completed work since the last kick or be fully idle. Work in
+  // flight with zero completions anywhere is a wedged pool — withhold the
+  // kick and let wdogd see silence instead of a healthy heartbeat from a
+  // sick process.
+  bool live = true;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const int64_t completed = shards_[s]->executor->completed_count();
+    const int64_t dispatched = shards_[s]->executor->dispatched_count();
+    if (!(completed > completed_at_last_kick_[s] || dispatched == completed)) {
+      live = false;
+      break;
+    }
+  }
   if (!live) {
     supervisor_kicks_withheld_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -535,7 +742,9 @@ void WatchdogDriver::MaybeKickSupervisor(TimeNs now) {
   // Advance the window even if the write fails: a dead supervisor pipe must
   // not turn the scheduler into a busy loop of retries.
   last_supervisor_kick_ = now;
-  completed_at_last_kick_ = completed;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    completed_at_last_kick_[s] = shards_[s]->executor->completed_count();
+  }
   if (supervision_.client->Kick().ok()) {
     supervisor_kicks_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -574,7 +783,7 @@ bool WatchdogDriver::RunValidationProbe() {
     clock_.SleepFor(Ms(1));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(failures_mu_);
     // Garbage-collect finished probe validations (joins are instant: done).
     std::erase_if(probe_drain_, [](const std::unique_ptr<ProbeRun>& p) {
       std::lock_guard<std::mutex> probe_lock(p->mu);
@@ -589,12 +798,12 @@ bool WatchdogDriver::RunValidationProbe() {
 }
 
 void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeNs now) {
-  // Called from the scheduler thread WITHOUT mu_ held.
+  // Called from a shard's scheduler thread WITHOUT shard.mu held.
   sig.detect_time = now;
   sig.checker_kind = CheckerTypeName(type);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(failures_mu_);
     const std::string key = sig.DedupKey();
     const auto it = dedup_last_.find(key);
     if (it != dedup_last_.end() && now - it->second < options_.dedup_window) {
@@ -624,7 +833,7 @@ void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeN
   std::vector<FailureListener*> listeners;
   std::vector<std::pair<std::string, RecoveryAction*>> actions;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(failures_mu_);
     failures_.push_back(sig);
     if (suppress) {
       return;
@@ -643,12 +852,12 @@ void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeN
 }
 
 std::vector<FailureSignature> WatchdogDriver::Failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(failures_mu_);
   return failures_;
 }
 
 std::optional<FailureSignature> WatchdogDriver::FirstFailure() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(failures_mu_);
   if (failures_.empty()) {
     return std::nullopt;
   }
@@ -660,7 +869,7 @@ bool WatchdogDriver::WaitForFailure(DurationNs timeout,
   const TimeNs deadline = clock_.NowNs() + timeout;
   while (clock_.NowNs() < deadline) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(failures_mu_);
       for (const FailureSignature& sig : failures_) {
         if (!pred || pred(sig)) {
           return true;
@@ -674,58 +883,68 @@ bool WatchdogDriver::WaitForFailure(DurationNs timeout,
 
 Status WatchdogDriver::TrySetCheckerEnabled(const std::string& checker_name,
                                             bool enabled) {
-  bool found = false;
+  size_t index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < slots_.size(); ++i) {
-      Slot& slot = *slots_[i];
-      if (slot.checker->name() != checker_name) {
-        continue;
-      }
-      found = true;
-      slot.enabled = enabled;
-      if (enabled && running() && !slot.running && slot.drain.empty()) {
-        // Resume immediately (suspended slots resume when their drain clears).
-        ScheduleLocked(slot, i, clock_.NowNs());
-      }
-      break;
+    std::lock_guard<std::mutex> reg_lock(reg_mu_);
+    const auto found = FindSlotLocked(checker_name);
+    if (!found.has_value()) {
+      return NotFoundError(
+          StrFormat("no checker named '%s' is registered", checker_name.c_str()));
+    }
+    index = *found;
+  }
+  Slot& slot = *slots_[index];
+  Shard& shard = *shards_[static_cast<size_t>(slot.shard)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    slot.enabled = enabled;
+    if (enabled && running() && shard.wheel != nullptr && !slot.running &&
+        slot.drain.empty()) {
+      // Resume immediately (suspended slots resume when their drain clears).
+      ScheduleLocked(shard, slot, index, clock_.NowNs());
     }
   }
-  if (!found) {
-    return NotFoundError(
-        StrFormat("no checker named '%s' is registered", checker_name.c_str()));
-  }
-  wake_.Notify();
+  shard.wake.Notify();
   return Status::Ok();
 }
 
 bool WatchdogDriver::IsCheckerEnabled(const std::string& checker_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& slot : slots_) {
-    if (slot->checker->name() == checker_name) {
-      return slot->enabled;
+  size_t index;
+  {
+    std::lock_guard<std::mutex> reg_lock(reg_mu_);
+    const auto found = FindSlotLocked(checker_name);
+    if (!found.has_value()) {
+      return false;
     }
+    index = *found;
   }
-  return false;
+  const Slot& slot = *slots_[index];
+  std::lock_guard<std::mutex> lock(shards_[static_cast<size_t>(slot.shard)]->mu);
+  return slot.enabled;
 }
 
 CheckerStats WatchdogDriver::StatsFor(const std::string& checker_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& slot : slots_) {
-    if (slot->checker->name() == checker_name) {
-      return slot->stats;
+  size_t index;
+  {
+    std::lock_guard<std::mutex> reg_lock(reg_mu_);
+    const auto found = FindSlotLocked(checker_name);
+    if (!found.has_value()) {
+      return CheckerStats{};
     }
+    index = *found;
   }
-  return CheckerStats{};
+  const Slot& slot = *slots_[index];
+  std::lock_guard<std::mutex> lock(shards_[static_cast<size_t>(slot.shard)]->mu);
+  return slot.stats;
 }
 
 int WatchdogDriver::checker_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
   return static_cast<int>(slots_.size());
 }
 
 std::vector<std::string> WatchdogDriver::CheckerNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
   std::vector<std::string> names;
   names.reserve(slots_.size());
   for (const auto& slot : slots_) {
@@ -734,35 +953,70 @@ std::vector<std::string> WatchdogDriver::CheckerNames() const {
   return names;
 }
 
+int WatchdogDriver::ShardOf(const std::string& checker_name) const {
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  const auto found = FindSlotLocked(checker_name);
+  if (!found.has_value()) {
+    return -1;
+  }
+  return slots_[*found]->shard;
+}
+
 DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
   DriverMetricsSnapshot snapshot;
-  snapshot.pool_workers = executor_->worker_count();
-  snapshot.busy_workers = executor_->busy_count();
-  snapshot.queue_depth = executor_->queue_depth();
-  snapshot.queue_capacity = executor_->queue_capacity();
+  snapshot.shards = static_cast<int>(shards_.size());
+  snapshot.shard_views.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const CheckerExecutor& executor = *shards_[s]->executor;
+    DriverMetricsSnapshot::ShardView& view = snapshot.shard_views[s];
+    view.workers = executor.worker_count();
+    view.busy = executor.busy_count();
+    view.queue_depth = executor.queue_depth();
+    view.dispatched = executor.dispatched_count();
+    view.completed = executor.completed_count();
+    view.skipped_unchanged =
+        shards_[s]->skipped_unchanged.load(std::memory_order_relaxed);
+    snapshot.pool_workers += view.workers;
+    snapshot.busy_workers += view.busy;
+    snapshot.queue_depth += view.queue_depth;
+    snapshot.queue_capacity += executor.queue_capacity();
+    snapshot.executions_dispatched += view.dispatched;
+    snapshot.executions_completed += view.completed;
+    snapshot.workers_abandoned += executor.workers_abandoned();
+    snapshot.threads_spawned += executor.threads_spawned();
+    snapshot.queue_rejections += executor.rejected_count();
+    snapshot.target_workers += executor.target_workers();
+    snapshot.scale_up_events += executor.scale_up_events();
+    snapshot.scale_down_events += executor.scale_down_events();
+    snapshot.workers_retired += executor.workers_retired();
+    snapshot.batches_dispatched += executor.batches_submitted();
+    snapshot.skipped_unchanged += view.skipped_unchanged;
+  }
   snapshot.pool_utilization =
       snapshot.pool_workers == 0
           ? 0.0
           : static_cast<double>(snapshot.busy_workers) / snapshot.pool_workers;
-  snapshot.executions_dispatched = executor_->dispatched_count();
-  snapshot.executions_completed = executor_->completed_count();
+  snapshot.adaptive_pool = shards_[0]->executor->adaptive();
   snapshot.timeouts = timeouts_total_.load(std::memory_order_relaxed);
   snapshot.crashes = crashes_total_.load(std::memory_order_relaxed);
-  snapshot.workers_abandoned = executor_->workers_abandoned();
-  snapshot.threads_spawned = executor_->threads_spawned();
-  snapshot.queue_rejections = executor_->rejected_count();
-  snapshot.adaptive_pool = executor_->adaptive();
-  snapshot.target_workers = executor_->target_workers();
-  snapshot.scale_up_events = executor_->scale_up_events();
-  snapshot.scale_down_events = executor_->scale_down_events();
-  snapshot.workers_retired = executor_->workers_retired();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& slot : slots_) {
-      snapshot.checker_deadline_ns[slot->checker->name()] =
-          static_cast<double>(SlotDeadlineLocked(*slot));
-      if (slot->deadline_budget == 0 && slot->checker->options().deadline_prior > 0) {
-        ++snapshot.deadline_priors_active;
+    std::lock_guard<std::mutex> reg_lock(reg_mu_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      snapshot.shard_views[s].wheel_entries =
+          shard.wheel != nullptr ? shard.wheel->size() : 0;
+      snapshot.wheel_entries += snapshot.shard_views[s].wheel_entries;
+      if (!options_.per_checker_metrics) {
+        continue;  // 100k fleets: no per-checker map
+      }
+      for (const size_t slot_index : shard.members) {
+        const Slot& slot = *slots_[slot_index];
+        snapshot.checker_deadline_ns[slot.checker->name()] =
+            static_cast<double>(SlotDeadlineLocked(slot));
+        if (slot.deadline_budget == 0 && slot.checker->options().deadline_prior > 0) {
+          ++snapshot.deadline_priors_active;
+        }
       }
     }
   }

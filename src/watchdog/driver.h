@@ -2,12 +2,18 @@
 //
 // The driver is split into two layers (docs/DRIVER.md):
 //
-//   scheduler — one thread that keeps every checker in a next-run min-heap
-//     and sleeps until the earliest deadline (a launch becoming due, or an
-//     in-flight execution reaching its hang deadline) instead of rescanning
-//     all slots on a fixed tick. Dispatches and completions wake it early.
-//   executor  — a fixed pool of long-lived workers (src/watchdog/executor.h)
-//     fed by a bounded queue; a full queue is backpressure, not thread growth.
+//   scheduler — one thread *per shard* that keeps the shard's checkers in a
+//     hierarchical timer wheel (O(1) schedule, lazy cancellation by
+//     generation counters) and sleeps until the earliest deadline (a launch
+//     becoming due, or an in-flight execution reaching its hang deadline)
+//     instead of rescanning all slots on a fixed tick. Dispatches and
+//     completions wake it early. Checkers are assigned to shards by name
+//     hash or explicit CheckerOptions::shard_affinity, so 10⁵ checkers split
+//     into independent scheduling domains with no shared hot lock.
+//   executor  — per shard, a pool of long-lived workers
+//     (src/watchdog/executor.h) fed by a bounded queue; a full queue is
+//     backpressure, not thread growth. Due cheap checks are dispatched in
+//     *batches*: one pool task claims and runs several executions serially.
 //
 // It is the isolation boundary of §3.2:
 //   - a checker that *throws* becomes a CHECKER_CRASH signature, never an
@@ -16,16 +22,25 @@
 //     signature pinpointing the op it was executing (fate sharing turns the
 //     hang itself into the detection); its worker is abandoned — parked off
 //     the pool and replaced so capacity never shrinks — and the checker is
-//     suspended until the stuck execution drains. The driver never blocks;
+//     suspended until the stuck execution drains. Unstarted batch siblings
+//     are cancelled and re-dispatched on a healthy worker. The driver never
+//     blocks;
 //   - repeated identical signatures are deduplicated within a window so a
 //     persistent fault doesn't "bark" once per interval;
 //   - optionally (§5.1), a mimic-detected fault is escalated to a probe
 //     checker to confirm client-visible impact before alarming.
 //
+// Subscription epochs make a *comprehensive* fleet cheap: a checker that
+// declared its context keys (Checker::SubscribeKeys) is skipped before
+// dispatch when none of them advanced since its last run — dormant
+// components cost a fingerprint compare per interval, not an execution
+// (wdg.driver.skipped_unchanged counts them).
+//
 // The driver also watches itself: per-checker latency histograms, the
 // enqueue→dispatch queue-delay histogram, scheduler lag, and pool utilization
-// are exported through a MetricsRegistry and summarized by DriverMetrics(),
-// so a signal checker can monitor the watchdog's own health.
+// are exported through a MetricsRegistry and summarized by DriverMetrics()
+// (aggregated across shards, with per-shard views), so a signal checker can
+// monitor the watchdog's own health.
 #pragma once
 
 #include <atomic>
@@ -34,8 +49,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -44,6 +59,7 @@
 #include "src/watchdog/checker.h"
 #include "src/watchdog/executor.h"
 #include "src/watchdog/failure.h"
+#include "src/watchdog/timer_wheel.h"
 
 namespace wdg {
 
@@ -79,6 +95,9 @@ struct CheckerStats {
   int64_t context_not_ready = 0;
   int64_t timeouts = 0;
   int64_t crashes = 0;
+  // Scheduled runs skipped before dispatch because no subscribed context key
+  // advanced (not counted in `runs`).
+  int64_t skipped_unchanged = 0;
   DurationNs total_latency = 0;      // dispatch → completion
   DurationNs total_queue_delay = 0;  // enqueue → dispatch
 };
@@ -108,8 +127,11 @@ DurationNs InferDeadlineBudget(const Histogram& hist,
 
 // Snapshot of the driver's self-observability metrics. Signal checkers can
 // sample these to watch the watchdog itself (e.g. alarm on queue delay).
+// With a sharded driver the scalar fields aggregate across shards (sums;
+// utilization is the aggregate ratio) and `shard_views` carries the
+// per-shard breakdown.
 struct DriverMetricsSnapshot {
-  int pool_workers = 0;  // currently active workers (varies when adaptive)
+  int pool_workers = 0;  // currently active workers, summed across shards
   int busy_workers = 0;
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
@@ -122,6 +144,12 @@ struct DriverMetricsSnapshot {
   int64_t workers_abandoned = 0;   // hung workers parked off the pool
   int64_t threads_spawned = 0;     // pool threads ever created (incl. respawns)
   int64_t queue_rejections = 0;    // backpressure: submit hit a full queue
+
+  // Fleet-scale scheduling.
+  int shards = 1;
+  int64_t skipped_unchanged = 0;   // runs skipped: subscribed keys unchanged
+  int64_t batches_dispatched = 0;  // pool tasks submitted (≥1 execution each)
+  size_t wheel_entries = 0;        // scheduled wheel entries across shards
 
   // Autoscaler decisions (zero when the executor is not adaptive).
   bool adaptive_pool = false;
@@ -139,9 +167,22 @@ struct DriverMetricsSnapshot {
   int64_t supervisor_kicks = 0;           // kicks actually sent to wdogd
   int64_t supervisor_kicks_withheld = 0;  // due kicks withheld: liveness unproven
 
+  // Per-shard breakdown (one entry per shard, index == shard id).
+  struct ShardView {
+    int workers = 0;
+    int busy = 0;
+    size_t queue_depth = 0;
+    int64_t dispatched = 0;
+    int64_t completed = 0;
+    size_t wheel_entries = 0;
+    int64_t skipped_unchanged = 0;
+  };
+  std::vector<ShardView> shard_views;
+
   // Effective per-checker hang deadlines (ns). Before any histogram-derived
   // budget takes over this is the checker's static-analysis deadline prior
-  // when one was generated, else its static timeout.
+  // when one was generated, else its static timeout. Empty when the driver
+  // runs with per_checker_metrics = false (100k-checker fleets).
   std::map<std::string, double> checker_deadline_ns;
   // Checkers whose effective deadline currently comes from a static-analysis
   // prior (deadline_prior set, histogram budget not yet active).
@@ -155,12 +196,13 @@ class WdogClient;
 
 // Supervised mode (docs/SUPERVISOR.md): the driver becomes a client of the
 // out-of-process wdogd supervisor. Start() performs the subscribe handshake;
-// the scheduler thread then kicks every kick_interval — but only while the
-// driver is *provably live*: the pass itself proves the deadline heap is
-// advancing, and the kick is withheld unless the executor either completed
-// work since the last kick or is fully idle. A wedged pool (work dispatched,
-// nothing completing) or a dead scheduler goes silent and gets escalated —
-// closing the §3.3 "fault silently disables the watchdog" loop one level up.
+// shard 0's scheduler thread then kicks every kick_interval — but only while
+// the driver is *provably live*: the pass itself proves shard 0's wheel is
+// advancing, and the kick is withheld unless EVERY shard's executor either
+// completed work since the last kick or is fully idle. A wedged pool on any
+// shard (work dispatched, nothing completing) or a dead shard-0 scheduler
+// goes silent and gets escalated — closing the §3.3 "fault silently disables
+// the watchdog" loop one level up.
 struct DriverSupervision {
   WdogClient* client = nullptr;  // borrowed; null == unsupervised
   std::string name = "wdg-driver";
@@ -182,7 +224,8 @@ struct WatchdogDriverOptions {
   DurationNs max_sleep = Ms(250);
   DurationNs dedup_window = Sec(2);
   // Executor pool sizing: worker count, submission-queue capacity, and the
-  // optional utilization-driven autoscaler.
+  // optional utilization-driven autoscaler. With shards > 1 every shard gets
+  // its own pool with this configuration, so total workers = shards × workers.
   CheckerExecutorOptions executor;
   // Histogram-informed per-checker hang deadlines (off by default: every
   // checker keeps its static CheckerOptions::timeout).
@@ -199,6 +242,27 @@ struct WatchdogDriverOptions {
   // Invoked at Stop() before joining stuck executions — campaigns pass
   // [&] { injector.ClearAll(); } so abandoned checkers always drain.
   std::function<void()> release_on_stop;
+
+  // --- fleet-scale scheduling (docs/DRIVER.md) ---------------------------
+  // Independent scheduler shards, each with its own timer wheel, mutex,
+  // scheduler thread, and executor pool. 1 (default) preserves the classic
+  // single-scheduler behavior exactly; 10⁴–10⁵ checker fleets want 4–16.
+  // Clamped to [1, 64].
+  int shards = 1;
+  // Timer-wheel granularity: due times round *up* to this, so it bounds both
+  // added scheduling latency and the per-pass tick work. Must divide well
+  // into typical intervals; 1 ms suits Ms(10)..Sec(n) checker intervals.
+  DurationNs wheel_tick = Ms(1);
+  // Executions handed to one pool task at a time. 1 (default) dispatches
+  // exactly like the classic driver; cheap mimic fleets amortize the queue
+  // round-trip with 8–16. Hang isolation is preserved at any batch size:
+  // abandoning a hung execution cancels the batch's unstarted siblings for
+  // immediate re-dispatch.
+  int dispatch_batch = 1;
+  // Per-checker latency histograms + deadline map in DriverMetrics(). On by
+  // default; 10⁵-checker fleets turn it off (the shared queue-delay and
+  // aggregate counters remain).
+  bool per_checker_metrics = true;
 };
 
 class WatchdogDriver {
@@ -260,6 +324,9 @@ class WatchdogDriver {
   int64_t deduped_count() const { return deduped_.load(); }
   int64_t suppressed_count() const { return suppressed_.load(); }
   std::vector<std::string> CheckerNames() const;
+  // The shard a checker was assigned to (affinity % shards, or name hash);
+  // -1 for an unknown name. Exposed for tests and placement debugging.
+  int ShardOf(const std::string& checker_name) const;
 
   // --- driver observability --------------------------------------------
   DriverMetricsSnapshot DriverMetrics() const;
@@ -272,22 +339,21 @@ class WatchdogDriver {
   struct Slot {
     std::unique_ptr<Checker> checker;
     bool enabled = true;
+    int shard = 0;  // fixed at registration
     TimeNs next_run = 0;
-    uint64_t heap_gen = 0;  // matches the newest live heap entry for the slot
-    std::unique_ptr<Execution> running;             // in-deadline execution
-    std::vector<std::unique_ptr<Execution>> drain;  // abandoned, still executing
+    uint64_t sched_gen = 0;  // matches the newest live wheel entry for the slot
+    std::shared_ptr<Execution> running;             // in-deadline execution
+    std::vector<std::shared_ptr<Execution>> drain;  // abandoned, still executing
     CheckerStats stats;
     Histogram* latency_hist = nullptr;  // wdg.driver.checker.<name>.latency_ns
     // Histogram-derived hang deadline; 0 until the budget inference has enough
     // samples, meaning "use the checker's static timeout".
     DurationNs deadline_budget = 0;
-  };
-
-  struct HeapEntry {
-    TimeNs when = 0;
-    size_t slot_index = 0;
-    uint64_t gen = 0;
-    bool operator>(const HeapEntry& other) const { return when > other.when; }
+    // Subscription-epoch baseline: the key-epoch fingerprint observed at the
+    // last launch decision. A matching fingerprint at the next due time means
+    // no subscribed key advanced → skip the run.
+    uint64_t sub_fingerprint = 0;
+    bool sub_armed = false;
   };
 
   struct PendingFailure {
@@ -295,55 +361,91 @@ class WatchdogDriver {
     CheckerType checker_type;
   };
 
-  void SchedulerLoop();
-  // Pushes a heap entry for `slot` at `when` (mu_ held).
-  void ScheduleLocked(Slot& slot, size_t slot_index, TimeNs when);
-  // Submits the slot's next execution to the pool (mu_ held). On
-  // backpressure the launch is retried at now + backoff.
-  void LaunchLocked(Slot& slot, size_t slot_index, TimeNs now);
-  // Consumes completions / deadline misses for one in-flight slot (mu_
+  // One independent scheduling domain. `mu` guards the shard's wheel,
+  // inflight list, and every member slot's mutable state; nothing here is
+  // ever touched under another shard's mutex.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<TimerWheel> wheel;  // created at Start (origin = now)
+    std::vector<size_t> members;        // slot indices; frozen at Start
+    std::vector<size_t> inflight;       // members with running executions/drains
+    std::unique_ptr<CheckerExecutor> executor;
+    Event wake;  // dispatches, completions, and state changes wake the shard
+    JoiningThread scheduler;
+    TimeNs planned_wake = 0;  // scheduler-thread state
+    std::atomic<int64_t> skipped_unchanged{0};
+    std::vector<uint64_t> due;          // scheduler-thread scratch
+    std::vector<size_t> launch_scratch; // scheduler-thread scratch
+  };
+
+  void ShardLoop(size_t shard_index);
+  // Pushes a wheel entry for `slot` at `when` (shard.mu held). The previous
+  // entry, if any, is superseded lazily via the generation counter.
+  void ScheduleLocked(Shard& shard, Slot& slot, size_t slot_index, TimeNs when);
+  // Submits due slots to the shard's pool in dispatch_batch-sized batches
+  // (shard.mu held). On backpressure the whole batch is retried at
+  // now + backoff.
+  void LaunchBatchLocked(Shard& shard, const std::vector<size_t>& launches, TimeNs now);
+  // Consumes completions / deadline misses for one in-flight slot (shard.mu
   // held); appends failures for processing outside the lock.
-  void ReapLocked(Slot& slot, size_t slot_index, TimeNs now,
+  void ReapLocked(Shard& shard, Slot& slot, size_t slot_index, TimeNs now,
                   std::vector<PendingFailure>& pending);
+  // After abandoning a hung execution's batch: cancel its not-yet-started
+  // siblings (kPending→kCancelled) and reschedule them shortly (shard.mu held).
+  void CancelBatchSiblingsLocked(Shard& shard, const ExecutionBatch* batch, TimeNs now);
   // Collects results that finished right before Stop, without declaring new
-  // timeouts (mu_ held).
-  void FinalReapLocked(TimeNs now, std::vector<PendingFailure>& pending);
-  // Dedup → validate → record → notify. Takes mu_ only for short sections, so
-  // listeners may call back into driver accessors safely.
+  // timeouts (shard.mu held).
+  void FinalReapShardLocked(Shard& shard, TimeNs now);
+  // True when the slot subscribes to context keys and none advanced since the
+  // last launch decision; updates the baseline fingerprint otherwise
+  // (shard.mu held).
+  bool ShouldSkipUnchangedLocked(Slot& slot);
+  // Dedup → validate → record → notify. Takes failures_mu_ only for short
+  // sections, so listeners may call back into driver accessors safely.
   void HandleFailure(FailureSignature sig, CheckerType type, TimeNs now);
   // Bounded run of the validation probe; hang counts as confirmed impact.
-  // Called WITHOUT mu_ held.
+  // Called WITHOUT locks held.
   bool RunValidationProbe();
   void EmitLivenessSignature(Slot& slot, DurationNs deadline,
                              std::vector<PendingFailure>& pending);
   // The hang deadline currently in force for a slot: its inferred budget, or
   // the checker's static timeout while the budget is cold / opted out.
   DurationNs SlotDeadlineLocked(const Slot& slot) const;
-  // Supervised-mode heartbeat, run once per scheduler pass (no mu_ held):
-  // kicks wdogd when due and the liveness proof holds.
+  // Supervised-mode heartbeat, run once per shard-0 pass (no locks held):
+  // kicks wdogd when due and the all-shards liveness proof holds.
   void MaybeKickSupervisor(TimeNs now);
-  // Refreshes the slot's inferred budget from its latency histogram (mu_ held;
-  // called every few completions so the Percentile scan stays off the per-run
-  // hot path).
+  // Refreshes the slot's inferred budget from its latency histogram (shard.mu
+  // held; called every few completions so the Percentile scan stays off the
+  // per-run hot path).
   void RefreshBudgetLocked(Slot& slot);
+  // Shard assignment for a checker about to be registered.
+  int ShardFor(const Checker& checker) const;
+  // Slot index for a name, under reg_mu_; nullopt when unknown.
+  std::optional<size_t> FindSlotLocked(const std::string& checker_name) const;
 
   Clock& clock_;
   Options options_;
   std::atomic<bool> running_{false};
   StopFlag stop_;
-  Event wake_;  // dispatches, completions, and state changes wake the scheduler
-  JoiningThread scheduler_;
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
   Gauge* scheduler_lag_gauge_ = nullptr;
   Gauge* pool_utilization_gauge_ = nullptr;
-  std::unique_ptr<CheckerExecutor> executor_;
 
-  mutable std::mutex mu_;
+  // Registration plane: slots_ grows only before Start() (accessors take
+  // reg_mu_ against concurrent registration; scheduler threads read the
+  // frozen vector without it). Slot *state* is guarded by the owning shard's
+  // mutex. Lock order: reg_mu_ → shard.mu; never the reverse.
+  mutable std::mutex reg_mu_;
   std::vector<std::unique_ptr<Slot>> slots_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
-  std::vector<size_t> inflight_;  // slot indices with running executions/drains
+  std::unordered_map<std::string, size_t> index_by_name_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Failure plane (results, dedup, listeners): its own mutex so failure
+  // handling on one shard never contends with scheduling on another.
+  mutable std::mutex failures_mu_;
   std::vector<FailureListener*> listeners_;
   std::vector<std::pair<std::string, RecoveryAction*>> recovery_actions_;
   std::vector<FailureSignature> failures_;
@@ -356,17 +458,16 @@ class WatchdogDriver {
     bool failed = false;
     JoiningThread thread;
   };
-  std::vector<std::unique_ptr<ProbeRun>> probe_drain_;
+  std::vector<std::unique_ptr<ProbeRun>> probe_drain_;  // failures_mu_
 
-  // Supervised mode (scheduler-thread state except the counters).
+  // Supervised mode (shard-0 scheduler-thread state except the counters).
   DriverSupervision supervision_;
   bool stopped_ = false;  // a stopped driver cannot be restarted
   TimeNs last_supervisor_kick_ = 0;
-  int64_t completed_at_last_kick_ = 0;
+  std::vector<int64_t> completed_at_last_kick_;  // per shard
   std::atomic<int64_t> supervisor_kicks_{0};
   std::atomic<int64_t> supervisor_kicks_withheld_{0};
 
-  TimeNs planned_wake_ = 0;  // 0 = no deadline was armed for the last sleep
   std::atomic<int64_t> deduped_{0};
   std::atomic<int64_t> suppressed_{0};
   std::atomic<int64_t> timeouts_total_{0};

@@ -22,14 +22,23 @@ CheckerExecutorOptions Normalized(CheckerExecutorOptions options) {
   return options;
 }
 
+bool CasState(Execution& exec, ExecState from, ExecState to) {
+  uint8_t expected = static_cast<uint8_t>(from);
+  return exec.state.compare_exchange_strong(expected, static_cast<uint8_t>(to),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+}
+
 }  // namespace
 
-CheckerExecutor::CheckerExecutor(Clock& clock, MetricsRegistry& metrics, Options options)
+CheckerExecutor::CheckerExecutor(Clock& clock, MetricsRegistry& metrics,
+                                 Options options,
+                                 const std::string& workers_gauge_name)
     : clock_(clock),
       options_(Normalized(std::move(options))),
       pool_(WorkerPool::Options{options_.workers, options_.queue_capacity}),
       queue_delay_hist_(metrics.GetHistogram("wdg.driver.queue_delay_ns")),
-      workers_gauge_(metrics.GetGauge("wdg.driver.pool.workers")) {
+      workers_gauge_(metrics.GetGauge(workers_gauge_name)) {
   workers_gauge_->Set(static_cast<double>(options_.workers));
 }
 
@@ -43,19 +52,36 @@ void CheckerExecutor::SetWakeScheduler(std::function<void()> wake) {
   wake_scheduler_ = std::move(wake);
 }
 
-bool CheckerExecutor::Submit(Execution* exec) {
-  exec->enqueue_time = clock_.NowNs();
-  std::optional<uint64_t> ticket = pool_.TrySubmit([this, exec] { RunOnWorker(exec); });
+bool CheckerExecutor::SubmitBatch(const std::vector<std::shared_ptr<Execution>>& batch) {
+  if (batch.empty()) {
+    return true;
+  }
+  auto control = std::make_shared<ExecutionBatch>();
+  const TimeNs enqueued = clock_.NowNs();
+  for (const auto& exec : batch) {
+    exec->enqueue_time = enqueued;
+    exec->batch = control;
+  }
+  // The task owns a reference to every execution, so the scheduler reclaiming
+  // a cancelled sibling (or reaping a completion) can never free one the
+  // worker still touches.
+  std::optional<uint64_t> ticket = pool_.TrySubmit(
+      [this, control, work = batch] { RunBatch(work, control.get()); });
   if (!ticket.has_value()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    // Queue full: every execution in the batch is a rejected (late) check.
+    rejected_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
     return false;
   }
-  exec->ticket = *ticket;
+  // Safe unsynchronized: only the submitting scheduler thread reads the
+  // ticket (in AbandonBatch), and the worker never touches it.
+  control->ticket = *ticket;
+  batches_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-bool CheckerExecutor::Abandon(Execution* exec) {
-  return pool_.AbandonIfRunning(exec->ticket);
+bool CheckerExecutor::AbandonBatch(ExecutionBatch& batch) {
+  batch.abandoned.store(true, std::memory_order_release);
+  return pool_.AbandonIfRunning(batch.ticket);
 }
 
 void CheckerExecutor::MaybeScale(TimeNs now) {
@@ -104,11 +130,38 @@ void CheckerExecutor::MaybeScale(TimeNs now) {
   low_utilization_streak_ = 0;
 }
 
-void CheckerExecutor::RunOnWorker(Execution* exec) {
+void CheckerExecutor::RunBatch(const std::vector<std::shared_ptr<Execution>>& batch,
+                               ExecutionBatch* control) {
+  for (const auto& exec : batch) {
+    if (control->abandoned.load(std::memory_order_acquire)) {
+      // The scheduler abandoned this batch while a previous execution hung;
+      // the remaining siblings were cancelled for re-dispatch. This thread is
+      // already parked off the pool — just stop doing work.
+      break;
+    }
+    if (!CasState(*exec, ExecState::kPending, ExecState::kRunning)) {
+      continue;  // cancelled by the scheduler (or defensively: never ours)
+    }
+    RunOne(*exec);
+    const bool completed_cleanly = CasState(*exec, ExecState::kRunning, ExecState::kDone);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (wake_scheduler_) {
+      wake_scheduler_();
+    }
+    if (!completed_cleanly) {
+      // The scheduler claimed this execution as hung (we finished barely past
+      // the deadline) and abandoned the batch ticket: the pool has respawned
+      // past this thread, so it must not run the remaining executions.
+      break;
+    }
+  }
+}
+
+void CheckerExecutor::RunOne(Execution& exec) {
   const TimeNs dispatched_at = clock_.NowNs();
-  exec->dispatch_time.store(dispatched_at, std::memory_order_release);
+  exec.dispatch_time.store(dispatched_at, std::memory_order_release);
   dispatched_.fetch_add(1, std::memory_order_relaxed);
-  queue_delay_hist_->Record(static_cast<double>(dispatched_at - exec->enqueue_time));
+  queue_delay_hist_->Record(static_cast<double>(dispatched_at - exec.enqueue_time));
   if (wake_scheduler_) {
     wake_scheduler_();  // the scheduler can now arm this execution's deadline
   }
@@ -117,7 +170,7 @@ void CheckerExecutor::RunOnWorker(Execution* exec) {
   bool crashed = false;
   std::string what;
   try {
-    result = exec->checker->Check();
+    result = exec.checker->Check();
   } catch (const std::exception& e) {
     crashed = true;
     what = e.what();
@@ -127,16 +180,12 @@ void CheckerExecutor::RunOnWorker(Execution* exec) {
   }
 
   {
-    std::lock_guard<std::mutex> exec_lock(exec->mu);
-    exec->result = std::move(result);
-    exec->crashed = crashed;
-    exec->crash_what = std::move(what);
-    exec->complete_time = clock_.NowNs();
-    exec->done = true;
-  }
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  if (wake_scheduler_) {
-    wake_scheduler_();
+    std::lock_guard<std::mutex> exec_lock(exec.mu);
+    exec.result = std::move(result);
+    exec.crashed = crashed;
+    exec.crash_what = std::move(what);
+    exec.complete_time = clock_.NowNs();
+    exec.done = true;
   }
 }
 

@@ -6,13 +6,21 @@
 // warns a watchdog must not impose. The executor replaces that with a fixed
 // pool of long-lived workers fed by a bounded queue:
 //
-//   - Submit() is non-blocking; a full queue is *backpressure* and the
+//   - SubmitBatch() is non-blocking; a full queue is *backpressure* and the
 //     scheduler simply retries at its next wake, so a slow pool throttles
 //     checking instead of ballooning threads;
+//   - a batch of due executions is one pool task: the worker claims and runs
+//     them serially, so a fleet of cheap mimic checks pays one queue
+//     round-trip per batch instead of one per check (docs/DRIVER.md,
+//     "Batched dispatch");
 //   - a worker stuck past its checker's deadline is abandoned via
 //     WorkerPool::AbandonIfRunning — the thread leaves the pool (parked on a
 //     drain list until Stop) and a replacement is spawned, preserving §3.2:
-//     the hang is the detection, and the driver never blocks on it;
+//     the hang is the detection, and the driver never blocks on it. The
+//     scheduler claims the hang through the execution's state machine
+//     (kRunning→kAbandoned, exactly once) and cancels the batch's not-yet-
+//     started siblings (kPending→kCancelled) so they re-dispatch promptly on
+//     a healthy worker instead of waiting out the hang;
 //   - a checker that throws is caught on the worker and surfaces as a
 //     CHECKER_CRASH signature, never an exception in the main program;
 //   - every dispatch records queue delay (enqueue→dispatch) so the watchdog
@@ -26,8 +34,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
@@ -36,17 +46,40 @@
 
 namespace wdg {
 
-// One in-flight checker execution, shared between the scheduler (which owns
-// it via the checker's slot) and the worker that runs it. The worker fills
-// the result fields under `mu` and flips `done` last; the scheduler reads
-// them only after observing done == true.
+// Lifecycle of one execution inside its batch. The worker CASes
+// kPending→kRunning to claim and kRunning→kDone to close out; the scheduler
+// CASes kRunning→kAbandoned to claim a hang (exactly once — whoever wins the
+// CAS owns the transition) and kPending→kCancelled to pull an unstarted
+// sibling out of an abandoned batch for re-dispatch.
+enum class ExecState : uint8_t {
+  kPending = 0,
+  kRunning,
+  kDone,
+  kCancelled,
+  kAbandoned,
+};
+
+// Shared control block of one dispatched batch: the pool ticket of the batch
+// task plus the abandon latch the worker polls between executions. Written by
+// the shard's scheduler thread only (via AbandonBatch).
+struct ExecutionBatch {
+  uint64_t ticket = 0;
+  std::atomic<bool> abandoned{false};
+};
+
+// One in-flight checker execution, shared between the scheduler (which holds
+// a reference via the checker's slot) and the worker running its batch (which
+// holds one via the batch task's capture, so neither side can free it under
+// the other). The worker fills the result fields under `mu` and flips `done`
+// last; the scheduler reads them only after observing done == true.
 struct Execution {
   Checker* checker = nullptr;
   TimeNs enqueue_time = 0;
   // 0 until a worker picks the execution up; the deadline for hang
   // abandonment counts from this point (execution time, not queue time).
   std::atomic<TimeNs> dispatch_time{0};
-  uint64_t ticket = 0;
+  std::atomic<uint8_t> state{static_cast<uint8_t>(ExecState::kPending)};
+  std::shared_ptr<ExecutionBatch> batch;
 
   std::mutex mu;
   bool done = false;
@@ -86,7 +119,12 @@ class CheckerExecutor {
  public:
   using Options = CheckerExecutorOptions;
 
-  CheckerExecutor(Clock& clock, MetricsRegistry& metrics, Options options);
+  // `workers_gauge_name` lets a sharded driver give each shard's pool its own
+  // gauge (wdg.driver.shard.<i>.pool.workers) while all shards share the one
+  // queue-delay histogram, so the p99 the autoscaler and DriverMetrics() see
+  // stays a process-global number.
+  CheckerExecutor(Clock& clock, MetricsRegistry& metrics, Options options,
+                  const std::string& workers_gauge_name = "wdg.driver.pool.workers");
   ~CheckerExecutor();
 
   CheckerExecutor(const CheckerExecutor&) = delete;
@@ -102,13 +140,19 @@ class CheckerExecutor {
   // scheduler can re-arm its deadline wait. Set before Start().
   void SetWakeScheduler(std::function<void()> wake);
 
-  // Non-blocking. False when the queue is full (backpressure) or the
-  // executor is stopped; the scheduler retries at its next wake.
-  bool Submit(Execution* exec);
+  // Submits `batch` as one pool task; the worker claims and runs the
+  // executions serially in order. Non-blocking: false when the queue is full
+  // (backpressure — counted once per execution) or the executor is stopped;
+  // the scheduler retries at its next wake. On success the batch's shared
+  // control block is installed on every execution.
+  bool SubmitBatch(const std::vector<std::shared_ptr<Execution>>& batch);
 
-  // Abandon the worker running `exec` if it is still running. False means
-  // the execution already completed — re-check exec->done instead.
-  bool Abandon(Execution* exec);
+  // Parks the worker running `batch` off the pool (a replacement is spawned)
+  // and latches the batch abandoned so the worker, if it ever unblocks,
+  // skips the remaining executions. Called by the scheduler after it won the
+  // hung execution's kRunning→kAbandoned CAS, so it runs at most once per
+  // batch. False when the batch task already finished.
+  bool AbandonBatch(ExecutionBatch& batch);
 
   // One autoscaler evaluation. Called by the scheduler once per loop pass;
   // no-op unless options.adaptive. Abandoned-worker respawns already count
@@ -130,21 +174,27 @@ class CheckerExecutor {
   int64_t dispatched_count() const { return dispatched_.load(std::memory_order_relaxed); }
   int64_t completed_count() const { return completed_.load(std::memory_order_relaxed); }
   int64_t rejected_count() const { return rejected_.load(std::memory_order_relaxed); }
+  int64_t batches_submitted() const { return batches_.load(std::memory_order_relaxed); }
   int64_t scale_up_events() const { return scale_ups_.load(std::memory_order_relaxed); }
   int64_t scale_down_events() const { return scale_downs_.load(std::memory_order_relaxed); }
 
  private:
-  void RunOnWorker(Execution* exec);
+  // Worker body for one batch task: claim → run → close out, serially.
+  void RunBatch(const std::vector<std::shared_ptr<Execution>>& batch,
+                ExecutionBatch* control);
+  // Runs one claimed execution and publishes its result (done = true last).
+  void RunOne(Execution& exec);
 
   Clock& clock_;
   Options options_;
   WorkerPool pool_;
   std::function<void()> wake_scheduler_;
-  Histogram* queue_delay_hist_;  // wdg.driver.queue_delay_ns
-  Gauge* workers_gauge_;         // wdg.driver.pool.workers
+  Histogram* queue_delay_hist_;  // wdg.driver.queue_delay_ns (shared across shards)
+  Gauge* workers_gauge_;         // wdg.driver[.shard.<i>].pool.workers
   std::atomic<int64_t> dispatched_{0};
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> batches_{0};
   // Autoscaler state: touched only from MaybeScale (scheduler thread), except
   // the event counters which DriverMetrics reads.
   TimeNs last_scale_time_ = 0;

@@ -1,0 +1,175 @@
+#include "src/watchdog/timer_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wdg {
+
+namespace {
+constexpr uint64_t Bit(int64_t index) { return uint64_t{1} << (index & 63); }
+}  // namespace
+
+TimerWheel::TimerWheel(TimeNs origin, DurationNs tick)
+    : origin_(origin), tick_(tick > 0 ? tick : 1) {
+  overdue_.reserve(64);
+}
+
+void TimerWheel::Schedule(TimeNs when, uint64_t payload) {
+  // Round *up* to the next tick so an entry never fires before `when`.
+  int64_t tick = 0;
+  if (when > origin_) {
+    tick = (when - origin_ + tick_ - 1) / tick_;
+  }
+  Place(tick, payload);
+}
+
+void TimerWheel::Place(int64_t tick, uint64_t payload) {
+  ++size_;
+  const int64_t delta = tick - current_tick_;
+  if (delta <= 0) {
+    overdue_.push_back(Entry{tick, payload});
+    return;
+  }
+  int64_t horizon = kSlotsPerLevel;
+  for (int level = 0; level < kLevels; ++level, horizon *= kSlotsPerLevel) {
+    if (delta < horizon) {
+      // delta >= Unit(level) here (the previous horizon), so the bucket's
+      // cascade boundary is strictly in the future — it cannot rot behind
+      // the clock.
+      const int64_t unit = horizon / kSlotsPerLevel;
+      const int64_t bucket = (tick / unit) % kSlotsPerLevel;
+      buckets_[level][bucket].push_back(Entry{tick, payload});
+      occupancy_[level] |= Bit(bucket);
+      return;
+    }
+  }
+  overflow_.push_back(Entry{tick, payload});
+}
+
+void TimerWheel::CascadeBucket(int level, int64_t bucket_index) {
+  auto& bucket = buckets_[level][bucket_index & (kSlotsPerLevel - 1)];
+  if (bucket.empty()) {
+    return;
+  }
+  std::vector<Entry> entries;
+  entries.swap(bucket);
+  occupancy_[level] &= ~Bit(bucket_index);
+  size_ -= entries.size();  // Place re-counts each entry
+  for (const Entry& entry : entries) {
+    Place(entry.tick, entry.payload);
+  }
+}
+
+void TimerWheel::CascadeAt(int64_t tick) {
+  // Highest level first: an entry cascading out of level 3 may belong in the
+  // level-2 bucket that also opens at this boundary, and so on down.
+  const int64_t top_unit = Unit(kLevels - 1) * kSlotsPerLevel;
+  if (!overflow_.empty() && tick % top_unit == 0) {
+    std::vector<Entry> entries;
+    entries.swap(overflow_);
+    size_ -= entries.size();
+    for (const Entry& entry : entries) {
+      Place(entry.tick, entry.payload);
+    }
+  }
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int64_t unit = Unit(level);
+    if (tick % unit == 0) {
+      CascadeBucket(level, tick / unit);
+    }
+  }
+}
+
+void TimerWheel::PopDue(TimeNs now, std::vector<uint64_t>* due) {
+  const int64_t now_tick = now > origin_ ? (now - origin_) / tick_ : 0;
+  while (current_tick_ < now_tick) {
+    if ((occupancy_[0] | occupancy_[1] | occupancy_[2] | occupancy_[3]) == 0) {
+      // Nothing bucketed: fast-forward to `now` (or to just before the next
+      // overflow rescan boundary, so the crossing still cascades).
+      int64_t skip_to = now_tick;
+      if (!overflow_.empty()) {
+        const int64_t top_unit = Unit(kLevels - 1) * kSlotsPerLevel;
+        skip_to = std::min(now_tick, (current_tick_ / top_unit + 1) * top_unit - 1);
+      }
+      current_tick_ = std::max(current_tick_, skip_to);
+      if (current_tick_ >= now_tick) {
+        break;
+      }
+    }
+    ++current_tick_;
+    if (current_tick_ % kSlotsPerLevel == 0) {
+      CascadeAt(current_tick_);
+    }
+    auto& bucket = buckets_[0][current_tick_ & (kSlotsPerLevel - 1)];
+    if (!bucket.empty()) {
+      // Within the level-0 horizon a bucket holds exactly one tick's worth of
+      // entries (ticks are unique mod 64 inside a 64-tick window), so the
+      // whole bucket is due.
+      for (const Entry& entry : bucket) {
+        assert(entry.tick <= current_tick_);
+        due->push_back(entry.payload);
+      }
+      size_ -= bucket.size();
+      bucket.clear();
+      occupancy_[0] &= ~Bit(current_tick_);
+    }
+  }
+  if (!overdue_.empty()) {
+    for (const Entry& entry : overdue_) {
+      due->push_back(entry.payload);
+    }
+    size_ -= overdue_.size();
+    overdue_.clear();
+  }
+}
+
+std::optional<TimeNs> TimerWheel::NextEventTime() const {
+  if (!overdue_.empty()) {
+    return origin_ + current_tick_ * tick_;  // deliverable right now
+  }
+  std::optional<int64_t> best;
+  if (occupancy_[0] != 0) {
+    // Level-0 entries sit at their exact tick, within 64 ticks of now.
+    for (int64_t off = 1; off <= kSlotsPerLevel; ++off) {
+      if (occupancy_[0] & Bit(current_tick_ + off)) {
+        best = current_tick_ + off;
+        break;
+      }
+    }
+  }
+  for (int level = 1; level < kLevels; ++level) {
+    if (occupancy_[level] == 0) {
+      continue;
+    }
+    const int64_t unit = Unit(level);
+    const int64_t current_bucket = current_tick_ / unit;
+    for (int64_t off = 0; off <= kSlotsPerLevel; ++off) {
+      if (occupancy_[level] & Bit(current_bucket + off)) {
+        // Wake at the bucket's cascade boundary; the entries inside re-file
+        // downward there and a later wake delivers them exactly.
+        best = std::min(best.value_or(INT64_MAX),
+                        std::max((current_bucket + off) * unit, current_tick_ + 1));
+        break;
+      }
+    }
+  }
+  if (!overflow_.empty()) {
+    const int64_t top_unit = Unit(kLevels - 1) * kSlotsPerLevel;
+    const int64_t rescan = (current_tick_ / top_unit + 1) * top_unit;
+    best = std::min(best.value_or(INT64_MAX), rescan);
+  }
+  if (!best.has_value()) {
+    return std::nullopt;
+  }
+  return origin_ + *best * tick_;
+}
+
+size_t TimerWheel::buckets_in_use() const {
+  size_t count = 0;
+  for (int level = 0; level < kLevels; ++level) {
+    count += static_cast<size_t>(__builtin_popcountll(occupancy_[level]));
+  }
+  return count;
+}
+
+}  // namespace wdg

@@ -1,0 +1,99 @@
+// TimerWheel: hierarchical timing wheel for the fleet-scale driver scheduler.
+//
+// The driver's next-run min-heap costs O(log n) per schedule and keeps every
+// lazily-deleted entry until it bubbles to the top; at 10⁵ checkers both the
+// comparisons and the stale-entry backlog show up in the scheduler pass. The
+// wheel replaces it with the classic hashed-and-hierarchical design (Varghese
+// & Lauck): kLevels levels of kSlotsPerLevel buckets, level l spanning
+// kSlotsPerLevel^(l+1) ticks, so Schedule() is an O(1) bucket append and a
+// due scan touches only the buckets the clock actually crosses. A per-level
+// occupancy bitmap makes empty ticks a single bit test.
+//
+// Payloads are opaque uint64 values; the driver packs (slot index, schedule
+// generation) into one so cancellation stays *lazy* exactly as with the heap:
+// superseded entries are skipped on pop by a generation compare, never
+// searched for. Entries cascade down a level each time the clock crosses
+// their bucket's boundary and are delivered from level 0 at their exact tick
+// (never early; Schedule rounds the due time *up* to a tick).
+//
+// Single-threaded by design: each driver shard owns one wheel and touches it
+// only under the shard mutex from the shard's scheduler thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace wdg {
+
+class TimerWheel {
+ public:
+  // `origin` anchors tick 0; `tick` is the scheduling granularity (a due time
+  // is rounded up to the next tick boundary, so a 1 ms tick adds at most 1 ms
+  // of latency — well under any checker interval).
+  TimerWheel(TimeNs origin, DurationNs tick);
+
+  // O(1). Times at or before the current tick are delivered by the next
+  // PopDue() call ("overdue"); times beyond the top level's horizon park in
+  // an overflow list rescanned at top-level boundaries.
+  void Schedule(TimeNs when, uint64_t payload);
+
+  // Advances the wheel to `now` one tick at a time (cascading higher levels
+  // at their boundaries) and appends every due payload to `due`. Never
+  // delivers an entry before its scheduled tick.
+  void PopDue(TimeNs now, std::vector<uint64_t>* due);
+
+  // Conservative next-wake time: the earliest instant at which PopDue() could
+  // deliver or cascade something — exact for level-0 entries, the bucket
+  // boundary for higher levels (an early wake that re-arms, never a late
+  // one). nullopt when the wheel is empty.
+  std::optional<TimeNs> NextEventTime() const;
+
+  // Live entries (including lazily-cancelled ones still awaiting their tick).
+  size_t size() const { return size_; }
+  // Non-empty buckets across all levels — the leak oracle for churn tests:
+  // after stale generations expire this tracks the live fleet, not the churn.
+  size_t buckets_in_use() const;
+  size_t overdue_size() const { return overdue_.size(); }
+  size_t overflow_size() const { return overflow_.size(); }
+
+  static constexpr int kLevels = 4;
+  static constexpr int64_t kSlotsPerLevel = 64;
+
+ private:
+  struct Entry {
+    int64_t tick;
+    uint64_t payload;
+  };
+
+  // Ticks spanned by one bucket of `level`: 64^level.
+  static constexpr int64_t Unit(int level) {
+    int64_t unit = 1;
+    for (int l = 0; l < level; ++l) unit *= kSlotsPerLevel;
+    return unit;
+  }
+
+  // Files an entry relative to current_tick_ (overdue / level bucket /
+  // overflow) and maintains size_ + occupancy bits.
+  void Place(int64_t tick, uint64_t payload);
+  // Re-files every entry of one bucket after the clock crossed its boundary.
+  void CascadeBucket(int level, int64_t bucket_index);
+  // All cascades due when the clock reaches `tick` (highest level first, so
+  // an entry can fall through several levels in one crossing).
+  void CascadeAt(int64_t tick);
+
+  const TimeNs origin_;
+  const DurationNs tick_;
+  int64_t current_tick_ = 0;  // fully-processed ticks: entries due <= here fired
+
+  std::array<std::array<std::vector<Entry>, kSlotsPerLevel>, kLevels> buckets_;
+  std::array<uint64_t, kLevels> occupancy_{};  // bit b set ⇔ buckets_[l][b] non-empty
+  std::vector<Entry> overdue_;   // due at/before current_tick_; next PopDue drains
+  std::vector<Entry> overflow_;  // beyond the top level horizon
+  size_t size_ = 0;
+};
+
+}  // namespace wdg

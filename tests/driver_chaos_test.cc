@@ -41,8 +41,15 @@ uint64_t ChaosSeed() {
   return 0x5eed2026ULL;
 }
 
+// The chaos tier runs the *sharded* driver: every convergence and isolation
+// property below must hold with two independent scheduler domains and batched
+// dispatch, not just the classic single-loop configuration.
+constexpr int kShards = 2;
+
 WatchdogDriver::Options AdaptiveOptions() {
   WatchdogDriver::Options options;
+  options.shards = kShards;
+  options.dispatch_batch = 4;
   options.executor.adaptive = true;
   options.executor.workers = 2;
   options.executor.min_workers = 2;
@@ -235,10 +242,12 @@ TEST(DriverChaosTest, SeededFaultStormConvergesAndIsolates) {
   }
   ASSERT_TRUE(plan.finished());
   ASSERT_EQ(injector.ActiveFaultIds().size(), 0u);
+  // Aggregated across shards: every shard's pool must steer back to its own
+  // min_workers, so the fleet total converges to shards x min.
+  const int fleet_min = kShards * options.executor.min_workers;
   ASSERT_TRUE(WaitForMetrics(driver, clock, Sec(15), [&](const DriverMetricsSnapshot& m) {
-    return m.target_workers == options.executor.min_workers &&
-           m.pool_workers == options.executor.min_workers;
-  })) << "pool never converged back to min_workers";
+    return m.target_workers == fleet_min && m.pool_workers == fleet_min;
+  })) << "pools never converged back to min_workers";
 
   // Quiesce: thread creation must have stopped for good.
   const DriverMetricsSnapshot settled = driver.DriverMetrics();
@@ -246,7 +255,8 @@ TEST(DriverChaosTest, SeededFaultStormConvergesAndIsolates) {
   const DriverMetricsSnapshot after = driver.DriverMetrics();
   EXPECT_EQ(after.threads_spawned, settled.threads_spawned)
       << "threads still being created after quiesce";
-  EXPECT_EQ(after.pool_workers, options.executor.min_workers);
+  EXPECT_EQ(after.pool_workers, fleet_min);
+  ASSERT_EQ(after.shard_views.size(), static_cast<size_t>(kShards));
 
   // Exactly-once hang isolation: one abandonment (and one timeout) per hung
   // site, no matter how long its fault window lasted — the suspended slot
@@ -289,37 +299,41 @@ TEST(DriverChaosTest, AutoscalerGrowsUnderLoadAndShrinksAfterQuiesce) {
   options.executor.max_workers = 6;
   WatchdogDriver driver(clock, options);
 
-  // Demand ~6 worker-equivalents: 24 checkers x 5 ms body / 20 ms interval.
+  // Demand ~6 worker-equivalents: 24 checkers x 5 ms body / 20 ms interval,
+  // split evenly across both shards by explicit affinity so each shard sees
+  // ~3 worker-equivalents of pressure and must grow past its min of 2.
   constexpr int kCheckers = 24;
   for (int i = 0; i < kCheckers; ++i) {
+    CheckerOptions copts = FleetChecker(Ms(20), Ms(400), Ms(i % 20));
+    copts.shard_affinity = i % kShards;
     driver.AddChecker(std::make_unique<ProbeChecker>(
         StrFormat("load%02d", i), "chaos.load",
         [&clock] {
           clock.SleepFor(Ms(5));
           return Status::Ok();
         },
-        FleetChecker(Ms(20), Ms(400), Ms(i % 20))));
+        copts));
   }
   ASSERT_TRUE(driver.Start().ok());
 
   // Under sustained pressure the autoscaler must leave min_workers behind.
   ASSERT_TRUE(WaitForMetrics(driver, clock, Sec(10), [](const DriverMetricsSnapshot& m) {
-    return m.scale_up_events >= 2 && m.pool_workers >= 4;
-  })) << "autoscaler never grew the pool under saturating load";
+    return m.scale_up_events >= 2 && m.pool_workers >= kShards * 2 + 1;
+  })) << "autoscalers never grew the pools under saturating load";
 
-  // Load subsides (whole fleet disabled); the pool must give the growth back.
+  // Load subsides (whole fleet disabled); the pools must give the growth back.
   for (const std::string& name : driver.CheckerNames()) {
     ASSERT_TRUE(driver.TrySetCheckerEnabled(name, false).ok());
   }
+  const int fleet_min = kShards * options.executor.min_workers;
   ASSERT_TRUE(WaitForMetrics(driver, clock, Sec(10), [&](const DriverMetricsSnapshot& m) {
-    return m.target_workers == options.executor.min_workers &&
-           m.pool_workers == options.executor.min_workers;
-  })) << "pool never shrank back to min_workers after quiesce";
+    return m.target_workers == fleet_min && m.pool_workers == fleet_min;
+  })) << "pools never shrank back to min_workers after quiesce";
 
   const DriverMetricsSnapshot metrics = driver.DriverMetrics();
   EXPECT_GE(metrics.workers_retired, 1);
   EXPECT_EQ(metrics.workers_abandoned, 0);
-  EXPECT_LE(metrics.pool_workers, options.executor.max_workers);
+  EXPECT_LE(metrics.pool_workers, kShards * options.executor.max_workers);
   EXPECT_TRUE(driver.Stop().ok());
   EXPECT_TRUE(driver.Failures().empty());
 }

@@ -8,12 +8,17 @@
 
 #include <atomic>
 
+#include <string>
+#include <vector>
+
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/fault/fault_injector.h"
+#include "src/watchdog/builder.h"
 #include "src/watchdog/builtin_checkers.h"
+#include "src/watchdog/context.h"
 #include "src/watchdog/driver.h"
 
 namespace wdg {
@@ -159,6 +164,260 @@ TEST(DriverScaleTest, StopUnderSaturatedQueueJoinsCleanly) {
   EXPECT_EQ(metrics.threads_spawned, 2);
   // Stats stay coherent: a run either completed with an outcome or was
   // un-counted when the queue was discarded at Stop.
+  for (const std::string& name : driver.CheckerNames()) {
+    const CheckerStats stats = driver.StatsFor(name);
+    EXPECT_EQ(stats.runs, stats.passes + stats.fails + stats.context_not_ready +
+                              stats.timeouts + stats.crashes)
+        << name;
+  }
+}
+
+// --- fleet-scale scheduling: shards, batches, subscription epochs ---------
+
+TEST(DriverShardingTest, ShardedFleetHonorsAffinityAndBoundsWorkers) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.shards = 4;
+  options.executor.workers = 2;
+  options.executor.queue_capacity = 1024;
+  options.dispatch_batch = 8;
+  WatchdogDriver driver(clock, options);
+
+  constexpr int kCheckers = 400;
+  constexpr int kPinned = 100;  // explicit affinity; the rest hash
+  std::atomic<int64_t> total_runs{0};
+  for (int i = 0; i < kCheckers; ++i) {
+    CheckerOptions copts = ScaleChecker(/*initial_delay=*/Ms(i % 50));
+    if (i < kPinned) {
+      copts.shard_affinity = i % 4;
+    }
+    driver.AddChecker(std::make_unique<ProbeChecker>(
+        StrFormat("sh%03d", i), "scale",
+        [&total_runs] {
+          total_runs.fetch_add(1, std::memory_order_relaxed);
+          return Status::Ok();
+        },
+        copts));
+  }
+  ASSERT_TRUE(driver.Start().ok());
+  clock.SleepFor(Ms(600));
+  const DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  EXPECT_TRUE(driver.Stop().ok());
+
+  EXPECT_GE(total_runs.load(), kCheckers * 2);
+  // Explicit affinity is honored exactly; hashed checkers land on some shard.
+  for (int i = 0; i < kPinned; ++i) {
+    EXPECT_EQ(driver.ShardOf(StrFormat("sh%03d", i)), i % 4) << i;
+  }
+  for (int i = kPinned; i < kCheckers; ++i) {
+    const int shard = driver.ShardOf(StrFormat("sh%03d", i));
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+  }
+  // Worker count is bounded by shards x pool size; every shard pulled weight.
+  EXPECT_EQ(metrics.shards, 4);
+  EXPECT_LE(metrics.pool_workers, 4 * 2);
+  ASSERT_EQ(metrics.shard_views.size(), 4u);
+  for (const DriverMetricsSnapshot::ShardView& view : metrics.shard_views) {
+    EXPECT_GT(view.dispatched, 0);
+  }
+  // Batched dispatch amortizes the queue: never more pool tasks than checks.
+  EXPECT_GT(metrics.batches_dispatched, 0);
+  EXPECT_LE(metrics.batches_dispatched, metrics.executions_dispatched);
+  EXPECT_LT(metrics.queue_delay_p99_ns, static_cast<double>(Ms(300)));
+  EXPECT_TRUE(driver.Failures().empty());
+}
+
+// The churn satellite: deschedule and re-add a 10k-checker fleet mid-run.
+// Lazy deletion must hold both invariants: no stale wheel generation ever
+// fires a descheduled checker, and superseded entries are reclaimed at pop
+// time instead of accumulating (no wheel-slot leaks).
+//
+// The invariants are fleet-size independent, and sanitizer slowdown on the
+// scheduler hot path would blow the ctest budget at the full 10k, so
+// sanitized builds churn a smaller fleet.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr int kChurnFleet = 2000;
+#else
+constexpr int kChurnFleet = 10000;
+#endif
+
+TEST(DriverShardingTest, TenThousandCheckerChurnNoStaleFiresNoWheelLeaks) {
+  RealClock& clock = RealClock::Instance();
+  WatchdogDriver::Options options;
+  options.shards = 8;
+  options.executor.workers = 2;
+  options.executor.queue_capacity = 4096;
+  options.dispatch_batch = 16;
+  options.per_checker_metrics = false;  // 10k histograms would swamp the test
+  WatchdogDriver driver(clock, options);
+
+  std::atomic<int64_t> total_runs{0};
+  std::vector<std::string> names;
+  names.reserve(kChurnFleet);
+  for (int i = 0; i < kChurnFleet; ++i) {
+    CheckerOptions copts;
+    copts.interval = Ms(100);
+    copts.timeout = Sec(5);
+    copts.initial_delay = Ms(i % 100);
+    names.push_back(StrFormat("churn%05d", i));
+    driver.AddChecker(std::make_unique<ProbeChecker>(
+        names.back(), "scale",
+        [&total_runs] {
+          total_runs.fetch_add(1, std::memory_order_relaxed);
+          return Status::Ok();
+        },
+        copts));
+  }
+  ASSERT_TRUE(driver.Start().ok());
+  const TimeNs warm_deadline = clock.NowNs() + Sec(60);
+  while (driver.DriverMetrics().executions_completed < kChurnFleet &&
+         clock.NowNs() < warm_deadline) {
+    clock.SleepFor(Ms(20));
+  }
+  ASSERT_GE(driver.DriverMetrics().executions_completed, kChurnFleet);
+
+  // Deschedule the whole fleet mid-run. Each live wheel entry goes stale and
+  // must be dropped by its generation check when it pops.
+  for (const std::string& name : names) {
+    ASSERT_TRUE(driver.TrySetCheckerEnabled(name, false).ok());
+  }
+  clock.SleepFor(Ms(400));  // > interval + max stagger: every entry has popped
+  const int64_t frozen = total_runs.load();
+  const DriverMetricsSnapshot descheduled = driver.DriverMetrics();
+  clock.SleepFor(Ms(300));
+  // No stale generation fired: the descheduled fleet is completely silent...
+  EXPECT_EQ(total_runs.load(), frozen);
+  // ...and the wheel reclaimed all 10k entries instead of leaking them.
+  EXPECT_EQ(descheduled.wheel_entries, 0u);
+
+  // Re-add everyone; the fleet must come back at full strength.
+  for (const std::string& name : names) {
+    ASSERT_TRUE(driver.TrySetCheckerEnabled(name, true).ok());
+  }
+  const int64_t completed_before = driver.DriverMetrics().executions_completed;
+  const TimeNs resumed_deadline = clock.NowNs() + Sec(60);
+  while (driver.DriverMetrics().executions_completed < completed_before + kChurnFleet &&
+         clock.NowNs() < resumed_deadline) {
+    clock.SleepFor(Ms(20));
+  }
+  const DriverMetricsSnapshot resumed = driver.DriverMetrics();
+  EXPECT_GE(resumed.executions_completed, completed_before + kChurnFleet);
+  // At most one live entry per checker: re-adding did not duplicate schedules.
+  EXPECT_LE(resumed.wheel_entries, static_cast<size_t>(kChurnFleet));
+  EXPECT_TRUE(driver.Stop().ok());
+  EXPECT_TRUE(driver.Failures().empty());
+}
+
+TEST(DriverShardingTest, SubscriptionEpochsSkipDormantCheckers) {
+  RealClock& clock = RealClock::Instance();
+  static const auto kProgress = ContextKey<int64_t>::Of("scale.sub.progress");
+  CheckContext ctx("scale_sub_ctx");
+  ctx.Set(kProgress, 0);
+  ctx.MarkReady(1);
+
+  WatchdogDriver::Options options;
+  options.executor.workers = 2;
+  WatchdogDriver driver(clock, options);
+
+  std::atomic<int64_t> body_runs{0};
+  ASSERT_TRUE(CheckerBuilder("dormant")
+                  .Component("scale.sub")
+                  .Interval(Ms(20))
+                  .Deadline(Ms(400))
+                  .WithContext(&ctx)
+                  .SubscribeKey(kProgress)
+                  .Mimic([&body_runs](const CheckContext&, MimicChecker&) {
+                    body_runs.fetch_add(1, std::memory_order_relaxed);
+                    return CheckResult::Pass();
+                  })
+                  .RegisterWith(driver)
+                  .ok());
+  ASSERT_TRUE(driver.Start().ok());
+
+  // Dormant component: the subscribed key never advances, so after the
+  // baseline run every scheduled interval is skipped before dispatch.
+  clock.SleepFor(Ms(300));
+  const int64_t dormant_runs = body_runs.load();
+  EXPECT_LE(dormant_runs, 2);
+  const DriverMetricsSnapshot dormant = driver.DriverMetrics();
+  EXPECT_GE(dormant.skipped_unchanged, 5);
+  EXPECT_GE(driver.StatsFor("dormant").skipped_unchanged, 5);
+
+  // The component publishes progress: the next due tick runs the body again.
+  ctx.Set(kProgress, 1);
+  ctx.MarkReady(2);  // Set only stages; the publish is what bumps the epoch
+  const TimeNs resume_deadline = clock.NowNs() + Sec(5);
+  while (body_runs.load() <= dormant_runs && clock.NowNs() < resume_deadline) {
+    clock.SleepFor(Ms(5));
+  }
+  EXPECT_GT(body_runs.load(), dormant_runs);
+  EXPECT_TRUE(driver.Stop().ok());
+  EXPECT_TRUE(driver.Failures().empty());
+}
+
+TEST(DriverShardingTest, BatchHangAbandonsOnceAndRedispatchesSiblings) {
+  RealClock& clock = RealClock::Instance();
+  FaultInjector injector(clock);
+  FaultSpec hang;
+  hang.id = "stuck";
+  hang.site_pattern = "batch.op";
+  hang.kind = FaultKind::kHang;
+  injector.Inject(hang);
+
+  WatchdogDriver::Options options;
+  options.dispatch_batch = 8;
+  options.executor.workers = 2;
+  options.release_on_stop = [&injector] { injector.ClearAll(); };
+  WatchdogDriver driver(clock, options);
+
+  CheckerOptions hung_options;
+  hung_options.interval = Ms(20);
+  hung_options.timeout = Ms(80);
+  hung_options.shard_affinity = 0;
+  driver.AddChecker(std::make_unique<MimicChecker>(
+      "hung", "batch", nullptr,
+      [&injector](const CheckContext&, MimicChecker&) {
+        (void)injector.Act("batch.op");
+        return CheckResult::Pass();
+      },
+      hung_options));
+  constexpr int kSiblings = 7;
+  std::atomic<int64_t> sibling_runs{0};
+  for (int i = 0; i < kSiblings; ++i) {
+    CheckerOptions copts;
+    copts.interval = Ms(20);
+    copts.timeout = Ms(400);
+    copts.shard_affinity = 0;  // co-located so they share the hung batch
+    driver.AddChecker(std::make_unique<ProbeChecker>(
+        StrFormat("sib%d", i), "batch",
+        [&sibling_runs] {
+          sibling_runs.fetch_add(1, std::memory_order_relaxed);
+          return Status::Ok();
+        },
+        copts));
+  }
+  ASSERT_TRUE(driver.Start().ok());
+
+  ASSERT_TRUE(driver.WaitForFailure(Sec(5), [](const FailureSignature& sig) {
+    return sig.type == FailureType::kLivenessTimeout && sig.checker_name == "hung";
+  }));
+  // Siblings cancelled out of the abandoned batch re-dispatch on the
+  // replacement worker: they keep accruing runs while the hang drains.
+  const int64_t runs_at_detect = sibling_runs.load();
+  clock.SleepFor(Ms(200));
+  EXPECT_GT(sibling_runs.load(), runs_at_detect);
+  const DriverMetricsSnapshot metrics = driver.DriverMetrics();
+  EXPECT_EQ(metrics.workers_abandoned, 1);
+  EXPECT_EQ(metrics.timeouts, 1);
+  EXPECT_TRUE(driver.Stop().ok());
+  EXPECT_EQ(injector.parked_thread_count(), 0);
+  // Exactly-once accounting survives batching: every counted run resolved to
+  // exactly one outcome; cancelled siblings were un-counted, never dropped.
   for (const std::string& name : driver.CheckerNames()) {
     const CheckerStats stats = driver.StatsFor(name);
     EXPECT_EQ(stats.runs, stats.passes + stats.fails + stats.context_not_ready +

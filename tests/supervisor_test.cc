@@ -535,7 +535,9 @@ TEST(SupervisedDriverTest, HealthyDriverKicksAndUnsubscribesOnStop) {
   ASSERT_TRUE(pipe.ok());
   WdogClient client(clock, std::move(*pipe));
 
-  WatchdogDriver driver(clock);
+  WatchdogDriver::Options driver_options;
+  driver_options.shards = 2;  // liveness proof must span every shard
+  WatchdogDriver driver(clock, driver_options);
   DriverSupervision supervision;
   supervision.client = &client;
   supervision.name = "healthy-driver";
@@ -588,6 +590,7 @@ TEST(SupervisedDriverTest, WedgedExecutorWithholdsKicksUntilEscalation) {
   WdogClient client(clock, std::move(*pipe));
 
   WatchdogDriver::Options driver_options;
+  driver_options.shards = 2;  // a wedge on either shard must silence the kicks
   driver_options.release_on_stop = [&injector] { injector.ClearAll(); };
   WatchdogDriver driver(clock, driver_options);
   DriverSupervision supervision;

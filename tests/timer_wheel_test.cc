@@ -1,0 +1,174 @@
+// TimerWheel unit tests: exact delivery, cascading across levels, the
+// conservative NextEventTime contract, overdue/overflow handling, and a
+// randomized equivalence check against a multiset reference scheduler.
+#include "src/watchdog/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace wdg {
+namespace {
+
+constexpr TimeNs kOrigin = Sec(5);
+constexpr DurationNs kTick = Ms(1);
+
+std::vector<uint64_t> PopAt(TimerWheel& wheel, TimeNs now) {
+  std::vector<uint64_t> due;
+  wheel.PopDue(now, &due);
+  return due;
+}
+
+TEST(TimerWheelTest, DeliversAtExactTickNeverEarly) {
+  TimerWheel wheel(kOrigin, kTick);
+  wheel.Schedule(kOrigin + Ms(10), 42);
+  // One ns before the due time: nothing (Schedule rounds up, PopDue floors).
+  EXPECT_TRUE(PopAt(wheel, kOrigin + Ms(10) - 1).empty());
+  EXPECT_EQ(wheel.size(), 1u);
+  auto due = PopAt(wheel, kOrigin + Ms(10));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 42u);
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.buckets_in_use(), 0u);
+}
+
+TEST(TimerWheelTest, SubTickScheduleRoundsUp) {
+  TimerWheel wheel(kOrigin, kTick);
+  // Due half a tick in: must not fire at a floor'd now before the next tick.
+  wheel.Schedule(kOrigin + kTick / 2, 7);
+  EXPECT_TRUE(PopAt(wheel, kOrigin + kTick - 1).empty());
+  EXPECT_EQ(PopAt(wheel, kOrigin + kTick).size(), 1u);
+}
+
+TEST(TimerWheelTest, PastAndPresentTimesAreOverdue) {
+  TimerWheel wheel(kOrigin, kTick);
+  wheel.Schedule(kOrigin - Sec(1), 1);  // before the origin
+  wheel.Schedule(kOrigin, 2);           // exactly the origin
+  EXPECT_EQ(wheel.overdue_size(), 2u);
+  ASSERT_TRUE(wheel.NextEventTime().has_value());
+  EXPECT_LE(*wheel.NextEventTime(), kOrigin);  // deliverable immediately
+  EXPECT_EQ(PopAt(wheel, kOrigin).size(), 2u);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheelTest, CascadesThroughEveryLevel) {
+  TimerWheel wheel(kOrigin, kTick);
+  // One entry per level horizon: 10 ticks (L0), ~200 (L1), ~8000 (L2),
+  // ~300000 (L3), plus one past the top horizon (overflow).
+  const std::map<uint64_t, int64_t> plan = {
+      {0, 10}, {1, 200}, {2, 8000}, {3, 300000}, {4, 17000000}};
+  for (const auto& [payload, ticks] : plan) {
+    wheel.Schedule(kOrigin + ticks * kTick, payload);
+  }
+  EXPECT_EQ(wheel.overflow_size(), 1u);
+  EXPECT_EQ(wheel.size(), plan.size());
+  // Walk time forward via NextEventTime only; every entry must surface at
+  // exactly its due tick regardless of how many cascades it crosses.
+  std::map<uint64_t, TimeNs> fired;
+  TimeNs now = kOrigin;
+  for (int guard = 0; guard < 1000000 && wheel.size() > 0; ++guard) {
+    auto next = wheel.NextEventTime();
+    ASSERT_TRUE(next.has_value());
+    ASSERT_GT(*next, now);  // conservative wake always advances
+    now = *next;
+    for (uint64_t payload : PopAt(wheel, now)) {
+      fired[payload] = now;
+    }
+  }
+  ASSERT_EQ(fired.size(), plan.size());
+  for (const auto& [payload, ticks] : plan) {
+    EXPECT_EQ(fired[payload], kOrigin + ticks * kTick) << "payload " << payload;
+  }
+  EXPECT_EQ(wheel.buckets_in_use(), 0u);
+  EXPECT_EQ(wheel.overflow_size(), 0u);
+}
+
+TEST(TimerWheelTest, NextEventTimeIsConservativeAndProgresses) {
+  TimerWheel wheel(kOrigin, kTick);
+  const TimeNs due = kOrigin + 700 * kTick;  // level 1
+  wheel.Schedule(due, 9);
+  TimeNs now = kOrigin;
+  int wakes = 0;
+  while (true) {
+    auto next = wheel.NextEventTime();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_LE(*next, due);        // never past the true due time
+    ASSERT_GT(*next, now);        // but always strictly advancing (no spin)
+    now = *next;
+    auto fired = PopAt(wheel, now);
+    if (!fired.empty()) {
+      EXPECT_EQ(now, due);  // delivered exactly on time
+      break;
+    }
+    ASSERT_LT(++wakes, 64);  // a cascade wake or two, not a busy loop
+  }
+  EXPECT_FALSE(wheel.NextEventTime().has_value());
+}
+
+TEST(TimerWheelTest, ManyEntriesOneBucketTickUniqueness) {
+  TimerWheel wheel(kOrigin, kTick);
+  // 128 entries across two adjacent ticks far out — they share L1 buckets,
+  // then must separate cleanly into distinct L0 ticks after the cascade.
+  for (uint64_t i = 0; i < 64; ++i) {
+    wheel.Schedule(kOrigin + 100 * kTick, i);
+    wheel.Schedule(kOrigin + 101 * kTick, 64 + i);
+  }
+  auto first = PopAt(wheel, kOrigin + 100 * kTick);
+  EXPECT_EQ(first.size(), 64u);
+  EXPECT_TRUE(std::all_of(first.begin(), first.end(),
+                          [](uint64_t p) { return p < 64; }));
+  auto second = PopAt(wheel, kOrigin + 101 * kTick);
+  EXPECT_EQ(second.size(), 64u);
+  EXPECT_TRUE(std::all_of(second.begin(), second.end(),
+                          [](uint64_t p) { return p >= 64; }));
+}
+
+TEST(TimerWheelTest, RandomizedAgainstMultisetReference) {
+  std::mt19937_64 rng(0x7ee1d00d);
+  TimerWheel wheel(kOrigin, kTick);
+  std::multimap<TimeNs, uint64_t> reference;
+  uint64_t next_payload = 0;
+  TimeNs now = kOrigin;
+  for (int round = 0; round < 2000; ++round) {
+    // Mixed horizon: mostly near, a tail across cascade levels.
+    const int64_t span[] = {3, 60, 500, 5000, 400000};
+    const int64_t ticks = 1 + static_cast<int64_t>(
+        rng() % static_cast<uint64_t>(span[rng() % 5]));
+    const TimeNs when = now + ticks * kTick + static_cast<int64_t>(rng() % kTick);
+    const int64_t due_tick = (when - kOrigin + kTick - 1) / kTick;  // wheel rounding
+    wheel.Schedule(when, next_payload);
+    reference.emplace(kOrigin + due_tick * kTick, next_payload);
+    ++next_payload;
+    // Advance a random amount and compare the fired sets.
+    now += static_cast<int64_t>(rng() % 40) * kTick;
+    std::vector<uint64_t> fired;
+    wheel.PopDue(now, &fired);
+    std::multiset<uint64_t> expected;
+    for (auto it = reference.begin(); it != reference.end();) {
+      if (it->first <= now) {
+        expected.insert(it->second);
+        it = reference.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ASSERT_EQ(std::multiset<uint64_t>(fired.begin(), fired.end()), expected)
+        << "round " << round;
+    ASSERT_EQ(wheel.size(), reference.size()) << "round " << round;
+  }
+  // Drain everything; nothing may leak in any bucket.
+  std::vector<uint64_t> rest;
+  wheel.PopDue(now + 20000000 * kTick, &rest);
+  EXPECT_EQ(rest.size(), reference.size());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.buckets_in_use(), 0u);
+  EXPECT_EQ(wheel.overdue_size(), 0u);
+  EXPECT_EQ(wheel.overflow_size(), 0u);
+}
+
+}  // namespace
+}  // namespace wdg

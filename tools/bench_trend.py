@@ -15,8 +15,16 @@ appending, so a regressed build can't poison its own baseline. Comparing
 against best-of-window rather than the previous run keeps one noisy CI box
 sample from ratcheting the baseline downward.
 
+Two more guards: a metric gated by a recent trend entry that this run could
+not collect at all fails the gate (--allow-missing waives it when retiring a
+metric deliberately), and appending from an uncommitted tree collapses
+consecutive trailing entries with the same "<sha>+dirty" tag so repeated
+dirty-tree runs keep only their latest measurement.
+
 Usage:  tools/bench_trend.py [--repo-root DIR] [--threshold 0.25] [--dry-run]
-Exit:   0 appended (or nothing to do with --dry-run), 1 regression, 2 no input.
+                             [--allow-missing METRIC]...
+Exit:   0 appended (or nothing to do with --dry-run), 1 regression or
+        vanished metric, 2 no input.
 """
 
 import argparse
@@ -56,6 +64,14 @@ TRACKED = [
     ("supervisor_detection_latency_ms_kvs",
      "BENCH_supervisor.json",
      lambda d: _config(d, system="kvs")["detection_latency_ms"],
+     "down"),
+    ("driver_sharded_checks_per_sec_10k",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=10000, mode="sharded")["checks_per_sec"],
+     "up"),
+    ("driver_sharded_p99_queue_delay_us_10k",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=10000, mode="sharded")["p99_queue_delay_us"],
      "down"),
 ]
 
@@ -98,6 +114,41 @@ def git_sha(root):
         return "unknown"
 
 
+def find_vanished(history, metrics, allow_missing):
+    """Metrics gated by a recent trend entry but absent from this collection.
+
+    A metric can vanish silently: a bench stops emitting its row, a config
+    rename breaks the extractor, or a JSON artifact goes stale — and from then
+    on the gate simply never compares it again. Treat a previously-gated
+    metric that this run could not collect as a failure, unless explicitly
+    waived with --allow-missing (e.g. when deliberately retiring a metric).
+    """
+    recent = history[-WINDOW:]
+    gated_before = set()
+    for entry in recent:
+        gated_before.update(entry.get("metrics", {}))
+    return sorted(gated_before - set(metrics) - set(allow_missing))
+
+
+def dedup_dirty_head(history, sha):
+    """Drop consecutive trailing entries carrying this same +dirty sha.
+
+    Re-running the full bench on an uncommitted tree used to stack one trend
+    entry per invocation, all with the identical "<sha>+dirty" tag — noise
+    that both bloats the file and lets one dirty tree occupy the whole
+    regression window with its own samples. Keep only the latest entry per
+    consecutive dirty sha: the popped ones are superseded measurements of the
+    same (uncommitted) code. Clean shas never collapse — each append is a
+    distinct committed state worth trending.
+    """
+    popped = 0
+    if sha.endswith("+dirty"):
+        while history and history[-1].get("sha") == sha:
+            history.pop()
+            popped += 1
+    return popped
+
+
 def find_regressions(history, metrics, directions, threshold):
     regressions = []
     recent = history[-WINDOW:]
@@ -134,6 +185,11 @@ def main():
                                                      "0.25")))
     parser.add_argument("--dry-run", action="store_true",
                         help="gate only; do not append to the trend file")
+    parser.add_argument("--allow-missing", action="append", default=[],
+                        metavar="METRIC",
+                        help="previously-gated metric allowed to be absent "
+                             "from this collection (repeatable; use when "
+                             "deliberately retiring a metric)")
     args = parser.parse_args()
     root = os.path.abspath(args.repo_root)
 
@@ -149,6 +205,14 @@ def main():
         with open(trend_path) as f:
             history = json.load(f)
 
+    vanished = find_vanished(history, metrics, args.allow_missing)
+    if vanished:
+        print("bench_trend: previously-gated metrics missing from this "
+              "collection (pass --allow-missing to retire deliberately):")
+        for name in vanished:
+            print(f"  {name}")
+        return 1
+
     regressions = find_regressions(history, metrics, directions, args.threshold)
     if regressions:
         print(f"bench_trend: regression beyond {args.threshold:.0%} "
@@ -161,8 +225,13 @@ def main():
         print(f"bench_trend: {name} = {metrics[name]:g} ok")
     if args.dry_run:
         return 0
+    sha = git_sha(root)
+    popped = dedup_dirty_head(history, sha)
+    if popped:
+        print(f"bench_trend: collapsed {popped} superseded entr"
+              f"{'y' if popped == 1 else 'ies'} for {sha}")
     history.append({
-        "sha": git_sha(root),
+        "sha": sha,
         "timestamp": datetime.datetime.now(datetime.timezone.utc)
                      .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "metrics": metrics,

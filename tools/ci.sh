@@ -57,6 +57,13 @@ echo "=== bench smoke: driver scale ==="
 # Quick pass over the pooled-executor bench so a scheduler/executor regression
 # shows up as a CI diff in BENCH_driver_scale.json, not a silent perf slide.
 ./build-ci/bench/bench_driver_scale --quick
+echo "=== bench smoke: 10k sharded fleet ==="
+# Fast fleet-scale tier: the 10k-checker sharded config must hold p99 queue
+# delay <= 500 us with live workers capped at shards x per-shard pool size.
+# The binary self-checks (--smoke-10k) and exits nonzero on a budget miss, so
+# no JSON parsing is needed here; it also writes no JSON, but run it in the
+# build tree anyway to keep it away from the committed artifact.
+(cd build-ci/bench && ./bench_driver_scale --smoke-10k)
 echo "=== bench smoke: context read path ==="
 # Runs in the build tree so the quick-mode JSON can't clobber the committed
 # full-run artifact the trend gate below reads.
