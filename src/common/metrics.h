@@ -49,7 +49,9 @@ class Gauge {
 // Fixed-size reservoir histogram; good enough for p50/p99 over bench runs.
 class Histogram {
  public:
-  explicit Histogram(size_t reservoir_capacity = 4096) : capacity_(reservoir_capacity) {}
+  explicit Histogram(size_t reservoir_capacity = 4096) : capacity_(reservoir_capacity) {
+    reservoir_.reserve(capacity_);  // Record never reallocates after this
+  }
 
   void Record(double value);
 

@@ -195,6 +195,15 @@ class JoiningThread {
 // queue empty), never mid-task, so resizing can't lose or interrupt work.
 // Retired threads are parked like abandoned ones and joined at Stop.
 //
+// The queue is a fixed ring owned by the pool (no per-node heap traffic), and
+// every bookkeeping structure is pre-sized, so steady-state submit/dispatch
+// performs zero allocations. Each item carries an opaque `tag` the submitter
+// can use to re-route ownership when an item moves between pools: StealFrom
+// pops queued-but-unclaimed items from the *back* of a sibling pool's ring
+// into this one, re-ticketing them under both locks (own lock first, sibling
+// via try_lock — contention skips the steal rather than risking the A<->B
+// deadlock).
+//
 // Stop() contract: the caller must first unblock anything that could keep an
 // abandoned task hung forever (the watchdog driver runs release_on_stop);
 // Stop then discards still-queued tasks and joins every thread ever spawned.
@@ -207,8 +216,12 @@ class WorkerPool {
   using Task = std::function<void()>;
 
   explicit WorkerPool(Options options)
-      : options_(options), queue_(options.queue_capacity),
-        target_(options.workers < 0 ? 0 : options.workers) {}
+      : options_(options),
+        capacity_(options.queue_capacity == 0 ? 1 : options.queue_capacity),
+        target_(options.workers < 0 ? 0 : options.workers) {
+    ring_.resize(capacity_);
+    claims_.reserve(256);
+  }
   ~WorkerPool() { Stop(); }
 
   WorkerPool(const WorkerPool&) = delete;
@@ -247,17 +260,19 @@ class WorkerPool {
         return;
       }
       stopping_ = true;
-    }
-    queue_.Shutdown();
-    while (queue_.TryPop().has_value()) {
       // Discard tasks that never dispatched; their submitters are gone.
+      while (count_ > 0) {
+        PopFrontLocked();
+      }
     }
+    not_empty_.notify_all();
     // Join active workers first, then abandoned ones (whose hung tasks the
     // caller is expected to have unblocked before calling Stop).
     std::vector<std::unique_ptr<Worker>> to_join;
     {
       std::lock_guard<std::mutex> lock(mu_);
       to_join.swap(workers_);
+      workers_gauge_.store(0, std::memory_order_relaxed);
     }
     to_join.clear();  // JoiningThread dtor joins
     {
@@ -272,21 +287,69 @@ class WorkerPool {
     to_join.clear();
   }
 
+  // Reserves a ticket without submitting anything. Lets the submitter publish
+  // the ticket into its own bookkeeping *before* the task becomes runnable,
+  // so a completion can never observe an unset ticket.
+  uint64_t ReserveTicket() {
+    return next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Non-blocking enqueue; nullopt when the queue is full (backpressure) or
   // the pool is stopped. The ticket identifies the task for AbandonIfRunning.
-  std::optional<uint64_t> TrySubmit(Task task) {
-    uint64_t ticket;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!started_ || stopping_) {
-        return std::nullopt;
-      }
-      ticket = next_ticket_++;
-    }
-    if (!queue_.Push(Item{ticket, std::move(task)}, /*timeout=*/0)) {
+  std::optional<uint64_t> TrySubmit(Task task, void* tag = nullptr) {
+    const uint64_t ticket = ReserveTicket();
+    if (!TrySubmitTicketed(ticket, std::move(task), tag)) {
       return std::nullopt;
     }
     return ticket;
+  }
+
+  // TrySubmit with a caller-reserved ticket (see ReserveTicket).
+  bool TrySubmitTicketed(uint64_t ticket, Task task, void* tag = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!started_ || stopping_ || count_ == capacity_) {
+        return false;
+      }
+      PushBackLocked(Item{ticket, std::move(task), tag});
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Steals up to `max_items` queued-but-unclaimed tasks from the back of
+  // `victim`'s ring into this pool's ring. Only an *idle* pool steals (own
+  // queue must be empty); the victim's lock is try-acquired so contention
+  // skips the steal instead of deadlocking. Each stolen item is re-ticketed
+  // from this pool's counter and `mutate(tag, new_ticket)` runs under both
+  // locks — before the item is runnable here, after it stopped being runnable
+  // there — so the submitter can atomically re-route abandon/ownership state.
+  // Returns the number of items stolen.
+  template <typename Mutator>
+  size_t StealFrom(WorkerPool& victim, size_t max_items, Mutator&& mutate) {
+    if (&victim == this || max_items == 0) {
+      return 0;
+    }
+    std::unique_lock<std::mutex> self_lock(mu_);
+    if (!started_ || stopping_ || count_ != 0) {
+      return 0;
+    }
+    std::unique_lock<std::mutex> victim_lock(victim.mu_, std::try_to_lock);
+    if (!victim_lock.owns_lock() || !victim.started_ || victim.stopping_) {
+      return 0;
+    }
+    size_t stolen = 0;
+    while (stolen < max_items && victim.count_ > 0 && count_ < capacity_) {
+      Item item = victim.PopBackLocked();
+      item.ticket = ReserveTicket();
+      mutate(item.tag, item.ticket);
+      PushBackLocked(std::move(item));
+      ++stolen;
+    }
+    if (stolen > 0) {
+      not_empty_.notify_all();
+    }
+    return stolen;
   }
 
   // If `ticket`'s task is still executing, abandon its worker (park the
@@ -294,17 +357,27 @@ class WorkerPool {
   // completed — the caller should re-check its completion state.
   bool AbandonIfRunning(uint64_t ticket) {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = running_.find(ticket);
-    if (it == running_.end()) {
+    Worker* worker = nullptr;
+    for (size_t i = 0; i < claims_.size(); ++i) {
+      if (claims_[i].ticket == ticket) {
+        worker = claims_[i].worker;
+        claims_[i] = claims_.back();
+        claims_.pop_back();
+        busy_gauge_.store(static_cast<int>(claims_.size()),
+                          std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (worker == nullptr) {
       return false;
     }
-    Worker* worker = it->second;
     worker->abandoned = true;
-    running_.erase(it);
     for (auto wit = workers_.begin(); wit != workers_.end(); ++wit) {
       if (wit->get() == worker) {
         drained_.push_back(std::move(*wit));
         workers_.erase(wit);
+        workers_gauge_.store(static_cast<int>(workers_.size()),
+                             std::memory_order_relaxed);
         break;
       }
     }
@@ -326,11 +399,29 @@ class WorkerPool {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int>(workers_.size());
   }
-  size_t queue_capacity() const { return queue_.capacity(); }
-  size_t QueueDepth() const { return queue_.Size(); }
+  size_t queue_capacity() const { return capacity_; }
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
   int BusyCount() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<int>(running_.size());
+    return static_cast<int>(claims_.size());
+  }
+  // Relaxed-read mirrors of QueueDepth/BusyCount/active_workers, written
+  // under mu_ at every mutation. Exact only at the instant of the store —
+  // for the driver's per-pass cross-shard scans (steal candidates, fleet
+  // utilization), where taking every sibling pool's mutex for a mere hint
+  // turned the scan into a lock convoy. Anything that *moves* work still
+  // revalidates under the real lock (StealFrom).
+  size_t QueueDepthHint() const {
+    return depth_gauge_.load(std::memory_order_relaxed);
+  }
+  int BusyCountHint() const {
+    return busy_gauge_.load(std::memory_order_relaxed);
+  }
+  int ActiveWorkersHint() const {
+    return workers_gauge_.load(std::memory_order_relaxed);
   }
   // Threads ever created (initial workers + respawns + scale-up spawns).
   int64_t threads_spawned() const { return threads_spawned_.load(std::memory_order_relaxed); }
@@ -345,7 +436,36 @@ class WorkerPool {
   struct Item {
     uint64_t ticket = 0;
     Task task;
+    void* tag = nullptr;
   };
+  struct Claim {
+    uint64_t ticket = 0;
+    Worker* worker = nullptr;
+  };
+
+  void PushBackLocked(Item item) {
+    ring_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+    depth_gauge_.store(count_, std::memory_order_relaxed);
+  }
+
+  Item PopFrontLocked() {
+    Item item = std::move(ring_[head_]);
+    ring_[head_] = Item{};
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    depth_gauge_.store(count_, std::memory_order_relaxed);
+    return item;
+  }
+
+  Item PopBackLocked() {
+    const size_t idx = (head_ + count_ - 1) % capacity_;
+    Item item = std::move(ring_[idx]);
+    ring_[idx] = Item{};
+    --count_;
+    depth_gauge_.store(count_, std::memory_order_relaxed);
+    return item;
+  }
 
   void SpawnWorkerLocked() {
     auto worker = std::make_unique<Worker>();
@@ -353,12 +473,13 @@ class WorkerPool {
     threads_spawned_.fetch_add(1, std::memory_order_relaxed);
     worker->thread = JoiningThread([this, raw] { WorkerLoop(raw); });
     workers_.push_back(std::move(worker));
+    workers_gauge_.store(static_cast<int>(workers_.size()),
+                         std::memory_order_relaxed);
   }
 
   // Moves this worker to the retired list if the pool is over target. Only
   // called between tasks, so a retirement never interrupts work.
-  bool RetireIfOverTarget(Worker* self) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool RetireIfOverTargetLocked(Worker* self) {
     if (stopping_ || self->abandoned ||
         static_cast<int>(workers_.size()) <= target_) {
       return false;
@@ -367,6 +488,8 @@ class WorkerPool {
       if (it->get() == self) {
         retired_.push_back(std::move(*it));
         workers_.erase(it);
+        workers_gauge_.store(static_cast<int>(workers_.size()),
+                             std::memory_order_relaxed);
         retired_total_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -375,46 +498,65 @@ class WorkerPool {
   }
 
   void WorkerLoop(Worker* self) {
+    std::unique_lock<std::mutex> lock(mu_);
     while (true) {
-      std::optional<Item> item = queue_.Pop(Ms(250));
-      if (!item.has_value()) {
-        if (queue_.shutdown()) {
-          return;
-        }
-        if (RetireIfOverTarget(self)) {
+      const bool woke = not_empty_.wait_for(
+          lock, std::chrono::nanoseconds(Ms(250)),
+          [&] { return stopping_ || count_ > 0; });
+      if (stopping_) {
+        return;
+      }
+      if (!woke) {
+        if (RetireIfOverTargetLocked(self)) {
           return;  // idle and over target: shrink the pool
         }
         continue;
       }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        running_[item->ticket] = self;
-      }
-      item->task();
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        running_.erase(item->ticket);  // no-op if this worker was abandoned
-        if (self->abandoned) {
-          return;  // a replacement already took this worker's slot
+      Item item = PopFrontLocked();
+      claims_.push_back(Claim{item.ticket, self});
+      busy_gauge_.store(static_cast<int>(claims_.size()),
+                        std::memory_order_relaxed);
+      lock.unlock();
+      item.task();
+      lock.lock();
+      for (size_t i = 0; i < claims_.size(); ++i) {
+        if (claims_[i].ticket == item.ticket) {
+          claims_[i] = claims_.back();
+          claims_.pop_back();
+          busy_gauge_.store(static_cast<int>(claims_.size()),
+                            std::memory_order_relaxed);
+          break;
         }
       }
-      if (queue_.Size() == 0 && RetireIfOverTarget(self)) {
+      if (self->abandoned) {
+        return;  // a replacement already took this worker's slot
+      }
+      if (count_ == 0 && RetireIfOverTargetLocked(self)) {
         return;  // drained backlog and over target: shrink promptly
       }
     }
   }
 
   const Options options_;
-  BoundedQueue<Item> queue_;
+  const size_t capacity_;
   mutable std::mutex mu_;
+  std::condition_variable not_empty_;
   bool started_ = false;
   bool stopping_ = false;
   int target_ = 0;  // desired active worker count; guarded by mu_
-  uint64_t next_ticket_ = 1;
+  std::atomic<uint64_t> next_ticket_{1};
+  std::vector<Item> ring_;  // fixed ring buffer; head_/count_ guarded by mu_
+  size_t head_ = 0;
+  size_t count_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;  // active
   std::vector<std::unique_ptr<Worker>> drained_;  // abandoned, joined at Stop
   std::vector<std::unique_ptr<Worker>> retired_;  // shrunk away, joined at Stop
-  std::map<uint64_t, Worker*> running_;           // ticket -> executing worker
+  std::vector<Claim> claims_;                     // ticket -> executing worker
+  // Lock-free gauges mirroring count_ / claims_.size() / workers_.size();
+  // see QueueDepthHint.
+  std::atomic<size_t> depth_gauge_{0};
+  std::atomic<int> busy_gauge_{0};
+  std::atomic<int> workers_gauge_{0};
   std::atomic<int64_t> threads_spawned_{0};
   std::atomic<int64_t> abandoned_{0};
   std::atomic<int64_t> retired_total_{0};

@@ -146,50 +146,69 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
     return InvalidArgumentError(
         StrFormat("checker '%s': shard affinity must be >= 0", name_.c_str()));
   }
-  if (!subscribe_slots_.empty() && body_ != Body::kMimic) {
+  // Subscription epochs apply to every body kind. A mimic subscribes against
+  // the context it executes in; probe and signal bodies take no execution
+  // context, so for them WithContext/ContextFactory is *subscription-only* —
+  // it names the context whose key epochs gate scheduling, and requires at
+  // least one SubscribeKey (a context with nothing subscribed is a mistake).
+  if (!subscribe_slots_.empty() && body_ != Body::kMimic &&
+      context_ == nullptr && !context_factory_) {
     return InvalidArgumentError(
-        StrFormat("checker '%s': SubscribeKey applies to mimic bodies only "
-                  "(the subscription is resolved against the mimic's context)",
-                  name_.c_str()));
+        StrFormat("checker '%s': SubscribeKey on a %s body needs WithContext "
+                  "or ContextFactory to name the subscribed context",
+                  name_.c_str(), body_ == Body::kProbe ? "probe" : "signal"));
   }
   CheckerOptions options{interval_, deadline_, initial_delay_, adaptive_deadline_,
                          deadline_prior_, shard_affinity_};
+  // Resolve the (optional) context once, for any body kind.
+  CheckContext* context = context_;
+  if (context_factory_) {
+    context = context_factory_();
+    if (context == nullptr) {
+      return InvalidArgumentError(
+          StrFormat("checker '%s': context factory returned null", name_.c_str()));
+    }
+  }
   switch (body_) {
     case Body::kProbe: {
-      if (context_ != nullptr || context_factory_) {
+      if (context != nullptr && subscribe_slots_.empty()) {
         return InvalidArgumentError(
-            StrFormat("checker '%s': a probe body takes no context", name_.c_str()));
+            StrFormat("checker '%s': a probe body takes a context only for "
+                      "subscriptions — add SubscribeKey, or drop the context",
+                      name_.c_str()));
       }
-      if (debounce_set_) {
-        return std::unique_ptr<Checker>(std::make_unique<ProbeChecker>(
-            name_, component_, std::move(probe_), options, debounce_));
+      auto probe = debounce_set_
+                       ? std::make_unique<ProbeChecker>(name_, component_,
+                                                        std::move(probe_), options,
+                                                        debounce_)
+                       : std::make_unique<ProbeChecker>(name_, component_,
+                                                        std::move(probe_), options);
+      if (!subscribe_slots_.empty()) {
+        probe->SubscribeKeys(context, subscribe_slots_);
       }
-      return std::unique_ptr<Checker>(
-          std::make_unique<ProbeChecker>(name_, component_, std::move(probe_), options));
+      return std::unique_ptr<Checker>(std::move(probe));
     }
     case Body::kSignal: {
-      if (context_ != nullptr || context_factory_) {
+      if (context != nullptr && subscribe_slots_.empty()) {
         return InvalidArgumentError(
-            StrFormat("checker '%s': a signal body takes no context", name_.c_str()));
+            StrFormat("checker '%s': a signal body takes a context only for "
+                      "subscriptions — add SubscribeKey, or drop the context",
+                      name_.c_str()));
       }
       const int needed = debounce_set_ ? debounce_ : 3;  // SignalChecker default
-      return std::unique_ptr<Checker>(std::make_unique<SignalChecker>(
+      auto signal = std::make_unique<SignalChecker>(
           name_, component_, indicator_, std::move(sample_), std::move(healthy_), needed,
-          options));
+          options);
+      if (!subscribe_slots_.empty()) {
+        signal->SubscribeKeys(context, subscribe_slots_);
+      }
+      return std::unique_ptr<Checker>(std::move(signal));
     }
     case Body::kMimic: {
       if (debounce_set_) {
         return InvalidArgumentError(
             StrFormat("checker '%s': Debounce applies to probe/signal bodies only",
                       name_.c_str()));
-      }
-      CheckContext* context = context_;
-      if (context_factory_) {
-        context = context_factory_();
-        if (context == nullptr) {
-          return InvalidArgumentError(
-              StrFormat("checker '%s': context factory returned null", name_.c_str()));
-        }
       }
       if (context == nullptr) {
         return InvalidArgumentError(

@@ -64,15 +64,20 @@ class CheckerBuilder {
 
   // Subscription epochs: the driver skips a scheduled run when none of the
   // subscribed keys advanced since the last completed run (counted as
-  // wdg.driver.skipped_unchanged). Mimic bodies only — the subscription is
-  // resolved against the mimic's context at Build(). Call once per key.
+  // wdg.driver.skipped_unchanged). Any body kind: a mimic subscribes against
+  // the context it executes in; a probe/signal body pairs SubscribeKey with
+  // WithContext/ContextFactory naming the watched context (the context is
+  // subscription-only there — the body still takes no context argument).
+  // Call once per key.
   template <typename T>
   CheckerBuilder& SubscribeKey(const ContextKey<T>& key) {
     return SubscribeSlot(key.slot());
   }
   CheckerBuilder& SubscribeSlot(uint32_t key_slot);
 
-  // Context for a mimic body: either a fixed context...
+  // Context for a mimic body (execution + subscriptions) or for a
+  // probe/signal body's SubscribeKey gating (subscription-only): either a
+  // fixed context...
   CheckerBuilder& WithContext(CheckContext* context);
   // ...or a factory resolved at Build() time (e.g. hooks not created yet
   // when the builder chain is written down). Mutually exclusive.

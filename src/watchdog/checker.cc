@@ -1,6 +1,32 @@
 #include "src/watchdog/checker.h"
 
+#include <set>
+
 namespace wdg {
+
+namespace {
+
+// Component-name intern table. std::set nodes are address-stable, and the
+// table is never torn down (checkers may outlive static destruction order).
+const std::string* InternComponent(std::string component) {
+  static std::mutex mu;
+  static std::set<std::string>* table = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return &*table->insert(std::move(component)).first;
+}
+
+}  // namespace
+
+struct Checker::OpState {
+  std::mutex mu;
+  SourceLocation op;
+};
+
+Checker::Checker(std::string name, std::string component, CheckerType type, Options options)
+    : name_(std::move(name)), component_(InternComponent(std::move(component))),
+      type_(type), options_(options) {}
+
+Checker::~Checker() { delete op_state_.load(std::memory_order_acquire); }
 
 const char* CheckerTypeName(CheckerType type) {
   switch (type) {
@@ -21,13 +47,27 @@ void Checker::SubscribeKeys(const CheckContext* context,
 }
 
 void Checker::SetCurrentOp(SourceLocation op) {
-  std::lock_guard<std::mutex> lock(op_mu_);
-  current_op_ = std::move(op);
+  OpState* state = op_state_.load(std::memory_order_acquire);
+  if (state == nullptr) {
+    auto* fresh = new OpState();
+    if (op_state_.compare_exchange_strong(state, fresh, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      state = fresh;
+    } else {
+      delete fresh;  // lost the race; `state` now holds the winner
+    }
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->op = std::move(op);
 }
 
 SourceLocation Checker::CurrentOp() const {
-  std::lock_guard<std::mutex> lock(op_mu_);
-  return current_op_;
+  OpState* state = op_state_.load(std::memory_order_acquire);
+  if (state == nullptr) {
+    return SourceLocation{};
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->op;
 }
 
 FailureSignature Checker::MakeSignature(FailureType ftype, SourceLocation loc, StatusCode code,

@@ -6,6 +6,7 @@
 // fate* with the code it mimics, so a hung checker is itself the detection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -68,17 +69,15 @@ class Checker {
  public:
   using Options = CheckerOptions;
 
-  Checker(std::string name, std::string component, CheckerType type, Options options = {})
-      : name_(std::move(name)), component_(std::move(component)), type_(type),
-        options_(options) {}
-  virtual ~Checker() = default;
+  Checker(std::string name, std::string component, CheckerType type, Options options = {});
+  virtual ~Checker();
 
   // Runs one check. May block on a mimicked operation (that's the point);
   // the driver enforces options().timeout around the whole call.
   virtual CheckResult Check() = 0;
 
   const std::string& name() const { return name_; }
-  const std::string& component() const { return component_; }
+  const std::string& component() const { return *component_; }
   CheckerType type() const { return type_; }
   const Options& options() const { return options_; }
 
@@ -103,16 +102,22 @@ class Checker {
                                  std::string message, std::string context_dump = "") const;
 
  private:
+  // Holder for the mimic-only current-op pinpoint. Allocated lazily on the
+  // first SetCurrentOp so the million probe/signal checkers that never
+  // publish an op pay one pointer, not a mutex plus a SourceLocation.
+  struct OpState;
+
   const std::string name_;
-  const std::string component_;
+  // Interned: fleets share one string per component (there are a handful of
+  // components and up to 10^6 checkers).
+  const std::string* component_;
   const CheckerType type_;
   const Options options_;
 
   const CheckContext* subscription_context_ = nullptr;
   std::vector<uint32_t> subscription_slots_;
 
-  mutable std::mutex op_mu_;
-  SourceLocation current_op_;
+  mutable std::atomic<OpState*> op_state_{nullptr};
 };
 
 }  // namespace wdg

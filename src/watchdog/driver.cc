@@ -72,6 +72,7 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       {"wdg.driver.supervisor.kicks", static_cast<double>(supervisor_kicks)},
       {"wdg.driver.supervisor.kicks_withheld",
        static_cast<double>(supervisor_kicks_withheld)},
+      {"wdg.driver.batches_stolen", static_cast<double>(batches_stolen)},
   };
   // Per-shard gauges only when actually sharded, so the single-scheduler map
   // stays free of redundant copies of the aggregate.
@@ -86,6 +87,8 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
       map[prefix + "completed"] = static_cast<double>(view.completed);
       map[prefix + "wheel.entries"] = static_cast<double>(view.wheel_entries);
       map[prefix + "skipped_unchanged"] = static_cast<double>(view.skipped_unchanged);
+      map[prefix + "batches_stolen"] = static_cast<double>(view.batches_stolen);
+      map[prefix + "workers.abandoned"] = static_cast<double>(view.workers_abandoned);
     }
   }
   for (const auto& [name, deadline_ns] : checker_deadline_ns) {
@@ -145,13 +148,14 @@ std::optional<size_t> WatchdogDriver::FindSlotLocked(const std::string& checker_
 Checker* WatchdogDriver::AddChecker(std::unique_ptr<Checker> checker) {
   assert(!running() && "checkers must be registered before Start()");
   std::lock_guard<std::mutex> reg_lock(reg_mu_);
-  auto slot = std::make_unique<Slot>();
-  slot->checker = std::move(checker);
-  slot->shard = ShardFor(*slot->checker);
-  Checker* borrowed = slot->checker.get();
+  Slot slot;
+  slot.checker = std::move(checker);
+  slot.shard = static_cast<uint16_t>(ShardFor(*slot.checker));
+  Checker* borrowed = slot.checker.get();
   const size_t index = slots_.size();
-  index_by_name_.emplace(slot->checker->name(), index);  // first name wins
-  shards_[static_cast<size_t>(slot->shard)]->members.push_back(index);
+  // Key is a view into the heap-stable Checker name; first name wins.
+  index_by_name_.emplace(std::string_view(borrowed->name()), index);
+  shards_[slot.shard]->members.push_back(index);
   slots_.push_back(std::move(slot));
   return borrowed;
 }
@@ -166,16 +170,16 @@ Status WatchdogDriver::TryAddChecker(std::unique_ptr<Checker> checker) {
                   checker->name().c_str()));
   }
   std::lock_guard<std::mutex> reg_lock(reg_mu_);
-  if (index_by_name_.count(checker->name()) != 0) {
+  if (index_by_name_.count(std::string_view(checker->name())) != 0) {
     return AlreadyExistsError(
         StrFormat("checker '%s' is already registered", checker->name().c_str()));
   }
-  auto slot = std::make_unique<Slot>();
-  slot->checker = std::move(checker);
-  slot->shard = ShardFor(*slot->checker);
+  Slot slot;
+  slot.checker = std::move(checker);
+  slot.shard = static_cast<uint16_t>(ShardFor(*slot.checker));
   const size_t index = slots_.size();
-  index_by_name_.emplace(slot->checker->name(), index);
-  shards_[static_cast<size_t>(slot->shard)]->members.push_back(index);
+  index_by_name_.emplace(std::string_view(slot.checker->name()), index);
+  shards_[slot.shard]->members.push_back(index);
   slots_.push_back(std::move(slot));
   return Status::Ok();
 }
@@ -196,13 +200,13 @@ Status WatchdogDriver::SetValidationProbe(std::function<Status()> probe,
 }
 
 void WatchdogDriver::AddListener(FailureListener* listener) {
-  std::lock_guard<std::mutex> lock(failures_mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.push_back(listener);
 }
 
 void WatchdogDriver::AddRecoveryAction(const std::string& component_prefix,
                                        RecoveryAction* action) {
-  std::lock_guard<std::mutex> lock(failures_mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   recovery_actions_.emplace_back(component_prefix, action);
 }
 
@@ -245,7 +249,7 @@ Status WatchdogDriver::Start() {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.wheel = std::make_unique<TimerWheel>(now, options_.wheel_tick);
       for (const size_t slot_index : shard.members) {
-        Slot& slot = *slots_[slot_index];
+        Slot& slot = slots_[slot_index];
         if (options_.per_checker_metrics) {
           slot.latency_hist = metrics_->GetHistogram(
               "wdg.driver.checker." + slot.checker->name() + ".latency_ns");
@@ -298,7 +302,7 @@ Status WatchdogDriver::Stop() {
   // Join validation-probe threads.
   std::vector<std::unique_ptr<ProbeRun>> probes;
   {
-    std::lock_guard<std::mutex> lock(failures_mu_);
+    std::lock_guard<std::mutex> lock(listeners_mu_);
     probes.swap(probe_drain_);
   }
   probes.clear();  // JoiningThread dtor joins
@@ -323,30 +327,41 @@ void WatchdogDriver::ScheduleLocked(Shard& shard, Slot& slot, size_t slot_index,
 
 void WatchdogDriver::LaunchBatchLocked(Shard& shard, const std::vector<size_t>& launches,
                                        TimeNs now) {
+  // Allocation-free in steady state: executions live in recycled slabs from
+  // the shard executor's freelist, not in per-dispatch heap objects. The
+  // scheduler takes one reference per execution (sched_refs, set before the
+  // batch becomes runnable) and gives each back via ReleaseExecution when it
+  // drops the pointer; the slab returns to the freelist when both the
+  // scheduler refs and the worker's release have drained.
   const size_t batch_size = static_cast<size_t>(options_.dispatch_batch);
-  std::vector<std::shared_ptr<Execution>> batch;
-  batch.reserve(std::min(launches.size(), batch_size));
   for (size_t start = 0; start < launches.size(); start += batch_size) {
     const size_t end = std::min(launches.size(), start + batch_size);
-    batch.clear();
-    for (size_t i = start; i < end; ++i) {
-      auto exec = std::make_shared<Execution>();
-      exec->checker = slots_[launches[i]]->checker.get();
-      batch.push_back(std::move(exec));
+    const size_t n = end - start;
+    DispatchBatch* slab = shard.executor->AcquireBatch(batch_size);
+    for (size_t i = 0; i < n; ++i) {
+      Execution& exec = slab->storage[i];
+      exec.checker = slots_[launches[start + i]].checker.get();
+      exec.dispatch_time.store(0, std::memory_order_relaxed);
+      exec.done.store(false, std::memory_order_relaxed);
+      exec.state.store(static_cast<uint8_t>(ExecState::kPending),
+                       std::memory_order_relaxed);
     }
-    if (!shard.executor->SubmitBatch(batch)) {
+    slab->count = n;
+    slab->sched_refs = static_cast<int>(n);
+    if (!shard.executor->SubmitBatch(slab)) {
       // Queue full: backpressure. The checks are late, never a new thread.
+      shard.executor->RecycleUnsubmitted(slab);
       for (size_t i = start; i < end; ++i) {
-        ScheduleLocked(shard, *slots_[launches[i]], launches[i],
+        ScheduleLocked(shard, slots_[launches[i]], launches[i],
                        now + kBackpressureRetry);
       }
       continue;
     }
-    for (size_t i = start; i < end; ++i) {
-      Slot& slot = *slots_[launches[i]];
+    for (size_t i = 0; i < n; ++i) {
+      Slot& slot = slots_[launches[start + i]];
       ++slot.stats.runs;
-      slot.running = batch[i - start];
-      shard.inflight.push_back(launches[i]);
+      slot.running = &slab->storage[i];
+      shard.inflight.push_back(launches[start + i]);
     }
   }
 }
@@ -422,13 +437,14 @@ void WatchdogDriver::CancelBatchSiblingsLocked(Shard& shard, const ExecutionBatc
   // never happened, so it is not a run. Stale inflight entries are swept by
   // the reap pass before the next launch step, so no slot appears twice.
   for (const size_t slot_index : shard.inflight) {
-    Slot& slot = *slots_[slot_index];
-    if (!slot.running || slot.running->batch.get() != batch) {
+    Slot& slot = slots_[slot_index];
+    if (slot.running == nullptr || slot.running->batch != batch) {
       continue;
     }
     if (CasState(*slot.running, ExecState::kPending, ExecState::kCancelled)) {
       --slot.stats.runs;
-      slot.running.reset();
+      shard.executor->ReleaseExecution(*slot.running);
+      slot.running = nullptr;
       ScheduleLocked(shard, slot, slot_index, now + kBackpressureRetry);
     }
   }
@@ -439,12 +455,15 @@ void WatchdogDriver::ReapLocked(Shard& shard, Slot& slot, size_t slot_index, Tim
   // Drain abandoned executions that have finally finished (their results are
   // stale and discarded; the liveness signature was already emitted).
   const bool was_suspended = !slot.drain.empty();
-  std::erase_if(slot.drain, [](const std::shared_ptr<Execution>& exec) {
-    std::lock_guard<std::mutex> exec_lock(exec->mu);
-    return exec->done;
+  std::erase_if(slot.drain, [&shard](Execution* exec) {
+    if (!exec->done.load(std::memory_order_acquire)) {
+      return false;
+    }
+    shard.executor->ReleaseExecution(*exec);
+    return true;
   });
 
-  if (!slot.running) {
+  if (slot.running == nullptr) {
     if (was_suspended && slot.drain.empty() && slot.enabled) {
       // The stuck execution drained: resume the suspended checker.
       ScheduleLocked(shard, slot, slot_index, std::max(slot.next_run, now));
@@ -460,15 +479,12 @@ void WatchdogDriver::ReapLocked(Shard& shard, Slot& slot, size_t slot_index, Tim
     // reclaimed by CancelBatchSiblingsLocked itself; reclaim here too in case
     // a future path leaves one behind. Never dispatched → not a run.
     --slot.stats.runs;
-    slot.running.reset();
+    shard.executor->ReleaseExecution(exec);
+    slot.running = nullptr;
     ScheduleLocked(shard, slot, slot_index, now + kBackpressureRetry);
     return;
   }
-  bool done;
-  {
-    std::lock_guard<std::mutex> exec_lock(exec.mu);
-    done = exec.done;
-  }
+  bool done = exec.done.load(std::memory_order_acquire);
 
   if (!done) {
     // Still running: enforce the deadline, counted from dispatch (queue wait
@@ -489,34 +505,29 @@ void WatchdogDriver::ReapLocked(Shard& shard, Slot& slot, size_t slot_index, Tim
       ++slot.stats.timeouts;
       timeouts_total_.fetch_add(1, std::memory_order_relaxed);
       EmitLivenessSignature(slot, deadline, pending);
-      const ExecutionBatch* batch = exec.batch.get();
-      slot.drain.push_back(std::move(slot.running));
+      const ExecutionBatch* batch = exec.batch;
+      // Transfer (not drop) the scheduler's reference into the drain list;
+      // it is released when the hung execution finally publishes `done`.
+      slot.drain.push_back(slot.running);
+      slot.running = nullptr;
       slot.next_run = now + checker.options().interval;  // resumes after drain
       CancelBatchSiblingsLocked(shard, batch, now);
       return;
     }
     // Abandon lost the race with completion: fall through and reap the
     // (barely late) result normally.
-    {
-      std::lock_guard<std::mutex> exec_lock(exec.mu);
-      done = exec.done;
-    }
+    done = exec.done.load(std::memory_order_acquire);
     if (!done) {
       return;  // completion is mid-publish; the wake event will bring us back
     }
   }
 
-  CheckResult result;
-  bool crashed;
-  std::string what;
-  TimeNs complete_time;
-  {
-    std::lock_guard<std::mutex> exec_lock(exec.mu);
-    result = std::move(exec.result);
-    crashed = exec.crashed;
-    what = std::move(exec.crash_what);
-    complete_time = exec.complete_time;
-  }
+  // `done` was loaded with acquire ordering: every plain field the worker
+  // published before the release store is visible here.
+  CheckResult result = std::move(exec.result);
+  const bool crashed = exec.crashed;
+  std::string what = std::move(exec.crash_what);
+  const TimeNs complete_time = exec.complete_time;
   const TimeNs dispatched = exec.dispatch_time.load(std::memory_order_acquire);
   const DurationNs latency = complete_time - dispatched;
   slot.stats.total_latency += latency;
@@ -527,7 +538,8 @@ void WatchdogDriver::ReapLocked(Shard& shard, Slot& slot, size_t slot_index, Tim
   if (slot.stats.runs % kBudgetRefreshRuns == 0) {
     RefreshBudgetLocked(slot);
   }
-  slot.running.reset();
+  shard.executor->ReleaseExecution(exec);
+  slot.running = nullptr;
   ScheduleLocked(shard, slot, slot_index, now + checker.options().interval);
 
   if (crashed) {
@@ -569,33 +581,29 @@ void WatchdogDriver::FinalReapShardLocked(Shard& shard, TimeNs now) {
   // so a healthy checker ends with runs == passes; signatures surfacing this
   // late are dropped (the driver is stopping — nobody is listening for them).
   for (const size_t slot_index : shard.members) {
-    Slot& slot = *slots_[slot_index];
-    slot.drain.clear();  // stale by definition; already signatured
-    if (!slot.running) {
+    Slot& slot = slots_[slot_index];
+    // Drained executions are stale by definition (already signatured); give
+    // their scheduler references back so the slabs can retire.
+    for (Execution* drained : slot.drain) {
+      shard.executor->ReleaseExecution(*drained);
+    }
+    slot.drain.clear();
+    if (slot.running == nullptr) {
       continue;
     }
     Execution& exec = *slot.running;
-    bool done;
-    {
-      std::lock_guard<std::mutex> exec_lock(exec.mu);
-      done = exec.done;
-    }
+    const bool done = exec.done.load(std::memory_order_acquire);
     if (!done) {
       // Never dispatched (discarded from the queue at Stop, or cancelled out
       // of an abandoned batch): un-count the run.
       --slot.stats.runs;
-      slot.running.reset();
+      shard.executor->ReleaseExecution(exec);
+      slot.running = nullptr;
       continue;
     }
-    CheckResult result;
-    bool crashed;
-    TimeNs complete_time;
-    {
-      std::lock_guard<std::mutex> exec_lock(exec.mu);
-      result = std::move(exec.result);
-      crashed = exec.crashed;
-      complete_time = exec.complete_time;
-    }
+    CheckResult result = std::move(exec.result);
+    const bool crashed = exec.crashed;
+    const TimeNs complete_time = exec.complete_time;
     const TimeNs dispatched = exec.dispatch_time.load(std::memory_order_acquire);
     slot.stats.total_latency += complete_time - dispatched;
     slot.stats.total_queue_delay += dispatched - exec.enqueue_time;
@@ -608,7 +616,8 @@ void WatchdogDriver::FinalReapShardLocked(Shard& shard, TimeNs now) {
     } else if (result.outcome == CheckOutcome::kFail) {
       ++slot.stats.fails;
     }
-    slot.running.reset();
+    shard.executor->ReleaseExecution(exec);
+    slot.running = nullptr;
   }
   shard.inflight.clear();
   (void)now;
@@ -628,9 +637,9 @@ void WatchdogDriver::ShardLoop(size_t shard_index) {
       // (1) Reap in-flight executions: completions, hang deadlines, drains.
       for (size_t i = 0; i < shard.inflight.size();) {
         const size_t slot_index = shard.inflight[i];
-        Slot& slot = *slots_[slot_index];
+        Slot& slot = slots_[slot_index];
         ReapLocked(shard, slot, slot_index, now, pending);
-        if (!slot.running && slot.drain.empty()) {
+        if (slot.running == nullptr && slot.drain.empty()) {
           shard.inflight[i] = shard.inflight.back();
           shard.inflight.pop_back();
         } else {
@@ -646,11 +655,11 @@ void WatchdogDriver::ShardLoop(size_t shard_index) {
       for (const uint64_t payload : shard.due) {
         const size_t slot_index = static_cast<size_t>(payload >> 32);
         const uint32_t gen = static_cast<uint32_t>(payload);
-        Slot& slot = *slots_[slot_index];
-        if (gen != static_cast<uint32_t>(slot.sched_gen)) {
+        Slot& slot = slots_[slot_index];
+        if (gen != slot.sched_gen) {
           continue;  // superseded by a newer schedule for this slot
         }
-        if (!slot.enabled || slot.running || !slot.drain.empty()) {
+        if (!slot.enabled || slot.running != nullptr || !slot.drain.empty()) {
           continue;  // disabled slots reschedule on re-enable; suspended on drain
         }
         if (ShouldSkipUnchangedLocked(slot)) {
@@ -671,8 +680,8 @@ void WatchdogDriver::ShardLoop(size_t shard_index) {
         next_deadline = std::min(next_deadline, *next_event);
       }
       for (const size_t slot_index : shard.inflight) {
-        Slot& slot = *slots_[slot_index];
-        if (slot.running) {
+        Slot& slot = slots_[slot_index];
+        if (slot.running != nullptr) {
           const TimeNs dispatched =
               slot.running->dispatch_time.load(std::memory_order_acquire);
           if (dispatched != 0) {
@@ -685,18 +694,43 @@ void WatchdogDriver::ShardLoop(size_t shard_index) {
       // deadline detection also bounds how fast the pool reacts to load.
       shard.executor->MaybeScale(now);
     }
+    // Work-stealing (pool-internal locks only, never under shard.mu): help a
+    // backlogged sibling when this shard's own queue is empty, and advertise
+    // our own backlog (edge-triggered, one wake per episode) so idle siblings
+    // come help instead of sleeping out their timer wheels. Both sides demand
+    // a *saturated* pool (every worker busy): a batch queued next to an idle
+    // worker is claimed in microseconds, so stealing it — or waking seven
+    // sibling schedulers over it — buys no latency and costs a cross-core
+    // bounce; on a loaded one-core box those spurious wakes alone were worth
+    // ~10x on the 10k fleet's p99 queue delay.
+    if (options_.work_stealing && shards_.size() > 1) {
+      const size_t own_depth = shard.executor->queue_depth_hint();
+      if (own_depth == 0) {
+        shard.backlog_advertised = false;
+        MaybeStealWork(shard_index);
+      } else if (own_depth >= 2 && !shard.backlog_advertised &&
+                 shard.executor->busy_count_hint() >=
+                     shard.executor->worker_count_hint()) {
+        shard.backlog_advertised = true;
+        for (auto& other : shards_) {
+          if (other.get() != &shard) {
+            other->wake.Notify();
+          }
+        }
+      }
+    }
     // Utilization across all shards' pools (lock-free counters), so the gauge
     // reflects the fleet no matter which shard updated it last.
     int workers = 0;
     int busy = 0;
     for (const auto& other : shards_) {
-      workers += other->executor->worker_count();
-      busy += other->executor->busy_count();
+      workers += other->executor->worker_count_hint();
+      busy += other->executor->busy_count_hint();
     }
     pool_utilization_gauge_->Set(
         workers == 0 ? 0.0 : static_cast<double>(busy) / workers);
     for (PendingFailure& failure : pending) {
-      HandleFailure(std::move(failure.signature), failure.checker_type, now);
+      HandleFailure(std::move(failure.signature), failure.checker_type, now, shard);
     }
     const TimeNs before_sleep = clock_.NowNs();
     TimeNs wake_deadline = next_deadline;
@@ -712,6 +746,46 @@ void WatchdogDriver::ShardLoop(size_t shard_index) {
       shard.wake.WaitFor(wake_deadline - before_sleep);
     }
   }
+}
+
+void WatchdogDriver::MaybeStealWork(size_t thief_index) {
+  // Called with no locks held. Batches sitting in a sibling's queue are
+  // all-kPending (a worker claims executions only after popping the batch),
+  // so moving one re-homes the whole unit of work: the steal rewrites the
+  // batch's ticket/runner under both pool locks before it becomes runnable
+  // on this shard's pool, which keeps the scheduler's abandon path —
+  // AbandonBatch routes through control.runner — exactly-once on whichever
+  // pool actually runs the batch.
+  CheckerExecutor& thief = *shards_[thief_index]->executor;
+  const int idle = thief.worker_count_hint() - thief.busy_count_hint();
+  if (idle <= 0) {
+    return;
+  }
+  size_t victim_index = thief_index;
+  size_t max_depth = 0;  // any queued batch on a *saturated* sibling is fair game
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s == thief_index) {
+      continue;
+    }
+    CheckerExecutor& candidate = *shards_[s]->executor;
+    const size_t depth = candidate.queue_depth_hint();
+    if (depth == 0 ||
+        candidate.busy_count_hint() < candidate.worker_count_hint()) {
+      // An idle worker over there will claim the queued batch faster than a
+      // steal can re-ticket it; only a pool with every worker busy (wedged or
+      // overloaded) genuinely needs the help.
+      continue;
+    }
+    if (depth > max_depth) {
+      max_depth = depth;
+      victim_index = s;
+    }
+  }
+  if (victim_index == thief_index) {
+    return;  // no saturated sibling with a backlog
+  }
+  (void)thief.TryStealFrom(*shards_[victim_index]->executor,
+                           static_cast<size_t>(idle));
 }
 
 void WatchdogDriver::MaybeKickSupervisor(TimeNs now) {
@@ -783,7 +857,7 @@ bool WatchdogDriver::RunValidationProbe() {
     clock_.SleepFor(Ms(1));
   }
   {
-    std::lock_guard<std::mutex> lock(failures_mu_);
+    std::lock_guard<std::mutex> lock(listeners_mu_);
     // Garbage-collect finished probe validations (joins are instant: done).
     std::erase_if(probe_drain_, [](const std::unique_ptr<ProbeRun>& p) {
       std::lock_guard<std::mutex> probe_lock(p->mu);
@@ -797,23 +871,26 @@ bool WatchdogDriver::RunValidationProbe() {
   return failed;
 }
 
-void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeNs now) {
-  // Called from a shard's scheduler thread WITHOUT shard.mu held.
+void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeNs now,
+                                   Shard& home) {
+  // Called from `home`'s scheduler thread WITHOUT shard.mu held. Records go
+  // into the home shard's lane: a checker lives on exactly one shard, so
+  // per-lane dedup sees every signature the checker can produce.
   sig.detect_time = now;
   sig.checker_kind = CheckerTypeName(type);
 
   {
-    std::lock_guard<std::mutex> lock(failures_mu_);
+    std::lock_guard<std::mutex> lock(home.lane.mu);
     const std::string key = sig.DedupKey();
-    const auto it = dedup_last_.find(key);
-    if (it != dedup_last_.end() && now - it->second < options_.dedup_window) {
+    const auto it = home.lane.dedup_last.find(key);
+    if (it != home.lane.dedup_last.end() && now - it->second < options_.dedup_window) {
       deduped_.fetch_add(1);
       return;
     }
-    dedup_last_[key] = now;
+    home.lane.dedup_last[key] = now;
     // Prune entries outside the window so long campaigns with churning
     // signatures don't grow this map without bound.
-    std::erase_if(dedup_last_, [&](const auto& entry) {
+    std::erase_if(home.lane.dedup_last, [&](const auto& entry) {
       return now - entry.second >= options_.dedup_window;
     });
   }
@@ -830,14 +907,17 @@ void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeN
   }
 
   WDG_LOG(kInfo) << "watchdog failure: " << sig.ToString();
+  {
+    std::lock_guard<std::mutex> lock(home.lane.mu);
+    home.lane.failures.push_back(sig);
+  }
+  if (suppress) {
+    return;
+  }
   std::vector<FailureListener*> listeners;
   std::vector<std::pair<std::string, RecoveryAction*>> actions;
   {
-    std::lock_guard<std::mutex> lock(failures_mu_);
-    failures_.push_back(sig);
-    if (suppress) {
-      return;
-    }
+    std::lock_guard<std::mutex> lock(listeners_mu_);
     listeners = listeners_;
     actions = recovery_actions_;
   }
@@ -852,25 +932,40 @@ void WatchdogDriver::HandleFailure(FailureSignature sig, CheckerType type, TimeN
 }
 
 std::vector<FailureSignature> WatchdogDriver::Failures() const {
-  std::lock_guard<std::mutex> lock(failures_mu_);
-  return failures_;
+  // Merge the per-shard lanes into one detect-time-ordered view. This is the
+  // cold read path; recording stays shard-local and contention-free.
+  std::vector<FailureSignature> all;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->lane.mu);
+    all.insert(all.end(), shard->lane.failures.begin(), shard->lane.failures.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FailureSignature& a, const FailureSignature& b) {
+                     return a.detect_time < b.detect_time;
+                   });
+  return all;
 }
 
 std::optional<FailureSignature> WatchdogDriver::FirstFailure() const {
-  std::lock_guard<std::mutex> lock(failures_mu_);
-  if (failures_.empty()) {
-    return std::nullopt;
+  std::optional<FailureSignature> first;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->lane.mu);
+    for (const FailureSignature& sig : shard->lane.failures) {
+      if (!first.has_value() || sig.detect_time < first->detect_time) {
+        first = sig;
+      }
+    }
   }
-  return failures_.front();
+  return first;
 }
 
 bool WatchdogDriver::WaitForFailure(DurationNs timeout,
                                     std::function<bool(const FailureSignature&)> pred) const {
   const TimeNs deadline = clock_.NowNs() + timeout;
   while (clock_.NowNs() < deadline) {
-    {
-      std::lock_guard<std::mutex> lock(failures_mu_);
-      for (const FailureSignature& sig : failures_) {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->lane.mu);
+      for (const FailureSignature& sig : shard->lane.failures) {
         if (!pred || pred(sig)) {
           return true;
         }
@@ -883,22 +978,22 @@ bool WatchdogDriver::WaitForFailure(DurationNs timeout,
 
 Status WatchdogDriver::TrySetCheckerEnabled(const std::string& checker_name,
                                             bool enabled) {
-  size_t index;
-  {
-    std::lock_guard<std::mutex> reg_lock(reg_mu_);
-    const auto found = FindSlotLocked(checker_name);
-    if (!found.has_value()) {
-      return NotFoundError(
-          StrFormat("no checker named '%s' is registered", checker_name.c_str()));
-    }
-    index = *found;
+  // reg_mu_ is held through the shard.mu section: slots_ is by-value, so a
+  // concurrent registration's push_back could otherwise move the Slot out
+  // from under us. Lock order reg_mu_ → shard.mu is the documented one.
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  const auto found = FindSlotLocked(checker_name);
+  if (!found.has_value()) {
+    return NotFoundError(
+        StrFormat("no checker named '%s' is registered", checker_name.c_str()));
   }
-  Slot& slot = *slots_[index];
-  Shard& shard = *shards_[static_cast<size_t>(slot.shard)];
+  const size_t index = *found;
+  Slot& slot = slots_[index];
+  Shard& shard = *shards_[slot.shard];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     slot.enabled = enabled;
-    if (enabled && running() && shard.wheel != nullptr && !slot.running &&
+    if (enabled && running() && shard.wheel != nullptr && slot.running == nullptr &&
         slot.drain.empty()) {
       // Resume immediately (suspended slots resume when their drain clears).
       ScheduleLocked(shard, slot, index, clock_.NowNs());
@@ -909,32 +1004,24 @@ Status WatchdogDriver::TrySetCheckerEnabled(const std::string& checker_name,
 }
 
 bool WatchdogDriver::IsCheckerEnabled(const std::string& checker_name) const {
-  size_t index;
-  {
-    std::lock_guard<std::mutex> reg_lock(reg_mu_);
-    const auto found = FindSlotLocked(checker_name);
-    if (!found.has_value()) {
-      return false;
-    }
-    index = *found;
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  const auto found = FindSlotLocked(checker_name);
+  if (!found.has_value()) {
+    return false;
   }
-  const Slot& slot = *slots_[index];
-  std::lock_guard<std::mutex> lock(shards_[static_cast<size_t>(slot.shard)]->mu);
+  const Slot& slot = slots_[*found];
+  std::lock_guard<std::mutex> lock(shards_[slot.shard]->mu);
   return slot.enabled;
 }
 
 CheckerStats WatchdogDriver::StatsFor(const std::string& checker_name) const {
-  size_t index;
-  {
-    std::lock_guard<std::mutex> reg_lock(reg_mu_);
-    const auto found = FindSlotLocked(checker_name);
-    if (!found.has_value()) {
-      return CheckerStats{};
-    }
-    index = *found;
+  std::lock_guard<std::mutex> reg_lock(reg_mu_);
+  const auto found = FindSlotLocked(checker_name);
+  if (!found.has_value()) {
+    return CheckerStats{};
   }
-  const Slot& slot = *slots_[index];
-  std::lock_guard<std::mutex> lock(shards_[static_cast<size_t>(slot.shard)]->mu);
+  const Slot& slot = slots_[*found];
+  std::lock_guard<std::mutex> lock(shards_[slot.shard]->mu);
   return slot.stats;
 }
 
@@ -947,8 +1034,8 @@ std::vector<std::string> WatchdogDriver::CheckerNames() const {
   std::lock_guard<std::mutex> reg_lock(reg_mu_);
   std::vector<std::string> names;
   names.reserve(slots_.size());
-  for (const auto& slot : slots_) {
-    names.push_back(slot->checker->name());
+  for (const Slot& slot : slots_) {
+    names.push_back(slot.checker->name());
   }
   return names;
 }
@@ -959,7 +1046,7 @@ int WatchdogDriver::ShardOf(const std::string& checker_name) const {
   if (!found.has_value()) {
     return -1;
   }
-  return slots_[*found]->shard;
+  return static_cast<int>(slots_[*found].shard);
 }
 
 DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
@@ -976,6 +1063,8 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
     view.completed = executor.completed_count();
     view.skipped_unchanged =
         shards_[s]->skipped_unchanged.load(std::memory_order_relaxed);
+    view.batches_stolen = executor.batches_stolen();
+    view.workers_abandoned = executor.workers_abandoned();
     snapshot.pool_workers += view.workers;
     snapshot.busy_workers += view.busy;
     snapshot.queue_depth += view.queue_depth;
@@ -991,6 +1080,7 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
     snapshot.workers_retired += executor.workers_retired();
     snapshot.batches_dispatched += executor.batches_submitted();
     snapshot.skipped_unchanged += view.skipped_unchanged;
+    snapshot.batches_stolen += view.batches_stolen;
   }
   snapshot.pool_utilization =
       snapshot.pool_workers == 0
@@ -1011,7 +1101,7 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
         continue;  // 100k fleets: no per-checker map
       }
       for (const size_t slot_index : shard.members) {
-        const Slot& slot = *slots_[slot_index];
+        const Slot& slot = slots_[slot_index];
         snapshot.checker_deadline_ns[slot.checker->name()] =
             static_cast<double>(SlotDeadlineLocked(slot));
         if (slot.deadline_budget == 0 && slot.checker->options().deadline_prior > 0) {

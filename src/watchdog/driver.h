@@ -50,6 +50,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -167,6 +168,9 @@ struct DriverMetricsSnapshot {
   int64_t supervisor_kicks = 0;           // kicks actually sent to wdogd
   int64_t supervisor_kicks_withheld = 0;  // due kicks withheld: liveness unproven
 
+  // Work-stealing between shard pools (0 with a single shard or stealing off).
+  int64_t batches_stolen = 0;
+
   // Per-shard breakdown (one entry per shard, index == shard id).
   struct ShardView {
     int workers = 0;
@@ -176,6 +180,8 @@ struct DriverMetricsSnapshot {
     int64_t completed = 0;
     size_t wheel_entries = 0;
     int64_t skipped_unchanged = 0;
+    int64_t batches_stolen = 0;     // batches this shard's pool stole from siblings
+    int64_t workers_abandoned = 0;  // hung workers parked off this shard's pool
   };
   std::vector<ShardView> shard_views;
 
@@ -263,6 +269,12 @@ struct WatchdogDriverOptions {
   // default; 10⁵-checker fleets turn it off (the shared queue-delay and
   // aggregate counters remain).
   bool per_checker_metrics = true;
+  // Work-stealing between shard executor pools (shards > 1 only): a shard
+  // whose pool queue is empty and has idle workers steals whole queued
+  // batches from the most-backlogged sibling's queue, re-routing the batch's
+  // abandon path so hang isolation stays exactly-once on whichever pool runs
+  // it (docs/DRIVER.md, "Work-stealing between shards").
+  bool work_stealing = true;
 };
 
 class WatchdogDriver {
@@ -336,24 +348,30 @@ class WatchdogDriver {
   MetricsRegistry& metrics() { return *metrics_; }
 
  private:
+  // By-value, cache-line-conscious: a million-checker fleet keeps slots_ as
+  // one contiguous array, and the fields the scheduler touches every pass
+  // (next_run / sched_gen / enabled / running / sub_fingerprint) sit in the
+  // first line of each slot. Executions are borrowed from the shard
+  // executor's slab freelist — raw pointers, released back exactly once via
+  // ReleaseExecution when the scheduler drops them.
   struct Slot {
-    std::unique_ptr<Checker> checker;
-    bool enabled = true;
-    int shard = 0;  // fixed at registration
     TimeNs next_run = 0;
-    uint64_t sched_gen = 0;  // matches the newest live wheel entry for the slot
-    std::shared_ptr<Execution> running;             // in-deadline execution
-    std::vector<std::shared_ptr<Execution>> drain;  // abandoned, still executing
-    CheckerStats stats;
-    Histogram* latency_hist = nullptr;  // wdg.driver.checker.<name>.latency_ns
-    // Histogram-derived hang deadline; 0 until the budget inference has enough
-    // samples, meaning "use the checker's static timeout".
-    DurationNs deadline_budget = 0;
+    Execution* running = nullptr;  // in-deadline execution (slab-owned)
     // Subscription-epoch baseline: the key-epoch fingerprint observed at the
     // last launch decision. A matching fingerprint at the next due time means
     // no subscribed key advanced → skip the run.
     uint64_t sub_fingerprint = 0;
+    uint32_t sched_gen = 0;  // matches the newest live wheel entry for the slot
+    uint16_t shard = 0;      // fixed at registration
+    bool enabled = true;
     bool sub_armed = false;
+    // Histogram-derived hang deadline; 0 until the budget inference has enough
+    // samples, meaning "use the checker's static timeout".
+    DurationNs deadline_budget = 0;
+    Histogram* latency_hist = nullptr;  // wdg.driver.checker.<name>.latency_ns
+    std::unique_ptr<Checker> checker;
+    std::vector<Execution*> drain;  // abandoned, still executing (slab-owned)
+    CheckerStats stats;
   };
 
   struct PendingFailure {
@@ -376,6 +394,20 @@ class WatchdogDriver {
     std::atomic<int64_t> skipped_unchanged{0};
     std::vector<uint64_t> due;          // scheduler-thread scratch
     std::vector<size_t> launch_scratch; // scheduler-thread scratch
+    // Work-stealing (scheduler-thread state): edge-triggered backlog
+    // advertisement — when this shard's queue crosses the steal threshold it
+    // wakes every sibling once; re-armed when the queue drains.
+    bool backlog_advertised = false;
+    // Shard-local failure lane: failures detected on this shard are recorded
+    // (and deduped — a checker lives on exactly one shard, so per-lane dedup
+    // is exact) under a lane mutex that no other shard's dispatch path ever
+    // touches. Readers merge lanes sorted by detect_time.
+    struct FailureLane {
+      mutable std::mutex mu;
+      std::vector<FailureSignature> failures;
+      std::map<std::string, TimeNs> dedup_last;
+    };
+    FailureLane lane;
   };
 
   void ShardLoop(size_t shard_index);
@@ -400,9 +432,16 @@ class WatchdogDriver {
   // last launch decision; updates the baseline fingerprint otherwise
   // (shard.mu held).
   bool ShouldSkipUnchangedLocked(Slot& slot);
-  // Dedup → validate → record → notify. Takes failures_mu_ only for short
-  // sections, so listeners may call back into driver accessors safely.
-  void HandleFailure(FailureSignature sig, CheckerType type, TimeNs now);
+  // Work-stealing pass, run once per scheduler iteration with no locks held:
+  // when this shard's pool has an empty queue and idle workers, steal queued
+  // batches from the most-backlogged sibling pool. Pool-internal locking only
+  // (thief lock, then try-lock victim) — never under any shard.mu.
+  void MaybeStealWork(size_t thief_index);
+  // Dedup → validate → record (into `home`'s shard-local lane) → notify.
+  // Takes the lane mutex / listeners_mu_ only for short sections, so
+  // listeners may call back into driver accessors safely.
+  void HandleFailure(FailureSignature sig, CheckerType type, TimeNs now,
+                     Shard& home);
   // Bounded run of the validation probe; hang counts as confirmed impact.
   // Called WITHOUT locks held.
   bool RunValidationProbe();
@@ -434,22 +473,25 @@ class WatchdogDriver {
   Gauge* pool_utilization_gauge_ = nullptr;
 
   // Registration plane: slots_ grows only before Start() (accessors take
-  // reg_mu_ against concurrent registration; scheduler threads read the
-  // frozen vector without it). Slot *state* is guarded by the owning shard's
-  // mutex. Lock order: reg_mu_ → shard.mu; never the reverse.
+  // reg_mu_ against concurrent registration and HOLD it across any shard.mu
+  // section they enter — the vector is by-value, so a concurrent push_back
+  // would invalidate Slot references; scheduler threads read the frozen
+  // vector without it). Slot *state* is guarded by the owning shard's mutex.
+  // Lock order: reg_mu_ → shard.mu; never the reverse.
   mutable std::mutex reg_mu_;
-  std::vector<std::unique_ptr<Slot>> slots_;
-  std::unordered_map<std::string, size_t> index_by_name_;
+  std::vector<Slot> slots_;
+  // Keys view into each slot's checker->name() — the Checker object is heap-
+  // stable even as slots_ reallocates, so the views never dangle.
+  std::unordered_map<std::string_view, size_t> index_by_name_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Failure plane (results, dedup, listeners): its own mutex so failure
-  // handling on one shard never contends with scheduling on another.
-  mutable std::mutex failures_mu_;
+  // Listener plane: registration of listeners / recovery actions / probe
+  // bookkeeping. Failure *records* live in per-shard lanes (Shard::lane) so
+  // the dispatch path never takes a global failure mutex.
+  mutable std::mutex listeners_mu_;
   std::vector<FailureListener*> listeners_;
   std::vector<std::pair<std::string, RecoveryAction*>> recovery_actions_;
-  std::vector<FailureSignature> failures_;
-  std::map<std::string, TimeNs> dedup_last_;
 
   // Probe validation bookkeeping (threads are rare and short-lived).
   struct ProbeRun {
@@ -458,7 +500,7 @@ class WatchdogDriver {
     bool failed = false;
     JoiningThread thread;
   };
-  std::vector<std::unique_ptr<ProbeRun>> probe_drain_;  // failures_mu_
+  std::vector<std::unique_ptr<ProbeRun>> probe_drain_;  // listeners_mu_
 
   // Supervised mode (shard-0 scheduler-thread state except the counters).
   DriverSupervision supervision_;

@@ -12,6 +12,17 @@ constexpr uint64_t Bit(int64_t index) { return uint64_t{1} << (index & 63); }
 TimerWheel::TimerWheel(TimeNs origin, DurationNs tick)
     : origin_(origin), tick_(tick > 0 ? tick : 1) {
   overdue_.reserve(64);
+  // Every bucket starts at the Push() floor: a first touch mid-run (e.g. a
+  // scheduler stall cascading an entry into a level-1 bucket that was never
+  // used before) must not be the one allocation that breaks the
+  // steady-state-allocation-free dispatch guarantee. 256 buckets x 16
+  // entries x 16 bytes = 64 KiB per wheel — noise next to the entries of
+  // any fleet large enough to care.
+  for (auto& level : buckets_) {
+    for (auto& bucket : level) {
+      bucket.reserve(16);
+    }
+  }
 }
 
 void TimerWheel::Schedule(TimeNs when, uint64_t payload) {
@@ -23,11 +34,24 @@ void TimerWheel::Schedule(TimeNs when, uint64_t payload) {
   Place(tick, payload);
 }
 
+void TimerWheel::Push(std::vector<Entry>& bucket, Entry entry) {
+  // Skip the 1->2->4->8 growth tail: bucket occupancy drifts as checker
+  // phases wander, so each new per-bucket size maximum would otherwise
+  // reallocate — a slow trickle of heap traffic that converges only after
+  // every bucket has seen its worst clump. Starting at a 16-entry floor,
+  // fleets whose per-tick clumps fit it are allocation-free from the first
+  // touch, and larger fleets converge in a couple of doublings.
+  if (bucket.size() == bucket.capacity()) {
+    bucket.reserve(bucket.capacity() < 8 ? 16 : bucket.capacity() * 2);
+  }
+  bucket.push_back(entry);
+}
+
 void TimerWheel::Place(int64_t tick, uint64_t payload) {
   ++size_;
   const int64_t delta = tick - current_tick_;
   if (delta <= 0) {
-    overdue_.push_back(Entry{tick, payload});
+    Push(overdue_, Entry{tick, payload});
     return;
   }
   int64_t horizon = kSlotsPerLevel;
@@ -38,12 +62,12 @@ void TimerWheel::Place(int64_t tick, uint64_t payload) {
       // the clock.
       const int64_t unit = horizon / kSlotsPerLevel;
       const int64_t bucket = (tick / unit) % kSlotsPerLevel;
-      buckets_[level][bucket].push_back(Entry{tick, payload});
+      Push(buckets_[level][bucket], Entry{tick, payload});
       occupancy_[level] |= Bit(bucket);
       return;
     }
   }
-  overflow_.push_back(Entry{tick, payload});
+  Push(overflow_, Entry{tick, payload});
 }
 
 void TimerWheel::CascadeBucket(int level, int64_t bucket_index) {
@@ -51,11 +75,14 @@ void TimerWheel::CascadeBucket(int level, int64_t bucket_index) {
   if (bucket.empty()) {
     return;
   }
-  std::vector<Entry> entries;
-  entries.swap(bucket);
+  // Swap through the member scratch so the buffers circulate between buckets
+  // instead of being freed and reallocated on every cascade: steady-state
+  // cascades are allocation-free once the fleet's bucket sizes have been seen.
+  cascade_scratch_.clear();
+  cascade_scratch_.swap(bucket);
   occupancy_[level] &= ~Bit(bucket_index);
-  size_ -= entries.size();  // Place re-counts each entry
-  for (const Entry& entry : entries) {
+  size_ -= cascade_scratch_.size();  // Place re-counts each entry
+  for (const Entry& entry : cascade_scratch_) {
     Place(entry.tick, entry.payload);
   }
 }
@@ -65,10 +92,10 @@ void TimerWheel::CascadeAt(int64_t tick) {
   // level-2 bucket that also opens at this boundary, and so on down.
   const int64_t top_unit = Unit(kLevels - 1) * kSlotsPerLevel;
   if (!overflow_.empty() && tick % top_unit == 0) {
-    std::vector<Entry> entries;
-    entries.swap(overflow_);
-    size_ -= entries.size();
-    for (const Entry& entry : entries) {
+    cascade_scratch_.clear();
+    cascade_scratch_.swap(overflow_);
+    size_ -= cascade_scratch_.size();
+    for (const Entry& entry : cascade_scratch_) {
       Place(entry.tick, entry.payload);
     }
   }

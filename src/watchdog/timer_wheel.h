@@ -76,6 +76,9 @@ class TimerWheel {
     return unit;
   }
 
+  // push_back with a 16-entry first reservation, so drifting bucket
+  // occupancy doesn't trickle reallocations through steady state.
+  static void Push(std::vector<Entry>& bucket, Entry entry);
   // Files an entry relative to current_tick_ (overdue / level bucket /
   // overflow) and maintains size_ + occupancy bits.
   void Place(int64_t tick, uint64_t payload);
@@ -93,6 +96,10 @@ class TimerWheel {
   std::array<uint64_t, kLevels> occupancy_{};  // bit b set ⇔ buckets_[l][b] non-empty
   std::vector<Entry> overdue_;   // due at/before current_tick_; next PopDue drains
   std::vector<Entry> overflow_;  // beyond the top level horizon
+  // Cascade staging buffer: CascadeBucket/CascadeAt swap a bucket's storage
+  // through here (and leave the previous scratch buffer behind in the bucket),
+  // so steady-state cascades never allocate.
+  std::vector<Entry> cascade_scratch_;
   size_t size_ = 0;
 };
 

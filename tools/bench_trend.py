@@ -21,8 +21,17 @@ metric deliberately), and appending from an uncommitted tree collapses
 consecutive trailing entries with the same "<sha>+dirty" tag so repeated
 dirty-tree runs keep only their latest measurement.
 
+One-core CI boxes measure some latencies with run-to-run spread well past the
+25% gate (p99 queue delay has ranged 54-548 us across identical binaries).
+The old workaround was a hand-edited threshold override; the supported path is
+now --repeat N --pick best: re-run the bench N times (--bench-cmd says how)
+and fold each metric direction-aware across rounds before gating, so the gate
+compares best-observed capability instead of one noisy sample.
+
 Usage:  tools/bench_trend.py [--repo-root DIR] [--threshold 0.25] [--dry-run]
                              [--allow-missing METRIC]...
+                             [--repeat N --pick {best,last}
+                              --bench-cmd CMD ...]
 Exit:   0 appended (or nothing to do with --dry-run), 1 regression or
         vanished metric, 2 no input.
 """
@@ -73,6 +82,14 @@ TRACKED = [
      "BENCH_driver_scale.json",
      lambda d: _config(d, checkers=10000, mode="sharded")["p99_queue_delay_us"],
      "down"),
+    ("driver_sharded_checks_per_sec_1m",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=1000000, mode="sharded")["checks_per_sec"],
+     "up"),
+    ("driver_sharded_p99_queue_delay_us_1m",
+     "BENCH_driver_scale.json",
+     lambda d: _config(d, checkers=1000000, mode="sharded")["p99_queue_delay_us"],
+     "down"),
 ]
 
 WINDOW = 3  # trend entries the regression gate compares against
@@ -100,6 +117,43 @@ def collect_metrics(root):
             print(f"bench_trend: could not read {name} from {source}: {err}",
                   file=sys.stderr)
     return metrics, directions
+
+
+def collect_rounds(root, repeat, bench_cmds, pick):
+    """Collect metrics over `repeat` rounds and fold them direction-aware.
+
+    Each round first runs every --bench-cmd (regenerating the JSON artifacts),
+    then extracts the tracked metrics. "best" keeps the best value a metric
+    reached in any round (max for "up", min for "down"); "last" keeps the
+    final round's value — the old single-sample behaviour.
+    """
+    rounds = []
+    directions = {}
+    for i in range(max(1, repeat)):
+        for cmd in bench_cmds:
+            print(f"bench_trend: round {i + 1}/{repeat}: {cmd}", file=sys.stderr)
+            proc = subprocess.run(cmd, shell=True, cwd=root)
+            if proc.returncode != 0:
+                print(f"bench_trend: bench command failed ({proc.returncode}): "
+                      f"{cmd}", file=sys.stderr)
+                return None, None
+        metrics, dirs = collect_metrics(root)
+        rounds.append(metrics)
+        directions.update(dirs)
+    folded = {}
+    for name in directions:
+        seen = [r[name] for r in rounds if name in r]
+        if not seen:
+            continue
+        if pick == "best":
+            folded[name] = max(seen) if directions[name] == "up" else min(seen)
+        else:
+            folded[name] = seen[-1]
+        if len(seen) > 1 and min(seen) != max(seen):
+            print(f"bench_trend: {name} spread over {len(seen)} rounds: "
+                  f"{min(seen):g}..{max(seen):g}, kept {folded[name]:g}",
+                  file=sys.stderr)
+    return folded, directions
 
 
 def git_sha(root):
@@ -190,10 +244,29 @@ def main():
                         help="previously-gated metric allowed to be absent "
                              "from this collection (repeatable; use when "
                              "deliberately retiring a metric)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="collection rounds; with --bench-cmd each round "
+                             "re-runs the benches first (default 1)")
+    parser.add_argument("--pick", choices=["best", "last"], default="last",
+                        help="how to fold a metric across rounds: 'best' is "
+                             "direction-aware (max throughput / min latency), "
+                             "'last' keeps the final round (default)")
+    parser.add_argument("--bench-cmd", action="append", default=[],
+                        metavar="CMD",
+                        help="shell command run in the repo root before each "
+                             "collection round to regenerate bench artifacts "
+                             "(repeatable, runs in order)")
     args = parser.parse_args()
     root = os.path.abspath(args.repo_root)
+    if args.repeat > 1 and not args.bench_cmd:
+        print("bench_trend: WARNING --repeat without --bench-cmd re-reads the "
+              "same artifacts every round; pass --bench-cmd to re-run benches",
+              file=sys.stderr)
 
-    metrics, directions = collect_metrics(root)
+    metrics, directions = collect_rounds(root, args.repeat, args.bench_cmd,
+                                         args.pick)
+    if metrics is None:
+        return 2
     if not metrics:
         print("bench_trend: no bench artifacts found; run the benches first",
               file=sys.stderr)

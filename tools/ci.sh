@@ -64,6 +64,12 @@ echo "=== bench smoke: 10k sharded fleet ==="
 # no JSON parsing is needed here; it also writes no JSON, but run it in the
 # build tree anyway to keep it away from the committed artifact.
 (cd build-ci/bench && ./bench_driver_scale --smoke-10k)
+echo "=== bench smoke: 1M-shape sharded fleet (downscaled) ==="
+# The million-checker driver shape (dispatch_batch 64, ring 8192), downscaled
+# to 200k checkers at the same ~500k/sec offered rate so the gate stays
+# sub-second per round: the allocation-free dispatch path must sustain at
+# least half the offered rate with p99 queue delay in budget.
+(cd build-ci/bench && ./bench_driver_scale --smoke-1m)
 echo "=== bench smoke: context read path ==="
 # Runs in the build tree so the quick-mode JSON can't clobber the committed
 # full-run artifact the trend gate below reads.
