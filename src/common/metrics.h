@@ -82,6 +82,11 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  // Non-creating lookup: nullptr when the gauge was never published. Lets
+  // monitors distinguish "metric reads 0" from "nobody is exporting this
+  // metric" without materialising a permanently-zero gauge.
+  Gauge* FindGauge(const std::string& name) const;
+
   // Counter and gauge values by name (histograms export count/mean/p99).
   std::map<std::string, double> Snapshot() const;
 

@@ -1,0 +1,120 @@
+#include "src/detectors/fusion.h"
+
+#include <cmath>
+
+namespace wdg {
+
+FusionDetector::FusionDetector(FusionPolicy policy) : policy_(policy) {}
+
+uint32_t FusionDetector::FamilyOf(const std::string& checker_kind) {
+  if (checker_kind == "probe") {
+    return kFamilyProbe;
+  }
+  if (checker_kind == "signal") {
+    return kFamilySignal;
+  }
+  if (checker_kind == "mimic") {
+    return kFamilyMimic;
+  }
+  return 0;  // unknown kinds (e.g. future families) carry no weight
+}
+
+double FusionDetector::WeightFor(uint32_t family) const {
+  switch (family) {
+    case kFamilyProbe:
+      return policy_.probe_weight;
+    case kFamilySignal:
+      return policy_.signal_weight;
+    case kFamilyMimic:
+      return policy_.mimic_weight;
+    default:
+      return 0;
+  }
+}
+
+double FusionDetector::ScoreLocked(TimeNs now, std::string* argmax) const {
+  double best = 0;
+  if (argmax != nullptr) {
+    argmax->clear();
+  }
+  for (const auto& [component, checkers] : evidence_) {
+    double sum = 0;
+    for (const auto& [name, ev] : checkers) {
+      const double age = now > ev.last ? static_cast<double>(now - ev.last) : 0.0;
+      const double decay =
+          std::exp2(-age / static_cast<double>(policy_.decay_half_life));
+      const double persistence =
+          std::min(1.0 + policy_.persistence_boost *
+                             static_cast<double>(ev.alarms - 1),
+                   policy_.max_persistence);
+      sum += WeightFor(ev.family) * decay * persistence;
+    }
+    if (sum > best) {
+      best = sum;
+      if (argmax != nullptr) {
+        *argmax = component;
+      }
+    }
+  }
+  return best;
+}
+
+void FusionDetector::OnFailure(const FailureSignature& signature) {
+  const uint32_t family = FamilyOf(signature.checker_kind);
+  if ((family & policy_.family_mask) == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++alarms_seen_;
+  const TimeNs now = signature.detect_time;
+  // Hysteresis re-arm happens on the PRE-update score: the quiet stretch
+  // since the last alarm is exactly what lets the score decay below clear.
+  if (firing_ && ScoreLocked(now, nullptr) < policy_.clear_threshold) {
+    firing_ = false;
+  }
+  const std::string& component = signature.location.component.empty()
+                                     ? signature.checker_name
+                                     : signature.location.component;
+  Evidence& ev = evidence_[component][signature.checker_name];
+  ev.family = family;
+  ev.last = std::max(ev.last, now);
+  ++ev.alarms;
+  std::string pinpoint;
+  const double score = ScoreLocked(now, &pinpoint);
+  if (!firing_ && score >= policy_.fire_threshold) {
+    firing_ = true;
+    fires_.push_back(FusionFire{now, score, std::move(pinpoint)});
+  }
+}
+
+double FusionDetector::ScoreAt(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ScoreLocked(now, nullptr);
+}
+
+std::string FusionDetector::PinpointAt(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string argmax;
+  (void)ScoreLocked(now, &argmax);
+  return argmax;
+}
+
+std::vector<FusionFire> FusionDetector::Fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_;
+}
+
+std::optional<TimeNs> FusionDetector::FirstFireTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fires_.empty()) {
+    return std::nullopt;
+  }
+  return fires_.front().at;
+}
+
+int64_t FusionDetector::alarms_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alarms_seen_;
+}
+
+}  // namespace wdg

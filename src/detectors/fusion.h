@@ -1,0 +1,128 @@
+// Verdict fusion: one gray-failure score from three checker families.
+//
+// Table 2's taxonomy says no single family is both complete and accurate:
+// probes are accurate but incomplete and pinpoint nothing; signals are
+// broadly applicable but noisy; mimics are strong on both but only cover the
+// ops that were reduced into checkers. The FusionDetector subscribes to the
+// driver's verdict stream (it is a FailureListener, so it sees every
+// post-dedup alarm from every family) and folds the streams into a single
+// [0, ~2] gray-failure score per component:
+//
+//   score(component, t) = Σ_checkers  w(family)
+//                         × 2^(-(t - last_alarm)/half_life)   (decay)
+//                         × min(1 + boost·(alarms-1), max)     (persistence)
+//   score(t)            = max over components
+//
+// Weights encode the taxonomy's completeness/accuracy profile (mimic >
+// probe > signal by default, FusionPolicy-configurable). Decay forgets stale
+// evidence; persistence rewards a family that keeps re-alarming through the
+// driver's dedup window (a leaking fd counter will; a one-sample queue blip
+// won't). Firing is hysteretic: once the score crosses fire_threshold the
+// detector latches and stays silent until decay drags the score below
+// clear_threshold, so an incident emits one fire, not one per alarm.
+//
+// Pinpointing: the component whose sum won the max is the fused verdict's
+// localization — fusion inherits the best localization among its inputs
+// instead of averaging it away.
+//
+// `family_mask` restricts which families count. The fault-matrix campaign
+// (src/eval/fault_matrix.h) runs four instances over the SAME verdict stream
+// — probe-only / signal-only / mimic-only / fused — which is what makes the
+// "fused dominates each single family" comparison honest: same trial, same
+// alarms, different masks. Because the fused score is a max of per-component
+// sums and every term is nonnegative, the fused score at any instant is >=
+// each masked score, so fused detection latency is <= each single-family
+// latency by construction; the campaign MEASURES it anyway.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/watchdog/driver.h"
+#include "src/watchdog/failure.h"
+
+namespace wdg {
+
+// Bitmask of checker families a FusionDetector listens to.
+enum FusionFamily : uint32_t {
+  kFamilyProbe = 1u << 0,
+  kFamilySignal = 1u << 1,
+  kFamilyMimic = 1u << 2,
+  kFamilyAll = kFamilyProbe | kFamilySignal | kFamilyMimic,
+};
+
+struct FusionPolicy {
+  // Per-family evidence weights: the taxonomy's accuracy profile. A single
+  // fresh mimic alarm (0.9) clears fire_threshold alone; a single signal
+  // alarm (0.45) needs either a second family or persistence.
+  double probe_weight = 0.75;
+  double signal_weight = 0.45;
+  double mimic_weight = 0.9;
+  // Hysteresis band: fire at >= fire_threshold, re-arm only after the score
+  // decays below clear_threshold.
+  double fire_threshold = 0.7;
+  double clear_threshold = 0.35;
+  // Evidence halves every this-many ns without a fresh alarm.
+  DurationNs decay_half_life = Ms(350);
+  // Persistence: each repeat alarm from the same checker multiplies its
+  // weight by (1 + boost·(n-1)), capped at max_persistence.
+  double persistence_boost = 0.35;
+  double max_persistence = 2.0;
+  uint32_t family_mask = kFamilyAll;
+};
+
+struct FusionFire {
+  TimeNs at = 0;
+  double score = 0;
+  std::string component;  // pinpoint: the component that pushed it over
+};
+
+class FusionDetector : public FailureListener {
+ public:
+  explicit FusionDetector(FusionPolicy policy = {});
+
+  // Driver callback: called from scheduler/executor threads, post-dedup.
+  void OnFailure(const FailureSignature& signature) override;
+
+  // Score / pinpoint evaluated at `now` against current evidence.
+  double ScoreAt(TimeNs now) const;
+  std::string PinpointAt(TimeNs now) const;
+
+  std::vector<FusionFire> Fires() const;
+  std::optional<TimeNs> FirstFireTime() const;
+  // Alarms accepted under the family mask (masked-out alarms don't count).
+  int64_t alarms_seen() const;
+
+  const FusionPolicy& policy() const { return policy_; }
+
+  static uint32_t FamilyOf(const std::string& checker_kind);
+
+ private:
+  struct Evidence {
+    uint32_t family = 0;
+    TimeNs last = 0;     // detect_time of the newest alarm
+    int64_t alarms = 0;  // total alarms from this checker
+  };
+
+  double WeightFor(uint32_t family) const;
+  // Max-over-components score; fills `argmax` (unless null) with the winner.
+  double ScoreLocked(TimeNs now, std::string* argmax) const;
+
+  const FusionPolicy policy_;
+
+  mutable std::mutex mu_;
+  // component -> checker name -> evidence. Distinct checkers add; repeats
+  // from one checker only refresh + boost, so one loud checker can't
+  // impersonate corroboration.
+  std::map<std::string, std::map<std::string, Evidence>> evidence_;
+  bool firing_ = false;
+  std::vector<FusionFire> fires_;
+  int64_t alarms_seen_ = 0;
+};
+
+}  // namespace wdg

@@ -1,5 +1,7 @@
 #include "src/detectors/resource_signal.h"
 
+#include "src/common/strings.h"
+
 namespace wdg {
 
 ResourceSignalDetector::ResourceSignalDetector(Clock& clock, MetricsRegistry& metrics,
@@ -8,7 +10,7 @@ ResourceSignalDetector::ResourceSignalDetector(Clock& clock, MetricsRegistry& me
 
 void ResourceSignalDetector::AddRule(SignalRule rule) {
   std::lock_guard<std::mutex> lock(mu_);
-  rules_.push_back(RuleState{std::move(rule), 0, false});
+  rules_.push_back(RuleState{std::move(rule), 0, false, false});
 }
 
 void ResourceSignalDetector::Start() {
@@ -30,7 +32,14 @@ void ResourceSignalDetector::Loop() {
     const TimeNs now = clock_.NowNs();
     std::lock_guard<std::mutex> lock(mu_);
     for (RuleState& state : rules_) {
-      const double value = metrics_.GetGauge(state.rule.metric)->Value();
+      // FindGauge, not GetGauge: creating the gauge here would make a rule
+      // whose metric is never exported read 0 forever and look green.
+      Gauge* gauge = metrics_.FindGauge(state.rule.metric);
+      if (gauge == nullptr) {
+        continue;  // unwired — reported by WiringStatus(), never "healthy"
+      }
+      state.wired = true;
+      const double value = gauge->Value();
       if (state.rule.healthy(value)) {
         state.violations = 0;
         state.alarmed = false;  // re-arm after recovery
@@ -48,6 +57,34 @@ void ResourceSignalDetector::Loop() {
 std::vector<SignalAlarm> ResourceSignalDetector::Alarms() const {
   std::lock_guard<std::mutex> lock(mu_);
   return alarms_;
+}
+
+std::vector<std::string> ResourceSignalDetector::UnwiredRules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> unwired;
+  for (const RuleState& state : rules_) {
+    if (!state.wired) {
+      unwired.push_back(state.rule.name);
+    }
+  }
+  return unwired;
+}
+
+Status ResourceSignalDetector::WiringStatus() const {
+  std::vector<std::string> unwired = UnwiredRules();
+  if (unwired.empty()) {
+    return Status::Ok();
+  }
+  std::string joined;
+  for (const std::string& name : unwired) {
+    if (!joined.empty()) {
+      joined += ", ";
+    }
+    joined += name;
+  }
+  return FailedPreconditionError(StrFormat(
+      "%zu signal rule(s) watch metrics nobody published: %s", unwired.size(),
+      joined.c_str()));
 }
 
 std::optional<TimeNs> ResourceSignalDetector::FirstAlarmTime() const {

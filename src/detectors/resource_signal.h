@@ -11,6 +11,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
+#include "src/common/status.h"
 #include "src/common/threading.h"
 
 namespace wdg {
@@ -45,11 +46,19 @@ class ResourceSignalDetector {
   std::vector<SignalAlarm> Alarms() const;
   std::optional<TimeNs> FirstAlarmTime() const;
 
+  // Wiring health. A rule whose metric was never published used to read a
+  // freshly-created zero gauge and look permanently healthy; now such rules
+  // are tracked and reported as kFailedPrecondition instead of green. A rule
+  // recovers (drops off the unwired list) once its metric appears.
+  Status WiringStatus() const;
+  std::vector<std::string> UnwiredRules() const;
+
  private:
   struct RuleState {
     SignalRule rule;
     int violations = 0;
     bool alarmed = false;
+    bool wired = false;  // metric seen in the registry at least once
   };
 
   void Loop();

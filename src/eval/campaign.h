@@ -22,6 +22,13 @@ inline constexpr char kDetHeartbeat[] = "heartbeat";
 inline constexpr char kDetApiProbe[] = "api-probe";
 inline constexpr char kDetObserver[] = "observer";
 inline constexpr char kDetSupervisor[] = "wdogd";
+// Fusion columns (with_fusion): four FusionDetector instances over the SAME
+// verdict stream, differing only in family mask — the fault-matrix campaign's
+// honest single-family baselines.
+inline constexpr char kDetFused[] = "fused";
+inline constexpr char kDetFusedProbeOnly[] = "probe-only";
+inline constexpr char kDetFusedSignalOnly[] = "signal-only";
+inline constexpr char kDetFusedMimicOnly[] = "mimic-only";
 
 struct TrialOptions {
   bool with_mimic = true;       // AutoWatchdog-generated mimic checkers
@@ -30,10 +37,20 @@ struct TrialOptions {
   bool with_heartbeat = true;   // extrinsic crash FD
   bool with_api_probe = true;   // extrinsic API prober
   bool with_observer = true;    // Panorama-style client observer
+  // Resource signal-checker suite (src/detectors/signal_suite.h) fed from
+  // the leader's ResourceSample/ResourceBeat hook sites.
+  bool with_signal_suite = false;
+  // Verdict fusion: fused + three single-family-masked FusionDetectors on
+  // the driver's listener stream (src/detectors/fusion.h).
+  bool with_fusion = false;
 
   bool enable_validation = false;    // §5.1 mimic→probe escalation
   bool suppress_unconfirmed = false;
   bool dedup_similar = true;         // reduction ablation knob
+  // Driver alarm-dedup window override; 0 keeps the driver default (2s).
+  // Fusion's persistence boost feeds on post-dedup re-alarms, so matrix
+  // trials shorten this to let persistent evidence re-surface.
+  DurationNs dedup_window = 0;
 
   DurationNs warmup = Ms(250);     // workload before injection
   DurationNs observe = Ms(1000);   // observation window after injection
@@ -66,6 +83,11 @@ struct TrialResult {
   // Supervisor-plane facts (populated by RunSupervisedTrial, zero elsewhere):
   // what the out-of-process wdogd saw and did while the in-process watchdog
   // shared the main program's fate.
+  // Fusion facts (with_fusion only): the fused detector's state at trial end.
+  double fusion_score = 0;
+  std::string fusion_component;
+  int64_t fusion_alarms = 0;
+
   int64_t supervisor_warns = 0;
   int64_t supervisor_restarts = 0;
   int64_t supervisor_reboots = 0;

@@ -30,7 +30,8 @@ bool ParseInt64(const std::string& text, int64_t& out) {
 std::string CampaignUsage() {
   return
       "usage: wdg_campaign [--scenario <substring>] [--seeds N] [--validation]\n"
-      "                    [--suppress] [--observe-ms N] [--list]\n";
+      "                    [--suppress] [--observe-ms N] [--list]\n"
+      "                    [--fault-matrix | --smoke-fusion] [--matrix-out <path>]\n";
 }
 
 const char* ScenarioKindName(const Scenario& scenario) {
@@ -110,6 +111,18 @@ CampaignParseResult ParseCampaignArgs(const std::vector<std::string>& args) {
       options.suppress = true;
     } else if (arg == "--list") {
       options.list_only = true;
+    } else if (arg == "--fault-matrix") {
+      options.fault_matrix = true;
+    } else if (arg == "--smoke-fusion") {
+      options.fault_matrix = true;
+      options.smoke_fusion = true;
+    } else if (arg == "--matrix-out") {
+      const char* value = nullptr;
+      if (!next(&value)) {
+        result.error = "--matrix-out requires a path";
+        return result;
+      }
+      options.matrix_out = value;
     } else if (arg == "--help" || arg == "-h") {
       options.show_help = true;
       result.ok = true;

@@ -24,6 +24,13 @@ struct CampaignCliOptions {
   DurationNs observe = Ms(1000);
   bool list_only = false;
   bool show_help = false;
+  // Fault-matrix mode (src/eval/fault_matrix.h): fault classes x fusion
+  // columns instead of the per-scenario campaign. --smoke-fusion is the
+  // downscaled CI gate (1 seed/class, exits nonzero unless the acceptance
+  // bar holds); --matrix-out writes the BENCH_fusion.json payload.
+  bool fault_matrix = false;
+  bool smoke_fusion = false;
+  std::string matrix_out;
 };
 
 struct CampaignParseResult {

@@ -1,0 +1,265 @@
+#include "src/eval/fault_matrix.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/eval/campaign.h"
+#include "src/eval/scenario.h"
+#include "src/eval/table.h"
+
+namespace wdg {
+
+namespace {
+
+struct ClassSpec {
+  const char* fault_class;
+  const char* scenario;
+};
+
+// The matrix rows. Scenario names index KvsScenarioCatalog(); the no-fault
+// row is scored as a control (every fire is a false positive).
+constexpr ClassSpec kFaultClasses[] = {
+    {"hang", "wal-append-hang"},
+    {"slow-disk", "disk-limplock"},
+    {"fd-exhaustion", "table-gc-leak"},
+    {"lock-convoy", "flush-lock-convoy"},
+};
+constexpr ClassSpec kNoFault = {"no-fault", "control-1"};
+
+constexpr const char* kModes[] = {kDetFused, kDetFusedProbeOnly,
+                                  kDetFusedSignalOnly, kDetFusedMimicOnly};
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) {
+    return -1;
+  }
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+double ToMsDouble(DurationNs ns) { return static_cast<double>(ns) / 1e6; }
+
+const Scenario* FindScenario(const std::vector<Scenario>& catalog,
+                             const std::string& name) {
+  for (const Scenario& s : catalog) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool FaultMatrixResult::MeetsAcceptance() const {
+  const int needed = (fault_classes * 3 + 3) / 4;  // ceil(3/4)
+  return fault_classes > 0 && fused_detected == fault_classes &&
+         dominated_classes >= needed && total_false_positives == 0;
+}
+
+FaultMatrixResult RunFaultMatrix(const FaultMatrixOptions& options) {
+  const std::vector<Scenario> catalog = KvsScenarioCatalog();
+  const int seeds = options.quick ? 1 : std::max(1, options.seeds);
+
+  FaultMatrixResult result;
+  result.fault_classes = static_cast<int>(std::size(kFaultClasses));
+
+  std::vector<ClassSpec> rows(std::begin(kFaultClasses), std::end(kFaultClasses));
+  rows.push_back(kNoFault);
+
+  std::vector<double> fused_class_medians;
+  int fused_trials_total = 0;
+
+  for (const ClassSpec& row : rows) {
+    const Scenario* scenario = FindScenario(catalog, row.scenario);
+    if (scenario == nullptr) {
+      continue;  // catalog drift; the acceptance check will fail loudly
+    }
+    // mode -> (detected latencies ms, detected count, FP count)
+    std::map<std::string, std::vector<double>> latencies;
+    std::map<std::string, int> detected;
+    std::map<std::string, int> false_positives;
+
+    for (int i = 0; i < seeds; ++i) {
+      TrialOptions trial;
+      trial.seed = options.base_seed + static_cast<uint64_t>(i) * 1000;
+      trial.warmup = options.warmup;
+      trial.observe = options.observe;
+      trial.with_signal_suite = true;
+      trial.with_fusion = true;
+      // Short dedup so a persisting signal (the fd leak) re-surfaces to the
+      // fusion listeners every 250ms instead of once per 2s window: the
+      // persistence boost is fed by post-dedup re-alarms.
+      trial.dedup_window = Ms(250);
+      if (options.progress != nullptr) {
+        options.progress(StrFormat("matrix %-14s %-18s seed=%d", row.fault_class,
+                                   row.scenario, i));
+      }
+      const TrialResult outcome = RunTrial(*scenario, trial);
+      if (options.progress != nullptr) {
+        // Name the underlying alarm behind any false positive: the fusion
+        // columns only count fires, but the per-family outcomes carry the
+        // first alarm's detail — without this a control-column FP is just an
+        // anonymous "1" in the table.
+        for (const auto& [label, det] : outcome.outcomes) {
+          if (det.false_alarms > 0) {
+            options.progress(StrFormat("  false alarm via %-12s %s",
+                                       label.c_str(), det.detail.c_str()));
+          }
+        }
+      }
+      for (const char* mode : kModes) {
+        const auto it = outcome.outcomes.find(mode);
+        if (it == outcome.outcomes.end()) {
+          continue;
+        }
+        false_positives[mode] += it->second.false_alarms;
+        if (it->second.detected) {
+          ++detected[mode];
+          latencies[mode].push_back(ToMsDouble(it->second.latency));
+        }
+      }
+    }
+
+    const bool is_fault = !scenario->fault_free;
+    for (const char* mode : kModes) {
+      FaultMatrixCell cell;
+      cell.fault_class = row.fault_class;
+      cell.scenario = row.scenario;
+      cell.mode = mode;
+      cell.trials = seeds;
+      cell.detected = detected[mode];
+      cell.median_latency_ms = MedianOf(latencies[mode]);
+      cell.false_positives = false_positives[mode];
+      result.cells.push_back(cell);
+    }
+
+    result.total_false_positives += false_positives[kDetFused];
+    fused_trials_total += seeds;
+    if (!is_fault) {
+      continue;
+    }
+    const bool fused_all = detected[kDetFused] == seeds;
+    if (fused_all) {
+      ++result.fused_detected;
+      fused_class_medians.push_back(MedianOf(latencies[kDetFused]));
+      // Best (lowest) single-family median; a family that detected nothing
+      // in this class is +inf — it cannot win.
+      double best_family = std::numeric_limits<double>::infinity();
+      for (const char* mode :
+           {kDetFusedProbeOnly, kDetFusedSignalOnly, kDetFusedMimicOnly}) {
+        const double median = MedianOf(latencies[mode]);
+        if (median >= 0) {
+          best_family = std::min(best_family, median);
+        }
+      }
+      if (fused_class_medians.back() <= best_family) {
+        ++result.dominated_classes;
+        result.dominated.push_back(row.fault_class);
+      }
+    }
+  }
+
+  result.fused_latency_ms = MedianOf(fused_class_medians);
+  result.fused_false_positive_rate =
+      fused_trials_total == 0
+          ? 0
+          : static_cast<double>(result.total_false_positives) /
+                static_cast<double>(fused_trials_total);
+  return result;
+}
+
+std::string FormatFaultMatrix(const FaultMatrixResult& result) {
+  TablePrinter table({{"fault class", 14},
+                      {"scenario", 18},
+                      {"mode", 12},
+                      {"detected", 9},
+                      {"median latency", 15},
+                      {"false pos", 10}});
+  std::string out = table.HeaderRow() + "\n" + table.Rule() + "\n";
+  for (const FaultMatrixCell& cell : result.cells) {
+    out += table.Row({cell.fault_class, cell.scenario, cell.mode,
+                      StrFormat("%d/%d", cell.detected, cell.trials),
+                      cell.median_latency_ms >= 0
+                          ? StrFormat("%.1f ms", cell.median_latency_ms)
+                          : "-",
+                      StrFormat("%d", cell.false_positives)}) +
+           "\n";
+  }
+  out += table.Rule() + "\n";
+  out += StrFormat(
+      "fused: detected %d/%d classes, dominated %d/%d, "
+      "median latency %.1f ms, false-positive rate %.3f\n",
+      result.fused_detected, result.fault_classes, result.dominated_classes,
+      result.fault_classes, result.fused_latency_ms,
+      result.fused_false_positive_rate);
+  return out;
+}
+
+std::string FaultMatrixResult::ToJson() const {
+  // Per-mode aggregates across fault classes (no-fault FPs included in the
+  // rate): the "configs" rows bench_trend's _config() extractor matches on.
+  std::string json = "{\n  \"benchmark\": \"fusion_matrix\",\n  \"configs\": [\n";
+  bool first = true;
+  for (const char* mode : kModes) {
+    std::vector<double> medians;
+    int fps = 0;
+    int trials = 0;
+    for (const FaultMatrixCell& cell : cells) {
+      if (cell.mode != mode) {
+        continue;
+      }
+      fps += cell.false_positives;
+      trials += cell.trials;
+      if (cell.fault_class != "no-fault" && cell.median_latency_ms >= 0) {
+        medians.push_back(cell.median_latency_ms);
+      }
+    }
+    const double latency = MedianOf(medians);
+    const double fp_rate =
+        trials == 0 ? 0 : static_cast<double>(fps) / static_cast<double>(trials);
+    if (!first) {
+      json += ",\n";
+    }
+    first = false;
+    json += StrFormat(
+        "    {\"system\": \"kvs\", \"mode\": \"%s\", "
+        "\"detection_latency_ms\": %.3f, \"false_positive_rate\": %.4f, "
+        "\"dominated_classes\": %d, \"classes\": %d}",
+        mode, latency, fp_rate,
+        std::string(mode) == kDetFused ? dominated_classes : 0, fault_classes);
+  }
+  json += "\n  ],\n  \"cells\": [\n";
+  first = true;
+  for (const FaultMatrixCell& cell : cells) {
+    if (!first) {
+      json += ",\n";
+    }
+    first = false;
+    json += StrFormat(
+        "    {\"fault_class\": \"%s\", \"scenario\": \"%s\", \"mode\": \"%s\", "
+        "\"trials\": %d, \"detected\": %d, \"median_latency_ms\": %.3f, "
+        "\"false_positives\": %d}",
+        cell.fault_class.c_str(), cell.scenario.c_str(), cell.mode.c_str(),
+        cell.trials, cell.detected, cell.median_latency_ms, cell.false_positives);
+  }
+  json += "\n  ]\n}\n";
+  return json;
+}
+
+Status WriteFaultMatrixJson(const FaultMatrixResult& result,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return IoError(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  out << result.ToJson();
+  out.close();
+  return out.fail() ? IoError(StrFormat("write to %s failed", path.c_str()))
+                    : Status::Ok();
+}
+
+}  // namespace wdg

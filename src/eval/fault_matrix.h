@@ -1,0 +1,82 @@
+// Fault-matrix campaign: fault classes × detector modes, the test bed that
+// keeps the fusion detector honest.
+//
+// Four fault classes — hang, slow-disk, fd-exhaustion, lock-convoy — each
+// mapped to one catalog scenario, crossed with four fusion columns:
+// probe-only, signal-only, mimic-only (single-family-masked FusionDetectors)
+// and fused (all families). All four columns ride the SAME trial and the SAME
+// driver verdict stream, differing only in family mask, so "fused dominates
+// the best single family" is measured against baselines that saw exactly the
+// same alarms. A fifth no-fault column (control scenario) charges every fire
+// as a false positive.
+//
+// Headline numbers (fusion_detection_latency_ms_kvs and
+// fusion_false_positive_rate) feed BENCH_fusion.json and the
+// tools/bench_trend.py gate; `--smoke-fusion` in tools/ci.sh runs the
+// downscaled matrix and fails CI unless fused detects every class, dominates
+// >= 3/4 of them on latency, and fires zero false positives anywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace wdg {
+
+struct FaultMatrixOptions {
+  int seeds = 2;              // trials per fault class
+  uint64_t base_seed = 42;    // trial i uses base_seed + i*1000 (campaign idiom)
+  DurationNs warmup = Ms(250);
+  // Long enough for the slowest honest detection in the matrix: the
+  // fd-exhaustion column needs ~3 dedup-spaced re-alarms of the leak signal
+  // before persistence lifts a lone signal family over the fire threshold.
+  DurationNs observe = Ms(2000);
+  bool quick = false;  // smoke mode: 1 seed per class
+  // Progress callback (scenario + seed about to run); null = silent.
+  void (*progress)(const std::string& line) = nullptr;
+};
+
+struct FaultMatrixCell {
+  std::string fault_class;  // "hang" / "slow-disk" / ... / "no-fault"
+  std::string scenario;     // catalog scenario backing the class
+  std::string mode;         // "fused" / "probe-only" / "signal-only" / "mimic-only"
+  int trials = 0;
+  int detected = 0;
+  double median_latency_ms = -1;  // over detected trials; -1 = none detected
+  int false_positives = 0;        // pre-injection fires + any fire in no-fault
+};
+
+struct FaultMatrixResult {
+  std::vector<FaultMatrixCell> cells;
+
+  int fault_classes = 0;      // no-fault column excluded
+  int fused_detected = 0;     // classes where fused caught every trial
+  // Classes where fused caught every trial AND its median latency <= the
+  // best single-family median (a family that detected nothing is +inf).
+  int dominated_classes = 0;
+  std::vector<std::string> dominated;  // their names, for the report
+
+  double fused_latency_ms = -1;        // median of per-class fused medians
+  double fused_false_positive_rate = 0;  // fused FPs / fused trials, ALL columns
+  int total_false_positives = 0;         // fused FPs, all columns incl. no-fault
+
+  // The ISSUE acceptance bar: every class detected, >= 3/4 dominated, zero
+  // fused false positives. --smoke-fusion exits nonzero when this is false.
+  bool MeetsAcceptance() const;
+
+  // BENCH_fusion.json payload: {"benchmark": "fusion_matrix", "configs":
+  // [{system, mode, detection_latency_ms, false_positive_rate, ...}], and the
+  // raw cells. The configs shape matches tools/bench_trend.py's _config().
+  std::string ToJson() const;
+};
+
+FaultMatrixResult RunFaultMatrix(const FaultMatrixOptions& options);
+
+// Renders the per-cell table (one row per class x mode) as printable text.
+std::string FormatFaultMatrix(const FaultMatrixResult& result);
+
+Status WriteFaultMatrixJson(const FaultMatrixResult& result, const std::string& path);
+
+}  // namespace wdg

@@ -175,6 +175,32 @@ std::vector<Scenario> KvsScenarioCatalog() {
   }
   {
     Scenario s;
+    s.name = "table-gc-leak";
+    s.description = "sstable deletes fail; table-dir handles leak monotonically";
+    // kError (not kSilentDrop): SimDisk::Delete consults the gate before the
+    // erase with no drop channel, so only an error return preserves the file.
+    // Compaction ignores delete status, so nothing alarms on the error path —
+    // the only witness is the fd-leak slope over kvs.res.open_handles.
+    s.fault = Fault("f", "disk.delete", FaultKind::kError);
+    s.true_component = "kvs.compaction";
+    s.true_function = "CompactTables";
+    s.true_op_site = "disk.delete";
+    s.client_visible = false;
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "flush-lock-convoy";
+    s.description = "flusher wedges mid-write holding the flush lock; appliers convoy";
+    s.fault = Fault("f", "disk.write", FaultKind::kHang);
+    s.true_component = "kvs.flusher";
+    s.true_function = "FlushMemtable";
+    s.true_op_site = "disk.write";
+    s.client_visible = true;  // Apply blocks behind the held lock
+    catalog.push_back(s);
+  }
+  {
+    Scenario s;
     s.name = "monitor-link-drop";
     s.description = "heartbeat path drops silently; the process itself is fine";
     s.benign = true;

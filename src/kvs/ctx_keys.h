@@ -53,4 +53,34 @@ inline const wdg::ContextKey<std::string>& Table() {
   return k;
 }
 
+// --- resource-indicator keys (signal-checker suite) -----------------------
+// Published by the maintenance loop ("ResourceSample:1") and the listener
+// loop ("ResourceBeat:1") when those sites are armed; consumed by the
+// src/detectors/signal_suite.h checkers. System-prefixed: the KeyRegistry is
+// process-wide and minizk/minihdfs publish their own variants.
+inline const wdg::ContextKey<int64_t>& ResOpenHandles() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("kvs.res.open_handles");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& ResRssBytes() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("kvs.res.rss_bytes");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& ResQueueDepth() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("kvs.res.queue_depth");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& ResDiskLatNs() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("kvs.res.disk_lat_ns");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& ResLiveThreads() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("kvs.res.live_threads");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& ResLastBeatNs() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("kvs.res.last_beat_ns");
+  return k;
+}
+
 }  // namespace kvs::keys

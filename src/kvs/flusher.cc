@@ -51,8 +51,14 @@ wdg::Status Flusher::FlushOnce(bool force) {
   const std::string path =
       wdg::StrFormat("%s/%06lld.sst", options_.table_dir.c_str(),
                      static_cast<long long>(table_seq_.fetch_add(1)));
-  auto entries = memtable_.Drain();
+  // Two-phase: the drained entries stay readable through Memtable::Get until
+  // the SSTable is registered in the index — a plain drain left a window
+  // where a flushed key was in neither the memtable nor the table list, and
+  // the campaign's API probe caught concurrent Gets returning NOT_FOUND for
+  // durably-written keys.
+  auto entries = memtable_.BeginFlush();
   if (entries.empty()) {
+    memtable_.EndFlush();
     return wdg::Status::Ok();
   }
 
@@ -65,17 +71,13 @@ wdg::Status Flusher::FlushOnce(bool force) {
 
   const wdg::Status status = SsTable::Write(disk_, path, entries);
   if (!status.ok()) {
-    // Put the data back; nothing is lost on a failed flush.
-    for (auto& [key, entry] : entries) {
-      if (entry.tombstone) {
-        memtable_.Del(key);
-      } else {
-        memtable_.Set(key, std::move(entry.value));
-      }
-    }
+    // Put the data back; nothing is lost on a failed flush, and entries
+    // overwritten while the flush ran keep their newer values.
+    memtable_.AbortFlush();
     return status;
   }
   index_.AddTable(path);
+  memtable_.EndFlush();
   WDG_RETURN_IF_ERROR(partitions_.Register(path, entries.front().first, entries.back().first));
   flush_count_.fetch_add(1);
   metrics_.GetCounter("kvs.flusher.flushes")->Increment();

@@ -40,17 +40,40 @@ wdg::Result<std::optional<std::string>> Index::Get(const std::string& key) const
     }
     return std::optional<std::string>{mem->value};
   }
-  const std::vector<std::string> tables = Tables();
-  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {  // newest first
-    WDG_ASSIGN_OR_RETURN(const auto entry, SsTable::Lookup(disk_, *it, key));
-    if (entry.has_value()) {
-      if (entry->tombstone) {
-        return std::optional<std::string>{};
+  // The table list is a snapshot; a concurrent compaction can replace and
+  // delete a listed table mid-scan (its data lives on in the merged table).
+  // A vanished file means the snapshot went stale — rescan with a fresh
+  // list. If the list stops changing and the file is still gone, the table
+  // set itself is damaged: propagate that honestly.
+  wdg::Status stale_error = wdg::Status::Ok();
+  std::vector<std::string> tables = Tables();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    bool stale = false;
+    for (auto it = tables.rbegin(); it != tables.rend(); ++it) {  // newest first
+      auto entry = SsTable::Lookup(disk_, *it, key);
+      if (entry.status().code() == wdg::StatusCode::kNotFound) {
+        stale = true;
+        stale_error = entry.status();
+        break;
       }
-      return std::optional<std::string>{entry->value};
+      WDG_RETURN_IF_ERROR(entry.status());
+      if (entry->has_value()) {
+        if ((*entry)->tombstone) {
+          return std::optional<std::string>{};
+        }
+        return std::optional<std::string>{(*entry)->value};
+      }
     }
+    if (!stale) {
+      return std::optional<std::string>{};
+    }
+    std::vector<std::string> fresh = Tables();
+    if (fresh == tables) {
+      break;  // not a race: the listed table is genuinely missing
+    }
+    tables = std::move(fresh);
   }
-  return std::optional<std::string>{};
+  return stale_error;
 }
 
 }  // namespace kvs

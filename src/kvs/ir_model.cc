@@ -261,10 +261,19 @@ void RegisterOpExecutors(awd::OpExecutorRegistry& registry, KvsNode& node) {
         if (tables.empty()) {
           return wdg::Status::Ok();
         }
-        WDG_ASSIGN_OR_RETURN(const int64_t size, node.disk().Size(tables.front()));
-        return node.disk()
-            .Read(tables.front(), 0, std::min<int64_t>(size, 4096))
-            .status();
+        // The table list is a snapshot; compaction can delete the listed
+        // table before the read lands. Stale context is not a disk fault.
+        const auto size = node.disk().Size(tables.front());
+        if (size.status().code() == wdg::StatusCode::kNotFound) {
+          return wdg::Status::Ok();
+        }
+        WDG_RETURN_IF_ERROR(size.status());
+        const auto read =
+            node.disk().Read(tables.front(), 0, std::min<int64_t>(*size, 4096));
+        if (read.status().code() == wdg::StatusCode::kNotFound) {
+          return wdg::Status::Ok();
+        }
+        return read.status();
       });
 
   // Reduced merge sharing the compaction fault site.

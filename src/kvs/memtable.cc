@@ -36,10 +36,16 @@ void Memtable::Del(const std::string& key) {
 std::optional<MemEntry> Memtable::Get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    return std::nullopt;
+  if (it != entries_.end()) {
+    return it->second;
   }
-  return it->second;
+  // A flush in flight keeps its entries readable here until the SSTable is
+  // registered in the index; live entries take precedence (newer writes).
+  const auto flushing = flushing_.find(key);
+  if (flushing != flushing_.end()) {
+    return flushing->second;
+  }
+  return std::nullopt;
 }
 
 int64_t Memtable::ApproximateBytes() const {
@@ -69,6 +75,32 @@ void Memtable::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   bytes_ = 0;
+}
+
+std::vector<std::pair<std::string, MemEntry>> Memtable::BeginFlush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flushing_ = std::move(entries_);
+  entries_.clear();
+  bytes_ = 0;
+  return {flushing_.begin(), flushing_.end()};
+}
+
+void Memtable::EndFlush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flushing_.clear();
+}
+
+void Memtable::AbortFlush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : flushing_) {
+    // A Set/Del that landed during the failed flush is newer; keep it.
+    if (entries_.count(key) > 0) {
+      continue;
+    }
+    bytes_ += static_cast<int64_t>(key.size()) + static_cast<int64_t>(entry.value.size());
+    entries_[key] = std::move(entry);
+  }
+  flushing_.clear();
 }
 
 }  // namespace kvs

@@ -35,6 +35,16 @@ class Memtable {
   std::vector<std::pair<std::string, MemEntry>> Snapshot() const;
   void Clear();
 
+  // Two-phase flush keeping every entry readable for the whole flush.
+  // BeginFlush moves the live map into a flushing buffer that Get still
+  // consults (live entries win — a Set during the flush supersedes the
+  // flushed value); EndFlush drops the buffer once the SSTable is registered
+  // in the index; AbortFlush restores buffered entries that were not
+  // overwritten in the meantime. Callers serialize flushes via flush_lock().
+  std::vector<std::pair<std::string, MemEntry>> BeginFlush();
+  void EndFlush();
+  void AbortFlush();
+
   // The flusher's mimic checker try-locks this to share the write path's
   // fate; exposed as a timed mutex for bounded acquisition.
   std::timed_mutex& flush_lock() { return flush_lock_; }
@@ -42,6 +52,7 @@ class Memtable {
  private:
   mutable std::mutex mu_;
   std::map<std::string, MemEntry> entries_;
+  std::map<std::string, MemEntry> flushing_;  // in-flight flush, still readable
   int64_t bytes_ = 0;
   std::timed_mutex flush_lock_;
 };

@@ -112,6 +112,15 @@ void KvsNode::ListenerLoop() {
       ctx.MarkReady(clock_.NowNs());
     });
     metrics_.GetGauge("kvs.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
+    // Kick-interval beat for the signal suite: a single-value publish per
+    // iteration (wait-free fast path), so a wedged listener — blocked in
+    // Apply behind a hung WAL append or a held flush lock — stops the beat
+    // and the jitter checker sees the gap.
+    hooks_.Site("ResourceBeat:1")->Fire([&](wdg::CheckContext& ctx) {
+      const wdg::TimeNs beat = clock_.NowNs();
+      ctx.Set(keys::ResLastBeatNs(), static_cast<int64_t>(beat));
+      ctx.MarkReady(beat);
+    });
     auto msg = endpoint_->Recv(wdg::Ms(5));
     if (!msg.has_value()) {
       continue;
@@ -237,6 +246,48 @@ void KvsNode::MaintenanceLoop() {
         ->Set(static_cast<double>(index_.Tables().size()));
     metrics_.GetGauge("kvs.memtable.bytes")
         ->Set(static_cast<double>(memtable_.ApproximateBytes()));
+
+    // Resource sample for the signal suite. Everything — including the disk
+    // List/Read the sample needs — happens inside Fire(), so an unarmed site
+    // costs one relaxed load and no disk traffic.
+    hooks_.Site("ResourceSample:1")->Fire([&](wdg::CheckContext& ctx) {
+      // Open handles ≈ files under this node's table dir: compaction leaks
+      // (failed deletes) show up as a monotone climb here.
+      const int64_t open_handles =
+          static_cast<int64_t>(disk_.List(table_dir()).size());
+      // Disk health probe: time one small read through the fault gates.
+      int64_t disk_lat_ns = -1;
+      const wdg::TimeNs t0 = clock_.NowNs();
+      if (disk_.ReadAll(wal_path()).ok()) {
+        disk_lat_ns = clock_.NowNs() - t0;
+      }
+      // Live component loops: a tick gauge older than the stale bound means
+      // that loop is wedged (or dead), even if the rest of the node hums.
+      static constexpr wdg::DurationNs kTickStaleAfter = wdg::Ms(300);
+      static constexpr const char* kTickGauges[] = {
+          "kvs.listener.last_tick_ns", "kvs.flusher.last_tick_ns",
+          "kvs.compaction.last_tick_ns", "kvs.replication.last_tick_ns",
+          "kvs.maintenance.last_tick_ns"};
+      const wdg::TimeNs now = clock_.NowNs();
+      int64_t live = 0;
+      for (const char* gauge_name : kTickGauges) {
+        wdg::Gauge* gauge = metrics_.FindGauge(gauge_name);
+        if (gauge != nullptr &&
+            now - static_cast<wdg::TimeNs>(gauge->Value()) < kTickStaleAfter) {
+          ++live;
+        }
+      }
+      ctx.Set(keys::ResOpenHandles(), open_handles);
+      ctx.Set(keys::ResRssBytes(),
+              static_cast<int64_t>(memtable_.ApproximateBytes()));
+      ctx.Set(keys::ResQueueDepth(),
+              static_cast<int64_t>(endpoint_->PendingCount()));
+      if (disk_lat_ns >= 0) {
+        ctx.Set(keys::ResDiskLatNs(), disk_lat_ns);
+      }
+      ctx.Set(keys::ResLiveThreads(), live);
+      ctx.MarkReady(clock_.NowNs());
+    });
 
     const wdg::Status sorted = partitions_.CheckRangesSorted();
     if (!sorted.ok()) {

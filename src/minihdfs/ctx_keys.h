@@ -25,4 +25,16 @@ inline const wdg::ContextKey<std::string>& Namenode() {
   return k;
 }
 
+// Resource-indicator keys for the signal-checker suite (see
+// src/kvs/ctx_keys.h for the full kvs set). Published by the datanode
+// listener loop's "ResourceBeat:1" site when armed.
+inline const wdg::ContextKey<int64_t>& ResQueueDepth() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("hdfs.res.queue_depth");
+  return k;
+}
+inline const wdg::ContextKey<int64_t>& ResLastBeatNs() {
+  static const auto k = wdg::ContextKey<int64_t>::Of("hdfs.res.last_beat_ns");
+  return k;
+}
+
 }  // namespace minihdfs::keys

@@ -54,6 +54,13 @@ void DataNode::ListenerLoop() {
       ctx.MarkReady(clock_.NowNs());
     });
     metrics_.GetGauge("hdfs.listener.last_tick_ns")->Set(static_cast<double>(clock_.NowNs()));
+    hooks_.Site("ResourceBeat:1")->Fire([&](wdg::CheckContext& ctx) {
+      const wdg::TimeNs beat = clock_.NowNs();
+      ctx.Set(keys::ResLastBeatNs(), static_cast<int64_t>(beat));
+      ctx.Set(keys::ResQueueDepth(),
+              static_cast<int64_t>(endpoint_->PendingCount()));
+      ctx.MarkReady(beat);
+    });
     auto msg = endpoint_->Recv(wdg::Ms(5));
     if (!msg.has_value()) {
       continue;

@@ -90,6 +90,15 @@ CheckerBuilder& CheckerBuilder::Mimic(MimicChecker::BodyFn body) {
   return *this;
 }
 
+CheckerBuilder& CheckerBuilder::Custom(CustomFactory factory) {
+  if (body_ != Body::kNone) {
+    body_conflict_ = true;
+  }
+  body_ = Body::kCustom;
+  custom_ = std::move(factory);
+  return *this;
+}
+
 CheckerBuilder& CheckerBuilder::EscalationProbe(std::function<Status()> probe,
                                                 DurationNs timeout) {
   escalation_probe_ = std::move(probe);
@@ -115,7 +124,8 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
   }
   if (body_ == Body::kNone) {
     return InvalidArgumentError(
-        StrFormat("checker '%s': no body — call Probe(), Signal(), or Mimic()",
+        StrFormat("checker '%s': no body — call Probe(), Signal(), Mimic(), or "
+                  "Custom()",
                   name_.c_str()));
   }
   if (interval_ <= 0) {
@@ -156,7 +166,10 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
     return InvalidArgumentError(
         StrFormat("checker '%s': SubscribeKey on a %s body needs WithContext "
                   "or ContextFactory to name the subscribed context",
-                  name_.c_str(), body_ == Body::kProbe ? "probe" : "signal"));
+                  name_.c_str(),
+                  body_ == Body::kProbe
+                      ? "probe"
+                      : (body_ == Body::kSignal ? "signal" : "custom")));
   }
   CheckerOptions options{interval_, deadline_, initial_delay_, adaptive_deadline_,
                          deadline_prior_, shard_affinity_};
@@ -222,6 +235,33 @@ Result<std::unique_ptr<Checker>> CheckerBuilder::Build() {
         mimic->SubscribeKeys(context, subscribe_slots_);
       }
       return std::unique_ptr<Checker>(std::move(mimic));
+    }
+    case Body::kCustom: {
+      if (debounce_set_) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': Debounce applies to probe/signal bodies "
+                      "only — a Custom checker owns its own debounce state",
+                      name_.c_str()));
+      }
+      if (context != nullptr && subscribe_slots_.empty()) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': a custom body takes a context only for "
+                      "subscriptions — add SubscribeKey, or drop the context",
+                      name_.c_str()));
+      }
+      if (!custom_) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': Custom() factory is empty", name_.c_str()));
+      }
+      std::unique_ptr<Checker> custom = custom_(name_, component_, options);
+      if (custom == nullptr) {
+        return InvalidArgumentError(
+            StrFormat("checker '%s': Custom() factory returned null", name_.c_str()));
+      }
+      if (!subscribe_slots_.empty()) {
+        custom->SubscribeKeys(context, subscribe_slots_);
+      }
+      return custom;
     }
     case Body::kNone:
       break;  // unreachable: handled above

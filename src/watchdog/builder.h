@@ -83,11 +83,22 @@ class CheckerBuilder {
   // when the builder chain is written down). Mutually exclusive.
   CheckerBuilder& ContextFactory(std::function<CheckContext*()> factory);
 
-  // Exactly one of the three bodies:
+  // Exactly one of the four bodies:
   CheckerBuilder& Probe(ProbeChecker::ProbeFn probe);
   CheckerBuilder& Signal(std::string indicator, SignalChecker::SampleFn sample,
                          SignalChecker::PredicateFn healthy);
   CheckerBuilder& Mimic(MimicChecker::BodyFn body);
+  // Custom body: the factory receives the builder's validated name/component/
+  // options and returns a ready Checker subclass (e.g. the signal-suite
+  // checkers in src/detectors/signal_suite.h, which carry per-checker state a
+  // plain SampleFn/PredicateFn pair can't). Debounce is the subclass's
+  // business and is rejected here; WithContext/ContextFactory is
+  // subscription-only (requires SubscribeKey) exactly as for probe/signal —
+  // SubscribeKeys is applied to the returned checker after construction.
+  using CustomFactory = std::function<std::unique_ptr<Checker>(
+      const std::string& name, const std::string& component,
+      const CheckerOptions& options)>;
+  CheckerBuilder& Custom(CustomFactory factory);
 
   // §5.1 escalation: installed on the driver by RegisterWith().
   CheckerBuilder& EscalationProbe(std::function<Status()> probe,
@@ -110,7 +121,7 @@ class CheckerBuilder {
   Status RegisterWith(WatchdogDriver& driver);
 
  private:
-  enum class Body { kNone, kProbe, kSignal, kMimic };
+  enum class Body { kNone, kProbe, kSignal, kMimic, kCustom };
 
   std::string name_;
   std::string component_;
@@ -134,6 +145,7 @@ class CheckerBuilder {
   SignalChecker::SampleFn sample_;
   SignalChecker::PredicateFn healthy_;
   MimicChecker::BodyFn mimic_;
+  CustomFactory custom_;
 
   std::function<Status()> escalation_probe_;
   DurationNs escalation_timeout_ = Ms(300);

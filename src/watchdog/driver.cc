@@ -74,6 +74,12 @@ std::map<std::string, double> DriverMetricsSnapshot::ToMap() const {
        static_cast<double>(supervisor_kicks_withheld)},
       {"wdg.driver.batches_stolen", static_cast<double>(batches_stolen)},
   };
+  // Only when a fusion sampler is attached: a permanent 0.0 score would read
+  // as "fused and healthy" on dashboards that can't tell the difference.
+  if (fusion_attached) {
+    map["wdg.driver.fusion.score"] = fusion_score;
+    map["wdg.driver.fusion.fires"] = static_cast<double>(fusion_fires);
+  }
   // Per-shard gauges only when actually sharded, so the single-scheduler map
   // stays free of redundant copies of the aggregate.
   if (shard_views.size() > 1) {
@@ -202,6 +208,11 @@ Status WatchdogDriver::SetValidationProbe(std::function<Status()> probe,
 void WatchdogDriver::AddListener(FailureListener* listener) {
   std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.push_back(listener);
+}
+
+void WatchdogDriver::SetFusionSampler(std::function<FusionSample()> sampler) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  fusion_sampler_ = std::move(sampler);
 }
 
 void WatchdogDriver::AddRecoveryAction(const std::string& component_prefix,
@@ -1118,6 +1129,22 @@ DriverMetricsSnapshot WatchdogDriver::DriverMetrics() const {
   snapshot.supervisor_kicks = supervisor_kicks_.load(std::memory_order_relaxed);
   snapshot.supervisor_kicks_withheld =
       supervisor_kicks_withheld_.load(std::memory_order_relaxed);
+  {
+    // Copy the sampler out so the (thread-safe) fusion scorer runs outside
+    // listeners_mu_ — it takes its own lock in OnFailure delivery paths.
+    std::function<FusionSample()> sampler;
+    {
+      std::lock_guard<std::mutex> lock(listeners_mu_);
+      sampler = fusion_sampler_;
+    }
+    if (sampler) {
+      FusionSample sample = sampler();
+      snapshot.fusion_attached = true;
+      snapshot.fusion_score = sample.score;
+      snapshot.fusion_fires = sample.fires;
+      snapshot.fusion_component = std::move(sample.component);
+    }
+  }
   return snapshot;
 }
 

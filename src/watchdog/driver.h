@@ -168,6 +168,15 @@ struct DriverMetricsSnapshot {
   int64_t supervisor_kicks = 0;           // kicks actually sent to wdogd
   int64_t supervisor_kicks_withheld = 0;  // due kicks withheld: liveness unproven
 
+  // Fused gray-failure view (SetFusionSampler; all-zero when detached). The
+  // driver doesn't compute this itself — a FusionDetector listening on the
+  // verdict stream does — but it belongs in DriverMetrics() so dashboards
+  // see score + verdict next to the raw execution counters.
+  bool fusion_attached = false;
+  double fusion_score = 0;          // current gray-failure score
+  int64_t fusion_fires = 0;         // hysteresis-latched fire events so far
+  std::string fusion_component;     // current pinpoint ("" = none)
+
   // Work-stealing between shard pools (0 with a single shard or stealing off).
   int64_t batches_stolen = 0;
 
@@ -300,6 +309,16 @@ class WatchdogDriver {
   // the driver is running.
   Status SetValidationProbe(std::function<Status()> probe, DurationNs timeout);
   void AddListener(FailureListener* listener);
+  // Attaches a fusion verdict source (typically a lambda over a
+  // FusionDetector that is also registered via AddListener): DriverMetrics()
+  // calls it to fill the fusion_* snapshot fields. Pass nullptr to detach.
+  // May be called at any time; the sampler must be thread-safe.
+  struct FusionSample {
+    double score = 0;
+    int64_t fires = 0;
+    std::string component;
+  };
+  void SetFusionSampler(std::function<FusionSample()> sampler);
   // `component_prefix` matches signature.location.component by prefix.
   void AddRecoveryAction(const std::string& component_prefix, RecoveryAction* action);
 
@@ -492,6 +511,7 @@ class WatchdogDriver {
   mutable std::mutex listeners_mu_;
   std::vector<FailureListener*> listeners_;
   std::vector<std::pair<std::string, RecoveryAction*>> recovery_actions_;
+  std::function<FusionSample()> fusion_sampler_;  // listeners_mu_
 
   // Probe validation bookkeeping (threads are rare and short-lived).
   struct ProbeRun {

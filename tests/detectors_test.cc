@@ -161,6 +161,61 @@ TEST(ResourceSignalTest, TransientSpikeDoesNotAlarm) {
   EXPECT_TRUE(detector.Alarms().empty());
 }
 
+TEST(ResourceSignalTest, UnpublishedMetricReportsUnwiredNotHealthy) {
+  // A rule watching a metric nobody exports used to read a freshly-created
+  // zero gauge and look permanently green; it must surface as a wiring error.
+  RealClock& clock = RealClock::Instance();
+  MetricsRegistry metrics;
+  ResourceSignalOptions options;
+  options.poll = Ms(5);
+  ResourceSignalDetector detector(clock, metrics, options);
+  SignalRule rule;
+  rule.name = "ghost";
+  rule.metric = "never_published";
+  rule.healthy = [](double v) { return v < 100; };
+  detector.AddRule(rule);
+  detector.Start();
+  clock.SleepFor(Ms(40));
+  EXPECT_TRUE(detector.Alarms().empty());
+  const Status wiring = detector.WiringStatus();
+  EXPECT_EQ(wiring.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(wiring.ToString().find("ghost"), std::string::npos);
+  ASSERT_EQ(detector.UnwiredRules().size(), 1u);
+  EXPECT_EQ(detector.UnwiredRules()[0], "ghost");
+  // The metric appearing later heals the wiring status.
+  metrics.GetGauge("never_published")->Set(5);
+  clock.SleepFor(Ms(40));
+  detector.Stop();
+  EXPECT_TRUE(detector.WiringStatus().ok());
+  EXPECT_TRUE(detector.UnwiredRules().empty());
+}
+
+TEST(ResourceSignalTest, WiredRuleStillAlarmsAlongsideUnwiredOne) {
+  RealClock& clock = RealClock::Instance();
+  MetricsRegistry metrics;
+  ResourceSignalOptions options;
+  options.poll = Ms(5);
+  ResourceSignalDetector detector(clock, metrics, options);
+  SignalRule ghost;
+  ghost.name = "ghost";
+  ghost.metric = "never_published";
+  ghost.healthy = [](double v) { return v < 100; };
+  detector.AddRule(ghost);
+  SignalRule live;
+  live.name = "queue_full";
+  live.metric = "queue_depth";
+  live.healthy = [](double v) { return v < 100; };
+  live.consecutive_needed = 2;
+  detector.AddRule(live);
+  metrics.GetGauge("queue_depth")->Set(500);
+  detector.Start();
+  clock.SleepFor(Ms(50));
+  detector.Stop();
+  ASSERT_FALSE(detector.Alarms().empty());
+  EXPECT_EQ(detector.Alarms()[0].rule, "queue_full");
+  EXPECT_EQ(detector.UnwiredRules(), std::vector<std::string>{"ghost"});
+}
+
 TEST(ApiProbeTest, AlarmsOnPersistentFailure) {
   RealClock& clock = RealClock::Instance();
   std::atomic<bool> healthy{true};

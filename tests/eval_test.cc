@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/eval/campaign.h"
+#include "src/eval/fault_matrix.h"
 #include "src/eval/scenario.h"
 #include "src/eval/table.h"
 #include "src/eval/workload.h"
@@ -180,6 +181,59 @@ TEST(TrialTest, CrashOnlyExtrinsicDetectorsSee) {
   EXPECT_FALSE(result.outcomes.at(kDetMimic).detected);  // watchdog died too
   EXPECT_TRUE(result.outcomes.at(kDetHeartbeat).detected);
   EXPECT_TRUE(result.outcomes.at(kDetApiProbe).detected);
+}
+
+TEST(FusionTrialTest, FusedColumnsScoredAndQuietOnControl) {
+  // One fused control trial: all four fusion columns enabled, none may fire.
+  TrialOptions options = FastTrial();
+  options.with_signal_suite = true;
+  options.with_fusion = true;
+  const TrialResult result = RunTrial(FindScenario("control-1"), options);
+  for (const char* label :
+       {kDetFused, kDetFusedProbeOnly, kDetFusedSignalOnly, kDetFusedMimicOnly}) {
+    const DetectorOutcome& outcome = result.outcomes.at(label);
+    EXPECT_TRUE(outcome.enabled) << label;
+    EXPECT_FALSE(outcome.detected) << label << ": " << outcome.detail;
+    EXPECT_EQ(outcome.false_alarms, 0) << label << ": " << outcome.detail;
+  }
+  EXPECT_EQ(result.fusion_alarms, 0);
+  EXPECT_LT(result.fusion_score, 0.35);  // below even the clear threshold
+}
+
+TEST(FusionMatrixTest, FusedDominatesSingleFamiliesWithZeroFalsePositives) {
+  // The ISSUE acceptance bar, as a regression test on the downscaled matrix:
+  // fused detects every fault class, beats-or-ties the best single family on
+  // median latency for >= 3/4 of them, and fires nothing on the no-fault
+  // column (or anywhere pre-injection).
+  FaultMatrixOptions options;
+  options.quick = true;  // 1 seed per class; CI's --smoke-fusion shape
+  const FaultMatrixResult result = RunFaultMatrix(options);
+
+  EXPECT_EQ(result.fault_classes, 4);
+  EXPECT_EQ(result.fused_detected, result.fault_classes)
+      << FormatFaultMatrix(result);
+  EXPECT_GE(result.dominated_classes, 3) << FormatFaultMatrix(result);
+  EXPECT_EQ(result.total_false_positives, 0) << FormatFaultMatrix(result);
+  EXPECT_EQ(result.fused_false_positive_rate, 0.0);
+  EXPECT_TRUE(result.MeetsAcceptance()) << FormatFaultMatrix(result);
+
+  // The no-fault column exists and every mode stayed silent there.
+  int no_fault_cells = 0;
+  for (const FaultMatrixCell& cell : result.cells) {
+    if (cell.fault_class == "no-fault") {
+      ++no_fault_cells;
+      EXPECT_EQ(cell.detected, 0) << cell.mode;
+      EXPECT_EQ(cell.false_positives, 0) << cell.mode;
+    }
+  }
+  EXPECT_EQ(no_fault_cells, 4);
+
+  // The JSON payload carries the two gated headline metrics.
+  const std::string json = result.ToJson();
+  EXPECT_NE(json.find("\"benchmark\": \"fusion_matrix\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"fused\""), std::string::npos);
+  EXPECT_NE(json.find("detection_latency_ms"), std::string::npos);
+  EXPECT_NE(json.find("false_positive_rate"), std::string::npos);
 }
 
 TEST(TrialTest, ClientVisibleFaultSeenByProbesAndMimic) {

@@ -2,7 +2,10 @@
 // partition manager, flusher, compaction, replication.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "src/common/checksum.h"
+#include "src/common/threading.h"
 #include "src/kvs/ctx_keys.h"
 #include "src/kvs/compaction.h"
 #include "src/kvs/flusher.h"
@@ -92,6 +95,23 @@ TEST(MemtableTest, ByteAccountingTracksContent) {
   EXPECT_LT(table.ApproximateBytes(), after_set);
   table.Del("key");
   EXPECT_EQ(table.ApproximateBytes(), 3);  // key remains as tombstone
+}
+
+TEST(MemtableTest, TwoPhaseFlushKeepsEntriesReadableAndNewerWrites) {
+  Memtable table;
+  table.Set("a", "old");
+  table.Set("b", "keep");
+  const auto entries = table.BeginFlush();
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(table.Get("a")->value, "old");  // still readable mid-flush
+  table.Set("a", "new");                    // lands while the flush runs
+  table.AbortFlush();
+  EXPECT_EQ(table.Get("a")->value, "new");  // the newer write wins the restore
+  EXPECT_EQ(table.Get("b")->value, "keep");
+  // A successful flush drops the buffer once the SSTable is indexed.
+  (void)table.BeginFlush();
+  table.EndFlush();
+  EXPECT_FALSE(table.Get("a").has_value());
 }
 
 TEST(MemtableTest, DrainEmptiesAndSortsEntries) {
@@ -356,6 +376,32 @@ TEST_F(FlusherTest, FailedFlushRestoresMemtable) {
   EXPECT_EQ(**index_.Get("k1"), std::string(100, 'x'));
 }
 
+TEST_F(FlusherTest, KeyStaysReadableThroughoutFlush) {
+  memtable_.Set("k1", std::string(100, 'x'));
+  // Slow the SSTable write down so the flush window is wide open.
+  wdg::FaultSpec spec;
+  spec.id = "slowwrite";
+  spec.site_pattern = "disk.create";
+  spec.kind = wdg::FaultKind::kDelay;
+  spec.delay = wdg::Ms(60);
+  injector_.Inject(spec);
+  std::atomic<bool> done{false};
+  wdg::JoiningThread flush_thread([&] {
+    EXPECT_TRUE(flusher_.FlushOnce().ok());
+    done.store(true);
+  });
+  // Before the two-phase flush, the drained key was in neither the memtable
+  // nor the table list for the whole write: concurrent Gets returned
+  // NOT_FOUND for a durably-written key (the campaign's API probe caught it).
+  while (!done.load()) {
+    const auto value = index_.Get("k1");
+    ASSERT_TRUE(value.ok());
+    ASSERT_TRUE(value->has_value());
+  }
+  flush_thread.Join();
+  EXPECT_EQ(**index_.Get("k1"), std::string(100, 'x'));
+}
+
 TEST_F(FlusherTest, HookFiresWhenArmed) {
   hooks_.Arm("FlushMemtable:1", "FlushLoop_ctx");
   memtable_.Set("k1", std::string(100, 'x'));
@@ -429,6 +475,26 @@ TEST_F(CompactionTest, InjectedMergeHangDetectableViaProbe) {
   injector_.Inject(spec);
   EXPECT_FALSE(compaction_.MergeProbe("checker").ok());
   injector_.ClearAll();
+  EXPECT_TRUE(compaction_.MergeProbe("checker").ok());
+}
+
+TEST_F(CompactionTest, GetPropagatesTrulyMissingTable) {
+  // A listed table whose file is gone while the list is stable is damage,
+  // not a compaction race: Index::Get must not silently report "no value".
+  WriteTable("/sst/1", "a", "1");
+  ASSERT_TRUE(disk_.Delete("/sst/1").ok());
+  const auto result = index_.Get("a");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), wdg::StatusCode::kNotFound);
+}
+
+TEST_F(CompactionTest, MergeProbeToleratesConcurrentlyCompactedTable) {
+  // The probe snapshots the table list, then loads; a concurrent CompactOnce
+  // can delete a listed table in between. Simulate the stale snapshot by
+  // deleting a file out from under the index: progress, not a fault.
+  WriteTable("/sst/1", "a", "1");
+  WriteTable("/sst/2", "b", "2");
+  ASSERT_TRUE(disk_.Delete("/sst/1").ok());
   EXPECT_TRUE(compaction_.MergeProbe("checker").ok());
 }
 

@@ -74,6 +74,13 @@ echo "=== bench smoke: context read path ==="
 # Runs in the build tree so the quick-mode JSON can't clobber the committed
 # full-run artifact the trend gate below reads.
 (cd build-ci/bench && ./bench_context_read --quick)
+echo "=== campaign smoke: fusion fault matrix ==="
+# Downscaled fault-matrix campaign (1 seed per class): the fused detector must
+# detect all four fault classes, beat-or-tie the best single family on >= 3/4,
+# and fire zero false positives anywhere (the binary self-checks and exits
+# nonzero). Runs in the build tree so no JSON lands near the committed
+# BENCH_fusion.json the trend gate reads.
+(cd build-ci && ./tools/wdg_campaign --smoke-fusion)
 echo "=== supervised smoke: wdogd escalation under a wedged process ==="
 # The §3.3 scenario the in-process plane cannot catch for itself: a kvs node
 # plus its watchdog driver wedge on an injected disk hang, kicks stop, and
@@ -90,8 +97,10 @@ python3 tools/bench_trend.py --dry-run
 run_leg build-ci-asan address "$@"
 # TSan leg: the concurrency suites that hammer the sharded context store and
 # batched hook flush, plus the pooled scheduler/executor scale suite
-# (abandonment, backpressure, and shutdown races) and the chaos/soak tier
-# that storms the adaptive autoscaler + deadline budgets with injected faults.
-run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale|driver_chaos|supervisor' "$@"
+# (abandonment, backpressure, and shutdown races), the chaos/soak tier that
+# storms the adaptive autoscaler + deadline budgets with injected faults, and
+# the signal-suite/fusion tests (FusionDetector::OnFailure runs on scheduler
+# threads; the suite test drives a live driver against a publisher thread).
+run_leg build-ci-tsan thread -R 'context_concurrency|stress_test|driver_scale|driver_chaos|supervisor|detectors_signal' "$@"
 
 echo "ci: all three legs green"

@@ -3,11 +3,14 @@
 //
 //   wdg_campaign [--scenario <substring>] [--seeds N] [--validation]
 //                [--suppress] [--observe-ms N] [--list]
+//                [--fault-matrix | --smoke-fusion] [--matrix-out <path>]
 //
 // Examples:
 //   wdg_campaign --list
 //   wdg_campaign --scenario replication --seeds 3
 //   wdg_campaign --validation --suppress
+//   wdg_campaign --fault-matrix --seeds 3 --matrix-out BENCH_fusion.json
+//   wdg_campaign --smoke-fusion          # CI gate: nonzero exit on regression
 //
 // Flag grammar and --list rendering live in src/eval/campaign_cli.{h,cc} so
 // they are unit-tested; this file is just wiring.
@@ -18,6 +21,7 @@
 #include "src/common/strings.h"
 #include "src/eval/campaign.h"
 #include "src/eval/campaign_cli.h"
+#include "src/eval/fault_matrix.h"
 #include "src/eval/scenario.h"
 #include "src/eval/table.h"
 
@@ -38,6 +42,35 @@ int main(int argc, char** argv) {
   const auto catalog = wdg::KvsScenarioCatalog();
   if (cli.list_only) {
     std::fputs(wdg::FormatScenarioList(catalog).c_str(), stdout);
+    return 0;
+  }
+
+  if (cli.fault_matrix) {
+    wdg::FaultMatrixOptions matrix;
+    matrix.seeds = cli.seeds;
+    matrix.quick = cli.smoke_fusion;
+    matrix.progress = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    };
+    const wdg::FaultMatrixResult result = wdg::RunFaultMatrix(matrix);
+    std::printf("\n%s", wdg::FormatFaultMatrix(result).c_str());
+    if (!cli.matrix_out.empty()) {
+      const wdg::Status written = wdg::WriteFaultMatrixJson(result, cli.matrix_out);
+      if (!written.ok()) {
+        std::fprintf(stderr, "%s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", cli.matrix_out.c_str());
+    }
+    if (cli.smoke_fusion && !result.MeetsAcceptance()) {
+      std::fprintf(stderr,
+                   "smoke-fusion FAILED: detected %d/%d classes, dominated %d, "
+                   "%d false positives\n",
+                   result.fused_detected, result.fault_classes,
+                   result.dominated_classes, result.total_false_positives);
+      return 1;
+    }
     return 0;
   }
 
